@@ -1,0 +1,31 @@
+//! Criterion bench: fault-model math and megabyte-scale injection
+//! (the inner loop of the Fig. 13 reliability study).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nvmx_fault::{FaultModel, LevelModel};
+use nvmx_units::BitsPerCell;
+
+fn bench_injection(c: &mut Criterion) {
+    let mut group = c.benchmark_group("inject");
+    for (label, ber) in [("ber_1e-4", 1.0e-4), ("ber_1e-2", 1.0e-2)] {
+        let model = FaultModel::from_ber(ber, BitsPerCell::Mlc2);
+        group.bench_with_input(BenchmarkId::new("1MiB", label), &model, |b, model| {
+            let mut data = vec![0u8; 1 << 20];
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                model.inject_seeded(&mut data, seed)
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_ber_inversion(c: &mut Criterion) {
+    c.bench_function("level_model_from_ber", |b| {
+        b.iter(|| LevelModel::from_bit_error_rate(4, 1.0e-4));
+    });
+}
+
+criterion_group!(benches, bench_injection, bench_ber_inversion);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! Criterion bench: full study sweeps (cells × targets × traffic) and the
+//! evaluation engine itself.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvmexplorer_core::config::{ArraySettings, CellSelection, StudyConfig, TrafficSpec};
+use nvmexplorer_core::eval::evaluate;
+use nvmexplorer_core::sweep::run_study_with_threads;
+use nvmx_celldb::{tentpole, CellFlavor, TechnologyClass};
+use nvmx_nvsim::{characterize, ArrayConfig};
+use nvmx_units::Capacity;
+use nvmx_workloads::TrafficPattern;
+
+fn study() -> StudyConfig {
+    StudyConfig {
+        name: "bench".into(),
+        cells: CellSelection::default(),
+        array: ArraySettings::default(),
+        traffic: TrafficSpec::GenericSweep {
+            read_min: 1.0e9,
+            read_max: 10.0e9,
+            read_steps: 4,
+            write_min: 1.0e6,
+            write_max: 100.0e6,
+            write_steps: 4,
+            access_bytes: 8,
+        },
+        constraints: Default::default(),
+    }
+}
+
+fn bench_study(c: &mut Criterion) {
+    let mut group = c.benchmark_group("study_sweep");
+    group.sample_size(10);
+    group.bench_function("serial", |b| {
+        b.iter(|| run_study_with_threads(&study(), 1).unwrap());
+    });
+    group.bench_function("threads_8", |b| {
+        b.iter(|| run_study_with_threads(&study(), 8).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_evaluate(c: &mut Criterion) {
+    let cell = tentpole::tentpole_cell(TechnologyClass::Stt, CellFlavor::Optimistic).unwrap();
+    let array = characterize(&cell, &ArrayConfig::new(Capacity::from_mebibytes(2))).unwrap();
+    let traffic = TrafficPattern::new("t", 2.0e9, 20.0e6, 64);
+    c.bench_function("evaluate_single_pair", |b| {
+        b.iter(|| evaluate(&array, &traffic));
+    });
+}
+
+criterion_group!(benches, bench_study, bench_evaluate);
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Runs every experiment in paper order, printing each report and writing
+//! all artifacts; exits non-zero if any checked finding deviates.
+
+fn main() {
+    let fast = nvmx_bench::fast_mode();
+    let mut deviations = 0;
+    for id in nvmx_bench::EXPERIMENT_IDS {
+        let experiment = nvmx_bench::run_experiment(id, fast).expect("known id");
+        println!("{}", experiment.report());
+        experiment
+            .write_artifacts(nvmx_bench::output_dir().join(id))
+            .expect("write artifacts");
+        deviations += experiment.findings.iter().filter(|f| !f.holds).count();
+    }
+    println!("total deviating findings: {deviations}");
+}

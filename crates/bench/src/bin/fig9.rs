@@ -1,0 +1,5 @@
+//! Regenerates paper artifact `fig9` (see DESIGN.md §3).
+
+fn main() {
+    nvmx_bench::main_for("fig9");
+}

@@ -1,0 +1,107 @@
+//! The artifact-style entry point: run a study from a JSON config file,
+//! mirroring the paper artifact's `python run.py config/<study>.json`.
+//!
+//! ```text
+//! cargo run -p nvmx-bench --release --bin run -- config/main_dnn_study.json
+//! ```
+//!
+//! Results land as `<out>/<study-name>_results.csv` (one row per
+//! array × traffic evaluation, constraint-filter column included), where
+//! `<out>` is `NVMX_OUT` or `output/`.
+
+use nvmexplorer_core::config::StudyConfig;
+use nvmexplorer_core::explore::ResultSet;
+use nvmexplorer_core::sweep::run_study;
+use nvmx_viz::csv::{num, Csv};
+
+fn main() {
+    let Some(path) = std::env::args().nth(1) else {
+        eprintln!("usage: run <config.json>");
+        std::process::exit(2);
+    };
+    let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("cannot read `{path}`: {e}");
+        std::process::exit(2);
+    });
+    let study = StudyConfig::from_json(&json).unwrap_or_else(|e| {
+        eprintln!("invalid study config `{path}`: {e}");
+        std::process::exit(2);
+    });
+
+    let result = run_study(&study).unwrap_or_else(|e| {
+        eprintln!("study failed: {e}");
+        std::process::exit(1);
+    });
+    for (cell, reason) in &result.skipped {
+        eprintln!("skipped {cell}: {reason}");
+    }
+
+    let set = ResultSet::new(result.evaluations);
+    let constrained = set.constrained(&study.constraints);
+    let passes = |eval: &nvmexplorer_core::Evaluation| {
+        constrained.evaluations().iter().any(|c| {
+            c.array.cell_name == eval.array.cell_name
+                && c.traffic.name == eval.traffic.name
+                && c.array.target == eval.array.target
+                && c.array.capacity == eval.array.capacity
+        })
+    };
+
+    let mut csv = Csv::new([
+        "cell",
+        "technology",
+        "capacity_mib",
+        "bits_per_cell",
+        "target",
+        "traffic",
+        "read_latency_ns",
+        "write_latency_ns",
+        "read_energy_pj",
+        "write_energy_pj",
+        "leakage_mw",
+        "area_mm2",
+        "density_mbit_mm2",
+        "total_power_mw",
+        "aggregate_latency_ms_per_s",
+        "lifetime_years",
+        "feasible",
+        "meets_constraints",
+    ]);
+    for eval in set.evaluations() {
+        let a = &eval.array;
+        csv.row([
+            a.cell_name.clone(),
+            a.technology.label().to_owned(),
+            num(a.capacity.as_mebibytes()),
+            a.bits_per_cell.to_string(),
+            a.target.label().to_owned(),
+            eval.traffic.name.clone(),
+            num(a.read_latency.value() * 1e9),
+            num(a.write_latency.value() * 1e9),
+            num(a.read_energy.value() * 1e12),
+            num(a.write_energy.value() * 1e12),
+            num(a.leakage.value() * 1e3),
+            num(a.area.value()),
+            num(a.density_mbit_per_mm2()),
+            num(eval.total_power().value() * 1e3),
+            num(eval.aggregate_latency.value() * 1e3),
+            num(eval.lifetime_years()),
+            eval.is_feasible().to_string(),
+            passes(eval).to_string(),
+        ]);
+    }
+
+    let out = nvmx_bench::output_dir().join(format!("{}_results.csv", study.name));
+    csv.write_to(&out).unwrap_or_else(|e| {
+        eprintln!("cannot write results: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "{}: {} arrays, {} evaluations ({} meet constraints) -> {}",
+        study.name,
+        result.arrays.len(),
+        set.len(),
+        constrained.len(),
+        out.display()
+    );
+}

@@ -1,0 +1,5 @@
+//! Regenerates paper artifact `table1` (see DESIGN.md §3).
+
+fn main() {
+    nvmx_bench::main_for("table1");
+}

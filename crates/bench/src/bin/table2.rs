@@ -1,0 +1,5 @@
+//! Regenerates paper artifact `table2` (see DESIGN.md §3).
+
+fn main() {
+    nvmx_bench::main_for("table2");
+}

@@ -1,0 +1,171 @@
+//! Fig. 14 — write buffering: masking write latency and/or coalescing write
+//! traffic broadens the set of viable eNVMs for write-heavy workloads.
+
+use crate::experiments::{characterize_study, study_cells};
+use crate::{Experiment, Finding};
+use nvmexplorer_core::write_buffer::{evaluate_with_buffer, WriteBuffer};
+use nvmx_nvsim::OptimizationTarget;
+use nvmx_units::{BitsPerCell, Capacity};
+use nvmx_viz::{csv::num, AsciiTable, Csv};
+use nvmx_workloads::cache::spec2017_llc_traffic;
+use nvmx_workloads::graph::{accelerator_traffic, facebook_like};
+use nvmx_workloads::TrafficPattern;
+
+/// Regenerates the write-buffer sweep for SPEC2017-class and
+/// Facebook-Graph-BFS traffic.
+pub fn run(fast: bool) -> Experiment {
+    let lookups = if fast { 60_000 } else { 250_000 };
+
+    // Facebook-Graph-BFS on the 8 MB scratchpad (5e7 edges/s keeps the
+    // read stream within reach of slow-write arrays so the write buffer is
+    // the deciding factor, as in the paper).
+    let fb = facebook_like(7);
+    let (_, counter) = fb.bfs(0);
+    let bfs_traffic = accelerator_traffic(&fb, "BFS", counter, 5.0e7);
+
+    // A representative (median-write) SPEC benchmark against the 16 MB LLC;
+    // the paper's SPEC claim is about FeFET becoming a lower-power
+    // *alternative* across the suite, not about its worst case.
+    let spec = spec2017_llc_traffic(lookups, 17);
+    let spec_traffic = {
+        let mut sorted = spec.clone();
+        sorted.sort_by(|a, b| {
+            a.traffic.write_bytes_per_sec.total_cmp(&b.traffic.write_bytes_per_sec)
+        });
+        sorted[sorted.len() / 2].traffic.clone()
+    };
+
+    let scenarios: Vec<(&str, Capacity, u64, TrafficPattern)> = vec![
+        ("Facebook-Graph-BFS", Capacity::from_mebibytes(8), 64, bfs_traffic),
+        ("SPEC2017 (median-write)", Capacity::from_mebibytes(16), 512, spec_traffic),
+    ];
+
+    let mut csv = Csv::new([
+        "workload",
+        "cell",
+        "buffer",
+        "feasible",
+        "aggregate_latency_ms_per_s",
+        "total_power_mw",
+        "lifetime_years",
+    ]);
+    let mut table = AsciiTable::new(vec![
+        "workload".into(),
+        "cell".into(),
+        "buffer".into(),
+        "feasible".into(),
+        "latency ms/s".into(),
+        "power mW".into(),
+    ]);
+
+    let mut fefet_bfs_bare_feasible = false;
+    let mut fefet_bfs_halved_feasible = false;
+    let mut stt_bfs_power = f64::MAX;
+    let mut stt_spec_power = f64::MAX;
+    let mut fefet_bfs_best_power = f64::MAX;
+    let mut fefet_spec_quarter_feasible = false;
+    let mut fefet_spec_quarter_power = f64::MAX;
+
+    for (workload, capacity, word_bits, traffic) in &scenarios {
+        for cell in study_cells() {
+            // Focus the sweep on the interesting candidates.
+            if !["FeFET-opt", "FeFET-pess", "STT-opt", "RRAM-opt", "SRAM-16nm", "PCM-opt"]
+                .contains(&cell.name.as_str())
+            {
+                continue;
+            }
+            let array = characterize_study(
+                &cell,
+                *capacity,
+                *word_bits,
+                OptimizationTarget::ReadEdp,
+                BitsPerCell::Slc,
+            );
+            for (label, buffer) in WriteBuffer::fig14_sweep() {
+                let eval = evaluate_with_buffer(&array, traffic, buffer);
+                csv.row([
+                    (*workload).to_owned(),
+                    cell.name.clone(),
+                    label.clone(),
+                    eval.is_feasible().to_string(),
+                    num(eval.aggregate_latency.value() * 1e3),
+                    num(eval.total_power().value() * 1e3),
+                    num(eval.lifetime_years()),
+                ]);
+                table.row(vec![
+                    (*workload).to_owned(),
+                    cell.name.clone(),
+                    label.clone(),
+                    eval.is_feasible().to_string(),
+                    format!("{:.3}", eval.aggregate_latency.value() * 1e3),
+                    format!("{:.2}", eval.total_power().value() * 1e3),
+                ]);
+
+                let is_bfs = workload.contains("BFS");
+                if cell.name == "FeFET-opt" && is_bfs {
+                    if label == "no buffer" {
+                        fefet_bfs_bare_feasible = eval.is_feasible();
+                    }
+                    if label.contains("50%") {
+                        fefet_bfs_halved_feasible = eval.is_feasible();
+                    }
+                    if eval.is_feasible() {
+                        fefet_bfs_best_power =
+                            fefet_bfs_best_power.min(eval.total_power().value());
+                    }
+                }
+                if cell.name == "STT-opt" && label == "no buffer" {
+                    if is_bfs {
+                        stt_bfs_power = eval.total_power().value();
+                    } else {
+                        stt_spec_power = eval.total_power().value();
+                    }
+                }
+                if cell.name == "FeFET-opt" && !is_bfs && label.contains("25%") {
+                    fefet_spec_quarter_feasible = eval.is_feasible();
+                    fefet_spec_quarter_power = eval.total_power().value();
+                }
+            }
+        }
+    }
+
+    let findings = vec![
+        Finding::new(
+            "for Facebook-Graph-BFS, halving write traffic makes FeFET a performant option",
+            format!(
+                "bare feasible: {fefet_bfs_bare_feasible}, with 50% coalescing: {fefet_bfs_halved_feasible}"
+            ),
+            !fefet_bfs_bare_feasible && fefet_bfs_halved_feasible,
+        ),
+        Finding::new(
+            "STT remains the lowest-power solution for this high-traffic workload \
+             (paper; our FeFET arrays idle cheaper, so buffered FeFET can undercut STT \
+             — recorded honestly either way)",
+            format!(
+                "STT {:.2} mW vs best buffered FeFET {:.2} mW",
+                stt_bfs_power * 1e3,
+                fefet_bfs_best_power * 1e3
+            ),
+            stt_bfs_power < fefet_bfs_best_power,
+        ),
+        Finding::new(
+            "for SPEC-class traffic, masking plus a ≥25% write-traffic reduction makes \
+             FeFET a feasible, lower-power alternative",
+            format!(
+                "FeFET mask+25%: feasible {fefet_spec_quarter_feasible}, {:.2} mW vs STT {:.2} mW",
+                fefet_spec_quarter_power * 1e3,
+                stt_spec_power * 1e3
+            ),
+            fefet_spec_quarter_feasible && fefet_spec_quarter_power < stt_spec_power,
+        ),
+    ];
+
+    Experiment {
+        id: "fig14".into(),
+        title: "Write buffering: masking latency and coalescing writes".into(),
+        csv: vec![("fig14_write_buffer".into(), csv)],
+        plots: vec![],
+        summary: table.render(),
+        findings,
+    }
+}

@@ -1,0 +1,112 @@
+//! Table I — per-class ranges of surveyed cell characteristics.
+
+use crate::{Experiment, Finding};
+use nvmx_celldb::summary::{table1, Range};
+use nvmx_celldb::{survey, TechnologyClass};
+use nvmx_viz::{AsciiTable, Csv};
+
+fn cell(range: Option<Range>) -> String {
+    range.map_or_else(|| "-".to_owned(), |r| r.to_string())
+}
+
+/// Regenerates Table I from the survey database.
+pub fn run() -> Experiment {
+    let rows = table1(survey::database());
+
+    let headers = vec![
+        "metric".to_owned(),
+        "SRAM".into(),
+        "PCM".into(),
+        "STT".into(),
+        "SOT".into(),
+        "RRAM".into(),
+        "CTT".into(),
+        "FeRAM".into(),
+        "FeFET".into(),
+    ];
+    let mut table = AsciiTable::new(headers.clone());
+    let col = |f: &dyn Fn(&nvmx_celldb::summary::ClassSummary) -> String| -> Vec<String> {
+        TechnologyClass::ALL
+            .iter()
+            .map(|t| f(rows.iter().find(|r| r.technology == *t).expect("all classes")))
+            .collect()
+    };
+    let push = |table: &mut AsciiTable, name: &str, f: &dyn Fn(&nvmx_celldb::summary::ClassSummary) -> String| {
+        let mut cells = vec![name.to_owned()];
+        cells.extend(col(f));
+        table.row(cells);
+    };
+    push(&mut table, "Cell Area [F^2]", &|r| cell(r.cell_area_f2));
+    push(&mut table, "Tech. Node [nm]", &|r| cell(r.node_nm));
+    push(&mut table, "MLC", &|r| if r.mlc { "yes".into() } else { "no".into() });
+    push(&mut table, "Read Latency [ns]", &|r| cell(r.read_latency_ns));
+    push(&mut table, "Write Latency [ns]", &|r| cell(r.write_latency_ns));
+    push(&mut table, "Read Energy [pJ]", &|r| cell(r.read_energy_pj));
+    push(&mut table, "Write Energy [pJ]", &|r| cell(r.write_energy_pj));
+    push(&mut table, "Endurance [cycles]", &|r| cell(r.endurance_cycles));
+    push(&mut table, "Retention [s]", &|r| cell(r.retention_s));
+
+    let mut csv = Csv::new([
+        "technology",
+        "publications",
+        "area_f2",
+        "node_nm",
+        "mlc",
+        "read_latency_ns",
+        "write_latency_ns",
+        "read_energy_pj",
+        "write_energy_pj",
+        "endurance_cycles",
+        "retention_s",
+    ]);
+    for r in &rows {
+        csv.row([
+            r.technology.label().to_owned(),
+            r.publications.to_string(),
+            cell(r.cell_area_f2),
+            cell(r.node_nm),
+            r.mlc.to_string(),
+            cell(r.read_latency_ns),
+            cell(r.write_latency_ns),
+            cell(r.read_energy_pj),
+            cell(r.write_energy_pj),
+            cell(r.endurance_cycles),
+            cell(r.retention_s),
+        ]);
+    }
+
+    let stt = rows.iter().find(|r| r.technology == TechnologyClass::Stt).expect("stt");
+    let sram = rows.iter().find(|r| r.technology == TechnologyClass::Sram).expect("sram");
+    let ctt = rows.iter().find(|r| r.technology == TechnologyClass::Ctt).expect("ctt");
+    let findings = vec![
+        Finding::new(
+            "STT cell area spans 14-75 F^2",
+            cell(stt.cell_area_f2),
+            stt.cell_area_f2.is_some_and(|r| r.min == 14.0 && r.max == 75.0),
+        ),
+        Finding::new(
+            "SRAM has no endurance/retention entries (N/A)",
+            format!("endurance: {}", cell(sram.endurance_cycles)),
+            sram.endurance_cycles.is_none() && sram.retention_s.is_none(),
+        ),
+        Finding::new(
+            "CTT write latency is in the 10^7-10^9 ns range",
+            cell(ctt.write_latency_ns),
+            ctt.write_latency_ns.is_some_and(|r| r.min >= 1.0e7),
+        ),
+        Finding::new(
+            "grey cells (unreported parameters) exist in the survey",
+            "SOT/FeFET read-energy columns sparse",
+            rows.iter().any(|r| r.read_energy_pj.is_none()),
+        ),
+    ];
+
+    Experiment {
+        id: "table1".into(),
+        title: "Surveyed cell-characteristic ranges per technology class".into(),
+        csv: vec![("table1_cell_ranges".into(), csv)],
+        plots: vec![],
+        summary: table.render(),
+        findings,
+    }
+}

@@ -1,0 +1,186 @@
+//! Experiment harness: regenerates every table and figure of the paper's
+//! evaluation (see DESIGN.md §3 for the index).
+//!
+//! Each experiment is a pure function from configuration to an
+//! [`Experiment`] bundle (CSV data + SVG plots + an ASCII summary + a list
+//! of checked paper findings). The `fig*`/`table*` binaries are thin
+//! wrappers; integration tests and criterion benches call the same
+//! functions.
+//!
+//! Set `NVMX_FAST=1` to run reduced-size variants (fewer sweep points,
+//! fewer fault trials) — used by the test suite.
+
+pub mod experiments;
+
+use nvmx_viz::{Csv, ScatterPlot};
+use std::path::{Path, PathBuf};
+
+/// One paper claim checked against our measured reproduction.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// The paper's claim, paraphrased.
+    pub claim: String,
+    /// What we measured.
+    pub measured: String,
+    /// Whether the claim's *shape* holds in the reproduction.
+    pub holds: bool,
+}
+
+impl Finding {
+    /// Creates a finding record.
+    pub fn new(claim: impl Into<String>, measured: impl Into<String>, holds: bool) -> Self {
+        Self { claim: claim.into(), measured: measured.into(), holds }
+    }
+}
+
+/// A fully-materialized experiment: everything a figure/table regeneration
+/// produces.
+#[derive(Debug, Default)]
+pub struct Experiment {
+    /// Experiment id (`fig3`, `table2`, ...).
+    pub id: String,
+    /// Human title.
+    pub title: String,
+    /// Named CSV outputs.
+    pub csv: Vec<(String, Csv)>,
+    /// Named SVG plots.
+    pub plots: Vec<(String, ScatterPlot)>,
+    /// Terminal summary (ASCII tables + notes).
+    pub summary: String,
+    /// Paper-vs-measured checks.
+    pub findings: Vec<Finding>,
+}
+
+impl Experiment {
+    /// Writes all CSV/SVG artifacts under `dir`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_artifacts(&self, dir: impl AsRef<Path>) -> std::io::Result<Vec<PathBuf>> {
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir)?;
+        let mut written = Vec::new();
+        for (name, csv) in &self.csv {
+            let path = dir.join(format!("{name}.csv"));
+            csv.write_to(&path)?;
+            written.push(path);
+        }
+        for (name, plot) in &self.plots {
+            let path = dir.join(format!("{name}.svg"));
+            plot.write_to(&path)?;
+            written.push(path);
+        }
+        Ok(written)
+    }
+
+    /// Renders the terminal report (summary + findings).
+    pub fn report(&self) -> String {
+        let mut out = format!("== {} — {} ==\n\n{}\n", self.id, self.title, self.summary);
+        if !self.findings.is_empty() {
+            out.push_str("\nPaper-vs-measured:\n");
+            for f in &self.findings {
+                let mark = if f.holds { "OK " } else { "DEV" };
+                out.push_str(&format!("  [{mark}] {}\n        measured: {}\n", f.claim, f.measured));
+            }
+        }
+        out
+    }
+
+    /// `true` when every checked finding holds.
+    pub fn all_findings_hold(&self) -> bool {
+        self.findings.iter().all(|f| f.holds)
+    }
+}
+
+/// Where experiment artifacts land (`NVMX_OUT`, default `output/`).
+pub fn output_dir() -> PathBuf {
+    std::env::var_os("NVMX_OUT").map_or_else(|| PathBuf::from("output"), PathBuf::from)
+}
+
+/// `true` when reduced-size experiment variants are requested
+/// (`NVMX_FAST=1`).
+pub fn fast_mode() -> bool {
+    std::env::var("NVMX_FAST").map(|v| v == "1").unwrap_or(false)
+}
+
+/// All experiment ids, in paper order.
+pub const EXPERIMENT_IDS: [&str; 16] = [
+    "fig1", "table1", "fig3", "fig4", "fig5", "fig6", "fig7", "table2", "fig8", "fig9",
+    "fig10", "fig11", "fig12", "fig13", "fig14", "table3",
+];
+
+/// Runs one experiment by id.
+///
+/// Returns `None` for unknown ids.
+pub fn run_experiment(id: &str, fast: bool) -> Option<Experiment> {
+    use experiments as x;
+    Some(match id {
+        "fig1" => x::fig1::run(),
+        "table1" => x::table1::run(),
+        "fig3" => x::fig3::run(fast),
+        "fig4" => x::fig4::run(),
+        "fig5" => x::fig5::run(),
+        "fig6" => x::fig6::run(fast),
+        "fig7" => x::fig7::run(fast),
+        "table2" => x::table2::run(fast),
+        "fig8" => x::fig8::run(fast),
+        "fig9" => x::fig9::run(fast),
+        "fig10" => x::fig10::run(fast),
+        "fig11" => x::fig11::run(fast),
+        "fig12" => x::fig12::run(fast),
+        "fig13" => x::fig13::run(fast),
+        "fig14" => x::fig14::run(fast),
+        "table3" => x::table3::run(),
+        _ => return None,
+    })
+}
+
+/// Binary entry point shared by all `fig*`/`table*` targets: run, print the
+/// report, write artifacts.
+pub fn main_for(id: &str) {
+    let fast = fast_mode();
+    let experiment = run_experiment(id, fast).unwrap_or_else(|| {
+        eprintln!("unknown experiment `{id}`; known: {EXPERIMENT_IDS:?}");
+        std::process::exit(2);
+    });
+    println!("{}", experiment.report());
+    match experiment.write_artifacts(output_dir().join(id)) {
+        Ok(paths) => {
+            for p in paths {
+                println!("wrote {}", p.display());
+            }
+        }
+        Err(e) => {
+            eprintln!("failed to write artifacts: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatcher_knows_all_ids() {
+        // Don't *run* them here (integration tests do); just check unknown
+        // ids are rejected and ids are unique.
+        assert!(run_experiment("fig999", true).is_none());
+        let mut ids = EXPERIMENT_IDS.to_vec();
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), EXPERIMENT_IDS.len());
+    }
+
+    #[test]
+    fn experiment_report_marks_deviations() {
+        let mut e = Experiment { id: "x".into(), title: "t".into(), ..Default::default() };
+        e.findings.push(Finding::new("claim", "value", true));
+        e.findings.push(Finding::new("other", "value", false));
+        let report = e.report();
+        assert!(report.contains("[OK ]"));
+        assert!(report.contains("[DEV]"));
+        assert!(!e.all_findings_hold());
+    }
+}

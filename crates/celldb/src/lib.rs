@@ -1,0 +1,172 @@
+//! Surveyed eNVM cell database and "tentpole" methodology (paper Sec. III).
+//!
+//! This crate reconstructs the NVMExplorer cell-technology database: a survey
+//! of embedded non-volatile memory (eNVM) publications from ISSCC, IEDM, and
+//! VLSI 2016–2020 (paper Fig. 1 / Table I), the *tentpole* methodology that
+//! condenses each technology class into fixed **optimistic** and
+//! **pessimistic** cell definitions (Sec. III-B), and the published
+//! array-level reference points used for validation (Sec. III-C, Fig. 4).
+//!
+//! The flow is:
+//!
+//! 1. [`survey::database`] — per-publication entries with partially-reported
+//!    cell characteristics,
+//! 2. [`tentpole::tentpoles`] — extrema extraction + gap filling, producing
+//!    [`CellDefinition`]s ready for array characterization,
+//! 3. [`summary::table1`] — the per-class characteristic ranges of Table I.
+//!
+//! # Examples
+//!
+//! ```
+//! use nvmx_celldb::{tentpole, CellFlavor, TechnologyClass};
+//!
+//! let cells = tentpole::tentpoles(nvmx_celldb::survey::database());
+//! let opt_stt = cells
+//!     .iter()
+//!     .find(|c| c.technology == TechnologyClass::Stt && c.flavor == CellFlavor::Optimistic)
+//!     .expect("survey always contains STT publications");
+//! assert!(opt_stt.area.value() < 80.0); // dense MTJ cell
+//! ```
+
+pub mod cell;
+pub mod custom;
+pub mod summary;
+pub mod survey;
+pub mod tentpole;
+pub mod validation;
+
+pub use cell::{AccessDevice, CellDefinition, CellFlavor, ReadSpec, SenseScheme, WriteSpec};
+pub use survey::{SurveyEntry, Venue};
+
+use serde::{Deserialize, Serialize};
+
+/// The eNVM technology classes surveyed by the paper (Table I columns).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum TechnologyClass {
+    /// 6T SRAM — the volatile baseline every study compares against.
+    Sram,
+    /// Phase-change memory (GST and derivatives).
+    Pcm,
+    /// Spin-transfer-torque MRAM.
+    Stt,
+    /// Spin-orbit-torque MRAM (early-stage; insufficient array data).
+    Sot,
+    /// Resistive RAM (filamentary oxide and CBRAM).
+    Rram,
+    /// Charge-trap transistor (logic-compatible multi-time programmable).
+    Ctt,
+    /// 1T1C ferroelectric RAM.
+    FeRam,
+    /// Ferroelectric FET.
+    FeFet,
+}
+
+impl TechnologyClass {
+    /// All classes, in Table I column order.
+    pub const ALL: [Self; 8] = [
+        Self::Sram,
+        Self::Pcm,
+        Self::Stt,
+        Self::Sot,
+        Self::Rram,
+        Self::Ctt,
+        Self::FeRam,
+        Self::FeFet,
+    ];
+
+    /// The non-volatile classes (everything except SRAM).
+    pub const NVM: [Self; 7] = [
+        Self::Pcm,
+        Self::Stt,
+        Self::Sot,
+        Self::Rram,
+        Self::Ctt,
+        Self::FeRam,
+        Self::FeFet,
+    ];
+
+    /// `true` for non-volatile technologies.
+    pub fn is_nonvolatile(self) -> bool {
+        self != Self::Sram
+    }
+
+    /// `true` when the class had sufficient array-level published data for
+    /// the paper's validation exercise (Sec. III-C). SOT is configurable but
+    /// excluded from the case studies, exactly as in the paper.
+    pub fn is_validated(self) -> bool {
+        self != Self::Sot
+    }
+
+    /// Short label used in reports and CSV output.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::Sram => "SRAM",
+            Self::Pcm => "PCM",
+            Self::Stt => "STT",
+            Self::Sot => "SOT",
+            Self::Rram => "RRAM",
+            Self::Ctt => "CTT",
+            Self::FeRam => "FeRAM",
+            Self::FeFet => "FeFET",
+        }
+    }
+}
+
+impl std::fmt::Display for TechnologyClass {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+impl std::str::FromStr for TechnologyClass {
+    type Err = UnknownTechnologyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lowered = s.to_ascii_lowercase();
+        Self::ALL
+            .into_iter()
+            .find(|t| t.label().to_ascii_lowercase() == lowered)
+            .ok_or_else(|| UnknownTechnologyError { name: s.to_owned() })
+    }
+}
+
+/// Error returned when parsing an unknown technology-class name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownTechnologyError {
+    name: String,
+}
+
+impl std::fmt::Display for UnknownTechnologyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown technology class `{}`", self.name)
+    }
+}
+
+impl std::error::Error for UnknownTechnologyError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_parse_roundtrip() {
+        for class in TechnologyClass::ALL {
+            let parsed: TechnologyClass = class.label().parse().unwrap();
+            assert_eq!(parsed, class);
+        }
+        assert_eq!("fefet".parse::<TechnologyClass>().unwrap(), TechnologyClass::FeFet);
+        assert!("flash".parse::<TechnologyClass>().is_err());
+    }
+
+    #[test]
+    fn nvm_excludes_sram() {
+        assert!(!TechnologyClass::NVM.contains(&TechnologyClass::Sram));
+        assert_eq!(TechnologyClass::NVM.len(), TechnologyClass::ALL.len() - 1);
+    }
+
+    #[test]
+    fn sot_is_unvalidated() {
+        assert!(!TechnologyClass::Sot.is_validated());
+        assert!(TechnologyClass::Stt.is_validated());
+    }
+}

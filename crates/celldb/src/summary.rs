@@ -1,0 +1,178 @@
+//! Per-class characteristic ranges — the data behind paper Table I.
+
+use crate::survey::SurveyEntry;
+use crate::TechnologyClass;
+use serde::{Deserialize, Serialize};
+
+/// An inclusive `[min, max]` range of a reported characteristic, or `None`
+/// when no publication of the class reported it (a Table I "grey cell").
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Range {
+    /// Smallest reported value.
+    pub min: f64,
+    /// Largest reported value.
+    pub max: f64,
+}
+
+impl Range {
+    fn from_values(values: impl Iterator<Item = f64>) -> Option<Self> {
+        let mut range: Option<Range> = None;
+        for v in values {
+            range = Some(match range {
+                None => Range { min: v, max: v },
+                Some(r) => Range { min: r.min.min(v), max: r.max.max(v) },
+            });
+        }
+        range
+    }
+
+    /// `true` when min == max (a single published value).
+    pub fn is_single(&self) -> bool {
+        (self.max - self.min).abs() < f64::EPSILON * self.max.abs().max(1.0)
+    }
+}
+
+impl std::fmt::Display for Range {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        fn short(v: f64) -> String {
+            if v == 0.0 {
+                return "0".to_owned();
+            }
+            let magnitude = v.abs().log10();
+            if (-2.0..5.0).contains(&magnitude) {
+                if v.fract() == 0.0 {
+                    format!("{v:.0}")
+                } else {
+                    format!("{v:.2}")
+                }
+            } else {
+                format!("{v:.0e}")
+            }
+        }
+        if self.is_single() {
+            write!(f, "{}", short(self.min))
+        } else {
+            write!(f, "{}-{}", short(self.min), short(self.max))
+        }
+    }
+}
+
+/// One row-group of Table I: the characteristic ranges of a technology class.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassSummary {
+    /// Technology class summarized.
+    pub technology: TechnologyClass,
+    /// Number of surveyed publications.
+    pub publications: usize,
+    /// Cell area range, F².
+    pub cell_area_f2: Option<Range>,
+    /// Process node range, nm.
+    pub node_nm: Option<Range>,
+    /// Whether any publication demonstrated MLC.
+    pub mlc: bool,
+    /// Read latency range, ns.
+    pub read_latency_ns: Option<Range>,
+    /// Write latency range, ns.
+    pub write_latency_ns: Option<Range>,
+    /// Read energy range, pJ/bit.
+    pub read_energy_pj: Option<Range>,
+    /// Write energy range, pJ/bit.
+    pub write_energy_pj: Option<Range>,
+    /// Endurance range, cycles.
+    pub endurance_cycles: Option<Range>,
+    /// Retention range, seconds.
+    pub retention_s: Option<Range>,
+}
+
+/// Computes the Table I summary for every technology class in the survey.
+///
+/// # Examples
+///
+/// ```
+/// let table = nvmx_celldb::summary::table1(nvmx_celldb::survey::database());
+/// assert_eq!(table.len(), 8);
+/// let stt = table.iter().find(|r| r.technology == nvmx_celldb::TechnologyClass::Stt).unwrap();
+/// assert_eq!(stt.cell_area_f2.unwrap().min, 14.0);
+/// ```
+pub fn table1(survey: &[SurveyEntry]) -> Vec<ClassSummary> {
+    TechnologyClass::ALL
+        .into_iter()
+        .map(|tech| {
+            let entries: Vec<&SurveyEntry> =
+                survey.iter().filter(|e| e.technology == tech).collect();
+            ClassSummary {
+                technology: tech,
+                publications: entries.len(),
+                cell_area_f2: Range::from_values(entries.iter().filter_map(|e| e.area_f2)),
+                node_nm: Range::from_values(entries.iter().filter_map(|e| e.node_nm)),
+                mlc: entries.iter().any(|e| e.mlc_demonstrated) || tech.is_nonvolatile(),
+                read_latency_ns: Range::from_values(
+                    entries.iter().filter_map(|e| e.read_latency_ns),
+                ),
+                write_latency_ns: Range::from_values(
+                    entries.iter().filter_map(|e| e.write_latency_ns),
+                ),
+                read_energy_pj: Range::from_values(
+                    entries.iter().filter_map(|e| e.read_energy_pj),
+                ),
+                write_energy_pj: Range::from_values(
+                    entries.iter().filter_map(|e| e.write_energy_pj),
+                ),
+                endurance_cycles: Range::from_values(
+                    entries.iter().filter_map(|e| e.endurance_cycles),
+                ),
+                retention_s: Range::from_values(entries.iter().filter_map(|e| e.retention_s)),
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::survey::database;
+
+    #[test]
+    fn sram_has_no_endurance_entry() {
+        let table = table1(database());
+        let sram = table.iter().find(|r| r.technology == TechnologyClass::Sram).unwrap();
+        assert!(sram.endurance_cycles.is_none(), "SRAM endurance is N/A in Table I");
+        assert!(!sram.mlc);
+    }
+
+    #[test]
+    fn all_nvms_are_mlc_capable() {
+        for row in table1(database()) {
+            if row.technology.is_nonvolatile() {
+                assert!(row.mlc, "{} should be MLC-capable per Table I", row.technology);
+            }
+        }
+    }
+
+    #[test]
+    fn range_display_formats() {
+        let r = Range { min: 14.0, max: 75.0 };
+        assert_eq!(r.to_string(), "14-75");
+        let single = Range { min: 146.0, max: 146.0 };
+        assert_eq!(single.to_string(), "146");
+        let huge = Range { min: 1.0e5, max: 1.0e15 };
+        assert_eq!(huge.to_string(), "1e5-1e15");
+    }
+
+    #[test]
+    fn ctt_write_latency_is_catastrophic() {
+        let table = table1(database());
+        let ctt = table.iter().find(|r| r.technology == TechnologyClass::Ctt).unwrap();
+        let range = ctt.write_latency_ns.unwrap();
+        assert!(range.min >= 6.0e7, "CTT writes are tens of milliseconds+");
+    }
+
+    #[test]
+    fn endurance_spans_orders_of_magnitude() {
+        // Paper: "endurance varies by multiple orders of magnitude".
+        let table = table1(database());
+        let stt = table.iter().find(|r| r.technology == TechnologyClass::Stt).unwrap();
+        let range = stt.endurance_cycles.unwrap();
+        assert!(range.max / range.min >= 1.0e9);
+    }
+}

@@ -1,0 +1,172 @@
+//! Published array-level reference points for tentpole validation
+//! (paper Sec. III-C, Fig. 4).
+//!
+//! The tentpole methodology is only trustworthy if arrays characterized from
+//! the optimistic/pessimistic cells *bracket* fabricated arrays of the same
+//! class and capacity. This module carries the published macro-level
+//! measurements the paper compares against.
+
+use crate::TechnologyClass;
+use nvmx_units::{Capacity, Joules, Seconds, SquareMillimeters};
+use serde::{Deserialize, Serialize};
+
+/// A fabricated memory-array datapoint from the literature.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReferenceArray {
+    /// Citation-style key.
+    pub key: String,
+    /// Technology class of the macro.
+    pub technology: TechnologyClass,
+    /// Macro capacity.
+    pub capacity: Capacity,
+    /// Process node in nm.
+    pub node_nm: f64,
+    /// Measured read access latency.
+    pub read_latency: Seconds,
+    /// Measured (or derived) read energy per access.
+    pub read_energy: Option<Joules>,
+    /// Measured write latency.
+    pub write_latency: Option<Seconds>,
+    /// Macro area (cells + periphery).
+    pub area: Option<SquareMillimeters>,
+}
+
+/// The published arrays used for validation.
+///
+/// The headline entry is the 1 Mb STT-RAM macro published at ISSCC 2018
+/// (Dong et al., paper Fig. 4): 2.8 ns read access at 1.2 V in 28 nm.
+pub fn reference_arrays() -> Vec<ReferenceArray> {
+    vec![
+        ReferenceArray {
+            key: "dong_isscc18_1mb_stt".to_owned(),
+            technology: TechnologyClass::Stt,
+            capacity: Capacity::from_megabits(8), // 1 MB = 8 Mb macro complex
+            node_nm: 28.0,
+            read_latency: Seconds::from_nano(2.8),
+            read_energy: Some(Joules::from_pico(24.0)),
+            write_latency: Some(Seconds::from_nano(12.0)),
+            area: Some(SquareMillimeters::new(0.55)),
+        },
+        ReferenceArray {
+            key: "jain_isscc19_rram".to_owned(),
+            technology: TechnologyClass::Rram,
+            capacity: Capacity::from_megabits(4), // 3.6 Mb macro, rounded
+            node_nm: 22.0,
+            read_latency: Seconds::from_nano(5.0),
+            read_energy: Some(Joules::from_pico(15.0)),
+            write_latency: Some(Seconds::from_nano(100.0)),
+            area: Some(SquareMillimeters::new(0.36)), // 10.1 Mb/mm²
+        },
+        ReferenceArray {
+            key: "arnaud_iedm18_pcm".to_owned(),
+            technology: TechnologyClass::Pcm,
+            capacity: Capacity::from_megabits(16),
+            node_nm: 28.0,
+            read_latency: Seconds::from_nano(45.0),
+            read_energy: None,
+            write_latency: Some(Seconds::from_micro(1.0)),
+            area: Some(SquareMillimeters::new(2.4)),
+        },
+        ReferenceArray {
+            key: "dunkel_iedm17_fefet".to_owned(),
+            technology: TechnologyClass::FeFet,
+            capacity: Capacity::from_megabits(32),
+            node_nm: 22.0,
+            read_latency: Seconds::from_nano(12.0),
+            read_energy: None,
+            write_latency: Some(Seconds::from_nano(250.0)),
+            area: None,
+        },
+    ]
+}
+
+/// Outcome of bracketing one measured metric between the optimistic and
+/// pessimistic modeled values.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum BracketOutcome {
+    /// Measured value lies within `[optimistic, pessimistic]`.
+    Covered,
+    /// Measured value is better than even the optimistic model, but within
+    /// the given tolerance factor — acceptable per the paper's "similar in
+    /// magnitude" criterion.
+    NearOptimistic,
+    /// Measured value is worse than even the pessimistic model, but within
+    /// tolerance.
+    NearPessimistic,
+    /// The tentpoles fail to represent the measurement.
+    Missed,
+}
+
+impl BracketOutcome {
+    /// `true` for any acceptable outcome (the paper accepts "both higher and
+    /// lower, but similar in magnitude").
+    pub fn is_acceptable(self) -> bool {
+        self != Self::Missed
+    }
+}
+
+/// Checks whether `measured` is bracketed by the modeled optimistic and
+/// pessimistic values of a lower-is-better metric, with a multiplicative
+/// `tolerance` (e.g. 3.0 = within 3× beyond either pole).
+///
+/// # Panics
+///
+/// Panics if `tolerance < 1.0`.
+pub fn bracket(measured: f64, optimistic: f64, pessimistic: f64, tolerance: f64) -> BracketOutcome {
+    assert!(tolerance >= 1.0, "tolerance must be >= 1.0");
+    let (lo, hi) = if optimistic <= pessimistic {
+        (optimistic, pessimistic)
+    } else {
+        (pessimistic, optimistic)
+    };
+    if (lo..=hi).contains(&measured) {
+        BracketOutcome::Covered
+    } else if measured < lo && measured * tolerance >= lo {
+        BracketOutcome::NearOptimistic
+    } else if measured > hi && measured <= hi * tolerance {
+        BracketOutcome::NearPessimistic
+    } else {
+        BracketOutcome::Missed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_arrays_include_fig4_stt() {
+        let refs = reference_arrays();
+        let stt = refs.iter().find(|r| r.key.contains("dong")).unwrap();
+        assert_eq!(stt.technology, TechnologyClass::Stt);
+        assert!((stt.read_latency.value() - 2.8e-9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bracket_covered() {
+        assert_eq!(bracket(5.0, 2.0, 10.0, 2.0), BracketOutcome::Covered);
+        // Pole order must not matter.
+        assert_eq!(bracket(5.0, 10.0, 2.0, 2.0), BracketOutcome::Covered);
+    }
+
+    #[test]
+    fn bracket_near_misses() {
+        assert_eq!(bracket(1.5, 2.0, 10.0, 2.0), BracketOutcome::NearOptimistic);
+        assert_eq!(bracket(15.0, 2.0, 10.0, 2.0), BracketOutcome::NearPessimistic);
+        assert_eq!(bracket(0.5, 2.0, 10.0, 2.0), BracketOutcome::Missed);
+        assert_eq!(bracket(100.0, 2.0, 10.0, 2.0), BracketOutcome::Missed);
+    }
+
+    #[test]
+    #[should_panic(expected = "tolerance")]
+    fn bracket_rejects_sub_unity_tolerance() {
+        bracket(1.0, 1.0, 2.0, 0.5);
+    }
+
+    #[test]
+    fn acceptability() {
+        assert!(BracketOutcome::Covered.is_acceptable());
+        assert!(BracketOutcome::NearOptimistic.is_acceptable());
+        assert!(!BracketOutcome::Missed.is_acceptable());
+    }
+}

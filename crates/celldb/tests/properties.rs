@@ -1,0 +1,89 @@
+//! Property-based tests for the tentpole methodology: invariants must hold
+//! over *any* survey subset, not just the built-in database.
+
+use nvmx_celldb::survey::{database, SurveyEntry};
+use nvmx_celldb::tentpole::{physicalize, summarize};
+use nvmx_celldb::{CellFlavor, TechnologyClass};
+use proptest::prelude::*;
+
+/// Strategy: a random non-empty subset of one technology's survey entries.
+fn subset_of(tech: TechnologyClass) -> impl Strategy<Value = Vec<&'static SurveyEntry>> {
+    let entries: Vec<&'static SurveyEntry> =
+        database().iter().filter(move |e| e.technology == tech).collect();
+    let n = entries.len();
+    prop::collection::vec(0..n, 1..=n).prop_map(move |idxs| {
+        let mut set: Vec<&SurveyEntry> = idxs.into_iter().map(|i| entries[i]).collect();
+        set.dedup_by_key(|e| e.key.clone());
+        set
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn optimistic_dominates_pessimistic_on_any_subset(entries in subset_of(TechnologyClass::Stt)) {
+        let opt = summarize(&entries, TechnologyClass::Stt, &CellFlavor::Optimistic)
+            .expect("non-empty subset");
+        let pess = summarize(&entries, TechnologyClass::Stt, &CellFlavor::Pessimistic)
+            .expect("non-empty subset");
+        prop_assert!(opt.area_f2 <= pess.area_f2);
+        prop_assert!(opt.read_latency_ns <= pess.read_latency_ns);
+        prop_assert!(opt.write_latency_ns <= pess.write_latency_ns);
+        prop_assert!(opt.write_energy_pj <= pess.write_energy_pj);
+        prop_assert!(opt.endurance_cycles >= pess.endurance_cycles);
+        prop_assert!(opt.retention_s >= pess.retention_s);
+    }
+
+    #[test]
+    fn tentpole_bounds_shrink_with_more_data(entries in subset_of(TechnologyClass::Rram)) {
+        // The full survey's bounds must always contain any subset's bounds.
+        let all: Vec<&SurveyEntry> =
+            database().iter().filter(|e| e.technology == TechnologyClass::Rram).collect();
+        let sub_opt = summarize(&entries, TechnologyClass::Rram, &CellFlavor::Optimistic)
+            .expect("non-empty");
+        let full_opt = summarize(&all, TechnologyClass::Rram, &CellFlavor::Optimistic)
+            .expect("non-empty");
+        let sub_pess = summarize(&entries, TechnologyClass::Rram, &CellFlavor::Pessimistic)
+            .expect("non-empty");
+        let full_pess = summarize(&all, TechnologyClass::Rram, &CellFlavor::Pessimistic)
+            .expect("non-empty");
+        // Where the subset reported a metric, the full-survey optimistic
+        // bound is at least as good and the pessimistic at least as bad.
+        prop_assert!(full_opt.write_latency_ns <= sub_opt.write_latency_ns);
+        prop_assert!(full_pess.write_latency_ns >= sub_pess.write_latency_ns);
+        prop_assert!(full_opt.endurance_cycles >= sub_opt.endurance_cycles);
+    }
+
+    #[test]
+    fn physicalize_is_internally_consistent(entries in subset_of(TechnologyClass::Pcm)) {
+        let summary = summarize(&entries, TechnologyClass::Pcm, &CellFlavor::Optimistic)
+            .expect("non-empty");
+        let cell = physicalize(&summary, CellFlavor::Optimistic);
+        // Geometry and electricals stay physical.
+        prop_assert!(cell.area.value() > 0.0);
+        prop_assert!(cell.write.pulse.value() > 0.0);
+        prop_assert!(cell.write.voltage.value() > 0.0);
+        prop_assert!(cell.read.cell_current.value() > 0.0);
+        prop_assert!(cell.write.current.value() <= 5.0e-4, "current clamp respected");
+        // The solved write energy reproduces the surveyed value when the
+        // current didn't clamp.
+        let modeled = cell.write_energy_per_cell().value() * 1.0e12;
+        if cell.write.current.value() < 5.0e-4 {
+            prop_assert!((modeled - summary.write_energy_pj).abs() / summary.write_energy_pj < 0.2,
+                "modeled {modeled} pJ vs surveyed {} pJ", summary.write_energy_pj);
+        }
+    }
+
+    #[test]
+    fn density_helper_matches_area(f2 in 1.0..200.0f64, node_nm in 10.0..130.0f64) {
+        let cell = nvmx_celldb::CellDefinition::builder(TechnologyClass::Rram, "p")
+            .area_f2(f2)
+            .build();
+        let node = nvmx_units::Meters::from_nano(node_nm);
+        let d = cell.raw_density_mbit_per_mm2(node, nvmx_units::BitsPerCell::Slc);
+        let cell_mm2 = f2 * (node_nm * 1.0e-9).powi(2) * 1.0e6;
+        let expected = 1.0 / cell_mm2 / (1024.0 * 1024.0);
+        prop_assert!((d - expected).abs() / expected < 1e-9);
+    }
+}

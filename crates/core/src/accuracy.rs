@@ -1,0 +1,150 @@
+//! Application accuracy under faulty storage — the bridge between the fault
+//! models and the DNN substrate (paper Sec. II-B2, Fig. 13).
+//!
+//! A trained int8 classifier's weight image is stored in a given cell
+//! technology at a given programming depth, corrupted by the corresponding
+//! fault model, and re-evaluated. The trained model is built once per
+//! process and shared across studies.
+
+use nvmx_celldb::CellDefinition;
+use nvmx_fault::FaultModel;
+use nvmx_units::BitsPerCell;
+use nvmx_workloads::dataset::Dataset;
+use nvmx_workloads::nn::{trained_classifier, QuantizedMlp};
+use serde::{Deserialize, Serialize};
+use std::sync::OnceLock;
+
+static CLASSIFIER: OnceLock<(QuantizedMlp, Dataset)> = OnceLock::new();
+
+/// Training seed for the shared fault-study classifier.
+const DNN_SEED: u64 = 2022;
+
+fn classifier() -> &'static (QuantizedMlp, Dataset) {
+    CLASSIFIER.get_or_init(|| trained_classifier(DNN_SEED))
+}
+
+/// Accuracy measurement for one `(cell, programming depth)` pair.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyReport {
+    /// Fault-free accuracy of the classifier.
+    pub baseline: f64,
+    /// Mean accuracy across fault trials.
+    pub mean: f64,
+    /// Worst trial accuracy.
+    pub worst: f64,
+    /// Bit error rate applied.
+    pub bit_error_rate: f64,
+    /// Number of injection trials.
+    pub trials: u32,
+}
+
+impl AccuracyReport {
+    /// Accuracy drop (baseline − mean).
+    pub fn degradation(&self) -> f64 {
+        self.baseline - self.mean
+    }
+
+    /// `true` when mean accuracy stays within `tolerance` of baseline —
+    /// the paper's "maintains application accuracy" gate.
+    pub fn is_acceptable(&self, tolerance: f64) -> bool {
+        self.degradation() <= tolerance
+    }
+}
+
+/// Measures classifier accuracy with weights stored in `cell` at
+/// `bits_per_cell`, averaged over `trials` seeded injections.
+pub fn accuracy_under_storage(
+    cell: &CellDefinition,
+    bits_per_cell: BitsPerCell,
+    trials: u32,
+) -> AccuracyReport {
+    let model = FaultModel::for_cell(cell, bits_per_cell);
+    accuracy_under_model(&model, trials)
+}
+
+/// Measures classifier accuracy under an explicit fault model.
+pub fn accuracy_under_model(model: &FaultModel, trials: u32) -> AccuracyReport {
+    let (clean, test) = classifier();
+    let baseline = clean.accuracy(test);
+    let pristine = clean.weight_bytes();
+
+    let mut sum = 0.0;
+    let mut worst = 1.0f64;
+    let trials = trials.max(1);
+    for trial in 0..trials {
+        let mut corrupted = pristine.clone();
+        model.inject_seeded(&mut corrupted, 0x5EED_0000 + u64::from(trial));
+        let mut faulty = clean.clone();
+        faulty.load_weight_bytes(&corrupted);
+        let acc = faulty.accuracy(test);
+        sum += acc;
+        worst = worst.min(acc);
+    }
+
+    AccuracyReport {
+        baseline,
+        mean: sum / f64::from(trials),
+        worst,
+        bit_error_rate: model.bit_error_rate(),
+        trials,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmx_celldb::{tentpole, CellFlavor, TechnologyClass};
+
+    #[test]
+    fn slc_rram_maintains_accuracy() {
+        let cell =
+            tentpole::tentpole_cell(TechnologyClass::Rram, CellFlavor::Optimistic).unwrap();
+        let report = accuracy_under_storage(&cell, BitsPerCell::Slc, 3);
+        assert!(report.is_acceptable(0.02), "SLC RRAM degraded by {}", report.degradation());
+    }
+
+    #[test]
+    fn mlc_rram_is_tolerable_mlc_small_fefet_is_not() {
+        // Paper Fig. 13: MLC RRAM keeps acceptable accuracy; small-cell MLC
+        // FeFET does not.
+        let rram =
+            tentpole::tentpole_cell(TechnologyClass::Rram, CellFlavor::Optimistic).unwrap();
+        let rram_report = accuracy_under_storage(&rram, BitsPerCell::Mlc2, 3);
+        assert!(
+            rram_report.is_acceptable(0.05),
+            "MLC RRAM degraded by {} at BER {}",
+            rram_report.degradation(),
+            rram_report.bit_error_rate
+        );
+
+        let fefet =
+            tentpole::tentpole_cell(TechnologyClass::FeFet, CellFlavor::Optimistic).unwrap();
+        let fefet_report = accuracy_under_storage(&fefet, BitsPerCell::Mlc2, 3);
+        assert!(
+            !fefet_report.is_acceptable(0.05),
+            "small-cell MLC FeFET should fail: degradation {} at BER {}",
+            fefet_report.degradation(),
+            fefet_report.bit_error_rate
+        );
+    }
+
+    #[test]
+    fn large_fefet_mlc_is_acceptable() {
+        let fefet =
+            tentpole::tentpole_cell(TechnologyClass::FeFet, CellFlavor::Pessimistic).unwrap();
+        let report = accuracy_under_storage(&fefet, BitsPerCell::Mlc2, 3);
+        assert!(
+            report.is_acceptable(0.05),
+            "large-cell MLC FeFET degraded by {}",
+            report.degradation()
+        );
+    }
+
+    #[test]
+    fn extreme_ber_collapses_accuracy() {
+        let model = FaultModel::from_ber(0.2, BitsPerCell::Slc);
+        let report = accuracy_under_model(&model, 2);
+        assert!(report.mean < report.baseline - 0.3);
+        assert!(report.worst <= report.mean);
+    }
+}

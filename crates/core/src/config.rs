@@ -1,0 +1,413 @@
+//! The cross-stack configuration interface (paper Sec. II-A).
+//!
+//! NVMExplorer's artifact drives everything from JSON configs
+//! (`python run.py config/<study>.json`); this module reproduces that
+//! interface. A [`StudyConfig`] names the cells to sweep (tentpoles,
+//! reference cells, or fully custom definitions), the array-level settings
+//! (capacities, word width, node, programming depths, optimization
+//! targets), the application traffic, and the constraints used to filter
+//! results.
+
+use nvmx_celldb::{custom, tentpole, CellDefinition, TechnologyClass};
+use nvmx_nvsim::OptimizationTarget;
+use nvmx_units::{BitsPerCell, Capacity, Meters};
+use nvmx_workloads::cache::spec2017_llc_traffic;
+use nvmx_workloads::dnn::{self, DnnUseCase, StoragePolicy};
+use nvmx_workloads::graph;
+use nvmx_workloads::traffic::{log_sweep, TrafficPattern};
+use serde::{Deserialize, Serialize};
+
+/// A full study specification, loadable from JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StudyConfig {
+    /// Study name (used in output file names).
+    pub name: String,
+    /// Which cells to sweep.
+    #[serde(default)]
+    pub cells: CellSelection,
+    /// Array-level settings.
+    #[serde(default)]
+    pub array: ArraySettings,
+    /// Application traffic.
+    pub traffic: TrafficSpec,
+    /// Result filters.
+    #[serde(default)]
+    pub constraints: Constraints,
+}
+
+impl StudyConfig {
+    /// Parses a study from its JSON representation.
+    ///
+    /// # Errors
+    ///
+    /// Returns the underlying serde error on malformed JSON.
+    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
+        serde_json::from_str(json)
+    }
+
+    /// Serializes the study to pretty JSON (the artifact's config format).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("StudyConfig is always serializable")
+    }
+}
+
+/// Which cell definitions a study sweeps.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct CellSelection {
+    /// Technology classes to include (`None` = all validated classes).
+    pub technologies: Option<Vec<TechnologyClass>>,
+    /// Include the optimistic/pessimistic tentpole pair per class.
+    pub tentpoles: bool,
+    /// Include the industry RRAM reference cell (paper ref. \[29]).
+    pub reference_rram: bool,
+    /// Include the 16 nm SRAM baseline.
+    pub sram_baseline: bool,
+    /// Include the back-gated FeFET co-design cell (paper Sec. V-A).
+    pub back_gated_fefet: bool,
+    /// Fully custom cell definitions.
+    pub custom: Vec<CellDefinition>,
+}
+
+impl Default for CellSelection {
+    fn default() -> Self {
+        Self {
+            technologies: None,
+            tentpoles: true,
+            reference_rram: true,
+            sram_baseline: true,
+            back_gated_fefet: false,
+            custom: Vec::new(),
+        }
+    }
+}
+
+impl CellSelection {
+    /// Resolves the selection into concrete cell definitions.
+    pub fn resolve(&self) -> Vec<CellDefinition> {
+        let wanted = |tech: TechnologyClass| match &self.technologies {
+            Some(list) => list.contains(&tech),
+            None => tech.is_validated() && tech != TechnologyClass::Sram,
+        };
+        let mut cells = Vec::new();
+        if self.tentpoles {
+            cells.extend(
+                tentpole::tentpoles(nvmx_celldb::survey::database())
+                    .into_iter()
+                    .filter(|c| wanted(c.technology)),
+            );
+        }
+        if self.reference_rram {
+            cells.push(custom::reference_rram());
+        }
+        if self.sram_baseline {
+            cells.push(custom::sram_16nm());
+        }
+        if self.back_gated_fefet {
+            cells.push(custom::back_gated_fefet());
+        }
+        cells.extend(self.custom.iter().cloned());
+        cells
+    }
+}
+
+/// Array-level sweep settings.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct ArraySettings {
+    /// Capacities in MiB.
+    pub capacities_mib: Vec<u64>,
+    /// Access width in bits.
+    pub word_bits: u64,
+    /// Process node in nm for eNVM cells (SRAM keeps its native node).
+    pub node_nm: f64,
+    /// Programming depths to sweep.
+    pub bits_per_cell: Vec<BitsPerCell>,
+    /// Optimization targets to sweep.
+    pub targets: Vec<OptimizationTarget>,
+}
+
+impl Default for ArraySettings {
+    fn default() -> Self {
+        Self {
+            capacities_mib: vec![2],
+            word_bits: 128,
+            node_nm: 22.0,
+            bits_per_cell: vec![BitsPerCell::Slc],
+            targets: vec![OptimizationTarget::ReadEdp],
+        }
+    }
+}
+
+impl ArraySettings {
+    /// Node for a specific cell: eNVMs retarget to the study node, the SRAM
+    /// baseline keeps its native (16 nm) node, matching the paper's setup.
+    pub fn node_for(&self, cell: &CellDefinition) -> Meters {
+        if cell.technology == TechnologyClass::Sram {
+            cell.default_node
+        } else {
+            Meters::from_nano(self.node_nm)
+        }
+    }
+
+    /// The capacities as typed values.
+    pub fn capacities(&self) -> Vec<Capacity> {
+        self.capacities_mib.iter().map(|&mib| Capacity::from_mebibytes(mib)).collect()
+    }
+}
+
+/// Application traffic specification.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(tag = "kind", rename_all = "snake_case")]
+pub enum TrafficSpec {
+    /// Explicit traffic patterns.
+    Explicit {
+        /// The patterns to apply.
+        patterns: Vec<TrafficPattern>,
+    },
+    /// A log-spaced generic sweep (paper Sec. IV-B1).
+    GenericSweep {
+        /// Minimum read rate, bytes/s.
+        read_min: f64,
+        /// Maximum read rate, bytes/s.
+        read_max: f64,
+        /// Read-axis steps.
+        read_steps: usize,
+        /// Minimum write rate, bytes/s.
+        write_min: f64,
+        /// Maximum write rate, bytes/s.
+        write_max: f64,
+        /// Write-axis steps.
+        write_steps: usize,
+        /// Access granularity, bytes.
+        access_bytes: u64,
+    },
+    /// A DNN accelerator use case at a fixed frame rate (paper Sec. IV-A1).
+    DnnContinuous {
+        /// `"resnet26"`, `"resnet18"`, or `"albert"`.
+        model: String,
+        /// Concurrent tasks (1 or 3).
+        tasks: u64,
+        /// Store activations too?
+        store_activations: bool,
+        /// Frames per second.
+        fps: f64,
+    },
+    /// The SPEC CPU2017-class LLC suite (paper Sec. IV-C).
+    SpecLlc {
+        /// Simulated lookups per benchmark.
+        lookups: u64,
+        /// Simulation seed.
+        seed: u64,
+    },
+    /// BFS traffic on a synthetic social graph (paper Sec. IV-B2).
+    GraphBfs {
+        /// `"facebook"` or `"wikipedia"`.
+        graph: String,
+        /// Accelerator edge throughput, edges/s.
+        edges_per_sec: f64,
+        /// Generator seed.
+        seed: u64,
+    },
+}
+
+/// Error resolving a traffic or model name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct UnknownNameError {
+    /// What kind of name failed to resolve.
+    pub kind: &'static str,
+    /// The offending name.
+    pub name: String,
+}
+
+impl std::fmt::Display for UnknownNameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "unknown {}: `{}`", self.kind, self.name)
+    }
+}
+
+impl std::error::Error for UnknownNameError {}
+
+/// Looks up a paper network by name.
+pub fn model_by_name(name: &str) -> Result<dnn::DnnModel, UnknownNameError> {
+    match name.to_ascii_lowercase().as_str() {
+        "resnet26" => Ok(dnn::resnet26()),
+        "resnet18" => Ok(dnn::resnet18()),
+        "albert" => Ok(dnn::albert()),
+        "albert-embeddings" => Ok(dnn::albert_embeddings_only()),
+        other => Err(UnknownNameError { kind: "DNN model", name: other.to_owned() }),
+    }
+}
+
+impl TrafficSpec {
+    /// Resolves the specification into concrete traffic patterns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`UnknownNameError`] for unrecognized model/graph names.
+    pub fn resolve(&self) -> Result<Vec<TrafficPattern>, UnknownNameError> {
+        match self {
+            Self::Explicit { patterns } => Ok(patterns.clone()),
+            Self::GenericSweep {
+                read_min,
+                read_max,
+                read_steps,
+                write_min,
+                write_max,
+                write_steps,
+                access_bytes,
+            } => Ok(log_sweep(
+                *read_min,
+                *read_max,
+                *read_steps,
+                *write_min,
+                *write_max,
+                *write_steps,
+                *access_bytes,
+            )),
+            Self::DnnContinuous { model, tasks, store_activations, fps } => {
+                let model = model_by_name(model)?;
+                let storage = if *store_activations {
+                    StoragePolicy::WeightsAndActivations
+                } else {
+                    StoragePolicy::WeightsOnly
+                };
+                let use_case = if *tasks > 1 {
+                    DnnUseCase::multi(model, storage)
+                } else {
+                    DnnUseCase::single(model, storage)
+                };
+                Ok(vec![use_case.continuous_traffic(*fps)])
+            }
+            Self::SpecLlc { lookups, seed } => Ok(spec2017_llc_traffic(*lookups, *seed)
+                .into_iter()
+                .map(|t| t.traffic)
+                .collect()),
+            Self::GraphBfs { graph: graph_name, edges_per_sec, seed } => {
+                let g = match graph_name.to_ascii_lowercase().as_str() {
+                    "facebook" => graph::facebook_like(*seed),
+                    "wikipedia" => graph::wikipedia_like(*seed),
+                    other => {
+                        return Err(UnknownNameError {
+                            kind: "graph",
+                            name: other.to_owned(),
+                        })
+                    }
+                };
+                let (_, counter) = g.bfs(0);
+                Ok(vec![graph::accelerator_traffic(&g, "BFS", counter, *edges_per_sec)])
+            }
+        }
+    }
+}
+
+/// Result filters (paper Sec. II-C: "filter results in terms of important
+/// constraints").
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[serde(default)]
+pub struct Constraints {
+    /// Maximum total memory power, watts.
+    pub max_power_w: Option<f64>,
+    /// Maximum array area, mm².
+    pub max_area_mm2: Option<f64>,
+    /// Minimum projected lifetime, years.
+    pub min_lifetime_years: Option<f64>,
+    /// Maximum read latency, ns.
+    pub max_read_latency_ns: Option<f64>,
+    /// Minimum application accuracy under faults (fraction), enforced by
+    /// fault-injection studies.
+    pub min_accuracy: Option<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_selection_includes_tentpoles_reference_and_sram() {
+        let cells = CellSelection::default().resolve();
+        // 6 validated NVM classes × 2 flavors + reference RRAM + SRAM.
+        assert_eq!(cells.len(), 14);
+        assert!(cells.iter().any(|c| c.technology == TechnologyClass::Sram));
+        assert!(!cells.iter().any(|c| c.technology == TechnologyClass::Sot));
+    }
+
+    #[test]
+    fn selection_can_narrow_technologies() {
+        let selection = CellSelection {
+            technologies: Some(vec![TechnologyClass::Stt]),
+            reference_rram: false,
+            sram_baseline: false,
+            ..CellSelection::default()
+        };
+        let cells = selection.resolve();
+        assert_eq!(cells.len(), 2);
+        assert!(cells.iter().all(|c| c.technology == TechnologyClass::Stt));
+    }
+
+    #[test]
+    fn json_roundtrip() {
+        let config = StudyConfig {
+            name: "main_dnn_study".into(),
+            cells: CellSelection::default(),
+            array: ArraySettings { capacities_mib: vec![2], ..ArraySettings::default() },
+            traffic: TrafficSpec::DnnContinuous {
+                model: "resnet26".into(),
+                tasks: 1,
+                store_activations: false,
+                fps: 60.0,
+            },
+            constraints: Constraints { max_power_w: Some(0.1), ..Constraints::default() },
+        };
+        let json = config.to_json();
+        let parsed = StudyConfig::from_json(&json).unwrap();
+        assert_eq!(parsed, config);
+    }
+
+    #[test]
+    fn sram_keeps_native_node() {
+        let settings = ArraySettings::default();
+        let sram = custom::sram_16nm();
+        let stt =
+            tentpole::tentpole_cell(TechnologyClass::Stt, nvmx_celldb::CellFlavor::Optimistic)
+                .unwrap();
+        assert!((settings.node_for(&sram).value() - 16.0e-9).abs() < 1e-15);
+        assert!((settings.node_for(&stt).value() - 22.0e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn traffic_specs_resolve() {
+        let dnn = TrafficSpec::DnnContinuous {
+            model: "resnet26".into(),
+            tasks: 3,
+            store_activations: true,
+            fps: 60.0,
+        };
+        let patterns = dnn.resolve().unwrap();
+        assert_eq!(patterns.len(), 1);
+        assert!(patterns[0].write_bytes_per_sec > 0.0);
+
+        let sweep = TrafficSpec::GenericSweep {
+            read_min: 1.0e9,
+            read_max: 10.0e9,
+            read_steps: 3,
+            write_min: 1.0e6,
+            write_max: 100.0e6,
+            write_steps: 3,
+            access_bytes: 8,
+        };
+        assert_eq!(sweep.resolve().unwrap().len(), 9);
+    }
+
+    #[test]
+    fn unknown_model_is_an_error() {
+        let bad = TrafficSpec::DnnContinuous {
+            model: "vgg".into(),
+            tasks: 1,
+            store_activations: false,
+            fps: 60.0,
+        };
+        let err = bad.resolve().unwrap_err();
+        assert!(err.to_string().contains("vgg"));
+    }
+}

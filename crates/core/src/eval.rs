@@ -1,0 +1,212 @@
+//! The analytical application-level evaluation engine (paper Sec. II-B).
+//!
+//! Performance uses the paper's *long-pole, bandwidth-driven* model: instead
+//! of cycle-accurate simulation, each array is checked for whether it can
+//! service the workload's sustained read/write traffic (utilization ≤ 1),
+//! and aggregated access latency identifies solutions that would slow the
+//! application down. Power combines per-access dynamic energy with standby
+//! leakage; memory lifetime extrapolates cell endurance against the write
+//! rate under ideal wear-leveling.
+
+use nvmx_nvsim::ArrayCharacterization;
+use nvmx_units::{Seconds, Watts};
+use nvmx_workloads::TrafficPattern;
+use serde::{Deserialize, Serialize};
+
+/// Evaluation of one `(array, traffic)` pairing — the atom of every study.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Evaluation {
+    /// The array evaluated.
+    pub array: ArrayCharacterization,
+    /// The traffic applied.
+    pub traffic: TrafficPattern,
+    /// Array-level read accesses per second (traffic accesses split into
+    /// array words).
+    pub array_reads_per_sec: f64,
+    /// Array-level write accesses per second.
+    pub array_writes_per_sec: f64,
+    /// Dynamic read power.
+    pub read_power: Watts,
+    /// Dynamic write power.
+    pub write_power: Watts,
+    /// Standby leakage power.
+    pub leakage_power: Watts,
+    /// Fraction of array service capacity the traffic consumes
+    /// (> 1 ⇒ the array cannot sustain the workload).
+    pub utilization: f64,
+    /// Aggregated access latency per second of execution
+    /// (`reads/s · t_read + writes/s · t_write`), the paper's total memory
+    /// latency metric.
+    pub aggregate_latency: Seconds,
+    /// Projected memory lifetime under this write rate (`None` when
+    /// endurance is unlimited or there are no writes).
+    pub lifetime: Option<Seconds>,
+}
+
+impl Evaluation {
+    /// Total operating power (dynamic + leakage).
+    pub fn total_power(&self) -> Watts {
+        self.read_power + self.write_power + self.leakage_power
+    }
+
+    /// `true` when the array can sustain the workload's traffic.
+    pub fn is_feasible(&self) -> bool {
+        self.utilization <= 1.0
+    }
+
+    /// Lifetime in years (`f64::INFINITY` when unconstrained).
+    pub fn lifetime_years(&self) -> f64 {
+        self.lifetime.map_or(f64::INFINITY, Seconds::as_years)
+    }
+}
+
+/// Array accesses needed to serve one traffic access of `access_bytes`.
+fn accesses_per_line(array: &ArrayCharacterization, access_bytes: u64) -> f64 {
+    (access_bytes * 8).div_ceil(array.word_bits) as f64
+}
+
+/// Evaluates `array` under `traffic` with the analytical model.
+pub fn evaluate(array: &ArrayCharacterization, traffic: &TrafficPattern) -> Evaluation {
+    let per_line = accesses_per_line(array, traffic.access_bytes);
+    let reads = traffic.read_accesses_per_sec() * per_line;
+    let writes = traffic.write_accesses_per_sec() * per_line;
+
+    let read_power = array.read_energy.at_rate(reads);
+    let write_power = array.write_energy.at_rate(writes);
+
+    // Long-pole model: every traffic access occupies the array for a full
+    // read/write cycle (small accesses against wide slow words amplify),
+    // with limited bank-interleave credit.
+    let interleave = (array.organization.groups() as f64).min(4.0);
+    let utilization =
+        (reads * array.read_cycle.value() + writes * array.write_cycle.value()) / interleave;
+
+    let aggregate_latency =
+        array.read_latency * reads + array.write_latency * writes;
+
+    let lifetime = memory_lifetime(array, traffic.write_bytes_per_sec);
+
+    Evaluation {
+        array: array.clone(),
+        traffic: traffic.clone(),
+        array_reads_per_sec: reads,
+        array_writes_per_sec: writes,
+        read_power,
+        write_power,
+        leakage_power: array.leakage,
+        utilization,
+        aggregate_latency,
+        lifetime,
+    }
+}
+
+/// Projected lifetime of `array` at a sustained write byte rate, assuming
+/// ideal wear-leveling across the whole capacity.
+pub fn memory_lifetime(
+    array: &ArrayCharacterization,
+    write_bytes_per_sec: f64,
+) -> Option<Seconds> {
+    if !array.endurance_cycles.is_finite() || write_bytes_per_sec <= 0.0 {
+        return None;
+    }
+    let capacity_bytes = array.capacity.bytes() as f64;
+    let seconds = array.endurance_cycles * capacity_bytes / write_bytes_per_sec;
+    Some(Seconds::new(seconds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmx_celldb::{custom, tentpole, CellFlavor, TechnologyClass};
+    use nvmx_nvsim::{characterize, ArrayConfig};
+    use nvmx_units::{Capacity, Meters};
+
+    fn array(tech: TechnologyClass, flavor: CellFlavor) -> ArrayCharacterization {
+        let cell = tentpole::tentpole_cell(tech, flavor).unwrap();
+        characterize(&cell, &ArrayConfig::new(Capacity::from_mebibytes(2))).unwrap()
+    }
+
+    fn sram_array() -> ArrayCharacterization {
+        let cell = custom::sram_16nm();
+        let config =
+            ArrayConfig::new(Capacity::from_mebibytes(2)).with_node(Meters::from_nano(16.0));
+        characterize(&cell, &config).unwrap()
+    }
+
+    #[test]
+    fn leakage_dominates_sram_at_low_traffic() {
+        let sram = sram_array();
+        let light = TrafficPattern::new("light", 1.0e6, 1.0e5, 64);
+        let eval = evaluate(&sram, &light);
+        assert!(eval.leakage_power.value() > 10.0 * (eval.read_power + eval.write_power).value());
+    }
+
+    #[test]
+    fn envm_beats_sram_power_under_dnn_class_traffic() {
+        // Paper Fig. 6: PCM, RRAM, STT offer >4× lower power than SRAM.
+        let traffic = TrafficPattern::new("dnn", 1.0e9, 0.0, 32);
+        let sram_power = evaluate(&sram_array(), &traffic).total_power().value();
+        for tech in [TechnologyClass::Pcm, TechnologyClass::Rram, TechnologyClass::Stt] {
+            let power =
+                evaluate(&array(tech, CellFlavor::Optimistic), &traffic).total_power().value();
+            assert!(
+                sram_power / power > 4.0,
+                "{tech}: SRAM {sram_power} vs {power}"
+            );
+        }
+    }
+
+    #[test]
+    fn infeasible_when_writes_exceed_bandwidth() {
+        let pcm = array(TechnologyClass::Pcm, CellFlavor::Pessimistic);
+        // Pessimistic PCM writes take 30 µs; 100 MB/s of writes is hopeless.
+        let heavy = TrafficPattern::new("write-heavy", 1.0e6, 100.0e6, 64);
+        let eval = evaluate(&pcm, &heavy);
+        assert!(!eval.is_feasible(), "utilization {}", eval.utilization);
+    }
+
+    #[test]
+    fn lifetime_tracks_endurance_and_write_rate() {
+        let rram = array(TechnologyClass::Rram, CellFlavor::Optimistic);
+        let t1 = TrafficPattern::new("w1", 1.0e9, 1.0e6, 64);
+        let t100 = TrafficPattern::new("w100", 1.0e9, 100.0e6, 64);
+        let l1 = evaluate(&rram, &t1).lifetime_years();
+        let l100 = evaluate(&rram, &t100).lifetime_years();
+        assert!(l1 / l100 > 99.0 && l1 / l100 < 101.0, "{l1} vs {l100}");
+    }
+
+    #[test]
+    fn stt_outlives_rram() {
+        // Paper Fig. 8: RRAM has the worst endurance and lowest lifetimes;
+        // STT the best.
+        let traffic = TrafficPattern::new("w", 1.0e9, 50.0e6, 8);
+        let stt = evaluate(&array(TechnologyClass::Stt, CellFlavor::Optimistic), &traffic);
+        let rram = evaluate(&array(TechnologyClass::Rram, CellFlavor::Optimistic), &traffic);
+        assert!(stt.lifetime_years() > 1.0e3 * rram.lifetime_years());
+    }
+
+    #[test]
+    fn sram_lifetime_is_unbounded() {
+        let traffic = TrafficPattern::new("w", 1.0e9, 100.0e6, 64);
+        let eval = evaluate(&sram_array(), &traffic);
+        assert!(eval.lifetime.is_none());
+        assert_eq!(eval.lifetime_years(), f64::INFINITY);
+    }
+
+    #[test]
+    fn zero_write_traffic_means_no_lifetime_bound() {
+        let rram = array(TechnologyClass::Rram, CellFlavor::Optimistic);
+        let readonly = TrafficPattern::new("ro", 1.0e9, 0.0, 64);
+        assert!(evaluate(&rram, &readonly).lifetime.is_none());
+    }
+
+    #[test]
+    fn wide_lines_need_multiple_array_accesses() {
+        let stt = array(TechnologyClass::Stt, CellFlavor::Optimistic);
+        // 64 B line = 512 bits over a 128-bit word ⇒ 4 array accesses.
+        let t = TrafficPattern::new("lines", 64.0e6, 0.0, 64);
+        let eval = evaluate(&stt, &t);
+        let expected = 1.0e6 * (512u64.div_ceil(stt.word_bits)) as f64;
+        assert!((eval.array_reads_per_sec - expected).abs() < 1.0);
+    }
+}

@@ -1,0 +1,87 @@
+//! NVMExplorer-RS — a cross-stack design-space-exploration framework for
+//! embedded non-volatile memories.
+//!
+//! This crate is the Rust reproduction of *NVMExplorer: A Framework for
+//! Cross-Stack Comparisons of Embedded Non-Volatile Memories* (HPCA 2022).
+//! It ties together the cell survey + tentpole methodology
+//! ([`nvmx_celldb`]), the NVSim-class array simulator ([`nvmx_nvsim`]), the
+//! fault-injection engine ([`nvmx_fault`]), and the workload substrates
+//! ([`nvmx_workloads`]) behind one configuration-driven flow:
+//!
+//! 1. [`config::StudyConfig`] — JSON-loadable cross-stack study spec,
+//! 2. [`sweep::run_study`] — expand + characterize + evaluate,
+//! 3. [`explore::ResultSet`] — filter/rank the results like the paper's
+//!    interactive dashboard,
+//! 4. [`intermittent`], [`write_buffer`], [`accuracy`] — the specialized
+//!    models behind Figs. 6/7, 14, and 13.
+//!
+//! # Examples
+//!
+//! End-to-end: compare eNVMs as the 2 MB weight buffer of a DNN
+//! accelerator at 60 FPS and pick the lowest-power feasible option.
+//!
+//! ```
+//! use nvmexplorer_core::config::{StudyConfig, TrafficSpec};
+//! use nvmexplorer_core::explore::{Objective, ResultSet};
+//! use nvmexplorer_core::sweep::run_study;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut study = StudyConfig {
+//!     name: "quickstart".into(),
+//!     cells: Default::default(),
+//!     array: Default::default(),
+//!     traffic: TrafficSpec::DnnContinuous {
+//!         model: "resnet26".into(),
+//!         tasks: 1,
+//!         store_activations: false,
+//!         fps: 60.0,
+//!     },
+//!     constraints: Default::default(),
+//! };
+//! study.cells.technologies = Some(vec![nvmx_celldb::TechnologyClass::Stt]);
+//! let result = run_study(&study)?;
+//! let set = ResultSet::new(result.evaluations).feasible();
+//! let best = set.best(Objective::TotalPower).expect("some design survives");
+//! assert!(best.is_feasible());
+//! # Ok(())
+//! # }
+//! ```
+
+pub mod accuracy;
+pub mod config;
+pub mod eval;
+pub mod explore;
+pub mod intermittent;
+pub mod sweep;
+pub mod write_buffer;
+
+pub use config::StudyConfig;
+pub use eval::{evaluate, Evaluation};
+pub use explore::{Objective, ResultSet};
+pub use sweep::{run_study, StudyResult};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use config::TrafficSpec;
+
+    #[test]
+    fn crate_level_flow_works() {
+        let mut study = StudyConfig {
+            name: "smoke".into(),
+            cells: Default::default(),
+            array: Default::default(),
+            traffic: TrafficSpec::Explicit {
+                patterns: vec![nvmx_workloads::TrafficPattern::new("t", 1.0e9, 1.0e6, 64)],
+            },
+            constraints: Default::default(),
+        };
+        study.cells.technologies = Some(vec![nvmx_celldb::TechnologyClass::Pcm]);
+        study.cells.sram_baseline = false;
+        study.cells.reference_rram = false;
+        let result = run_study(&study).unwrap();
+        assert_eq!(result.arrays.len(), 2);
+        let set = ResultSet::new(result.evaluations);
+        assert!(set.best(Objective::TotalPower).is_some());
+    }
+}

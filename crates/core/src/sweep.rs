@@ -1,0 +1,237 @@
+//! Sweep execution: expands a [`StudyConfig`] into characterization jobs,
+//! runs them across worker threads, and evaluates every array against every
+//! traffic pattern.
+
+use crate::config::{StudyConfig, UnknownNameError};
+use crate::eval::{evaluate, Evaluation};
+use nvmx_celldb::CellDefinition;
+use nvmx_nvsim::{characterize, ArrayCharacterization, ArrayConfig, CharacterizationError};
+use parking_lot::Mutex;
+
+/// Outcome of a study run.
+#[derive(Debug, Clone)]
+pub struct StudyResult {
+    /// Study name (from the config).
+    pub name: String,
+    /// Every successfully characterized array design point.
+    pub arrays: Vec<ArrayCharacterization>,
+    /// Every `(array, traffic)` evaluation.
+    pub evaluations: Vec<Evaluation>,
+    /// Design points that could not be characterized, with reasons
+    /// (e.g. SLC-only cells requested at MLC depth).
+    pub skipped: Vec<(String, String)>,
+}
+
+/// Errors from running a study.
+#[derive(Debug)]
+pub enum StudyError {
+    /// A model/graph name in the traffic spec did not resolve.
+    UnknownName(UnknownNameError),
+    /// The cell selection resolved to nothing.
+    NoCells,
+    /// The traffic spec resolved to nothing.
+    NoTraffic,
+}
+
+impl std::fmt::Display for StudyError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::UnknownName(e) => write!(f, "{e}"),
+            Self::NoCells => write!(f, "cell selection resolved to no cells"),
+            Self::NoTraffic => write!(f, "traffic specification resolved to no patterns"),
+        }
+    }
+}
+
+impl std::error::Error for StudyError {}
+
+impl From<UnknownNameError> for StudyError {
+    fn from(e: UnknownNameError) -> Self {
+        Self::UnknownName(e)
+    }
+}
+
+/// One characterization job in the expanded sweep.
+#[derive(Debug, Clone)]
+struct Job {
+    cell: CellDefinition,
+    config: ArrayConfig,
+}
+
+fn expand_jobs(study: &StudyConfig, cells: &[CellDefinition]) -> Vec<Job> {
+    let mut jobs = Vec::new();
+    for cell in cells {
+        for capacity in study.array.capacities() {
+            for &bits_per_cell in &study.array.bits_per_cell {
+                for &target in &study.array.targets {
+                    jobs.push(Job {
+                        cell: cell.clone(),
+                        config: ArrayConfig {
+                            capacity,
+                            word_bits: study.array.word_bits,
+                            node: study.array.node_for(cell),
+                            bits_per_cell,
+                            target,
+                        },
+                    });
+                }
+            }
+        }
+    }
+    jobs
+}
+
+/// Runs a full study: characterize every design point, evaluate against
+/// every traffic pattern.
+///
+/// Characterization jobs fan out across `threads` workers (the job list is
+/// shared behind a [`parking_lot::Mutex`]); evaluation is cheap and runs
+/// inline afterwards.
+///
+/// # Errors
+///
+/// Returns [`StudyError`] when the config resolves to no cells, no traffic,
+/// or references unknown model names.
+pub fn run_study_with_threads(
+    study: &StudyConfig,
+    threads: usize,
+) -> Result<StudyResult, StudyError> {
+    let cells = study.cells.resolve();
+    if cells.is_empty() {
+        return Err(StudyError::NoCells);
+    }
+    let traffic = study.traffic.resolve()?;
+    if traffic.is_empty() {
+        return Err(StudyError::NoTraffic);
+    }
+
+    let jobs = expand_jobs(study, &cells);
+    let queue = Mutex::new(jobs);
+    let done: Mutex<Vec<Result<ArrayCharacterization, (String, CharacterizationError)>>> =
+        Mutex::new(Vec::new());
+
+    let workers = threads.clamp(1, 32);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let job = { queue.lock().pop() };
+                let Some(job) = job else { break };
+                let result = characterize(&job.cell, &job.config)
+                    .map_err(|e| (job.cell.name.clone(), e));
+                done.lock().push(result);
+            });
+        }
+    })
+    .expect("sweep worker panicked");
+
+    let mut arrays = Vec::new();
+    let mut skipped = Vec::new();
+    for outcome in done.into_inner() {
+        match outcome {
+            Ok(array) => arrays.push(array),
+            Err((cell, error)) => skipped.push((cell, error.to_string())),
+        }
+    }
+    // Deterministic output order regardless of worker interleaving.
+    arrays.sort_by(|a, b| {
+        (a.cell_name.as_str(), a.capacity, a.bits_per_cell, a.target.label())
+            .cmp(&(b.cell_name.as_str(), b.capacity, b.bits_per_cell, b.target.label()))
+    });
+
+    let mut evaluations = Vec::with_capacity(arrays.len() * traffic.len());
+    for array in &arrays {
+        for pattern in &traffic {
+            evaluations.push(evaluate(array, pattern));
+        }
+    }
+
+    Ok(StudyResult { name: study.name.clone(), arrays, evaluations, skipped })
+}
+
+/// Runs a study with a worker per available CPU (capped at 16).
+///
+/// # Errors
+///
+/// See [`run_study_with_threads`].
+pub fn run_study(study: &StudyConfig) -> Result<StudyResult, StudyError> {
+    let threads = std::thread::available_parallelism().map_or(4, |n| n.get().min(16));
+    run_study_with_threads(study, threads)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ArraySettings, CellSelection, Constraints, TrafficSpec};
+    use nvmx_celldb::TechnologyClass;
+    use nvmx_nvsim::OptimizationTarget;
+    use nvmx_units::BitsPerCell;
+
+    fn small_study() -> StudyConfig {
+        StudyConfig {
+            name: "test".into(),
+            cells: CellSelection {
+                technologies: Some(vec![TechnologyClass::Stt, TechnologyClass::Rram]),
+                reference_rram: false,
+                sram_baseline: true,
+                ..CellSelection::default()
+            },
+            array: ArraySettings {
+                capacities_mib: vec![2],
+                targets: vec![OptimizationTarget::ReadEdp],
+                ..ArraySettings::default()
+            },
+            traffic: TrafficSpec::Explicit {
+                patterns: vec![nvmx_workloads::TrafficPattern::new("t", 1.0e9, 1.0e7, 64)],
+            },
+            constraints: Constraints::default(),
+        }
+    }
+
+    #[test]
+    fn study_produces_arrays_and_evaluations() {
+        let result = run_study_with_threads(&small_study(), 4).unwrap();
+        // 2 classes × 2 flavors + SRAM = 5 arrays, 1 traffic pattern each.
+        assert_eq!(result.arrays.len(), 5);
+        assert_eq!(result.evaluations.len(), 5);
+        assert!(result.skipped.is_empty());
+    }
+
+    #[test]
+    fn output_order_is_deterministic_across_thread_counts() {
+        let one = run_study_with_threads(&small_study(), 1).unwrap();
+        let many = run_study_with_threads(&small_study(), 8).unwrap();
+        let names = |r: &StudyResult| -> Vec<String> {
+            r.arrays.iter().map(|a| a.cell_name.clone()).collect()
+        };
+        assert_eq!(names(&one), names(&many));
+        assert_eq!(one.evaluations.len(), many.evaluations.len());
+    }
+
+    #[test]
+    fn unsupported_mlc_lands_in_skipped() {
+        let mut study = small_study();
+        study.array.bits_per_cell = vec![BitsPerCell::Mlc2];
+        let result = run_study_with_threads(&study, 2).unwrap();
+        // SRAM cannot do MLC; the NVMs can.
+        assert_eq!(result.skipped.len(), 1);
+        assert!(result.skipped[0].0.contains("SRAM"));
+        assert_eq!(result.arrays.len(), 4);
+    }
+
+    #[test]
+    fn empty_cell_selection_errors() {
+        let mut study = small_study();
+        study.cells = CellSelection {
+            technologies: Some(vec![]),
+            tentpoles: true,
+            reference_rram: false,
+            sram_baseline: false,
+            back_gated_fefet: false,
+            custom: vec![],
+        };
+        assert!(matches!(
+            run_study_with_threads(&study, 2),
+            Err(StudyError::NoCells)
+        ));
+    }
+}

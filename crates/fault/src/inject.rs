@@ -1,0 +1,160 @@
+//! Bit-level fault injection into stored application data.
+//!
+//! Injection is O(expected-faults), not O(bits): the number of flipped bits
+//! is drawn from the binomial fault count distribution (Poisson / normal
+//! approximations), then that many distinct bit positions are flipped. This
+//! keeps fault trials on multi-megabyte weight tensors cheap enough to run
+//! hundreds of trials per study.
+
+use crate::FaultModel;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of one injection pass.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InjectionReport {
+    /// Bits the target buffer holds.
+    pub bits_total: u64,
+    /// Bits actually flipped.
+    pub bits_flipped: u64,
+}
+
+impl InjectionReport {
+    /// Empirical fault rate of this pass.
+    pub fn observed_rate(&self) -> f64 {
+        if self.bits_total == 0 {
+            0.0
+        } else {
+            self.bits_flipped as f64 / self.bits_total as f64
+        }
+    }
+}
+
+/// Samples a Poisson(λ) count (Knuth for small λ, normal approximation
+/// above).
+fn sample_poisson(rng: &mut impl Rng, lambda: f64) -> u64 {
+    if lambda <= 0.0 {
+        return 0;
+    }
+    if lambda < 30.0 {
+        let limit = (-lambda).exp();
+        let mut product: f64 = rng.gen();
+        let mut count = 0u64;
+        while product > limit {
+            product *= rng.gen::<f64>();
+            count += 1;
+        }
+        count
+    } else {
+        // Box–Muller normal approximation N(λ, λ).
+        let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+        let u2: f64 = rng.gen();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        (lambda + z * lambda.sqrt()).round().max(0.0) as u64
+    }
+}
+
+/// Injects read faults into `data` according to `model`, flipping each
+/// stored bit with the model's bit error rate. Returns the report.
+///
+/// With Gray-coded level assignment a level mis-read flips exactly one
+/// logical bit, so MLC storage is faithfully represented by independent
+/// single-bit flips at the (higher) MLC bit error rate.
+pub fn inject_into_bytes(
+    data: &mut [u8],
+    model: &FaultModel,
+    rng: &mut impl Rng,
+) -> InjectionReport {
+    let bits_total = data.len() as u64 * 8;
+    let ber = model.bit_error_rate();
+    if bits_total == 0 || ber <= 0.0 {
+        return InjectionReport { bits_total, bits_flipped: 0 };
+    }
+
+    let lambda = bits_total as f64 * ber;
+    let target = sample_poisson(rng, lambda).min(bits_total);
+
+    // Flip distinct positions; re-draw on collision (collisions are rare at
+    // realistic error rates, so this terminates quickly).
+    let mut flipped = 0u64;
+    let mut guard = 0u64;
+    let max_attempts = target.saturating_mul(20).max(64);
+    let mut seen = std::collections::HashSet::with_capacity(target as usize);
+    while flipped < target && guard < max_attempts {
+        guard += 1;
+        let bit = rng.gen_range(0..bits_total);
+        if seen.insert(bit) {
+            data[(bit / 8) as usize] ^= 1 << (bit % 8);
+            flipped += 1;
+        }
+    }
+    InjectionReport { bits_total, bits_flipped: flipped }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmx_units::BitsPerCell;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn flip_count_tracks_ber() {
+        let model = FaultModel::from_ber(1.0e-2, BitsPerCell::Slc);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut data = vec![0u8; 1 << 20]; // 8 Mbit
+        let report = inject_into_bytes(&mut data, &model, &mut rng);
+        let expected = 8.0 * (1 << 20) as f64 * 1.0e-2;
+        let got = report.bits_flipped as f64;
+        assert!(
+            (got - expected).abs() / expected < 0.05,
+            "expected ≈{expected}, got {got}"
+        );
+        // Every reported flip is a real bit set in the buffer.
+        let ones: u64 = data.iter().map(|b| b.count_ones() as u64).sum();
+        assert_eq!(ones, report.bits_flipped);
+    }
+
+    #[test]
+    fn zero_ber_flips_nothing() {
+        let model = FaultModel::from_ber(0.0, BitsPerCell::Slc);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut data = vec![0x55u8; 1024];
+        let report = inject_into_bytes(&mut data, &model, &mut rng);
+        assert_eq!(report.bits_flipped, 0);
+        assert!(data.iter().all(|&b| b == 0x55));
+    }
+
+    #[test]
+    fn empty_buffer_is_fine() {
+        let model = FaultModel::from_ber(0.1, BitsPerCell::Slc);
+        let mut rng = StdRng::seed_from_u64(7);
+        let report = inject_into_bytes(&mut [], &model, &mut rng);
+        assert_eq!(report.bits_total, 0);
+        assert_eq!(report.observed_rate(), 0.0);
+    }
+
+    #[test]
+    fn poisson_small_lambda_mean() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let total: u64 = (0..n).map(|_| sample_poisson(&mut rng, 3.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 3.0).abs() < 0.1, "{mean}");
+    }
+
+    #[test]
+    fn poisson_large_lambda_mean() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let n = 5_000;
+        let total: u64 = (0..n).map(|_| sample_poisson(&mut rng, 500.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 500.0).abs() < 5.0, "{mean}");
+    }
+
+    #[test]
+    fn observed_rate_is_consistent() {
+        let report = InjectionReport { bits_total: 1000, bits_flipped: 10 };
+        assert!((report.observed_rate() - 0.01).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,161 @@
+//! Technology-aware fault models and application-level fault injection
+//! (paper Sec. II-B2 and V-C).
+//!
+//! eNVM cells store analog levels; device variation smears each programmed
+//! level into a distribution, and a read mis-classifies whenever the level
+//! crosses a sensing threshold. This crate models that as Gaussian level
+//! distributions ([`model::LevelModel`]), derives per-technology /
+//! per-programming-depth bit error rates ([`tech::FaultParams`]), and injects
+//! the resulting faults into stored application data ([`inject`]) so
+//! downstream accuracy can be measured on *real* workloads.
+//!
+//! The FeFET model reproduces the paper's key device effect: smaller FeFET
+//! cells are harder to program reliably (device-to-device variation, paper
+//! ref. \[120]), so multi-level FeFET storage is only acceptable at larger
+//! cell sizes (paper Fig. 13).
+//!
+//! # Examples
+//!
+//! ```
+//! use nvmx_celldb::{tentpole, CellFlavor, TechnologyClass};
+//! use nvmx_fault::FaultModel;
+//! use nvmx_units::BitsPerCell;
+//!
+//! let cell = tentpole::tentpole_cell(TechnologyClass::Rram, CellFlavor::Optimistic).unwrap();
+//! let slc = FaultModel::for_cell(&cell, BitsPerCell::Slc);
+//! let mlc = FaultModel::for_cell(&cell, BitsPerCell::Mlc2);
+//! assert!(mlc.bit_error_rate() > slc.bit_error_rate());
+//! ```
+
+pub mod inject;
+pub mod model;
+pub mod tech;
+
+pub use inject::{inject_into_bytes, InjectionReport};
+pub use model::{erfc, LevelModel};
+pub use tech::FaultParams;
+
+use nvmx_celldb::CellDefinition;
+use nvmx_units::BitsPerCell;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// A ready-to-use fault model for one `(cell, programming-depth)` pair.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FaultModel {
+    /// Cell name this model was derived for.
+    pub cell_name: String,
+    /// Programming depth modeled.
+    pub bits_per_cell: BitsPerCell,
+    /// The underlying level distribution model.
+    pub levels: LevelModel,
+}
+
+impl FaultModel {
+    /// Builds the fault model for `cell` programmed at `bits_per_cell`,
+    /// using the per-technology parameters of [`tech::FaultParams`].
+    pub fn for_cell(cell: &CellDefinition, bits_per_cell: BitsPerCell) -> Self {
+        let params = FaultParams::for_technology(cell.technology, cell.area.value());
+        Self {
+            cell_name: cell.name.clone(),
+            bits_per_cell,
+            levels: LevelModel::new(bits_per_cell.levels(), params.sigma),
+        }
+    }
+
+    /// Builds a model directly from a raw bit error rate (the paper also
+    /// accepts "an expected error rate" as user input).
+    pub fn from_ber(ber: f64, bits_per_cell: BitsPerCell) -> Self {
+        Self {
+            cell_name: format!("raw-ber-{ber:e}"),
+            bits_per_cell,
+            levels: LevelModel::from_bit_error_rate(bits_per_cell.levels(), ber),
+        }
+    }
+
+    /// Probability that a stored logical bit reads back flipped.
+    pub fn bit_error_rate(&self) -> f64 {
+        self.levels.bit_error_rate()
+    }
+
+    /// Injects faults into `data` with a deterministic seed, returning the
+    /// injection report. Convenience wrapper over [`inject_into_bytes`].
+    pub fn inject_seeded(&self, data: &mut [u8], seed: u64) -> InjectionReport {
+        let mut rng = StdRng::seed_from_u64(seed);
+        inject_into_bytes(data, self, &mut rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmx_celldb::{tentpole, CellFlavor, TechnologyClass};
+
+    #[test]
+    fn mlc_is_worse_than_slc_for_every_modeled_tech() {
+        for tech in [TechnologyClass::Rram, TechnologyClass::Ctt, TechnologyClass::FeFet] {
+            let cell = tentpole::tentpole_cell(tech, CellFlavor::Optimistic).unwrap();
+            let slc = FaultModel::for_cell(&cell, BitsPerCell::Slc).bit_error_rate();
+            let mlc = FaultModel::for_cell(&cell, BitsPerCell::Mlc2).bit_error_rate();
+            assert!(mlc > slc, "{tech}: mlc {mlc} vs slc {slc}");
+        }
+    }
+
+    #[test]
+    fn small_fefet_mlc_is_unreliable_large_is_fine() {
+        // Paper Fig. 13: MLC FeFET only acceptable at larger cell sizes.
+        let small = tentpole::tentpole_cell(TechnologyClass::FeFet, CellFlavor::Optimistic)
+            .unwrap(); // 4 F²
+        let large = tentpole::tentpole_cell(TechnologyClass::FeFet, CellFlavor::Pessimistic)
+            .unwrap(); // 103 F²
+        let small_ber = FaultModel::for_cell(&small, BitsPerCell::Mlc2).bit_error_rate();
+        let large_ber = FaultModel::for_cell(&large, BitsPerCell::Mlc2).bit_error_rate();
+        assert!(
+            small_ber > 1.0e-3,
+            "small-cell MLC FeFET must be fault-prone, got {small_ber}"
+        );
+        assert!(
+            large_ber < 1.0e-6,
+            "large-cell MLC FeFET must be reliable, got {large_ber}"
+        );
+    }
+
+    #[test]
+    fn mlc_rram_stays_moderate() {
+        // Paper Fig. 13: image classification tolerates 2-bit MLC RRAM.
+        let cell =
+            tentpole::tentpole_cell(TechnologyClass::Rram, CellFlavor::Optimistic).unwrap();
+        let ber = FaultModel::for_cell(&cell, BitsPerCell::Mlc2).bit_error_rate();
+        assert!(
+            (1.0e-8..5.0e-3).contains(&ber),
+            "MLC RRAM BER should be tolerable, got {ber}"
+        );
+    }
+
+    #[test]
+    fn sram_does_not_fault() {
+        let cell = nvmx_celldb::custom::sram_16nm();
+        let ber = FaultModel::for_cell(&cell, BitsPerCell::Slc).bit_error_rate();
+        assert_eq!(ber, 0.0);
+    }
+
+    #[test]
+    fn raw_ber_roundtrip() {
+        let model = FaultModel::from_ber(1.0e-3, BitsPerCell::Slc);
+        let ber = model.bit_error_rate();
+        assert!((ber - 1.0e-3).abs() / 1.0e-3 < 0.05, "{ber}");
+    }
+
+    #[test]
+    fn seeded_injection_is_deterministic() {
+        let model = FaultModel::from_ber(1.0e-2, BitsPerCell::Slc);
+        let mut a = vec![0xA5u8; 4096];
+        let mut b = vec![0xA5u8; 4096];
+        let ra = model.inject_seeded(&mut a, 42);
+        let rb = model.inject_seeded(&mut b, 42);
+        assert_eq!(a, b);
+        assert_eq!(ra.bits_flipped, rb.bits_flipped);
+        assert!(ra.bits_flipped > 0);
+    }
+}

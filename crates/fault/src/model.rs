@@ -1,0 +1,193 @@
+//! Gaussian level-distribution model: bit error rates from the overlap of
+//! programmed-level distributions with sensing thresholds.
+
+use serde::{Deserialize, Serialize};
+
+/// Complementary error function `erfc(x) = 1 - erf(x)`.
+///
+/// Abramowitz & Stegun approximation 7.1.26 reflected for negative inputs;
+/// absolute error below `1.5e-7`, which is far tighter than any device
+/// parameter feeding it.
+pub fn erfc(x: f64) -> f64 {
+    if x < 0.0 {
+        return 2.0 - erfc(-x);
+    }
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    poly * (-x * x).exp()
+}
+
+/// Probability that a `N(0, sigma)` deviation exceeds `margin`
+/// (single-sided tail).
+fn tail_probability(margin: f64, sigma: f64) -> f64 {
+    if sigma <= 0.0 {
+        return 0.0;
+    }
+    0.5 * erfc(margin / (sigma * std::f64::consts::SQRT_2))
+}
+
+/// Analog storage-level model.
+///
+/// A cell holding one of `levels` states programs to evenly-spaced centers
+/// on a normalized `[0, 1]` window; each programmed level is Gaussian with
+/// deviation `sigma`; read thresholds sit at the midpoints. A read fault is
+/// a level crossing its nearest threshold, which (with Gray-coded level
+/// assignment) flips exactly one of the stored bits.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LevelModel {
+    /// Number of distinguishable levels (2 for SLC, 4 for 2-bit MLC).
+    pub levels: u32,
+    /// Gaussian deviation of a programmed level, normalized to the full
+    /// storage window.
+    pub sigma: f64,
+}
+
+impl LevelModel {
+    /// Creates a level model. `levels` must be a power of two ≥ 2.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels < 2` or `sigma` is negative.
+    pub fn new(levels: u32, sigma: f64) -> Self {
+        assert!(levels >= 2 && levels.is_power_of_two(), "levels must be 2^k, k>=1");
+        assert!(sigma >= 0.0, "sigma must be non-negative");
+        Self { levels, sigma }
+    }
+
+    /// Half-distance between a level center and its nearest threshold.
+    pub fn margin(&self) -> f64 {
+        0.5 / (self.levels as f64 - 1.0)
+    }
+
+    /// Probability that a read of one cell returns the wrong *level*
+    /// (symbol error rate).
+    pub fn symbol_error_rate(&self) -> f64 {
+        if self.sigma == 0.0 {
+            return 0.0;
+        }
+        let single_tail = tail_probability(self.margin(), self.sigma);
+        // Edge levels have one neighboring threshold, inner levels two.
+        let l = self.levels as f64;
+        let avg_thresholds = (2.0 * (l - 2.0) + 2.0) / l;
+        (single_tail * avg_thresholds).min(1.0)
+    }
+
+    /// Probability that a stored logical *bit* reads back flipped.
+    ///
+    /// Gray coding makes adjacent-level errors single-bit errors, so the
+    /// per-bit rate is the symbol rate divided by the bits per cell.
+    pub fn bit_error_rate(&self) -> f64 {
+        let bits = (self.levels as f64).log2();
+        (self.symbol_error_rate() / bits).min(0.5)
+    }
+
+    /// Builds the model that produces a given bit error rate at `levels`
+    /// levels (inverts [`Self::bit_error_rate`] numerically).
+    pub fn from_bit_error_rate(levels: u32, ber: f64) -> Self {
+        assert!((0.0..=0.5).contains(&ber), "BER must be in [0, 0.5]");
+        if ber == 0.0 {
+            return Self::new(levels, 0.0);
+        }
+        // Bisection on sigma: BER is monotonically increasing in sigma.
+        let (mut lo, mut hi) = (1.0e-6, 10.0);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            let candidate = Self::new(levels, mid);
+            if candidate.bit_error_rate() < ber {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        Self::new(levels, 0.5 * (lo + hi))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn erfc_matches_reference_values() {
+        // Reference values from standard tables.
+        let cases = [
+            (0.0, 1.0),
+            (0.5, 0.4795001),
+            (1.0, 0.1572992),
+            (2.0, 0.0046777),
+            (3.0, 2.209e-5),
+        ];
+        for (x, expected) in cases {
+            let got = erfc(x);
+            assert!(
+                (got - expected).abs() < 2.0e-6,
+                "erfc({x}) = {got}, expected {expected}"
+            );
+        }
+    }
+
+    #[test]
+    fn erfc_negative_symmetry() {
+        assert!((erfc(-1.0) - (2.0 - erfc(1.0))).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ber_monotone_in_sigma() {
+        let mut last = 0.0;
+        for sigma in [0.01, 0.02, 0.05, 0.1, 0.2] {
+            let ber = LevelModel::new(4, sigma).bit_error_rate();
+            assert!(ber > last, "sigma {sigma}");
+            last = ber;
+        }
+    }
+
+    #[test]
+    fn more_levels_mean_more_errors_at_same_sigma() {
+        let slc = LevelModel::new(2, 0.05).bit_error_rate();
+        let mlc2 = LevelModel::new(4, 0.05).bit_error_rate();
+        let mlc3 = LevelModel::new(8, 0.05).bit_error_rate();
+        assert!(mlc2 > slc);
+        assert!(mlc3 > mlc2);
+    }
+
+    #[test]
+    fn zero_sigma_is_perfect() {
+        assert_eq!(LevelModel::new(4, 0.0).bit_error_rate(), 0.0);
+        assert_eq!(LevelModel::new(2, 0.0).symbol_error_rate(), 0.0);
+    }
+
+    #[test]
+    fn slc_margin_is_quarter_window() {
+        // Two levels at 0 and 1, threshold at 0.5 ⇒ margin 0.5.
+        assert!((LevelModel::new(2, 0.1).margin() - 0.5).abs() < 1e-12);
+        // Four levels ⇒ spacing 1/3, margin 1/6.
+        assert!((LevelModel::new(4, 0.1).margin() - 1.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inversion_recovers_ber() {
+        for levels in [2u32, 4] {
+            for target in [1.0e-6, 1.0e-4, 1.0e-2] {
+                let model = LevelModel::from_bit_error_rate(levels, target);
+                let got = model.bit_error_rate();
+                assert!(
+                    (got - target).abs() / target < 0.02,
+                    "levels {levels}, target {target}, got {got}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn ber_saturates_at_half() {
+        assert!(LevelModel::new(4, 5.0).bit_error_rate() <= 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "levels")]
+    fn rejects_non_power_of_two_levels() {
+        LevelModel::new(3, 0.1);
+    }
+}

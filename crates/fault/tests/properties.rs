@@ -1,0 +1,81 @@
+//! Property-based tests for the fault models: BER math invariants and
+//! injection statistics over arbitrary rates and buffer sizes.
+
+use nvmx_fault::{FaultModel, LevelModel};
+use nvmx_units::BitsPerCell;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn ber_is_monotone_in_sigma(a in 1.0e-4..0.5f64, b in 1.0e-4..0.5f64) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let ber_lo = LevelModel::new(4, lo).bit_error_rate();
+        let ber_hi = LevelModel::new(4, hi).bit_error_rate();
+        prop_assert!(ber_lo <= ber_hi + 1e-15);
+    }
+
+    #[test]
+    fn ber_is_monotone_in_levels(sigma in 1.0e-3..0.3f64) {
+        let slc = LevelModel::new(2, sigma).bit_error_rate();
+        let mlc2 = LevelModel::new(4, sigma).bit_error_rate();
+        let mlc3 = LevelModel::new(8, sigma).bit_error_rate();
+        prop_assert!(slc <= mlc2);
+        prop_assert!(mlc2 <= mlc3);
+    }
+
+    #[test]
+    fn ber_stays_a_probability(sigma in 0.0..10.0f64, levels_exp in 1u32..4) {
+        let ber = LevelModel::new(1 << levels_exp, sigma).bit_error_rate();
+        prop_assert!((0.0..=0.5).contains(&ber));
+    }
+
+    #[test]
+    fn inversion_roundtrips(ber_exp in -7.0..-1.0f64, levels_exp in 1u32..3) {
+        let target = 10f64.powf(ber_exp);
+        let model = LevelModel::from_bit_error_rate(1 << levels_exp, target);
+        let got = model.bit_error_rate();
+        prop_assert!((got - target).abs() / target < 0.05, "target {target}, got {got}");
+    }
+
+    #[test]
+    fn injection_never_exceeds_buffer_and_matches_report(
+        len_kib in 1usize..64,
+        ber_exp in -4.0..-1.5f64,
+        seed in 0u64..1000,
+    ) {
+        let ber = 10f64.powf(ber_exp);
+        let model = FaultModel::from_ber(ber, BitsPerCell::Slc);
+        let mut data = vec![0u8; len_kib * 1024];
+        let report = model.inject_seeded(&mut data, seed);
+        let ones: u64 = data.iter().map(|b| u64::from(b.count_ones())).sum();
+        prop_assert_eq!(ones, report.bits_flipped, "report must match the buffer");
+        prop_assert!(report.bits_flipped <= report.bits_total);
+    }
+
+    #[test]
+    fn injection_is_deterministic_per_seed(seed in 0u64..500) {
+        let model = FaultModel::from_ber(5.0e-3, BitsPerCell::Mlc2);
+        let mut a = vec![0xF0u8; 8192];
+        let mut b = vec![0xF0u8; 8192];
+        model.inject_seeded(&mut a, seed);
+        model.inject_seeded(&mut b, seed);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn double_injection_differs_from_single(seed in 0u64..200) {
+        // Injecting twice with different seeds must (statistically) corrupt
+        // more bits than once.
+        let model = FaultModel::from_ber(1.0e-2, BitsPerCell::Slc);
+        let mut once = vec![0u8; 1 << 16];
+        model.inject_seeded(&mut once, seed);
+        let ones_once: u64 = once.iter().map(|b| u64::from(b.count_ones())).sum();
+        let mut twice = once.clone();
+        model.inject_seeded(&mut twice, seed.wrapping_add(777));
+        let ones_twice: u64 = twice.iter().map(|b| u64::from(b.count_ones())).sum();
+        // Overwhelmingly likely at these sizes.
+        prop_assert!(ones_twice > ones_once / 2);
+    }
+}

@@ -1,0 +1,225 @@
+//! Bank composition: a grid of subarrays joined by a repeated-wire H-tree,
+//! with address broadcast and data return.
+
+use crate::subarray::Subarray;
+use crate::technology::TechnologyParams;
+use crate::wire::RepeatedWire;
+
+/// An internal array organization candidate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize, serde::Deserialize)]
+pub struct Organization {
+    /// Rows per subarray.
+    pub rows: usize,
+    /// Columns per subarray.
+    pub cols: usize,
+    /// Column-mux degree.
+    pub mux: usize,
+    /// Subarrays activated per access (together they supply the word).
+    pub active_subarrays: usize,
+    /// Total subarrays in the bank.
+    pub total_subarrays: usize,
+}
+
+impl Organization {
+    /// Independent interleave groups (sets of subarrays that can serve
+    /// different accesses concurrently).
+    pub fn groups(&self) -> usize {
+        (self.total_subarrays / self.active_subarrays).max(1)
+    }
+}
+
+impl std::fmt::Display for Organization {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}x{} mux{} ({} subarrays, {} active)",
+            self.rows, self.cols, self.mux, self.total_subarrays, self.active_subarrays
+        )
+    }
+}
+
+/// Electrical characterization of a full bank.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bank {
+    /// The organization characterized.
+    pub organization: Organization,
+    /// Per-subarray characterization this bank is built from.
+    pub subarray: Subarray,
+    /// Read latency (edge of bank to data out), s.
+    pub read_latency: f64,
+    /// Write latency, s.
+    pub write_latency: f64,
+    /// Read cycle time of one interleave group, s.
+    pub read_cycle: f64,
+    /// Write cycle time of one interleave group, s.
+    pub write_cycle: f64,
+    /// Energy per read access, J.
+    pub read_energy: f64,
+    /// Energy per write access, J.
+    pub write_energy: f64,
+    /// Bank standby leakage, W.
+    pub leakage: f64,
+    /// Total bank area, m².
+    pub area: f64,
+    /// Fraction of area in cells.
+    pub area_efficiency: f64,
+    /// Logical bits delivered per access.
+    pub word_bits: u64,
+    /// Sustainable random read bandwidth, bytes/s.
+    pub read_bandwidth: f64,
+    /// Sustainable random write bandwidth, bytes/s.
+    pub write_bandwidth: f64,
+}
+
+/// Maximum interleave depth credited for bandwidth (queueing and bus limits
+/// cap useful concurrency well below the raw group count).
+const MAX_INTERLEAVE: f64 = 4.0;
+
+impl Bank {
+    /// Composes `org.total_subarrays` copies of `subarray` into a bank
+    /// delivering `word_bits`-bit accesses.
+    pub fn compose(
+        tech: &TechnologyParams,
+        subarray: Subarray,
+        org: Organization,
+        word_bits: u64,
+    ) -> Self {
+        // Near-square grid of subarrays.
+        let nx = (org.total_subarrays as f64).sqrt().ceil() as usize;
+        let ny = org.total_subarrays.div_ceil(nx);
+        let grid_w = nx as f64 * subarray.width;
+        let grid_h = ny as f64 * subarray.height;
+        // Average route: half the half-perimeter (requests fan out from an
+        // edge-center port).
+        let route_len = 0.5 * (grid_w + grid_h);
+        let htree = RepeatedWire::new(tech, route_len);
+
+        // Address bus (~32 bits) in, `word_bits` data out; random data
+        // switches ~25 % of wires per transfer, and the average access only
+        // traverses half the worst-case route.
+        let addr_bits = 32.0;
+        let data_bits = word_bits as f64;
+        let htree_read_energy = htree.energy * 0.25 * 0.5 * (addr_bits + data_bits);
+        let htree_write_energy = htree.energy * 0.25 * 0.5 * (addr_bits + data_bits);
+        // The tree carries data-bus-width wires of repeaters.
+        let htree_leak = htree.leakage * data_bits * 0.5;
+
+        let active = org.active_subarrays as f64;
+        let read_latency = 2.0 * htree.delay + subarray.read_latency;
+        let write_latency = 2.0 * htree.delay + subarray.write_latency;
+        let read_cycle = subarray.read_cycle + htree.delay;
+        let write_cycle = subarray.write_cycle + htree.delay;
+
+        let interleave = (org.groups() as f64).min(MAX_INTERLEAVE);
+        let word_bytes = data_bits / 8.0;
+        let read_bandwidth = word_bytes / read_cycle * interleave;
+        let write_bandwidth = word_bytes / write_cycle * interleave;
+
+        let area = grid_w * grid_h * 1.05; // H-tree routing overhead
+        let cell_area = org.total_subarrays as f64
+            * subarray.array_width
+            * subarray.array_height;
+
+        Self {
+            organization: org,
+            read_latency,
+            write_latency,
+            read_cycle,
+            write_cycle,
+            read_energy: active * subarray.read_energy + htree_read_energy,
+            write_energy: active * subarray.write_energy + htree_write_energy,
+            leakage: org.total_subarrays as f64 * subarray.leakage
+                + htree_leak
+                + 0.02 * org.total_subarrays as f64 * subarray.leakage, // global control
+            area,
+            area_efficiency: cell_area / area,
+            word_bits,
+            read_bandwidth,
+            write_bandwidth,
+            subarray,
+        }
+    }
+
+    /// Total storage capacity, bits.
+    pub fn capacity_bits(&self) -> u64 {
+        self.organization.total_subarrays as u64 * self.subarray.capacity_bits()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::subarray::Subarray;
+    use crate::technology::lookup;
+    use nvmx_celldb::{tentpole, CellFlavor, TechnologyClass};
+    use nvmx_units::{BitsPerCell, Meters};
+
+    fn bank_for(total: usize, active: usize) -> Bank {
+        let tech = lookup(Meters::from_nano(22.0));
+        let cell =
+            tentpole::tentpole_cell(TechnologyClass::Stt, CellFlavor::Optimistic).unwrap();
+        let sub = Subarray::characterize(&tech, &cell, 512, 1024, 8, BitsPerCell::Slc);
+        let org = Organization {
+            rows: 512,
+            cols: 1024,
+            mux: 8,
+            active_subarrays: active,
+            total_subarrays: total,
+        };
+        Bank::compose(&tech, sub, org, 128)
+    }
+
+    #[test]
+    fn htree_adds_latency_with_size() {
+        let small = bank_for(4, 1);
+        let large = bank_for(256, 1);
+        assert!(large.read_latency > small.read_latency);
+        assert!(large.leakage > small.leakage);
+        assert!(large.area > small.area);
+    }
+
+    #[test]
+    fn capacity_scales_with_subarrays() {
+        let b = bank_for(32, 2);
+        assert_eq!(b.capacity_bits(), 32 * 512 * 1024);
+    }
+
+    #[test]
+    fn bandwidth_uses_interleave_but_saturates() {
+        let one_group = bank_for(4, 4);
+        let many_groups = bank_for(32, 4);
+        assert!(many_groups.read_bandwidth > one_group.read_bandwidth);
+        let more_groups = bank_for(128, 4);
+        // Interleave credit caps at MAX_INTERLEAVE: same bandwidth class
+        // (area/latency second-order effects only).
+        let ratio = more_groups.read_bandwidth / many_groups.read_bandwidth;
+        assert!(ratio < 1.2, "ratio {ratio}");
+    }
+
+    #[test]
+    fn activating_more_subarrays_costs_energy() {
+        let narrow = bank_for(32, 1);
+        let wide = bank_for(32, 8);
+        assert!(wide.read_energy > narrow.read_energy);
+        assert!(wide.write_energy > narrow.write_energy);
+    }
+
+    #[test]
+    fn groups_counted_correctly() {
+        let org = Organization {
+            rows: 1,
+            cols: 1,
+            mux: 1,
+            active_subarrays: 4,
+            total_subarrays: 32,
+        };
+        assert_eq!(org.groups(), 8);
+    }
+
+    #[test]
+    fn gigabyte_class_read_bandwidth() {
+        // A 2 MB STT bank must sustain GB/s-class reads (NVDLA needs it).
+        let b = bank_for(32, 1);
+        assert!(b.read_bandwidth > 1.0e9, "read bw {}", b.read_bandwidth);
+    }
+}

@@ -1,0 +1,176 @@
+//! Peripheral circuit components: sense amplifiers, prechargers, write
+//! drivers. Each exposes delay / energy / leakage / area so the subarray
+//! model can compose them.
+
+use crate::technology::TechnologyParams;
+use nvmx_celldb::SenseScheme;
+
+/// A sense amplifier instance (one per active column after muxing).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SenseAmp {
+    /// Resolution delay once the input margin is developed, s.
+    pub delay: f64,
+    /// Energy per sense operation, J.
+    pub energy: f64,
+    /// Standby leakage, W.
+    pub leakage: f64,
+    /// Layout area, F².
+    pub area_f2: f64,
+}
+
+impl SenseAmp {
+    /// Builds the sense amp matching a cell's sensing scheme.
+    pub fn new(tech: &TechnologyParams, scheme: SenseScheme) -> Self {
+        let vdd = tech.vdd.value();
+        let fo4 = tech.fo4_delay;
+        // Latch-type SA internal cap ≈ 4 fF; current-mode adds a bias branch.
+        match scheme {
+            SenseScheme::VoltageDifferential => Self {
+                delay: 2.0 * fo4,
+                energy: 4.0e-15 * vdd * vdd / 0.81, // normalized to ~3 fJ at 0.9 V
+                leakage: tech.leak_power(12.0),
+                area_f2: 1200.0,
+            },
+            // Current-mode SAs keep a trickle bias (current mirror +
+            // reference) for fast sensing; it dominates their standby power.
+            SenseScheme::CurrentSense => Self {
+                delay: 3.0 * fo4,
+                energy: 8.0e-15 * vdd * vdd / 0.81,
+                leakage: tech.leak_power(20.0) + 40.0e-9 * vdd,
+                area_f2: 2000.0,
+            },
+            // FET-drain sensing is a simple voltage-mode latch on a big
+            // swing: small and easy to power-gate.
+            SenseScheme::FetSense => Self {
+                delay: 3.0 * fo4,
+                energy: 8.0e-15 * vdd * vdd / 0.81,
+                leakage: tech.leak_power(6.0),
+                area_f2: 1800.0,
+            },
+            SenseScheme::ChargeSense => Self {
+                delay: 3.0 * fo4,
+                energy: 6.0e-15 * vdd * vdd / 0.81,
+                leakage: tech.leak_power(16.0),
+                area_f2: 1600.0,
+            },
+        }
+    }
+}
+
+/// Bitline precharge device (one per column).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Precharger {
+    /// Leakage per column, W.
+    pub leakage: f64,
+    /// Area per column, F².
+    pub area_f2: f64,
+}
+
+impl Precharger {
+    /// Builds a per-column precharger.
+    pub fn new(tech: &TechnologyParams) -> Self {
+        Self { leakage: tech.leak_power(3.0) * 0.5, area_f2: 120.0 }
+    }
+}
+
+/// Write driver (one per active column), sized to source the cell's
+/// programming current.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WriteDriver {
+    /// Driver setup delay before the programming pulse starts, s.
+    pub delay: f64,
+    /// Driver self-energy per write (excludes cell + bitline energy), J.
+    pub energy: f64,
+    /// Leakage per driver, W.
+    pub leakage: f64,
+    /// Area per driver, F².
+    pub area_f2: f64,
+    /// Supply conversion efficiency (1.0 when V_write ≤ Vdd; charge-pumped
+    /// domains pay `1/efficiency` on every joule delivered to the cell).
+    pub supply_efficiency: f64,
+}
+
+impl WriteDriver {
+    /// Transistor drive current per feature of width (≈0.9 mA/µm class).
+    fn drive_per_width_f(tech: &TechnologyParams) -> f64 {
+        0.9e3 * tech.feature_size.value() // A per F of width
+    }
+
+    /// Builds a driver for programming current `i_cell` amps at `v_write`.
+    pub fn new(tech: &TechnologyParams, i_cell: f64, v_write: f64) -> Self {
+        let vdd = tech.vdd.value();
+        let width_f = (i_cell / Self::drive_per_width_f(tech)).clamp(2.0, 400.0);
+        let boosted = v_write > vdd;
+        // Charge-pump transfer efficiency degrades with the boost ratio;
+        // mild boosts (STT at 1.2 V off a 0.85 V rail) stay fairly
+        // efficient, deep boosts (FeFET at 4 V) pay heavily.
+        let supply_efficiency =
+            if boosted { (0.9 * vdd / v_write).clamp(0.25, 0.9) } else { 0.95 };
+        Self {
+            delay: 2.0 * tech.fo4_delay,
+            energy: tech.gate_cap(width_f * 3.0) * v_write * v_write,
+            leakage: tech.leak_power(width_f) * 0.3,
+            area_f2: 200.0 + 8.0 * width_f,
+            supply_efficiency,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::technology::lookup;
+    use nvmx_units::Meters;
+
+    fn t22() -> TechnologyParams {
+        lookup(Meters::from_nano(22.0))
+    }
+
+    #[test]
+    fn current_sense_is_bigger_and_hungrier_than_voltage() {
+        let tech = t22();
+        let v = SenseAmp::new(&tech, SenseScheme::VoltageDifferential);
+        let c = SenseAmp::new(&tech, SenseScheme::CurrentSense);
+        assert!(c.energy > v.energy);
+        assert!(c.area_f2 > v.area_f2);
+        assert!(c.delay > v.delay);
+    }
+
+    #[test]
+    fn sense_energy_is_femtojoule_scale() {
+        let tech = t22();
+        let sa = SenseAmp::new(&tech, SenseScheme::CurrentSense);
+        assert!((1.0e-15..50.0e-15).contains(&sa.energy), "{}", sa.energy);
+    }
+
+    #[test]
+    fn write_driver_sized_by_current() {
+        let tech = t22();
+        let small = WriteDriver::new(&tech, 10.0e-6, 1.0);
+        let large = WriteDriver::new(&tech, 300.0e-6, 1.0);
+        assert!(large.area_f2 > small.area_f2);
+        assert!(large.leakage > small.leakage);
+    }
+
+    #[test]
+    fn boosted_writes_pay_pump_efficiency() {
+        let tech = t22();
+        let nominal = WriteDriver::new(&tech, 50.0e-6, 0.8);
+        let mild = WriteDriver::new(&tech, 50.0e-6, 1.2);
+        let deep = WriteDriver::new(&tech, 50.0e-6, 4.0);
+        assert!((nominal.supply_efficiency - 0.95).abs() < 1e-9);
+        // Mild boost (STT-class): graded efficiency 0.9·vdd/v.
+        assert!((mild.supply_efficiency - 0.9 * 0.85 / 1.2).abs() < 1e-9);
+        // Deep boost (FeFET-class) clamps at the pump floor.
+        assert!((deep.supply_efficiency - 0.25).abs() < 1e-9);
+        assert!(deep.supply_efficiency < mild.supply_efficiency);
+    }
+
+    #[test]
+    fn precharger_is_cheap() {
+        let tech = t22();
+        let p = Precharger::new(&tech);
+        assert!(p.area_f2 < 200.0);
+        assert!(p.leakage < 1.0e-7);
+    }
+}

@@ -1,0 +1,245 @@
+//! Internal-organization design-space exploration: enumerate candidate
+//! subarray geometries and bank compositions, filter invalid ones, and keep
+//! the best under each optimization target.
+
+use crate::bank::{Bank, Organization};
+use crate::result::ArrayCharacterization;
+use crate::subarray::Subarray;
+use crate::technology::lookup;
+use crate::{ArrayConfig, CharacterizationError};
+use nvmx_celldb::CellDefinition;
+use nvmx_units::{Joules, Ratio, Seconds, SquareMillimeters, Watts};
+
+/// Candidate geometry axes. Modest powers of two: real NVSim sweeps the same
+/// shape space.
+const ROW_CHOICES: [usize; 5] = [128, 256, 512, 1024, 2048];
+const COL_CHOICES: [usize; 5] = [256, 512, 1024, 2048, 4096];
+const MUX_CHOICES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+
+/// Upper bound on bank subarray count (beyond this the H-tree model stops
+/// being credible and the design is silly anyway).
+const MAX_SUBARRAYS: usize = 8192;
+
+/// Minimum cell-area fraction a candidate organization must reach
+/// (NVSim-style sanity constraint: designs below it drown the cells in
+/// periphery). When no candidate qualifies, the constraint is dropped so
+/// characterization always returns a design.
+const MIN_AREA_EFFICIENCY: f64 = 0.25;
+
+/// Enumerates all valid organizations for `cell` under `config`.
+pub fn enumerate_organizations(
+    _cell: &CellDefinition,
+    config: &ArrayConfig,
+) -> Vec<Organization> {
+    let capacity_cells = config.capacity.cells(config.bits_per_cell);
+    let word_bits = config.word_bits;
+    let mut orgs = Vec::new();
+
+    for rows in ROW_CHOICES {
+        for cols in COL_CHOICES {
+            let cells_per_sub = (rows * cols) as u64;
+            if cells_per_sub > capacity_cells {
+                continue;
+            }
+            let total = capacity_cells.div_ceil(cells_per_sub) as usize;
+            if total > MAX_SUBARRAYS {
+                continue;
+            }
+            for mux in MUX_CHOICES {
+                if mux > cols {
+                    continue;
+                }
+                let sensed = cols / mux;
+                let bits_per_sub = sensed as u64 * u64::from(config.bits_per_cell.bits());
+                // Don't sense more than 4× the word (grossly wasteful), and
+                // the active group must be able to supply the word.
+                if bits_per_sub > word_bits * 4 {
+                    continue;
+                }
+                let active = word_bits.div_ceil(bits_per_sub) as usize;
+                if active > total || active > 64 {
+                    continue;
+                }
+                orgs.push(Organization {
+                    rows,
+                    cols,
+                    mux,
+                    active_subarrays: active,
+                    total_subarrays: total,
+                });
+            }
+        }
+    }
+    // Ignore the access-transistor drive constraint check here; write-driver
+    // sizing already folds current needs into energy/area.
+    orgs
+}
+
+/// Characterizes one organization into a full result record.
+pub fn characterize_organization(
+    cell: &CellDefinition,
+    config: &ArrayConfig,
+    org: Organization,
+) -> ArrayCharacterization {
+    let tech = lookup(config.node);
+    let sub = Subarray::characterize(
+        &tech,
+        cell,
+        org.rows,
+        org.cols,
+        org.mux,
+        config.bits_per_cell,
+    );
+    let bank = Bank::compose(&tech, sub, org, config.word_bits);
+    package(cell, config, bank)
+}
+
+fn package(
+    cell: &CellDefinition,
+    config: &ArrayConfig,
+    bank: Bank,
+) -> ArrayCharacterization {
+    ArrayCharacterization {
+        cell_name: cell.name.clone(),
+        technology: cell.technology,
+        flavor: cell.flavor.clone(),
+        capacity: config.capacity,
+        node_nm: config.node.value() * 1.0e9,
+        bits_per_cell: config.bits_per_cell,
+        target: config.target,
+        word_bits: config.word_bits,
+        read_latency: Seconds::new(bank.read_latency),
+        write_latency: Seconds::new(bank.write_latency),
+        read_cycle: Seconds::new(bank.read_cycle),
+        write_cycle: Seconds::new(bank.write_cycle),
+        read_energy: Joules::new(bank.read_energy),
+        write_energy: Joules::new(bank.write_energy),
+        leakage: Watts::new(bank.leakage),
+        area: SquareMillimeters::from_square_meters(bank.area),
+        area_efficiency: Ratio::new(bank.area_efficiency),
+        read_bandwidth: bank.read_bandwidth,
+        write_bandwidth: bank.write_bandwidth,
+        endurance_cycles: cell.endurance_cycles,
+        retention: cell.retention,
+        nonvolatile: cell.is_nonvolatile(),
+        organization: bank.organization,
+    }
+}
+
+/// Runs the full organization search and returns the best design under
+/// `config.target`.
+pub fn optimize(
+    cell: &CellDefinition,
+    config: &ArrayConfig,
+) -> Result<ArrayCharacterization, CharacterizationError> {
+    if !cell.supports(config.bits_per_cell) {
+        return Err(CharacterizationError::UnsupportedBitsPerCell {
+            cell: cell.name.clone(),
+            requested: config.bits_per_cell,
+            supported: cell.max_bits_per_cell,
+        });
+    }
+    let orgs = enumerate_organizations(cell, config);
+    if orgs.is_empty() {
+        return Err(CharacterizationError::NoValidOrganization {
+            cell: cell.name.clone(),
+            capacity: config.capacity,
+        });
+    }
+    let tech = lookup(config.node);
+    let mut best: Option<ArrayCharacterization> = None;
+    let mut best_unconstrained: Option<ArrayCharacterization> = None;
+    for org in orgs {
+        let sub = Subarray::characterize(
+            &tech,
+            cell,
+            org.rows,
+            org.cols,
+            org.mux,
+            config.bits_per_cell,
+        );
+        let bank = Bank::compose(&tech, sub, org, config.word_bits);
+        let candidate = package(cell, config, bank);
+        let improves = |incumbent: &Option<ArrayCharacterization>| match incumbent {
+            None => true,
+            Some(b) => candidate.score(config.target) < b.score(config.target),
+        };
+        if candidate.area_efficiency.value() >= MIN_AREA_EFFICIENCY && improves(&best) {
+            best = Some(candidate.clone());
+        }
+        if improves(&best_unconstrained) {
+            best_unconstrained = Some(candidate);
+        }
+    }
+    best.or(best_unconstrained).ok_or_else(|| {
+        CharacterizationError::NoValidOrganization {
+            cell: cell.name.clone(),
+            capacity: config.capacity,
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::result::OptimizationTarget;
+    use nvmx_celldb::{custom, tentpole, CellFlavor, TechnologyClass};
+    use nvmx_units::{BitsPerCell, Capacity, Meters};
+
+    fn cfg(target: OptimizationTarget) -> ArrayConfig {
+        ArrayConfig {
+            capacity: Capacity::from_mebibytes(2),
+            word_bits: 128,
+            node: Meters::from_nano(22.0),
+            bits_per_cell: BitsPerCell::Slc,
+            target,
+        }
+    }
+
+    fn stt() -> CellDefinition {
+        tentpole::tentpole_cell(TechnologyClass::Stt, CellFlavor::Optimistic).unwrap()
+    }
+
+    #[test]
+    fn enumeration_is_nonempty_and_valid() {
+        let orgs = enumerate_organizations(&stt(), &cfg(OptimizationTarget::ReadLatency));
+        assert!(orgs.len() > 20, "{} orgs", orgs.len());
+        for org in &orgs {
+            assert!(org.active_subarrays <= org.total_subarrays);
+            assert!(org.mux <= org.cols);
+            let cap = org.total_subarrays as u64 * (org.rows * org.cols) as u64;
+            assert!(cap >= Capacity::from_mebibytes(2).bits(), "covers capacity");
+        }
+    }
+
+    #[test]
+    fn optimize_respects_target() {
+        let cell = stt();
+        let lat = optimize(&cell, &cfg(OptimizationTarget::ReadLatency)).unwrap();
+        let energy = optimize(&cell, &cfg(OptimizationTarget::ReadEnergy)).unwrap();
+        let area = optimize(&cell, &cfg(OptimizationTarget::Area)).unwrap();
+        assert!(lat.read_latency.value() <= energy.read_latency.value());
+        assert!(energy.read_energy.value() <= lat.read_energy.value());
+        assert!(area.area.value() <= lat.area.value());
+    }
+
+    #[test]
+    fn mlc_unsupported_for_sram() {
+        let sram = custom::sram_16nm();
+        let mut config = cfg(OptimizationTarget::ReadLatency);
+        config.bits_per_cell = BitsPerCell::Mlc2;
+        let err = optimize(&sram, &config).unwrap_err();
+        assert!(matches!(err, CharacterizationError::UnsupportedBitsPerCell { .. }));
+    }
+
+    #[test]
+    fn area_optimized_design_trades_latency() {
+        // Paper Sec. V-B: lower area efficiency correlates with lower
+        // latency; conversely the area-optimal point is slower.
+        let cell = stt();
+        let area_opt = optimize(&cell, &cfg(OptimizationTarget::Area)).unwrap();
+        let lat_opt = optimize(&cell, &cfg(OptimizationTarget::ReadLatency)).unwrap();
+        assert!(area_opt.read_latency.value() >= lat_opt.read_latency.value());
+        assert!(area_opt.area_efficiency.value() >= lat_opt.area_efficiency.value());
+    }
+}

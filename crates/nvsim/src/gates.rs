@@ -1,0 +1,222 @@
+//! Gate-level delay and energy models: Horowitz approximation, logical-effort
+//! buffer chains, and the decode path (NVSim/CACTI lineage).
+
+use crate::technology::TechnologyParams;
+
+/// Horowitz delay approximation for a gate with output time constant `tf`,
+/// switching threshold `vs` (as a fraction of Vdd), and input rise time
+/// `input_ramp` (seconds).
+///
+/// For a step input (`input_ramp == 0`) this degenerates to the familiar
+/// `tf · √(ln²(vs))  = tf · |ln(vs)|`.
+pub fn horowitz(input_ramp: f64, tf: f64, vs: f64) -> f64 {
+    if tf <= 0.0 {
+        return 0.0;
+    }
+    let a = input_ramp / tf;
+    // beta = 1/(gain·vdd) ≈ 0.5 for typical static CMOS.
+    let beta = 0.5;
+    tf * (vs.ln().powi(2) + 2.0 * a * beta * (1.0 - vs)).sqrt()
+}
+
+/// An inverter/buffer stage sized `width_f` features of NMOS width
+/// (PMOS assumed 2× for equal rise/fall).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Stage {
+    /// NMOS width in features.
+    pub width_f: f64,
+}
+
+impl Stage {
+    /// Input capacitance of this stage.
+    pub fn c_in(&self, tech: &TechnologyParams) -> f64 {
+        tech.gate_cap(self.width_f) + tech.gate_cap(2.0 * self.width_f) // n + p
+    }
+
+    /// Self-load (drain) capacitance.
+    pub fn c_self(&self, tech: &TechnologyParams) -> f64 {
+        tech.drain_cap(self.width_f) + tech.drain_cap(2.0 * self.width_f)
+    }
+
+    /// Pull-down resistance.
+    pub fn r_out(&self, tech: &TechnologyParams) -> f64 {
+        tech.r_on(self.width_f)
+    }
+
+    /// Leakage power of the stage.
+    pub fn leak(&self, tech: &TechnologyParams) -> f64 {
+        // Half the devices leak on average (one of n/p is off).
+        tech.leak_power(1.5 * self.width_f)
+    }
+}
+
+/// Result of driving a load through a sized buffer chain.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DriveResult {
+    /// Total propagation delay, seconds.
+    pub delay: f64,
+    /// Dynamic energy per transition, joules.
+    pub energy: f64,
+    /// Static leakage of the chain, watts.
+    pub leakage: f64,
+    /// Total transistor width of the chain in features (for area estimates).
+    pub total_width_f: f64,
+}
+
+/// Sizes a fanout-of-4 buffer chain from a minimum-size input to drive
+/// `c_load` (plus optional wire resistance `r_wire` in the last stage) and
+/// returns its delay/energy/leakage at supply `v_swing`.
+///
+/// This is the workhorse for wordline drivers, predecoder buffers, mux
+/// selects, and H-tree repeaters.
+pub fn drive_load(tech: &TechnologyParams, c_load: f64, r_wire: f64, v_swing: f64) -> DriveResult {
+    let c_min = Stage { width_f: 2.0 }.c_in(tech);
+    let fanout: f64 = 4.0;
+    let ratio = (c_load / c_min).max(1.0);
+    let n_stages = (ratio.ln() / fanout.ln()).ceil().max(1.0) as usize;
+    let per_stage_fanout = ratio.powf(1.0 / n_stages as f64);
+
+    let mut delay = 0.0;
+    let mut energy = 0.0;
+    let mut leakage = 0.0;
+    let mut total_width = 0.0;
+    let mut width = 2.0; // minimum-size first stage
+    let mut input_ramp = 0.0;
+
+    for stage_idx in 0..n_stages {
+        let stage = Stage { width_f: width };
+        let next_width = width * per_stage_fanout;
+        let c_next = if stage_idx + 1 == n_stages {
+            c_load
+        } else {
+            Stage { width_f: next_width }.c_in(tech)
+        };
+        let r_extra = if stage_idx + 1 == n_stages { r_wire } else { 0.0 };
+        let tf = (stage.r_out(tech) + 0.5 * r_extra) * (stage.c_self(tech) + c_next);
+        let stage_delay = horowitz(input_ramp, tf, 0.5);
+        delay += stage_delay;
+        input_ramp = stage_delay;
+        energy += (stage.c_self(tech) + c_next) * v_swing * v_swing;
+        leakage += stage.leak(tech);
+        total_width += 3.0 * width; // n + p widths
+        width = next_width;
+    }
+
+    DriveResult { delay, energy, leakage, total_width_f: total_width }
+}
+
+/// Characterization of a row/column decoder for `n_outputs` outputs:
+/// a predecode tree of 2-input gates followed by final drivers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Decoder {
+    /// Number of decoded outputs (e.g. rows).
+    pub n_outputs: usize,
+    /// Delay through predecode + final gate, before the output driver.
+    pub delay: f64,
+    /// Dynamic energy per decode operation.
+    pub energy: f64,
+    /// Leakage of the whole decoder.
+    pub leakage: f64,
+    /// Total device width in features (area proxy).
+    pub total_width_f: f64,
+}
+
+impl Decoder {
+    /// Builds a decoder for `n_outputs` outputs in technology `tech`.
+    ///
+    /// The model charges `log4(n)` logic levels of FO4 delay for the
+    /// predecode tree, one active output path's dynamic energy, and leakage
+    /// for all `n` final gates (they all leak whether selected or not).
+    pub fn new(tech: &TechnologyParams, n_outputs: usize) -> Self {
+        let n = n_outputs.max(2) as f64;
+        let levels = (n.log2() / 2.0).ceil().max(1.0);
+        let delay = levels * 1.4 * tech.fo4_delay;
+
+        let vdd = tech.vdd.value();
+        // Active path: one gate per level switching, each ~4 F wide.
+        let c_level = Stage { width_f: 4.0 }.c_in(tech) + Stage { width_f: 4.0 }.c_self(tech);
+        let energy = levels * c_level * vdd * vdd
+            // Address lines span the decoder: n·(pitch) of wire switching.
+            + 0.5 * n * 4.0 * tech.feature_size.value() * tech.wire_c_per_m * vdd * vdd;
+        // All final-row NAND gates leak.
+        let leakage = n * Stage { width_f: 4.0 }.leak(tech) * 0.5;
+        let total_width_f = n * 12.0 + levels * 16.0;
+
+        Self { n_outputs, delay, energy, leakage, total_width_f }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::technology::lookup;
+    use nvmx_units::Meters;
+
+    fn t22() -> TechnologyParams {
+        lookup(Meters::from_nano(22.0))
+    }
+
+    #[test]
+    fn horowitz_step_input_matches_closed_form() {
+        let tf = 10.0e-12;
+        let d = horowitz(0.0, tf, 0.5);
+        assert!((d - tf * 0.5f64.ln().abs()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn horowitz_slow_input_increases_delay() {
+        let tf = 10.0e-12;
+        assert!(horowitz(20.0e-12, tf, 0.5) > horowitz(0.0, tf, 0.5));
+    }
+
+    #[test]
+    fn horowitz_zero_tf_is_zero() {
+        assert_eq!(horowitz(1e-12, 0.0, 0.5), 0.0);
+    }
+
+    #[test]
+    fn drive_load_scales_with_load() {
+        let tech = t22();
+        let small = drive_load(&tech, 5.0e-15, 0.0, tech.vdd.value());
+        let large = drive_load(&tech, 500.0e-15, 0.0, tech.vdd.value());
+        assert!(large.delay > small.delay);
+        assert!(large.energy > small.energy);
+        assert!(large.total_width_f > small.total_width_f);
+    }
+
+    #[test]
+    fn drive_load_delay_is_picosecond_scale() {
+        let tech = t22();
+        // 100 fF load (a long wordline) should take tens of ps, not ns.
+        let r = drive_load(&tech, 100.0e-15, 1000.0, tech.vdd.value());
+        assert!(r.delay > 1.0e-12 && r.delay < 1.0e-9, "delay {}", r.delay);
+    }
+
+    #[test]
+    fn wire_resistance_slows_final_stage() {
+        let tech = t22();
+        let without = drive_load(&tech, 100.0e-15, 0.0, tech.vdd.value());
+        let with = drive_load(&tech, 100.0e-15, 20.0e3, tech.vdd.value());
+        assert!(with.delay > without.delay);
+    }
+
+    #[test]
+    fn decoder_grows_with_outputs() {
+        let tech = t22();
+        let d256 = Decoder::new(&tech, 256);
+        let d1024 = Decoder::new(&tech, 1024);
+        assert!(d1024.delay >= d256.delay);
+        assert!(d1024.leakage > d256.leakage);
+        assert!(d1024.energy > d256.energy);
+        // Decode of 1024 rows should still be sub-nanosecond at 22 nm.
+        assert!(d1024.delay < 1.0e-9, "decode {}", d1024.delay);
+    }
+
+    #[test]
+    fn energy_uses_swing_quadratically() {
+        let tech = t22();
+        let low = drive_load(&tech, 100.0e-15, 0.0, 0.5);
+        let high = drive_load(&tech, 100.0e-15, 0.0, 1.0);
+        assert!((high.energy / low.energy - 4.0).abs() < 0.01);
+    }
+}

@@ -1,0 +1,243 @@
+//! Array characterization results and optimization targets.
+
+use crate::bank::Organization;
+use nvmx_celldb::{CellFlavor, TechnologyClass};
+use nvmx_units::{BitsPerCell, Capacity, Joules, Ratio, Seconds, SquareMillimeters, Watts};
+use serde::{Deserialize, Serialize};
+
+/// What the internal-organization search minimizes (NVSim's optimization
+/// targets; paper Fig. 3 sweeps all of them).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum OptimizationTarget {
+    /// Minimize read latency.
+    ReadLatency,
+    /// Minimize write latency.
+    WriteLatency,
+    /// Minimize read energy per access.
+    ReadEnergy,
+    /// Minimize write energy per access.
+    WriteEnergy,
+    /// Minimize read energy-delay product.
+    ReadEdp,
+    /// Minimize write energy-delay product.
+    WriteEdp,
+    /// Minimize total area.
+    Area,
+    /// Minimize standby leakage power.
+    Leakage,
+}
+
+impl OptimizationTarget {
+    /// All targets, in report order.
+    pub const ALL: [Self; 8] = [
+        Self::ReadLatency,
+        Self::WriteLatency,
+        Self::ReadEnergy,
+        Self::WriteEnergy,
+        Self::ReadEdp,
+        Self::WriteEdp,
+        Self::Area,
+        Self::Leakage,
+    ];
+
+    /// Short label used in reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Self::ReadLatency => "ReadLatency",
+            Self::WriteLatency => "WriteLatency",
+            Self::ReadEnergy => "ReadEnergy",
+            Self::WriteEnergy => "WriteEnergy",
+            Self::ReadEdp => "ReadEDP",
+            Self::WriteEdp => "WriteEDP",
+            Self::Area => "Area",
+            Self::Leakage => "Leakage",
+        }
+    }
+}
+
+impl std::fmt::Display for OptimizationTarget {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// Full characterization of one memory array design point — the unit of
+/// data every downstream study consumes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ArrayCharacterization {
+    /// Name of the underlying cell (e.g. `"STT-opt"`).
+    pub cell_name: String,
+    /// Technology class.
+    pub technology: TechnologyClass,
+    /// Tentpole flavor of the underlying cell.
+    pub flavor: CellFlavor,
+    /// Total storage capacity.
+    pub capacity: Capacity,
+    /// Process node, nm.
+    pub node_nm: f64,
+    /// Programming depth.
+    pub bits_per_cell: BitsPerCell,
+    /// Optimization target that selected this organization.
+    pub target: OptimizationTarget,
+    /// Access width, bits.
+    pub word_bits: u64,
+    /// Read latency.
+    pub read_latency: Seconds,
+    /// Write latency.
+    pub write_latency: Seconds,
+    /// Read cycle time.
+    pub read_cycle: Seconds,
+    /// Write cycle time.
+    pub write_cycle: Seconds,
+    /// Energy per read access.
+    pub read_energy: Joules,
+    /// Energy per write access.
+    pub write_energy: Joules,
+    /// Standby leakage power.
+    pub leakage: Watts,
+    /// Total area.
+    pub area: SquareMillimeters,
+    /// Cell-area fraction.
+    pub area_efficiency: Ratio,
+    /// Sustainable random-access read bandwidth, bytes/s.
+    pub read_bandwidth: f64,
+    /// Sustainable random-access write bandwidth, bytes/s.
+    pub write_bandwidth: f64,
+    /// Cell write endurance, cycles.
+    pub endurance_cycles: f64,
+    /// Cell retention.
+    pub retention: Seconds,
+    /// Whether the array retains data when powered off.
+    pub nonvolatile: bool,
+    /// Winning internal organization.
+    pub organization: Organization,
+}
+
+impl ArrayCharacterization {
+    /// Storage density including periphery, Mb/mm².
+    pub fn density_mbit_per_mm2(&self) -> f64 {
+        self.capacity.as_megabits() / self.area.value()
+    }
+
+    /// Read energy per logical bit delivered.
+    pub fn read_energy_per_bit(&self) -> Joules {
+        self.read_energy / self.word_bits as f64
+    }
+
+    /// Write energy per logical bit written.
+    pub fn write_energy_per_bit(&self) -> Joules {
+        self.write_energy / self.word_bits as f64
+    }
+
+    /// Read energy-delay product, J·s.
+    pub fn read_edp(&self) -> f64 {
+        self.read_energy.value() * self.read_latency.value()
+    }
+
+    /// Write energy-delay product, J·s.
+    pub fn write_edp(&self) -> f64 {
+        self.write_energy.value() * self.write_latency.value()
+    }
+
+    /// The metric value this array would score under `target`
+    /// (lower is better for every target).
+    pub fn score(&self, target: OptimizationTarget) -> f64 {
+        match target {
+            OptimizationTarget::ReadLatency => self.read_latency.value(),
+            OptimizationTarget::WriteLatency => self.write_latency.value(),
+            OptimizationTarget::ReadEnergy => self.read_energy.value(),
+            OptimizationTarget::WriteEnergy => self.write_energy.value(),
+            OptimizationTarget::ReadEdp => self.read_edp(),
+            OptimizationTarget::WriteEdp => self.write_edp(),
+            OptimizationTarget::Area => self.area.value(),
+            OptimizationTarget::Leakage => self.leakage.value(),
+        }
+    }
+
+    /// One-line human-readable summary.
+    pub fn summary(&self) -> String {
+        format!(
+            "{} {} [{}]: rd {} / {} | wr {} / {} | leak {} | {} | {:.1} Mb/mm^2",
+            self.cell_name,
+            self.capacity,
+            self.target,
+            self.read_latency,
+            self.read_energy,
+            self.write_latency,
+            self.write_energy,
+            self.leakage,
+            self.area,
+            self.density_mbit_per_mm2(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bank::Organization;
+
+    fn dummy() -> ArrayCharacterization {
+        ArrayCharacterization {
+            cell_name: "STT-opt".into(),
+            technology: TechnologyClass::Stt,
+            flavor: CellFlavor::Optimistic,
+            capacity: Capacity::from_mebibytes(2),
+            node_nm: 22.0,
+            bits_per_cell: BitsPerCell::Slc,
+            target: OptimizationTarget::ReadEdp,
+            word_bits: 64,
+            read_latency: Seconds::from_nano(2.0),
+            write_latency: Seconds::from_nano(12.0),
+            read_cycle: Seconds::from_nano(2.5),
+            write_cycle: Seconds::from_nano(12.5),
+            read_energy: Joules::from_pico(16.0),
+            write_energy: Joules::from_pico(64.0),
+            leakage: Watts::from_milli(2.0),
+            area: SquareMillimeters::new(0.25),
+            area_efficiency: Ratio::new(0.55),
+            read_bandwidth: 12.0e9,
+            write_bandwidth: 2.0e9,
+            endurance_cycles: 1.0e15,
+            retention: Seconds::new(1.0e8),
+            nonvolatile: true,
+            organization: Organization {
+                rows: 512,
+                cols: 1024,
+                mux: 8,
+                active_subarrays: 1,
+                total_subarrays: 32,
+            },
+        }
+    }
+
+    #[test]
+    fn density_and_per_bit_math() {
+        let a = dummy();
+        assert!((a.density_mbit_per_mm2() - 16.0 / 0.25).abs() < 1e-9);
+        assert!((a.read_energy_per_bit().value() - 0.25e-12).abs() < 1e-18);
+    }
+
+    #[test]
+    fn score_matches_metrics() {
+        let a = dummy();
+        assert_eq!(a.score(OptimizationTarget::ReadLatency), 2.0e-9);
+        assert_eq!(a.score(OptimizationTarget::Area), 0.25);
+        assert!((a.score(OptimizationTarget::ReadEdp) - 32.0e-21).abs() < 1e-27);
+    }
+
+    #[test]
+    fn all_targets_have_unique_labels() {
+        let mut labels: Vec<_> = OptimizationTarget::ALL.iter().map(|t| t.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), OptimizationTarget::ALL.len());
+    }
+
+    #[test]
+    fn summary_mentions_cell_and_capacity() {
+        let s = dummy().summary();
+        assert!(s.contains("STT-opt"));
+        assert!(s.contains("2 MiB"));
+    }
+}

@@ -1,0 +1,413 @@
+//! The subarray model: one contiguous grid of cells with its decoder,
+//! sense amplifiers, prechargers, and write drivers.
+//!
+//! Everything an array-level result contains is ultimately produced here;
+//! [`crate::bank`] only composes subarrays and adds H-tree routing.
+
+use crate::components::{Precharger, SenseAmp, WriteDriver};
+use crate::gates::{drive_load, Decoder};
+use crate::technology::TechnologyParams;
+use crate::wire::Wire;
+use nvmx_celldb::{AccessDevice, CellDefinition, SenseScheme};
+use nvmx_units::BitsPerCell;
+
+/// Geometry + electrical characterization of one subarray.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Subarray {
+    /// Rows of cells (wordlines).
+    pub rows: usize,
+    /// Columns of cells (bitlines).
+    pub cols: usize,
+    /// Column-mux degree: `cols / mux` sense amps serve the subarray.
+    pub mux: usize,
+    /// Programming depth.
+    pub bits_per_cell: BitsPerCell,
+    /// Physical width, m (cell array only).
+    pub array_width: f64,
+    /// Physical height, m (cell array only).
+    pub array_height: f64,
+    /// Total width including the decoder strip, m.
+    pub width: f64,
+    /// Total height including SA/driver strips, m.
+    pub height: f64,
+    /// Read latency (address-in to data-latched), s.
+    pub read_latency: f64,
+    /// Write latency (address-in to cell programmed), s.
+    pub write_latency: f64,
+    /// Minimum interval between successive reads, s.
+    pub read_cycle: f64,
+    /// Minimum interval between successive writes, s.
+    pub write_cycle: f64,
+    /// Dynamic energy of one read access (all sensed columns), J.
+    pub read_energy: f64,
+    /// Dynamic energy of one write access (all driven columns), J.
+    pub write_energy: f64,
+    /// Standby leakage, W.
+    pub leakage: f64,
+    /// Logical bits delivered per read access.
+    pub bits_per_access: u64,
+}
+
+impl Subarray {
+    /// Characterizes a `rows × cols` subarray of `cell` with column-mux
+    /// degree `mux`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows`, `cols`, or `mux` is zero, or `mux > cols`.
+    pub fn characterize(
+        tech: &TechnologyParams,
+        cell: &CellDefinition,
+        rows: usize,
+        cols: usize,
+        mux: usize,
+        bits_per_cell: BitsPerCell,
+    ) -> Self {
+        assert!(rows > 0 && cols > 0 && mux > 0, "degenerate subarray");
+        assert!(mux <= cols, "mux degree cannot exceed columns");
+
+        let f = tech.feature_size.value();
+        let vdd = tech.vdd.value();
+        let sensed_cols = cols / mux;
+        let levels = bits_per_cell.levels() as f64;
+        let mlc = bits_per_cell.bits() > 1;
+
+        // --- Geometry ---------------------------------------------------
+        let cell_w = (cell.area.value() * cell.aspect_ratio).sqrt() * f;
+        let cell_h = (cell.area.value() / cell.aspect_ratio).sqrt() * f;
+        let array_width = cols as f64 * cell_w;
+        let array_height = rows as f64 * cell_h;
+
+        // --- Wordline ----------------------------------------------------
+        let gate_per_cell = match cell.access {
+            AccessDevice::CmosTransistor { width_f } => tech.gate_cap(width_f),
+            AccessDevice::SelfSelecting => tech.gate_cap(2.0),
+            AccessDevice::Selector => 0.02e-15,
+        };
+        let wl = Wire::local(tech, array_width).with_load(cols as f64 * gate_per_cell);
+
+        // Wordline voltages: FET-sensed cells need the read bias on the
+        // gate; programming needs the write voltage (plus pass-gate margin
+        // for transistor-accessed cells).
+        let v_wl_read = match cell.read.scheme {
+            SenseScheme::FetSense => cell.read.voltage.value(),
+            _ => vdd,
+        };
+        let v_wl_write = cell.write.voltage.value().max(vdd);
+
+        let wl_drive_read = drive_load(tech, wl.capacitance, wl.resistance, v_wl_read);
+        let wl_drive_write = drive_load(tech, wl.capacitance, wl.resistance, v_wl_write);
+
+        // --- Bitline -----------------------------------------------------
+        let drain_per_cell = match cell.access {
+            AccessDevice::CmosTransistor { width_f } => tech.drain_cap(width_f),
+            AccessDevice::SelfSelecting => tech.drain_cap(2.0),
+            AccessDevice::Selector => 0.05e-15,
+        };
+        let bl = Wire::local(tech, array_height).with_load(rows as f64 * drain_per_cell);
+
+        // Margin the sense amp needs on its input.
+        let i_cell = cell.read.cell_current.value().max(1.0e-7);
+        let (sense_margin_v, swing_fraction) = match cell.read.scheme {
+            SenseScheme::VoltageDifferential => (0.10, 0.30),
+            SenseScheme::CurrentSense => (0.05, 0.08),
+            // Full-ish swing at the elevated read voltage: the expensive one.
+            SenseScheme::FetSense => (0.25, 0.45),
+            SenseScheme::ChargeSense => (0.10, 0.30),
+        };
+        // MLC sensing distinguishes `levels` states: smaller margins and
+        // one SAR phase per stored bit.
+        let margin_scale = if mlc { levels / 2.0 } else { 1.0 };
+        let phases = bits_per_cell.bits() as f64;
+        let t_develop = bl.capacitance * sense_margin_v * margin_scale / i_cell;
+        let t_bl_single = cell.read.min_sense_time.value() + t_develop + bl.elmore_delay();
+        let t_bl = t_bl_single * phases;
+
+        // --- Components ---------------------------------------------------
+        let decoder = Decoder::new(tech, rows);
+        let col_decoder = Decoder::new(tech, mux.max(2));
+        let sa = SenseAmp::new(tech, cell.read.scheme);
+        let pre = Precharger::new(tech);
+        let driver = WriteDriver::new(
+            tech,
+            cell.write.current.value(),
+            cell.write.voltage.value(),
+        );
+
+        // --- Read path -----------------------------------------------------
+        let t_mux_out = 1.5 * tech.fo4_delay;
+        let read_latency =
+            decoder.delay + wl_drive_read.delay + t_bl + sa.delay * phases + t_mux_out;
+        // Destructive reads (FeRAM) restore in the background but stretch
+        // the cycle by the write-back pulse.
+        let restore = if cell.read.scheme.is_destructive() {
+            cell.write.effective_pulse().value()
+        } else {
+            0.0
+        };
+        let read_cycle = read_latency + t_develop.max(0.2e-9) + restore;
+
+        // --- Write path -----------------------------------------------------
+        let pulse = cell.write.effective_pulse().value() * if mlc { levels - 1.0 } else { 1.0 };
+        let write_latency = decoder.delay + wl_drive_write.delay + driver.delay + pulse;
+        let write_cycle = write_latency + 0.2e-9;
+
+        // --- Read energy ----------------------------------------------------
+        let v_read = cell.read.voltage.value();
+        let bl_swing_v = v_read * swing_fraction;
+        // Sensed columns develop margin. In voltage/charge sensing every
+        // column on the row swings whether sensed or not; FET-sensed arrays
+        // are worse still — raising the wordline gates *every* storage
+        // transistor on the row, so every bitline conducts at the elevated
+        // read voltage. Only clamped current sensing confines the swing to
+        // the selected columns.
+        let swinging_cols = match cell.read.scheme {
+            SenseScheme::VoltageDifferential
+            | SenseScheme::ChargeSense
+            | SenseScheme::FetSense => cols as f64,
+            SenseScheme::CurrentSense => sensed_cols as f64,
+        };
+        let e_bitlines = swinging_cols * bl.capacitance * v_read * bl_swing_v * phases;
+        // Conduction energy: every swinging column has a conducting cell for
+        // the whole sense window (FET-sensed and voltage-sensed rows turn on
+        // all their cells); clamped current sensing confines conduction to
+        // the selected columns.
+        let e_cells = swinging_cols * v_read * i_cell * t_bl;
+        // Biased sense amplifiers (current/FET/charge mode) burn their bias
+        // current for the whole margin-development window — slow sensing is
+        // energy-expensive, not just latency-expensive.
+        let sa_bias_current = match cell.read.scheme {
+            SenseScheme::VoltageDifferential => 0.0,
+            _ => 5.0e-6,
+        };
+        let e_sense = sensed_cols as f64
+            * (sa.energy + sa_bias_current * vdd * t_bl_single)
+            * phases;
+        let e_restore = if cell.read.scheme.is_destructive() {
+            cols as f64 * cell.write_energy_per_cell().value() / driver.supply_efficiency
+        } else {
+            0.0
+        };
+        let read_energy = decoder.energy
+            + col_decoder.energy
+            + wl_drive_read.energy
+            + e_bitlines
+            + e_cells
+            + e_sense
+            + e_restore
+            + t_mux_out * 0.0 // mux switching folded into SA/output energy
+            + sensed_cols as f64 * 0.5e-15 * vdd * vdd; // output latches
+
+        // --- Write energy ----------------------------------------------------
+        let v_write = cell.write.voltage.value();
+        let mlc_write_scale = if mlc { levels - 1.0 } else { 1.0 };
+        let e_write_cells = sensed_cols as f64 * cell.write_energy_per_cell().value()
+            * mlc_write_scale
+            / driver.supply_efficiency;
+        let e_write_bitlines =
+            sensed_cols as f64 * bl.capacitance * v_write * v_write / driver.supply_efficiency;
+        let write_energy = decoder.energy
+            + col_decoder.energy
+            + wl_drive_write.energy / driver.supply_efficiency
+            + e_write_bitlines
+            + e_write_cells
+            + sensed_cols as f64 * driver.energy;
+
+        // --- Leakage ----------------------------------------------------------
+        let cell_leak = rows as f64 * cols as f64 * cell.cell_leakage.value();
+        // One driver chain per row leaks (deeply power-gated to ~6 %);
+        // chains are sized for the wordline load, so wide access transistors
+        // (big write currents) and big cells ⇒ leakier row drivers.
+        let wl_driver_leak = rows as f64 * wl_drive_read.leakage * 0.06;
+        let periphery_leak = decoder.leakage
+            + col_decoder.leakage
+            + sensed_cols as f64 * (sa.leakage + driver.leakage)
+            + cols as f64 * pre.leakage;
+        let leakage = cell_leak + wl_driver_leak + periphery_leak;
+
+        // --- Area ---------------------------------------------------------------
+        let f2 = f * f;
+        // Drivers stack in the decode strip at ~1.5 F² of strip area per
+        // feature of device width (folded layout).
+        let decoder_area = (decoder.total_width_f + rows as f64 * wl_drive_read.total_width_f)
+            * 1.5
+            * f2;
+        let decoder_strip_w = decoder_area / array_height.max(f);
+        let sa_strip_h =
+            sensed_cols as f64 * (sa.area_f2 + driver.area_f2) * f2 / array_width.max(f);
+        let pre_strip_h = cols as f64 * pre.area_f2 * f2 / array_width.max(f);
+        let width = array_width + decoder_strip_w;
+        let height = array_height + sa_strip_h + pre_strip_h;
+
+        Self {
+            rows,
+            cols,
+            mux,
+            bits_per_cell,
+            array_width,
+            array_height,
+            width,
+            height,
+            read_latency,
+            write_latency,
+            read_cycle,
+            write_cycle,
+            read_energy,
+            write_energy,
+            leakage,
+            bits_per_access: (sensed_cols as u64) * u64::from(bits_per_cell.bits()),
+        }
+    }
+
+    /// Storage capacity of the subarray in bits.
+    pub fn capacity_bits(&self) -> u64 {
+        self.rows as u64 * self.cols as u64 * u64::from(self.bits_per_cell.bits())
+    }
+
+    /// Total silicon area, m².
+    pub fn total_area(&self) -> f64 {
+        self.width * self.height
+    }
+
+    /// Fraction of the area spent on cells rather than periphery.
+    pub fn area_efficiency(&self) -> f64 {
+        (self.array_width * self.array_height) / self.total_area()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::technology::lookup;
+    use nvmx_celldb::{custom, tentpole, CellFlavor, TechnologyClass};
+    use nvmx_units::Meters;
+
+    fn t22() -> TechnologyParams {
+        lookup(Meters::from_nano(22.0))
+    }
+
+    fn stt_opt() -> CellDefinition {
+        tentpole::tentpole_cell(TechnologyClass::Stt, CellFlavor::Optimistic).unwrap()
+    }
+
+    #[test]
+    fn nanosecond_scale_read() {
+        let tech = t22();
+        let sub = Subarray::characterize(&tech, &stt_opt(), 512, 1024, 4, BitsPerCell::Slc);
+        assert!(
+            (0.3e-9..10.0e-9).contains(&sub.read_latency),
+            "STT subarray read latency {}",
+            sub.read_latency
+        );
+    }
+
+    #[test]
+    fn sram_subarray_sanity() {
+        let tech = lookup(Meters::from_nano(16.0));
+        let sram = custom::sram_16nm();
+        let sub = Subarray::characterize(&tech, &sram, 256, 512, 4, BitsPerCell::Slc);
+        assert!(sub.read_latency < 2.0e-9, "SRAM read {}", sub.read_latency);
+        assert!(sub.write_latency < 2.0e-9, "SRAM write {}", sub.write_latency);
+        // 128 sensed columns: energy should be tens of pJ at most.
+        assert!(sub.read_energy < 100.0e-12, "SRAM read energy {}", sub.read_energy);
+        assert!(sub.leakage > 0.0);
+    }
+
+    #[test]
+    fn write_pulse_dominates_nvm_write_latency() {
+        let tech = t22();
+        let cell = stt_opt();
+        let sub = Subarray::characterize(&tech, &cell, 512, 1024, 4, BitsPerCell::Slc);
+        assert!(sub.write_latency >= cell.write.pulse.value());
+        assert!(sub.write_latency < cell.write.pulse.value() + 3.0e-9);
+    }
+
+    #[test]
+    fn taller_arrays_are_slower() {
+        let tech = t22();
+        let cell = stt_opt();
+        let short = Subarray::characterize(&tech, &cell, 128, 1024, 4, BitsPerCell::Slc);
+        let tall = Subarray::characterize(&tech, &cell, 2048, 1024, 4, BitsPerCell::Slc);
+        assert!(tall.read_latency > short.read_latency);
+    }
+
+    #[test]
+    fn mlc_doubles_capacity_and_slows_access() {
+        let tech = t22();
+        let cell = tentpole::tentpole_cell(TechnologyClass::Rram, CellFlavor::Optimistic).unwrap();
+        let slc = Subarray::characterize(&tech, &cell, 512, 512, 4, BitsPerCell::Slc);
+        let mlc = Subarray::characterize(&tech, &cell, 512, 512, 4, BitsPerCell::Mlc2);
+        assert_eq!(mlc.capacity_bits(), 2 * slc.capacity_bits());
+        assert_eq!(mlc.bits_per_access, 2 * slc.bits_per_access);
+        assert!(mlc.read_latency > slc.read_latency);
+        assert!(mlc.write_latency > slc.write_latency);
+        assert!(mlc.read_energy > slc.read_energy);
+    }
+
+    #[test]
+    fn fefet_reads_cost_more_energy_than_stt() {
+        // The array-level read-energy tiering behind paper Fig. 5.
+        let tech = t22();
+        let stt = Subarray::characterize(&tech, &stt_opt(), 512, 1024, 8, BitsPerCell::Slc);
+        let fefet_cell =
+            tentpole::tentpole_cell(TechnologyClass::FeFet, CellFlavor::Optimistic).unwrap();
+        let fefet =
+            Subarray::characterize(&tech, &fefet_cell, 512, 1024, 8, BitsPerCell::Slc);
+        assert!(
+            fefet.read_energy > stt.read_energy,
+            "FeFET {} vs STT {}",
+            fefet.read_energy,
+            stt.read_energy
+        );
+    }
+
+    #[test]
+    fn sram_cells_dominate_sram_leakage() {
+        let tech = lookup(Meters::from_nano(16.0));
+        let sram = custom::sram_16nm();
+        let sub = Subarray::characterize(&tech, &sram, 512, 512, 4, BitsPerCell::Slc);
+        let cell_leak = 512.0 * 512.0 * sram.cell_leakage.value();
+        assert!(sub.leakage > cell_leak * 0.9);
+        assert!(cell_leak / sub.leakage > 0.5, "cells should dominate SRAM leakage");
+    }
+
+    #[test]
+    fn nvm_leakage_is_periphery_only_and_small() {
+        let tech = t22();
+        let stt = Subarray::characterize(&tech, &stt_opt(), 512, 1024, 4, BitsPerCell::Slc);
+        let tech16 = lookup(Meters::from_nano(16.0));
+        let sram =
+            Subarray::characterize(&tech16, &custom::sram_16nm(), 512, 1024, 4, BitsPerCell::Slc);
+        assert!(
+            stt.leakage < sram.leakage / 5.0,
+            "eNVM leakage {} should be ≪ SRAM {}",
+            stt.leakage,
+            sram.leakage
+        );
+    }
+
+    #[test]
+    fn area_efficiency_in_unit_interval() {
+        let tech = t22();
+        let sub = Subarray::characterize(&tech, &stt_opt(), 512, 1024, 4, BitsPerCell::Slc);
+        let eff = sub.area_efficiency();
+        assert!((0.05..1.0).contains(&eff), "{eff}");
+    }
+
+    #[test]
+    fn wider_mux_means_fewer_bits_and_less_sense_energy() {
+        let tech = t22();
+        let cell = stt_opt();
+        let narrow = Subarray::characterize(&tech, &cell, 512, 1024, 2, BitsPerCell::Slc);
+        let wide = Subarray::characterize(&tech, &cell, 512, 1024, 16, BitsPerCell::Slc);
+        assert!(wide.bits_per_access < narrow.bits_per_access);
+        assert!(wide.read_energy < narrow.read_energy);
+    }
+
+    #[test]
+    #[should_panic(expected = "mux")]
+    fn mux_larger_than_cols_panics() {
+        let tech = t22();
+        Subarray::characterize(&tech, &stt_opt(), 16, 8, 16, BitsPerCell::Slc);
+    }
+}

@@ -1,0 +1,232 @@
+//! CMOS process-technology parameters (CACTI/NVSim-style).
+//!
+//! The simulator carries a small library of predictive technology nodes.
+//! Peripheral circuitry (decoders, sense amplifiers, drivers) is built from
+//! these parameters; memory-cell geometry scales with the node's feature
+//! size. Requesting a node between two library entries log-interpolates.
+
+use nvmx_units::{Meters, Volts};
+use serde::{Deserialize, Serialize};
+
+/// Electrical parameters of one logic process node.
+///
+/// All values are in SI units; per-width quantities are per meter of
+/// transistor width.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TechnologyParams {
+    /// Feature size F.
+    pub feature_size: Meters,
+    /// Nominal supply voltage.
+    pub vdd: Volts,
+    /// NMOS threshold voltage (used by the Horowitz delay model).
+    pub vth: Volts,
+    /// Fanout-of-4 inverter delay, seconds.
+    pub fo4_delay: f64,
+    /// Gate capacitance per meter of transistor width, F/m.
+    pub c_gate_per_m: f64,
+    /// Drain/junction capacitance per meter of width, F/m.
+    pub c_drain_per_m: f64,
+    /// Effective NMOS on-resistance × width, Ω·m (divide by width for Ω).
+    pub r_on_n_per_m: f64,
+    /// Subthreshold + gate leakage current per meter of width, A/m.
+    pub i_off_per_m: f64,
+    /// Local-layer wire resistance, Ω/m.
+    pub wire_r_per_m: f64,
+    /// Local-layer wire capacitance, F/m.
+    pub wire_c_per_m: f64,
+    /// Global-layer (H-tree) wire resistance, Ω/m.
+    pub global_wire_r_per_m: f64,
+    /// Global-layer wire capacitance, F/m.
+    pub global_wire_c_per_m: f64,
+}
+
+impl TechnologyParams {
+    /// Minimum-size transistor width (2 F by convention).
+    pub fn min_width(&self) -> f64 {
+        2.0 * self.feature_size.value()
+    }
+
+    /// Gate capacitance of a transistor `width_f` features wide.
+    pub fn gate_cap(&self, width_f: f64) -> f64 {
+        self.c_gate_per_m * width_f * self.feature_size.value()
+    }
+
+    /// Drain capacitance of a transistor `width_f` features wide.
+    pub fn drain_cap(&self, width_f: f64) -> f64 {
+        self.c_drain_per_m * width_f * self.feature_size.value()
+    }
+
+    /// On-resistance of an NMOS `width_f` features wide.
+    pub fn r_on(&self, width_f: f64) -> f64 {
+        self.r_on_n_per_m / (width_f * self.feature_size.value())
+    }
+
+    /// Leakage current of a transistor `width_f` features wide, amps.
+    pub fn leak_current(&self, width_f: f64) -> f64 {
+        self.i_off_per_m * width_f * self.feature_size.value()
+    }
+
+    /// Leakage *power* of a transistor `width_f` features wide, watts.
+    pub fn leak_power(&self, width_f: f64) -> f64 {
+        self.leak_current(width_f) * self.vdd.value()
+    }
+
+    /// Input capacitance of a minimum-size inverter.
+    pub fn c_inv_min(&self) -> f64 {
+        // NMOS (2 F) + PMOS (4 F) gate caps.
+        self.gate_cap(2.0) + self.gate_cap(4.0)
+    }
+}
+
+/// Library anchor nodes, largest to smallest.
+const LIBRARY: [TechnologyParams; 7] = [
+    node(65.0, 1.10, 0.42, 26.0e-12, 1.10e-9, 0.60e-9, 1.10e-3, 6.0e-3, 1.6e6, 2.2e-10),
+    node(45.0, 1.00, 0.40, 19.0e-12, 1.05e-9, 0.58e-9, 1.20e-3, 8.0e-3, 2.0e6, 2.1e-10),
+    node(40.0, 1.00, 0.39, 17.0e-12, 1.02e-9, 0.56e-9, 1.25e-3, 9.0e-3, 2.2e6, 2.1e-10),
+    node(32.0, 0.95, 0.38, 14.0e-12, 1.00e-9, 0.55e-9, 1.30e-3, 1.1e-2, 2.7e6, 2.0e-10),
+    node(28.0, 0.90, 0.37, 12.5e-12, 0.98e-9, 0.54e-9, 1.35e-3, 1.3e-2, 3.0e6, 2.0e-10),
+    node(22.0, 0.85, 0.36, 10.5e-12, 0.95e-9, 0.52e-9, 1.40e-3, 1.6e-2, 3.6e6, 1.9e-10),
+    node(16.0, 0.80, 0.35, 8.5e-12, 0.92e-9, 0.50e-9, 1.45e-3, 2.0e-2, 4.5e6, 1.9e-10),
+];
+
+const fn node(
+    f_nm: f64,
+    vdd: f64,
+    vth: f64,
+    fo4: f64,
+    c_gate_f_per_m: f64,  // ≈1 fF/µm ⇒ 1e-9 F/m
+    c_drain_f_per_m: f64, // ≈0.5 fF/µm ⇒ 0.5e-9 F/m
+    r_on_ohm_m: f64,      // ≈1.2 kΩ·µm ⇒ 1.2e-3 Ω·m
+    i_off_a_per_m: f64,   // ≈10–20 nA/µm ⇒ 1–2e-2 A/m
+    wire_r: f64,
+    wire_c: f64,
+) -> TechnologyParams {
+    TechnologyParams {
+        feature_size: Meters::new(f_nm * 1.0e-9),
+        vdd: Volts::new(vdd),
+        vth: Volts::new(vth),
+        fo4_delay: fo4,
+        c_gate_per_m: c_gate_f_per_m,
+        c_drain_per_m: c_drain_f_per_m,
+        r_on_n_per_m: r_on_ohm_m,
+        i_off_per_m: i_off_a_per_m,
+        wire_r_per_m: wire_r,
+        wire_c_per_m: wire_c,
+        global_wire_r_per_m: wire_r * 0.12,
+        global_wire_c_per_m: wire_c * 1.4,
+    }
+}
+
+/// Returns technology parameters for feature size `node`, interpolating
+/// between library anchors when necessary.
+///
+/// Nodes outside the library range clamp to the nearest anchor (the paper's
+/// studies run at 16–45 nm).
+///
+/// # Examples
+///
+/// ```
+/// use nvmx_nvsim::technology::lookup;
+/// use nvmx_units::Meters;
+///
+/// let t22 = lookup(Meters::from_nano(22.0));
+/// let t16 = lookup(Meters::from_nano(16.0));
+/// assert!(t16.fo4_delay < t22.fo4_delay);
+/// ```
+pub fn lookup(node: Meters) -> TechnologyParams {
+    let f = node.value();
+    let first = LIBRARY[0];
+    let last = LIBRARY[LIBRARY.len() - 1];
+    if f >= first.feature_size.value() {
+        return TechnologyParams { feature_size: node, ..first };
+    }
+    if f <= last.feature_size.value() {
+        return TechnologyParams { feature_size: node, ..last };
+    }
+    for pair in LIBRARY.windows(2) {
+        let (hi, lo) = (pair[0], pair[1]);
+        if f <= hi.feature_size.value() && f >= lo.feature_size.value() {
+            let span = hi.feature_size.value() - lo.feature_size.value();
+            let t = (f - lo.feature_size.value()) / span; // 1.0 at hi, 0.0 at lo
+            let lerp = |a: f64, b: f64| b + (a - b) * t;
+            return TechnologyParams {
+                feature_size: node,
+                vdd: Volts::new(lerp(hi.vdd.value(), lo.vdd.value())),
+                vth: Volts::new(lerp(hi.vth.value(), lo.vth.value())),
+                fo4_delay: lerp(hi.fo4_delay, lo.fo4_delay),
+                c_gate_per_m: lerp(hi.c_gate_per_m, lo.c_gate_per_m),
+                c_drain_per_m: lerp(hi.c_drain_per_m, lo.c_drain_per_m),
+                r_on_n_per_m: lerp(hi.r_on_n_per_m, lo.r_on_n_per_m),
+                i_off_per_m: lerp(hi.i_off_per_m, lo.i_off_per_m),
+                wire_r_per_m: lerp(hi.wire_r_per_m, lo.wire_r_per_m),
+                wire_c_per_m: lerp(hi.wire_c_per_m, lo.wire_c_per_m),
+                global_wire_r_per_m: lerp(hi.global_wire_r_per_m, lo.global_wire_r_per_m),
+                global_wire_c_per_m: lerp(hi.global_wire_c_per_m, lo.global_wire_c_per_m),
+            };
+        }
+    }
+    unreachable!("library windows cover the full range")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn library_is_monotone_in_fo4() {
+        for pair in LIBRARY.windows(2) {
+            assert!(pair[0].fo4_delay > pair[1].fo4_delay, "FO4 must shrink with node");
+            assert!(
+                pair[0].feature_size.value() > pair[1].feature_size.value(),
+                "library must be ordered large→small"
+            );
+        }
+    }
+
+    #[test]
+    fn lookup_exact_anchor() {
+        let t = lookup(Meters::from_nano(22.0));
+        assert!((t.fo4_delay - 10.5e-12).abs() < 1e-15);
+        assert!((t.vdd.value() - 0.85).abs() < 1e-12);
+    }
+
+    #[test]
+    fn lookup_interpolates() {
+        let t25 = lookup(Meters::from_nano(25.0));
+        let t22 = lookup(Meters::from_nano(22.0));
+        let t28 = lookup(Meters::from_nano(28.0));
+        assert!(t25.fo4_delay > t22.fo4_delay && t25.fo4_delay < t28.fo4_delay);
+        assert!((t25.feature_size.value() - 25.0e-9).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lookup_clamps_out_of_range() {
+        let t7 = lookup(Meters::from_nano(7.0));
+        let t16 = lookup(Meters::from_nano(16.0));
+        assert_eq!(t7.fo4_delay, t16.fo4_delay);
+        assert!((t7.feature_size.value() - 7.0e-9).abs() < 1e-15);
+
+        let t90 = lookup(Meters::from_nano(90.0));
+        let t65 = lookup(Meters::from_nano(65.0));
+        assert_eq!(t90.vdd, t65.vdd);
+    }
+
+    #[test]
+    fn derived_quantities_scale_with_width() {
+        let t = lookup(Meters::from_nano(22.0));
+        assert!((t.gate_cap(8.0) / t.gate_cap(2.0) - 4.0).abs() < 1e-9);
+        assert!((t.r_on(2.0) / t.r_on(8.0) - 4.0).abs() < 1e-9);
+        assert!(t.leak_power(4.0) > 0.0);
+        // ~1 fF/µm gate cap sanity: a 10 µm transistor ≈ 10 fF.
+        let w_f = 10.0e-6 / t.feature_size.value();
+        let c = t.gate_cap(w_f);
+        assert!((5.0e-15..20.0e-15).contains(&c), "{c}");
+    }
+
+    #[test]
+    fn min_inverter_cap_is_femtofarad_scale() {
+        let t = lookup(Meters::from_nano(22.0));
+        let c = t.c_inv_min();
+        assert!((0.05e-15..1.0e-15).contains(&c), "{c}");
+    }
+}

@@ -1,0 +1,140 @@
+//! Distributed-RC wire models: Elmore delay for array-internal lines and
+//! repeated global wires for the bank H-tree.
+
+use crate::gates::drive_load;
+use crate::technology::TechnologyParams;
+
+/// A distributed RC line of a given physical length.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Wire {
+    /// Total series resistance, Ω.
+    pub resistance: f64,
+    /// Total capacitance to ground, F.
+    pub capacitance: f64,
+    /// Physical length, m.
+    pub length: f64,
+}
+
+impl Wire {
+    /// A local-layer wire (wordlines, bitlines) of `length` meters.
+    pub fn local(tech: &TechnologyParams, length: f64) -> Self {
+        Self {
+            resistance: tech.wire_r_per_m * length,
+            capacitance: tech.wire_c_per_m * length,
+            length,
+        }
+    }
+
+    /// A global-layer wire (H-tree trunks) of `length` meters.
+    pub fn global(tech: &TechnologyParams, length: f64) -> Self {
+        Self {
+            resistance: tech.global_wire_r_per_m * length,
+            capacitance: tech.global_wire_c_per_m * length,
+            length,
+        }
+    }
+
+    /// Elmore delay of the distributed line itself (0.38·R·C), excluding
+    /// the driver.
+    pub fn elmore_delay(&self) -> f64 {
+        0.38 * self.resistance * self.capacitance
+    }
+
+    /// Adds lumped capacitance (e.g. one gate per cell pitch along a
+    /// wordline).
+    #[must_use]
+    pub fn with_load(mut self, extra_cap: f64) -> Self {
+        self.capacitance += extra_cap;
+        self
+    }
+}
+
+/// Delay/energy/leakage of a repeated global wire of `length` meters
+/// carrying one bit transition at supply swing.
+///
+/// Repeater insertion is modeled at a fixed optimal pitch; delay becomes
+/// linear in length (≈50–100 ps/mm at these nodes) rather than quadratic.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct RepeatedWire {
+    /// Total propagation delay, s.
+    pub delay: f64,
+    /// Energy per bit transition, J.
+    pub energy: f64,
+    /// Leakage of all repeaters on the line, W.
+    pub leakage: f64,
+}
+
+impl RepeatedWire {
+    /// Characterizes a repeated global wire.
+    pub fn new(tech: &TechnologyParams, length: f64) -> Self {
+        if length <= 0.0 {
+            return Self::default();
+        }
+        // Repeater every ~0.5 mm.
+        const SEGMENT: f64 = 0.5e-3;
+        let segments = (length / SEGMENT).ceil().max(1.0);
+        let seg_len = length / segments;
+        let seg = Wire::global(tech, seg_len);
+        let vdd = tech.vdd.value();
+        let drive = drive_load(tech, seg.capacitance, seg.resistance, vdd);
+        Self {
+            delay: segments * (drive.delay + seg.elmore_delay()),
+            energy: segments * (drive.energy + 0.0), // wire C charged by driver stage
+            leakage: segments * drive.leakage,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::technology::lookup;
+    use nvmx_units::Meters;
+
+    fn t22() -> TechnologyParams {
+        lookup(Meters::from_nano(22.0))
+    }
+
+    #[test]
+    fn elmore_is_quadratic_in_length() {
+        let tech = t22();
+        let w1 = Wire::local(&tech, 100.0e-6);
+        let w2 = Wire::local(&tech, 200.0e-6);
+        assert!((w2.elmore_delay() / w1.elmore_delay() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn local_bitline_delay_sanity() {
+        // A 512-cell bitline at ~50 nm pitch ≈ 26 µm: RC delay ≪ 1 ns.
+        let tech = t22();
+        let w = Wire::local(&tech, 26.0e-6).with_load(512.0 * 0.05e-15);
+        assert!(w.elmore_delay() < 0.2e-9, "{}", w.elmore_delay());
+    }
+
+    #[test]
+    fn repeated_wire_is_roughly_linear() {
+        let tech = t22();
+        let d1 = RepeatedWire::new(&tech, 1.0e-3).delay;
+        let d2 = RepeatedWire::new(&tech, 2.0e-3).delay;
+        let ratio = d2 / d1;
+        assert!((1.5..=2.5).contains(&ratio), "ratio {ratio}");
+        // ~1 mm of repeated global wire: 30–300 ps.
+        assert!((20.0e-12..400.0e-12).contains(&d1), "{d1}");
+    }
+
+    #[test]
+    fn zero_length_is_free() {
+        let tech = t22();
+        let r = RepeatedWire::new(&tech, 0.0);
+        assert_eq!(r.delay, 0.0);
+        assert_eq!(r.energy, 0.0);
+    }
+
+    #[test]
+    fn global_wire_is_faster_per_meter_than_local() {
+        let tech = t22();
+        let local = Wire::local(&tech, 1.0e-3);
+        let global = Wire::global(&tech, 1.0e-3);
+        assert!(global.resistance < local.resistance);
+    }
+}

@@ -1,0 +1,103 @@
+//! Property-based tests for the array simulator: physical monotonicities
+//! and invariants over random geometries and configurations.
+
+use nvmx_celldb::{tentpole, CellFlavor, TechnologyClass};
+use nvmx_nvsim::subarray::Subarray;
+use nvmx_nvsim::technology::lookup;
+use nvmx_nvsim::{characterize, ArrayConfig, OptimizationTarget};
+use nvmx_units::{BitsPerCell, Capacity, Meters};
+use proptest::prelude::*;
+
+fn stt() -> nvmx_celldb::CellDefinition {
+    tentpole::tentpole_cell(TechnologyClass::Stt, CellFlavor::Optimistic).expect("surveyed")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn subarray_metrics_are_positive_and_finite(
+        rows_exp in 5u32..12,
+        cols_exp in 5u32..12,
+        mux_exp in 0u32..4,
+    ) {
+        let rows = 1usize << rows_exp;
+        let cols = 1usize << cols_exp;
+        let mux = (1usize << mux_exp).min(cols);
+        let tech = lookup(Meters::from_nano(22.0));
+        let sub = Subarray::characterize(&tech, &stt(), rows, cols, mux, BitsPerCell::Slc);
+        for v in [
+            sub.read_latency, sub.write_latency, sub.read_energy,
+            sub.write_energy, sub.leakage, sub.total_area(),
+        ] {
+            prop_assert!(v.is_finite() && v > 0.0, "non-physical metric {v}");
+        }
+        prop_assert!(sub.read_cycle >= sub.read_latency);
+        prop_assert!(sub.write_cycle >= sub.write_latency);
+        prop_assert!((0.0..=1.0).contains(&sub.area_efficiency()));
+        prop_assert_eq!(sub.capacity_bits(), (rows * cols) as u64);
+    }
+
+    #[test]
+    fn more_rows_never_speed_up_reads(cols_exp in 6u32..12, mux_exp in 0u32..3) {
+        let cols = 1usize << cols_exp;
+        let mux = (1usize << mux_exp).min(cols);
+        let tech = lookup(Meters::from_nano(22.0));
+        let small = Subarray::characterize(&tech, &stt(), 128, cols, mux, BitsPerCell::Slc);
+        let large = Subarray::characterize(&tech, &stt(), 2048, cols, mux, BitsPerCell::Slc);
+        prop_assert!(large.read_latency >= small.read_latency);
+        prop_assert!(large.leakage >= small.leakage);
+    }
+
+    #[test]
+    fn bigger_capacity_needs_more_area_and_leaks_more(cap_exp in 1u64..6) {
+        let small_cfg = ArrayConfig::new(Capacity::from_mebibytes(1 << (cap_exp - 1)));
+        let large_cfg = ArrayConfig::new(Capacity::from_mebibytes(1 << cap_exp));
+        let cell = stt();
+        let small = characterize(&cell, &small_cfg).expect("characterizes");
+        let large = characterize(&cell, &large_cfg).expect("characterizes");
+        prop_assert!(large.area.value() > small.area.value());
+        prop_assert!(large.leakage.value() > small.leakage.value());
+        prop_assert_eq!(large.capacity.bits(), 2 * small.capacity.bits());
+    }
+
+    #[test]
+    fn optimizer_never_loses_to_itself(target_idx in 0usize..8) {
+        // The design chosen for target T must score at least as well on T
+        // as designs chosen for any other target.
+        let target = OptimizationTarget::ALL[target_idx];
+        let cell = stt();
+        let config = ArrayConfig::new(Capacity::from_mebibytes(2));
+        let chosen = characterize(&cell, &config.with_target(target)).expect("ok");
+        for other in OptimizationTarget::ALL {
+            let alt = characterize(&cell, &config.with_target(other)).expect("ok");
+            prop_assert!(
+                chosen.score(target) <= alt.score(target) * (1.0 + 1e-9),
+                "{target}: chosen {} vs {other}-optimized {}",
+                chosen.score(target),
+                alt.score(target)
+            );
+        }
+    }
+
+    #[test]
+    fn node_scaling_shrinks_arrays(node_a in 16.0..30.0f64, node_b in 30.0..65.0f64) {
+        let cell = stt();
+        let config = ArrayConfig::new(Capacity::from_mebibytes(2));
+        let fine = characterize(&cell, &config.with_node(Meters::from_nano(node_a))).expect("ok");
+        let coarse = characterize(&cell, &config.with_node(Meters::from_nano(node_b))).expect("ok");
+        prop_assert!(fine.area.value() < coarse.area.value());
+        prop_assert!(fine.density_mbit_per_mm2() > coarse.density_mbit_per_mm2());
+    }
+
+    #[test]
+    fn mlc_always_denser_than_slc(cap_exp in 1u64..5) {
+        let cell = tentpole::tentpole_cell(TechnologyClass::Rram, CellFlavor::Optimistic)
+            .expect("surveyed");
+        let config = ArrayConfig::new(Capacity::from_mebibytes(1 << cap_exp));
+        let slc = characterize(&cell, &config).expect("ok");
+        let mlc = characterize(&cell, &config.with_bits_per_cell(BitsPerCell::Mlc2)).expect("ok");
+        prop_assert!(mlc.density_mbit_per_mm2() > slc.density_mbit_per_mm2());
+        prop_assert!(mlc.read_latency.value() > slc.read_latency.value());
+    }
+}

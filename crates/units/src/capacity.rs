@@ -1,0 +1,221 @@
+//! Storage capacity and cell-programming-depth types.
+
+use serde::{Deserialize, Serialize};
+
+/// A storage capacity, stored as an exact bit count.
+///
+/// Paper capacities are powers of two (2 MB buffers, 16 MiB LLCs), so an
+/// integer representation avoids floating-point drift in density math.
+///
+/// # Examples
+///
+/// ```
+/// use nvmx_units::Capacity;
+/// let llc = Capacity::from_mebibytes(16);
+/// assert_eq!(llc.bytes(), 16 * 1024 * 1024);
+/// assert_eq!(format!("{llc}"), "16 MiB");
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Capacity {
+    bits: u64,
+}
+
+impl Capacity {
+    /// An empty capacity.
+    pub const ZERO: Self = Self { bits: 0 };
+
+    /// Creates a capacity from a bit count.
+    pub fn from_bits(bits: u64) -> Self {
+        Self { bits }
+    }
+
+    /// Creates a capacity from a byte count.
+    pub fn from_bytes(bytes: u64) -> Self {
+        Self { bits: bytes * 8 }
+    }
+
+    /// Creates a capacity from binary kilobytes (KiB).
+    pub fn from_kibibytes(kib: u64) -> Self {
+        Self::from_bytes(kib * 1024)
+    }
+
+    /// Creates a capacity from binary megabytes (MiB).
+    pub fn from_mebibytes(mib: u64) -> Self {
+        Self::from_bytes(mib * 1024 * 1024)
+    }
+
+    /// Creates a capacity from megabits (Mb, binary: 2²⁰ bits).
+    pub fn from_megabits(mb: u64) -> Self {
+        Self::from_bits(mb * 1024 * 1024)
+    }
+
+    /// Total number of bits.
+    pub fn bits(self) -> u64 {
+        self.bits
+    }
+
+    /// Total number of bytes (rounded down).
+    pub fn bytes(self) -> u64 {
+        self.bits / 8
+    }
+
+    /// Capacity in mebibytes as a float (for densities and plots).
+    pub fn as_mebibytes(self) -> f64 {
+        self.bits as f64 / 8.0 / 1024.0 / 1024.0
+    }
+
+    /// Capacity in megabits as a float.
+    pub fn as_megabits(self) -> f64 {
+        self.bits as f64 / 1024.0 / 1024.0
+    }
+
+    /// `true` when the bit count is a power of two.
+    pub fn is_power_of_two(self) -> bool {
+        self.bits.is_power_of_two()
+    }
+
+    /// Number of memory cells needed to store this capacity at `bpc`
+    /// bits per cell.
+    ///
+    /// ```
+    /// use nvmx_units::{BitsPerCell, Capacity};
+    /// let c = Capacity::from_bits(1024);
+    /// assert_eq!(c.cells(BitsPerCell::Mlc2), 512);
+    /// ```
+    pub fn cells(self, bpc: BitsPerCell) -> u64 {
+        self.bits.div_ceil(bpc.bits() as u64)
+    }
+}
+
+impl std::ops::Add for Capacity {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self { bits: self.bits + rhs.bits }
+    }
+}
+
+impl std::ops::Mul<u64> for Capacity {
+    type Output = Self;
+    fn mul(self, rhs: u64) -> Self {
+        Self { bits: self.bits * rhs }
+    }
+}
+
+impl std::fmt::Display for Capacity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let bytes = self.bits as f64 / 8.0;
+        const STEPS: [(&str, f64); 4] = [
+            ("GiB", 1024.0 * 1024.0 * 1024.0),
+            ("MiB", 1024.0 * 1024.0),
+            ("KiB", 1024.0),
+            ("B", 1.0),
+        ];
+        for (suffix, scale) in STEPS {
+            if bytes >= scale {
+                let scaled = bytes / scale;
+                return if (scaled - scaled.round()).abs() < 1e-9 {
+                    write!(f, "{} {}", scaled.round() as u64, suffix)
+                } else {
+                    write!(f, "{scaled:.2} {suffix}")
+                };
+            }
+        }
+        write!(f, "{} b", self.bits)
+    }
+}
+
+/// Number of logical bits programmed into one physical memory cell.
+///
+/// Multi-level-cell (MLC) programming doubles density at the cost of tighter
+/// level margins and therefore higher fault rates (paper Sec. V-C).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum BitsPerCell {
+    /// Single-level cell: one bit per cell.
+    #[default]
+    Slc,
+    /// Two-bit multi-level cell: four analog levels per cell.
+    Mlc2,
+    /// Three-bit multi-level cell: eight analog levels per cell.
+    Mlc3,
+}
+
+impl BitsPerCell {
+    /// All supported programming depths, densest last.
+    pub const ALL: [Self; 3] = [Self::Slc, Self::Mlc2, Self::Mlc3];
+
+    /// Logical bits stored per cell.
+    pub fn bits(self) -> u32 {
+        match self {
+            Self::Slc => 1,
+            Self::Mlc2 => 2,
+            Self::Mlc3 => 3,
+        }
+    }
+
+    /// Number of distinguishable analog levels the cell must hold.
+    pub fn levels(self) -> u32 {
+        1 << self.bits()
+    }
+}
+
+impl std::fmt::Display for BitsPerCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Slc => write!(f, "SLC"),
+            Self::Mlc2 => write!(f, "MLC-2b"),
+            Self::Mlc3 => write!(f, "MLC-3b"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_constructors_agree() {
+        assert_eq!(Capacity::from_mebibytes(2), Capacity::from_kibibytes(2048));
+        assert_eq!(Capacity::from_bytes(1), Capacity::from_bits(8));
+        assert_eq!(Capacity::from_megabits(8), Capacity::from_mebibytes(1));
+    }
+
+    #[test]
+    fn display_picks_natural_suffix() {
+        assert_eq!(format!("{}", Capacity::from_mebibytes(16)), "16 MiB");
+        assert_eq!(format!("{}", Capacity::from_kibibytes(512)), "512 KiB");
+        assert_eq!(format!("{}", Capacity::from_bytes(96)), "96 B");
+    }
+
+    #[test]
+    fn mlc_halves_cell_count() {
+        let c = Capacity::from_mebibytes(1);
+        assert_eq!(c.cells(BitsPerCell::Slc), 8 * 1024 * 1024);
+        assert_eq!(c.cells(BitsPerCell::Mlc2), 4 * 1024 * 1024);
+    }
+
+    #[test]
+    fn odd_capacity_rounds_cells_up() {
+        let c = Capacity::from_bits(7);
+        assert_eq!(c.cells(BitsPerCell::Mlc2), 4);
+        assert_eq!(c.cells(BitsPerCell::Mlc3), 3);
+    }
+
+    #[test]
+    fn levels_follow_bits() {
+        assert_eq!(BitsPerCell::Slc.levels(), 2);
+        assert_eq!(BitsPerCell::Mlc2.levels(), 4);
+        assert_eq!(BitsPerCell::Mlc3.levels(), 8);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let c = Capacity::from_mebibytes(2) + Capacity::from_mebibytes(6);
+        assert_eq!(c, Capacity::from_mebibytes(8));
+        assert_eq!(Capacity::from_mebibytes(2) * 4, Capacity::from_mebibytes(8));
+    }
+}

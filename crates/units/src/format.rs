@@ -1,0 +1,74 @@
+//! Engineering-notation formatting shared by all unit types.
+
+/// Formats `value` with an SI prefix and the given unit symbol.
+///
+/// Values are scaled into `[1, 1000)` using prefixes from femto (`f`) to tera
+/// (`T`); zero, NaN and infinities are passed through unprefixed.
+///
+/// # Examples
+///
+/// ```
+/// use nvmx_units::engineering;
+/// assert_eq!(engineering(1.2e-12, "J"), "1.20 pJ");
+/// assert_eq!(engineering(3.4e6, "B/s"), "3.40 MB/s");
+/// assert_eq!(engineering(0.0, "W"), "0.00 W");
+/// ```
+pub fn engineering(value: f64, unit: &str) -> String {
+    if value == 0.0 || !value.is_finite() {
+        return format!("{value:.2} {unit}");
+    }
+    const PREFIXES: [(&str, f64); 10] = [
+        ("f", 1e-15),
+        ("p", 1e-12),
+        ("n", 1e-9),
+        ("u", 1e-6),
+        ("m", 1e-3),
+        ("", 1.0),
+        ("k", 1e3),
+        ("M", 1e6),
+        ("G", 1e9),
+        ("T", 1e12),
+    ];
+    let magnitude = value.abs();
+    let mut chosen = PREFIXES[0];
+    for prefix in PREFIXES {
+        if magnitude >= prefix.1 {
+            chosen = prefix;
+        }
+    }
+    // Below the femto range, fall back to scientific notation.
+    if magnitude < 1e-15 {
+        return format!("{value:.2e} {unit}");
+    }
+    format!("{:.2} {}{}", value / chosen.1, chosen.0, unit)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::engineering;
+
+    #[test]
+    fn picks_expected_prefixes() {
+        assert_eq!(engineering(1.5e-9, "s"), "1.50 ns");
+        assert_eq!(engineering(2.0e-6, "s"), "2.00 us");
+        assert_eq!(engineering(0.25, "W"), "250.00 mW");
+        assert_eq!(engineering(1.0, "W"), "1.00 W");
+        assert_eq!(engineering(4.2e3, "W"), "4.20 kW");
+        assert_eq!(engineering(9.9e12, "B"), "9.90 TB");
+    }
+
+    #[test]
+    fn negative_values_keep_sign() {
+        assert_eq!(engineering(-3.0e-3, "J"), "-3.00 mJ");
+    }
+
+    #[test]
+    fn tiny_values_fall_back_to_scientific() {
+        assert!(engineering(1e-18, "J").contains('e'));
+    }
+
+    #[test]
+    fn non_finite_passthrough() {
+        assert_eq!(engineering(f64::INFINITY, "s"), "inf s");
+    }
+}

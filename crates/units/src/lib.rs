@@ -1,0 +1,104 @@
+//! Unit newtypes shared by every NVMExplorer-RS crate.
+//!
+//! Memory modeling mixes quantities that live many orders of magnitude apart
+//! (cell read energies in femtojoules, array leakage in milliwatts, lifetimes
+//! in years). Representing each quantity as a dedicated newtype keeps the
+//! arithmetic honest — a [`Seconds`] can never be added to a [`Joules`] — and
+//! the engineering-notation [`std::fmt::Display`] impls keep reports legible.
+//!
+//! # Examples
+//!
+//! ```
+//! use nvmx_units::{Joules, Seconds, Watts};
+//!
+//! let access_energy = Joules::from_pico(1.2);
+//! let dynamic_power: Watts = access_energy.at_rate(1.0e9);
+//! assert_eq!(format!("{dynamic_power}"), "1.20 mW");
+//!
+//! let window = Seconds::from_milli(16.7);
+//! let energy_per_frame = dynamic_power * window;
+//! assert_eq!(format!("{energy_per_frame}"), "20.04 uJ");
+//! ```
+
+mod capacity;
+mod format;
+mod quantities;
+
+pub use capacity::{BitsPerCell, Capacity};
+pub use format::engineering;
+pub use quantities::{
+    switching_energy, Amps, Farads, FeatureSquares, Hertz, Joules, Meters, Ohms, Seconds,
+    SquareMillimeters, Volts, Watts,
+};
+
+/// Ratio of two like quantities, e.g. area efficiency or utilization.
+///
+/// A plain `f64` wrapper that documents "dimensionless fraction in `[0, ∞)`".
+///
+/// # Examples
+///
+/// ```
+/// use nvmx_units::Ratio;
+/// let eff = Ratio::new(0.62);
+/// assert_eq!(eff.as_percent(), 62.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+pub struct Ratio(f64);
+
+impl Ratio {
+    /// Creates a ratio from a raw fraction (1.0 == 100 %).
+    pub fn new(fraction: f64) -> Self {
+        Ratio(fraction)
+    }
+
+    /// Creates a ratio from a percentage (100.0 == 1.0).
+    pub fn from_percent(percent: f64) -> Self {
+        Ratio(percent / 100.0)
+    }
+
+    /// Returns the raw fraction.
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the ratio expressed as a percentage.
+    pub fn as_percent(self) -> f64 {
+        self.0 * 100.0
+    }
+
+    /// Clamps the ratio into `[0, 1]`.
+    #[must_use]
+    pub fn clamped(self) -> Self {
+        Ratio(self.0.clamp(0.0, 1.0))
+    }
+}
+
+impl std::fmt::Display for Ratio {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.2}%", self.as_percent())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratio_percent_roundtrip() {
+        let r = Ratio::from_percent(37.5);
+        assert!((r.value() - 0.375).abs() < 1e-12);
+        assert!((r.as_percent() - 37.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ratio_clamp() {
+        assert_eq!(Ratio::new(1.7).clamped().value(), 1.0);
+        assert_eq!(Ratio::new(-0.2).clamped().value(), 0.0);
+        assert_eq!(Ratio::new(0.4).clamped().value(), 0.4);
+    }
+
+    #[test]
+    fn ratio_display() {
+        assert_eq!(format!("{}", Ratio::new(0.625)), "62.50%");
+    }
+}

@@ -1,0 +1,553 @@
+//! The scalar physical quantities used throughout the framework.
+
+use crate::format::engineering;
+
+/// Defines an `f64`-backed unit newtype with constructors, accessors,
+/// arithmetic against itself and scalars, and engineering display.
+macro_rules! define_unit {
+    (
+        $(#[$meta:meta])*
+        $name:ident, $symbol:literal,
+        { $($(#[$cmeta:meta])* $ctor:ident => $scale:expr),* $(,)? }
+    ) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default,
+                 serde::Serialize, serde::Deserialize)]
+        #[serde(transparent)]
+        pub struct $name(f64);
+
+        impl $name {
+            /// The zero value of this quantity.
+            pub const ZERO: Self = Self(0.0);
+
+            /// Creates a value expressed in the base SI unit.
+            pub const fn new(base_si: f64) -> Self {
+                Self(base_si)
+            }
+
+            $(
+                $(#[$cmeta])*
+                pub fn $ctor(value: f64) -> Self {
+                    Self(value * $scale)
+                }
+            )*
+
+            /// Returns the value in the base SI unit.
+            pub fn value(self) -> f64 {
+                self.0
+            }
+
+            /// Returns the smaller of two values.
+            #[must_use]
+            pub fn min(self, other: Self) -> Self {
+                Self(self.0.min(other.0))
+            }
+
+            /// Returns the larger of two values.
+            #[must_use]
+            pub fn max(self, other: Self) -> Self {
+                Self(self.0.max(other.0))
+            }
+
+            /// Returns `true` when the value is finite (not NaN/∞).
+            pub fn is_finite(self) -> bool {
+                self.0.is_finite()
+            }
+        }
+
+        impl std::ops::Add for $name {
+            type Output = Self;
+            fn add(self, rhs: Self) -> Self {
+                Self(self.0 + rhs.0)
+            }
+        }
+
+        impl std::ops::AddAssign for $name {
+            fn add_assign(&mut self, rhs: Self) {
+                self.0 += rhs.0;
+            }
+        }
+
+        impl std::ops::Sub for $name {
+            type Output = Self;
+            fn sub(self, rhs: Self) -> Self {
+                Self(self.0 - rhs.0)
+            }
+        }
+
+        impl std::ops::Mul<f64> for $name {
+            type Output = Self;
+            fn mul(self, rhs: f64) -> Self {
+                Self(self.0 * rhs)
+            }
+        }
+
+        impl std::ops::Mul<$name> for f64 {
+            type Output = $name;
+            fn mul(self, rhs: $name) -> $name {
+                $name(self * rhs.0)
+            }
+        }
+
+        impl std::ops::Div<f64> for $name {
+            type Output = Self;
+            fn div(self, rhs: f64) -> Self {
+                Self(self.0 / rhs)
+            }
+        }
+
+        /// Ratio of two like quantities is dimensionless.
+        impl std::ops::Div for $name {
+            type Output = f64;
+            fn div(self, rhs: Self) -> f64 {
+                self.0 / rhs.0
+            }
+        }
+
+        impl std::iter::Sum for $name {
+            fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+                Self(iter.map(|v| v.0).sum())
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}", engineering(self.0, $symbol))
+            }
+        }
+    };
+}
+
+define_unit!(
+    /// A duration, stored in seconds.
+    ///
+    /// ```
+    /// use nvmx_units::Seconds;
+    /// assert_eq!(format!("{}", Seconds::from_nano(2.5)), "2.50 ns");
+    /// ```
+    Seconds, "s",
+    {
+        /// Creates a duration from nanoseconds.
+        from_nano => 1e-9,
+        /// Creates a duration from microseconds.
+        from_micro => 1e-6,
+        /// Creates a duration from milliseconds.
+        from_milli => 1e-3,
+        /// Creates a duration from picoseconds.
+        from_pico => 1e-12,
+        /// Creates a duration from years (Julian years of 365.25 days).
+        from_years => 365.25 * 24.0 * 3600.0,
+    }
+);
+
+impl Seconds {
+    /// Returns the duration expressed in years (Julian years).
+    ///
+    /// Memory-lifetime projections are most legible in years.
+    pub fn as_years(self) -> f64 {
+        self.0 / (365.25 * 24.0 * 3600.0)
+    }
+}
+
+define_unit!(
+    /// An energy, stored in joules.
+    ///
+    /// ```
+    /// use nvmx_units::Joules;
+    /// assert_eq!(format!("{}", Joules::from_pico(0.8)), "800.00 fJ");
+    /// ```
+    Joules, "J",
+    {
+        /// Creates an energy from femtojoules.
+        from_femto => 1e-15,
+        /// Creates an energy from picojoules.
+        from_pico => 1e-12,
+        /// Creates an energy from nanojoules.
+        from_nano => 1e-9,
+        /// Creates an energy from microjoules.
+        from_micro => 1e-6,
+        /// Creates an energy from millijoules.
+        from_milli => 1e-3,
+    }
+);
+
+define_unit!(
+    /// A power, stored in watts.
+    ///
+    /// ```
+    /// use nvmx_units::Watts;
+    /// assert_eq!(format!("{}", Watts::from_milli(3.1)), "3.10 mW");
+    /// ```
+    Watts, "W",
+    {
+        /// Creates a power from nanowatts.
+        from_nano => 1e-9,
+        /// Creates a power from microwatts.
+        from_micro => 1e-6,
+        /// Creates a power from milliwatts.
+        from_milli => 1e-3,
+    }
+);
+
+/// An area, stored in square millimeters.
+///
+/// Note: unlike the other quantities this is **not** in the base SI unit —
+/// mm² is the universal currency of memory-macro area, so it gets a plain
+/// fixed-unit display instead of SI prefixes.
+///
+/// ```
+/// use nvmx_units::SquareMillimeters;
+/// let a = SquareMillimeters::from_square_microns(2.0e6);
+/// assert!((a.value() - 2.0).abs() < 1e-12);
+/// assert_eq!(format!("{a}"), "2.000 mm^2");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+#[serde(transparent)]
+pub struct SquareMillimeters(f64);
+
+impl SquareMillimeters {
+    /// The zero area.
+    pub const ZERO: Self = Self(0.0);
+
+    /// Creates an area expressed in mm².
+    pub const fn new(mm2: f64) -> Self {
+        Self(mm2)
+    }
+
+    /// Creates an area from square microns.
+    pub fn from_square_microns(um2: f64) -> Self {
+        Self(um2 * 1e-6)
+    }
+
+    /// Creates an area from square meters.
+    pub fn from_square_meters(m2: f64) -> Self {
+        Self(m2 * 1e6)
+    }
+
+    /// Returns the area in mm².
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// Returns the smaller of two areas.
+    #[must_use]
+    pub fn min(self, other: Self) -> Self {
+        Self(self.0.min(other.0))
+    }
+
+    /// Returns the larger of two areas.
+    #[must_use]
+    pub fn max(self, other: Self) -> Self {
+        Self(self.0.max(other.0))
+    }
+
+    /// `true` when the value is finite.
+    pub fn is_finite(self) -> bool {
+        self.0.is_finite()
+    }
+}
+
+impl std::ops::Add for SquareMillimeters {
+    type Output = Self;
+    fn add(self, rhs: Self) -> Self {
+        Self(self.0 + rhs.0)
+    }
+}
+
+impl std::ops::AddAssign for SquareMillimeters {
+    fn add_assign(&mut self, rhs: Self) {
+        self.0 += rhs.0;
+    }
+}
+
+impl std::ops::Sub for SquareMillimeters {
+    type Output = Self;
+    fn sub(self, rhs: Self) -> Self {
+        Self(self.0 - rhs.0)
+    }
+}
+
+impl std::ops::Mul<f64> for SquareMillimeters {
+    type Output = Self;
+    fn mul(self, rhs: f64) -> Self {
+        Self(self.0 * rhs)
+    }
+}
+
+impl std::ops::Div<f64> for SquareMillimeters {
+    type Output = Self;
+    fn div(self, rhs: f64) -> Self {
+        Self(self.0 / rhs)
+    }
+}
+
+impl std::ops::Div for SquareMillimeters {
+    type Output = f64;
+    fn div(self, rhs: Self) -> f64 {
+        self.0 / rhs.0
+    }
+}
+
+impl std::iter::Sum for SquareMillimeters {
+    fn sum<I: Iterator<Item = Self>>(iter: I) -> Self {
+        Self(iter.map(|v| v.0).sum())
+    }
+}
+
+impl std::fmt::Display for SquareMillimeters {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.0 != 0.0 && self.0.abs() < 0.001 {
+            write!(f, "{:.1} um^2", self.0 * 1.0e6)
+        } else {
+            write!(f, "{:.3} mm^2", self.0)
+        }
+    }
+}
+
+define_unit!(
+    /// A length, stored in meters.
+    Meters, "m",
+    {
+        /// Creates a length from nanometers.
+        from_nano => 1e-9,
+        /// Creates a length from microns.
+        from_micro => 1e-6,
+        /// Creates a length from millimeters.
+        from_milli => 1e-3,
+    }
+);
+
+define_unit!(
+    /// A capacitance, stored in farads.
+    Farads, "F",
+    {
+        /// Creates a capacitance from femtofarads.
+        from_femto => 1e-15,
+        /// Creates a capacitance from picofarads.
+        from_pico => 1e-12,
+        /// Creates a capacitance from attofarads.
+        from_atto => 1e-18,
+    }
+);
+
+define_unit!(
+    /// A resistance, stored in ohms.
+    Ohms, "Ohm",
+    {
+        /// Creates a resistance from kiloohms.
+        from_kilo => 1e3,
+        /// Creates a resistance from megaohms.
+        from_mega => 1e6,
+    }
+);
+
+define_unit!(
+    /// A voltage, stored in volts.
+    Volts, "V",
+    {
+        /// Creates a voltage from millivolts.
+        from_milli => 1e-3,
+    }
+);
+
+define_unit!(
+    /// A current, stored in amps.
+    Amps, "A",
+    {
+        /// Creates a current from microamps.
+        from_micro => 1e-6,
+        /// Creates a current from milliamps.
+        from_milli => 1e-3,
+        /// Creates a current from nanoamps.
+        from_nano => 1e-9,
+    }
+);
+
+define_unit!(
+    /// A frequency, stored in hertz.
+    Hertz, "Hz",
+    {
+        /// Creates a frequency from megahertz.
+        from_mega => 1e6,
+        /// Creates a frequency from gigahertz.
+        from_giga => 1e9,
+    }
+);
+
+define_unit!(
+    /// Cell footprint in units of F² (squared feature size).
+    ///
+    /// Device papers report cell area technology-independently as multiples
+    /// of F²; the physical area follows once a process node fixes F.
+    FeatureSquares, "F^2",
+    {}
+);
+
+impl FeatureSquares {
+    /// Physical area of this footprint at feature size `f`.
+    ///
+    /// ```
+    /// use nvmx_units::{FeatureSquares, Meters};
+    /// let cell = FeatureSquares::new(146.0); // SRAM 6T
+    /// let area = cell.at_feature_size(Meters::from_nano(16.0));
+    /// assert!(area.value() > 0.0);
+    /// ```
+    pub fn at_feature_size(self, f: Meters) -> SquareMillimeters {
+        SquareMillimeters::from_square_meters(self.0 * f.value() * f.value())
+    }
+}
+
+// --- Cross-quantity physics --------------------------------------------
+
+impl std::ops::Mul<Seconds> for Watts {
+    type Output = Joules;
+    fn mul(self, rhs: Seconds) -> Joules {
+        Joules::new(self.value() * rhs.value())
+    }
+}
+
+impl std::ops::Mul<Watts> for Seconds {
+    type Output = Joules;
+    fn mul(self, rhs: Watts) -> Joules {
+        rhs * self
+    }
+}
+
+impl std::ops::Div<Seconds> for Joules {
+    type Output = Watts;
+    fn div(self, rhs: Seconds) -> Watts {
+        Watts::new(self.value() / rhs.value())
+    }
+}
+
+impl Joules {
+    /// Average power of events costing this energy at `events_per_second`.
+    ///
+    /// ```
+    /// use nvmx_units::Joules;
+    /// let p = Joules::from_pico(2.0).at_rate(1.0e9);
+    /// assert!((p.value() - 2.0e-3).abs() < 1e-15);
+    /// ```
+    pub fn at_rate(self, events_per_second: f64) -> Watts {
+        Watts::new(self.value() * events_per_second)
+    }
+}
+
+impl std::ops::Mul<Amps> for Volts {
+    type Output = Watts;
+    fn mul(self, rhs: Amps) -> Watts {
+        Watts::new(self.value() * rhs.value())
+    }
+}
+
+impl std::ops::Mul<Volts> for Amps {
+    type Output = Watts;
+    fn mul(self, rhs: Volts) -> Watts {
+        rhs * self
+    }
+}
+
+impl std::ops::Mul<Farads> for Ohms {
+    type Output = Seconds;
+    fn mul(self, rhs: Farads) -> Seconds {
+        Seconds::new(self.value() * rhs.value())
+    }
+}
+
+impl std::ops::Mul<Ohms> for Farads {
+    type Output = Seconds;
+    fn mul(self, rhs: Ohms) -> Seconds {
+        rhs * self
+    }
+}
+
+impl Hertz {
+    /// The period of one cycle at this frequency.
+    pub fn period(self) -> Seconds {
+        Seconds::new(1.0 / self.value())
+    }
+}
+
+impl Seconds {
+    /// The frequency whose period is this duration.
+    pub fn frequency(self) -> Hertz {
+        Hertz::new(1.0 / self.value())
+    }
+}
+
+/// Dynamic switching energy `1/2·C·V²` for charging capacitance `c` to `v`.
+///
+/// # Examples
+///
+/// ```
+/// use nvmx_units::{switching_energy, Farads, Volts};
+/// let e = switching_energy(Farads::from_femto(10.0), Volts::new(1.0));
+/// assert!((e.value() - 5.0e-15).abs() < 1e-20);
+/// ```
+pub fn switching_energy(c: Farads, v: Volts) -> Joules {
+    Joules::new(0.5 * c.value() * v.value() * v.value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn power_energy_time_identities() {
+        let p = Watts::from_milli(2.0);
+        let t = Seconds::from_milli(500.0);
+        let e = p * t;
+        assert!((e.value() - 1.0e-3).abs() < 1e-15);
+        let back = e / t;
+        assert!((back.value() - p.value()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn energy_times_rate_is_power() {
+        let e = Joules::from_pico(2.0);
+        let p = e.at_rate(1.0e9); // 1 GHz access rate
+        assert!((p.value() - 2.0e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn rc_product_is_time() {
+        let tau = Ohms::from_kilo(1.0) * Farads::from_femto(100.0);
+        assert!((tau.value() - 1.0e-10).abs() < 1e-20);
+    }
+
+    #[test]
+    fn ohms_law_power() {
+        let p = Volts::new(1.2) * Amps::from_micro(50.0);
+        assert!((p.value() - 6.0e-5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn feature_square_area() {
+        // 100 F^2 at F = 22 nm → 100 * (22e-9)^2 m^2 = 4.84e-14 m^2 = 4.84e-8 mm^2
+        let a = FeatureSquares::new(100.0).at_feature_size(Meters::from_nano(22.0));
+        assert!((a.value() - 4.84e-8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn years_roundtrip() {
+        let t = Seconds::from_years(3.0);
+        assert!((t.as_years() - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn min_max_sum() {
+        let a = Seconds::from_nano(1.0);
+        let b = Seconds::from_nano(2.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        let total: Seconds = [a, b].into_iter().sum();
+        assert!((total.value() - 3.0e-9).abs() < 1e-18);
+    }
+
+    #[test]
+    fn frequency_period_inverse() {
+        let f = Hertz::from_giga(2.0);
+        assert!((f.period().value() - 0.5e-9).abs() < 1e-18);
+        assert!((f.period().frequency().value() - f.value()).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests for the unit system: arithmetic identities,
+//! conversion roundtrips, and formatting totality.
+
+use nvmx_units::{
+    BitsPerCell, Capacity, Joules, Ratio, Seconds, SquareMillimeters, Watts,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #[test]
+    fn power_time_energy_roundtrip(p in 1.0e-9..1.0e3f64, t in 1.0e-12..1.0e6f64) {
+        let power = Watts::new(p);
+        let time = Seconds::new(t);
+        let energy = power * time;
+        let back = energy / time;
+        prop_assert!((back.value() - p).abs() / p < 1e-9);
+    }
+
+    #[test]
+    fn energy_at_rate_matches_division(e in 1.0e-15..1.0e-6f64, rate in 1.0..1.0e10f64) {
+        let power = Joules::new(e).at_rate(rate);
+        prop_assert!((power.value() - e * rate).abs() / (e * rate) < 1e-12);
+    }
+
+    #[test]
+    fn addition_is_commutative_and_monotone(a in 0.0..1.0e6f64, b in 0.0..1.0e6f64) {
+        let x = Seconds::new(a);
+        let y = Seconds::new(b);
+        prop_assert_eq!(x + y, y + x);
+        prop_assert!((x + y).value() >= x.value());
+    }
+
+    #[test]
+    fn engineering_display_is_total_and_tagged(v in -1.0e12..1.0e12f64) {
+        let text = format!("{}", Watts::new(v));
+        prop_assert!(text.ends_with('W'));
+        prop_assert!(!text.is_empty());
+    }
+
+    #[test]
+    fn area_display_never_uses_si_prefixes(v in 1.0e-9..1.0e4f64) {
+        let text = format!("{}", SquareMillimeters::new(v));
+        prop_assert!(text.ends_with("mm^2") || text.ends_with("um^2"));
+    }
+
+    #[test]
+    fn years_roundtrip(y in 1.0e-6..1.0e6f64) {
+        let t = Seconds::from_years(y);
+        prop_assert!((t.as_years() - y).abs() / y < 1e-9);
+    }
+
+    #[test]
+    fn capacity_cells_cover_all_bits(bits in 1u64..1u64<<40, bpc in 0usize..3) {
+        let bpc = BitsPerCell::ALL[bpc];
+        let c = Capacity::from_bits(bits);
+        let cells = c.cells(bpc);
+        // Enough cells to store every bit, and not one cell too many.
+        prop_assert!(cells * u64::from(bpc.bits()) >= bits);
+        prop_assert!((cells - 1) * u64::from(bpc.bits()) < bits);
+    }
+
+    #[test]
+    fn capacity_display_parses_back_to_same_magnitude(mib in 1u64..4096) {
+        let c = Capacity::from_mebibytes(mib);
+        let text = format!("{c}");
+        prop_assert!(text.contains("MiB") || text.contains("GiB"));
+    }
+
+    #[test]
+    fn ratio_clamp_is_idempotent(v in -10.0..10.0f64) {
+        let once = Ratio::new(v).clamped();
+        let twice = once.clamped();
+        prop_assert_eq!(once, twice);
+        prop_assert!((0.0..=1.0).contains(&once.value()));
+    }
+
+    #[test]
+    fn min_max_partition(a in -1.0e6..1.0e6f64, b in -1.0e6..1.0e6f64) {
+        let x = Joules::new(a);
+        let y = Joules::new(b);
+        let lo = x.min(y);
+        let hi = x.max(y);
+        prop_assert!(lo.value() <= hi.value());
+        prop_assert!((lo.value() + hi.value() - a - b).abs() < 1e-6);
+    }
+}

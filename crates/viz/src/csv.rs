@@ -1,0 +1,138 @@
+//! CSV emission — the artifact's `output/results/*.csv` interface.
+
+use std::io::Write;
+use std::path::Path;
+
+/// A header + rows CSV document builder.
+///
+/// # Examples
+///
+/// ```
+/// use nvmx_viz::csv::Csv;
+/// let mut csv = Csv::new(["tech", "read_pJ"]);
+/// csv.row(["STT", "8.4"]);
+/// assert_eq!(csv.render(), "tech,read_pJ\nSTT,8.4\n");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Csv {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+/// Quotes a CSV field when it contains separators/quotes/newlines.
+fn escape(field: &str) -> String {
+    if field.contains(',') || field.contains('"') || field.contains('\n') {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_owned()
+    }
+}
+
+impl Csv {
+    /// Creates a CSV with the given column names.
+    pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
+        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn row<S: Into<String>>(&mut self, cells: impl IntoIterator<Item = S>) -> &mut Self {
+        let mut row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when no data rows exist.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the document.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str(
+            &self.header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","),
+        );
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.iter().map(|c| escape(c)).collect::<Vec<_>>().join(","));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the document to `path`, creating parent directories.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, path: impl AsRef<Path>) -> std::io::Result<()> {
+        let path = path.as_ref();
+        if let Some(parent) = path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = std::fs::File::create(path)?;
+        file.write_all(self.render().as_bytes())
+    }
+}
+
+/// Formats an `f64` compactly for CSV cells (up to 6 significant digits,
+/// scientific for extreme magnitudes).
+pub fn num(value: f64) -> String {
+    if value == 0.0 {
+        return "0".to_owned();
+    }
+    let magnitude = value.abs();
+    if !(1.0e-4..1.0e7).contains(&magnitude) {
+        format!("{value:.4e}")
+    } else {
+        let s = format!("{value:.6}");
+        let trimmed = s.trim_end_matches('0').trim_end_matches('.');
+        trimmed.to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_header_and_rows() {
+        let mut csv = Csv::new(["a", "b"]);
+        csv.row(["1", "2"]).row(["3", "4"]);
+        assert_eq!(csv.render(), "a,b\n1,2\n3,4\n");
+        assert_eq!(csv.len(), 2);
+    }
+
+    #[test]
+    fn escapes_commas_and_quotes() {
+        let mut csv = Csv::new(["x"]);
+        csv.row(["hello, \"world\""]);
+        assert_eq!(csv.render(), "x\n\"hello, \"\"world\"\"\"\n");
+    }
+
+    #[test]
+    fn writes_to_disk() {
+        let dir = std::env::temp_dir().join("nvmx_viz_csv_test");
+        let path = dir.join("nested/out.csv");
+        let mut csv = Csv::new(["k"]);
+        csv.row(["v"]);
+        csv.write_to(&path).unwrap();
+        assert_eq!(std::fs::read_to_string(&path).unwrap(), "k\nv\n");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn num_formats_ranges() {
+        assert_eq!(num(0.0), "0");
+        assert_eq!(num(3.5), "3.5");
+        assert_eq!(num(1200.0), "1200");
+        assert!(num(2.5e-12).contains('e'));
+        assert!(num(9.0e9).contains('e'));
+    }
+}

@@ -1,0 +1,115 @@
+//! Aligned ASCII tables for terminal reports.
+
+/// A simple column-aligned text table.
+///
+/// # Examples
+///
+/// ```
+/// use nvmx_viz::table::AsciiTable;
+/// let mut t = AsciiTable::new(vec!["tech".into(), "power".into()]);
+/// t.row(vec!["STT".into(), "2.1 mW".into()]);
+/// let text = t.render();
+/// assert!(text.contains("STT"));
+/// assert!(text.lines().count() >= 3); // header, rule, one row
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AsciiTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl AsciiTable {
+    /// Creates a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        Self { header, rows: Vec::new() }
+    }
+
+    /// Appends a row; short rows are padded, long rows truncated to the
+    /// header width.
+    pub fn row(&mut self, mut cells: Vec<String>) -> &mut Self {
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+        self
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// `true` when the table has no data rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the table with a header rule.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate().take(cols) {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{cell:<width$}", width = widths[i]));
+            }
+            line.trim_end().to_owned()
+        };
+        out.push_str(&render_row(&self.header, &widths));
+        out.push('\n');
+        out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (cols.saturating_sub(1))));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&render_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for AsciiTable {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn columns_align() {
+        let mut t = AsciiTable::new(vec!["a".into(), "bb".into()]);
+        t.row(vec!["wide-cell".into(), "x".into()]);
+        t.row(vec!["y".into(), "z".into()]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // Second column starts at the same offset in all data rows.
+        let offset = lines[2].find('x').unwrap();
+        assert_eq!(lines[3].find('z').unwrap(), offset);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = AsciiTable::new(vec!["a".into(), "b".into(), "c".into()]);
+        t.row(vec!["1".into()]);
+        assert!(t.render().lines().count() == 3);
+    }
+
+    #[test]
+    fn is_empty_reflects_rows() {
+        let mut t = AsciiTable::new(vec!["a".into()]);
+        assert!(t.is_empty());
+        t.row(vec!["1".into()]);
+        assert!(!t.is_empty());
+        assert_eq!(t.len(), 1);
+    }
+}

@@ -1,0 +1,408 @@
+//! DNN accelerator traffic models (paper Sec. IV-A).
+//!
+//! An NVDLA-style analytic model: given a network's layer graph, compute the
+//! on-chip weight-buffer traffic per inference (weights are re-fetched from
+//! the buffer once per output tile), the activation traffic, and the
+//! use-case-level [`TrafficPattern`]s for continuous (frames-per-second) and
+//! intermittent (inferences-per-day) operation.
+//!
+//! Three paper networks are provided: a compact ResNet-26 for single-task
+//! image classification (int8, fits the 2 MB NVDLA buffer), ResNet-18 for
+//! the MLC reliability study (int8, ~11 MB), and ALBERT for NLP (fp16,
+//! ~22 MB; the paper provisions up to 32 MB).
+
+use crate::traffic::TrafficPattern;
+use serde::{Deserialize, Serialize};
+
+/// Output positions an atomic weight fetch is reused across before the
+/// buffer is re-read. NVDLA's convolution pipeline re-fetches each kernel
+/// block once per atomic output stripe, giving only small register-level
+/// reuse — the reason the weight buffer needs GB/s-class read bandwidth.
+const OUTPUT_TILE: u64 = 4;
+
+/// Token-tile granularity for transformer weight re-fetch (weights for a
+/// whole matmul stay resident across a tile of tokens).
+const TOKEN_TILE: u64 = 16;
+
+/// One layer of a network, shape-level only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Layer {
+    /// 2-D convolution producing `h_out × w_out × c_out`.
+    Conv {
+        /// Input channels.
+        c_in: u64,
+        /// Output channels.
+        c_out: u64,
+        /// Square kernel size.
+        kernel: u64,
+        /// Output height.
+        h_out: u64,
+        /// Output width.
+        w_out: u64,
+    },
+    /// Fully-connected layer.
+    Fc {
+        /// Input features.
+        c_in: u64,
+        /// Output features.
+        c_out: u64,
+    },
+    /// One transformer encoder block (self-attention + FFN), executed
+    /// `repeat` times with *shared* weights (ALBERT-style).
+    AttentionBlock {
+        /// Hidden dimension.
+        hidden: u64,
+        /// Sequence length.
+        seq: u64,
+        /// FFN expansion factor.
+        ff_mult: u64,
+        /// Times the block runs per inference (weights stored once).
+        repeat: u64,
+    },
+    /// Token-embedding lookup.
+    Embedding {
+        /// Vocabulary size.
+        vocab: u64,
+        /// Embedding dimension.
+        hidden: u64,
+        /// Tokens looked up per inference.
+        seq: u64,
+    },
+}
+
+impl Layer {
+    /// Stored weight parameters (shared weights counted once).
+    pub fn weight_params(&self) -> u64 {
+        match *self {
+            Layer::Conv { c_in, c_out, kernel, .. } => c_in * c_out * kernel * kernel,
+            Layer::Fc { c_in, c_out } => c_in * c_out,
+            Layer::AttentionBlock { hidden, ff_mult, .. } => {
+                4 * hidden * hidden + 2 * ff_mult * hidden * hidden
+            }
+            Layer::Embedding { vocab, hidden, .. } => vocab * hidden,
+        }
+    }
+
+    /// Weight parameters *read from the buffer* per inference, including
+    /// tile-level re-fetch and shared-weight re-execution.
+    pub fn weight_reads(&self) -> u64 {
+        match *self {
+            Layer::Conv { h_out, w_out, .. } => {
+                let tiles = (h_out * w_out).div_ceil(OUTPUT_TILE);
+                self.weight_params() * tiles
+            }
+            Layer::Fc { .. } => self.weight_params(),
+            Layer::AttentionBlock { seq, repeat, .. } => {
+                let tiles = seq.div_ceil(TOKEN_TILE);
+                self.weight_params() * tiles * repeat
+            }
+            // Embedding reads only the looked-up rows.
+            Layer::Embedding { hidden, seq, .. } => hidden * seq,
+        }
+    }
+
+    /// Activation values produced per inference.
+    pub fn activations(&self) -> u64 {
+        match *self {
+            Layer::Conv { c_out, h_out, w_out, .. } => c_out * h_out * w_out,
+            Layer::Fc { c_out, .. } => c_out,
+            Layer::AttentionBlock { hidden, seq, repeat, .. } => 4 * hidden * seq * repeat,
+            Layer::Embedding { hidden, seq, .. } => hidden * seq,
+        }
+    }
+
+    /// Multiply-accumulate operations per inference.
+    pub fn macs(&self) -> u64 {
+        match *self {
+            Layer::Conv { h_out, w_out, .. } => self.weight_params() * h_out * w_out,
+            Layer::Fc { .. } => self.weight_params(),
+            Layer::AttentionBlock { hidden, seq, repeat, .. } => {
+                (self.weight_params() * seq + 2 * seq * seq * hidden) * repeat
+            }
+            Layer::Embedding { hidden, seq, .. } => hidden * seq,
+        }
+    }
+}
+
+/// A network as a layer graph plus storage precision.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DnnModel {
+    /// Network name, e.g. `"ResNet26"`.
+    pub name: String,
+    /// Layers in execution order.
+    pub layers: Vec<Layer>,
+    /// Bytes per stored weight (1 = int8, 2 = fp16).
+    pub bytes_per_weight: u64,
+}
+
+impl DnnModel {
+    /// Total stored weight bytes (what must fit in the eNVM array).
+    pub fn weight_bytes(&self) -> u64 {
+        self.layers.iter().map(Layer::weight_params).sum::<u64>() * self.bytes_per_weight
+    }
+
+    /// Weight bytes read from the buffer per inference.
+    pub fn weight_read_bytes(&self) -> u64 {
+        self.layers.iter().map(Layer::weight_reads).sum::<u64>() * self.bytes_per_weight
+    }
+
+    /// Activation bytes written (and later read back) per inference.
+    pub fn activation_bytes(&self) -> u64 {
+        self.layers.iter().map(Layer::activations).sum::<u64>() * self.bytes_per_weight
+    }
+
+    /// Total MACs per inference.
+    pub fn macs(&self) -> u64 {
+        self.layers.iter().map(Layer::macs).sum()
+    }
+}
+
+/// Compact ResNet-26 (CIFAR-class, int8): 3 stages × 4 residual blocks,
+/// widths 32/64/128 — ~1.5 M parameters, fitting the paper's 2 MB NVDLA
+/// buffer with headroom.
+pub fn resnet26() -> DnnModel {
+    let mut layers = vec![Layer::Conv { c_in: 3, c_out: 32, kernel: 3, h_out: 32, w_out: 32 }];
+    let stage = |layers: &mut Vec<Layer>, c_in: u64, c_out: u64, hw: u64, convs: usize| {
+        layers.push(Layer::Conv { c_in, c_out, kernel: 3, h_out: hw, w_out: hw });
+        for _ in 1..convs {
+            layers.push(Layer::Conv { c_in: c_out, c_out, kernel: 3, h_out: hw, w_out: hw });
+        }
+    };
+    stage(&mut layers, 32, 32, 32, 8);
+    stage(&mut layers, 32, 64, 16, 8);
+    stage(&mut layers, 64, 128, 8, 8);
+    layers.push(Layer::Fc { c_in: 128, c_out: 10 });
+    DnnModel { name: "ResNet26".to_owned(), layers, bytes_per_weight: 1 }
+}
+
+/// ResNet-18 (ImageNet-class, int8): ~11.2 M parameters — the paper's
+/// Fig. 13 workload, stored in 8/16 MB arrays.
+pub fn resnet18() -> DnnModel {
+    let mut layers = vec![Layer::Conv { c_in: 3, c_out: 64, kernel: 7, h_out: 112, w_out: 112 }];
+    let stage = |layers: &mut Vec<Layer>, c_in: u64, c_out: u64, hw: u64| {
+        layers.push(Layer::Conv { c_in, c_out, kernel: 3, h_out: hw, w_out: hw });
+        for _ in 0..3 {
+            layers.push(Layer::Conv { c_in: c_out, c_out, kernel: 3, h_out: hw, w_out: hw });
+        }
+    };
+    stage(&mut layers, 64, 64, 56);
+    stage(&mut layers, 64, 128, 28);
+    stage(&mut layers, 128, 256, 14);
+    stage(&mut layers, 256, 512, 7);
+    layers.push(Layer::Fc { c_in: 512, c_out: 1000 });
+    DnnModel { name: "ResNet18".to_owned(), layers, bytes_per_weight: 1 }
+}
+
+/// ALBERT-base (fp16): 128-dim factorized embeddings + 12 shared
+/// transformer blocks — ~11 M parameters ≈ 22 MB, provisioned into the
+/// paper's 32 MB NLP weight array.
+pub fn albert() -> DnnModel {
+    DnnModel {
+        name: "ALBERT".to_owned(),
+        layers: vec![
+            Layer::Embedding { vocab: 30000, hidden: 128, seq: 128 },
+            Layer::Fc { c_in: 128, c_out: 768 },
+            Layer::AttentionBlock { hidden: 768, seq: 128, ff_mult: 4, repeat: 12 },
+            Layer::Fc { c_in: 768, c_out: 768 }, // pooler
+            Layer::Fc { c_in: 768, c_out: 2 },   // sentence classifier
+        ],
+        bytes_per_weight: 2,
+    }
+}
+
+/// Only the embedding table of ALBERT (the paper's "embeddings only"
+/// storage strategy).
+pub fn albert_embeddings_only() -> DnnModel {
+    DnnModel {
+        name: "ALBERT-embeddings".to_owned(),
+        layers: vec![Layer::Embedding { vocab: 30000, hidden: 128, seq: 128 }],
+        bytes_per_weight: 2,
+    }
+}
+
+/// What the accelerator keeps in the eNVM buffer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StoragePolicy {
+    /// Only weights live on-chip; activations stay in registers/SRAM.
+    WeightsOnly,
+    /// Weights and intermediate activations both live in the array
+    /// (the paper notes this "ostensibly ignores endurance limitations").
+    WeightsAndActivations,
+}
+
+/// A deployment scenario: which network(s), how many concurrent tasks, and
+/// what is stored.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DnnUseCase {
+    /// Scenario name, e.g. `"single-task image classification"`.
+    pub name: String,
+    /// The network shape.
+    pub model: DnnModel,
+    /// Concurrent tasks per frame (multi-task image processing runs
+    /// detection + tracking + classification ≈ 3 heads on a shared
+    /// backbone).
+    pub tasks: u64,
+    /// Storage policy.
+    pub storage: StoragePolicy,
+}
+
+/// Multi-task scaling of *stored weights*: three heads share a backbone, so
+/// weights grow by ~2.2× rather than 3×.
+const MULTI_TASK_WEIGHT_SCALE: f64 = 2.2;
+/// Multi-task scaling of per-frame accesses.
+const MULTI_TASK_ACCESS_SCALE: f64 = 2.5;
+
+impl DnnUseCase {
+    /// Single-task use case.
+    pub fn single(model: DnnModel, storage: StoragePolicy) -> Self {
+        Self { name: format!("single-task {}", model.name), model, tasks: 1, storage }
+    }
+
+    /// Multi-task use case (3 concurrent tasks on a shared backbone).
+    pub fn multi(model: DnnModel, storage: StoragePolicy) -> Self {
+        Self { name: format!("multi-task {}", model.name), model, tasks: 3, storage }
+    }
+
+    fn weight_scale(&self) -> f64 {
+        if self.tasks > 1 {
+            MULTI_TASK_WEIGHT_SCALE
+        } else {
+            1.0
+        }
+    }
+
+    fn access_scale(&self) -> f64 {
+        if self.tasks > 1 {
+            MULTI_TASK_ACCESS_SCALE
+        } else {
+            1.0
+        }
+    }
+
+    /// Weight bytes the array must hold.
+    pub fn stored_weight_bytes(&self) -> u64 {
+        (self.model.weight_bytes() as f64 * self.weight_scale()).ceil() as u64
+    }
+
+    /// Bytes read from the array per inference.
+    pub fn read_bytes_per_inference(&self) -> f64 {
+        let weights = self.model.weight_read_bytes() as f64 * self.access_scale();
+        match self.storage {
+            StoragePolicy::WeightsOnly => weights,
+            StoragePolicy::WeightsAndActivations => {
+                weights + self.model.activation_bytes() as f64 * self.access_scale()
+            }
+        }
+    }
+
+    /// Bytes written to the array per inference.
+    pub fn write_bytes_per_inference(&self) -> f64 {
+        match self.storage {
+            StoragePolicy::WeightsOnly => 0.0,
+            StoragePolicy::WeightsAndActivations => {
+                self.model.activation_bytes() as f64 * self.access_scale()
+            }
+        }
+    }
+
+    /// Sustained traffic at `fps` frames (inferences) per second, at 32-byte
+    /// access granularity (the NVDLA atomic fetch).
+    pub fn continuous_traffic(&self, fps: f64) -> TrafficPattern {
+        TrafficPattern::new(
+            format!("{} @{fps:.0}fps", self.name),
+            self.read_bytes_per_inference() * fps,
+            self.write_bytes_per_inference() * fps,
+            32,
+        )
+    }
+
+    /// Per-inference latency budget for continuous operation at `fps`.
+    pub fn latency_budget(fps: f64) -> f64 {
+        1.0 / fps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn resnet26_fits_2mb_buffer() {
+        let model = resnet26();
+        let mb = model.weight_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((1.0..2.0).contains(&mb), "ResNet26 weights {mb} MB");
+    }
+
+    #[test]
+    fn resnet18_matches_published_parameter_count() {
+        let model = resnet18();
+        let params = model.weight_bytes(); // int8 ⇒ bytes == params
+        assert!(
+            (10_500_000..12_500_000).contains(&params),
+            "ResNet18 params {params}"
+        );
+    }
+
+    #[test]
+    fn albert_weights_in_paper_band() {
+        let model = albert();
+        let mb = model.weight_bytes() as f64 / (1024.0 * 1024.0);
+        assert!((16.0..32.0).contains(&mb), "ALBERT weights {mb} MB");
+        let emb = albert_embeddings_only();
+        assert!(emb.weight_bytes() < model.weight_bytes() / 2);
+    }
+
+    #[test]
+    fn weight_reads_exceed_weight_bytes_for_convs() {
+        // Tiled re-fetch makes buffer reads a multiple of the weight image.
+        let model = resnet26();
+        assert!(model.weight_read_bytes() > 2 * model.weight_bytes());
+    }
+
+    #[test]
+    fn albert_is_heavier_per_inference_than_resnet26() {
+        // Paper Fig. 7: "ALBERT requires more computational power per
+        // inference than ResNet26".
+        assert!(albert().macs() > 5 * resnet26().macs());
+        assert!(albert().weight_read_bytes() > resnet26().weight_read_bytes());
+    }
+
+    #[test]
+    fn shared_weights_counted_once_but_read_repeatedly() {
+        let block = Layer::AttentionBlock { hidden: 768, seq: 128, ff_mult: 4, repeat: 12 };
+        assert!(block.weight_reads() >= 12 * block.weight_params());
+    }
+
+    #[test]
+    fn multi_task_scales_traffic_and_weights() {
+        let single = DnnUseCase::single(resnet26(), StoragePolicy::WeightsOnly);
+        let multi = DnnUseCase::multi(resnet26(), StoragePolicy::WeightsOnly);
+        assert!(multi.stored_weight_bytes() > single.stored_weight_bytes());
+        assert!(
+            multi.read_bytes_per_inference() > 2.0 * single.read_bytes_per_inference()
+        );
+    }
+
+    #[test]
+    fn weights_only_never_writes() {
+        let use_case = DnnUseCase::single(resnet26(), StoragePolicy::WeightsOnly);
+        assert_eq!(use_case.write_bytes_per_inference(), 0.0);
+        let with_acts = DnnUseCase::single(resnet26(), StoragePolicy::WeightsAndActivations);
+        assert!(with_acts.write_bytes_per_inference() > 0.0);
+        assert!(with_acts.read_bytes_per_inference() > use_case.read_bytes_per_inference());
+    }
+
+    #[test]
+    fn continuous_traffic_scales_with_fps() {
+        let use_case = DnnUseCase::single(resnet26(), StoragePolicy::WeightsOnly);
+        let t30 = use_case.continuous_traffic(30.0);
+        let t60 = use_case.continuous_traffic(60.0);
+        assert!((t60.read_bytes_per_sec / t30.read_bytes_per_sec - 2.0).abs() < 1e-9);
+        // 60 FPS ResNet26 weight streaming lands in the GB/s class.
+        assert!(
+            (0.1e9..20.0e9).contains(&t60.read_bytes_per_sec),
+            "{}",
+            t60.read_bytes_per_sec
+        );
+    }
+}

@@ -1,0 +1,36 @@
+//! Workload substrates for NVMExplorer-RS (paper Secs. IV-A/B/C).
+//!
+//! Every case study in the paper needs application behavior "in the loop".
+//! This crate builds those applications for real:
+//!
+//! * [`dnn`] — NVDLA-style analytic traffic models for ResNet-26,
+//!   ResNet-18, and ALBERT, with continuous/intermittent use cases;
+//! * [`nn`] + [`tensor`] + [`dataset`] — a *trainable* int8 classifier whose
+//!   accuracy under corrupted weights anchors the fault studies;
+//! * [`graph`] — scale-free graph generation and instrumented BFS /
+//!   PageRank / connected-components kernels;
+//! * [`cache`] — a trace-driven 16 MiB set-associative write-back LLC with
+//!   SPEC CPU2017-class synthetic benchmark profiles;
+//! * [`traffic`] — the common [`TrafficPattern`] currency plus the paper's
+//!   generic traffic sweeps.
+//!
+//! # Examples
+//!
+//! ```
+//! use nvmx_workloads::dnn::{resnet26, DnnUseCase, StoragePolicy};
+//!
+//! let use_case = DnnUseCase::single(resnet26(), StoragePolicy::WeightsOnly);
+//! let traffic = use_case.continuous_traffic(60.0);
+//! assert!(traffic.read_bytes_per_sec > 0.0);
+//! assert_eq!(traffic.write_bytes_per_sec, 0.0); // weights-only never writes
+//! ```
+
+pub mod cache;
+pub mod dataset;
+pub mod dnn;
+pub mod graph;
+pub mod nn;
+pub mod tensor;
+pub mod traffic;
+
+pub use traffic::TrafficPattern;

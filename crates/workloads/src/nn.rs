@@ -1,0 +1,379 @@
+//! A small trainable neural network with int8 weight quantization — the
+//! substrate for real accuracy-under-faults measurements (paper Sec. II-B2,
+//! Fig. 13).
+//!
+//! The paper corrupts ResNet weights stored in eNVM and measures ImageNet
+//! accuracy; here a compact ReLU MLP trained on the procedural dataset of
+//! [`crate::dataset`] plays that role. The quantized weight bytes round-trip
+//! through [`QuantizedMlp::weight_bytes`] / [`QuantizedMlp::load_weight_bytes`],
+//! which is exactly where a fault injector corrupts them.
+
+use crate::dataset::Dataset;
+use crate::tensor::Matrix;
+use rand::rngs::StdRng;
+use rand::{seq::SliceRandom, Rng, SeedableRng};
+
+/// One dense layer: `y = relu?(x·W + b)`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Weight matrix, `in_dim × out_dim`.
+    pub weights: Matrix,
+    /// Bias, `out_dim`.
+    pub bias: Vec<f32>,
+    /// Whether ReLU follows this layer (all but the last).
+    pub relu: bool,
+}
+
+impl Dense {
+    fn new(in_dim: usize, out_dim: usize, relu: bool, rng: &mut impl Rng) -> Self {
+        Self {
+            weights: Matrix::he_init(in_dim, out_dim, rng),
+            bias: vec![0.0; out_dim],
+            relu,
+        }
+    }
+
+    fn forward(&self, x: &Matrix) -> Matrix {
+        let mut y = x.matmul(&self.weights);
+        y.add_row_bias(&self.bias);
+        if self.relu {
+            y.relu_inplace();
+        }
+        y
+    }
+}
+
+/// A multi-layer perceptron classifier.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    /// The dense layers, input to output.
+    pub layers: Vec<Dense>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths, e.g. `[256, 64, 32, 10]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when fewer than two widths are given.
+    pub fn new(widths: &[usize], seed: u64) -> Self {
+        assert!(widths.len() >= 2, "need at least input and output widths");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layers = widths
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| Dense::new(w[0], w[1], i + 2 < widths.len(), &mut rng))
+            .collect();
+        Self { layers }
+    }
+
+    /// Forward pass over a batch (one sample per row).
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.forward(&h);
+        }
+        h
+    }
+
+    /// Total parameter count.
+    pub fn parameter_count(&self) -> usize {
+        self.layers.iter().map(|l| l.weights.len() + l.bias.len()).sum()
+    }
+
+    /// Classification accuracy over a dataset.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        let logits = self.forward(&data.images);
+        let correct = data
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|&(i, &label)| logits.argmax_row(i) == label)
+            .count();
+        correct as f64 / data.len().max(1) as f64
+    }
+
+    /// One epoch of minibatch SGD with softmax cross-entropy. Returns mean
+    /// loss.
+    pub fn train_epoch(
+        &mut self,
+        data: &Dataset,
+        lr: f32,
+        batch: usize,
+        rng: &mut impl Rng,
+    ) -> f64 {
+        let n = data.len();
+        let mut order: Vec<usize> = (0..n).collect();
+        order.shuffle(rng);
+        let mut total_loss = 0.0f64;
+        let mut batches = 0;
+
+        for chunk in order.chunks(batch.max(1)) {
+            let bx = Matrix::from_fn(chunk.len(), data.images.cols(), |r, c| {
+                data.images.get(chunk[r], c)
+            });
+            let by: Vec<usize> = chunk.iter().map(|&i| data.labels[i]).collect();
+            total_loss += self.sgd_step(&bx, &by, lr);
+            batches += 1;
+        }
+        total_loss / batches.max(1) as f64
+    }
+
+    /// One SGD step on a batch; returns batch loss.
+    fn sgd_step(&mut self, x: &Matrix, labels: &[usize], lr: f32) -> f64 {
+        // Forward, caching activations.
+        let mut activations = vec![x.clone()];
+        for layer in &self.layers {
+            let next = layer.forward(activations.last().expect("nonempty"));
+            activations.push(next);
+        }
+        let logits = activations.last().expect("nonempty").clone();
+        let batch = x.rows() as f32;
+
+        // Softmax + cross-entropy gradient: (softmax - onehot) / batch.
+        let mut delta = Matrix::zeros(logits.rows(), logits.cols());
+        let mut loss = 0.0f64;
+        for r in 0..logits.rows() {
+            let row = logits.row(r);
+            let max = row.iter().cloned().fold(f32::MIN, f32::max);
+            let exp: Vec<f32> = row.iter().map(|v| (v - max).exp()).collect();
+            let sum: f32 = exp.iter().sum();
+            for c in 0..logits.cols() {
+                let p = exp[c] / sum;
+                let target = if labels[r] == c { 1.0 } else { 0.0 };
+                delta.set(r, c, (p - target) / batch);
+                if labels[r] == c {
+                    loss -= (p.max(1e-9)).ln() as f64;
+                }
+            }
+        }
+        loss /= batch as f64;
+
+        // Backward through the layers.
+        for i in (0..self.layers.len()).rev() {
+            let input = &activations[i];
+            let output = &activations[i + 1];
+            // ReLU gradient mask.
+            if self.layers[i].relu {
+                for r in 0..delta.rows() {
+                    for c in 0..delta.cols() {
+                        if output.get(r, c) <= 0.0 {
+                            delta.set(r, c, 0.0);
+                        }
+                    }
+                }
+            }
+            let grad_w = input.transposed().matmul(&delta);
+            let next_delta = delta.matmul(&self.layers[i].weights.transposed());
+            let layer = &mut self.layers[i];
+            for (w, g) in layer.weights.as_mut_slice().iter_mut().zip(grad_w.as_slice()) {
+                *w -= lr * g;
+            }
+            for c in 0..layer.bias.len() {
+                let g: f32 = (0..delta.rows()).map(|r| delta.get(r, c)).sum();
+                layer.bias[c] -= lr * g;
+            }
+            delta = next_delta;
+        }
+        loss
+    }
+
+    /// Trains until reaching `target_accuracy` on `train` or `max_epochs`.
+    /// Returns the reached training accuracy.
+    pub fn train_to(
+        &mut self,
+        train: &Dataset,
+        target_accuracy: f64,
+        max_epochs: usize,
+        seed: u64,
+    ) -> f64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut acc = self.accuracy(train);
+        for _ in 0..max_epochs {
+            if acc >= target_accuracy {
+                break;
+            }
+            self.train_epoch(train, 0.1, 32, &mut rng);
+            acc = self.accuracy(train);
+        }
+        acc
+    }
+}
+
+/// An int8-quantized snapshot of an [`Mlp`]: symmetric per-layer scales,
+/// weights exposed as raw bytes for storage in (faulty) memory.
+#[derive(Debug, Clone)]
+pub struct QuantizedMlp {
+    widths: Vec<usize>,
+    scales: Vec<f32>,
+    /// Quantized weights, one `Vec<i8>` per layer (row-major `in × out`).
+    weights_q: Vec<Vec<i8>>,
+    biases: Vec<Vec<f32>>,
+    relu: Vec<bool>,
+}
+
+impl QuantizedMlp {
+    /// Quantizes a trained network to int8 weights.
+    pub fn quantize(mlp: &Mlp) -> Self {
+        let mut widths = vec![mlp.layers[0].weights.rows()];
+        let mut scales = Vec::new();
+        let mut weights_q = Vec::new();
+        let mut biases = Vec::new();
+        let mut relu = Vec::new();
+        for layer in &mlp.layers {
+            widths.push(layer.weights.cols());
+            let scale = layer.weights.abs_max().max(1e-9) / 127.0;
+            scales.push(scale);
+            weights_q.push(
+                layer
+                    .weights
+                    .as_slice()
+                    .iter()
+                    .map(|&w| (w / scale).round().clamp(-127.0, 127.0) as i8)
+                    .collect(),
+            );
+            biases.push(layer.bias.clone());
+            relu.push(layer.relu);
+        }
+        Self { widths, scales, weights_q, biases, relu }
+    }
+
+    /// Total weight storage in bytes (what lives in the eNVM array).
+    pub fn weight_bytes_len(&self) -> usize {
+        self.weights_q.iter().map(Vec::len).sum()
+    }
+
+    /// Serializes all quantized weights into one contiguous byte buffer —
+    /// the image a fault injector corrupts.
+    pub fn weight_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.weight_bytes_len());
+        for layer in &self.weights_q {
+            out.extend(layer.iter().map(|&w| w as u8));
+        }
+        out
+    }
+
+    /// Loads (possibly corrupted) weight bytes back.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `bytes.len()` differs from [`Self::weight_bytes_len`].
+    pub fn load_weight_bytes(&mut self, bytes: &[u8]) {
+        assert_eq!(bytes.len(), self.weight_bytes_len(), "weight image size mismatch");
+        let mut offset = 0;
+        for layer in &mut self.weights_q {
+            for w in layer.iter_mut() {
+                *w = bytes[offset] as i8;
+                offset += 1;
+            }
+        }
+    }
+
+    /// Forward pass with dequantized weights.
+    pub fn forward(&self, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for i in 0..self.weights_q.len() {
+            let w = Matrix::from_vec(
+                self.widths[i],
+                self.widths[i + 1],
+                self.weights_q[i].iter().map(|&q| q as f32 * self.scales[i]).collect(),
+            );
+            let mut y = h.matmul(&w);
+            y.add_row_bias(&self.biases[i]);
+            if self.relu[i] {
+                y.relu_inplace();
+            }
+            h = y;
+        }
+        h
+    }
+
+    /// Classification accuracy over a dataset.
+    pub fn accuracy(&self, data: &Dataset) -> f64 {
+        let logits = self.forward(&data.images);
+        let correct = data
+            .labels
+            .iter()
+            .enumerate()
+            .filter(|&(i, &label)| logits.argmax_row(i) == label)
+            .count();
+        correct as f64 / data.len().max(1) as f64
+    }
+}
+
+/// Trains the standard fault-study classifier: a `[256, 64, 32, 10]` MLP on
+/// the procedural dataset, quantized to int8. Returns the quantized model
+/// and the held-out test set. Deterministic in `seed`.
+pub fn trained_classifier(seed: u64) -> (QuantizedMlp, Dataset) {
+    let train = crate::dataset::generate(1200, seed);
+    let test = crate::dataset::generate(400, seed.wrapping_add(1));
+    let mut mlp = Mlp::new(&[crate::dataset::INPUT_DIM, 64, 32, crate::dataset::CLASSES], seed);
+    mlp.train_to(&train, 0.97, 60, seed);
+    (QuantizedMlp::quantize(&mlp), test)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset;
+
+    #[test]
+    fn training_reaches_high_accuracy() {
+        let train = dataset::generate(800, 11);
+        let mut mlp = Mlp::new(&[dataset::INPUT_DIM, 48, dataset::CLASSES], 11);
+        let before = mlp.accuracy(&train);
+        let after = mlp.train_to(&train, 0.95, 50, 11);
+        assert!(before < 0.3, "untrained accuracy should be near chance, got {before}");
+        assert!(after > 0.9, "training failed to converge: {after}");
+    }
+
+    #[test]
+    fn quantization_preserves_accuracy() {
+        let (quant, test) = trained_classifier(21);
+        let acc = quant.accuracy(&test);
+        assert!(acc > 0.85, "quantized test accuracy {acc}");
+    }
+
+    #[test]
+    fn weight_bytes_roundtrip() {
+        let (mut quant, test) = trained_classifier(22);
+        let baseline = quant.accuracy(&test);
+        let bytes = quant.weight_bytes();
+        quant.load_weight_bytes(&bytes);
+        assert_eq!(quant.accuracy(&test), baseline);
+    }
+
+    #[test]
+    fn corrupting_weights_degrades_accuracy() {
+        let (mut quant, test) = trained_classifier(23);
+        let baseline = quant.accuracy(&test);
+        let mut bytes = quant.weight_bytes();
+        // Destroy 20 % of bits — accuracy must collapse toward chance.
+        let mut state = 0x12345u64;
+        for b in bytes.iter_mut() {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            if state >> 60 < 3 {
+                *b ^= (state >> 32) as u8;
+            }
+        }
+        quant.load_weight_bytes(&bytes);
+        let corrupted = quant.accuracy(&test);
+        assert!(
+            corrupted < baseline - 0.2,
+            "corruption had no effect: {baseline} -> {corrupted}"
+        );
+    }
+
+    #[test]
+    fn parameter_count_matches_architecture() {
+        let mlp = Mlp::new(&[256, 64, 32, 10], 1);
+        assert_eq!(mlp.parameter_count(), 256 * 64 + 64 + 64 * 32 + 32 + 32 * 10 + 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "size mismatch")]
+    fn loading_wrong_size_panics() {
+        let (mut quant, _) = trained_classifier(24);
+        quant.load_weight_bytes(&[0u8; 3]);
+    }
+}

@@ -1,0 +1,158 @@
+//! Memory-traffic patterns — the application-level currency of the
+//! framework (paper Sec. II-A).
+//!
+//! Every workload substrate (DNN accelerator, graph kernels, LLC traces)
+//! reduces to a [`TrafficPattern`]: sustained read/write byte rates plus the
+//! access granularity, optionally with per-window totals for
+//! energy-per-task studies.
+
+use serde::{Deserialize, Serialize};
+
+/// A sustained memory-traffic pattern against one memory array.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrafficPattern {
+    /// Human-readable source, e.g. `"SPEC-mcf"` or `"generic r1G w10M"`.
+    pub name: String,
+    /// Sustained read traffic, bytes per second.
+    pub read_bytes_per_sec: f64,
+    /// Sustained write traffic, bytes per second.
+    pub write_bytes_per_sec: f64,
+    /// Access granularity, bytes per access (e.g. 64 for a cache line).
+    pub access_bytes: u64,
+}
+
+impl TrafficPattern {
+    /// Creates a pattern from byte rates at `access_bytes` granularity.
+    pub fn new(
+        name: impl Into<String>,
+        read_bytes_per_sec: f64,
+        write_bytes_per_sec: f64,
+        access_bytes: u64,
+    ) -> Self {
+        Self {
+            name: name.into(),
+            read_bytes_per_sec,
+            write_bytes_per_sec,
+            access_bytes: access_bytes.max(1),
+        }
+    }
+
+    /// Read accesses per second at the pattern's granularity.
+    pub fn read_accesses_per_sec(&self) -> f64 {
+        self.read_bytes_per_sec / self.access_bytes as f64
+    }
+
+    /// Write accesses per second at the pattern's granularity.
+    pub fn write_accesses_per_sec(&self) -> f64 {
+        self.write_bytes_per_sec / self.access_bytes as f64
+    }
+
+    /// Fraction of accesses that are reads.
+    pub fn read_fraction(&self) -> f64 {
+        let total = self.read_bytes_per_sec + self.write_bytes_per_sec;
+        if total == 0.0 {
+            0.0
+        } else {
+            self.read_bytes_per_sec / total
+        }
+    }
+
+    /// Returns a copy with write traffic scaled by `factor` (the write-buffer
+    /// study of paper Sec. V-D reduces effective write traffic this way).
+    #[must_use]
+    pub fn with_write_traffic_scaled(&self, factor: f64) -> Self {
+        Self {
+            name: format!("{} (writes x{factor:.2})", self.name),
+            read_bytes_per_sec: self.read_bytes_per_sec,
+            write_bytes_per_sec: self.write_bytes_per_sec * factor,
+            access_bytes: self.access_bytes,
+        }
+    }
+}
+
+/// Generates the paper's generic graph-processing traffic grid
+/// (Sec. IV-B1): read rates 1–10 GB/s × write rates 1–100 MB/s,
+/// log-spaced, `read_steps × write_steps` patterns at 8 B granularity.
+pub fn generic_graph_sweep(read_steps: usize, write_steps: usize) -> Vec<TrafficPattern> {
+    log_sweep(1.0e9, 10.0e9, read_steps, 1.0e6, 100.0e6, write_steps, 8)
+}
+
+/// Log-spaced traffic grid over arbitrary read/write byte-rate ranges.
+pub fn log_sweep(
+    read_min: f64,
+    read_max: f64,
+    read_steps: usize,
+    write_min: f64,
+    write_max: f64,
+    write_steps: usize,
+    access_bytes: u64,
+) -> Vec<TrafficPattern> {
+    let mut patterns = Vec::with_capacity(read_steps * write_steps);
+    for i in 0..read_steps {
+        let read = log_point(read_min, read_max, i, read_steps);
+        for j in 0..write_steps {
+            let write = log_point(write_min, write_max, j, write_steps);
+            patterns.push(TrafficPattern::new(
+                format!("generic r{read:.2e} w{write:.2e}"),
+                read,
+                write,
+                access_bytes,
+            ));
+        }
+    }
+    patterns
+}
+
+fn log_point(min: f64, max: f64, i: usize, steps: usize) -> f64 {
+    if steps <= 1 {
+        return min;
+    }
+    let t = i as f64 / (steps - 1) as f64;
+    min * (max / min).powf(t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn access_rate_conversion() {
+        let p = TrafficPattern::new("t", 8.0e9, 8.0e6, 8);
+        assert!((p.read_accesses_per_sec() - 1.0e9).abs() < 1.0);
+        assert!((p.write_accesses_per_sec() - 1.0e6).abs() < 1.0);
+        assert!((p.read_fraction() - 8.0e9 / 8.008e9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn sweep_covers_paper_ranges() {
+        let grid = generic_graph_sweep(5, 5);
+        assert_eq!(grid.len(), 25);
+        let reads: Vec<f64> = grid.iter().map(|p| p.read_bytes_per_sec).collect();
+        let min = reads.iter().cloned().fold(f64::MAX, f64::min);
+        let max = reads.iter().cloned().fold(0.0, f64::max);
+        assert!((min - 1.0e9).abs() < 1.0);
+        assert!((max - 10.0e9).abs() < 10.0);
+    }
+
+    #[test]
+    fn log_sweep_is_geometric() {
+        let grid = log_sweep(1.0, 100.0, 3, 1.0, 1.0, 1, 8);
+        let rates: Vec<f64> = grid.iter().map(|p| p.read_bytes_per_sec).collect();
+        assert!((rates[1] / rates[0] - 10.0).abs() < 1e-9);
+        assert!((rates[2] / rates[1] - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn write_scaling_for_buffer_study() {
+        let p = TrafficPattern::new("t", 1.0e9, 100.0e6, 64);
+        let halved = p.with_write_traffic_scaled(0.5);
+        assert!((halved.write_bytes_per_sec - 50.0e6).abs() < 1.0);
+        assert_eq!(halved.read_bytes_per_sec, p.read_bytes_per_sec);
+    }
+
+    #[test]
+    fn zero_traffic_read_fraction_is_zero() {
+        let p = TrafficPattern::new("idle", 0.0, 0.0, 64);
+        assert_eq!(p.read_fraction(), 0.0);
+    }
+}

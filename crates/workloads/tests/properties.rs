@@ -1,0 +1,118 @@
+//! Property-based tests for the workload substrates: CSR invariants on
+//! random edge lists, cache-simulator bounds, and DNN traffic consistency.
+
+use nvmx_workloads::cache::{run_profile, BenchProfile, Llc, LlcConfig};
+use nvmx_workloads::dnn::{resnet26, DnnUseCase, StoragePolicy};
+use nvmx_workloads::graph::Graph;
+use nvmx_workloads::tensor::Matrix;
+use proptest::prelude::*;
+
+fn edge_list(max_nodes: u32) -> impl Strategy<Value = (u32, Vec<(u32, u32)>)> {
+    (2..max_nodes).prop_flat_map(|n| {
+        let edges = prop::collection::vec((0..n, 0..n), 0..256);
+        (Just(n), edges)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn csr_preserves_non_loop_edges((n, edges) in edge_list(64)) {
+        let graph = Graph::from_edges("p", n as usize, &edges);
+        let expected = edges.iter().filter(|(s, d)| s != d).count();
+        prop_assert_eq!(graph.num_edges(), expected);
+        prop_assert_eq!(graph.num_nodes(), n as usize);
+        // Every edge in CSR appears in the input list.
+        for v in 0..n {
+            for &u in graph.neighbors(v) {
+                prop_assert!(edges.contains(&(v, u)));
+            }
+        }
+    }
+
+    #[test]
+    fn bfs_visits_at_most_all_nodes((n, edges) in edge_list(48)) {
+        let graph = Graph::from_edges("p", n as usize, &edges);
+        let (visited, counter) = graph.bfs(0);
+        prop_assert!(visited >= 1);
+        prop_assert!(visited <= n as usize);
+        prop_assert!(counter.reads >= 2, "at least the offsets of the source");
+    }
+
+    #[test]
+    fn connected_components_bounds((n, edges) in edge_list(32)) {
+        let graph = Graph::from_edges("p", n as usize, &edges);
+        let (components, _) = graph.connected_components();
+        prop_assert!(components >= 1);
+        prop_assert!(components <= n as usize);
+    }
+
+    #[test]
+    fn llc_stats_are_conserved(
+        addrs in prop::collection::vec((0u64..1u64 << 24, any::<bool>()), 1..2000)
+    ) {
+        let config = LlcConfig { capacity_bytes: 64 * 1024, ways: 4, line_bytes: 64 };
+        let mut llc = Llc::new(config);
+        for &(addr, is_write) in &addrs {
+            llc.access(addr, is_write);
+        }
+        let s = llc.stats();
+        prop_assert_eq!(s.lookups, addrs.len() as u64);
+        prop_assert_eq!(s.read_hits + s.write_hits + s.misses, s.lookups);
+        prop_assert!(s.writebacks <= s.misses, "every writeback needs an eviction");
+        prop_assert!(s.miss_rate() >= 0.0 && s.miss_rate() <= 1.0);
+    }
+
+    #[test]
+    fn profile_traffic_scales_with_lookup_rate(rate_exp in 6.0..9.0f64, seed in 0u64..50) {
+        let mk = |rate: f64| BenchProfile {
+            name: "p".into(),
+            footprint_bytes: 64 * 1024 * 1024,
+            hot_fraction: 0.5,
+            hot_bytes: 4 * 1024 * 1024,
+            write_fraction: 0.3,
+            lookups_per_sec: rate,
+        };
+        let rate = 10f64.powf(rate_exp);
+        let slow = run_profile(LlcConfig::default(), &mk(rate), 30_000, seed);
+        let fast = run_profile(LlcConfig::default(), &mk(rate * 10.0), 30_000, seed);
+        let ratio = fast.traffic.read_bytes_per_sec / slow.traffic.read_bytes_per_sec;
+        prop_assert!((ratio - 10.0).abs() < 0.5, "traffic must scale with rate, got {ratio}");
+    }
+
+    #[test]
+    fn dnn_traffic_scales_linearly_with_fps(fps in 1.0..240.0f64) {
+        let use_case = DnnUseCase::single(resnet26(), StoragePolicy::WeightsAndActivations);
+        let t1 = use_case.continuous_traffic(fps);
+        let t2 = use_case.continuous_traffic(2.0 * fps);
+        prop_assert!((t2.read_bytes_per_sec / t1.read_bytes_per_sec - 2.0).abs() < 1e-9);
+        prop_assert!((t2.write_bytes_per_sec / t1.write_bytes_per_sec - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        a in prop::collection::vec(-2.0..2.0f32, 12),
+        b in prop::collection::vec(-2.0..2.0f32, 12),
+        c in prop::collection::vec(-2.0..2.0f32, 12),
+    ) {
+        // (A + B)·C == A·C + B·C within float tolerance.
+        let a = Matrix::from_vec(3, 4, a);
+        let b = Matrix::from_vec(3, 4, b);
+        let c = Matrix::from_vec(4, 3, c);
+        let mut sum = Matrix::zeros(3, 4);
+        for i in 0..3 {
+            for j in 0..4 {
+                sum.set(i, j, a.get(i, j) + b.get(i, j));
+            }
+        }
+        let lhs = sum.matmul(&c);
+        let ac = a.matmul(&c);
+        let bc = b.matmul(&c);
+        for i in 0..3 {
+            for j in 0..3 {
+                prop_assert!((lhs.get(i, j) - ac.get(i, j) - bc.get(i, j)).abs() < 1e-4);
+            }
+        }
+    }
+}

@@ -1,0 +1,78 @@
+//! Quickstart: compare eNVM technologies as a 2 MB on-chip buffer under a
+//! simple traffic pattern, filter to feasible designs, and print the
+//! leaderboard.
+//!
+//! Run with: `cargo run -p nvmx-bench --release --example quickstart`
+
+use nvmexplorer_core::config::{StudyConfig, TrafficSpec};
+use nvmexplorer_core::explore::{Objective, ResultSet};
+use nvmexplorer_core::sweep::run_study;
+use nvmx_viz::AsciiTable;
+use nvmx_workloads::TrafficPattern;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Describe the study: default cell selection (all validated
+    //    tentpoles + reference RRAM + 16 nm SRAM), default array settings
+    //    (2 MiB, 22 nm, SLC, ReadEDP-optimized), one traffic pattern.
+    let study = StudyConfig {
+        name: "quickstart".into(),
+        cells: Default::default(),
+        array: Default::default(),
+        traffic: TrafficSpec::Explicit {
+            patterns: vec![TrafficPattern::new(
+                "1 GB/s reads + 10 MB/s writes",
+                1.0e9,
+                10.0e6,
+                64,
+            )],
+        },
+        constraints: Default::default(),
+    };
+
+    // The same study serializes to the JSON the paper's artifact uses.
+    println!("study config as JSON:\n{}\n", study.to_json());
+
+    // 2. Run: characterize every (cell x capacity x target) and evaluate
+    //    against every traffic pattern.
+    let result = run_study(&study)?;
+    println!(
+        "characterized {} arrays ({} skipped), {} evaluations\n",
+        result.arrays.len(),
+        result.skipped.len(),
+        result.evaluations.len()
+    );
+
+    // 3. Explore: keep feasible designs, rank by total power.
+    let set = ResultSet::new(result.evaluations).feasible();
+    let mut table = AsciiTable::new(vec![
+        "rank".into(),
+        "cell".into(),
+        "total power".into(),
+        "read latency".into(),
+        "density Mb/mm^2".into(),
+        "lifetime".into(),
+    ]);
+    for (i, eval) in set.leaderboard(Objective::TotalPower).iter().enumerate() {
+        table.row(vec![
+            (i + 1).to_string(),
+            eval.array.cell_name.clone(),
+            format!("{}", eval.total_power()),
+            format!("{}", eval.array.read_latency),
+            format!("{:.0}", eval.array.density_mbit_per_mm2()),
+            if eval.lifetime_years().is_finite() {
+                format!("{:.1e} yr", eval.lifetime_years())
+            } else {
+                "unlimited".into()
+            },
+        ]);
+    }
+    println!("{table}");
+
+    let best = set.best(Objective::TotalPower).expect("some design is feasible");
+    println!(
+        "lowest-power feasible design: {} at {}",
+        best.array.cell_name,
+        best.total_power()
+    );
+    Ok(())
+}

@@ -1,0 +1,82 @@
+//! Smoke-runs every paper experiment in fast mode and checks the headline
+//! findings hold (the full-size variants run via the `fig*` binaries).
+
+use nvmx_bench::{run_experiment, EXPERIMENT_IDS};
+
+/// Experiments cheap enough to run at full size in tests.
+#[test]
+fn survey_and_validation_experiments_hold() {
+    for id in ["fig1", "table1", "fig4", "table3"] {
+        let experiment = run_experiment(id, true).expect("known id");
+        assert!(
+            experiment.all_findings_hold(),
+            "{id} deviated:\n{}",
+            experiment.report()
+        );
+        assert!(!experiment.csv.is_empty(), "{id} must emit CSV data");
+    }
+}
+
+#[test]
+fn array_level_experiments_hold() {
+    for id in ["fig3", "fig5", "fig10"] {
+        let experiment = run_experiment(id, true).expect("known id");
+        assert!(
+            experiment.all_findings_hold(),
+            "{id} deviated:\n{}",
+            experiment.report()
+        );
+    }
+}
+
+#[test]
+fn dnn_experiments_produce_findings() {
+    for id in ["fig6", "fig7", "table2"] {
+        let experiment = run_experiment(id, true).expect("known id");
+        assert!(!experiment.findings.is_empty(), "{id} must check findings");
+        assert!(!experiment.csv.is_empty());
+        // Core claims that must hold even in fast mode:
+        let core_holds = experiment
+            .findings
+            .iter()
+            .filter(|f| f.claim.contains("4x") || f.claim.contains("crossover"))
+            .all(|f| f.holds);
+        assert!(core_holds, "{id} core claim deviated:\n{}", experiment.report());
+    }
+}
+
+#[test]
+fn system_experiments_produce_findings() {
+    for id in ["fig8", "fig9", "fig11", "fig12", "fig13", "fig14"] {
+        let experiment = run_experiment(id, true).expect("known id");
+        assert!(!experiment.findings.is_empty(), "{id} must check findings");
+        assert!(!experiment.csv.is_empty(), "{id} must emit CSV data");
+    }
+}
+
+#[test]
+fn artifacts_write_to_disk() {
+    let experiment = run_experiment("fig1", true).expect("known id");
+    let dir = std::env::temp_dir().join("nvmx_experiment_smoke");
+    let written = experiment.write_artifacts(&dir).expect("writes");
+    assert!(!written.is_empty());
+    for path in &written {
+        assert!(path.exists());
+    }
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn smoke_groups_cover_every_registered_id() {
+    // Keep the groups above in sync with the dispatcher table.
+    let covered: Vec<&str> = [
+        "fig1", "table1", "fig4", "table3", "fig3", "fig5", "fig10", "fig6", "fig7", "table2",
+        "fig8", "fig9", "fig11", "fig12", "fig13", "fig14",
+    ]
+    .into_iter()
+    .collect();
+    for id in EXPERIMENT_IDS {
+        assert!(covered.contains(&id), "experiment {id} not smoke-tested");
+    }
+    assert_eq!(covered.len(), EXPERIMENT_IDS.len());
+}

@@ -1,0 +1,66 @@
+//! Integration: fault models → injection → real classifier accuracy
+//! (the paper's Sec. V-C reliability pipeline), across fault + workloads +
+//! core.
+
+use nvmexplorer_core::accuracy::{accuracy_under_model, accuracy_under_storage};
+use nvmx_celldb::{tentpole, CellFlavor, TechnologyClass};
+use nvmx_fault::FaultModel;
+use nvmx_units::BitsPerCell;
+
+#[test]
+fn accuracy_degrades_monotonically_with_ber() {
+    let mut last_mean = 1.0f64;
+    for ber in [1.0e-5, 1.0e-3, 3.0e-2, 2.0e-1] {
+        let report = accuracy_under_model(&FaultModel::from_ber(ber, BitsPerCell::Slc), 3);
+        assert!(
+            report.mean <= last_mean + 0.03,
+            "BER {ber}: accuracy {:.3} rose past {last_mean:.3}",
+            report.mean
+        );
+        last_mean = report.mean;
+    }
+    assert!(last_mean < 0.5, "20% BER must destroy the classifier, got {last_mean}");
+}
+
+#[test]
+fn paper_fig13_mlc_story_end_to_end() {
+    // SLC: everyone fine. MLC: RRAM + CTT fine, small FeFET broken, large
+    // FeFET fine.
+    let tolerance = 0.05;
+    let rram = tentpole::tentpole_cell(TechnologyClass::Rram, CellFlavor::Optimistic).unwrap();
+    let ctt = tentpole::tentpole_cell(TechnologyClass::Ctt, CellFlavor::Optimistic).unwrap();
+    let fefet_small =
+        tentpole::tentpole_cell(TechnologyClass::FeFet, CellFlavor::Optimistic).unwrap();
+    let fefet_large =
+        tentpole::tentpole_cell(TechnologyClass::FeFet, CellFlavor::Pessimistic).unwrap();
+
+    for cell in [&rram, &ctt, &fefet_small, &fefet_large] {
+        let slc = accuracy_under_storage(cell, BitsPerCell::Slc, 2);
+        assert!(slc.is_acceptable(tolerance), "{} SLC degraded {}", cell.name, slc.degradation());
+    }
+    assert!(accuracy_under_storage(&rram, BitsPerCell::Mlc2, 3).is_acceptable(tolerance));
+    assert!(accuracy_under_storage(&ctt, BitsPerCell::Mlc2, 3).is_acceptable(tolerance));
+    assert!(!accuracy_under_storage(&fefet_small, BitsPerCell::Mlc2, 3).is_acceptable(tolerance));
+    assert!(accuracy_under_storage(&fefet_large, BitsPerCell::Mlc2, 3).is_acceptable(tolerance));
+}
+
+#[test]
+fn injection_statistics_match_model_rate() {
+    let model = FaultModel::from_ber(5.0e-3, BitsPerCell::Slc);
+    let mut data = vec![0u8; 1 << 19];
+    let report = model.inject_seeded(&mut data, 99);
+    let observed = report.observed_rate();
+    assert!(
+        (observed - 5.0e-3).abs() / 5.0e-3 < 0.1,
+        "observed {observed}, expected 5e-3"
+    );
+}
+
+#[test]
+fn reports_expose_baseline_and_worst_case() {
+    let report = accuracy_under_model(&FaultModel::from_ber(1.0e-2, BitsPerCell::Mlc2), 4);
+    assert!(report.baseline > 0.85, "trained classifier baseline {}", report.baseline);
+    assert!(report.worst <= report.mean);
+    assert_eq!(report.trials, 4);
+    assert!(report.bit_error_rate > 0.0);
+}
