@@ -1,12 +1,19 @@
 //! Criterion bench: full study sweeps (cells × targets × traffic) and the
 //! evaluation engine itself.
+//!
+//! The `multi_target` group measures the sweep-engine overhaul: the
+//! shared-DSE lock-free engine (`run_study_with_threads`) against the
+//! pre-overhaul per-target mutex-queue engine
+//! (`sweep::baseline::run_study_with_threads`) on the 3-target default
+//! study. `cargo run --release -p nvmx_bench --bin bench_sweep` records the
+//! same comparison into `BENCH_sweep.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use nvmexplorer_core::config::{ArraySettings, CellSelection, StudyConfig, TrafficSpec};
 use nvmexplorer_core::eval::evaluate;
-use nvmexplorer_core::sweep::run_study_with_threads;
+use nvmexplorer_core::sweep::{baseline, run_study_with_threads};
 use nvmx_celldb::{tentpole, CellFlavor, TechnologyClass};
-use nvmx_nvsim::{characterize, ArrayConfig};
+use nvmx_nvsim::{characterize, characterize_targets, ArrayConfig, OptimizationTarget};
 use nvmx_units::Capacity;
 use nvmx_workloads::TrafficPattern;
 
@@ -28,6 +35,17 @@ fn study() -> StudyConfig {
     }
 }
 
+/// The 3-target default study from the sweep-engine overhaul target.
+fn multi_target_study() -> StudyConfig {
+    let mut config = study();
+    config.array.targets = vec![
+        OptimizationTarget::ReadEdp,
+        OptimizationTarget::WriteEdp,
+        OptimizationTarget::Area,
+    ];
+    config
+}
+
 fn bench_study(c: &mut Criterion) {
     let mut group = c.benchmark_group("study_sweep");
     group.sample_size(10);
@@ -36,6 +54,50 @@ fn bench_study(c: &mut Criterion) {
     });
     group.bench_function("threads_8", |b| {
         b.iter(|| run_study_with_threads(&study(), 8).unwrap());
+    });
+    group.finish();
+}
+
+fn bench_multi_target(c: &mut Criterion) {
+    let mut group = c.benchmark_group("multi_target");
+    group.sample_size(10);
+    for threads in [1usize, 8] {
+        group.bench_with_input(
+            BenchmarkId::new("shared_dse", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| run_study_with_threads(&multi_target_study(), threads).unwrap());
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("per_target_baseline", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    baseline::run_study_with_threads(&multi_target_study(), threads).unwrap()
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+/// The nvsim-level amortization in isolation: one shared pass over all 8
+/// targets versus 8 standalone searches.
+fn bench_characterize_targets(c: &mut Criterion) {
+    let cell = tentpole::tentpole_cell(TechnologyClass::Stt, CellFlavor::Optimistic).unwrap();
+    let config = ArrayConfig::new(Capacity::from_mebibytes(2));
+    let mut group = c.benchmark_group("characterize_all_targets");
+    group.bench_function("shared_pass", |b| {
+        b.iter(|| characterize_targets(&cell, &config, &OptimizationTarget::ALL).unwrap());
+    });
+    group.bench_function("per_target", |b| {
+        b.iter(|| {
+            OptimizationTarget::ALL
+                .into_iter()
+                .map(|t| characterize(&cell, &config.with_target(t)).unwrap())
+                .collect::<Vec<_>>()
+        });
     });
     group.finish();
 }
@@ -49,5 +111,11 @@ fn bench_evaluate(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_study, bench_evaluate);
+criterion_group!(
+    benches,
+    bench_study,
+    bench_multi_target,
+    bench_characterize_targets,
+    bench_evaluate
+);
 criterion_main!(benches);

@@ -36,5 +36,10 @@ fn bench_classifier_inference(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_graph_kernels, bench_llc, bench_classifier_inference);
+criterion_group!(
+    benches,
+    bench_graph_kernels,
+    bench_llc,
+    bench_classifier_inference
+);
 criterion_main!(benches);

@@ -1,0 +1,120 @@
+//! Records the sweep-engine overhaul comparison into `BENCH_sweep.json`.
+//!
+//! Measures the 3-target default study (full default cell selection, 2 MiB
+//! SLC arrays, 4×4 generic traffic sweep) under both engines:
+//!
+//! - `baseline`: the pre-overhaul per-target mutex-queue engine
+//!   (`sweep::baseline`), which re-runs the full DSE once per target;
+//! - `shared_dse`: the lock-free shared-DSE engine (`sweep`), which
+//!   characterizes organizations once per design point and selects every
+//!   target's winner from that single pass.
+//!
+//! Run from the workspace root so the JSON lands next to `Cargo.toml`:
+//!
+//! ```text
+//! cargo run --release -p nvmx_bench --bin bench_sweep
+//! ```
+
+use nvmexplorer_core::config::{ArraySettings, CellSelection, StudyConfig, TrafficSpec};
+use nvmexplorer_core::sweep::{self, baseline};
+use nvmx_nvsim::OptimizationTarget;
+use std::time::Instant;
+
+const REPS: usize = 15;
+
+fn three_target_study() -> StudyConfig {
+    StudyConfig {
+        name: "bench-3-target".into(),
+        cells: CellSelection::default(),
+        array: ArraySettings {
+            targets: vec![
+                OptimizationTarget::ReadEdp,
+                OptimizationTarget::WriteEdp,
+                OptimizationTarget::Area,
+            ],
+            ..ArraySettings::default()
+        },
+        traffic: TrafficSpec::GenericSweep {
+            read_min: 1.0e9,
+            read_max: 10.0e9,
+            read_steps: 4,
+            write_min: 1.0e6,
+            write_max: 100.0e6,
+            write_steps: 4,
+            access_bytes: 8,
+        },
+        constraints: Default::default(),
+    }
+}
+
+/// Median wall-clock milliseconds over [`REPS`] runs of `f`.
+fn median_ms(mut f: impl FnMut()) -> f64 {
+    // One warmup rep.
+    f();
+    let mut samples: Vec<f64> = (0..REPS)
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1.0e3
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let study = three_target_study();
+
+    // Sanity: the two engines must agree before we compare their speed.
+    let shared = sweep::run_study_with_threads(&study, 8).expect("shared engine runs");
+    let reference = baseline::run_study_with_threads(&study, 1).expect("baseline engine runs");
+    assert_eq!(
+        shared.arrays, reference.arrays,
+        "engines diverged; refusing to record bench"
+    );
+    assert_eq!(shared.evaluations, reference.evaluations);
+    let arrays = shared.arrays.len();
+    let evaluations = shared.evaluations.len();
+
+    let mut rows = Vec::new();
+    for threads in [1usize, 8] {
+        let baseline_ms =
+            median_ms(|| drop(baseline::run_study_with_threads(&study, threads).unwrap()));
+        let shared_ms = median_ms(|| drop(sweep::run_study_with_threads(&study, threads).unwrap()));
+        rows.push((threads, baseline_ms, shared_ms));
+    }
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"sweep_engine_overhaul\",\n");
+    json.push_str(
+        "  \"study\": \"3-target default study (14 cells, 2 MiB SLC, ReadEDP+WriteEDP+Area, 4x4 generic traffic sweep)\",\n",
+    );
+    json.push_str(&format!("  \"reps\": {REPS},\n"));
+    json.push_str(&format!("  \"arrays\": {arrays},\n"));
+    json.push_str(&format!("  \"evaluations\": {evaluations},\n"));
+    json.push_str("  \"engines\": {\n");
+    json.push_str(
+        "    \"baseline\": \"per-target jobs, mutex queue + mutex result vec, completion-order sort, serial evaluation\",\n",
+    );
+    json.push_str(
+        "    \"shared_dse\": \"one DSE pass per (cell, capacity, bits_per_cell) covering all targets; atomic-index fan-out into preallocated slots; parallel evaluation\"\n",
+    );
+    json.push_str("  },\n");
+    json.push_str("  \"results_ms_median\": [\n");
+    for (i, (threads, baseline_ms, shared_ms)) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"threads\": {threads}, \"baseline_ms\": {baseline_ms:.2}, \"shared_dse_ms\": {shared_ms:.2}, \"speedup\": {:.2}}}{}\n",
+            baseline_ms / shared_ms,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+
+    std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
+    print!("{json}");
+    let eight = rows.iter().find(|(t, _, _)| *t == 8).unwrap();
+    eprintln!(
+        "speedup at 8 threads: {:.2}x (target >= 2.5x)",
+        eight.1 / eight.2
+    );
+}

@@ -42,7 +42,10 @@ pub fn run() -> Experiment {
     }
 
     let total_of = |tech: TechnologyClass| -> usize {
-        totals.iter().find(|(t, _)| *t == tech).map_or(0, |(_, n)| *n)
+        totals
+            .iter()
+            .find(|(t, _)| *t == tech)
+            .map_or(0, |(_, n)| *n)
     };
     let rram = total_of(TechnologyClass::Rram);
     let stt = total_of(TechnologyClass::Stt);

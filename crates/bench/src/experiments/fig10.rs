@@ -68,9 +68,9 @@ pub fn run(fast: bool) -> Experiment {
         }
         let best_w = writes.iter().map(|(l, _)| *l).fold(f64::MAX, f64::min);
         best_write_lat.push((cell.name.clone(), best_w));
-        let (bl, be) = reads
-            .iter()
-            .fold((f64::MAX, f64::MAX), |(bl, be), (l, e)| (bl.min(*l), be.min(*e)));
+        let (bl, be) = reads.iter().fold((f64::MAX, f64::MAX), |(bl, be), (l, e)| {
+            (bl.min(*l), be.min(*e))
+        });
         best_read.push((cell.name.clone(), bl, be));
         if cell.name == "STT-opt" {
             stt_points = reads.clone();
@@ -80,7 +80,10 @@ pub fn run(fast: bool) -> Experiment {
     }
 
     let lat_of = |name: &str| -> f64 {
-        best_write_lat.iter().find(|(n, _)| n == name).map_or(f64::MAX, |(_, l)| *l)
+        best_write_lat
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(f64::MAX, |(_, l)| *l)
     };
     let sram_wlat = lat_of("SRAM-16nm");
     let faster_than_sram: Vec<String> = best_write_lat
@@ -92,7 +95,10 @@ pub fn run(fast: bool) -> Experiment {
     // "STT and optimistic FeFET offer pareto-optimal read characteristics":
     // no other cell strictly dominates them on (latency, energy).
     let dominated = |name: &str| -> bool {
-        let (_, l, e) = best_read.iter().find(|(n, _, _)| n == name).expect("present");
+        let (_, l, e) = best_read
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .expect("present");
         best_read
             .iter()
             .any(|(other, ol, oe)| other != name && ol < l && oe < e)
@@ -111,7 +117,10 @@ pub fn run(fast: bool) -> Experiment {
     let sram_reads: Vec<(f64, f64)> = {
         // Recover SRAM points from the best_read pass: re-characterize per
         // target (cheap relative to the study).
-        let sram = cells.iter().find(|c| c.name == "SRAM-16nm").expect("baseline present");
+        let sram = cells
+            .iter()
+            .find(|c| c.name == "SRAM-16nm")
+            .expect("baseline present");
         targets
             .iter()
             .map(|&t| {

@@ -61,8 +61,13 @@ pub fn run(fast: bool) -> Experiment {
 
     let mut evals: Vec<Evaluation> = Vec::new();
     for cell in &cells {
-        let array =
-            characterize_study(cell, capacity, 64, OptimizationTarget::ReadEdp, BitsPerCell::Slc);
+        let array = characterize_study(
+            cell,
+            capacity,
+            64,
+            OptimizationTarget::ReadEdp,
+            BitsPerCell::Slc,
+        );
         let mut p = Vec::new();
         let mut l = Vec::new();
         let mut feasible_count = 0usize;
@@ -81,7 +86,10 @@ pub fn run(fast: bool) -> Experiment {
             ]);
             p.push((pattern.read_accesses_per_sec(), eval.total_power().value()));
             if eval.is_feasible() {
-                l.push((pattern.write_accesses_per_sec(), eval.aggregate_latency.value()));
+                l.push((
+                    pattern.write_accesses_per_sec(),
+                    eval.aggregate_latency.value(),
+                ));
                 feasible_count += 1;
             }
             evals.push(eval);
@@ -120,9 +128,9 @@ pub fn run(fast: bool) -> Experiment {
         .iter()
         .filter(|p| {
             let feasible = |name: &str| {
-                evals
-                    .iter()
-                    .any(|e| e.array.cell_name == name && e.traffic.name == p.name && e.is_feasible())
+                evals.iter().any(|e| {
+                    e.array.cell_name == name && e.traffic.name == p.name && e.is_feasible()
+                })
             };
             !feasible("FeFET-opt") && feasible("FeFET-BG")
         })
@@ -164,7 +172,8 @@ pub fn run(fast: bool) -> Experiment {
     let bfs_winner = evals
         .iter()
         .filter(|e| {
-            e.traffic.name.contains("BFS") && e.traffic.name.contains("Wikipedia")
+            e.traffic.name.contains("BFS")
+                && e.traffic.name.contains("Wikipedia")
                 && e.is_feasible()
         })
         .min_by(|a, b| a.total_power().value().total_cmp(&b.total_power().value()))

@@ -74,7 +74,10 @@ pub fn run(fast: bool) -> Experiment {
             num(eval.array.read_energy.value() * 1e12),
             highlighted.to_string(),
         ]);
-        let point = (eval.array.area_efficiency.value(), eval.aggregate_latency.value());
+        let point = (
+            eval.array.area_efficiency.value(),
+            eval.aggregate_latency.value(),
+        );
         if highlighted {
             low_points.push(point);
         } else {
@@ -85,8 +88,11 @@ pub fn run(fast: bool) -> Experiment {
     plot.series(format!("area eff > {EFFICIENCY_THRESHOLD}"), high_points);
 
     let median = |set: &ResultSet| -> f64 {
-        let mut v: Vec<f64> =
-            set.evaluations().iter().map(|e| e.aggregate_latency.value()).collect();
+        let mut v: Vec<f64> = set
+            .evaluations()
+            .iter()
+            .map(|e| e.aggregate_latency.value())
+            .collect();
         v.sort_by(f64::total_cmp);
         if v.is_empty() {
             f64::NAN
@@ -112,8 +118,7 @@ pub fn run(fast: bool) -> Experiment {
         if n < 4 {
             1.0
         } else {
-            let first_half: f64 =
-                pairs[..n / 2].iter().map(|p| p.1).sum::<f64>() / (n / 2) as f64;
+            let first_half: f64 = pairs[..n / 2].iter().map(|p| p.1).sum::<f64>() / (n / 2) as f64;
             let second_half: f64 =
                 pairs[n / 2..].iter().map(|p| p.1).sum::<f64>() / (n - n / 2) as f64;
             second_half / first_half

@@ -92,7 +92,12 @@ pub fn run(fast: bool) -> Experiment {
                 ok.to_string(),
                 format!("{density:.0}"),
             ]);
-            rows.push(Row { cell: cell.name.clone(), bits, density, ok });
+            rows.push(Row {
+                cell: cell.name.clone(),
+                bits,
+                density,
+                ok,
+            });
         }
     }
 
@@ -106,7 +111,10 @@ pub fn run(fast: bool) -> Experiment {
     let fefet_small_mlc = find("FeFET-opt", BitsPerCell::Mlc2);
     let fefet_large_mlc = find("FeFET-pess", BitsPerCell::Mlc2);
     let ctt_mlc = find("CTT-opt", BitsPerCell::Mlc2);
-    let all_slc_ok = rows.iter().filter(|r| r.bits == BitsPerCell::Slc).all(|r| r.ok);
+    let all_slc_ok = rows
+        .iter()
+        .filter(|r| r.bits == BitsPerCell::Slc)
+        .all(|r| r.ok);
 
     let findings = vec![
         Finding::new(

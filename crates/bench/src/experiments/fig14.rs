@@ -30,14 +30,26 @@ pub fn run(fast: bool) -> Experiment {
     let spec_traffic = {
         let mut sorted = spec.clone();
         sorted.sort_by(|a, b| {
-            a.traffic.write_bytes_per_sec.total_cmp(&b.traffic.write_bytes_per_sec)
+            a.traffic
+                .write_bytes_per_sec
+                .total_cmp(&b.traffic.write_bytes_per_sec)
         });
         sorted[sorted.len() / 2].traffic.clone()
     };
 
     let scenarios: Vec<(&str, Capacity, u64, TrafficPattern)> = vec![
-        ("Facebook-Graph-BFS", Capacity::from_mebibytes(8), 64, bfs_traffic),
-        ("SPEC2017 (median-write)", Capacity::from_mebibytes(16), 512, spec_traffic),
+        (
+            "Facebook-Graph-BFS",
+            Capacity::from_mebibytes(8),
+            64,
+            bfs_traffic,
+        ),
+        (
+            "SPEC2017 (median-write)",
+            Capacity::from_mebibytes(16),
+            512,
+            spec_traffic,
+        ),
     ];
 
     let mut csv = Csv::new([
@@ -69,8 +81,15 @@ pub fn run(fast: bool) -> Experiment {
     for (workload, capacity, word_bits, traffic) in &scenarios {
         for cell in study_cells() {
             // Focus the sweep on the interesting candidates.
-            if !["FeFET-opt", "FeFET-pess", "STT-opt", "RRAM-opt", "SRAM-16nm", "PCM-opt"]
-                .contains(&cell.name.as_str())
+            if ![
+                "FeFET-opt",
+                "FeFET-pess",
+                "STT-opt",
+                "RRAM-opt",
+                "SRAM-16nm",
+                "PCM-opt",
+            ]
+            .contains(&cell.name.as_str())
             {
                 continue;
             }
@@ -110,8 +129,7 @@ pub fn run(fast: bool) -> Experiment {
                         fefet_bfs_halved_feasible = eval.is_feasible();
                     }
                     if eval.is_feasible() {
-                        fefet_bfs_best_power =
-                            fefet_bfs_best_power.min(eval.total_power().value());
+                        fefet_bfs_best_power = fefet_bfs_best_power.min(eval.total_power().value());
                     }
                 }
                 if cell.name == "STT-opt" && label == "no buffer" {

@@ -12,8 +12,11 @@ use nvmx_viz::{csv::num, Csv, ScatterPlot};
 /// Regenerates the Fig. 3 array-level comparison at 4 MB.
 pub fn run(fast: bool) -> Experiment {
     let capacity = Capacity::from_mebibytes(4);
-    let targets: &[OptimizationTarget] =
-        if fast { &[OptimizationTarget::ReadEdp, OptimizationTarget::WriteEdp] } else { &OptimizationTarget::ALL };
+    let targets: &[OptimizationTarget] = if fast {
+        &[OptimizationTarget::ReadEdp, OptimizationTarget::WriteEdp]
+    } else {
+        &OptimizationTarget::ALL
+    };
 
     let mut csv = Csv::new([
         "cell",
@@ -70,8 +73,8 @@ pub fn run(fast: bool) -> Experiment {
             reads.push((array.read_latency.value(), array.read_energy.value()));
             // Fig. 3 note: pessimistic PCM write latency (>10 us) is
             // omitted from the write plot for clarity.
-            let is_pess_pcm = array.technology == TechnologyClass::Pcm
-                && array.write_latency.value() > 10.0e-6;
+            let is_pess_pcm =
+                array.technology == TechnologyClass::Pcm && array.write_latency.value() > 10.0e-6;
             if is_pess_pcm {
                 pess_pcm_write_lat = pess_pcm_write_lat.max(array.write_latency.value());
             } else {
@@ -80,7 +83,10 @@ pub fn run(fast: bool) -> Experiment {
             if array.technology == TechnologyClass::Sram {
                 sram_read_lat = sram_read_lat.min(array.read_latency.value());
             }
-            match best_read_lat_per_tech.iter_mut().find(|(t, _)| *t == array.technology) {
+            match best_read_lat_per_tech
+                .iter_mut()
+                .find(|(t, _)| *t == array.technology)
+            {
                 Some((_, best)) => *best = best.min(array.read_latency.value()),
                 None => best_read_lat_per_tech.push((array.technology, array.read_latency.value())),
             }
@@ -104,12 +110,18 @@ pub fn run(fast: bool) -> Experiment {
         .filter(|(t, _)| t.is_nonvolatile())
         .filter(|(_, lat)| *lat <= sram_read_lat * 8.0)
         .count();
-    let nvm_count = best_read_lat_per_tech.iter().filter(|(t, _)| t.is_nonvolatile()).count();
+    let nvm_count = best_read_lat_per_tech
+        .iter()
+        .filter(|(t, _)| t.is_nonvolatile())
+        .count();
 
     let findings = vec![
         Finding::new(
             "each eNVM attains read latency competitive with SRAM",
-            format!("{competitive}/{nvm_count} classes within 4x of SRAM ({:.2} ns)", sram_read_lat * 1e9),
+            format!(
+                "{competitive}/{nvm_count} classes within 4x of SRAM ({:.2} ns)",
+                sram_read_lat * 1e9
+            ),
             competitive >= nvm_count.saturating_sub(1),
         ),
         Finding::new(

@@ -91,7 +91,14 @@ pub fn run() -> Experiment {
             "ns",
         );
         if let Some(e) = reference.read_energy {
-            check("read_energy", e.value(), opt.read_energy.value(), pess.read_energy.value(), 1e12, "pJ");
+            check(
+                "read_energy",
+                e.value(),
+                opt.read_energy.value(),
+                pess.read_energy.value(),
+                1e12,
+                "pJ",
+            );
         }
         if let Some(w) = reference.write_latency {
             check(
@@ -104,7 +111,14 @@ pub fn run() -> Experiment {
             );
         }
         if let Some(a) = reference.area {
-            check("area", a.value(), opt.area.value(), pess.area.value(), 1.0, "mm2");
+            check(
+                "area",
+                a.value(),
+                opt.area.value(),
+                pess.area.value(),
+                1.0,
+                "mm2",
+            );
         }
     }
 
@@ -116,7 +130,9 @@ pub fn run() -> Experiment {
         ),
         Finding::new(
             "tentpole coverage holds across published reference arrays",
-            format!("{acceptable}/{checks} metrics covered or near-covered (tolerance {TOLERANCE}x)"),
+            format!(
+                "{acceptable}/{checks} metrics covered or near-covered (tolerance {TOLERANCE}x)"
+            ),
             acceptable as f64 / checks.max(1) as f64 >= 0.8,
         ),
     ];

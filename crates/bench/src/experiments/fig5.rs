@@ -10,7 +10,11 @@ use nvmx_viz::{csv::num, AsciiTable, Csv, ScatterPlot};
 
 /// Regenerates the 2 MB NVDLA-buffer comparison.
 pub fn run() -> Experiment {
-    let arrays = study_arrays(Capacity::from_mebibytes(2), 256, OptimizationTarget::ReadEdp);
+    let arrays = study_arrays(
+        Capacity::from_mebibytes(2),
+        256,
+        OptimizationTarget::ReadEdp,
+    );
 
     let mut csv = Csv::new([
         "cell",
@@ -34,7 +38,10 @@ pub fn run() -> Experiment {
     ]);
 
     let metric = |name: &str| -> &nvmx_nvsim::ArrayCharacterization {
-        arrays.iter().find(|a| a.cell_name == name).expect("study cell present")
+        arrays
+            .iter()
+            .find(|a| a.cell_name == name)
+            .expect("study cell present")
     };
     for array in &arrays {
         csv.row([
@@ -70,7 +77,10 @@ pub fn run() -> Experiment {
     let density_ratio = stt.density_mbit_per_mm2() / sram.density_mbit_per_mm2();
     let densest = arrays
         .iter()
-        .max_by(|a, b| a.density_mbit_per_mm2().total_cmp(&b.density_mbit_per_mm2()))
+        .max_by(|a, b| {
+            a.density_mbit_per_mm2()
+                .total_cmp(&b.density_mbit_per_mm2())
+        })
         .expect("nonempty");
 
     let findings = vec![
@@ -96,8 +106,13 @@ pub fn run() -> Experiment {
         ),
         Finding::new(
             "optimistic FeFET offers the highest storage density",
-            format!("densest = {} at {:.0} Mb/mm^2", densest.cell_name, densest.density_mbit_per_mm2()),
-            densest.technology == TechnologyClass::FeFet && densest.flavor == CellFlavor::Optimistic,
+            format!(
+                "densest = {} at {:.0} Mb/mm^2",
+                densest.cell_name,
+                densest.density_mbit_per_mm2()
+            ),
+            densest.technology == TechnologyClass::FeFet
+                && densest.flavor == CellFlavor::Optimistic,
         ),
         Finding::new(
             "optimistic STT offers ~6x higher density than SRAM (paper: 6x)",

@@ -15,7 +15,10 @@ use nvmx_workloads::dnn::{resnet26, DnnUseCase, StoragePolicy};
 
 /// Fits a weight image into the next power-of-two MiB capacity.
 pub fn provision_capacity(weight_bytes: u64) -> Capacity {
-    let mib = weight_bytes.div_ceil(1024 * 1024).next_power_of_two().max(1);
+    let mib = weight_bytes
+        .div_ceil(1024 * 1024)
+        .next_power_of_two()
+        .max(1);
     Capacity::from_mebibytes(mib)
 }
 
@@ -110,8 +113,7 @@ pub fn run(fast: bool) -> Experiment {
                     best = Some((name.clone(), *power_mw));
                 }
             }
-            if use_case.name.contains("single") && use_case.storage == StoragePolicy::WeightsOnly
-            {
+            if use_case.name.contains("single") && use_case.storage == StoragePolicy::WeightsOnly {
                 let ratio = sram_power / power_mw;
                 match name.as_str() {
                     "PCM-opt" | "RRAM-opt" | "STT-opt" => {
@@ -158,8 +160,13 @@ pub fn run(fast: bool) -> Experiment {
         };
         let cap = provision_capacity(use_case.stored_weight_bytes());
         for cell in &cells {
-            let array =
-                characterize_study(cell, cap, 256, OptimizationTarget::ReadEdp, BitsPerCell::Slc);
+            let array = characterize_study(
+                cell,
+                cap,
+                256,
+                OptimizationTarget::ReadEdp,
+                BitsPerCell::Slc,
+            );
             let daily = daily_energy(&array, &scenario, 86_400.0); // 1 IPS
             let per_inf_uj = daily.per_event().value() * 1e6;
             csv.row([

@@ -23,10 +23,7 @@ fn scenario_for(use_case: &DnnUseCase) -> (IntermittentScenario, Capacity) {
 
 /// Where the energy curves of two technologies cross, if they do, searching
 /// the sampled rates.
-fn crossover(
-    a: &[(f64, nvmx_units::Joules)],
-    b: &[(f64, nvmx_units::Joules)],
-) -> Option<f64> {
+fn crossover(a: &[(f64, nvmx_units::Joules)], b: &[(f64, nvmx_units::Joules)]) -> Option<f64> {
     for (pa, pb) in a.iter().zip(b) {
         if pa.1.value() > pb.1.value() {
             return Some(pa.0);
@@ -45,12 +42,18 @@ pub fn run(fast: bool) -> Experiment {
     let mut findings = Vec::new();
     let mut summary = String::new();
     let mut crossovers: Vec<(String, Option<f64>)> = Vec::new();
-    let mut image_curves: Option<(Vec<(f64, nvmx_units::Joules)>, Vec<(f64, nvmx_units::Joules)>)> =
-        None;
+    type EnergyCurve = Vec<(f64, nvmx_units::Joules)>;
+    let mut image_curves: Option<(EnergyCurve, EnergyCurve)> = None;
 
     for (label, use_case) in [
-        ("image-classification", DnnUseCase::single(resnet26(), StoragePolicy::WeightsOnly)),
-        ("nlp-albert", DnnUseCase::single(albert(), StoragePolicy::WeightsOnly)),
+        (
+            "image-classification",
+            DnnUseCase::single(resnet26(), StoragePolicy::WeightsOnly),
+        ),
+        (
+            "nlp-albert",
+            DnnUseCase::single(albert(), StoragePolicy::WeightsOnly),
+        ),
     ] {
         let (scenario, capacity) = scenario_for(&use_case);
         let mut plot = ScatterPlot::log_log(
@@ -77,8 +80,7 @@ pub fn run(fast: bool) -> Experiment {
                     num(energy.value()),
                 ]);
             }
-            let points: Vec<(f64, f64)> =
-                curve.iter().map(|(r, e)| (*r, e.value())).collect();
+            let points: Vec<(f64, f64)> = curve.iter().map(|(r, e)| (*r, e.value())).collect();
             plot.series(cell.name.clone(), points);
             if cell.name == "FeFET-opt" {
                 fefet_curve = curve.clone();
@@ -93,8 +95,9 @@ pub fn run(fast: bool) -> Experiment {
             Some(rate) => summary.push_str(&format!(
                 "{label}: FeFET-opt cheaper below ~{rate:.0} inf/day, STT-opt above.\n"
             )),
-            None => summary
-                .push_str(&format!("{label}: no FeFET/STT crossover in sampled range.\n")),
+            None => summary.push_str(&format!(
+                "{label}: no FeFET/STT crossover in sampled range.\n"
+            )),
         }
         crossovers.push((label.to_owned(), cross));
         if label == "image-classification" {

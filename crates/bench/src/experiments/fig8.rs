@@ -63,8 +63,13 @@ pub fn run(fast: bool) -> Experiment {
 
     let mut evals: Vec<Evaluation> = Vec::new();
     for cell in &cells {
-        let array =
-            characterize_study(cell, capacity, 64, OptimizationTarget::ReadEdp, BitsPerCell::Slc);
+        let array = characterize_study(
+            cell,
+            capacity,
+            64,
+            OptimizationTarget::ReadEdp,
+            BitsPerCell::Slc,
+        );
         let mut power_pts = Vec::new();
         let mut lat_pts = Vec::new();
         let mut life_pts = Vec::new();
@@ -82,7 +87,10 @@ pub fn run(fast: bool) -> Experiment {
             ]);
             power_pts.push((pattern.read_accesses_per_sec(), eval.total_power().value()));
             if eval.is_feasible() {
-                lat_pts.push((pattern.write_accesses_per_sec(), eval.aggregate_latency.value()));
+                lat_pts.push((
+                    pattern.write_accesses_per_sec(),
+                    eval.aggregate_latency.value(),
+                ));
             }
             if eval.lifetime.is_some() {
                 life_pts.push((pattern.write_accesses_per_sec(), eval.lifetime_years()));
@@ -106,15 +114,17 @@ pub fn run(fast: bool) -> Experiment {
         e.traffic.read_accesses_per_sec() < 1.0e7 && e.array.nonvolatile
     });
     let high_rate_winner = lowest_power_at(&|e: &Evaluation| {
-        e.traffic.read_accesses_per_sec() > 8.0e8
-            && e.array.nonvolatile
-            && e.is_feasible()
+        e.traffic.read_accesses_per_sec() > 8.0e8 && e.array.nonvolatile && e.is_feasible()
     });
 
     let best_latency = evals
         .iter()
         .filter(|e| e.is_feasible() && e.array.nonvolatile)
-        .min_by(|a, b| a.aggregate_latency.value().total_cmp(&b.aggregate_latency.value()))
+        .min_by(|a, b| {
+            a.aggregate_latency
+                .value()
+                .total_cmp(&b.aggregate_latency.value())
+        })
         .map(|e| e.array.cell_name.clone());
 
     let fefet_infeasible_high_writes = evals.iter().any(|e| {

@@ -68,12 +68,21 @@ pub fn run(fast: bool) -> Experiment {
                 num(eval.lifetime_years()),
                 eval.is_feasible().to_string(),
             ]);
-            p.push((bench.traffic.read_accesses_per_sec(), eval.total_power().value()));
+            p.push((
+                bench.traffic.read_accesses_per_sec(),
+                eval.total_power().value(),
+            ));
             if eval.is_feasible() {
-                l.push((bench.traffic.write_accesses_per_sec(), eval.aggregate_latency.value()));
+                l.push((
+                    bench.traffic.write_accesses_per_sec(),
+                    eval.aggregate_latency.value(),
+                ));
             }
             if eval.lifetime.is_some() {
-                lt.push((bench.traffic.write_accesses_per_sec(), eval.lifetime_years()));
+                lt.push((
+                    bench.traffic.write_accesses_per_sec(),
+                    eval.lifetime_years(),
+                ));
             }
             evals.push((bench.name.clone(), eval));
         }
@@ -86,7 +95,9 @@ pub fn run(fast: bool) -> Experiment {
     let top_bench = suite
         .iter()
         .max_by(|a, b| {
-            a.traffic.read_accesses_per_sec().total_cmp(&b.traffic.read_accesses_per_sec())
+            a.traffic
+                .read_accesses_per_sec()
+                .total_cmp(&b.traffic.read_accesses_per_sec())
         })
         .expect("suite nonempty")
         .name

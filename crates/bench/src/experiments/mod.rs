@@ -48,8 +48,7 @@ pub fn characterize_study(
         bits_per_cell,
         target,
     };
-    characterize(cell, &config)
-        .unwrap_or_else(|e| panic!("characterizing {}: {e}", cell.name))
+    characterize(cell, &config).unwrap_or_else(|e| panic!("characterizing {}: {e}", cell.name))
 }
 
 /// Characterizes every study cell at one capacity/word/target (SLC).
@@ -76,10 +75,7 @@ pub fn pess_cell(tech: nvmx_celldb::TechnologyClass) -> CellDefinition {
 }
 
 /// Finds the array for a given cell name in a characterized set.
-pub fn by_name<'a>(
-    arrays: &'a [ArrayCharacterization],
-    name: &str,
-) -> &'a ArrayCharacterization {
+pub fn by_name<'a>(arrays: &'a [ArrayCharacterization], name: &str) -> &'a ArrayCharacterization {
     arrays
         .iter()
         .find(|a| a.cell_name == name)

@@ -28,22 +28,43 @@ pub fn run() -> Experiment {
     let col = |f: &dyn Fn(&nvmx_celldb::summary::ClassSummary) -> String| -> Vec<String> {
         TechnologyClass::ALL
             .iter()
-            .map(|t| f(rows.iter().find(|r| r.technology == *t).expect("all classes")))
+            .map(|t| {
+                f(rows
+                    .iter()
+                    .find(|r| r.technology == *t)
+                    .expect("all classes"))
+            })
             .collect()
     };
-    let push = |table: &mut AsciiTable, name: &str, f: &dyn Fn(&nvmx_celldb::summary::ClassSummary) -> String| {
+    let push = |table: &mut AsciiTable,
+                name: &str,
+                f: &dyn Fn(&nvmx_celldb::summary::ClassSummary) -> String| {
         let mut cells = vec![name.to_owned()];
         cells.extend(col(f));
         table.row(cells);
     };
     push(&mut table, "Cell Area [F^2]", &|r| cell(r.cell_area_f2));
     push(&mut table, "Tech. Node [nm]", &|r| cell(r.node_nm));
-    push(&mut table, "MLC", &|r| if r.mlc { "yes".into() } else { "no".into() });
-    push(&mut table, "Read Latency [ns]", &|r| cell(r.read_latency_ns));
-    push(&mut table, "Write Latency [ns]", &|r| cell(r.write_latency_ns));
+    push(&mut table, "MLC", &|r| {
+        if r.mlc {
+            "yes".into()
+        } else {
+            "no".into()
+        }
+    });
+    push(&mut table, "Read Latency [ns]", &|r| {
+        cell(r.read_latency_ns)
+    });
+    push(&mut table, "Write Latency [ns]", &|r| {
+        cell(r.write_latency_ns)
+    });
     push(&mut table, "Read Energy [pJ]", &|r| cell(r.read_energy_pj));
-    push(&mut table, "Write Energy [pJ]", &|r| cell(r.write_energy_pj));
-    push(&mut table, "Endurance [cycles]", &|r| cell(r.endurance_cycles));
+    push(&mut table, "Write Energy [pJ]", &|r| {
+        cell(r.write_energy_pj)
+    });
+    push(&mut table, "Endurance [cycles]", &|r| {
+        cell(r.endurance_cycles)
+    });
     push(&mut table, "Retention [s]", &|r| cell(r.retention_s));
 
     let mut csv = Csv::new([
@@ -75,14 +96,24 @@ pub fn run() -> Experiment {
         ]);
     }
 
-    let stt = rows.iter().find(|r| r.technology == TechnologyClass::Stt).expect("stt");
-    let sram = rows.iter().find(|r| r.technology == TechnologyClass::Sram).expect("sram");
-    let ctt = rows.iter().find(|r| r.technology == TechnologyClass::Ctt).expect("ctt");
+    let stt = rows
+        .iter()
+        .find(|r| r.technology == TechnologyClass::Stt)
+        .expect("stt");
+    let sram = rows
+        .iter()
+        .find(|r| r.technology == TechnologyClass::Sram)
+        .expect("sram");
+    let ctt = rows
+        .iter()
+        .find(|r| r.technology == TechnologyClass::Ctt)
+        .expect("ctt");
     let findings = vec![
         Finding::new(
             "STT cell area spans 14-75 F^2",
             cell(stt.cell_area_f2),
-            stt.cell_area_f2.is_some_and(|r| r.min == 14.0 && r.max == 75.0),
+            stt.cell_area_f2
+                .is_some_and(|r| r.min == 14.0 && r.max == 75.0),
         ),
         Finding::new(
             "SRAM has no endurance/retention entries (N/A)",

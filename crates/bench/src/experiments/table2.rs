@@ -29,46 +29,93 @@ struct Scenario {
 }
 
 fn scenarios() -> Vec<Scenario> {
-    let mk = |use_case_label: &str, task: &str, storage: &str, uc: DnnUseCase, inter: bool| Scenario {
-        use_case_label: use_case_label.into(),
-        task: task.into(),
-        storage: storage.into(),
-        use_case: uc,
-        intermittent: inter,
-    };
+    let mk =
+        |use_case_label: &str, task: &str, storage: &str, uc: DnnUseCase, inter: bool| Scenario {
+            use_case_label: use_case_label.into(),
+            task: task.into(),
+            storage: storage.into(),
+            use_case: uc,
+            intermittent: inter,
+        };
     vec![
-        mk("Continuous(60IPS)", "Single-Task Image Classification", "Weights Only",
-            DnnUseCase::single(resnet26(), StoragePolicy::WeightsOnly), false),
-        mk("Continuous(60IPS)", "Single-Task Image Classification", "Weights + Acts",
-            DnnUseCase::single(resnet26(), StoragePolicy::WeightsAndActivations), false),
-        mk("Continuous(60IPS)", "Multi-Task Image Processing", "Weights Only",
-            DnnUseCase::multi(resnet26(), StoragePolicy::WeightsOnly), false),
-        mk("Continuous(60IPS)", "Multi-Task Image Processing", "Weights + Acts",
-            DnnUseCase::multi(resnet26(), StoragePolicy::WeightsAndActivations), false),
-        mk("Intermittent(1IPS)", "Single-Task Image Classification", "Weights Only",
-            DnnUseCase::single(resnet26(), StoragePolicy::WeightsOnly), true),
-        mk("Intermittent(1IPS)", "Multi-Task Image Processing", "Weights Only",
-            DnnUseCase::multi(resnet26(), StoragePolicy::WeightsOnly), true),
-        mk("Intermittent(1IPS)", "Sentence Classification (ALBERT)", "Embeddings Only",
-            DnnUseCase::single(albert_embeddings_only(), StoragePolicy::WeightsOnly), true),
-        mk("Intermittent(1IPS)", "Sentence Classification (ALBERT)", "All Weights",
-            DnnUseCase::single(albert(), StoragePolicy::WeightsOnly), true),
-        mk("Intermittent(1IPS)", "Multi-Task NLP (ALBERT)", "All Weights",
-            DnnUseCase::multi(albert(), StoragePolicy::WeightsOnly), true),
+        mk(
+            "Continuous(60IPS)",
+            "Single-Task Image Classification",
+            "Weights Only",
+            DnnUseCase::single(resnet26(), StoragePolicy::WeightsOnly),
+            false,
+        ),
+        mk(
+            "Continuous(60IPS)",
+            "Single-Task Image Classification",
+            "Weights + Acts",
+            DnnUseCase::single(resnet26(), StoragePolicy::WeightsAndActivations),
+            false,
+        ),
+        mk(
+            "Continuous(60IPS)",
+            "Multi-Task Image Processing",
+            "Weights Only",
+            DnnUseCase::multi(resnet26(), StoragePolicy::WeightsOnly),
+            false,
+        ),
+        mk(
+            "Continuous(60IPS)",
+            "Multi-Task Image Processing",
+            "Weights + Acts",
+            DnnUseCase::multi(resnet26(), StoragePolicy::WeightsAndActivations),
+            false,
+        ),
+        mk(
+            "Intermittent(1IPS)",
+            "Single-Task Image Classification",
+            "Weights Only",
+            DnnUseCase::single(resnet26(), StoragePolicy::WeightsOnly),
+            true,
+        ),
+        mk(
+            "Intermittent(1IPS)",
+            "Multi-Task Image Processing",
+            "Weights Only",
+            DnnUseCase::multi(resnet26(), StoragePolicy::WeightsOnly),
+            true,
+        ),
+        mk(
+            "Intermittent(1IPS)",
+            "Sentence Classification (ALBERT)",
+            "Embeddings Only",
+            DnnUseCase::single(albert_embeddings_only(), StoragePolicy::WeightsOnly),
+            true,
+        ),
+        mk(
+            "Intermittent(1IPS)",
+            "Sentence Classification (ALBERT)",
+            "All Weights",
+            DnnUseCase::single(albert(), StoragePolicy::WeightsOnly),
+            true,
+        ),
+        mk(
+            "Intermittent(1IPS)",
+            "Multi-Task NLP (ALBERT)",
+            "All Weights",
+            DnnUseCase::multi(albert(), StoragePolicy::WeightsOnly),
+            true,
+        ),
     ]
 }
 
 /// Scores a cell for one scenario; lower is better. Returns `None` when the
 /// cell is excluded (infeasible at 60 FPS continuous).
-fn score(
-    cell: &CellDefinition,
-    scenario: &Scenario,
-    priority: Priority,
-) -> Option<f64> {
+fn score(cell: &CellDefinition, scenario: &Scenario, priority: Priority) -> Option<f64> {
     let capacity = super::fig6::provision_capacity(scenario.use_case.stored_weight_bytes())
         .max(Capacity::from_mebibytes(2));
-    let array =
-        characterize_study(cell, capacity, 256, OptimizationTarget::ReadEdp, BitsPerCell::Slc);
+    let array = characterize_study(
+        cell,
+        capacity,
+        256,
+        OptimizationTarget::ReadEdp,
+        BitsPerCell::Slc,
+    );
     if scenario.intermittent {
         let s = IntermittentScenario {
             name: scenario.task.clone(),
@@ -136,7 +183,14 @@ pub fn run(_fast: bool) -> Experiment {
 
     for scenario in scenarios() {
         for (priority, label) in [
-            (Priority::LowPowerOrEnergy, if scenario.intermittent { "Low Energy/Inf" } else { "Low Power" }),
+            (
+                Priority::LowPowerOrEnergy,
+                if scenario.intermittent {
+                    "Low Energy/Inf"
+                } else {
+                    "Low Power"
+                },
+            ),
             (Priority::HighDensity, "High Density"),
         ] {
             let opt = winner(&cells, &scenario, priority, |f| {
@@ -145,7 +199,8 @@ pub fn run(_fast: bool) -> Experiment {
             let alt = winner(&cells, &scenario, priority, |f| {
                 matches!(f, CellFlavor::Pessimistic | CellFlavor::Reference)
             });
-            let fmt = |t: Option<TechnologyClass>| t.map_or("-".to_owned(), |t| t.label().to_owned());
+            let fmt =
+                |t: Option<TechnologyClass>| t.map_or("-".to_owned(), |t| t.label().to_owned());
             csv.row([
                 scenario.use_case_label.clone(),
                 scenario.task.clone(),
@@ -171,9 +226,7 @@ pub fn run(_fast: bool) -> Experiment {
                 } else {
                     density_alt_weights_only_all_ctt &= alt == Some(TechnologyClass::Ctt);
                 }
-            } else if scenario.intermittent
-                && scenario.task.contains("Single-Task Image")
-            {
+            } else if scenario.intermittent && scenario.task.contains("Single-Task Image") {
                 single_task_intermittent_winner = opt;
             } else if !scenario.intermittent {
                 if let Some(t) = opt {
@@ -207,7 +260,10 @@ pub fn run(_fast: bool) -> Experiment {
             "continuous low-power winners come from {PCM, RRAM, STT}",
             format!("{continuous_low_power_winners:?}"),
             continuous_low_power_winners.iter().all(|t| {
-                matches!(t, TechnologyClass::Pcm | TechnologyClass::Rram | TechnologyClass::Stt)
+                matches!(
+                    t,
+                    TechnologyClass::Pcm | TechnologyClass::Rram | TechnologyClass::Stt
+                )
             }),
         ),
         Finding::new(

@@ -16,16 +16,38 @@ const MATRIX: [(&str, [bool; 7]); 14] = [
     ("FeRAM", [true, true, false, false, false, false, true]),
     ("FeFET", [true, false, false, true, false, false, true]),
     ("MLC cells", [false, false, false, true, false, false, true]),
-    ("Fault modeling", [false, false, false, true, false, false, true]),
-    ("App-aware accuracy", [false, false, false, true, false, false, true]),
-    ("Memory lifetime", [false, false, false, false, false, true, true]),
-    ("Operating power", [false, false, true, true, false, true, true]),
+    (
+        "Fault modeling",
+        [false, false, false, true, false, false, true],
+    ),
+    (
+        "App-aware accuracy",
+        [false, false, false, true, false, false, true],
+    ),
+    (
+        "Memory lifetime",
+        [false, false, false, false, false, true, true],
+    ),
+    (
+        "Operating power",
+        [false, false, true, true, false, true, true],
+    ),
     ("Latency", [false, false, true, true, true, true, true]),
-    ("Cross-domain use cases", [false, false, false, false, false, false, true]),
+    (
+        "Cross-domain use cases",
+        [false, false, false, false, false, false, true],
+    ),
 ];
 
-const TOOLS: [&str; 7] =
-    ["Surveys", "NVSim", "DESTINY", "NeuroSim+", "NVMain", "DeepNVM++", "NVMExplorer-RS"];
+const TOOLS: [&str; 7] = [
+    "Surveys",
+    "NVSim",
+    "DESTINY",
+    "NeuroSim+",
+    "NVMain",
+    "DeepNVM++",
+    "NVMExplorer-RS",
+];
 
 /// Regenerates the related-work comparison matrix.
 pub fn run() -> Experiment {
@@ -36,7 +58,10 @@ pub fn run() -> Experiment {
 
     for (capability, row) in MATRIX {
         let cells: Vec<String> = std::iter::once(capability.to_owned())
-            .chain(row.iter().map(|&b| if b { "x".to_owned() } else { String::new() }))
+            .chain(
+                row.iter()
+                    .map(|&b| if b { "x".to_owned() } else { String::new() }),
+            )
             .collect();
         table.row(cells.clone());
         csv.row(cells);
@@ -50,7 +75,10 @@ pub fn run() -> Experiment {
 
     let findings = vec![Finding::new(
         "NVMExplorer covers more technologies and evaluation axes than prior tools",
-        format!("{ours}/{} capabilities vs best prior {best_other}", MATRIX.len()),
+        format!(
+            "{ours}/{} capabilities vs best prior {best_other}",
+            MATRIX.len()
+        ),
         ours > best_other,
     )];
 

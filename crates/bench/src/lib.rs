@@ -29,7 +29,11 @@ pub struct Finding {
 impl Finding {
     /// Creates a finding record.
     pub fn new(claim: impl Into<String>, measured: impl Into<String>, holds: bool) -> Self {
-        Self { claim: claim.into(), measured: measured.into(), holds }
+        Self {
+            claim: claim.into(),
+            measured: measured.into(),
+            holds,
+        }
     }
 }
 
@@ -81,7 +85,10 @@ impl Experiment {
             out.push_str("\nPaper-vs-measured:\n");
             for f in &self.findings {
                 let mark = if f.holds { "OK " } else { "DEV" };
-                out.push_str(&format!("  [{mark}] {}\n        measured: {}\n", f.claim, f.measured));
+                out.push_str(&format!(
+                    "  [{mark}] {}\n        measured: {}\n",
+                    f.claim, f.measured
+                ));
             }
         }
         out
@@ -101,13 +108,15 @@ pub fn output_dir() -> PathBuf {
 /// `true` when reduced-size experiment variants are requested
 /// (`NVMX_FAST=1`).
 pub fn fast_mode() -> bool {
-    std::env::var("NVMX_FAST").map(|v| v == "1").unwrap_or(false)
+    std::env::var("NVMX_FAST")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// All experiment ids, in paper order.
 pub const EXPERIMENT_IDS: [&str; 16] = [
-    "fig1", "table1", "fig3", "fig4", "fig5", "fig6", "fig7", "table2", "fig8", "fig9",
-    "fig10", "fig11", "fig12", "fig13", "fig14", "table3",
+    "fig1", "table1", "fig3", "fig4", "fig5", "fig6", "fig7", "table2", "fig8", "fig9", "fig10",
+    "fig11", "fig12", "fig13", "fig14", "table3",
 ];
 
 /// Runs one experiment by id.
@@ -175,7 +184,11 @@ mod tests {
 
     #[test]
     fn experiment_report_marks_deviations() {
-        let mut e = Experiment { id: "x".into(), title: "t".into(), ..Default::default() };
+        let mut e = Experiment {
+            id: "x".into(),
+            title: "t".into(),
+            ..Default::default()
+        };
         e.findings.push(Finding::new("claim", "value", true));
         e.findings.push(Finding::new("other", "value", false));
         let report = e.report();

@@ -181,10 +181,7 @@ impl CellDefinition {
     ///     .build();
     /// assert_eq!(cell.name, "my-fefet");
     /// ```
-    pub fn builder(
-        technology: TechnologyClass,
-        name: impl Into<String>,
-    ) -> CellDefinitionBuilder {
+    pub fn builder(technology: TechnologyClass, name: impl Into<String>) -> CellDefinitionBuilder {
         CellDefinitionBuilder::new(technology, name)
     }
 
@@ -224,7 +221,13 @@ impl CellDefinition {
 
 impl std::fmt::Display for CellDefinition {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{} ({:.0} F^2, {})", self.name, self.area.value(), self.flavor)
+        write!(
+            f,
+            "{} ({:.0} F^2, {})",
+            self.name,
+            self.area.value(),
+            self.flavor
+        )
     }
 }
 
@@ -512,7 +515,10 @@ mod tests {
     fn field_driven_write_energy_is_tiny_but_nonzero() {
         let w = class_default_write(TechnologyClass::FeFet);
         let e = w.energy_per_cell().value();
-        assert!(e > 0.0 && e < 1.0e-13, "FeFET write should be sub-100fJ, got {e}");
+        assert!(
+            e > 0.0 && e < 1.0e-13,
+            "FeFET write should be sub-100fJ, got {e}"
+        );
     }
 
     #[test]
@@ -546,7 +552,9 @@ mod tests {
 
     #[test]
     fn density_scales_with_node_and_bpc() {
-        let cell = CellDefinition::builder(TechnologyClass::FeFet, "f").area_f2(4.0).build();
+        let cell = CellDefinition::builder(TechnologyClass::FeFet, "f")
+            .area_f2(4.0)
+            .build();
         let d22 = cell.raw_density_mbit_per_mm2(Meters::from_nano(22.0), BitsPerCell::Slc);
         let d45 = cell.raw_density_mbit_per_mm2(Meters::from_nano(45.0), BitsPerCell::Slc);
         let d22mlc = cell.raw_density_mbit_per_mm2(Meters::from_nano(22.0), BitsPerCell::Mlc2);

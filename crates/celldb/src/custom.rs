@@ -84,8 +84,8 @@ mod tests {
     #[test]
     fn back_gated_fefet_improves_write_and_endurance() {
         let bg = back_gated_fefet();
-        let opt = crate::tentpole::tentpole_cell(TechnologyClass::FeFet, CellFlavor::Optimistic)
-            .unwrap();
+        let opt =
+            crate::tentpole::tentpole_cell(TechnologyClass::FeFet, CellFlavor::Optimistic).unwrap();
         assert!(bg.write.pulse.value() < opt.write.pulse.value() / 5.0);
         assert!(bg.endurance_cycles > opt.endurance_cycles * 10.0);
         // ... at slight density and read-energy cost.

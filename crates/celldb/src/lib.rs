@@ -154,7 +154,10 @@ mod tests {
             let parsed: TechnologyClass = class.label().parse().unwrap();
             assert_eq!(parsed, class);
         }
-        assert_eq!("fefet".parse::<TechnologyClass>().unwrap(), TechnologyClass::FeFet);
+        assert_eq!(
+            "fefet".parse::<TechnologyClass>().unwrap(),
+            TechnologyClass::FeFet
+        );
         assert!("flash".parse::<TechnologyClass>().is_err());
     }
 

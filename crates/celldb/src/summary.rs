@@ -20,7 +20,10 @@ impl Range {
         for v in values {
             range = Some(match range {
                 None => Range { min: v, max: v },
-                Some(r) => Range { min: r.min.min(v), max: r.max.max(v) },
+                Some(r) => Range {
+                    min: r.min.min(v),
+                    max: r.max.max(v),
+                },
             });
         }
         range
@@ -112,9 +115,7 @@ pub fn table1(survey: &[SurveyEntry]) -> Vec<ClassSummary> {
                 write_latency_ns: Range::from_values(
                     entries.iter().filter_map(|e| e.write_latency_ns),
                 ),
-                read_energy_pj: Range::from_values(
-                    entries.iter().filter_map(|e| e.read_energy_pj),
-                ),
+                read_energy_pj: Range::from_values(entries.iter().filter_map(|e| e.read_energy_pj)),
                 write_energy_pj: Range::from_values(
                     entries.iter().filter_map(|e| e.write_energy_pj),
                 ),
@@ -135,8 +136,14 @@ mod tests {
     #[test]
     fn sram_has_no_endurance_entry() {
         let table = table1(database());
-        let sram = table.iter().find(|r| r.technology == TechnologyClass::Sram).unwrap();
-        assert!(sram.endurance_cycles.is_none(), "SRAM endurance is N/A in Table I");
+        let sram = table
+            .iter()
+            .find(|r| r.technology == TechnologyClass::Sram)
+            .unwrap();
+        assert!(
+            sram.endurance_cycles.is_none(),
+            "SRAM endurance is N/A in Table I"
+        );
         assert!(!sram.mlc);
     }
 
@@ -144,25 +151,41 @@ mod tests {
     fn all_nvms_are_mlc_capable() {
         for row in table1(database()) {
             if row.technology.is_nonvolatile() {
-                assert!(row.mlc, "{} should be MLC-capable per Table I", row.technology);
+                assert!(
+                    row.mlc,
+                    "{} should be MLC-capable per Table I",
+                    row.technology
+                );
             }
         }
     }
 
     #[test]
     fn range_display_formats() {
-        let r = Range { min: 14.0, max: 75.0 };
+        let r = Range {
+            min: 14.0,
+            max: 75.0,
+        };
         assert_eq!(r.to_string(), "14-75");
-        let single = Range { min: 146.0, max: 146.0 };
+        let single = Range {
+            min: 146.0,
+            max: 146.0,
+        };
         assert_eq!(single.to_string(), "146");
-        let huge = Range { min: 1.0e5, max: 1.0e15 };
+        let huge = Range {
+            min: 1.0e5,
+            max: 1.0e15,
+        };
         assert_eq!(huge.to_string(), "1e5-1e15");
     }
 
     #[test]
     fn ctt_write_latency_is_catastrophic() {
         let table = table1(database());
-        let ctt = table.iter().find(|r| r.technology == TechnologyClass::Ctt).unwrap();
+        let ctt = table
+            .iter()
+            .find(|r| r.technology == TechnologyClass::Ctt)
+            .unwrap();
         let range = ctt.write_latency_ns.unwrap();
         assert!(range.min >= 6.0e7, "CTT writes are tens of milliseconds+");
     }
@@ -171,7 +194,10 @@ mod tests {
     fn endurance_spans_orders_of_magnitude() {
         // Paper: "endurance varies by multiple orders of magnitude".
         let table = table1(database());
-        let stt = table.iter().find(|r| r.technology == TechnologyClass::Stt).unwrap();
+        let stt = table
+            .iter()
+            .find(|r| r.technology == TechnologyClass::Stt)
+            .unwrap();
         let range = stt.endurance_cycles.unwrap();
         assert!(range.max / range.min >= 1.0e9);
     }

@@ -197,49 +197,121 @@ fn build_database() -> Vec<SurveyEntry> {
     // ------------------------------------------------------------------
     for e in [
         // 28 nm 1 Mb macro, 2.8 ns read access at 1.2 V (Fig. 4 validation).
-        E::new("dong_isscc18", Isscc, 2018, Stt).node(28.0).area(54.0).rlat(2.8).we(1.8).end(1.0e10).ret(1.0e8),
+        E::new("dong_isscc18", Isscc, 2018, Stt)
+            .node(28.0)
+            .area(54.0)
+            .rlat(2.8)
+            .we(1.8)
+            .end(1.0e10)
+            .ret(1.0e8),
         // 22 nm 32 Mb embedded, 10 ns read, 1 M cycle write endurance.
-        E::new("chih_isscc20", Isscc, 2020, Stt).node(22.0).area(40.0).rlat(10.0).wlat(20.0).end(1.0e6).ret(3.0e8),
+        E::new("chih_isscc20", Isscc, 2020, Stt)
+            .node(22.0)
+            .area(40.0)
+            .rlat(10.0)
+            .wlat(20.0)
+            .end(1.0e6)
+            .ret(3.0e8),
         // 2T2MTJ fast-read macro: 1.3 ns read, large cell.
-        E::new("yang_isscc18", Isscc, 2018, Stt).node(28.0).area(75.0).rlat(1.3).re(0.9),
+        E::new("yang_isscc18", Isscc, 2018, Stt)
+            .node(28.0)
+            .area(75.0)
+            .rlat(1.3)
+            .re(0.9),
         // 22FFL compact embedded MRAM cell — densest surveyed STT.
-        E::new("golonzka_iedm18", Iedm, 2018, Stt).node(22.0).area(14.0).wlat(20.0).end(1.0e6).ret(3.0e8),
+        E::new("golonzka_iedm18", Iedm, 2018, Stt)
+            .node(22.0)
+            .area(14.0)
+            .wlat(20.0)
+            .end(1.0e6)
+            .ret(3.0e8),
         // 7 Mb 22FFL, 4 ns read sensing at 0.9 V — lowest STT read energy.
-        E::new("wei_isscc19", Isscc, 2019, Stt).node(22.0).area(17.0).rlat(4.0).re(0.21),
+        E::new("wei_isscc19", Isscc, 2019, Stt)
+            .node(22.0)
+            .area(17.0)
+            .rlat(4.0)
+            .re(0.21),
         // Reliable 2 ns writes for LLC — fastest STT write.
-        E::new("hu_iedm19", Iedm, 2019, Stt).node(22.0).wlat(2.0).we(0.6).end(1.0e12),
+        E::new("hu_iedm19", Iedm, 2019, Stt)
+            .node(22.0)
+            .wlat(2.0)
+            .we(0.6)
+            .end(1.0e12),
         // 14 ns write 128 Mb, endurance 1e10, 10 yr retention at 85C.
-        E::new("sato_iedm18", Iedm, 2018, Stt).node(28.0).area(30.0).wlat(14.0).we(4.5).end(1.0e10).ret(3.0e8),
+        E::new("sato_iedm18", Iedm, 2018, Stt)
+            .node(28.0)
+            .area(30.0)
+            .wlat(14.0)
+            .we(4.5)
+            .end(1.0e10)
+            .ret(3.0e8),
         // Practically unlimited endurance MTJ arrays.
         E::new("kan_iedm16", Iedm, 2016, Stt).node(28.0).end(1.0e15),
         // Quad-interface p-MTJ, 10 ns low-power write, endurance 1e11.
-        E::new("miura_vlsi20", Vlsi, 2020, Stt).node(20.0).wlat(10.0).end(1.0e11).ret(3.0e8),
+        E::new("miura_vlsi20", Vlsi, 2020, Stt)
+            .node(20.0)
+            .wlat(10.0)
+            .end(1.0e11)
+            .ret(3.0e8),
         // 1 Gb standalone for industrial applications.
-        E::new("aggarwal_iedm19", Iedm, 2019, Stt).node(28.0).area(45.0).end(1.0e10),
+        E::new("aggarwal_iedm19", Iedm, 2019, Stt)
+            .node(28.0)
+            .area(45.0)
+            .end(1.0e10),
         // 2 Mb array-level demo towards L4 cache.
-        E::new("alzate_iedm19", Iedm, 2019, Stt).node(22.0).rlat(5.0).wlat(8.0),
+        E::new("alzate_iedm19", Iedm, 2019, Stt)
+            .node(22.0)
+            .rlat(5.0)
+            .wlat(8.0),
         // 1 Gb high-density embedded 28 nm FDSOI.
-        E::new("lee_k_iedm19", Iedm, 2019, Stt).node(28.0).area(25.0),
+        E::new("lee_k_iedm19", Iedm, 2019, Stt)
+            .node(28.0)
+            .area(25.0),
         // 40 nm 16 Mb perpendicular MRAM, 17.5 ns read access.
-        E::new("shih_vlsi18", Vlsi, 2018, Stt).node(40.0).rlat(17.5).we(2.5),
+        E::new("shih_vlsi18", Vlsi, 2018, Stt)
+            .node(40.0)
+            .rlat(17.5)
+            .we(2.5),
         // 28 nm FDSOI 14.7 Mb/mm² current-starved read path.
-        E::new("boujamaa_vlsi20", Vlsi, 2020, Stt).node(28.0).area(16.0).rlat(19.0),
+        E::new("boujamaa_vlsi20", Vlsi, 2020, Stt)
+            .node(28.0)
+            .area(16.0)
+            .rlat(19.0),
         // Reflow-qualified STT, limited shown cycling, slow qualified write.
-        E::new("shih_vlsi16", Vlsi, 2016, Stt).node(40.0).wlat(200.0).end(1.0e5).ret(1.0e8),
+        E::new("shih_vlsi16", Vlsi, 2016, Stt)
+            .node(40.0)
+            .wlat(200.0)
+            .end(1.0e5)
+            .ret(1.0e8),
         // Sub-ns switching demonstration (device-level).
         E::new("jan_vlsi16", Vlsi, 2016, Stt).wlat(3.0).we(1.2),
         // 22 nm reflow/automotive STT with shielding options.
-        E::new("gallagher_iedm19", Iedm, 2019, Stt).node(22.0).area(35.0).end(1.0e8),
+        E::new("gallagher_iedm19", Iedm, 2019, Stt)
+            .node(22.0)
+            .area(35.0)
+            .end(1.0e8),
         // 28 nm highly manufacturable embedded STT.
-        E::new("song_iedm18_stt", Iedm, 2018, Stt).node(28.0).area(33.0),
+        E::new("song_iedm18_stt", Iedm, 2018, Stt)
+            .node(28.0)
+            .area(33.0),
         // 8 Mb functional/reliable 28 nm.
-        E::new("song_iedm16_stt", Iedm, 2016, Stt).node(28.0).area(38.0).end(1.0e9),
+        E::new("song_iedm16_stt", Iedm, 2016, Stt)
+            .node(28.0)
+            .area(38.0)
+            .end(1.0e9),
         // 1x nm STT with sub-3 ns pulse, sub-100 uA switching.
         E::new("saida_vlsi16", Vlsi, 2016, Stt).wlat(3.0).we(0.8),
         // Dual-mode near-memory compute STT macro, 42.6 GB/s read.
-        E::new("chang_isscc20", Isscc, 2020, Stt).node(22.0).rlat(6.0).re(0.4),
+        E::new("chang_isscc20", Isscc, 2020, Stt)
+            .node(22.0)
+            .rlat(6.0)
+            .re(0.4),
         // MRAM-based cache with write-verify-write scheme.
-        E::new("noguchi_isscc16", Isscc, 2016, Stt).node(28.0).rlat(3.0).wlat(10.0).mlc(),
+        E::new("noguchi_isscc16", Isscc, 2016, Stt)
+            .node(28.0)
+            .rlat(3.0)
+            .wlat(10.0)
+            .mlc(),
     ] {
         db.push(e.done());
     }
@@ -253,45 +325,98 @@ fn build_database() -> Vec<SurveyEntry> {
     // ------------------------------------------------------------------
     for e in [
         // Industry n40 256K×44 macro — the paper's reference RRAM [29].
-        E::new("chou_isscc18", Isscc, 2018, Rram).node(40.0).area(30.0).rlat(3.3).wlat(100.0).we(0.68).end(3.0e5).ret(1.0e8),
+        E::new("chou_isscc18", Isscc, 2018, Rram)
+            .node(40.0)
+            .area(30.0)
+            .rlat(3.3)
+            .wlat(100.0)
+            .we(0.68)
+            .end(3.0e5)
+            .ret(1.0e8),
         // 22 nm FinFET 3.6 Mb, 10.1 Mb/mm², 5 ns sensing at 0.7 V.
-        E::new("jain_isscc19", Isscc, 2019, Rram).node(22.0).area(20.0).rlat(5.0).re(0.3).wlat(50.0),
+        E::new("jain_isscc19", Isscc, 2019, Rram)
+            .node(22.0)
+            .area(20.0)
+            .rlat(5.0)
+            .re(0.3)
+            .wlat(50.0),
         // RRAM embedded into 22FFL FinFET technology.
-        E::new("golonzka_vlsi19", Vlsi, 2019, Rram).node(22.0).area(24.0).wlat(200.0).end(1.0e6),
+        E::new("golonzka_vlsi19", Vlsi, 2019, Rram)
+            .node(22.0)
+            .area(24.0)
+            .wlat(200.0)
+            .end(1.0e6),
         // 16 Mb dual-mode macro, sub-14 ns CIM and memory modes.
-        E::new("chen_iedm17", Iedm, 2017, Rram).node(28.0).rlat(9.0).wlat(5.0).we(1.5),
+        E::new("chen_iedm17", Iedm, 2017, Rram)
+            .node(28.0)
+            .rlat(9.0)
+            .wlat(5.0)
+            .we(1.5),
         // 40 nm 2 Mb with auto-forming; page-write time dominated by forming.
-        E::new("chiu_vlsi19", Vlsi, 2019, Rram).node(40.0).area(42.0).wlat(8.0e3).end(1.0e5),
+        E::new("chiu_vlsi19", Vlsi, 2019, Rram)
+            .node(40.0)
+            .area(42.0)
+            .wlat(8.0e3)
+            .end(1.0e5),
         // 28 nm BEOL one-extra-mask low-cost embedded RRAM.
-        E::new("lv_iedm17", Iedm, 2017, Rram).node(28.0).area(25.0).end(1.0e6).ret(1.0e8),
+        E::new("lv_iedm17", Iedm, 2017, Rram)
+            .node(28.0)
+            .area(25.0)
+            .end(1.0e6)
+            .ret(1.0e8),
         // 28 nm 1.5 Mb 1T2R, 14.8 Mb/mm².
-        E::new("yang_vlsi20", Vlsi, 2020, Rram).node(28.0).area(20.0).rlat(12.0),
+        E::new("yang_vlsi20", Vlsi, 2020, Rram)
+            .node(28.0)
+            .area(20.0)
+            .rlat(12.0),
         // High-temperature forming, 40× retention improvement.
         E::new("xu_iedm18", Iedm, 2018, Rram).node(28.0).ret(1.0e8),
         // Reliable, greener, faster integrated HfO2 RRAM.
-        E::new("ho_iedm17", Iedm, 2017, Rram).node(28.0).area(35.0).wlat(500.0).end(1.0e6),
+        E::new("ho_iedm17", Iedm, 2017, Rram)
+            .node(28.0)
+            .area(35.0)
+            .wlat(500.0)
+            .end(1.0e6),
         // Co active electrode CBRAM with enhanced scaling potential.
-        E::new("belmonte_iedm19", Iedm, 2019, Rram).wlat(20.0).we(0.9).end(1.0e5),
+        E::new("belmonte_iedm19", Iedm, 2019, Rram)
+            .wlat(20.0)
+            .we(0.9)
+            .end(1.0e5),
         // SiOx RRAM for crossbar storage with high on/off.
         E::new("bricalli_iedm16", Iedm, 2016, Rram).ret(1.0e7),
         // OTS-selector RRAM programming/read investigation.
-        E::new("alayan_iedm17", Iedm, 2017, Rram).wlat(100.0).end(1.0e4),
+        E::new("alayan_iedm17", Iedm, 2017, Rram)
+            .wlat(100.0)
+            .end(1.0e4),
         // HfO2 RRAM array improvement by local Si implantation.
-        E::new("barlas_iedm17", Iedm, 2017, Rram).node(130.0).area(53.0).end(1.0e5).ret(1.0e6),
+        E::new("barlas_iedm17", Iedm, 2017, Rram)
+            .node(130.0)
+            .area(53.0)
+            .end(1.0e5)
+            .ret(1.0e6),
         // 1T4R high-density multi-bit cell for deep learning.
         E::new("hsieh_iedm19", Iedm, 2019, Rram).node(40.0).mlc(),
         // Endurance/retention/window-margin trade-off study — weakest corner.
-        E::new("nail_iedm16", Iedm, 2016, Rram).end(1.0e4).ret(1.0e3),
+        E::new("nail_iedm16", Iedm, 2016, Rram)
+            .end(1.0e4)
+            .ret(1.0e3),
         // 3-stage HRS retention behavior on large arrays.
         E::new("lin_iedm17", Iedm, 2017, Rram).node(28.0).ret(1.0e5),
         // 28 nm embedded RRAM read-disturb model, mega-bit scale.
-        E::new("yang_cf_vlsi20", Vlsi, 2020, Rram).node(28.0).rlat(25.0),
+        E::new("yang_cf_vlsi20", Vlsi, 2020, Rram)
+            .node(28.0)
+            .rlat(25.0),
         // Slow high-voltage program corner (forming-limited, 8 us).
-        E::new("kim_iedm17", Iedm, 2017, Rram).node(25.0).wlat(8.0e3).we(20.0),
+        E::new("kim_iedm17", Iedm, 2017, Rram)
+            .node(25.0)
+            .wlat(8.0e3)
+            .we(20.0),
         // Fully-parallel CIM RRAM macro (counts toward Fig. 1).
         E::new("liu_isscc20", Isscc, 2020, Rram).node(130.0),
         // 2 Mb CIM macro for tiny AI edge devices.
-        E::new("xue_isscc20", Isscc, 2020, Rram).node(22.0).rlat(14.0),
+        E::new("xue_isscc20", Isscc, 2020, Rram)
+            .node(22.0)
+            .rlat(14.0),
         // Neurosynaptic core with transposable RRAM weights.
         E::new("wan_isscc20", Isscc, 2020, Rram).node(130.0),
         // 16 Mb PUF RRAM chip.
@@ -301,7 +426,9 @@ fn build_database() -> Vec<SurveyEntry> {
         // Sub-5 nm-scalable self-aligned vertical RRAM (area not embeddable).
         E::new("xu_vlsi16", Vlsi, 2016, Rram).ret(1.0e8),
         // Slowest surveyed read (2 us single-cell sensing corner).
-        E::new("ma_iedm16", Iedm, 2016, Rram).rlat(2.0e3).wlat(1.0e4),
+        E::new("ma_iedm16", Iedm, 2016, Rram)
+            .rlat(2.0e3)
+            .wlat(1.0e4),
     ] {
         db.push(e.done());
     }
@@ -312,17 +439,45 @@ fn build_database() -> Vec<SurveyEntry> {
     // ------------------------------------------------------------------
     for e in [
         // 28 nm FDSOI 16 Mb automotive ePCM.
-        E::new("arnaud_iedm18", Iedm, 2018, Pcm).node(28.0).area(25.0).rlat(45.0).wlat(1.0e3).we(12.0).end(1.0e6).ret(1.0e9),
+        E::new("arnaud_iedm18", Iedm, 2018, Pcm)
+            .node(28.0)
+            .area(25.0)
+            .rlat(45.0)
+            .wlat(1.0e3)
+            .we(12.0)
+            .end(1.0e6)
+            .ret(1.0e9),
         // 40 nm low-power logic-compatible PCM — fastest/lowest-energy write.
-        E::new("wu_iedm18", Iedm, 2018, Pcm).node(40.0).area(28.0).rlat(5.0).wlat(10.0).we(1.1).end(1.0e8),
+        E::new("wu_iedm18", Iedm, 2018, Pcm)
+            .node(40.0)
+            .area(28.0)
+            .rlat(5.0)
+            .wlat(10.0)
+            .we(1.1)
+            .end(1.0e8),
         // Carbon-doped GST 40 nm high-endurance chip.
-        E::new("song_iedm18_pcm", Iedm, 2018, Pcm).node(40.0).area(33.0).end(1.0e11),
+        E::new("song_iedm18_pcm", Iedm, 2018, Pcm)
+            .node(40.0)
+            .area(33.0)
+            .end(1.0e11),
         // 128 Mb doped GaSbGe, extraordinary thermal stability.
-        E::new("chien_iedm16", Iedm, 2016, Pcm).node(120.0).area(40.0).wlat(3.0e4).we(33.0).ret(1.0e10),
+        E::new("chien_iedm16", Iedm, 2016, Pcm)
+            .node(120.0)
+            .area(40.0)
+            .wlat(3.0e4)
+            .we(33.0)
+            .ret(1.0e10),
         // MLC PCM with drift compensation (storage-class oriented).
-        E::new("khwa_isscc16", Isscc, 2016, Pcm).node(90.0).rlat(100.0).wlat(1.0e4).mlc(),
+        E::new("khwa_isscc16", Isscc, 2016, Pcm)
+            .node(90.0)
+            .rlat(100.0)
+            .wlat(1.0e4)
+            .mlc(),
         // Inter-granular switching — lowest-power PCM cell.
-        E::new("lung_vlsi16", Vlsi, 2016, Pcm).wlat(100.0).we(1.5).end(1.0e9),
+        E::new("lung_vlsi16", Vlsi, 2016, Pcm)
+            .wlat(100.0)
+            .we(1.5)
+            .end(1.0e9),
         // OTS+PCM cross-point with no-verify MLC.
         E::new("gong_vlsi20", Vlsi, 2020, Pcm).wlat(200.0).mlc(),
         // Projected PCM, 8-bit in-memory multiply (device-level).
@@ -330,7 +485,9 @@ fn build_database() -> Vec<SurveyEntry> {
         // Thermally stable selector for cross-point PCM.
         E::new("cheng_iedm17", Iedm, 2017, Pcm).end(1.0e10),
         // Si-incorporated chalcogenide, low Vth drift 3D cross-point.
-        E::new("cheng_vlsi20", Vlsi, 2020, Pcm).end(1.0e5).ret(1.0e8),
+        E::new("cheng_vlsi20", Vlsi, 2020, Pcm)
+            .end(1.0e5)
+            .ret(1.0e8),
     ] {
         db.push(e.done());
     }
@@ -342,33 +499,62 @@ fn build_database() -> Vec<SurveyEntry> {
     // ------------------------------------------------------------------
     for e in [
         // 22 nm FDSOI FeFET eNVM (the canonical embedded demonstration).
-        E::new("dunkel_iedm17", Iedm, 2017, FeFet).node(22.0).area(20.0).rlat(10.0).wlat(100.0).we(0.001).end(1.0e5).ret(1.0e8),
+        E::new("dunkel_iedm17", Iedm, 2017, FeFet)
+            .node(22.0)
+            .area(20.0)
+            .rlat(10.0)
+            .wlat(100.0)
+            .we(0.001)
+            .end(1.0e5)
+            .ret(1.0e8),
         // 28 nm HKMG super-low-power FeFET NVM.
-        E::new("trentzsch_iedm16", Iedm, 2016, FeFet).node(28.0).area(24.0).wlat(1.0e3).we(0.0003).end(1.0e5),
+        E::new("trentzsch_iedm16", Iedm, 2016, FeFet)
+            .node(28.0)
+            .area(24.0)
+            .wlat(1.0e3)
+            .we(0.0003)
+            .end(1.0e5),
         // Multilevel laminated HSO/HZO FeFET for high density.
-        E::new("ali_iedm19", Iedm, 2019, FeFet).node(28.0).wlat(500.0).mlc(),
+        E::new("ali_iedm19", Iedm, 2019, FeFet)
+            .node(28.0)
+            .wlat(500.0)
+            .mlc(),
         // Dual-layer MFMFIS stack tuned for low power and speed.
-        E::new("ali_vlsi20", Vlsi, 2020, FeFet).node(28.0).wlat(100.0).we(0.0005),
+        E::new("ali_vlsi20", Vlsi, 2020, FeFet)
+            .node(28.0)
+            .wlat(100.0)
+            .we(0.0005),
         // Vertical 3D-NAND-style FeFET — densest surveyed ferroelectric.
-        E::new("florent_iedm18", Iedm, 2018, FeFet).area(4.0).wlat(1.0e3).mlc(),
+        E::new("florent_iedm18", Iedm, 2018, FeFet)
+            .area(4.0)
+            .wlat(1.0e3)
+            .mlc(),
         // Ultrathin-body IGZO FeFET for high density / low power.
         E::new("mo_vlsi19", Vlsi, 2019, FeFet).area(12.0).we(0.0008),
         // Interface-engineered AlON FeFET: large window, robust endurance.
-        E::new("chan_vlsi20", Vlsi, 2020, FeFet).end(1.0e10).ret(1.0e8),
+        E::new("chan_vlsi20", Vlsi, 2020, FeFet)
+            .end(1.0e10)
+            .ret(1.0e8),
         // Comprehensive FeFET model: scalability/variation/stochasticity.
         E::new("deng_vlsi20", Vlsi, 2020, FeFet).node(45.0),
         // Device-to-device variation control in deeply-scaled FeFETs.
         E::new("ni_vlsi19", Vlsi, 2019, FeFet).node(45.0).end(1.0e7),
         // FeFET synapse (neuromorphic; counts toward Fig. 1).
-        E::new("mulaosmanovic_vlsi17", Vlsi, 2017, FeFet).area(103.0).wlat(1.3e3),
+        E::new("mulaosmanovic_vlsi17", Vlsi, 2017, FeFet)
+            .area(103.0)
+            .wlat(1.3e3),
         // Analog FeFET synapse for DNN training.
         E::new("jerry_iedm17", Iedm, 2017, FeFet).mlc(),
         // 14 nm ferroelectric FinFET technology.
-        E::new("krivokapic_iedm17", Iedm, 2017, FeFet).node(14.0).area(28.0),
+        E::new("krivokapic_iedm17", Iedm, 2017, FeFet)
+            .node(14.0)
+            .area(28.0),
         // Ferroelectric HfO2 wake-up/fatigue study.
         E::new("shibayama_vlsi16", Vlsi, 2016, FeFet).end(1.0e6),
         // Hot-electron degradation in sub-5 nm HZO FeFETs.
-        E::new("tan_vlsi20", Vlsi, 2020, FeFet).end(1.0e5).ret(1.0e5),
+        E::new("tan_vlsi20", Vlsi, 2020, FeFet)
+            .end(1.0e5)
+            .ret(1.0e5),
         // NCFET-adjacent ferroelectric device study.
         E::new("lee_mh_iedm17", Iedm, 2017, FeFet).node(45.0),
         // Polarization-limited switching-speed study.
@@ -384,13 +570,26 @@ fn build_database() -> Vec<SurveyEntry> {
     // ------------------------------------------------------------------
     for e in [
         // Sub-ns three-terminal SOT switching device.
-        E::new("fukami_vlsi16", Vlsi, 2016, Sot).node(1000.0).wlat(0.35).we(0.015),
+        E::new("fukami_vlsi16", Vlsi, 2016, Sot)
+            .node(1000.0)
+            .wlat(0.35)
+            .we(0.015),
         // Field-free SOT with 0.35 ns write and 400C tolerance.
-        E::new("honjo_iedm19", Iedm, 2019, Sot).node(1000.0).area(20.0).wlat(0.35).end(1.0e8),
+        E::new("honjo_iedm19", Iedm, 2019, Sot)
+            .node(1000.0)
+            .area(20.0)
+            .wlat(0.35)
+            .end(1.0e8),
         // Dual-port field-free SOT macro under 55 nm CMOS.
-        E::new("natsui_vlsi20", Vlsi, 2020, Sot).node(55.0).rlat(11.0).wlat(17.0).we(8.0),
+        E::new("natsui_vlsi20", Vlsi, 2020, Sot)
+            .node(55.0)
+            .rlat(11.0)
+            .wlat(17.0)
+            .we(8.0),
         // STT/SOT progress review with SOT array projections.
-        E::new("endoh_vlsi20", Vlsi, 2020, Sot).rlat(1.4).end(1.0e10),
+        E::new("endoh_vlsi20", Vlsi, 2020, Sot)
+            .rlat(1.4)
+            .end(1.0e10),
         // Narrow-pitch MTJ patterning towards dense SOT/STT arrays.
         E::new("nguyen_iedm17", Iedm, 2017, Sot).area(30.0),
         // SOT device study with endurance projection.
@@ -406,11 +605,27 @@ fn build_database() -> Vec<SurveyEntry> {
     for e in [
         // Logic transistors as MTP memory in 14 nm FinFET — densest CTT cell
         // (with array contacts; bare-device footprints reach 1 F²).
-        E::new("khan_vlsi19", Vlsi, 2019, Ctt).node(14.0).area(6.0).rlat(14.0).wlat(6.0e7).re(0.001).end(1.0e4).ret(1.0e8),
+        E::new("khan_vlsi19", Vlsi, 2019, Ctt)
+            .node(14.0)
+            .area(6.0)
+            .rlat(14.0)
+            .wlat(6.0e7)
+            .re(0.001)
+            .end(1.0e4)
+            .ret(1.0e8),
         // Traditional NVM embedded into deep-submicron CMOS.
-        E::new("lin_cs_vlsi20", Vlsi, 2020, Ctt).node(16.0).area(12.0).wlat(2.6e9).we(50.0).end(1.0e4),
+        E::new("lin_cs_vlsi20", Vlsi, 2020, Ctt)
+            .node(16.0)
+            .area(12.0)
+            .wlat(2.6e9)
+            .we(50.0)
+            .end(1.0e4),
         // Multi-level CTT storage demonstration (paper ref. [35] basis).
-        E::new("donato_dac18_ctt", Other, 2018, Ctt).node(14.0).area(6.0).wlat(1.0e8).mlc(),
+        E::new("donato_dac18_ctt", Other, 2018, Ctt)
+            .node(14.0)
+            .area(6.0)
+            .wlat(1.0e8)
+            .mlc(),
     ] {
         db.push(e.done());
     }
@@ -421,13 +636,30 @@ fn build_database() -> Vec<SurveyEntry> {
     // ------------------------------------------------------------------
     for e in [
         // SoC-compatible 1T1C HZO FeRAM array.
-        E::new("okuno_vlsi20", Vlsi, 2020, FeRam).node(40.0).area(40.0).rlat(14.0).wlat(14.0).we(0.05).end(1.0e11).ret(1.0e5),
+        E::new("okuno_vlsi20", Vlsi, 2020, FeRam)
+            .node(40.0)
+            .area(40.0)
+            .rlat(14.0)
+            .wlat(14.0)
+            .we(0.05)
+            .end(1.0e11)
+            .ret(1.0e5),
         // Si-doped HfO2 engineered for high-speed 1T-FeRAM.
-        E::new("yoo_iedm17", Iedm, 2017, FeRam).node(130.0).area(103.0).wlat(1.0e3).end(1.0e7).ret(1.0e8),
+        E::new("yoo_iedm17", Iedm, 2017, FeRam)
+            .node(130.0)
+            .area(103.0)
+            .wlat(1.0e3)
+            .end(1.0e7)
+            .ret(1.0e8),
         // Ferroelectric switching-speed/retention study.
-        E::new("fujii_vlsi16", Vlsi, 2016, FeRam).wlat(100.0).end(1.0e9),
+        E::new("fujii_vlsi16", Vlsi, 2016, FeRam)
+            .wlat(100.0)
+            .end(1.0e9),
         // HfZrO FeRAM device characterization.
-        E::new("florent_feram_iedm18", Iedm, 2018, FeRam).node(90.0).area(60.0).ret(1.0e6),
+        E::new("florent_feram_iedm18", Iedm, 2018, FeRam)
+            .node(90.0)
+            .area(60.0)
+            .ret(1.0e6),
     ] {
         db.push(e.done());
     }
@@ -437,12 +669,48 @@ fn build_database() -> Vec<SurveyEntry> {
     // charts eNVM publications) but anchors every comparison.
     // ------------------------------------------------------------------
     for e in [
-        E::new("sram_16nm_hd", Other, 2016, Sram).node(16.0).area(146.0).rlat(1.0).wlat(1.0).re(1.6).we(1.6),
-        E::new("sram_16nm_hp", Other, 2017, Sram).node(16.0).area(146.0).rlat(0.5).wlat(0.5).re(2.4).we(2.4),
-        E::new("sram_10nm", Other, 2018, Sram).node(10.0).area(146.0).rlat(0.8).wlat(0.8).re(1.3).we(1.3),
-        E::new("sram_7nm", Other, 2019, Sram).node(7.0).area(146.0).rlat(0.7).wlat(0.7).re(1.1).we(1.1),
-        E::new("sram_14nm_lp", Other, 2016, Sram).node(14.0).area(146.0).rlat(1.5).wlat(1.5).re(1.2).we(1.2),
-        E::new("sram_12nm", Other, 2020, Sram).node(12.0).area(146.0).rlat(0.9).wlat(0.9).re(1.4).we(1.4),
+        E::new("sram_16nm_hd", Other, 2016, Sram)
+            .node(16.0)
+            .area(146.0)
+            .rlat(1.0)
+            .wlat(1.0)
+            .re(1.6)
+            .we(1.6),
+        E::new("sram_16nm_hp", Other, 2017, Sram)
+            .node(16.0)
+            .area(146.0)
+            .rlat(0.5)
+            .wlat(0.5)
+            .re(2.4)
+            .we(2.4),
+        E::new("sram_10nm", Other, 2018, Sram)
+            .node(10.0)
+            .area(146.0)
+            .rlat(0.8)
+            .wlat(0.8)
+            .re(1.3)
+            .we(1.3),
+        E::new("sram_7nm", Other, 2019, Sram)
+            .node(7.0)
+            .area(146.0)
+            .rlat(0.7)
+            .wlat(0.7)
+            .re(1.1)
+            .we(1.1),
+        E::new("sram_14nm_lp", Other, 2016, Sram)
+            .node(14.0)
+            .area(146.0)
+            .rlat(1.5)
+            .wlat(1.5)
+            .re(1.2)
+            .we(1.2),
+        E::new("sram_12nm", Other, 2020, Sram)
+            .node(12.0)
+            .area(146.0)
+            .rlat(0.9)
+            .wlat(0.9)
+            .re(1.4)
+            .we(1.4),
     ] {
         db.push(e.done());
     }
@@ -457,7 +725,11 @@ mod tests {
     #[test]
     fn database_is_populated_and_keyed_uniquely() {
         let db = database();
-        assert!(db.len() >= 80, "expected a substantial survey, got {}", db.len());
+        assert!(
+            db.len() >= 80,
+            "expected a substantial survey, got {}",
+            db.len()
+        );
         let mut keys: Vec<_> = db.iter().map(|e| e.key.as_str()).collect();
         keys.sort_unstable();
         let before = keys.len();
@@ -501,17 +773,26 @@ mod tests {
     fn table1_extrema_present_in_survey() {
         // Spot-check the ranges the tentpoles depend on.
         let stt = entries_for(TechnologyClass::Stt);
-        let min_area = stt.iter().filter_map(|e| e.area_f2).fold(f64::MAX, f64::min);
+        let min_area = stt
+            .iter()
+            .filter_map(|e| e.area_f2)
+            .fold(f64::MAX, f64::min);
         let max_area = stt.iter().filter_map(|e| e.area_f2).fold(0.0, f64::max);
         assert_eq!(min_area, 14.0);
         assert_eq!(max_area, 75.0);
 
         let fefet = entries_for(TechnologyClass::FeFet);
-        let min_area = fefet.iter().filter_map(|e| e.area_f2).fold(f64::MAX, f64::min);
+        let min_area = fefet
+            .iter()
+            .filter_map(|e| e.area_f2)
+            .fold(f64::MAX, f64::min);
         assert_eq!(min_area, 4.0);
 
         let pcm = entries_for(TechnologyClass::Pcm);
-        let max_wlat = pcm.iter().filter_map(|e| e.write_latency_ns).fold(0.0, f64::max);
+        let max_wlat = pcm
+            .iter()
+            .filter_map(|e| e.write_latency_ns)
+            .fold(0.0, f64::max);
         assert!(max_wlat >= 1.0e4, "pessimistic PCM write must exceed 10 us");
     }
 

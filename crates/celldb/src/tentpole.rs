@@ -51,16 +51,25 @@ enum Bound {
     Worst,
 }
 
-fn fold(entries: &[&SurveyEntry], pick: impl Fn(&SurveyEntry) -> Option<f64>, bound: Bound, lower_is_better: bool) -> Option<f64> {
+fn fold(
+    entries: &[&SurveyEntry],
+    pick: impl Fn(&SurveyEntry) -> Option<f64>,
+    bound: Bound,
+    lower_is_better: bool,
+) -> Option<f64> {
     let iter = entries.iter().filter_map(|e| pick(e));
     let want_min = matches!(
         (bound, lower_is_better),
         (Bound::Best, true) | (Bound::Worst, false)
     );
     if want_min {
-        iter.fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.min(v))))
+        iter.fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.min(v)))
+        })
     } else {
-        iter.fold(None, |acc: Option<f64>, v| Some(acc.map_or(v, |a| a.max(v))))
+        iter.fold(None, |acc: Option<f64>, v| {
+            Some(acc.map_or(v, |a| a.max(v)))
+        })
     }
 }
 
@@ -127,7 +136,10 @@ fn defaults(technology: TechnologyClass) -> TentpoleSummary {
     };
     TentpoleSummary {
         technology,
-        area_f2: crate::cell::CellDefinition::builder(technology, "d").build().area.value(),
+        area_f2: crate::cell::CellDefinition::builder(technology, "d")
+            .build()
+            .area
+            .value(),
         node_nm: 22.0,
         read_latency_ns: read_lat,
         write_latency_ns: write_lat,
@@ -152,8 +164,7 @@ pub fn physicalize(summary: &TentpoleSummary, flavor: CellFlavor) -> CellDefinit
     let pulse = Seconds::from_nano(summary.write_latency_ns);
     let write_voltage = template.write.voltage;
     let current = if pulse.value() > 0.0 {
-        let amps =
-            summary.write_energy_pj * 1.0e-12 / (write_voltage.value() * pulse.value());
+        let amps = summary.write_energy_pj * 1.0e-12 / (write_voltage.value() * pulse.value());
         Amps::new(amps.clamp(0.0, 5.0e-4))
     } else {
         template.write.current
@@ -192,9 +203,7 @@ pub fn physicalize(summary: &TentpoleSummary, flavor: CellFlavor) -> CellDefinit
     // Current-programmed cells re-size their access transistor for the
     // solved write current; field-driven and SRAM cells keep class defaults.
     let access = match template.access {
-        crate::cell::AccessDevice::CmosTransistor { .. }
-            if tech != TechnologyClass::Sram =>
-        {
+        crate::cell::AccessDevice::CmosTransistor { .. } if tech != TechnologyClass::Sram => {
             crate::cell::AccessDevice::CmosTransistor {
                 width_f: crate::cell::access_width_for_current(current.value()),
             }
@@ -238,8 +247,7 @@ pub fn physicalize(summary: &TentpoleSummary, flavor: CellFlavor) -> CellDefinit
 pub fn tentpoles(survey: &[SurveyEntry]) -> Vec<CellDefinition> {
     let mut cells = Vec::new();
     for tech in TechnologyClass::ALL {
-        let entries: Vec<&SurveyEntry> =
-            survey.iter().filter(|e| e.technology == tech).collect();
+        let entries: Vec<&SurveyEntry> = survey.iter().filter(|e| e.technology == tech).collect();
         for flavor in [CellFlavor::Optimistic, CellFlavor::Pessimistic] {
             if let Some(summary) = summarize(&entries, tech, &flavor) {
                 cells.push(physicalize(&summary, flavor));
@@ -300,9 +308,18 @@ mod tests {
         for tech in TechnologyClass::NVM {
             let opt = cell(tech, CellFlavor::Optimistic);
             let pess = cell(tech, CellFlavor::Pessimistic);
-            assert!(opt.write.pulse.value() <= pess.write.pulse.value(), "{tech} pulse");
-            assert!(opt.endurance_cycles >= pess.endurance_cycles, "{tech} endurance");
-            assert!(opt.retention.value() >= pess.retention.value(), "{tech} retention");
+            assert!(
+                opt.write.pulse.value() <= pess.write.pulse.value(),
+                "{tech} pulse"
+            );
+            assert!(
+                opt.endurance_cycles >= pess.endurance_cycles,
+                "{tech} endurance"
+            );
+            assert!(
+                opt.retention.value() >= pess.retention.value(),
+                "{tech} retention"
+            );
             assert!(
                 opt.read.min_sense_time.value() <= pess.read.min_sense_time.value(),
                 "{tech} sense time"
@@ -348,7 +365,10 @@ mod tests {
     fn fefet_write_current_is_negligible() {
         let opt = cell(TechnologyClass::FeFet, CellFlavor::Optimistic);
         assert!(opt.write.current.value() < 1.0e-6);
-        assert!(opt.write.voltage.value() >= 3.0, "FeFET needs a high programming field");
+        assert!(
+            opt.write.voltage.value() >= 3.0,
+            "FeFET needs a high programming field"
+        );
     }
 
     #[test]

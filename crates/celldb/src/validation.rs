@@ -152,7 +152,10 @@ mod tests {
     #[test]
     fn bracket_near_misses() {
         assert_eq!(bracket(1.5, 2.0, 10.0, 2.0), BracketOutcome::NearOptimistic);
-        assert_eq!(bracket(15.0, 2.0, 10.0, 2.0), BracketOutcome::NearPessimistic);
+        assert_eq!(
+            bracket(15.0, 2.0, 10.0, 2.0),
+            BracketOutcome::NearPessimistic
+        );
         assert_eq!(bracket(0.5, 2.0, 10.0, 2.0), BracketOutcome::Missed);
         assert_eq!(bracket(100.0, 2.0, 10.0, 2.0), BracketOutcome::Missed);
     }

@@ -8,8 +8,10 @@ use proptest::prelude::*;
 
 /// Strategy: a random non-empty subset of one technology's survey entries.
 fn subset_of(tech: TechnologyClass) -> impl Strategy<Value = Vec<&'static SurveyEntry>> {
-    let entries: Vec<&'static SurveyEntry> =
-        database().iter().filter(move |e| e.technology == tech).collect();
+    let entries: Vec<&'static SurveyEntry> = database()
+        .iter()
+        .filter(move |e| e.technology == tech)
+        .collect();
     let n = entries.len();
     prop::collection::vec(0..n, 1..=n).prop_map(move |idxs| {
         let mut set: Vec<&SurveyEntry> = idxs.into_iter().map(|i| entries[i]).collect();

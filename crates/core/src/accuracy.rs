@@ -97,18 +97,20 @@ mod tests {
 
     #[test]
     fn slc_rram_maintains_accuracy() {
-        let cell =
-            tentpole::tentpole_cell(TechnologyClass::Rram, CellFlavor::Optimistic).unwrap();
+        let cell = tentpole::tentpole_cell(TechnologyClass::Rram, CellFlavor::Optimistic).unwrap();
         let report = accuracy_under_storage(&cell, BitsPerCell::Slc, 3);
-        assert!(report.is_acceptable(0.02), "SLC RRAM degraded by {}", report.degradation());
+        assert!(
+            report.is_acceptable(0.02),
+            "SLC RRAM degraded by {}",
+            report.degradation()
+        );
     }
 
     #[test]
     fn mlc_rram_is_tolerable_mlc_small_fefet_is_not() {
         // Paper Fig. 13: MLC RRAM keeps acceptable accuracy; small-cell MLC
         // FeFET does not.
-        let rram =
-            tentpole::tentpole_cell(TechnologyClass::Rram, CellFlavor::Optimistic).unwrap();
+        let rram = tentpole::tentpole_cell(TechnologyClass::Rram, CellFlavor::Optimistic).unwrap();
         let rram_report = accuracy_under_storage(&rram, BitsPerCell::Mlc2, 3);
         assert!(
             rram_report.is_acceptable(0.05),

@@ -152,7 +152,10 @@ impl ArraySettings {
 
     /// The capacities as typed values.
     pub fn capacities(&self) -> Vec<Capacity> {
-        self.capacities_mib.iter().map(|&mib| Capacity::from_mebibytes(mib)).collect()
+        self.capacities_mib
+            .iter()
+            .map(|&mib| Capacity::from_mebibytes(mib))
+            .collect()
     }
 }
 
@@ -235,7 +238,10 @@ pub fn model_by_name(name: &str) -> Result<dnn::DnnModel, UnknownNameError> {
         "resnet18" => Ok(dnn::resnet18()),
         "albert" => Ok(dnn::albert()),
         "albert-embeddings" => Ok(dnn::albert_embeddings_only()),
-        other => Err(UnknownNameError { kind: "DNN model", name: other.to_owned() }),
+        other => Err(UnknownNameError {
+            kind: "DNN model",
+            name: other.to_owned(),
+        }),
     }
 }
 
@@ -265,7 +271,12 @@ impl TrafficSpec {
                 *write_steps,
                 *access_bytes,
             )),
-            Self::DnnContinuous { model, tasks, store_activations, fps } => {
+            Self::DnnContinuous {
+                model,
+                tasks,
+                store_activations,
+                fps,
+            } => {
                 let model = model_by_name(model)?;
                 let storage = if *store_activations {
                     StoragePolicy::WeightsAndActivations
@@ -283,7 +294,11 @@ impl TrafficSpec {
                 .into_iter()
                 .map(|t| t.traffic)
                 .collect()),
-            Self::GraphBfs { graph: graph_name, edges_per_sec, seed } => {
+            Self::GraphBfs {
+                graph: graph_name,
+                edges_per_sec,
+                seed,
+            } => {
                 let g = match graph_name.to_ascii_lowercase().as_str() {
                     "facebook" => graph::facebook_like(*seed),
                     "wikipedia" => graph::wikipedia_like(*seed),
@@ -295,7 +310,12 @@ impl TrafficSpec {
                     }
                 };
                 let (_, counter) = g.bfs(0);
-                Ok(vec![graph::accelerator_traffic(&g, "BFS", counter, *edges_per_sec)])
+                Ok(vec![graph::accelerator_traffic(
+                    &g,
+                    "BFS",
+                    counter,
+                    *edges_per_sec,
+                )])
             }
         }
     }
@@ -350,14 +370,20 @@ mod tests {
         let config = StudyConfig {
             name: "main_dnn_study".into(),
             cells: CellSelection::default(),
-            array: ArraySettings { capacities_mib: vec![2], ..ArraySettings::default() },
+            array: ArraySettings {
+                capacities_mib: vec![2],
+                ..ArraySettings::default()
+            },
             traffic: TrafficSpec::DnnContinuous {
                 model: "resnet26".into(),
                 tasks: 1,
                 store_activations: false,
                 fps: 60.0,
             },
-            constraints: Constraints { max_power_w: Some(0.1), ..Constraints::default() },
+            constraints: Constraints {
+                max_power_w: Some(0.1),
+                ..Constraints::default()
+            },
         };
         let json = config.to_json();
         let parsed = StudyConfig::from_json(&json).unwrap();

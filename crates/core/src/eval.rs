@@ -81,8 +81,7 @@ pub fn evaluate(array: &ArrayCharacterization, traffic: &TrafficPattern) -> Eval
     let utilization =
         (reads * array.read_cycle.value() + writes * array.write_cycle.value()) / interleave;
 
-    let aggregate_latency =
-        array.read_latency * reads + array.write_latency * writes;
+    let aggregate_latency = array.read_latency * reads + array.write_latency * writes;
 
     let lifetime = memory_lifetime(array, traffic.write_bytes_per_sec);
 
@@ -102,10 +101,7 @@ pub fn evaluate(array: &ArrayCharacterization, traffic: &TrafficPattern) -> Eval
 
 /// Projected lifetime of `array` at a sustained write byte rate, assuming
 /// ideal wear-leveling across the whole capacity.
-pub fn memory_lifetime(
-    array: &ArrayCharacterization,
-    write_bytes_per_sec: f64,
-) -> Option<Seconds> {
+pub fn memory_lifetime(array: &ArrayCharacterization, write_bytes_per_sec: f64) -> Option<Seconds> {
     if !array.endurance_cycles.is_finite() || write_bytes_per_sec <= 0.0 {
         return None;
     }
@@ -146,9 +142,14 @@ mod tests {
         // Paper Fig. 6: PCM, RRAM, STT offer >4× lower power than SRAM.
         let traffic = TrafficPattern::new("dnn", 1.0e9, 0.0, 32);
         let sram_power = evaluate(&sram_array(), &traffic).total_power().value();
-        for tech in [TechnologyClass::Pcm, TechnologyClass::Rram, TechnologyClass::Stt] {
-            let power =
-                evaluate(&array(tech, CellFlavor::Optimistic), &traffic).total_power().value();
+        for tech in [
+            TechnologyClass::Pcm,
+            TechnologyClass::Rram,
+            TechnologyClass::Stt,
+        ] {
+            let power = evaluate(&array(tech, CellFlavor::Optimistic), &traffic)
+                .total_power()
+                .value();
             assert!(
                 sram_power / power > 4.0,
                 "{tech}: SRAM {sram_power} vs {power}"
@@ -180,8 +181,14 @@ mod tests {
         // Paper Fig. 8: RRAM has the worst endurance and lowest lifetimes;
         // STT the best.
         let traffic = TrafficPattern::new("w", 1.0e9, 50.0e6, 8);
-        let stt = evaluate(&array(TechnologyClass::Stt, CellFlavor::Optimistic), &traffic);
-        let rram = evaluate(&array(TechnologyClass::Rram, CellFlavor::Optimistic), &traffic);
+        let stt = evaluate(
+            &array(TechnologyClass::Stt, CellFlavor::Optimistic),
+            &traffic,
+        );
+        let rram = evaluate(
+            &array(TechnologyClass::Rram, CellFlavor::Optimistic),
+            &traffic,
+        );
         assert!(stt.lifetime_years() > 1.0e3 * rram.lifetime_years());
     }
 

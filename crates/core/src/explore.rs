@@ -73,7 +73,12 @@ impl ResultSet {
     #[must_use]
     pub fn filter(&self, predicate: impl Fn(&Evaluation) -> bool) -> Self {
         Self {
-            evaluations: self.evaluations.iter().filter(|e| predicate(e)).cloned().collect(),
+            evaluations: self
+                .evaluations
+                .iter()
+                .filter(|e| predicate(e))
+                .cloned()
+                .collect(),
         }
     }
 
@@ -89,8 +94,12 @@ impl ResultSet {
     #[must_use]
     pub fn constrained(&self, constraints: &Constraints) -> Self {
         self.filter(|e| {
-            constraints.max_power_w.is_none_or(|max| e.total_power().value() <= max)
-                && constraints.max_area_mm2.is_none_or(|max| e.array.area.value() <= max)
+            constraints
+                .max_power_w
+                .is_none_or(|max| e.total_power().value() <= max)
+                && constraints
+                    .max_area_mm2
+                    .is_none_or(|max| e.array.area.value() <= max)
                 && constraints
                     .min_lifetime_years
                     .is_none_or(|min| e.lifetime_years() >= min)
@@ -149,8 +158,11 @@ impl ResultSet {
 
     /// The technologies present in the set.
     pub fn technologies(&self) -> Vec<TechnologyClass> {
-        let mut techs: Vec<TechnologyClass> =
-            self.evaluations.iter().map(|e| e.array.technology).collect();
+        let mut techs: Vec<TechnologyClass> = self
+            .evaluations
+            .iter()
+            .map(|e| e.array.technology)
+            .collect();
         techs.sort_unstable();
         techs.dedup();
         techs
@@ -175,7 +187,11 @@ mod tests {
     fn sample_set() -> ResultSet {
         let traffic = TrafficPattern::new("t", 2.0e9, 20.0e6, 64);
         let mut evals = Vec::new();
-        for tech in [TechnologyClass::Stt, TechnologyClass::Rram, TechnologyClass::FeFet] {
+        for tech in [
+            TechnologyClass::Stt,
+            TechnologyClass::Rram,
+            TechnologyClass::FeFet,
+        ] {
             for flavor in [CellFlavor::Optimistic, CellFlavor::Pessimistic] {
                 let cell = tentpole::tentpole_cell(tech, flavor).unwrap();
                 let array =
@@ -200,7 +216,10 @@ mod tests {
         let feasible = set.feasible();
         assert!(feasible.len() <= set.len());
         let stt = feasible.technology(TechnologyClass::Stt);
-        assert!(stt.evaluations().iter().all(|e| e.array.technology == TechnologyClass::Stt));
+        assert!(stt
+            .evaluations()
+            .iter()
+            .all(|e| e.array.technology == TechnologyClass::Stt));
     }
 
     #[test]
@@ -210,7 +229,10 @@ mod tests {
             min_lifetime_years: Some(1.0),
             ..Constraints::default()
         });
-        assert!(constrained.len() < set.len(), "RRAM should fall to the lifetime bar");
+        assert!(
+            constrained.len() < set.len(),
+            "RRAM should fall to the lifetime bar"
+        );
         assert!(constrained
             .evaluations()
             .iter()

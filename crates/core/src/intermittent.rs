@@ -140,7 +140,11 @@ pub fn sweep_events_per_day(
 ) -> Vec<(f64, Joules)> {
     (0..steps)
         .map(|i| {
-            let t = if steps <= 1 { 0.0 } else { i as f64 / (steps - 1) as f64 };
+            let t = if steps <= 1 {
+                0.0
+            } else {
+                i as f64 / (steps - 1) as f64
+            };
             let rate = min_rate * (max_rate / min_rate).powf(t);
             (rate, daily_energy(array, scenario, rate).total())
         })
@@ -271,10 +275,8 @@ mod tests {
     fn short_retention_cells_pay_daily_scrub() {
         // Pessimistic RRAM retains ~1e3 s — it must rewrite itself ~86
         // times a day, and that cost lands in the daily total.
-        let cell = tentpole::tentpole_cell(TechnologyClass::Rram, CellFlavor::Pessimistic)
-            .unwrap();
-        let rram =
-            characterize(&cell, &ArrayConfig::new(Capacity::from_mebibytes(2))).unwrap();
+        let cell = tentpole::tentpole_cell(TechnologyClass::Rram, CellFlavor::Pessimistic).unwrap();
+        let rram = characterize(&cell, &ArrayConfig::new(Capacity::from_mebibytes(2))).unwrap();
         let scrub = scrub_energy_per_day(&rram);
         assert!(scrub.value() > 0.0, "short-retention array must scrub");
         let daily = daily_energy(&rram, &scenario(), 100.0);

@@ -1,12 +1,47 @@
 //! Sweep execution: expands a [`StudyConfig`] into characterization jobs,
-//! runs them across worker threads, and evaluates every array against every
-//! traffic pattern.
+//! fans them out lock-free across worker threads, and evaluates every array
+//! against every traffic pattern in parallel.
+//!
+//! # Engine design
+//!
+//! The hot path is organized around three ideas:
+//!
+//! 1. **Shared DSE across targets.** One job per `(cell, capacity,
+//!    bits_per_cell)` — not per target. Each job runs
+//!    [`nvmx_nvsim::characterize_targets`], which enumerates and
+//!    characterizes the candidate organizations once and selects the best
+//!    design under *every* optimization target from that single pass. An
+//!    N-target study therefore does ~1/N of the subarray work the naive
+//!    per-target expansion (kept in [`baseline`]) performs.
+//! 2. **Lock-free fan-out.** Jobs live in an immutable pre-expanded slice;
+//!    workers claim indices with a single shared atomic counter and write
+//!    results into per-job slots. No queue mutex, no result-vector mutex,
+//!    and the output order is fixed by the job order rather than by worker
+//!    interleaving — determinism by construction, with no post-hoc sort of
+//!    completion order. Jobs borrow the resolved [`CellDefinition`]s
+//!    instead of cloning them.
+//! 3. **Parallel evaluation.** The `arrays × traffic` product is flattened
+//!    into one index space and fanned out over the same scoped worker pool
+//!    (chunked claiming, since a single evaluation is much cheaper than a
+//!    characterization).
+//!
+//! Jobs and targets are expanded in the legacy report order (cell name,
+//! capacity, programming depth, then target label), so `arrays` and
+//! `evaluations` in [`StudyResult`] are byte-identical to the historical
+//! mutex-queue + sort engine — [`baseline`] exists to prove exactly that
+//! in tests and benches. `skipped` carries the same entries but in
+//! deterministic job order; the old engine recorded skips in worker
+//! completion order, which was never deterministic to begin with.
 
 use crate::config::{StudyConfig, UnknownNameError};
 use crate::eval::{evaluate, Evaluation};
 use nvmx_celldb::CellDefinition;
-use nvmx_nvsim::{characterize, ArrayCharacterization, ArrayConfig, CharacterizationError};
-use parking_lot::Mutex;
+use nvmx_nvsim::{
+    characterize_targets, ArrayCharacterization, ArrayConfig, CharacterizationError,
+    OptimizationTarget,
+};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 
 /// Outcome of a study run.
 #[derive(Debug, Clone)]
@@ -51,42 +86,80 @@ impl From<UnknownNameError> for StudyError {
     }
 }
 
-/// One characterization job in the expanded sweep.
-#[derive(Debug, Clone)]
-struct Job {
-    cell: CellDefinition,
+/// One shared-DSE characterization job: a `(cell, capacity, bits_per_cell)`
+/// point covering *all* optimization targets at once. Cells are borrowed
+/// from the resolved selection — jobs are cheap index records, not owners.
+struct Job<'a> {
+    cell: &'a CellDefinition,
     config: ArrayConfig,
 }
 
-fn expand_jobs(study: &StudyConfig, cells: &[CellDefinition]) -> Vec<Job> {
+/// Expands the study into shared-DSE jobs, in report order (cell name,
+/// capacity, programming depth). Combined with the label-sorted target
+/// list, slot order equals the legacy sorted output order, so no
+/// completion-order sort is ever needed.
+fn expand_jobs<'a>(
+    study: &StudyConfig,
+    cells: &'a [CellDefinition],
+    targets: &[OptimizationTarget],
+) -> Vec<Job<'a>> {
+    let mut order: Vec<&CellDefinition> = cells.iter().collect();
+    order.sort_by(|a, b| a.name.cmp(&b.name));
+    let mut capacities = study.array.capacities();
+    capacities.sort_unstable();
+    let mut depths = study.array.bits_per_cell.clone();
+    depths.sort_unstable();
     let mut jobs = Vec::new();
-    for cell in cells {
-        for capacity in study.array.capacities() {
-            for &bits_per_cell in &study.array.bits_per_cell {
-                for &target in &study.array.targets {
-                    jobs.push(Job {
-                        cell: cell.clone(),
-                        config: ArrayConfig {
-                            capacity,
-                            word_bits: study.array.word_bits,
-                            node: study.array.node_for(cell),
-                            bits_per_cell,
-                            target,
-                        },
-                    });
-                }
+    if targets.is_empty() {
+        return jobs;
+    }
+    for cell in order {
+        for &capacity in &capacities {
+            for &bits_per_cell in &depths {
+                jobs.push(Job {
+                    cell,
+                    config: ArrayConfig {
+                        capacity,
+                        word_bits: study.array.word_bits,
+                        node: study.array.node_for(cell),
+                        bits_per_cell,
+                        target: targets[0],
+                    },
+                });
             }
         }
     }
     jobs
 }
 
+/// The per-job result slot: every target's winning design, or the error
+/// (reported once per target for parity with the per-target engine).
+type JobOutcome = Result<Vec<ArrayCharacterization>, (String, CharacterizationError)>;
+
+/// Characterization jobs are coarse (one job is a full DSE pass), so
+/// workers claim them one at a time; evaluations are tiny, so workers
+/// claim them in chunks to keep the shared counter off the critical path.
+const EVAL_CHUNK: usize = 64;
+
+/// Caps the worker count at the request, the number of claimable items,
+/// and the machine's available parallelism — extra workers beyond any of
+/// those only add spawn cost and scheduler churn, never throughput.
+/// Output is index-addressed, so the worker count never affects results.
+fn clamp_workers(threads: usize, items: usize) -> usize {
+    let cores =
+        std::thread::available_parallelism().map_or(usize::MAX, std::num::NonZeroUsize::get);
+    threads.clamp(1, 32).min(items.max(1)).min(cores)
+}
+
 /// Runs a full study: characterize every design point, evaluate against
 /// every traffic pattern.
 ///
-/// Characterization jobs fan out across `threads` workers (the job list is
-/// shared behind a [`parking_lot::Mutex`]); evaluation is cheap and runs
-/// inline afterwards.
+/// Characterization fans out lock-free across `threads` workers (atomic
+/// index over a pre-expanded job slice, results into pre-allocated slots),
+/// with one shared design-space pass covering all optimization targets per
+/// `(cell, capacity, bits_per_cell)` point. The evaluation product is then
+/// fanned out over the same pool. Output order is deterministic regardless
+/// of `threads`.
 ///
 /// # Errors
 ///
@@ -104,48 +177,85 @@ pub fn run_study_with_threads(
     if traffic.is_empty() {
         return Err(StudyError::NoTraffic);
     }
+    // Report order: targets by label, matching the legacy sort key.
+    let mut targets = study.array.targets.clone();
+    targets.sort_by_key(|target| target.label());
 
-    let jobs = expand_jobs(study, &cells);
-    let queue = Mutex::new(jobs);
-    let done: Mutex<Vec<Result<ArrayCharacterization, (String, CharacterizationError)>>> =
-        Mutex::new(Vec::new());
+    let jobs = expand_jobs(study, &cells, &targets);
+    let slots: Vec<OnceLock<JobOutcome>> = jobs.iter().map(|_| OnceLock::new()).collect();
+    let next_job = AtomicUsize::new(0);
 
-    let workers = threads.clamp(1, 32);
-    crossbeam::scope(|scope| {
+    let workers = clamp_workers(threads, jobs.len());
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let job = { queue.lock().pop() };
-                let Some(job) = job else { break };
-                let result = characterize(&job.cell, &job.config)
+            scope.spawn(|| loop {
+                let index = next_job.fetch_add(1, Ordering::Relaxed);
+                let Some(job) = jobs.get(index) else { break };
+                let outcome = characterize_targets(job.cell, &job.config, &targets)
                     .map_err(|e| (job.cell.name.clone(), e));
-                done.lock().push(result);
+                slots[index].set(outcome).expect("job slot written twice");
             });
         }
-    })
-    .expect("sweep worker panicked");
-
-    let mut arrays = Vec::new();
-    let mut skipped = Vec::new();
-    for outcome in done.into_inner() {
-        match outcome {
-            Ok(array) => arrays.push(array),
-            Err((cell, error)) => skipped.push((cell, error.to_string())),
-        }
-    }
-    // Deterministic output order regardless of worker interleaving.
-    arrays.sort_by(|a, b| {
-        (a.cell_name.as_str(), a.capacity, a.bits_per_cell, a.target.label())
-            .cmp(&(b.cell_name.as_str(), b.capacity, b.bits_per_cell, b.target.label()))
     });
 
-    let mut evaluations = Vec::with_capacity(arrays.len() * traffic.len());
-    for array in &arrays {
-        for pattern in &traffic {
-            evaluations.push(evaluate(array, pattern));
+    let mut arrays = Vec::with_capacity(jobs.len() * targets.len());
+    let mut skipped = Vec::new();
+    for slot in slots {
+        match slot.into_inner().expect("all job slots filled") {
+            Ok(designs) => arrays.extend(designs),
+            Err((cell, error)) => {
+                // One skipped record per target: parity with the per-target
+                // engine, which failed each target's job individually.
+                let reason = error.to_string();
+                skipped.extend(targets.iter().map(|_| (cell.clone(), reason.clone())));
+            }
         }
     }
 
-    Ok(StudyResult { name: study.name.clone(), arrays, evaluations, skipped })
+    let evaluations = evaluate_all(&arrays, &traffic, threads);
+    Ok(StudyResult {
+        name: study.name.clone(),
+        arrays,
+        evaluations,
+        skipped,
+    })
+}
+
+/// Evaluates the full `arrays × traffic` product across the worker pool,
+/// preserving the serial double-loop order.
+fn evaluate_all(
+    arrays: &[ArrayCharacterization],
+    traffic: &[nvmx_workloads::TrafficPattern],
+    threads: usize,
+) -> Vec<Evaluation> {
+    let pairs = arrays.len() * traffic.len();
+    if pairs == 0 {
+        return Vec::new();
+    }
+    let slots: Vec<OnceLock<Evaluation>> = (0..pairs).map(|_| OnceLock::new()).collect();
+    let next_pair = AtomicUsize::new(0);
+    let workers = clamp_workers(threads, pairs.div_ceil(EVAL_CHUNK));
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let start = next_pair.fetch_add(EVAL_CHUNK, Ordering::Relaxed);
+                if start >= pairs {
+                    break;
+                }
+                for index in start..(start + EVAL_CHUNK).min(pairs) {
+                    let array = &arrays[index / traffic.len()];
+                    let pattern = &traffic[index % traffic.len()];
+                    slots[index]
+                        .set(evaluate(array, pattern))
+                        .expect("evaluation slot written twice");
+                }
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("all evaluation slots filled"))
+        .collect()
 }
 
 /// Runs a study with a worker per available CPU (capped at 16).
@@ -158,12 +268,131 @@ pub fn run_study(study: &StudyConfig) -> Result<StudyResult, StudyError> {
     run_study_with_threads(study, threads)
 }
 
+/// The pre-overhaul reference engine: one job per `(cell, capacity,
+/// bits_per_cell, target)`, re-running the full DSE for every target, with
+/// a mutex-guarded queue and a completion-order sort.
+///
+/// Kept (on `std::sync` primitives) so tests can prove the shared-DSE
+/// engine produces byte-identical [`StudyResult`]s and benches can measure
+/// the speedup against a faithful baseline. Not part of the supported API.
+#[doc(hidden)]
+pub mod baseline {
+    use super::{StudyError, StudyResult};
+    use crate::config::StudyConfig;
+    use crate::eval::evaluate;
+    use nvmx_celldb::CellDefinition;
+    use nvmx_nvsim::{characterize, ArrayCharacterization, ArrayConfig, CharacterizationError};
+    use std::sync::Mutex;
+
+    struct Job {
+        cell: CellDefinition,
+        config: ArrayConfig,
+    }
+
+    fn expand_jobs(study: &StudyConfig, cells: &[CellDefinition]) -> Vec<Job> {
+        let mut jobs = Vec::new();
+        for cell in cells {
+            for capacity in study.array.capacities() {
+                for &bits_per_cell in &study.array.bits_per_cell {
+                    for &target in &study.array.targets {
+                        jobs.push(Job {
+                            cell: cell.clone(),
+                            config: ArrayConfig {
+                                capacity,
+                                word_bits: study.array.word_bits,
+                                node: study.array.node_for(cell),
+                                bits_per_cell,
+                                target,
+                            },
+                        });
+                    }
+                }
+            }
+        }
+        jobs
+    }
+
+    /// Reference implementation of
+    /// [`run_study_with_threads`](super::run_study_with_threads).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as the main engine.
+    pub fn run_study_with_threads(
+        study: &StudyConfig,
+        threads: usize,
+    ) -> Result<StudyResult, StudyError> {
+        let cells = study.cells.resolve();
+        if cells.is_empty() {
+            return Err(StudyError::NoCells);
+        }
+        let traffic = study.traffic.resolve()?;
+        if traffic.is_empty() {
+            return Err(StudyError::NoTraffic);
+        }
+
+        let queue = Mutex::new(expand_jobs(study, &cells));
+        type Done = Vec<Result<ArrayCharacterization, (String, CharacterizationError)>>;
+        let done: Mutex<Done> = Mutex::new(Vec::new());
+
+        let workers = threads.clamp(1, 32);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let job = { queue.lock().expect("queue poisoned").pop() };
+                    let Some(job) = job else { break };
+                    let result = characterize(&job.cell, &job.config)
+                        .map_err(|e| (job.cell.name.clone(), e));
+                    done.lock().expect("results poisoned").push(result);
+                });
+            }
+        });
+
+        let mut arrays = Vec::new();
+        let mut skipped = Vec::new();
+        for outcome in done.into_inner().expect("results poisoned") {
+            match outcome {
+                Ok(array) => arrays.push(array),
+                Err((cell, error)) => skipped.push((cell, error.to_string())),
+            }
+        }
+        // Deterministic output order regardless of worker interleaving.
+        arrays.sort_by(|a, b| {
+            (
+                a.cell_name.as_str(),
+                a.capacity,
+                a.bits_per_cell,
+                a.target.label(),
+            )
+                .cmp(&(
+                    b.cell_name.as_str(),
+                    b.capacity,
+                    b.bits_per_cell,
+                    b.target.label(),
+                ))
+        });
+
+        let mut evaluations = Vec::with_capacity(arrays.len() * traffic.len());
+        for array in &arrays {
+            for pattern in &traffic {
+                evaluations.push(evaluate(array, pattern));
+            }
+        }
+
+        Ok(StudyResult {
+            name: study.name.clone(),
+            arrays,
+            evaluations,
+            skipped,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::config::{ArraySettings, CellSelection, Constraints, TrafficSpec};
     use nvmx_celldb::TechnologyClass;
-    use nvmx_nvsim::OptimizationTarget;
     use nvmx_units::BitsPerCell;
 
     fn small_study() -> StudyConfig {
@@ -187,6 +416,16 @@ mod tests {
         }
     }
 
+    fn multi_target_study() -> StudyConfig {
+        let mut study = small_study();
+        study.array.targets = vec![
+            OptimizationTarget::ReadEdp,
+            OptimizationTarget::WriteEnergy,
+            OptimizationTarget::Area,
+        ];
+        study
+    }
+
     #[test]
     fn study_produces_arrays_and_evaluations() {
         let result = run_study_with_threads(&small_study(), 4).unwrap();
@@ -208,6 +447,16 @@ mod tests {
     }
 
     #[test]
+    fn multi_target_output_matches_baseline_engine_exactly() {
+        let study = multi_target_study();
+        let shared = run_study_with_threads(&study, 4).unwrap();
+        let reference = baseline::run_study_with_threads(&study, 1).unwrap();
+        assert_eq!(shared.arrays, reference.arrays);
+        assert_eq!(shared.evaluations, reference.evaluations);
+        assert_eq!(shared.skipped, reference.skipped);
+    }
+
+    #[test]
     fn unsupported_mlc_lands_in_skipped() {
         let mut study = small_study();
         study.array.bits_per_cell = vec![BitsPerCell::Mlc2];
@@ -216,6 +465,17 @@ mod tests {
         assert_eq!(result.skipped.len(), 1);
         assert!(result.skipped[0].0.contains("SRAM"));
         assert_eq!(result.arrays.len(), 4);
+    }
+
+    #[test]
+    fn multi_target_skip_is_reported_per_target() {
+        let mut study = multi_target_study();
+        study.array.bits_per_cell = vec![BitsPerCell::Mlc2];
+        let result = run_study_with_threads(&study, 4).unwrap();
+        // SRAM fails once per target, like the per-target engine reported.
+        assert_eq!(result.skipped.len(), 3);
+        assert!(result.skipped.iter().all(|(cell, _)| cell.contains("SRAM")));
+        assert_eq!(result.arrays.len(), 4 * 3);
     }
 
     #[test]

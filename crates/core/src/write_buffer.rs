@@ -26,7 +26,10 @@ pub struct WriteBuffer {
 
 impl WriteBuffer {
     /// No buffering — the baseline.
-    pub const NONE: Self = Self { latency_mask: 0.0, coalescing: 0.0 };
+    pub const NONE: Self = Self {
+        latency_mask: 0.0,
+        coalescing: 0.0,
+    };
 
     /// Creates a configuration, clamping both effects into `[0, 1]`.
     pub fn new(latency_mask: f64, coalescing: f64) -> Self {
@@ -75,9 +78,8 @@ pub fn evaluate_with_buffer(
         let write_occupancy = eval.array_writes_per_sec
             * array.write_cycle.value()
             * (1.0 - buffer.latency_mask * 0.75);
-        eval.utilization = (eval.array_reads_per_sec * array.read_cycle.value()
-            + write_occupancy)
-            / interleave;
+        eval.utilization =
+            (eval.array_reads_per_sec * array.read_cycle.value() + write_occupancy) / interleave;
     }
     eval
 }
@@ -90,10 +92,12 @@ mod tests {
     use nvmx_units::Capacity;
 
     fn fefet_array() -> ArrayCharacterization {
-        let cell =
-            tentpole::tentpole_cell(TechnologyClass::FeFet, CellFlavor::Optimistic).unwrap();
-        characterize(&cell, &ArrayConfig::new(Capacity::from_mebibytes(8)).with_word_bits(512))
-            .unwrap()
+        let cell = tentpole::tentpole_cell(TechnologyClass::FeFet, CellFlavor::Optimistic).unwrap();
+        characterize(
+            &cell,
+            &ArrayConfig::new(Capacity::from_mebibytes(8)).with_word_bits(512),
+        )
+        .unwrap()
     }
 
     fn heavy_writes() -> TrafficPattern {

@@ -15,8 +15,7 @@ use std::sync::OnceLock;
 fn stt_array() -> &'static ArrayCharacterization {
     static ARRAY: OnceLock<ArrayCharacterization> = OnceLock::new();
     ARRAY.get_or_init(|| {
-        let cell =
-            tentpole::tentpole_cell(TechnologyClass::Stt, CellFlavor::Optimistic).unwrap();
+        let cell = tentpole::tentpole_cell(TechnologyClass::Stt, CellFlavor::Optimistic).unwrap();
         characterize(&cell, &ArrayConfig::new(Capacity::from_mebibytes(2))).unwrap()
     })
 }

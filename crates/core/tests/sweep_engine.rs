@@ -1,0 +1,90 @@
+//! Engine-level regression tests for the lock-free shared-DSE sweep:
+//! thread-count determinism on a large multi-target study, and full
+//! `StudyResult` equivalence against the pre-overhaul baseline engine.
+
+use nvmexplorer_core::config::{
+    ArraySettings, CellSelection, Constraints, StudyConfig, TrafficSpec,
+};
+use nvmexplorer_core::sweep::{baseline, run_study_with_threads, StudyResult};
+use nvmx_nvsim::OptimizationTarget;
+use nvmx_units::BitsPerCell;
+
+/// A study large enough to exercise real worker interleaving: the full
+/// default cell selection, two capacities, both programming depths, three
+/// optimization targets, and a 3×3 generic traffic sweep.
+fn large_study() -> StudyConfig {
+    StudyConfig {
+        name: "engine-regression".into(),
+        cells: CellSelection::default(),
+        array: ArraySettings {
+            capacities_mib: vec![4, 1],
+            bits_per_cell: vec![BitsPerCell::Mlc2, BitsPerCell::Slc],
+            targets: vec![
+                OptimizationTarget::WriteEdp,
+                OptimizationTarget::ReadEdp,
+                OptimizationTarget::Leakage,
+            ],
+            ..ArraySettings::default()
+        },
+        traffic: TrafficSpec::GenericSweep {
+            read_min: 1.0e8,
+            read_max: 10.0e9,
+            read_steps: 3,
+            write_min: 1.0e6,
+            write_max: 100.0e6,
+            write_steps: 3,
+            access_bytes: 64,
+        },
+        constraints: Constraints::default(),
+    }
+}
+
+fn assert_results_identical(a: &StudyResult, b: &StudyResult) {
+    assert_eq!(a.arrays.len(), b.arrays.len(), "array count");
+    for (x, y) in a.arrays.iter().zip(&b.arrays) {
+        assert_eq!(x, y, "array mismatch: {} vs {}", x.summary(), y.summary());
+    }
+    assert_eq!(a.evaluations, b.evaluations, "evaluations");
+    assert_eq!(a.skipped, b.skipped, "skipped");
+}
+
+#[test]
+fn large_multi_target_study_is_deterministic_from_1_to_16_threads() {
+    let study = large_study();
+    let serial = run_study_with_threads(&study, 1).unwrap();
+    // The default selection spans 14 cells × 2 capacities × 2 depths ×
+    // 3 targets; make sure the study is actually big enough to interleave.
+    assert!(
+        serial.arrays.len() > 100,
+        "got {} arrays",
+        serial.arrays.len()
+    );
+    assert!(!serial.skipped.is_empty(), "SRAM at MLC-2 must be skipped");
+    for threads in [2, 4, 8, 16] {
+        let parallel = run_study_with_threads(&study, threads);
+        assert_results_identical(&serial, &parallel.unwrap());
+    }
+}
+
+#[test]
+fn shared_dse_engine_matches_the_per_target_baseline_byte_for_byte() {
+    let study = large_study();
+    let shared = run_study_with_threads(&study, 8).unwrap();
+    // Single-threaded baseline: deterministic reference ordering.
+    let reference = baseline::run_study_with_threads(&study, 1).unwrap();
+    assert_eq!(
+        shared.arrays, reference.arrays,
+        "arrays must be byte-identical"
+    );
+    assert_eq!(
+        shared.evaluations, reference.evaluations,
+        "evaluations must be byte-identical"
+    );
+    // The baseline pops its job queue LIFO, so its skip order is its own;
+    // compare as sorted multisets.
+    let mut a = shared.skipped.clone();
+    let mut b = reference.skipped.clone();
+    a.sort();
+    b.sort();
+    assert_eq!(a, b, "skipped entries must agree");
+}

@@ -68,7 +68,10 @@ pub fn inject_into_bytes(
     let bits_total = data.len() as u64 * 8;
     let ber = model.bit_error_rate();
     if bits_total == 0 || ber <= 0.0 {
-        return InjectionReport { bits_total, bits_flipped: 0 };
+        return InjectionReport {
+            bits_total,
+            bits_flipped: 0,
+        };
     }
 
     let lambda = bits_total as f64 * ber;
@@ -88,7 +91,10 @@ pub fn inject_into_bytes(
             flipped += 1;
         }
     }
-    InjectionReport { bits_total, bits_flipped: flipped }
+    InjectionReport {
+        bits_total,
+        bits_flipped: flipped,
+    }
 }
 
 #[cfg(test)]
@@ -154,7 +160,10 @@ mod tests {
 
     #[test]
     fn observed_rate_is_consistent() {
-        let report = InjectionReport { bits_total: 1000, bits_flipped: 10 };
+        let report = InjectionReport {
+            bits_total: 1000,
+            bits_flipped: 10,
+        };
         assert!((report.observed_rate() - 0.01).abs() < 1e-12);
     }
 }

@@ -94,7 +94,11 @@ mod tests {
 
     #[test]
     fn mlc_is_worse_than_slc_for_every_modeled_tech() {
-        for tech in [TechnologyClass::Rram, TechnologyClass::Ctt, TechnologyClass::FeFet] {
+        for tech in [
+            TechnologyClass::Rram,
+            TechnologyClass::Ctt,
+            TechnologyClass::FeFet,
+        ] {
             let cell = tentpole::tentpole_cell(tech, CellFlavor::Optimistic).unwrap();
             let slc = FaultModel::for_cell(&cell, BitsPerCell::Slc).bit_error_rate();
             let mlc = FaultModel::for_cell(&cell, BitsPerCell::Mlc2).bit_error_rate();
@@ -105,10 +109,10 @@ mod tests {
     #[test]
     fn small_fefet_mlc_is_unreliable_large_is_fine() {
         // Paper Fig. 13: MLC FeFET only acceptable at larger cell sizes.
-        let small = tentpole::tentpole_cell(TechnologyClass::FeFet, CellFlavor::Optimistic)
-            .unwrap(); // 4 F²
-        let large = tentpole::tentpole_cell(TechnologyClass::FeFet, CellFlavor::Pessimistic)
-            .unwrap(); // 103 F²
+        let small =
+            tentpole::tentpole_cell(TechnologyClass::FeFet, CellFlavor::Optimistic).unwrap(); // 4 F²
+        let large =
+            tentpole::tentpole_cell(TechnologyClass::FeFet, CellFlavor::Pessimistic).unwrap(); // 103 F²
         let small_ber = FaultModel::for_cell(&small, BitsPerCell::Mlc2).bit_error_rate();
         let large_ber = FaultModel::for_cell(&large, BitsPerCell::Mlc2).bit_error_rate();
         assert!(
@@ -124,8 +128,7 @@ mod tests {
     #[test]
     fn mlc_rram_stays_moderate() {
         // Paper Fig. 13: image classification tolerates 2-bit MLC RRAM.
-        let cell =
-            tentpole::tentpole_cell(TechnologyClass::Rram, CellFlavor::Optimistic).unwrap();
+        let cell = tentpole::tentpole_cell(TechnologyClass::Rram, CellFlavor::Optimistic).unwrap();
         let ber = FaultModel::for_cell(&cell, BitsPerCell::Mlc2).bit_error_rate();
         assert!(
             (1.0e-8..5.0e-3).contains(&ber),

@@ -51,7 +51,10 @@ impl LevelModel {
     ///
     /// Panics if `levels < 2` or `sigma` is negative.
     pub fn new(levels: u32, sigma: f64) -> Self {
-        assert!(levels >= 2 && levels.is_power_of_two(), "levels must be 2^k, k>=1");
+        assert!(
+            levels >= 2 && levels.is_power_of_two(),
+            "levels must be 2^k, k>=1"
+        );
         assert!(sigma >= 0.0, "sigma must be non-negative");
         Self { levels, sigma }
     }

@@ -116,9 +116,7 @@ impl Bank {
         let write_bandwidth = word_bytes / write_cycle * interleave;
 
         let area = grid_w * grid_h * 1.05; // H-tree routing overhead
-        let cell_area = org.total_subarrays as f64
-            * subarray.array_width
-            * subarray.array_height;
+        let cell_area = org.total_subarrays as f64 * subarray.array_width * subarray.array_height;
 
         Self {
             organization: org,
@@ -156,8 +154,7 @@ mod tests {
 
     fn bank_for(total: usize, active: usize) -> Bank {
         let tech = lookup(Meters::from_nano(22.0));
-        let cell =
-            tentpole::tentpole_cell(TechnologyClass::Stt, CellFlavor::Optimistic).unwrap();
+        let cell = tentpole::tentpole_cell(TechnologyClass::Stt, CellFlavor::Optimistic).unwrap();
         let sub = Subarray::characterize(&tech, &cell, 512, 1024, 8, BitsPerCell::Slc);
         let org = Organization {
             rows: 512,

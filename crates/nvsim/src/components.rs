@@ -69,7 +69,10 @@ pub struct Precharger {
 impl Precharger {
     /// Builds a per-column precharger.
     pub fn new(tech: &TechnologyParams) -> Self {
-        Self { leakage: tech.leak_power(3.0) * 0.5, area_f2: 120.0 }
+        Self {
+            leakage: tech.leak_power(3.0) * 0.5,
+            area_f2: 120.0,
+        }
     }
 }
 
@@ -104,8 +107,11 @@ impl WriteDriver {
         // Charge-pump transfer efficiency degrades with the boost ratio;
         // mild boosts (STT at 1.2 V off a 0.85 V rail) stay fairly
         // efficient, deep boosts (FeFET at 4 V) pay heavily.
-        let supply_efficiency =
-            if boosted { (0.9 * vdd / v_write).clamp(0.25, 0.9) } else { 0.95 };
+        let supply_efficiency = if boosted {
+            (0.9 * vdd / v_write).clamp(0.25, 0.9)
+        } else {
+            0.95
+        };
         Self {
             delay: 2.0 * tech.fo4_delay,
             energy: tech.gate_cap(width_f * 3.0) * v_write * v_write,

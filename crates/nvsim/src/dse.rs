@@ -3,7 +3,7 @@
 //! the best under each optimization target.
 
 use crate::bank::{Bank, Organization};
-use crate::result::ArrayCharacterization;
+use crate::result::{ArrayCharacterization, OptimizationTarget};
 use crate::subarray::Subarray;
 use crate::technology::lookup;
 use crate::{ArrayConfig, CharacterizationError};
@@ -27,10 +27,7 @@ const MAX_SUBARRAYS: usize = 8192;
 const MIN_AREA_EFFICIENCY: f64 = 0.25;
 
 /// Enumerates all valid organizations for `cell` under `config`.
-pub fn enumerate_organizations(
-    _cell: &CellDefinition,
-    config: &ArrayConfig,
-) -> Vec<Organization> {
+pub fn enumerate_organizations(_cell: &CellDefinition, config: &ArrayConfig) -> Vec<Organization> {
     let capacity_cells = config.capacity.cells(config.bits_per_cell);
     let word_bits = config.word_bits;
     let mut orgs = Vec::new();
@@ -82,23 +79,30 @@ pub fn characterize_organization(
     org: Organization,
 ) -> ArrayCharacterization {
     let tech = lookup(config.node);
+    characterize_organization_with(&tech, cell, config, org)
+}
+
+/// [`characterize_organization`] with the technology lookup hoisted out, so
+/// sweeps over many organizations at one node resolve the table once.
+pub fn characterize_organization_with(
+    tech: &crate::technology::TechnologyParams,
+    cell: &CellDefinition,
+    config: &ArrayConfig,
+    org: Organization,
+) -> ArrayCharacterization {
     let sub = Subarray::characterize(
-        &tech,
+        tech,
         cell,
         org.rows,
         org.cols,
         org.mux,
         config.bits_per_cell,
     );
-    let bank = Bank::compose(&tech, sub, org, config.word_bits);
+    let bank = Bank::compose(tech, sub, org, config.word_bits);
     package(cell, config, bank)
 }
 
-fn package(
-    cell: &CellDefinition,
-    config: &ArrayConfig,
-    bank: Bank,
-) -> ArrayCharacterization {
+fn package(cell: &CellDefinition, config: &ArrayConfig, bank: Bank) -> ArrayCharacterization {
     ArrayCharacterization {
         cell_name: cell.name.clone(),
         technology: cell.technology,
@@ -126,12 +130,29 @@ fn package(
     }
 }
 
-/// Runs the full organization search and returns the best design under
-/// `config.target`.
-pub fn optimize(
+/// Runs the organization search **once** and returns the best design under
+/// each of `targets`, in order.
+///
+/// This is the shared-DSE hot path: subarray and bank characterization do
+/// not depend on the optimization target (the target only selects among
+/// candidates), so an N-target sweep costs one enumeration pass instead of
+/// N. Selection scans the characterized candidates by index — no clones on
+/// the scan path; only each target's winner is materialized. Each returned
+/// design is identical to what a standalone [`optimize`] call with that
+/// target would produce.
+///
+/// # Errors
+///
+/// Same conditions as [`optimize`]; `config.target` is ignored in favor of
+/// the explicit `targets` list.
+pub fn optimize_targets(
     cell: &CellDefinition,
     config: &ArrayConfig,
-) -> Result<ArrayCharacterization, CharacterizationError> {
+    targets: &[OptimizationTarget],
+) -> Result<Vec<ArrayCharacterization>, CharacterizationError> {
+    if targets.is_empty() {
+        return Ok(Vec::new());
+    }
     if !cell.supports(config.bits_per_cell) {
         return Err(CharacterizationError::UnsupportedBitsPerCell {
             cell: cell.name.clone(),
@@ -147,36 +168,53 @@ pub fn optimize(
         });
     }
     let tech = lookup(config.node);
-    let mut best: Option<ArrayCharacterization> = None;
-    let mut best_unconstrained: Option<ArrayCharacterization> = None;
-    for org in orgs {
-        let sub = Subarray::characterize(
-            &tech,
-            cell,
-            org.rows,
-            org.cols,
-            org.mux,
-            config.bits_per_cell,
-        );
-        let bank = Bank::compose(&tech, sub, org, config.word_bits);
-        let candidate = package(cell, config, bank);
-        let improves = |incumbent: &Option<ArrayCharacterization>| match incumbent {
-            None => true,
-            Some(b) => candidate.score(config.target) < b.score(config.target),
-        };
-        if candidate.area_efficiency.value() >= MIN_AREA_EFFICIENCY && improves(&best) {
-            best = Some(candidate.clone());
-        }
-        if improves(&best_unconstrained) {
-            best_unconstrained = Some(candidate);
-        }
-    }
-    best.or(best_unconstrained).ok_or_else(|| {
-        CharacterizationError::NoValidOrganization {
-            cell: cell.name.clone(),
-            capacity: config.capacity,
-        }
-    })
+    let candidates: Vec<ArrayCharacterization> = orgs
+        .into_iter()
+        .map(|org| characterize_organization_with(&tech, cell, config, org))
+        .collect();
+    targets
+        .iter()
+        .map(|&target| {
+            // First strictly-better scan order matches the per-target
+            // optimizer exactly, so ties resolve identically. Incumbent
+            // scores are cached — score() per candidate, not per compare.
+            let mut best: Option<(usize, f64)> = None;
+            let mut best_unconstrained: Option<(usize, f64)> = None;
+            for (index, candidate) in candidates.iter().enumerate() {
+                let score = candidate.score(target);
+                let improves = |incumbent: Option<(usize, f64)>| match incumbent {
+                    None => true,
+                    Some((_, incumbent_score)) => score < incumbent_score,
+                };
+                if candidate.area_efficiency.value() >= MIN_AREA_EFFICIENCY && improves(best) {
+                    best = Some((index, score));
+                }
+                if improves(best_unconstrained) {
+                    best_unconstrained = Some((index, score));
+                }
+            }
+            let (index, _) = best.or(best_unconstrained).ok_or_else(|| {
+                CharacterizationError::NoValidOrganization {
+                    cell: cell.name.clone(),
+                    capacity: config.capacity,
+                }
+            })?;
+            let mut winner = candidates[index].clone();
+            winner.target = target;
+            Ok(winner)
+        })
+        .collect()
+}
+
+/// Runs the full organization search and returns the best design under
+/// `config.target`. Thin wrapper over the shared pass in
+/// [`optimize_targets`].
+pub fn optimize(
+    cell: &CellDefinition,
+    config: &ArrayConfig,
+) -> Result<ArrayCharacterization, CharacterizationError> {
+    let mut results = optimize_targets(cell, config, &[config.target])?;
+    Ok(results.remove(0))
 }
 
 #[cfg(test)]
@@ -229,7 +267,10 @@ mod tests {
         let mut config = cfg(OptimizationTarget::ReadLatency);
         config.bits_per_cell = BitsPerCell::Mlc2;
         let err = optimize(&sram, &config).unwrap_err();
-        assert!(matches!(err, CharacterizationError::UnsupportedBitsPerCell { .. }));
+        assert!(matches!(
+            err,
+            CharacterizationError::UnsupportedBitsPerCell { .. }
+        ));
     }
 
     #[test]

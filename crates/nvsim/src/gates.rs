@@ -89,9 +89,16 @@ pub fn drive_load(tech: &TechnologyParams, c_load: f64, r_wire: f64, v_swing: f6
         let c_next = if stage_idx + 1 == n_stages {
             c_load
         } else {
-            Stage { width_f: next_width }.c_in(tech)
+            Stage {
+                width_f: next_width,
+            }
+            .c_in(tech)
         };
-        let r_extra = if stage_idx + 1 == n_stages { r_wire } else { 0.0 };
+        let r_extra = if stage_idx + 1 == n_stages {
+            r_wire
+        } else {
+            0.0
+        };
         let tf = (stage.r_out(tech) + 0.5 * r_extra) * (stage.c_self(tech) + c_next);
         let stage_delay = horowitz(input_ramp, tf, 0.5);
         delay += stage_delay;
@@ -102,7 +109,12 @@ pub fn drive_load(tech: &TechnologyParams, c_load: f64, r_wire: f64, v_swing: f6
         width = next_width;
     }
 
-    DriveResult { delay, energy, leakage, total_width_f: total_width }
+    DriveResult {
+        delay,
+        energy,
+        leakage,
+        total_width_f: total_width,
+    }
 }
 
 /// Characterization of a row/column decoder for `n_outputs` outputs:
@@ -142,7 +154,13 @@ impl Decoder {
         let leakage = n * Stage { width_f: 4.0 }.leak(tech) * 0.5;
         let total_width_f = n * 12.0 + levels * 16.0;
 
-        Self { n_outputs, delay, energy, leakage, total_width_f }
+        Self {
+            n_outputs,
+            delay,
+            energy,
+            leakage,
+            total_width_f,
+        }
     }
 }
 

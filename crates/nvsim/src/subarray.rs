@@ -128,11 +128,7 @@ impl Subarray {
         let col_decoder = Decoder::new(tech, mux.max(2));
         let sa = SenseAmp::new(tech, cell.read.scheme);
         let pre = Precharger::new(tech);
-        let driver = WriteDriver::new(
-            tech,
-            cell.write.current.value(),
-            cell.write.voltage.value(),
-        );
+        let driver = WriteDriver::new(tech, cell.write.current.value(), cell.write.voltage.value());
 
         // --- Read path -----------------------------------------------------
         let t_mux_out = 1.5 * tech.fo4_delay;
@@ -162,9 +158,9 @@ impl Subarray {
         // read voltage. Only clamped current sensing confines the swing to
         // the selected columns.
         let swinging_cols = match cell.read.scheme {
-            SenseScheme::VoltageDifferential
-            | SenseScheme::ChargeSense
-            | SenseScheme::FetSense => cols as f64,
+            SenseScheme::VoltageDifferential | SenseScheme::ChargeSense | SenseScheme::FetSense => {
+                cols as f64
+            }
             SenseScheme::CurrentSense => sensed_cols as f64,
         };
         let e_bitlines = swinging_cols * bl.capacitance * v_read * bl_swing_v * phases;
@@ -180,9 +176,8 @@ impl Subarray {
             SenseScheme::VoltageDifferential => 0.0,
             _ => 5.0e-6,
         };
-        let e_sense = sensed_cols as f64
-            * (sa.energy + sa_bias_current * vdd * t_bl_single)
-            * phases;
+        let e_sense =
+            sensed_cols as f64 * (sa.energy + sa_bias_current * vdd * t_bl_single) * phases;
         let e_restore = if cell.read.scheme.is_destructive() {
             cols as f64 * cell.write_energy_per_cell().value() / driver.supply_efficiency
         } else {
@@ -201,9 +196,9 @@ impl Subarray {
         // --- Write energy ----------------------------------------------------
         let v_write = cell.write.voltage.value();
         let mlc_write_scale = if mlc { levels - 1.0 } else { 1.0 };
-        let e_write_cells = sensed_cols as f64 * cell.write_energy_per_cell().value()
-            * mlc_write_scale
-            / driver.supply_efficiency;
+        let e_write_cells =
+            sensed_cols as f64 * cell.write_energy_per_cell().value() * mlc_write_scale
+                / driver.supply_efficiency;
         let e_write_bitlines =
             sensed_cols as f64 * bl.capacitance * v_write * v_write / driver.supply_efficiency;
         let write_energy = decoder.energy
@@ -229,9 +224,8 @@ impl Subarray {
         let f2 = f * f;
         // Drivers stack in the decode strip at ~1.5 F² of strip area per
         // feature of device width (folded layout).
-        let decoder_area = (decoder.total_width_f + rows as f64 * wl_drive_read.total_width_f)
-            * 1.5
-            * f2;
+        let decoder_area =
+            (decoder.total_width_f + rows as f64 * wl_drive_read.total_width_f) * 1.5 * f2;
         let decoder_strip_w = decoder_area / array_height.max(f);
         let sa_strip_h =
             sensed_cols as f64 * (sa.area_f2 + driver.area_f2) * f2 / array_width.max(f);
@@ -307,9 +301,17 @@ mod tests {
         let sram = custom::sram_16nm();
         let sub = Subarray::characterize(&tech, &sram, 256, 512, 4, BitsPerCell::Slc);
         assert!(sub.read_latency < 2.0e-9, "SRAM read {}", sub.read_latency);
-        assert!(sub.write_latency < 2.0e-9, "SRAM write {}", sub.write_latency);
+        assert!(
+            sub.write_latency < 2.0e-9,
+            "SRAM write {}",
+            sub.write_latency
+        );
         // 128 sensed columns: energy should be tens of pJ at most.
-        assert!(sub.read_energy < 100.0e-12, "SRAM read energy {}", sub.read_energy);
+        assert!(
+            sub.read_energy < 100.0e-12,
+            "SRAM read energy {}",
+            sub.read_energy
+        );
         assert!(sub.leakage > 0.0);
     }
 
@@ -351,8 +353,7 @@ mod tests {
         let stt = Subarray::characterize(&tech, &stt_opt(), 512, 1024, 8, BitsPerCell::Slc);
         let fefet_cell =
             tentpole::tentpole_cell(TechnologyClass::FeFet, CellFlavor::Optimistic).unwrap();
-        let fefet =
-            Subarray::characterize(&tech, &fefet_cell, 512, 1024, 8, BitsPerCell::Slc);
+        let fefet = Subarray::characterize(&tech, &fefet_cell, 512, 1024, 8, BitsPerCell::Slc);
         assert!(
             fefet.read_energy > stt.read_energy,
             "FeFET {} vs STT {}",
@@ -368,7 +369,10 @@ mod tests {
         let sub = Subarray::characterize(&tech, &sram, 512, 512, 4, BitsPerCell::Slc);
         let cell_leak = 512.0 * 512.0 * sram.cell_leakage.value();
         assert!(sub.leakage > cell_leak * 0.9);
-        assert!(cell_leak / sub.leakage > 0.5, "cells should dominate SRAM leakage");
+        assert!(
+            cell_leak / sub.leakage > 0.5,
+            "cells should dominate SRAM leakage"
+        );
     }
 
     #[test]
@@ -376,8 +380,14 @@ mod tests {
         let tech = t22();
         let stt = Subarray::characterize(&tech, &stt_opt(), 512, 1024, 4, BitsPerCell::Slc);
         let tech16 = lookup(Meters::from_nano(16.0));
-        let sram =
-            Subarray::characterize(&tech16, &custom::sram_16nm(), 512, 1024, 4, BitsPerCell::Slc);
+        let sram = Subarray::characterize(
+            &tech16,
+            &custom::sram_16nm(),
+            512,
+            1024,
+            4,
+            BitsPerCell::Slc,
+        );
         assert!(
             stt.leakage < sram.leakage / 5.0,
             "eNVM leakage {} should be ≪ SRAM {}",

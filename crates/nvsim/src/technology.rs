@@ -80,15 +80,30 @@ impl TechnologyParams {
 
 /// Library anchor nodes, largest to smallest.
 const LIBRARY: [TechnologyParams; 7] = [
-    node(65.0, 1.10, 0.42, 26.0e-12, 1.10e-9, 0.60e-9, 1.10e-3, 6.0e-3, 1.6e6, 2.2e-10),
-    node(45.0, 1.00, 0.40, 19.0e-12, 1.05e-9, 0.58e-9, 1.20e-3, 8.0e-3, 2.0e6, 2.1e-10),
-    node(40.0, 1.00, 0.39, 17.0e-12, 1.02e-9, 0.56e-9, 1.25e-3, 9.0e-3, 2.2e6, 2.1e-10),
-    node(32.0, 0.95, 0.38, 14.0e-12, 1.00e-9, 0.55e-9, 1.30e-3, 1.1e-2, 2.7e6, 2.0e-10),
-    node(28.0, 0.90, 0.37, 12.5e-12, 0.98e-9, 0.54e-9, 1.35e-3, 1.3e-2, 3.0e6, 2.0e-10),
-    node(22.0, 0.85, 0.36, 10.5e-12, 0.95e-9, 0.52e-9, 1.40e-3, 1.6e-2, 3.6e6, 1.9e-10),
-    node(16.0, 0.80, 0.35, 8.5e-12, 0.92e-9, 0.50e-9, 1.45e-3, 2.0e-2, 4.5e6, 1.9e-10),
+    node(
+        65.0, 1.10, 0.42, 26.0e-12, 1.10e-9, 0.60e-9, 1.10e-3, 6.0e-3, 1.6e6, 2.2e-10,
+    ),
+    node(
+        45.0, 1.00, 0.40, 19.0e-12, 1.05e-9, 0.58e-9, 1.20e-3, 8.0e-3, 2.0e6, 2.1e-10,
+    ),
+    node(
+        40.0, 1.00, 0.39, 17.0e-12, 1.02e-9, 0.56e-9, 1.25e-3, 9.0e-3, 2.2e6, 2.1e-10,
+    ),
+    node(
+        32.0, 0.95, 0.38, 14.0e-12, 1.00e-9, 0.55e-9, 1.30e-3, 1.1e-2, 2.7e6, 2.0e-10,
+    ),
+    node(
+        28.0, 0.90, 0.37, 12.5e-12, 0.98e-9, 0.54e-9, 1.35e-3, 1.3e-2, 3.0e6, 2.0e-10,
+    ),
+    node(
+        22.0, 0.85, 0.36, 10.5e-12, 0.95e-9, 0.52e-9, 1.40e-3, 1.6e-2, 3.6e6, 1.9e-10,
+    ),
+    node(
+        16.0, 0.80, 0.35, 8.5e-12, 0.92e-9, 0.50e-9, 1.45e-3, 2.0e-2, 4.5e6, 1.9e-10,
+    ),
 ];
 
+#[allow(clippy::too_many_arguments)] // one row of the anchor table
 const fn node(
     f_nm: f64,
     vdd: f64,
@@ -138,10 +153,16 @@ pub fn lookup(node: Meters) -> TechnologyParams {
     let first = LIBRARY[0];
     let last = LIBRARY[LIBRARY.len() - 1];
     if f >= first.feature_size.value() {
-        return TechnologyParams { feature_size: node, ..first };
+        return TechnologyParams {
+            feature_size: node,
+            ..first
+        };
     }
     if f <= last.feature_size.value() {
-        return TechnologyParams { feature_size: node, ..last };
+        return TechnologyParams {
+            feature_size: node,
+            ..last
+        };
     }
     for pair in LIBRARY.windows(2) {
         let (hi, lo) = (pair[0], pair[1]);
@@ -175,7 +196,10 @@ mod tests {
     #[test]
     fn library_is_monotone_in_fo4() {
         for pair in LIBRARY.windows(2) {
-            assert!(pair[0].fo4_delay > pair[1].fo4_delay, "FO4 must shrink with node");
+            assert!(
+                pair[0].fo4_delay > pair[1].fo4_delay,
+                "FO4 must shrink with node"
+            );
             assert!(
                 pair[0].feature_size.value() > pair[1].feature_size.value(),
                 "library must be ordered large→small"

@@ -93,14 +93,18 @@ impl Capacity {
 impl std::ops::Add for Capacity {
     type Output = Self;
     fn add(self, rhs: Self) -> Self {
-        Self { bits: self.bits + rhs.bits }
+        Self {
+            bits: self.bits + rhs.bits,
+        }
     }
 }
 
 impl std::ops::Mul<u64> for Capacity {
     type Output = Self;
     fn mul(self, rhs: u64) -> Self {
-        Self { bits: self.bits * rhs }
+        Self {
+            bits: self.bits * rhs,
+        }
     }
 }
 

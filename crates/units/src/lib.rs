@@ -42,7 +42,9 @@ pub use quantities::{
 /// let eff = Ratio::new(0.62);
 /// assert_eq!(eff.as_percent(), 62.0);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize,
+)]
 pub struct Ratio(f64);
 
 impl Ratio {

@@ -201,7 +201,9 @@ define_unit!(
 /// assert!((a.value() - 2.0).abs() < 1e-12);
 /// assert_eq!(format!("{a}"), "2.000 mm^2");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, PartialOrd, Default, serde::Serialize, serde::Deserialize,
+)]
 #[serde(transparent)]
 pub struct SquareMillimeters(f64);
 

@@ -1,9 +1,7 @@
 //! Property-based tests for the unit system: arithmetic identities,
 //! conversion roundtrips, and formatting totality.
 
-use nvmx_units::{
-    BitsPerCell, Capacity, Joules, Ratio, Seconds, SquareMillimeters, Watts,
-};
+use nvmx_units::{BitsPerCell, Capacity, Joules, Ratio, Seconds, SquareMillimeters, Watts};
 use proptest::prelude::*;
 
 proptest! {

@@ -31,7 +31,10 @@ fn escape(field: &str) -> String {
 impl Csv {
     /// Creates a CSV with the given column names.
     pub fn new<S: Into<String>>(header: impl IntoIterator<Item = S>) -> Self {
-        Self { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+        Self {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (padded/truncated to the header width).
@@ -56,7 +59,12 @@ impl Csv {
     pub fn render(&self) -> String {
         let mut out = String::new();
         out.push_str(
-            &self.header.iter().map(|h| escape(h)).collect::<Vec<_>>().join(","),
+            &self
+                .header
+                .iter()
+                .map(|h| escape(h))
+                .collect::<Vec<_>>()
+                .join(","),
         );
         out.push('\n');
         for row in &self.rows {

@@ -55,7 +55,11 @@ pub const PALETTE: [&str; 10] = [
 impl ScatterPlot {
     /// Creates an empty plot with log-log axes (the common case for
     /// energy/latency scatters).
-    pub fn log_log(title: impl Into<String>, x_label: impl Into<String>, y_label: impl Into<String>) -> Self {
+    pub fn log_log(
+        title: impl Into<String>,
+        x_label: impl Into<String>,
+        y_label: impl Into<String>,
+    ) -> Self {
         Self {
             title: title.into(),
             x_label: x_label.into(),
@@ -69,7 +73,11 @@ impl ScatterPlot {
     /// Adds a series with an automatic palette color.
     pub fn series(&mut self, name: impl Into<String>, points: Vec<(f64, f64)>) -> &mut Self {
         let color = PALETTE[self.series.len() % PALETTE.len()].to_owned();
-        self.series.push(Series { name: name.into(), color, points });
+        self.series.push(Series {
+            name: name.into(),
+            color,
+            points,
+        });
         self
     }
 
@@ -247,7 +255,9 @@ impl ScatterPlot {
 }
 
 fn xml_escape(text: &str) -> String {
-    text.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    text.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
 }
 
 #[cfg(test)]

@@ -21,7 +21,10 @@ pub struct AsciiTable {
 impl AsciiTable {
     /// Creates a table with the given column headers.
     pub fn new(header: Vec<String>) -> Self {
-        Self { header, rows: Vec::new() }
+        Self {
+            header,
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row; short rows are padded, long rows truncated to the

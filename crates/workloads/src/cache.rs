@@ -25,7 +25,11 @@ pub struct LlcConfig {
 
 impl Default for LlcConfig {
     fn default() -> Self {
-        Self { capacity_bytes: 16 * 1024 * 1024, ways: 16, line_bytes: 64 }
+        Self {
+            capacity_bytes: 16 * 1024 * 1024,
+            ways: 16,
+            line_bytes: 64,
+        }
     }
 }
 
@@ -94,7 +98,12 @@ impl Llc {
     /// Creates an empty cache.
     pub fn new(config: LlcConfig) -> Self {
         let sets = vec![vec![LineState::default(); config.ways]; config.sets()];
-        Self { config, sets, clock: 0, stats: LlcStats::default() }
+        Self {
+            config,
+            sets,
+            clock: 0,
+            stats: LlcStats::default(),
+        }
     }
 
     /// Geometry.
@@ -136,7 +145,12 @@ impl Llc {
         if victim.valid && victim.dirty {
             self.stats.writebacks += 1;
         }
-        *victim = LineState { tag, valid: true, dirty: is_write, lru: self.clock };
+        *victim = LineState {
+            tag,
+            valid: true,
+            dirty: is_write,
+            lru: self.clock,
+        };
     }
 }
 
@@ -272,7 +286,10 @@ mod tests {
     fn geometry_is_16mib_16way() {
         let c = LlcConfig::default();
         assert_eq!(c.sets(), 16 * 1024);
-        assert_eq!(c.sets() as u64 * c.ways as u64 * c.line_bytes, 16 * 1024 * 1024);
+        assert_eq!(
+            c.sets() as u64 * c.ways as u64 * c.line_bytes,
+            16 * 1024 * 1024
+        );
     }
 
     #[test]
@@ -288,7 +305,11 @@ mod tests {
 
     #[test]
     fn dirty_eviction_writes_back() {
-        let config = LlcConfig { capacity_bytes: 2 * 64, ways: 1, line_bytes: 64 };
+        let config = LlcConfig {
+            capacity_bytes: 2 * 64,
+            ways: 1,
+            line_bytes: 64,
+        };
         let mut llc = Llc::new(config);
         llc.access(0, true); // set 0, dirty
         llc.access(2 * 64, false); // same set (2 sets), evicts dirty line
@@ -298,7 +319,11 @@ mod tests {
 
     #[test]
     fn lru_keeps_recent_line() {
-        let config = LlcConfig { capacity_bytes: 4 * 64, ways: 2, line_bytes: 64 };
+        let config = LlcConfig {
+            capacity_bytes: 4 * 64,
+            ways: 2,
+            line_bytes: 64,
+        };
         let mut llc = Llc::new(config);
         // Two lines in set 0 (2 sets → stride 128).
         llc.access(0, false);
@@ -343,8 +368,10 @@ mod tests {
     fn suite_spans_two_orders_of_traffic() {
         let results = spec2017_llc_traffic(100_000, 3);
         assert_eq!(results.len(), 14);
-        let rates: Vec<f64> =
-            results.iter().map(|r| r.traffic.read_bytes_per_sec).collect();
+        let rates: Vec<f64> = results
+            .iter()
+            .map(|r| r.traffic.read_bytes_per_sec)
+            .collect();
         let min = rates.iter().cloned().fold(f64::MAX, f64::min);
         let max = rates.iter().cloned().fold(0.0, f64::max);
         assert!(max / min > 30.0, "span {min}..{max}");

@@ -70,9 +70,9 @@ fn prototypes(seed: u64) -> Vec<[f32; INPUT_DIM]> {
                 }
             }
             // Normalize to [0, 1].
-            let (lo, hi) = proto.iter().fold((f32::MAX, f32::MIN), |(lo, hi), &v| {
-                (lo.min(v), hi.max(v))
-            });
+            let (lo, hi) = proto
+                .iter()
+                .fold((f32::MAX, f32::MIN), |(lo, hi), &v| (lo.min(v), hi.max(v)));
             for v in &mut proto {
                 *v = (*v - lo) / (hi - lo).max(1e-6);
             }
@@ -141,7 +141,11 @@ mod tests {
     #[test]
     fn pixels_in_unit_range() {
         let d = generate(128, 5);
-        assert!(d.images.as_slice().iter().all(|&v| (0.0..=1.0).contains(&v)));
+        assert!(d
+            .images
+            .as_slice()
+            .iter()
+            .all(|&v| (0.0..=1.0).contains(&v)));
     }
 
     #[test]

@@ -74,11 +74,16 @@ impl Layer {
     /// Stored weight parameters (shared weights counted once).
     pub fn weight_params(&self) -> u64 {
         match *self {
-            Layer::Conv { c_in, c_out, kernel, .. } => c_in * c_out * kernel * kernel,
+            Layer::Conv {
+                c_in,
+                c_out,
+                kernel,
+                ..
+            } => c_in * c_out * kernel * kernel,
             Layer::Fc { c_in, c_out } => c_in * c_out,
-            Layer::AttentionBlock { hidden, ff_mult, .. } => {
-                4 * hidden * hidden + 2 * ff_mult * hidden * hidden
-            }
+            Layer::AttentionBlock {
+                hidden, ff_mult, ..
+            } => 4 * hidden * hidden + 2 * ff_mult * hidden * hidden,
             Layer::Embedding { vocab, hidden, .. } => vocab * hidden,
         }
     }
@@ -104,9 +109,19 @@ impl Layer {
     /// Activation values produced per inference.
     pub fn activations(&self) -> u64 {
         match *self {
-            Layer::Conv { c_out, h_out, w_out, .. } => c_out * h_out * w_out,
+            Layer::Conv {
+                c_out,
+                h_out,
+                w_out,
+                ..
+            } => c_out * h_out * w_out,
             Layer::Fc { c_out, .. } => c_out,
-            Layer::AttentionBlock { hidden, seq, repeat, .. } => 4 * hidden * seq * repeat,
+            Layer::AttentionBlock {
+                hidden,
+                seq,
+                repeat,
+                ..
+            } => 4 * hidden * seq * repeat,
             Layer::Embedding { hidden, seq, .. } => hidden * seq,
         }
     }
@@ -116,9 +131,12 @@ impl Layer {
         match *self {
             Layer::Conv { h_out, w_out, .. } => self.weight_params() * h_out * w_out,
             Layer::Fc { .. } => self.weight_params(),
-            Layer::AttentionBlock { hidden, seq, repeat, .. } => {
-                (self.weight_params() * seq + 2 * seq * seq * hidden) * repeat
-            }
+            Layer::AttentionBlock {
+                hidden,
+                seq,
+                repeat,
+                ..
+            } => (self.weight_params() * seq + 2 * seq * seq * hidden) * repeat,
             Layer::Embedding { hidden, seq, .. } => hidden * seq,
         }
     }
@@ -161,36 +179,86 @@ impl DnnModel {
 /// widths 32/64/128 — ~1.5 M parameters, fitting the paper's 2 MB NVDLA
 /// buffer with headroom.
 pub fn resnet26() -> DnnModel {
-    let mut layers = vec![Layer::Conv { c_in: 3, c_out: 32, kernel: 3, h_out: 32, w_out: 32 }];
+    let mut layers = vec![Layer::Conv {
+        c_in: 3,
+        c_out: 32,
+        kernel: 3,
+        h_out: 32,
+        w_out: 32,
+    }];
     let stage = |layers: &mut Vec<Layer>, c_in: u64, c_out: u64, hw: u64, convs: usize| {
-        layers.push(Layer::Conv { c_in, c_out, kernel: 3, h_out: hw, w_out: hw });
+        layers.push(Layer::Conv {
+            c_in,
+            c_out,
+            kernel: 3,
+            h_out: hw,
+            w_out: hw,
+        });
         for _ in 1..convs {
-            layers.push(Layer::Conv { c_in: c_out, c_out, kernel: 3, h_out: hw, w_out: hw });
+            layers.push(Layer::Conv {
+                c_in: c_out,
+                c_out,
+                kernel: 3,
+                h_out: hw,
+                w_out: hw,
+            });
         }
     };
     stage(&mut layers, 32, 32, 32, 8);
     stage(&mut layers, 32, 64, 16, 8);
     stage(&mut layers, 64, 128, 8, 8);
-    layers.push(Layer::Fc { c_in: 128, c_out: 10 });
-    DnnModel { name: "ResNet26".to_owned(), layers, bytes_per_weight: 1 }
+    layers.push(Layer::Fc {
+        c_in: 128,
+        c_out: 10,
+    });
+    DnnModel {
+        name: "ResNet26".to_owned(),
+        layers,
+        bytes_per_weight: 1,
+    }
 }
 
 /// ResNet-18 (ImageNet-class, int8): ~11.2 M parameters — the paper's
 /// Fig. 13 workload, stored in 8/16 MB arrays.
 pub fn resnet18() -> DnnModel {
-    let mut layers = vec![Layer::Conv { c_in: 3, c_out: 64, kernel: 7, h_out: 112, w_out: 112 }];
+    let mut layers = vec![Layer::Conv {
+        c_in: 3,
+        c_out: 64,
+        kernel: 7,
+        h_out: 112,
+        w_out: 112,
+    }];
     let stage = |layers: &mut Vec<Layer>, c_in: u64, c_out: u64, hw: u64| {
-        layers.push(Layer::Conv { c_in, c_out, kernel: 3, h_out: hw, w_out: hw });
+        layers.push(Layer::Conv {
+            c_in,
+            c_out,
+            kernel: 3,
+            h_out: hw,
+            w_out: hw,
+        });
         for _ in 0..3 {
-            layers.push(Layer::Conv { c_in: c_out, c_out, kernel: 3, h_out: hw, w_out: hw });
+            layers.push(Layer::Conv {
+                c_in: c_out,
+                c_out,
+                kernel: 3,
+                h_out: hw,
+                w_out: hw,
+            });
         }
     };
     stage(&mut layers, 64, 64, 56);
     stage(&mut layers, 64, 128, 28);
     stage(&mut layers, 128, 256, 14);
     stage(&mut layers, 256, 512, 7);
-    layers.push(Layer::Fc { c_in: 512, c_out: 1000 });
-    DnnModel { name: "ResNet18".to_owned(), layers, bytes_per_weight: 1 }
+    layers.push(Layer::Fc {
+        c_in: 512,
+        c_out: 1000,
+    });
+    DnnModel {
+        name: "ResNet18".to_owned(),
+        layers,
+        bytes_per_weight: 1,
+    }
 }
 
 /// ALBERT-base (fp16): 128-dim factorized embeddings + 12 shared
@@ -200,11 +268,29 @@ pub fn albert() -> DnnModel {
     DnnModel {
         name: "ALBERT".to_owned(),
         layers: vec![
-            Layer::Embedding { vocab: 30000, hidden: 128, seq: 128 },
-            Layer::Fc { c_in: 128, c_out: 768 },
-            Layer::AttentionBlock { hidden: 768, seq: 128, ff_mult: 4, repeat: 12 },
-            Layer::Fc { c_in: 768, c_out: 768 }, // pooler
-            Layer::Fc { c_in: 768, c_out: 2 },   // sentence classifier
+            Layer::Embedding {
+                vocab: 30000,
+                hidden: 128,
+                seq: 128,
+            },
+            Layer::Fc {
+                c_in: 128,
+                c_out: 768,
+            },
+            Layer::AttentionBlock {
+                hidden: 768,
+                seq: 128,
+                ff_mult: 4,
+                repeat: 12,
+            },
+            Layer::Fc {
+                c_in: 768,
+                c_out: 768,
+            }, // pooler
+            Layer::Fc {
+                c_in: 768,
+                c_out: 2,
+            }, // sentence classifier
         ],
         bytes_per_weight: 2,
     }
@@ -215,7 +301,11 @@ pub fn albert() -> DnnModel {
 pub fn albert_embeddings_only() -> DnnModel {
     DnnModel {
         name: "ALBERT-embeddings".to_owned(),
-        layers: vec![Layer::Embedding { vocab: 30000, hidden: 128, seq: 128 }],
+        layers: vec![Layer::Embedding {
+            vocab: 30000,
+            hidden: 128,
+            seq: 128,
+        }],
         bytes_per_weight: 2,
     }
 }
@@ -255,12 +345,22 @@ const MULTI_TASK_ACCESS_SCALE: f64 = 2.5;
 impl DnnUseCase {
     /// Single-task use case.
     pub fn single(model: DnnModel, storage: StoragePolicy) -> Self {
-        Self { name: format!("single-task {}", model.name), model, tasks: 1, storage }
+        Self {
+            name: format!("single-task {}", model.name),
+            model,
+            tasks: 1,
+            storage,
+        }
     }
 
     /// Multi-task use case (3 concurrent tasks on a shared backbone).
     pub fn multi(model: DnnModel, storage: StoragePolicy) -> Self {
-        Self { name: format!("multi-task {}", model.name), model, tasks: 3, storage }
+        Self {
+            name: format!("multi-task {}", model.name),
+            model,
+            tasks: 3,
+            storage,
+        }
     }
 
     fn weight_scale(&self) -> f64 {
@@ -369,7 +469,12 @@ mod tests {
 
     #[test]
     fn shared_weights_counted_once_but_read_repeatedly() {
-        let block = Layer::AttentionBlock { hidden: 768, seq: 128, ff_mult: 4, repeat: 12 };
+        let block = Layer::AttentionBlock {
+            hidden: 768,
+            seq: 128,
+            ff_mult: 4,
+            repeat: 12,
+        };
         assert!(block.weight_reads() >= 12 * block.weight_params());
     }
 
@@ -378,9 +483,7 @@ mod tests {
         let single = DnnUseCase::single(resnet26(), StoragePolicy::WeightsOnly);
         let multi = DnnUseCase::multi(resnet26(), StoragePolicy::WeightsOnly);
         assert!(multi.stored_weight_bytes() > single.stored_weight_bytes());
-        assert!(
-            multi.read_bytes_per_inference() > 2.0 * single.read_bytes_per_inference()
-        );
+        assert!(multi.read_bytes_per_inference() > 2.0 * single.read_bytes_per_inference());
     }
 
     #[test]

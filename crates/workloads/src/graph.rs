@@ -66,7 +66,11 @@ impl Graph {
                 cursor[src as usize] += 1;
             }
         }
-        Self { name: name.into(), offsets, edges }
+        Self {
+            name: name.into(),
+            offsets,
+            edges,
+        }
     }
 
     /// Node count.
@@ -107,8 +111,8 @@ impl Graph {
                 counter.reads += 2; // offsets[v], offsets[v+1]
                 for &u in self.neighbors(v) {
                     counter.reads += 2; // edge word + visited[u]
-                    // Graphicionado-style scatter: every scanned edge
-                    // enqueues an update message to the scratchpad.
+                                        // Graphicionado-style scatter: every scanned edge
+                                        // enqueues an update message to the scratchpad.
                     counter.writes += 1;
                     if !visited[u as usize] {
                         visited[u as usize] = true;
@@ -125,6 +129,7 @@ impl Graph {
 
     /// `iterations` of synchronous PageRank; returns final ranks and the
     /// counter.
+    #[allow(clippy::needless_range_loop)] // v indexes rank and names the node
     pub fn pagerank(&self, iterations: usize) -> (Vec<f64>, MemoryCounter) {
         let mut counter = MemoryCounter::default();
         let n = self.num_nodes();

@@ -78,7 +78,10 @@ impl Mlp {
 
     /// Total parameter count.
     pub fn parameter_count(&self) -> usize {
-        self.layers.iter().map(|l| l.weights.len() + l.bias.len()).sum()
+        self.layers
+            .iter()
+            .map(|l| l.weights.len() + l.bias.len())
+            .sum()
     }
 
     /// Classification accuracy over a dataset.
@@ -120,6 +123,7 @@ impl Mlp {
     }
 
     /// One SGD step on a batch; returns batch loss.
+    #[allow(clippy::needless_range_loop)] // r/c index matrices and labels together
     fn sgd_step(&mut self, x: &Matrix, labels: &[usize], lr: f32) -> f64 {
         // Forward, caching activations.
         let mut activations = vec![x.clone()];
@@ -166,7 +170,12 @@ impl Mlp {
             let grad_w = input.transposed().matmul(&delta);
             let next_delta = delta.matmul(&self.layers[i].weights.transposed());
             let layer = &mut self.layers[i];
-            for (w, g) in layer.weights.as_mut_slice().iter_mut().zip(grad_w.as_slice()) {
+            for (w, g) in layer
+                .weights
+                .as_mut_slice()
+                .iter_mut()
+                .zip(grad_w.as_slice())
+            {
                 *w -= lr * g;
             }
             for c in 0..layer.bias.len() {
@@ -235,7 +244,13 @@ impl QuantizedMlp {
             biases.push(layer.bias.clone());
             relu.push(layer.relu);
         }
-        Self { widths, scales, weights_q, biases, relu }
+        Self {
+            widths,
+            scales,
+            weights_q,
+            biases,
+            relu,
+        }
     }
 
     /// Total weight storage in bytes (what lives in the eNVM array).
@@ -259,7 +274,11 @@ impl QuantizedMlp {
     ///
     /// Panics when `bytes.len()` differs from [`Self::weight_bytes_len`].
     pub fn load_weight_bytes(&mut self, bytes: &[u8]) {
-        assert_eq!(bytes.len(), self.weight_bytes_len(), "weight image size mismatch");
+        assert_eq!(
+            bytes.len(),
+            self.weight_bytes_len(),
+            "weight image size mismatch"
+        );
         let mut offset = 0;
         for layer in &mut self.weights_q {
             for w in layer.iter_mut() {
@@ -276,7 +295,10 @@ impl QuantizedMlp {
             let w = Matrix::from_vec(
                 self.widths[i],
                 self.widths[i + 1],
-                self.weights_q[i].iter().map(|&q| q as f32 * self.scales[i]).collect(),
+                self.weights_q[i]
+                    .iter()
+                    .map(|&q| q as f32 * self.scales[i])
+                    .collect(),
             );
             let mut y = h.matmul(&w);
             y.add_row_bias(&self.biases[i]);
@@ -307,7 +329,10 @@ impl QuantizedMlp {
 pub fn trained_classifier(seed: u64) -> (QuantizedMlp, Dataset) {
     let train = crate::dataset::generate(1200, seed);
     let test = crate::dataset::generate(400, seed.wrapping_add(1));
-    let mut mlp = Mlp::new(&[crate::dataset::INPUT_DIM, 64, 32, crate::dataset::CLASSES], seed);
+    let mut mlp = Mlp::new(
+        &[crate::dataset::INPUT_DIM, 64, 32, crate::dataset::CLASSES],
+        seed,
+    );
     mlp.train_to(&train, 0.97, 60, seed);
     (QuantizedMlp::quantize(&mlp), test)
 }
@@ -323,7 +348,10 @@ mod tests {
         let mut mlp = Mlp::new(&[dataset::INPUT_DIM, 48, dataset::CLASSES], 11);
         let before = mlp.accuracy(&train);
         let after = mlp.train_to(&train, 0.95, 50, 11);
-        assert!(before < 0.3, "untrained accuracy should be near chance, got {before}");
+        assert!(
+            before < 0.3,
+            "untrained accuracy should be near chance, got {before}"
+        );
         assert!(after > 0.9, "training failed to converge: {after}");
     }
 
@@ -367,7 +395,10 @@ mod tests {
     #[test]
     fn parameter_count_matches_architecture() {
         let mlp = Mlp::new(&[256, 64, 32, 10], 1);
-        assert_eq!(mlp.parameter_count(), 256 * 64 + 64 + 64 * 32 + 32 + 32 * 10 + 10);
+        assert_eq!(
+            mlp.parameter_count(),
+            256 * 64 + 64 + 64 * 32 + 32 + 32 * 10 + 10
+        );
     }
 
     #[test]

@@ -14,7 +14,11 @@ pub struct Matrix {
 impl Matrix {
     /// Creates a zero matrix.
     pub fn zeros(rows: usize, cols: usize) -> Self {
-        Self { rows, cols, data: vec![0.0; rows * cols] }
+        Self {
+            rows,
+            cols,
+            data: vec![0.0; rows * cols],
+        }
     }
 
     /// Creates a matrix from a function of `(row, col)`.
@@ -214,11 +218,18 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(3);
         let m = Matrix::he_init(64, 64, &mut rng);
         let mean: f32 = m.as_slice().iter().sum::<f32>() / m.len() as f32;
-        let var: f32 =
-            m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / m.len() as f32;
+        let var: f32 = m
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / m.len() as f32;
         assert!(mean.abs() < 0.05, "mean {mean}");
         let expected = 2.0 / 64.0;
-        assert!((var / expected - 1.0).abs() < 0.3, "var {var} vs {expected}");
+        assert!(
+            (var / expected - 1.0).abs() < 0.3,
+            "var {var} vs {expected}"
+        );
     }
 
     #[test]

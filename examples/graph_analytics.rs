@@ -16,7 +16,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Build the workload for real: a scale-free social graph and two
     //    instrumented kernels.
     let graph = facebook_like(42);
-    println!("{}: {} nodes, {} edges", graph.name, graph.num_nodes(), graph.num_edges());
+    println!(
+        "{}: {} nodes, {} edges",
+        graph.name,
+        graph.num_nodes(),
+        graph.num_edges()
+    );
 
     let (visited, bfs_counter) = graph.bfs(0);
     println!(

@@ -14,7 +14,10 @@ use nvmx_workloads::cache::spec2017_llc_traffic;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 1. Run the SPEC-class suite through the cache simulator.
     let suite = spec2017_llc_traffic(150_000, 7);
-    println!("simulated {} benchmarks through a 16 MiB / 16-way LLC:", suite.len());
+    println!(
+        "simulated {} benchmarks through a 16 MiB / 16-way LLC:",
+        suite.len()
+    );
     for bench in suite.iter().take(4) {
         println!(
             "  {:<16} miss rate {:.2}, {:.2} GB/s array reads, {:.2} GB/s array writes",
@@ -30,7 +33,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     //    design space for each candidate eNVM.
     let worst = suite
         .iter()
-        .max_by(|a, b| a.traffic.write_bytes_per_sec.total_cmp(&b.traffic.write_bytes_per_sec))
+        .max_by(|a, b| {
+            a.traffic
+                .write_bytes_per_sec
+                .total_cmp(&b.traffic.write_bytes_per_sec)
+        })
         .expect("suite nonempty");
     println!("write-heaviest benchmark: {}\n", worst.name);
 
@@ -60,10 +67,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             target: OptimizationTarget::ReadEdp,
         };
         let array = characterize(&cell, &config)?;
-        for (label, buffer) in
-            [("no buffer".to_owned(), WriteBuffer::NONE)].into_iter().chain(
-                std::iter::once(("mask + coalesce 50%".to_owned(), WriteBuffer::new(1.0, 0.5))),
-            )
+        for (label, buffer) in [("no buffer".to_owned(), WriteBuffer::NONE)]
+            .into_iter()
+            .chain(std::iter::once((
+                "mask + coalesce 50%".to_owned(),
+                WriteBuffer::new(1.0, 0.5),
+            )))
         {
             let eval = evaluate_with_buffer(&array, &worst.traffic, buffer);
             table.row(vec![

@@ -68,7 +68,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
     println!("{table}");
 
-    let best = set.best(Objective::TotalPower).expect("some design is feasible");
+    let best = set
+        .best(Objective::TotalPower)
+        .expect("some design is feasible");
     println!(
         "lowest-power feasible design: {} at {}",
         best.array.cell_name,

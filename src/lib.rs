@@ -1,0 +1,18 @@
+//! Umbrella crate for the NVMExplorer-RS workspace.
+//!
+//! The functionality lives in the member crates; this crate re-exports the
+//! main entry points so the top-level `tests/` and `examples/` have one
+//! coherent root, and so `cargo doc` produces a single landing page.
+//!
+//! - [`nvmexplorer_core`] — study configs, the sweep engine, evaluation.
+//! - [`nvmx_celldb`] — surveyed cell database and tentpole methodology.
+//! - [`nvmx_nvsim`] — the NVSim-class array characterizer.
+//! - [`nvmx_workloads`] — DNN / graph / LLC traffic generators.
+//! - [`nvmx_viz`] — CSV, ASCII-table, and SVG reporting.
+
+pub use nvmexplorer_core as core;
+pub use nvmx_celldb as celldb;
+pub use nvmx_nvsim as nvsim;
+pub use nvmx_units as units;
+pub use nvmx_viz as viz;
+pub use nvmx_workloads as workloads;

@@ -13,7 +13,10 @@ use nvmx_units::BitsPerCell;
 fn main_dnn_study() -> StudyConfig {
     StudyConfig {
         name: "main_dnn_study".into(),
-        cells: CellSelection { back_gated_fefet: true, ..CellSelection::default() },
+        cells: CellSelection {
+            back_gated_fefet: true,
+            ..CellSelection::default()
+        },
         array: ArraySettings {
             capacities_mib: vec![2],
             word_bits: 256,
@@ -27,7 +30,10 @@ fn main_dnn_study() -> StudyConfig {
             store_activations: false,
             fps: 60.0,
         },
-        constraints: Constraints { max_power_w: Some(0.05), ..Constraints::default() },
+        constraints: Constraints {
+            max_power_w: Some(0.05),
+            ..Constraints::default()
+        },
     }
 }
 
@@ -67,7 +73,10 @@ fn constraints_filter_results_after_a_run() {
     let result = run_study(&study).expect("runs");
     let set = ResultSet::new(result.evaluations);
     let constrained = set.constrained(&study.constraints);
-    assert!(constrained.len() < set.len(), "the 50 mW budget must exclude SRAM");
+    assert!(
+        constrained.len() < set.len(),
+        "the 50 mW budget must exclude SRAM"
+    );
     assert!(constrained
         .evaluations()
         .iter()
@@ -77,7 +86,10 @@ fn constraints_filter_results_after_a_run() {
 #[test]
 fn malformed_json_is_rejected() {
     assert!(StudyConfig::from_json("{\"name\": }").is_err());
-    assert!(StudyConfig::from_json("{}").is_err(), "traffic is mandatory");
+    assert!(
+        StudyConfig::from_json("{}").is_err(),
+        "traffic is mandatory"
+    );
 }
 
 #[test]

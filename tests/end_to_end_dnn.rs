@@ -10,7 +10,11 @@ fn dnn_study() -> StudyConfig {
     StudyConfig {
         name: "e2e-dnn".into(),
         cells: CellSelection::default(),
-        array: ArraySettings { capacities_mib: vec![2], word_bits: 256, ..Default::default() },
+        array: ArraySettings {
+            capacities_mib: vec![2],
+            word_bits: 256,
+            ..Default::default()
+        },
         traffic: TrafficSpec::DnnContinuous {
             model: "resnet26".into(),
             tasks: 1,
@@ -24,14 +28,21 @@ fn dnn_study() -> StudyConfig {
 #[test]
 fn dnn_study_runs_and_produces_a_power_winner() {
     let result = run_study(&dnn_study()).expect("study runs");
-    assert_eq!(result.arrays.len(), 14, "6 NVM classes x2 + ref RRAM + SRAM");
+    assert_eq!(
+        result.arrays.len(),
+        14,
+        "6 NVM classes x2 + ref RRAM + SRAM"
+    );
     assert!(result.skipped.is_empty());
 
     let set = ResultSet::new(result.evaluations).feasible();
     assert!(!set.is_empty(), "several technologies sustain 60 FPS");
 
     let best = set.best(Objective::TotalPower).expect("nonempty");
-    assert!(best.array.technology.is_nonvolatile(), "an eNVM must beat SRAM on power");
+    assert!(
+        best.array.technology.is_nonvolatile(),
+        "an eNVM must beat SRAM on power"
+    );
 }
 
 #[test]
@@ -48,7 +59,11 @@ fn envm_power_advantage_over_sram_holds_end_to_end() {
             .expect("present")
     };
     let sram = power_of(TechnologyClass::Sram, "ref");
-    for tech in [TechnologyClass::Pcm, TechnologyClass::Rram, TechnologyClass::Stt] {
+    for tech in [
+        TechnologyClass::Pcm,
+        TechnologyClass::Rram,
+        TechnologyClass::Stt,
+    ] {
         let envm = power_of(tech, "opt");
         assert!(
             sram / envm > 4.0,
@@ -88,7 +103,8 @@ fn json_config_roundtrip_drives_the_same_study() {
     let a = run_study(&study).expect("runs");
     let b = run_study(&parsed).expect("runs");
     assert_eq!(a.arrays.len(), b.arrays.len());
-    let names =
-        |r: &nvmexplorer_core::StudyResult| -> Vec<String> { r.arrays.iter().map(|x| x.cell_name.clone()).collect() };
+    let names = |r: &nvmexplorer_core::StudyResult| -> Vec<String> {
+        r.arrays.iter().map(|x| x.cell_name.clone()).collect()
+    };
     assert_eq!(names(&a), names(&b));
 }

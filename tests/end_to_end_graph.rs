@@ -38,8 +38,14 @@ fn stt_outlives_rram_under_bfs_writes() {
     let graph = facebook_like(3);
     let (_, counter) = graph.bfs(0);
     let traffic = accelerator_traffic(&graph, "BFS", counter, 2.0e8);
-    let stt = evaluate(&array_for(TechnologyClass::Stt, CellFlavor::Optimistic), &traffic);
-    let rram = evaluate(&array_for(TechnologyClass::Rram, CellFlavor::Optimistic), &traffic);
+    let stt = evaluate(
+        &array_for(TechnologyClass::Stt, CellFlavor::Optimistic),
+        &traffic,
+    );
+    let rram = evaluate(
+        &array_for(TechnologyClass::Rram, CellFlavor::Optimistic),
+        &traffic,
+    );
     assert!(stt.lifetime_years() > 100.0 * rram.lifetime_years());
 }
 
@@ -61,7 +67,10 @@ fn wikipedia_graph_is_bigger_and_generates_proportional_traffic() {
     assert!(wiki.num_nodes() > 2 * fb.num_nodes());
     let (v_fb, c_fb) = fb.bfs(0);
     let (v_wiki, c_wiki) = wiki.bfs(0);
-    assert!(v_fb > fb.num_nodes() / 2, "BFS reaches most of the social graph");
+    assert!(
+        v_fb > fb.num_nodes() / 2,
+        "BFS reaches most of the social graph"
+    );
     assert!(v_wiki > wiki.num_nodes() / 2);
     assert!(c_wiki.reads > c_fb.reads);
 }

@@ -29,7 +29,10 @@ fn rram_is_not_viable_as_llc() {
         .iter()
         .map(|b| evaluate(&rram, &b.traffic).lifetime_years())
         .fold(f64::MAX, f64::min);
-    assert!(worst_lifetime < 1.0, "RRAM worst-case lifetime {worst_lifetime} years");
+    assert!(
+        worst_lifetime < 1.0,
+        "RRAM worst-case lifetime {worst_lifetime} years"
+    );
 }
 
 #[test]
@@ -58,7 +61,12 @@ fn per_benchmark_power_winner_varies() {
         .map(|bench| {
             arrays
                 .iter()
-                .map(|a| (a.cell_name.clone(), evaluate(a, &bench.traffic).total_power().value()))
+                .map(|a| {
+                    (
+                        a.cell_name.clone(),
+                        evaluate(a, &bench.traffic).total_power().value(),
+                    )
+                })
                 .min_by(|x, y| x.1.total_cmp(&y.1))
                 .expect("nonempty")
                 .0
@@ -66,7 +74,10 @@ fn per_benchmark_power_winner_varies() {
         .collect();
     winners.sort_unstable();
     winners.dedup();
-    assert!(winners.len() >= 2, "expected multiple winners, got {winners:?}");
+    assert!(
+        winners.len() >= 2,
+        "expected multiple winners, got {winners:?}"
+    );
 }
 
 #[test]
@@ -74,7 +85,11 @@ fn write_buffer_extends_fefet_lifetime_and_feasibility() {
     let suite = spec2017_llc_traffic(80_000, 5);
     let heaviest = suite
         .iter()
-        .max_by(|a, b| a.traffic.write_bytes_per_sec.total_cmp(&b.traffic.write_bytes_per_sec))
+        .max_by(|a, b| {
+            a.traffic
+                .write_bytes_per_sec
+                .total_cmp(&b.traffic.write_bytes_per_sec)
+        })
         .expect("nonempty");
     let fefet = llc_array(TechnologyClass::FeFet, CellFlavor::Optimistic);
     let bare = evaluate_with_buffer(&fefet, &heaviest.traffic, WriteBuffer::NONE);
@@ -89,6 +104,10 @@ fn cache_statistics_feed_traffic_consistently() {
     for bench in &suite {
         assert!(bench.miss_rate >= 0.0 && bench.miss_rate <= 1.0);
         assert!(bench.traffic.read_bytes_per_sec >= 0.0);
-        assert!(bench.traffic.write_bytes_per_sec > 0.0, "{} has no writes", bench.name);
+        assert!(
+            bench.traffic.write_bytes_per_sec > 0.0,
+            "{} has no writes",
+            bench.name
+        );
     }
 }

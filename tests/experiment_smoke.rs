@@ -41,7 +41,11 @@ fn dnn_experiments_produce_findings() {
             .iter()
             .filter(|f| f.claim.contains("4x") || f.claim.contains("crossover"))
             .all(|f| f.holds);
-        assert!(core_holds, "{id} core claim deviated:\n{}", experiment.report());
+        assert!(
+            core_holds,
+            "{id} core claim deviated:\n{}",
+            experiment.report()
+        );
     }
 }
 

@@ -19,7 +19,10 @@ fn accuracy_degrades_monotonically_with_ber() {
         );
         last_mean = report.mean;
     }
-    assert!(last_mean < 0.5, "20% BER must destroy the classifier, got {last_mean}");
+    assert!(
+        last_mean < 0.5,
+        "20% BER must destroy the classifier, got {last_mean}"
+    );
 }
 
 #[test]
@@ -36,7 +39,12 @@ fn paper_fig13_mlc_story_end_to_end() {
 
     for cell in [&rram, &ctt, &fefet_small, &fefet_large] {
         let slc = accuracy_under_storage(cell, BitsPerCell::Slc, 2);
-        assert!(slc.is_acceptable(tolerance), "{} SLC degraded {}", cell.name, slc.degradation());
+        assert!(
+            slc.is_acceptable(tolerance),
+            "{} SLC degraded {}",
+            cell.name,
+            slc.degradation()
+        );
     }
     assert!(accuracy_under_storage(&rram, BitsPerCell::Mlc2, 3).is_acceptable(tolerance));
     assert!(accuracy_under_storage(&ctt, BitsPerCell::Mlc2, 3).is_acceptable(tolerance));
@@ -59,7 +67,11 @@ fn injection_statistics_match_model_rate() {
 #[test]
 fn reports_expose_baseline_and_worst_case() {
     let report = accuracy_under_model(&FaultModel::from_ber(1.0e-2, BitsPerCell::Mlc2), 4);
-    assert!(report.baseline > 0.85, "trained classifier baseline {}", report.baseline);
+    assert!(
+        report.baseline > 0.85,
+        "trained classifier baseline {}",
+        report.baseline
+    );
     assert!(report.worst <= report.mean);
     assert_eq!(report.trials, 4);
     assert!(report.bit_error_rate > 0.0);

@@ -58,8 +58,12 @@ fn fig4_stt_macro_is_covered() {
     };
     let o = characterize(&opt, &config).unwrap();
     let p = characterize(&pess, &config).unwrap();
-    let outcome =
-        bracket(reference.read_latency.value(), o.read_latency.value(), p.read_latency.value(), 3.0);
+    let outcome = bracket(
+        reference.read_latency.value(),
+        o.read_latency.value(),
+        p.read_latency.value(),
+        3.0,
+    );
     assert!(outcome.is_acceptable(), "{outcome:?}");
     assert_ne!(outcome, BracketOutcome::Missed);
 }
@@ -85,8 +89,14 @@ fn optimistic_always_beats_pessimistic_at_array_level() {
             &config,
         )
         .unwrap();
-        assert!(opt.read_latency.value() <= pess.read_latency.value(), "{tech} read latency");
-        assert!(opt.write_latency.value() <= pess.write_latency.value(), "{tech} write latency");
+        assert!(
+            opt.read_latency.value() <= pess.read_latency.value(),
+            "{tech} read latency"
+        );
+        assert!(
+            opt.write_latency.value() <= pess.write_latency.value(),
+            "{tech} write latency"
+        );
         assert!(
             opt.density_mbit_per_mm2() >= pess.density_mbit_per_mm2(),
             "{tech} density"

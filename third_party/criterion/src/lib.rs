@@ -1,0 +1,231 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the measurement surface this workspace's benches use:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`] (with
+//! `sample_size`, `bench_function`, `bench_with_input`, `finish`),
+//! [`BenchmarkId`], [`black_box`], and the [`criterion_group!`] /
+//! [`criterion_main!`] macros.
+//!
+//! Behavior matches criterion's harness contract: `cargo bench` passes
+//! `--bench` to the target, which triggers measurement; any other
+//! invocation (notably `cargo test`, which runs bench targets without
+//! `--bench`) is treated as *test mode* and skips the workload so test
+//! runs stay fast.
+//!
+//! Measurement is deliberately simple — per-sample wall-clock timing with
+//! mean/min/max over `sample_size` samples, printed in a criterion-like
+//! format. There are no statistical comparisons against saved baselines.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Benchmark driver handed to the `criterion_group!`-generated functions.
+pub struct Criterion {
+    measure: bool,
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        let measure = std::env::args().any(|a| a == "--bench");
+        Self {
+            measure,
+            default_sample_size: 10,
+        }
+    }
+}
+
+impl Criterion {
+    /// Benchmarks a single function.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(self.measure, self.default_sample_size, name, |b| f(b));
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_owned(),
+            sample_size: None,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: Option<usize>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for benchmarks in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = Some(n);
+        self
+    }
+
+    /// Benchmarks a function within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        let samples = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        run_one(self.criterion.measure, samples, &label, |b| f(b));
+        self
+    }
+
+    /// Benchmarks a function parameterized by an input value.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let label = format!("{}/{}", self.name, id.into_benchmark_id().label);
+        let samples = self
+            .sample_size
+            .unwrap_or(self.criterion.default_sample_size);
+        run_one(self.criterion.measure, samples, &label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(&mut self) {}
+}
+
+/// Identifier for one benchmark within a group.
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: function name plus parameter.
+    pub fn new(function_name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: format!("{function_name}/{parameter}"),
+        }
+    }
+
+    /// An id carrying just a parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        Self {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// Anything usable as a benchmark id (`&str` or [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Converts into a concrete id.
+    fn into_benchmark_id(self) -> BenchmarkId;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        self
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId {
+            label: self.to_owned(),
+        }
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> BenchmarkId {
+        BenchmarkId { label: self }
+    }
+}
+
+/// Timing context passed to benchmark closures.
+pub struct Bencher {
+    samples: usize,
+    /// Mean/min/max per-iteration time recorded by [`Bencher::iter`].
+    result: Option<(Duration, Duration, Duration)>,
+}
+
+impl Bencher {
+    /// Times `f`, running it once per sample.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warmup iteration (also primes caches/allocations).
+        black_box(f());
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        let mut max = Duration::ZERO;
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            let dt = start.elapsed();
+            total += dt;
+            min = min.min(dt);
+            max = max.max(dt);
+        }
+        self.result = Some((total / self.samples as u32, min, max));
+    }
+}
+
+fn run_one(measure: bool, samples: usize, label: &str, mut f: impl FnMut(&mut Bencher)) {
+    if !measure {
+        println!("bench {label}: skipped (test mode; run via `cargo bench`)");
+        return;
+    }
+    let mut bencher = Bencher {
+        samples,
+        result: None,
+    };
+    f(&mut bencher);
+    match bencher.result {
+        Some((mean, min, max)) => println!(
+            "{label:<50} time: [{} {} {}]",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max)
+        ),
+        None => println!("{label:<50} (no measurement recorded)"),
+    }
+}
+
+/// Formats like criterion: value scaled to ns/µs/ms/s.
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.3} µs", nanos as f64 / 1.0e3)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.3} ms", nanos as f64 / 1.0e6)
+    } else {
+        format!("{:.3} s", nanos as f64 / 1.0e9)
+    }
+}
+
+/// Declares a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench-target `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}

@@ -1,0 +1,380 @@
+//! Offline stand-in for `serde`, built for this workspace.
+//!
+//! The real crates.io `serde` is unreachable in the build environment, so
+//! this crate provides the subset the workspace actually uses: derivable
+//! [`Serialize`]/[`Deserialize`] traits over an owned JSON-like [`Value`]
+//! tree. `serde_json` (the sibling stub) parses/prints that tree.
+//!
+//! Supported derive shapes (see `serde_derive`):
+//! - structs with named fields, honoring `#[serde(default)]` at container
+//!   and field level,
+//! - transparent newtype structs (`#[serde(transparent)]`, and tuple
+//!   newtypes which serialize transparently by default, as in real serde),
+//! - unit-only enums (serialized as the variant-name string),
+//! - externally tagged enums with struct variants,
+//! - internally tagged enums: `#[serde(tag = "...", rename_all = "snake_case")]`.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// An owned JSON-like value tree. Object keys preserve insertion order so
+/// serialized output is deterministic.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// JSON `null`.
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// Non-negative integer.
+    Uint(u64),
+    /// Negative integer.
+    Int(i64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Array(Vec<Value>),
+    /// Object, in insertion order.
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Borrows the object entries, if this is an object.
+    pub fn as_object(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Object(entries) => Some(entries),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` in an object value.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        self.as_object()?
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v)
+    }
+
+    /// Borrows the string, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrows the array elements, if this is an array.
+    pub fn as_array(&self) -> Option<&[Value]> {
+        match self {
+            Value::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The boolean, if this is a boolean.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric value widened to `f64`, if this is any number.
+    #[allow(clippy::cast_precision_loss)]
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Uint(u) => Some(*u as f64),
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `u64` when exactly representable.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_sign_loss)]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Uint(u) => Some(*u),
+            Value::Int(i) if *i >= 0 => Some(*i as u64),
+            Value::Float(f) if f.fract() == 0.0 && *f >= 0.0 && *f <= u64::MAX as f64 => {
+                Some(*f as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Numeric value as `i64` when exactly representable.
+    #[allow(clippy::cast_possible_truncation, clippy::cast_possible_wrap)]
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Uint(u) if *u <= i64::MAX as u64 => Some(*u as i64),
+            Value::Int(i) => Some(*i),
+            Value::Float(f)
+                if f.fract() == 0.0 && *f >= i64::MIN as f64 && *f <= i64::MAX as f64 =>
+            {
+                Some(*f as i64)
+            }
+            _ => None,
+        }
+    }
+
+    /// Short tag used in error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Uint(_) | Value::Int(_) | Value::Float(_) => "number",
+            Value::Str(_) => "string",
+            Value::Array(_) => "array",
+            Value::Object(_) => "object",
+        }
+    }
+}
+
+/// Serialization/deserialization error.
+#[derive(Debug, Clone)]
+pub struct Error {
+    msg: String,
+}
+
+impl Error {
+    /// Creates an error with the given message.
+    pub fn new(msg: impl Into<String>) -> Self {
+        Self { msg: msg.into() }
+    }
+}
+
+impl std::fmt::Display for Error {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.msg)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Converts `self` into a [`Value`] tree.
+pub trait Serialize {
+    /// Builds the value tree.
+    fn to_value(&self) -> Value;
+}
+
+/// Reconstructs `Self` from a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Parses the value tree.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error`] when the tree does not match `Self`'s shape.
+    fn from_value(v: &Value) -> Result<Self, Error>;
+}
+
+macro_rules! impl_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                Value::Uint(u64::from(*self))
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let u = v
+                    .as_u64()
+                    .ok_or_else(|| Error::new(format!("expected integer, got {}", v.kind())))?;
+                <$t>::try_from(u).map_err(|_| Error::new("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_uint!(u8, u16, u32, u64);
+
+impl Serialize for usize {
+    fn to_value(&self) -> Value {
+        Value::Uint(*self as u64)
+    }
+}
+
+impl Deserialize for usize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let u = v
+            .as_u64()
+            .ok_or_else(|| Error::new(format!("expected integer, got {}", v.kind())))?;
+        usize::try_from(u).map_err(|_| Error::new("integer out of range"))
+    }
+}
+
+macro_rules! impl_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_value(&self) -> Value {
+                let i = i64::from(*self);
+                if i >= 0 { Value::Uint(i as u64) } else { Value::Int(i) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_value(v: &Value) -> Result<Self, Error> {
+                let i = v
+                    .as_i64()
+                    .ok_or_else(|| Error::new(format!("expected integer, got {}", v.kind())))?;
+                <$t>::try_from(i).map_err(|_| Error::new("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_int!(i8, i16, i32, i64);
+
+impl Serialize for isize {
+    fn to_value(&self) -> Value {
+        let i = *self as i64;
+        if i >= 0 {
+            Value::Uint(i as u64)
+        } else {
+            Value::Int(i)
+        }
+    }
+}
+
+impl Deserialize for isize {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        let i = v
+            .as_i64()
+            .ok_or_else(|| Error::new(format!("expected integer, got {}", v.kind())))?;
+        isize::try_from(i).map_err(|_| Error::new("integer out of range"))
+    }
+}
+
+impl Serialize for f64 {
+    fn to_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_f64()
+            .ok_or_else(|| Error::new(format!("expected number, got {}", v.kind())))
+    }
+}
+
+impl Serialize for f32 {
+    fn to_value(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        #[allow(clippy::cast_possible_truncation)]
+        v.as_f64()
+            .map(|f| f as f32)
+            .ok_or_else(|| Error::new(format!("expected number, got {}", v.kind())))
+    }
+}
+
+impl Serialize for bool {
+    fn to_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_bool()
+            .ok_or_else(|| Error::new(format!("expected bool, got {}", v.kind())))
+    }
+}
+
+impl Serialize for String {
+    fn to_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_str()
+            .map(str::to_owned)
+            .ok_or_else(|| Error::new(format!("expected string, got {}", v.kind())))
+    }
+}
+
+impl Serialize for str {
+    fn to_value(&self) -> Value {
+        Value::Str(self.to_owned())
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_value(&self) -> Value {
+        (**self).to_value()
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_value).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        v.as_array()
+            .ok_or_else(|| Error::new(format!("expected array, got {}", v.kind())))?
+            .iter()
+            .map(Deserialize::from_value)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_value(&self) -> Value {
+        match self {
+            Some(inner) => inner.to_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![self.0.to_value(), self.1.to_value()])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_array() {
+            Some([a, b]) => Ok((A::from_value(a)?, B::from_value(b)?)),
+            _ => Err(Error::new("expected 2-element array")),
+        }
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_value(&self) -> Value {
+        Value::Array(vec![
+            self.0.to_value(),
+            self.1.to_value(),
+            self.2.to_value(),
+        ])
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        match v.as_array() {
+            Some([a, b, c]) => Ok((A::from_value(a)?, B::from_value(b)?, C::from_value(c)?)),
+            _ => Err(Error::new("expected 3-element array")),
+        }
+    }
+}

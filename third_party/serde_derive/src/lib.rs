@@ -1,0 +1,529 @@
+//! Derive macros for the workspace's `serde` stand-in.
+//!
+//! Parses the annotated item directly from the `proc_macro` token stream
+//! (no `syn`/`quote` available offline) and emits `Serialize`/`Deserialize`
+//! impls over the value-tree model. Supports the container shapes the
+//! workspace uses; anything else panics at expansion time with a clear
+//! message so new shapes fail loudly instead of misbehaving.
+
+use proc_macro::{Delimiter, Group, TokenStream, TokenTree};
+use std::iter::Peekable;
+
+#[derive(Default)]
+struct ContainerAttrs {
+    default: bool,
+    transparent: bool,
+    tag: Option<String>,
+    rename_all_snake: bool,
+}
+
+struct Field {
+    name: String,
+    default: bool,
+    is_option: bool,
+}
+
+enum VariantKind {
+    Unit,
+    /// Single unnamed field (`Custom(String)`), serialized as
+    /// `{"Variant": <inner>}`.
+    Newtype,
+    Struct(Vec<Field>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum Shape {
+    Named(Vec<Field>),
+    /// Tuple struct with the given arity (only arity 1 is supported).
+    Tuple(usize),
+    Enum(Vec<Variant>),
+}
+
+struct Container {
+    name: String,
+    attrs: ContainerAttrs,
+    shape: Shape,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    gen_serialize(&container)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let container = parse_container(input);
+    gen_deserialize(&container)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+// ---------------------------------------------------------------- parsing
+
+type Tokens = Peekable<proc_macro::token_stream::IntoIter>;
+
+fn parse_container(input: TokenStream) -> Container {
+    let mut it = input.into_iter().peekable();
+    let mut attrs = ContainerAttrs::default();
+    consume_attrs(&mut it, |text| merge_serde_attr(text, &mut attrs));
+    skip_visibility(&mut it);
+
+    let kw = expect_ident(&mut it);
+    let name = expect_ident(&mut it);
+    if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde stand-in derive: generic type `{name}` is not supported");
+    }
+
+    let shape = match kw.as_str() {
+        "struct" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Named(parse_fields(&g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Shape::Tuple(count_tuple_fields(&g))
+            }
+            other => panic!("serde stand-in derive: unsupported struct body: {other:?}"),
+        },
+        "enum" => match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Shape::Enum(parse_variants(&g))
+            }
+            other => panic!("serde stand-in derive: unsupported enum body: {other:?}"),
+        },
+        other => panic!("serde stand-in derive: unsupported item kind `{other}`"),
+    };
+
+    if let Shape::Tuple(arity) = shape {
+        assert!(
+            arity == 1,
+            "serde stand-in derive: tuple struct `{name}` has {arity} fields; only newtypes are supported"
+        );
+    }
+    Container { name, attrs, shape }
+}
+
+/// Consumes leading `#[...]` attributes, reporting each one's stripped text.
+fn consume_attrs(it: &mut Tokens, mut on_attr: impl FnMut(&str)) {
+    while matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+        it.next();
+        match it.next() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                let text: String = g
+                    .stream()
+                    .to_string()
+                    .chars()
+                    .filter(|c| !c.is_whitespace())
+                    .collect();
+                on_attr(&text);
+            }
+            other => panic!("serde stand-in derive: malformed attribute: {other:?}"),
+        }
+    }
+}
+
+fn merge_serde_attr(text: &str, attrs: &mut ContainerAttrs) {
+    let Some(body) = text
+        .strip_prefix("serde(")
+        .and_then(|t| t.strip_suffix(')'))
+    else {
+        return;
+    };
+    for part in body.split(',') {
+        match part {
+            "default" => attrs.default = true,
+            "transparent" => attrs.transparent = true,
+            _ if part.starts_with("tag=") => {
+                attrs.tag = Some(part["tag=".len()..].trim_matches('"').to_owned());
+            }
+            _ if part.starts_with("rename_all=") => {
+                let style = part["rename_all=".len()..].trim_matches('"');
+                assert!(
+                    style == "snake_case",
+                    "serde stand-in derive: unsupported rename_all style `{style}`"
+                );
+                attrs.rename_all_snake = true;
+            }
+            other => panic!("serde stand-in derive: unsupported serde attribute `{other}`"),
+        }
+    }
+}
+
+fn skip_visibility(it: &mut Tokens) {
+    if matches!(it.peek(), Some(TokenTree::Ident(i)) if i.to_string() == "pub") {
+        it.next();
+        if matches!(it.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+        {
+            it.next();
+        }
+    }
+}
+
+fn expect_ident(it: &mut Tokens) -> String {
+    match it.next() {
+        Some(TokenTree::Ident(i)) => i.to_string(),
+        other => panic!("serde stand-in derive: expected identifier, got {other:?}"),
+    }
+}
+
+fn parse_fields(group: &Group) -> Vec<Field> {
+    let mut it = group.stream().into_iter().peekable();
+    let mut fields = Vec::new();
+    loop {
+        let mut field_default = false;
+        consume_attrs(&mut it, |text| {
+            if text == "serde(default)" {
+                field_default = true;
+            }
+        });
+        if it.peek().is_none() {
+            break;
+        }
+        skip_visibility(&mut it);
+        let name = expect_ident(&mut it);
+        match it.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            other => panic!("serde stand-in derive: expected `:` after field, got {other:?}"),
+        }
+        // Collect the type's tokens up to a top-level comma.
+        let mut ty = String::new();
+        let mut angle_depth = 0i32;
+        for tok in it.by_ref() {
+            if let TokenTree::Punct(p) = &tok {
+                match p.as_char() {
+                    ',' if angle_depth == 0 => break,
+                    '<' => angle_depth += 1,
+                    '>' => angle_depth -= 1,
+                    _ => {}
+                }
+            }
+            ty.push_str(&tok.to_string());
+        }
+        fields.push(Field {
+            name,
+            default: field_default,
+            is_option: ty.starts_with("Option"),
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(group: &Group) -> usize {
+    let mut depth = 0i32;
+    let mut fields = 0usize;
+    let mut saw_token = false;
+    for tok in group.stream() {
+        saw_token = true;
+        if let TokenTree::Punct(p) = &tok {
+            match p.as_char() {
+                ',' if depth == 0 => fields += 1,
+                '<' => depth += 1,
+                '>' => depth -= 1,
+                _ => {}
+            }
+        }
+    }
+    // A trailing comma would overcount by one, but the workspace newtypes
+    // never use one; count the final unterminated field instead.
+    if saw_token {
+        fields + 1
+    } else {
+        0
+    }
+}
+
+fn parse_variants(group: &Group) -> Vec<Variant> {
+    let mut it = group.stream().into_iter().peekable();
+    let mut variants = Vec::new();
+    loop {
+        consume_attrs(&mut it, |_| {});
+        if it.peek().is_none() {
+            break;
+        }
+        let name = expect_ident(&mut it);
+        let kind = match it.peek() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let parsed = parse_fields(g);
+                it.next();
+                VariantKind::Struct(parsed)
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                let arity = count_tuple_fields(g);
+                assert!(
+                    arity == 1,
+                    "serde stand-in derive: tuple variant `{name}` has {arity} fields; only newtype variants are supported"
+                );
+                it.next();
+                VariantKind::Newtype
+            }
+            _ => VariantKind::Unit,
+        };
+        if matches!(it.peek(), Some(TokenTree::Punct(p)) if p.as_char() == ',') {
+            it.next();
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn snake_case(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    for (i, c) in name.chars().enumerate() {
+        if c.is_ascii_uppercase() {
+            if i > 0 {
+                out.push('_');
+            }
+            out.push(c.to_ascii_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn wire_name(variant: &str, attrs: &ContainerAttrs) -> String {
+    if attrs.rename_all_snake {
+        snake_case(variant)
+    } else {
+        variant.to_owned()
+    }
+}
+
+// ---------------------------------------------------------------- codegen
+
+fn gen_serialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.shape {
+        Shape::Tuple(_) => "::serde::Serialize::to_value(&self.0)".to_owned(),
+        Shape::Named(fields) if c.attrs.transparent => {
+            assert!(
+                fields.len() == 1,
+                "serde stand-in derive: transparent struct `{name}` must have exactly one field"
+            );
+            format!("::serde::Serialize::to_value(&self.{})", fields[0].name)
+        }
+        Shape::Named(fields) => {
+            let mut code = String::from(
+                "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+            );
+            for f in fields {
+                code.push_str(&format!(
+                    "__fields.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value(&self.{0})));\n",
+                    f.name
+                ));
+            }
+            code.push_str("::serde::Value::Object(__fields)");
+            code
+        }
+        Shape::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let wire = wire_name(&v.name, &c.attrs);
+                match (&v.kind, &c.attrs.tag) {
+                    (VariantKind::Unit, None) => arms.push_str(&format!(
+                        "Self::{} => ::serde::Value::Str(::std::string::String::from(\"{}\")),\n",
+                        v.name, wire
+                    )),
+                    (VariantKind::Unit, Some(tag)) => arms.push_str(&format!(
+                        "Self::{} => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{}\"), ::serde::Value::Str(::std::string::String::from(\"{}\")))]),\n",
+                        v.name, tag, wire
+                    )),
+                    (VariantKind::Newtype, None) => arms.push_str(&format!(
+                        "Self::{} (__f0) => ::serde::Value::Object(::std::vec![(::std::string::String::from(\"{}\"), ::serde::Serialize::to_value(__f0))]),\n",
+                        v.name, wire
+                    )),
+                    (VariantKind::Newtype, Some(_)) => panic!(
+                        "serde stand-in derive: newtype variant `{}` in a tagged enum is not supported",
+                        v.name
+                    ),
+                    (VariantKind::Struct(fields), tag) => {
+                        let bindings = fields
+                            .iter()
+                            .map(|f| f.name.as_str())
+                            .collect::<Vec<_>>()
+                            .join(", ");
+                        let mut inner = String::from(
+                            "let mut __fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = ::std::vec::Vec::new();\n",
+                        );
+                        if let Some(tag) = tag {
+                            inner.push_str(&format!(
+                                "__fields.push((::std::string::String::from(\"{tag}\"), ::serde::Value::Str(::std::string::String::from(\"{wire}\"))));\n"
+                            ));
+                        }
+                        for f in fields {
+                            inner.push_str(&format!(
+                                "__fields.push((::std::string::String::from(\"{0}\"), ::serde::Serialize::to_value({0})));\n",
+                                f.name
+                            ));
+                        }
+                        let payload = if tag.is_some() {
+                            "::serde::Value::Object(__fields)".to_owned()
+                        } else {
+                            format!(
+                                "::serde::Value::Object(::std::vec![(::std::string::String::from(\"{wire}\"), ::serde::Value::Object(__fields))])"
+                            )
+                        };
+                        arms.push_str(&format!(
+                            "Self::{} {{ {} }} => {{ {} {} }}\n",
+                            v.name, bindings, inner, payload
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "impl ::serde::Serialize for {name} {{\n\
+         fn to_value(&self) -> ::serde::Value {{\n{body}\n}}\n}}\n"
+    )
+}
+
+fn field_fallback(f: &Field, container_default: bool, container: &str) -> String {
+    if f.default || container_default {
+        "::std::default::Default::default()".to_owned()
+    } else if f.is_option {
+        "::std::option::Option::None".to_owned()
+    } else {
+        format!(
+            "return ::std::result::Result::Err(::serde::Error::new(\"missing field `{}` in `{}`\"))",
+            f.name, container
+        )
+    }
+}
+
+/// Emits a struct-literal body reading `fields` from object value `src`.
+fn named_fields_from(
+    fields: &[Field],
+    src: &str,
+    container_default: bool,
+    container: &str,
+) -> String {
+    let mut code = String::new();
+    for f in fields {
+        code.push_str(&format!(
+            "{0}: match ::serde::Value::get({1}, \"{0}\") {{\n\
+             ::std::option::Option::Some(__v) => ::serde::Deserialize::from_value(__v)?,\n\
+             ::std::option::Option::None => {{ {2} }}\n\
+             }},\n",
+            f.name,
+            src,
+            field_fallback(f, container_default, container)
+        ));
+    }
+    code
+}
+
+fn gen_deserialize(c: &Container) -> String {
+    let name = &c.name;
+    let body = match &c.shape {
+        Shape::Tuple(_) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_value(__value)?))")
+        }
+        Shape::Named(fields) if c.attrs.transparent => format!(
+            "::std::result::Result::Ok({name} {{ {}: ::serde::Deserialize::from_value(__value)? }})",
+            fields[0].name
+        ),
+        Shape::Named(fields) => {
+            format!(
+                "if ::serde::Value::as_object(__value).is_none() {{\n\
+                 return ::std::result::Result::Err(::serde::Error::new(::std::format!(\n\
+                 \"expected object for `{name}`, got {{}}\", ::serde::Value::kind(__value))));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name} {{\n{}\n}})",
+                named_fields_from(fields, "__value", c.attrs.default, name)
+            )
+        }
+        Shape::Enum(variants) => gen_deserialize_enum(c, variants),
+    };
+    format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+         fn from_value(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+         {body}\n}}\n}}\n"
+    )
+}
+
+fn gen_deserialize_enum(c: &Container, variants: &[Variant]) -> String {
+    let name = &c.name;
+    if let Some(tag) = &c.attrs.tag {
+        // Internally tagged: { "<tag>": "variant", ...fields }.
+        let mut arms = String::new();
+        for v in variants {
+            let wire = wire_name(&v.name, &c.attrs);
+            match &v.kind {
+                VariantKind::Unit => arms.push_str(&format!(
+                    "\"{wire}\" => ::std::result::Result::Ok(Self::{}),\n",
+                    v.name
+                )),
+                VariantKind::Newtype => panic!(
+                    "serde stand-in derive: newtype variant `{}` in a tagged enum is not supported",
+                    v.name
+                ),
+                VariantKind::Struct(fields) => arms.push_str(&format!(
+                    "\"{wire}\" => ::std::result::Result::Ok(Self::{} {{\n{}\n}}),\n",
+                    v.name,
+                    named_fields_from(fields, "__value", false, name)
+                )),
+            }
+        }
+        return format!(
+            "let __tag = ::serde::Value::get(__value, \"{tag}\")\n\
+             .and_then(::serde::Value::as_str)\n\
+             .ok_or_else(|| ::serde::Error::new(\"missing `{tag}` tag for `{name}`\"))?;\n\
+             match __tag {{\n{arms}\
+             __other => ::std::result::Result::Err(::serde::Error::new(::std::format!(\n\
+             \"unknown `{name}` variant `{{__other}}`\"))),\n}}"
+        );
+    }
+
+    // Externally tagged: unit variants are strings, struct variants are
+    // single-key objects.
+    let mut unit_arms = String::new();
+    let mut object_arms = String::new();
+    for v in variants {
+        let wire = wire_name(&v.name, &c.attrs);
+        match &v.kind {
+            VariantKind::Unit => unit_arms.push_str(&format!(
+                "\"{wire}\" => return ::std::result::Result::Ok(Self::{}),\n",
+                v.name
+            )),
+            VariantKind::Newtype => object_arms.push_str(&format!(
+                "\"{wire}\" => return ::std::result::Result::Ok(Self::{}(::serde::Deserialize::from_value(__inner)?)),\n",
+                v.name
+            )),
+            VariantKind::Struct(fields) => object_arms.push_str(&format!(
+                "\"{wire}\" => return ::std::result::Result::Ok(Self::{} {{\n{}\n}}),\n",
+                v.name,
+                named_fields_from(fields, "__inner", false, name)
+            )),
+        }
+    }
+    let mut code = String::new();
+    if !unit_arms.is_empty() {
+        code.push_str(&format!(
+            "if let ::std::option::Option::Some(__s) = ::serde::Value::as_str(__value) {{\n\
+             match __s {{\n{unit_arms}_ => {{}}\n}}\n\
+             }}\n"
+        ));
+    }
+    if !object_arms.is_empty() {
+        code.push_str(&format!(
+            "if let ::std::option::Option::Some([(__k, __inner)]) = ::serde::Value::as_object(__value) {{\n\
+             match __k.as_str() {{\n{object_arms}_ => {{}}\n}}\n\
+             }}\n"
+        ));
+    }
+    code.push_str(&format!(
+        "::std::result::Result::Err(::serde::Error::new(::std::format!(\n\
+         \"unrecognized `{name}` value of kind {{}}\", ::serde::Value::kind(__value))))"
+    ));
+    code
+}
