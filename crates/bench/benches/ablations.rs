@@ -16,7 +16,7 @@ fn ablation_dse_granularity(c: &mut Criterion) {
     let config = ArrayConfig::new(Capacity::from_mebibytes(4));
     let mut group = c.benchmark_group("ablation_dse");
     group.bench_function("enumerate_only", |b| {
-        b.iter(|| dse::enumerate_organizations(&cell, &config));
+        b.iter(|| dse::enumerate_organizations(&config));
     });
     group.bench_function("full_optimize", |b| {
         b.iter(|| dse::optimize(&cell, &config).unwrap());

@@ -1,26 +1,49 @@
-//! Records the sweep-engine overhaul comparison into `BENCH_sweep.json`.
+//! Records the sweep-engine performance trajectory into `BENCH_sweep.json`.
 //!
-//! Measures the 3-target default study (full default cell selection, 2 MiB
-//! SLC arrays, 4×4 generic traffic sweep) under both engines:
+//! Two measurement groups:
 //!
-//! - `baseline`: the pre-overhaul per-target mutex-queue engine
-//!   (`sweep::baseline`), which re-runs the full DSE once per target;
-//! - `shared_dse`: the lock-free shared-DSE engine (`sweep`), which
-//!   characterizes organizations once per design point and selects every
-//!   target's winner from that single pass.
+//! - **`three_target`** (the PR 1 comparison, kept as the trajectory
+//!   baseline): the 3-target default study under the pre-overhaul
+//!   per-target mutex-queue engine (`sweep::baseline`) and the current
+//!   engine. PR 1's recorded medians are embedded verbatim under
+//!   `trajectory.pr1_recorded` so the history survives re-measurement.
+//! - **`multi_capacity`** (this PR's target): a 4-capacity × 2-depth ×
+//!   3-target study under three engine variants — `pr1` (shared DSE with
+//!   per-candidate materialized scoring, no cache: the engine PR 1
+//!   shipped), `uncached` (zero-copy bank scoring, no cache), and `cached`
+//!   (zero-copy scoring + the sweep-wide subarray characterization cache).
+//!   Cache hit-rate and entry counts are recorded alongside the medians.
 //!
 //! Run from the workspace root so the JSON lands next to `Cargo.toml`:
 //!
 //! ```text
-//! cargo run --release -p nvmx_bench --bin bench_sweep
+//! cargo run --release -p nvmx_bench --bin bench_sweep [-- --quick]
 //! ```
+//!
+//! `--quick` drops to a single rep (no warmup) — the CI smoke mode that
+//! proves the perf path still runs and the engines still agree, without
+//! caring about noise.
 
 use nvmexplorer_core::config::{ArraySettings, CellSelection, StudyConfig, TrafficSpec};
 use nvmexplorer_core::sweep::{self, baseline};
-use nvmx_nvsim::OptimizationTarget;
+use nvmx_nvsim::{OptimizationTarget, SubarrayCache};
+use nvmx_units::BitsPerCell;
+use std::fmt::Write as _;
 use std::time::Instant;
 
 const REPS: usize = 15;
+
+fn generic_traffic() -> TrafficSpec {
+    TrafficSpec::GenericSweep {
+        read_min: 1.0e9,
+        read_max: 10.0e9,
+        read_steps: 4,
+        write_min: 1.0e6,
+        write_max: 100.0e6,
+        write_steps: 4,
+        access_bytes: 8,
+    }
+}
 
 fn three_target_study() -> StudyConfig {
     StudyConfig {
@@ -34,24 +57,39 @@ fn three_target_study() -> StudyConfig {
             ],
             ..ArraySettings::default()
         },
-        traffic: TrafficSpec::GenericSweep {
-            read_min: 1.0e9,
-            read_max: 10.0e9,
-            read_steps: 4,
-            write_min: 1.0e6,
-            write_max: 100.0e6,
-            write_steps: 4,
-            access_bytes: 8,
-        },
+        traffic: generic_traffic(),
         constraints: Default::default(),
     }
 }
 
-/// Median wall-clock milliseconds over [`REPS`] runs of `f`.
-fn median_ms(mut f: impl FnMut()) -> f64 {
-    // One warmup rep.
-    f();
-    let mut samples: Vec<f64> = (0..REPS)
+/// The capacity-axis study the subarray cache exists for: every default
+/// cell at four capacities and both programming depths.
+fn multi_capacity_study() -> StudyConfig {
+    StudyConfig {
+        name: "bench-multi-capacity".into(),
+        cells: CellSelection::default(),
+        array: ArraySettings {
+            capacities_mib: vec![1, 2, 4, 8],
+            bits_per_cell: vec![BitsPerCell::Slc, BitsPerCell::Mlc2],
+            targets: vec![
+                OptimizationTarget::ReadEdp,
+                OptimizationTarget::WriteEdp,
+                OptimizationTarget::Area,
+            ],
+            ..ArraySettings::default()
+        },
+        traffic: generic_traffic(),
+        constraints: Default::default(),
+    }
+}
+
+/// Median wall-clock milliseconds over `reps` runs of `f` (one warmup rep
+/// unless `reps == 1`).
+fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
+    if reps > 1 {
+        f();
+    }
+    let mut samples: Vec<f64> = (0..reps)
         .map(|_| {
             let start = Instant::now();
             f();
@@ -63,58 +101,158 @@ fn median_ms(mut f: impl FnMut()) -> f64 {
 }
 
 fn main() {
-    let study = three_target_study();
+    let quick = std::env::args().any(|arg| arg == "--quick");
+    let reps = if quick { 1 } else { REPS };
 
-    // Sanity: the two engines must agree before we compare their speed.
-    let shared = sweep::run_study_with_threads(&study, 8).expect("shared engine runs");
-    let reference = baseline::run_study_with_threads(&study, 1).expect("baseline engine runs");
-    assert_eq!(
-        shared.arrays, reference.arrays,
-        "engines diverged; refusing to record bench"
-    );
-    assert_eq!(shared.evaluations, reference.evaluations);
-    let arrays = shared.arrays.len();
-    let evaluations = shared.evaluations.len();
+    // --- Sanity: every engine variant must agree before any timing -------
+    let three = three_target_study();
+    let multi = multi_capacity_study();
+    let reference = sweep::run_study_with_threads(&multi, 8).expect("cached engine runs");
+    for (name, result) in [
+        (
+            "uncached",
+            sweep::run_study_uncached(&multi, 8).expect("uncached engine runs"),
+        ),
+        (
+            "pr1",
+            sweep::run_study_pr1(&multi, 8).expect("pr1 engine runs"),
+        ),
+    ] {
+        assert_eq!(
+            reference.arrays, result.arrays,
+            "{name} arrays diverged; refusing to record bench"
+        );
+        assert_eq!(
+            reference.evaluations, result.evaluations,
+            "{name} evaluations diverged; refusing to record bench"
+        );
+    }
+    {
+        let shared = sweep::run_study_with_threads(&three, 8).expect("shared engine runs");
+        let legacy = baseline::run_study_with_threads(&three, 1).expect("baseline engine runs");
+        assert_eq!(shared.arrays, legacy.arrays, "3-target engines diverged");
+        assert_eq!(shared.evaluations, legacy.evaluations);
+    }
 
-    let mut rows = Vec::new();
+    // --- Cache behavior on the multi-capacity study ----------------------
+    let cache = SubarrayCache::new();
+    sweep::run_study_with_cache(&multi, 8, &cache).expect("cached run for stats");
+    let stats = cache.stats();
+
+    // --- three_target group (PR 1 trajectory) ----------------------------
+    let mut three_rows = Vec::new();
     for threads in [1usize, 8] {
-        let baseline_ms =
-            median_ms(|| drop(baseline::run_study_with_threads(&study, threads).unwrap()));
-        let shared_ms = median_ms(|| drop(sweep::run_study_with_threads(&study, threads).unwrap()));
-        rows.push((threads, baseline_ms, shared_ms));
+        let baseline_ms = median_ms(reps, || {
+            drop(baseline::run_study_with_threads(&three, threads).unwrap());
+        });
+        let current_ms = median_ms(reps, || {
+            drop(sweep::run_study_with_threads(&three, threads).unwrap());
+        });
+        three_rows.push((threads, baseline_ms, current_ms));
+    }
+
+    // --- multi_capacity group (this PR's target) --------------------------
+    let mut multi_rows = Vec::new();
+    for threads in [1usize, 8] {
+        let pr1_ms = median_ms(reps, || {
+            drop(sweep::run_study_pr1(&multi, threads).unwrap());
+        });
+        let uncached_ms = median_ms(reps, || {
+            drop(sweep::run_study_uncached(&multi, threads).unwrap());
+        });
+        let cached_ms = median_ms(reps, || {
+            drop(sweep::run_study_with_threads(&multi, threads).unwrap());
+        });
+        multi_rows.push((threads, pr1_ms, uncached_ms, cached_ms));
     }
 
     let mut json = String::from("{\n");
-    json.push_str("  \"bench\": \"sweep_engine_overhaul\",\n");
+    json.push_str("  \"bench\": \"sweep_engine\",\n");
+    let _ = writeln!(json, "  \"reps\": {reps},");
+    json.push_str("  \"trajectory\": {\n");
+    json.push_str("    \"pr1_recorded\": {\n");
     json.push_str(
-        "  \"study\": \"3-target default study (14 cells, 2 MiB SLC, ReadEDP+WriteEDP+Area, 4x4 generic traffic sweep)\",\n",
+        "      \"study\": \"3-target default study (14 cells, 2 MiB SLC, ReadEDP+WriteEDP+Area, 4x4 generic traffic sweep)\",\n",
     );
-    json.push_str(&format!("  \"reps\": {REPS},\n"));
-    json.push_str(&format!("  \"arrays\": {arrays},\n"));
-    json.push_str(&format!("  \"evaluations\": {evaluations},\n"));
-    json.push_str("  \"engines\": {\n");
+    json.push_str("      \"results_ms_median\": [\n");
     json.push_str(
-        "    \"baseline\": \"per-target jobs, mutex queue + mutex result vec, completion-order sort, serial evaluation\",\n",
+        "        {\"threads\": 1, \"baseline_ms\": 2.88, \"shared_dse_ms\": 1.18, \"speedup\": 2.44},\n",
     );
     json.push_str(
-        "    \"shared_dse\": \"one DSE pass per (cell, capacity, bits_per_cell) covering all targets; atomic-index fan-out into preallocated slots; parallel evaluation\"\n",
+        "        {\"threads\": 8, \"baseline_ms\": 2.96, \"shared_dse_ms\": 1.13, \"speedup\": 2.62}\n",
     );
-    json.push_str("  },\n");
-    json.push_str("  \"results_ms_median\": [\n");
-    for (i, (threads, baseline_ms, shared_ms)) in rows.iter().enumerate() {
-        json.push_str(&format!(
-            "    {{\"threads\": {threads}, \"baseline_ms\": {baseline_ms:.2}, \"shared_dse_ms\": {shared_ms:.2}, \"speedup\": {:.2}}}{}\n",
-            baseline_ms / shared_ms,
-            if i + 1 < rows.len() { "," } else { "" }
-        ));
+    json.push_str("      ]\n    }\n  },\n");
+
+    json.push_str("  \"three_target\": {\n");
+    json.push_str(
+        "    \"study\": \"3-target default study (14 cells, 2 MiB SLC, ReadEDP+WriteEDP+Area, 4x4 generic traffic sweep)\",\n",
+    );
+    json.push_str("    \"engines\": {\n");
+    json.push_str(
+        "      \"baseline\": \"per-target jobs, mutex queue + mutex result vec, completion-order sort, serial evaluation\",\n",
+    );
+    json.push_str(
+        "      \"current\": \"shared DSE, zero-copy bank scoring, subarray cache, lock-free fan-out, Arc-shared parallel evaluation\"\n",
+    );
+    json.push_str("    },\n");
+    json.push_str("    \"results_ms_median\": [\n");
+    for (i, (threads, baseline_ms, current_ms)) in three_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"threads\": {threads}, \"baseline_ms\": {baseline_ms:.2}, \"current_ms\": {current_ms:.2}, \"speedup\": {:.2}}}{}",
+            baseline_ms / current_ms,
+            if i + 1 < three_rows.len() { "," } else { "" }
+        );
     }
-    json.push_str("  ]\n}\n");
+    json.push_str("    ]\n  },\n");
+
+    json.push_str("  \"multi_capacity\": {\n");
+    json.push_str(
+        "    \"study\": \"4-capacity study (14 cells, 1/2/4/8 MiB, SLC+MLC2, ReadEDP+WriteEDP+Area, 4x4 generic traffic sweep)\",\n",
+    );
+    let _ = writeln!(json, "    \"arrays\": {},", reference.arrays.len());
+    let _ = writeln!(
+        json,
+        "    \"evaluations\": {},",
+        reference.evaluations.len()
+    );
+    json.push_str("    \"engines\": {\n");
+    json.push_str(
+        "      \"pr1\": \"PR 1 shared-DSE engine: per-candidate materialized scoring, no subarray cache\",\n",
+    );
+    json.push_str(
+        "      \"uncached\": \"zero-copy bank scoring, winners-only packaging, no subarray cache\",\n",
+    );
+    json.push_str(
+        "      \"cached\": \"zero-copy bank scoring + sweep-wide subarray characterization cache\"\n",
+    );
+    json.push_str("    },\n");
+    let _ = writeln!(
+        json,
+        "    \"subarray_cache\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}}},",
+        cache.len(),
+        stats.hits,
+        stats.misses,
+        stats.hit_rate()
+    );
+    json.push_str("    \"results_ms_median\": [\n");
+    for (i, (threads, pr1_ms, uncached_ms, cached_ms)) in multi_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"threads\": {threads}, \"pr1_ms\": {pr1_ms:.2}, \"uncached_ms\": {uncached_ms:.2}, \"cached_ms\": {cached_ms:.2}, \"speedup_vs_pr1\": {:.2}, \"speedup_vs_uncached\": {:.2}}}{}",
+            pr1_ms / cached_ms,
+            uncached_ms / cached_ms,
+            if i + 1 < multi_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ]\n  }\n}\n");
 
     std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
     print!("{json}");
-    let eight = rows.iter().find(|(t, _, _)| *t == 8).unwrap();
+    let eight = multi_rows.iter().find(|(t, ..)| *t == 8).unwrap();
     eprintln!(
-        "speedup at 8 threads: {:.2}x (target >= 2.5x)",
-        eight.1 / eight.2
+        "multi-capacity speedup at 8 threads: {:.2}x vs PR 1 (target >= 1.5x), cache hit rate {:.1}%",
+        eight.1 / eight.3,
+        stats.hit_rate() * 100.0
     );
 }

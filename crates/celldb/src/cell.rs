@@ -164,7 +164,102 @@ pub struct CellDefinition {
     pub validated: bool,
 }
 
+/// Incremental FNV-1a over little-endian field bytes: a tiny, dependency-free
+/// hash whose output is identical across runs, platforms, and compiler
+/// versions — unlike `std::hash`, which randomizes or reserves the right to
+/// change its algorithm.
+struct Fingerprint(u64);
+
+impl Fingerprint {
+    const OFFSET_BASIS: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    fn new() -> Self {
+        Self(Self::OFFSET_BASIS)
+    }
+
+    fn bytes(&mut self, bytes: &[u8]) {
+        for &byte in bytes {
+            self.0 ^= u64::from(byte);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    /// Hashes an `f64` by bit pattern, so `-0.0`/`0.0` and NaN payloads are
+    /// distinguished exactly as characterization would see them.
+    fn f64(&mut self, value: f64) {
+        self.bytes(&value.to_bits().to_le_bytes());
+    }
+
+    fn u32(&mut self, value: u32) {
+        self.bytes(&value.to_le_bytes());
+    }
+
+    /// Variant tag: keeps adjacent variable-length fields from aliasing.
+    fn tag(&mut self, tag: u8) {
+        self.bytes(&[tag]);
+    }
+}
+
 impl CellDefinition {
+    /// Stable 64-bit identity of this definition, usable as a
+    /// characterization cache key.
+    ///
+    /// Covers every field the array simulator reads (and the descriptive
+    /// ones, for good measure), hashing floats by bit pattern. The value is
+    /// deterministic across runs and platforms, so caches keyed on it stay
+    /// valid for the life of a study and across processes. It is still a
+    /// 64-bit hash: distinct cells *can* collide, so consumers that cannot
+    /// tolerate a ~2⁻⁶⁴ mixup must verify the resolved entry against the
+    /// full definition (the nvsim subarray cache does).
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = Fingerprint::new();
+        fp.bytes(self.name.as_bytes());
+        fp.tag(0xff);
+        fp.bytes(self.technology.label().as_bytes());
+        fp.tag(0xff);
+        match &self.flavor {
+            CellFlavor::Optimistic => fp.tag(0),
+            CellFlavor::Pessimistic => fp.tag(1),
+            CellFlavor::Reference => fp.tag(2),
+            CellFlavor::Custom(name) => {
+                fp.tag(3);
+                fp.bytes(name.as_bytes());
+                fp.tag(0xff);
+            }
+        }
+        fp.f64(self.area.value());
+        fp.f64(self.aspect_ratio);
+        fp.f64(self.default_node.value());
+        match self.access {
+            AccessDevice::CmosTransistor { width_f } => {
+                fp.tag(0);
+                fp.f64(width_f);
+            }
+            AccessDevice::Selector => fp.tag(1),
+            AccessDevice::SelfSelecting => fp.tag(2),
+        }
+        fp.tag(match self.read.scheme {
+            SenseScheme::VoltageDifferential => 0,
+            SenseScheme::CurrentSense => 1,
+            SenseScheme::FetSense => 2,
+            SenseScheme::ChargeSense => 3,
+        });
+        fp.f64(self.read.voltage.value());
+        fp.f64(self.read.cell_current.value());
+        fp.f64(self.read.min_sense_time.value());
+        fp.f64(self.write.pulse.value());
+        fp.f64(self.write.voltage.value());
+        fp.f64(self.write.current.value());
+        fp.u32(self.write.verify_iterations);
+        fp.f64(self.endurance_cycles);
+        fp.f64(self.retention.value());
+        fp.u32(self.max_bits_per_cell.bits());
+        fp.f64(self.cell_leakage.value());
+        fp.tag(u8::from(self.validated));
+        fp.0
+    }
+
     /// Starts building a custom cell definition.
     ///
     /// # Examples
@@ -568,5 +663,31 @@ mod tests {
     fn destructive_read_flag() {
         assert!(SenseScheme::ChargeSense.is_destructive());
         assert!(!SenseScheme::CurrentSense.is_destructive());
+    }
+
+    #[test]
+    fn fingerprint_is_stable_and_field_sensitive() {
+        let cell = CellDefinition::builder(TechnologyClass::Stt, "fp-test").build();
+        assert_eq!(cell.fingerprint(), cell.clone().fingerprint());
+
+        let renamed = CellDefinition::builder(TechnologyClass::Stt, "fp-test2").build();
+        assert_ne!(cell.fingerprint(), renamed.fingerprint());
+
+        let retuned = CellDefinition::builder(TechnologyClass::Stt, "fp-test")
+            .write_pulse(Seconds::from_nano(11.0))
+            .build();
+        assert_ne!(cell.fingerprint(), retuned.fingerprint());
+
+        let other_class = CellDefinition::builder(TechnologyClass::Sot, "fp-test").build();
+        assert_ne!(cell.fingerprint(), other_class.fingerprint());
+    }
+
+    #[test]
+    fn fingerprint_distinguishes_every_tentpole() {
+        let cells = crate::tentpole::tentpoles(crate::survey::database());
+        let mut prints: Vec<u64> = cells.iter().map(CellDefinition::fingerprint).collect();
+        prints.sort_unstable();
+        prints.dedup();
+        assert_eq!(prints.len(), cells.len(), "tentpole fingerprints collide");
     }
 }

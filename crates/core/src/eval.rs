@@ -12,12 +12,20 @@ use nvmx_nvsim::ArrayCharacterization;
 use nvmx_units::{Seconds, Watts};
 use nvmx_workloads::TrafficPattern;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Evaluation of one `(array, traffic)` pairing — the atom of every study.
+///
+/// The evaluated array is held behind an [`Arc`]: a study's `arrays ×
+/// traffic` product evaluates each array against many patterns, and sharing
+/// the characterization record costs one pointer clone per evaluation
+/// instead of a deep copy (two strings plus the full organization record).
+/// Field access is unchanged (`eval.array.read_latency` etc.), equality
+/// compares the pointed-to value, and serde serializes the record inline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Evaluation {
     /// The array evaluated.
-    pub array: ArrayCharacterization,
+    pub array: Arc<ArrayCharacterization>,
     /// The traffic applied.
     pub traffic: TrafficPattern,
     /// Array-level read accesses per second (traffic accesses split into
@@ -66,7 +74,18 @@ fn accesses_per_line(array: &ArrayCharacterization, access_bytes: u64) -> f64 {
 }
 
 /// Evaluates `array` under `traffic` with the analytical model.
+///
+/// Convenience wrapper over [`evaluate_shared`] that deep-copies the array
+/// record once. Hot paths evaluating one array against many patterns (the
+/// sweep engine) should wrap the array in an [`Arc`] and call
+/// [`evaluate_shared`] so each evaluation clones a pointer instead.
 pub fn evaluate(array: &ArrayCharacterization, traffic: &TrafficPattern) -> Evaluation {
+    evaluate_shared(&Arc::new(array.clone()), traffic)
+}
+
+/// Evaluates a shared `array` under `traffic`; the returned [`Evaluation`]
+/// holds a clone of the [`Arc`], not of the record.
+pub fn evaluate_shared(array: &Arc<ArrayCharacterization>, traffic: &TrafficPattern) -> Evaluation {
     let per_line = accesses_per_line(array, traffic.access_bytes);
     let reads = traffic.read_accesses_per_sec() * per_line;
     let writes = traffic.write_accesses_per_sec() * per_line;
@@ -86,7 +105,7 @@ pub fn evaluate(array: &ArrayCharacterization, traffic: &TrafficPattern) -> Eval
     let lifetime = memory_lifetime(array, traffic.write_bytes_per_sec);
 
     Evaluation {
-        array: array.clone(),
+        array: Arc::clone(array),
         traffic: traffic.clone(),
         array_reads_per_sec: reads,
         array_writes_per_sec: writes,

@@ -56,7 +56,7 @@ pub mod sweep;
 pub mod write_buffer;
 
 pub use config::StudyConfig;
-pub use eval::{evaluate, Evaluation};
+pub use eval::{evaluate, evaluate_shared, Evaluation};
 pub use explore::{Objective, ResultSet};
 pub use sweep::{run_study, StudyResult};
 

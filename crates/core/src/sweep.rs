@@ -4,26 +4,36 @@
 //!
 //! # Engine design
 //!
-//! The hot path is organized around three ideas:
+//! The hot path is organized around four ideas:
 //!
 //! 1. **Shared DSE across targets.** One job per `(cell, capacity,
-//!    bits_per_cell)` — not per target. Each job runs
-//!    [`nvmx_nvsim::characterize_targets`], which enumerates and
-//!    characterizes the candidate organizations once and selects the best
-//!    design under *every* optimization target from that single pass. An
-//!    N-target study therefore does ~1/N of the subarray work the naive
-//!    per-target expansion (kept in [`baseline`]) performs.
-//! 2. **Lock-free fan-out.** Jobs live in an immutable pre-expanded slice;
+//!    bits_per_cell)` — not per target. Each job runs a single shared
+//!    design-space pass which enumerates and characterizes the candidate
+//!    organizations once and selects the best design under *every*
+//!    optimization target by scoring lightweight bank metrics in place
+//!    (only winners are materialized into full records). An N-target study
+//!    therefore does ~1/N of the subarray work the naive per-target
+//!    expansion (kept in [`baseline`]) performs.
+//! 2. **Memoized subarray physics across jobs.** Subarray characterization
+//!    depends on `(cell, node, geometry, depth)` but **not** on capacity,
+//!    word width, or target, so a study-wide
+//!    [`SubarrayCache`] (sharded, read-mostly) computes
+//!    each unique geometry once; every additional capacity in the study
+//!    reuses most of the previous capacities' physics. Cached and uncached
+//!    runs ([`run_study_uncached`]) are bit-identical.
+//! 3. **Lock-free fan-out.** Jobs live in an immutable pre-expanded slice;
 //!    workers claim indices with a single shared atomic counter and write
 //!    results into per-job slots. No queue mutex, no result-vector mutex,
 //!    and the output order is fixed by the job order rather than by worker
 //!    interleaving — determinism by construction, with no post-hoc sort of
 //!    completion order. Jobs borrow the resolved [`CellDefinition`]s
 //!    instead of cloning them.
-//! 3. **Parallel evaluation.** The `arrays × traffic` product is flattened
-//!    into one index space and fanned out over the same scoped worker pool
-//!    (chunked claiming, since a single evaluation is much cheaper than a
-//!    characterization).
+//! 4. **Zero-copy parallel evaluation.** The `arrays × traffic` product is
+//!    flattened into one index space and fanned out over the same scoped
+//!    worker pool (chunked claiming, since a single evaluation is much
+//!    cheaper than a characterization); each [`Evaluation`] holds an
+//!    `Arc<ArrayCharacterization>`, so the fan-out clones pointers, not
+//!    records.
 //!
 //! Jobs and targets are expanded in the legacy report order (cell name,
 //! capacity, programming depth, then target label), so `arrays` and
@@ -34,14 +44,14 @@
 //! completion order, which was never deterministic to begin with.
 
 use crate::config::{StudyConfig, UnknownNameError};
-use crate::eval::{evaluate, Evaluation};
+use crate::eval::{evaluate_shared, Evaluation};
 use nvmx_celldb::CellDefinition;
 use nvmx_nvsim::{
-    characterize_targets, ArrayCharacterization, ArrayConfig, CharacterizationError,
-    OptimizationTarget,
+    characterize_targets, characterize_targets_cached, ArrayCharacterization, ArrayConfig,
+    CharacterizationError, OptimizationTarget, SubarrayCache,
 };
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::OnceLock;
+use std::sync::{Arc, OnceLock};
 
 /// Outcome of a study run.
 #[derive(Debug, Clone)]
@@ -151,23 +161,24 @@ fn clamp_workers(threads: usize, items: usize) -> usize {
     threads.clamp(1, 32).min(items.max(1)).min(cores)
 }
 
-/// Runs a full study: characterize every design point, evaluate against
-/// every traffic pattern.
-///
-/// Characterization fans out lock-free across `threads` workers (atomic
-/// index over a pre-expanded job slice, results into pre-allocated slots),
-/// with one shared design-space pass covering all optimization targets per
-/// `(cell, capacity, bits_per_cell)` point. The evaluation product is then
-/// fanned out over the same pool. Output order is deterministic regardless
-/// of `threads`.
-///
-/// # Errors
-///
-/// Returns [`StudyError`] when the config resolves to no cells, no traffic,
-/// or references unknown model names.
-pub fn run_study_with_threads(
+/// Which design-space pass the characterization workers run. The variants
+/// are observationally identical — every path returns bit-identical
+/// results — and exist so the cache can be turned off (regression proofs,
+/// benches) or replaced with the PR-1 materializing pass (benches only).
+#[derive(Clone, Copy)]
+enum DsePath<'c> {
+    /// Subarray physics memoized in a shared [`SubarrayCache`].
+    Cached(&'c SubarrayCache),
+    /// Every geometry characterized from scratch.
+    Uncached,
+    /// The PR-1 reference pass: packages every candidate before scoring.
+    Pr1Materialized,
+}
+
+fn run_study_impl(
     study: &StudyConfig,
     threads: usize,
+    path: DsePath<'_>,
 ) -> Result<StudyResult, StudyError> {
     let cells = study.cells.resolve();
     if cells.is_empty() {
@@ -191,8 +202,18 @@ pub fn run_study_with_threads(
             scope.spawn(|| loop {
                 let index = next_job.fetch_add(1, Ordering::Relaxed);
                 let Some(job) = jobs.get(index) else { break };
-                let outcome = characterize_targets(job.cell, &job.config, &targets)
-                    .map_err(|e| (job.cell.name.clone(), e));
+                let outcome = match path {
+                    DsePath::Cached(cache) => {
+                        characterize_targets_cached(job.cell, &job.config, &targets, cache)
+                    }
+                    DsePath::Uncached => characterize_targets(job.cell, &job.config, &targets),
+                    DsePath::Pr1Materialized => nvmx_nvsim::dse::optimize_targets_materialized(
+                        job.cell,
+                        &job.config,
+                        &targets,
+                    ),
+                }
+                .map_err(|e| (job.cell.name.clone(), e));
                 slots[index].set(outcome).expect("job slot written twice");
             });
         }
@@ -212,7 +233,11 @@ pub fn run_study_with_threads(
         }
     }
 
-    let evaluations = evaluate_all(&arrays, &traffic, threads);
+    // The PR-1 engine deep-copied the characterization record into every
+    // evaluation; reproduce that cost under the PR-1 path so benches
+    // measure the engine as it shipped.
+    let share_arrays = !matches!(path, DsePath::Pr1Materialized);
+    let evaluations = evaluate_all(&arrays, &traffic, threads, share_arrays);
     Ok(StudyResult {
         name: study.name.clone(),
         arrays,
@@ -221,17 +246,92 @@ pub fn run_study_with_threads(
     })
 }
 
+/// Runs a full study: characterize every design point, evaluate against
+/// every traffic pattern.
+///
+/// Characterization fans out lock-free across `threads` workers (atomic
+/// index over a pre-expanded job slice, results into pre-allocated slots),
+/// with one shared design-space pass covering all optimization targets per
+/// `(cell, capacity, bits_per_cell)` point and a study-private
+/// [`SubarrayCache`] sharing subarray physics across the capacity axis. The
+/// evaluation product is then fanned out over the same pool. Output order
+/// is deterministic regardless of `threads`.
+///
+/// # Errors
+///
+/// Returns [`StudyError`] when the config resolves to no cells, no traffic,
+/// or references unknown model names.
+pub fn run_study_with_threads(
+    study: &StudyConfig,
+    threads: usize,
+) -> Result<StudyResult, StudyError> {
+    let cache = SubarrayCache::new();
+    run_study_impl(study, threads, DsePath::Cached(&cache))
+}
+
+/// [`run_study_with_threads`] with a caller-owned [`SubarrayCache`].
+///
+/// Use this to share one cache across several studies that sweep the same
+/// cells (e.g. a capacity-axis series, or repeated runs of one config), or
+/// to observe [`SubarrayCache::stats`] after a run. Results are
+/// bit-identical to every other engine path.
+///
+/// # Errors
+///
+/// Same conditions as [`run_study_with_threads`].
+pub fn run_study_with_cache(
+    study: &StudyConfig,
+    threads: usize,
+    cache: &SubarrayCache,
+) -> Result<StudyResult, StudyError> {
+    run_study_impl(study, threads, DsePath::Cached(cache))
+}
+
+/// [`run_study_with_threads`] with subarray memoization disabled — every
+/// job re-characterizes its geometries from scratch. Exists so tests and
+/// benches can prove cache-on/cache-off equivalence and measure the win.
+///
+/// # Errors
+///
+/// Same conditions as [`run_study_with_threads`].
+pub fn run_study_uncached(study: &StudyConfig, threads: usize) -> Result<StudyResult, StudyError> {
+    run_study_impl(study, threads, DsePath::Uncached)
+}
+
+/// The PR-1 engine: shared DSE and lock-free fan-out, but with the
+/// materializing per-candidate scoring pass and no subarray cache. Kept so
+/// `bench_sweep` measures this PR against the engine it replaced. Not part
+/// of the supported API.
+///
+/// # Errors
+///
+/// Same conditions as [`run_study_with_threads`].
+#[doc(hidden)]
+pub fn run_study_pr1(study: &StudyConfig, threads: usize) -> Result<StudyResult, StudyError> {
+    run_study_impl(study, threads, DsePath::Pr1Materialized)
+}
+
 /// Evaluates the full `arrays × traffic` product across the worker pool,
 /// preserving the serial double-loop order.
+///
+/// Each array is wrapped in an [`Arc`] once; the parallel stage then clones
+/// a pointer per evaluation instead of deep-copying the characterization
+/// record into every one of the `arrays × traffic` results.
 fn evaluate_all(
     arrays: &[ArrayCharacterization],
     traffic: &[nvmx_workloads::TrafficPattern],
     threads: usize,
+    share_arrays: bool,
 ) -> Vec<Evaluation> {
     let pairs = arrays.len() * traffic.len();
     if pairs == 0 {
         return Vec::new();
     }
+    let shared: Vec<Arc<ArrayCharacterization>> = if share_arrays {
+        arrays.iter().map(|array| Arc::new(array.clone())).collect()
+    } else {
+        Vec::new()
+    };
     let slots: Vec<OnceLock<Evaluation>> = (0..pairs).map(|_| OnceLock::new()).collect();
     let next_pair = AtomicUsize::new(0);
     let workers = clamp_workers(threads, pairs.div_ceil(EVAL_CHUNK));
@@ -243,10 +343,14 @@ fn evaluate_all(
                     break;
                 }
                 for index in start..(start + EVAL_CHUNK).min(pairs) {
-                    let array = &arrays[index / traffic.len()];
                     let pattern = &traffic[index % traffic.len()];
+                    let evaluation = if share_arrays {
+                        evaluate_shared(&shared[index / traffic.len()], pattern)
+                    } else {
+                        crate::eval::evaluate(&arrays[index / traffic.len()], pattern)
+                    };
                     slots[index]
-                        .set(evaluate(array, pattern))
+                        .set(evaluation)
                         .expect("evaluation slot written twice");
                 }
             });

@@ -5,8 +5,11 @@
 use nvmexplorer_core::config::{
     ArraySettings, CellSelection, Constraints, StudyConfig, TrafficSpec,
 };
-use nvmexplorer_core::sweep::{baseline, run_study_with_threads, StudyResult};
-use nvmx_nvsim::OptimizationTarget;
+use nvmexplorer_core::sweep::{
+    baseline, run_study_pr1, run_study_uncached, run_study_with_cache, run_study_with_threads,
+    StudyResult,
+};
+use nvmx_nvsim::{OptimizationTarget, SubarrayCache};
 use nvmx_units::BitsPerCell;
 
 /// A study large enough to exercise real worker interleaving: the full
@@ -64,6 +67,46 @@ fn large_multi_target_study_is_deterministic_from_1_to_16_threads() {
         let parallel = run_study_with_threads(&study, threads);
         assert_results_identical(&serial, &parallel.unwrap());
     }
+}
+
+#[test]
+fn cached_and_uncached_engines_are_byte_identical() {
+    let study = large_study();
+    let cached = run_study_with_threads(&study, 8).unwrap();
+    let uncached = run_study_uncached(&study, 8).unwrap();
+    assert_results_identical(&cached, &uncached);
+    // The PR-1 materializing pass must also agree, so bench comparisons
+    // against it measure speed, never drift.
+    let pr1 = run_study_pr1(&study, 8).unwrap();
+    assert_results_identical(&cached, &pr1);
+}
+
+#[test]
+fn shared_cache_reuses_subarray_physics_across_capacities_and_runs() {
+    let study = large_study();
+    let cache = SubarrayCache::new();
+    let first = run_study_with_cache(&study, 8, &cache).unwrap();
+    let cold = cache.stats();
+    assert!(cold.misses > 0, "cold run must characterize something");
+    // Two capacities × two depths per cell share one geometry space: the
+    // ISSUE target is ≥ 75 % reuse on a 4-capacity study; even this
+    // 2-capacity study must already reuse a substantial fraction.
+    assert!(
+        cold.hit_rate() > 0.40,
+        "cold-run hit rate {:.2} too low for a 2-capacity, 2-depth study",
+        cold.hit_rate()
+    );
+
+    // A second run over the same cache is served entirely from memory and
+    // still produces byte-identical results.
+    let second = run_study_with_cache(&study, 8, &cache).unwrap();
+    assert_results_identical(&first, &second);
+    let warm = cache.stats();
+    assert_eq!(
+        warm.misses, cold.misses,
+        "warm run must not characterize anything new"
+    );
+    assert!(warm.hits > cold.hits);
 }
 
 #[test]

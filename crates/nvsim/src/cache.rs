@@ -1,0 +1,463 @@
+//! Sweep-wide memoization of subarray characterizations.
+//!
+//! [`crate::subarray::Subarray::characterize`] depends only on the
+//! technology node, the cell, the subarray geometry, and the programming
+//! depth — **not** on the array capacity, word width, or optimization
+//! target. A multi-capacity study therefore re-derives the same ~150
+//! subarray geometries for every `(cell, capacity)` job; this module
+//! computes each unique geometry once per study and shares it across every
+//! job that needs it.
+//!
+//! # Layout
+//!
+//! The cache is two-level, exploiting the fact that the DSE geometry space
+//! is a small fixed grid ([`crate::dse::ROW_CHOICES`] ×
+//! [`crate::dse::COL_CHOICES`] × [`crate::dse::MUX_CHOICES`]):
+//!
+//! 1. an outer read-mostly map `(cell fingerprint, node, depth) →` slab,
+//!    consulted **once per design-space pass** (via [`SubarrayCache::
+//!    session`]), and
+//! 2. an inner *slab*: a fixed array of [`OnceLock`]-slotted geometries,
+//!    so the per-candidate hot path is an index computation plus one
+//!    acquire load — no hashing, no locks, no contention under the sweep
+//!    engine's atomic-index fan-out.
+//!
+//! Characterization is deterministic, so racing workers that miss the same
+//! slot initialize it with bit-identical values ([`OnceLock`] keeps the
+//! first); results never depend on thread interleaving. Geometries off the
+//! DSE grid are characterized directly (counted as misses, never stored) —
+//! correctness does not require the grid, it is purely a fast path.
+
+use crate::dse::{COL_CHOICES, MUX_CHOICES, ROW_CHOICES};
+use crate::subarray::Subarray;
+use crate::technology::TechnologyParams;
+use nvmx_celldb::CellDefinition;
+use nvmx_units::BitsPerCell;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// Slots in one geometry slab: the full DSE grid.
+const SLOTS: usize = ROW_CHOICES.len() * COL_CHOICES.len() * MUX_CHOICES.len();
+
+/// Slab slot of a geometry given its *indices* into the DSE choice arrays.
+/// The enumeration pass computes this for free; [`slot_index`] recovers it
+/// from raw dimensions for ad-hoc callers.
+pub(crate) fn grid_slot(row_idx: usize, col_idx: usize, mux_idx: usize) -> usize {
+    (row_idx * COL_CHOICES.len() + col_idx) * MUX_CHOICES.len() + mux_idx
+}
+
+/// Slab slot for a grid geometry, or `None` for off-grid requests.
+fn slot_index(rows: usize, cols: usize, mux: usize) -> Option<usize> {
+    let r = ROW_CHOICES.iter().position(|&x| x == rows)?;
+    let c = COL_CHOICES.iter().position(|&x| x == cols)?;
+    let m = MUX_CHOICES.iter().position(|&x| x == mux)?;
+    Some(grid_slot(r, c, m))
+}
+
+/// Everything besides geometry that [`Subarray::characterize`] reads, as a
+/// hashable key. The cell is identified by
+/// [`CellDefinition::fingerprint`] and the node by the feature-size bit
+/// pattern. Fingerprints are 64-bit hashes, so [`SubarrayCache::session`]
+/// additionally verifies the slab's stored cell against the requesting one
+/// — a collision degrades to uncached characterization, never to another
+/// cell's physics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SlabKey {
+    cell: u64,
+    node_bits: u64,
+    bits_per_cell: BitsPerCell,
+}
+
+/// One `(cell, node, depth)`'s memoized geometry grid. The owning cell is
+/// stored so sessions can prove the fingerprint key really resolved to
+/// their cell.
+struct Slab {
+    cell: CellDefinition,
+    slots: [OnceLock<Subarray>; SLOTS],
+}
+
+impl Slab {
+    fn new(cell: CellDefinition) -> Self {
+        Self {
+            cell,
+            slots: std::array::from_fn(|_| OnceLock::new()),
+        }
+    }
+}
+
+/// Hit/miss counters of a [`SubarrayCache`], captured by
+/// [`SubarrayCache::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that ran a fresh characterization.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total lookups.
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups served from the cache (0 when never queried).
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.hits as f64 / lookups as f64
+            }
+        }
+    }
+}
+
+/// A sweep-wide, thread-safe memo of subarray characterizations.
+///
+/// Create one per study (or share one across studies — keys are globally
+/// unambiguous) and thread it through
+/// [`characterize_targets_cached`](crate::characterize_targets_cached).
+/// Cached and uncached runs produce bit-identical results; only the work is
+/// shared, never approximated.
+pub struct SubarrayCache {
+    slabs: RwLock<HashMap<SlabKey, Arc<Slab>>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl Default for SubarrayCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl SubarrayCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        Self {
+            slabs: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// Opens the slab for `(cell, node, depth)` — the one outer-map access
+    /// of a design-space pass; every per-candidate lookup then goes through
+    /// the returned [`SubarraySession`] lock-free. The session binds the
+    /// cell, technology, and depth, so lookups cannot mix inputs and
+    /// poison the slab.
+    pub fn session<'a>(
+        &self,
+        cell: &'a CellDefinition,
+        tech: &'a TechnologyParams,
+        bits_per_cell: BitsPerCell,
+    ) -> SubarraySession<'_, 'a> {
+        let key = SlabKey {
+            cell: cell.fingerprint(),
+            node_bits: tech.feature_size.value().to_bits(),
+            bits_per_cell,
+        };
+        // Probe under the read lock and *drop the guard* before any write
+        // acquisition — the scrutinee temporary of an `if let`/`match`
+        // would otherwise live through the miss arm and self-deadlock.
+        let probed = self
+            .slabs
+            .read()
+            .expect("cache poisoned")
+            .get(&key)
+            .map(Arc::clone);
+        let slab = match probed {
+            Some(slab) => slab,
+            None => Arc::clone(
+                self.slabs
+                    .write()
+                    .expect("cache poisoned")
+                    .entry(key)
+                    .or_insert_with(|| Arc::new(Slab::new(cell.clone()))),
+            ),
+        };
+        // Fingerprints are 64-bit hashes: prove the slab belongs to this
+        // cell. A collision (or a racing insert by a colliding cell)
+        // degrades to uncached characterization — never to another cell's
+        // physics.
+        let slab = (slab.cell == *cell).then_some(slab);
+        SubarraySession {
+            cache: self,
+            slab,
+            cell,
+            tech,
+            bits_per_cell,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// Hit/miss counters of every **dropped** session (live sessions batch
+    /// their counts locally and flush on drop, keeping atomics off the
+    /// per-candidate path). A racing double-miss on one slot may be counted
+    /// twice even though only one value is stored — totals are for
+    /// observability, not invariants.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct geometries memoized.
+    pub fn len(&self) -> usize {
+        self.slabs
+            .read()
+            .expect("cache poisoned")
+            .values()
+            .map(|slab| {
+                slab.slots
+                    .iter()
+                    .filter(|slot| slot.get().is_some())
+                    .count()
+            })
+            .sum()
+    }
+
+    /// `true` when nothing has been memoized yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl std::fmt::Debug for SubarrayCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("SubarrayCache")
+            .field("entries", &self.len())
+            .field("hits", &stats.hits)
+            .field("misses", &stats.misses)
+            .finish()
+    }
+}
+
+/// A per-pass handle onto one `(cell, node, depth)` slab of a
+/// [`SubarrayCache`]. Obtained from [`SubarrayCache::session`], which binds
+/// the cell, technology, and depth — per-geometry lookups only supply the
+/// geometry, so a session cannot store one cell's physics under another's
+/// key.
+///
+/// Hit/miss counts accumulate locally and flush to the owning cache when
+/// the session drops.
+pub struct SubarraySession<'c, 'a> {
+    cache: &'c SubarrayCache,
+    /// `None` when the fingerprint key collided with a different cell's
+    /// slab — every lookup then characterizes directly.
+    slab: Option<Arc<Slab>>,
+    cell: &'a CellDefinition,
+    tech: &'a TechnologyParams,
+    bits_per_cell: BitsPerCell,
+    hits: u64,
+    misses: u64,
+}
+
+impl SubarraySession<'_, '_> {
+    /// Returns the memoized characterization of the geometry, running (and
+    /// recording) it on first sight. Geometries outside the DSE grid are
+    /// characterized directly and not stored.
+    pub fn get_or_characterize(&mut self, rows: usize, cols: usize, mux: usize) -> Subarray {
+        self.lookup(slot_index(rows, cols, mux), rows, cols, mux)
+    }
+
+    /// [`Self::get_or_characterize`] with the slab slot already known (the
+    /// DSE enumeration derives it for free from its loop indices).
+    pub(crate) fn lookup(
+        &mut self,
+        slot: Option<usize>,
+        rows: usize,
+        cols: usize,
+        mux: usize,
+    ) -> Subarray {
+        let (Some(slab), Some(index)) = (&self.slab, slot) else {
+            self.misses += 1;
+            return Subarray::characterize(
+                self.tech,
+                self.cell,
+                rows,
+                cols,
+                mux,
+                self.bits_per_cell,
+            );
+        };
+        let slot = &slab.slots[index];
+        if let Some(hit) = slot.get() {
+            self.hits += 1;
+            return hit.clone();
+        }
+        self.misses += 1;
+        slot.get_or_init(|| {
+            Subarray::characterize(self.tech, self.cell, rows, cols, mux, self.bits_per_cell)
+        })
+        .clone()
+    }
+}
+
+impl Drop for SubarraySession<'_, '_> {
+    fn drop(&mut self) {
+        if self.hits > 0 {
+            self.cache.hits.fetch_add(self.hits, Ordering::Relaxed);
+        }
+        if self.misses > 0 {
+            self.cache.misses.fetch_add(self.misses, Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::technology::lookup;
+    use nvmx_celldb::{tentpole, CellFlavor, TechnologyClass};
+    use nvmx_units::Meters;
+
+    fn stt() -> CellDefinition {
+        tentpole::tentpole_cell(TechnologyClass::Stt, CellFlavor::Optimistic).unwrap()
+    }
+
+    #[test]
+    fn cached_result_is_bit_identical_to_direct_characterization() {
+        let tech = lookup(Meters::from_nano(22.0));
+        let cell = stt();
+        let cache = SubarrayCache::new();
+        let direct = Subarray::characterize(&tech, &cell, 512, 1024, 4, BitsPerCell::Slc);
+        let mut session = cache.session(&cell, &tech, BitsPerCell::Slc);
+        let cold = session.get_or_characterize(512, 1024, 4);
+        let warm = session.get_or_characterize(512, 1024, 4);
+        drop(session); // flush counters
+        assert_eq!(direct, cold);
+        assert_eq!(direct, warm);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn sessions_share_memoized_geometries() {
+        let tech = lookup(Meters::from_nano(22.0));
+        let cell = stt();
+        let cache = SubarrayCache::new();
+        cache
+            .session(&cell, &tech, BitsPerCell::Slc)
+            .get_or_characterize(512, 1024, 4);
+        // A second session — e.g. the same cell at another capacity — sees
+        // the slab warm.
+        cache
+            .session(&cell, &tech, BitsPerCell::Slc)
+            .get_or_characterize(512, 1024, 4);
+        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn distinct_geometries_cells_and_depths_get_distinct_entries() {
+        let tech = lookup(Meters::from_nano(22.0));
+        let stt = stt();
+        let rram = tentpole::tentpole_cell(TechnologyClass::Rram, CellFlavor::Optimistic).unwrap();
+        let cache = SubarrayCache::new();
+        for (cell, rows, bpc) in [
+            (&stt, 512usize, BitsPerCell::Slc),
+            (&stt, 1024, BitsPerCell::Slc),
+            (&stt, 512, BitsPerCell::Mlc2),
+            (&rram, 512, BitsPerCell::Slc),
+        ] {
+            cache
+                .session(cell, &tech, bpc)
+                .get_or_characterize(rows, 1024, 4);
+        }
+        assert_eq!(cache.len(), 4);
+        assert_eq!(cache.stats().misses, 4);
+        assert_eq!(cache.stats().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn node_is_part_of_the_key() {
+        let cell = stt();
+        let cache = SubarrayCache::new();
+        let t22 = lookup(Meters::from_nano(22.0));
+        let t16 = lookup(Meters::from_nano(16.0));
+        let a = cache
+            .session(&cell, &t22, BitsPerCell::Slc)
+            .get_or_characterize(512, 1024, 4);
+        let b = cache
+            .session(&cell, &t16, BitsPerCell::Slc)
+            .get_or_characterize(512, 1024, 4);
+        assert_ne!(a, b, "different nodes must not share an entry");
+        assert_eq!(cache.len(), 2);
+    }
+
+    #[test]
+    fn off_grid_geometries_fall_through_without_storing() {
+        let tech = lookup(Meters::from_nano(22.0));
+        let cell = stt();
+        let cache = SubarrayCache::new();
+        let mut session = cache.session(&cell, &tech, BitsPerCell::Slc);
+        let direct = Subarray::characterize(&tech, &cell, 100, 100, 4, BitsPerCell::Slc);
+        let via_cache = session.get_or_characterize(100, 100, 4);
+        drop(session); // flush counters
+        assert_eq!(direct, via_cache);
+        assert!(cache.is_empty(), "off-grid results are never stored");
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn fingerprint_collision_degrades_to_uncached_not_wrong_physics() {
+        let tech = lookup(Meters::from_nano(22.0));
+        let stt = stt();
+        let rram = tentpole::tentpole_cell(TechnologyClass::Rram, CellFlavor::Optimistic).unwrap();
+        let cache = SubarrayCache::new();
+        // Simulate a 64-bit fingerprint collision: plant the RRAM cell's
+        // slab (pre-warmed with RRAM physics) under the STT cell's key.
+        let planted = Slab::new(rram.clone());
+        planted.slots[slot_index(512, 1024, 4).unwrap()]
+            .set(Subarray::characterize(
+                &tech,
+                &rram,
+                512,
+                1024,
+                4,
+                BitsPerCell::Slc,
+            ))
+            .unwrap();
+        let key = SlabKey {
+            cell: stt.fingerprint(),
+            node_bits: tech.feature_size.value().to_bits(),
+            bits_per_cell: BitsPerCell::Slc,
+        };
+        cache.slabs.write().unwrap().insert(key, Arc::new(planted));
+
+        let mut session = cache.session(&stt, &tech, BitsPerCell::Slc);
+        let got = session.get_or_characterize(512, 1024, 4);
+        drop(session);
+        let expected = Subarray::characterize(&tech, &stt, 512, 1024, 4, BitsPerCell::Slc);
+        assert_eq!(got, expected, "collision must never serve foreign physics");
+        assert_eq!(cache.stats().hits, 0, "collided session cannot hit");
+    }
+
+    #[test]
+    fn concurrent_lookups_agree_with_serial() {
+        let tech = lookup(Meters::from_nano(22.0));
+        let cell = stt();
+        let cache = SubarrayCache::new();
+        let serial = Subarray::characterize(&tech, &cell, 1024, 2048, 8, BitsPerCell::Slc);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    let mut session = cache.session(&cell, &tech, BitsPerCell::Slc);
+                    for _ in 0..16 {
+                        let got = session.get_or_characterize(1024, 2048, 8);
+                        assert_eq!(got, serial);
+                    }
+                });
+            }
+        });
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.stats().lookups(), 8 * 16);
+    }
+}

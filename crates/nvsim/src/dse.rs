@@ -3,6 +3,7 @@
 //! the best under each optimization target.
 
 use crate::bank::{Bank, Organization};
+use crate::cache::SubarrayCache;
 use crate::result::{ArrayCharacterization, OptimizationTarget};
 use crate::subarray::Subarray;
 use crate::technology::lookup;
@@ -11,10 +12,11 @@ use nvmx_celldb::CellDefinition;
 use nvmx_units::{Joules, Ratio, Seconds, SquareMillimeters, Watts};
 
 /// Candidate geometry axes. Modest powers of two: real NVSim sweeps the same
-/// shape space.
-const ROW_CHOICES: [usize; 5] = [128, 256, 512, 1024, 2048];
-const COL_CHOICES: [usize; 5] = [256, 512, 1024, 2048, 4096];
-const MUX_CHOICES: [usize; 6] = [1, 2, 4, 8, 16, 32];
+/// shape space. `pub(crate)` so [`crate::cache`] can slot the grid into a
+/// fixed-size table.
+pub(crate) const ROW_CHOICES: [usize; 5] = [128, 256, 512, 1024, 2048];
+pub(crate) const COL_CHOICES: [usize; 5] = [256, 512, 1024, 2048, 4096];
+pub(crate) const MUX_CHOICES: [usize; 6] = [1, 2, 4, 8, 16, 32];
 
 /// Upper bound on bank subarray count (beyond this the H-tree model stops
 /// being credible and the design is silly anyway).
@@ -26,14 +28,16 @@ const MAX_SUBARRAYS: usize = 8192;
 /// characterization always returns a design.
 const MIN_AREA_EFFICIENCY: f64 = 0.25;
 
-/// Enumerates all valid organizations for `cell` under `config`.
-pub fn enumerate_organizations(_cell: &CellDefinition, config: &ArrayConfig) -> Vec<Organization> {
+/// [`enumerate_organizations`] plus each candidate's cache-slab slot
+/// (derived for free from the loop indices, so the cached scan never has to
+/// search the choice arrays).
+pub(crate) fn enumerate_organizations_indexed(config: &ArrayConfig) -> Vec<(Organization, usize)> {
     let capacity_cells = config.capacity.cells(config.bits_per_cell);
     let word_bits = config.word_bits;
     let mut orgs = Vec::new();
 
-    for rows in ROW_CHOICES {
-        for cols in COL_CHOICES {
+    for (row_idx, rows) in ROW_CHOICES.into_iter().enumerate() {
+        for (col_idx, cols) in COL_CHOICES.into_iter().enumerate() {
             let cells_per_sub = (rows * cols) as u64;
             if cells_per_sub > capacity_cells {
                 continue;
@@ -42,7 +46,7 @@ pub fn enumerate_organizations(_cell: &CellDefinition, config: &ArrayConfig) -> 
             if total > MAX_SUBARRAYS {
                 continue;
             }
-            for mux in MUX_CHOICES {
+            for (mux_idx, mux) in MUX_CHOICES.into_iter().enumerate() {
                 if mux > cols {
                     continue;
                 }
@@ -57,19 +61,33 @@ pub fn enumerate_organizations(_cell: &CellDefinition, config: &ArrayConfig) -> 
                 if active > total || active > 64 {
                     continue;
                 }
-                orgs.push(Organization {
-                    rows,
-                    cols,
-                    mux,
-                    active_subarrays: active,
-                    total_subarrays: total,
-                });
+                orgs.push((
+                    Organization {
+                        rows,
+                        cols,
+                        mux,
+                        active_subarrays: active,
+                        total_subarrays: total,
+                    },
+                    crate::cache::grid_slot(row_idx, col_idx, mux_idx),
+                ));
             }
         }
     }
-    // Ignore the access-transistor drive constraint check here; write-driver
-    // sizing already folds current needs into energy/area.
     orgs
+}
+
+/// Enumerates all valid organizations under `config`.
+///
+/// Candidate validity is purely geometric (capacity coverage, mux bounds,
+/// sensing-vs-word-width sanity), so the enumeration is cell-independent;
+/// the access-transistor drive constraint is deliberately not a filter —
+/// write-driver sizing already folds current needs into energy/area.
+pub fn enumerate_organizations(config: &ArrayConfig) -> Vec<Organization> {
+    enumerate_organizations_indexed(config)
+        .into_iter()
+        .map(|(org, _)| org)
+        .collect()
 }
 
 /// Characterizes one organization into a full result record.
@@ -99,10 +117,18 @@ pub fn characterize_organization_with(
         config.bits_per_cell,
     );
     let bank = Bank::compose(tech, sub, org, config.word_bits);
-    package(cell, config, bank)
+    package(cell, config, bank, config.target)
 }
 
-fn package(cell: &CellDefinition, config: &ArrayConfig, bank: Bank) -> ArrayCharacterization {
+/// Materializes one characterized bank into the full result record. Called
+/// once per *winner* — the candidate scan itself never packages (and never
+/// clones the cell-name/flavor strings).
+fn package(
+    cell: &CellDefinition,
+    config: &ArrayConfig,
+    bank: Bank,
+    target: OptimizationTarget,
+) -> ArrayCharacterization {
     ArrayCharacterization {
         cell_name: cell.name.clone(),
         technology: cell.technology,
@@ -110,7 +136,7 @@ fn package(cell: &CellDefinition, config: &ArrayConfig, bank: Bank) -> ArrayChar
         capacity: config.capacity,
         node_nm: config.node.value() * 1.0e9,
         bits_per_cell: config.bits_per_cell,
-        target: config.target,
+        target,
         word_bits: config.word_bits,
         read_latency: Seconds::new(bank.read_latency),
         write_latency: Seconds::new(bank.write_latency),
@@ -130,22 +156,147 @@ fn package(cell: &CellDefinition, config: &ArrayConfig, bank: Bank) -> ArrayChar
     }
 }
 
+/// The metric a characterized bank would score under `target`, bit-for-bit
+/// equal to packaging the bank into an [`ArrayCharacterization`] and calling
+/// [`ArrayCharacterization::score`] — the unit wrappers are transparent
+/// `f64` newtypes, and the one lossy-looking case (area, scored in mm²)
+/// applies the identical conversion [`package`] would.
+fn bank_score(bank: &Bank, target: OptimizationTarget) -> f64 {
+    match target {
+        OptimizationTarget::ReadLatency => bank.read_latency,
+        OptimizationTarget::WriteLatency => bank.write_latency,
+        OptimizationTarget::ReadEnergy => bank.read_energy,
+        OptimizationTarget::WriteEnergy => bank.write_energy,
+        OptimizationTarget::ReadEdp => bank.read_energy * bank.read_latency,
+        OptimizationTarget::WriteEdp => bank.write_energy * bank.write_latency,
+        OptimizationTarget::Area => SquareMillimeters::from_square_meters(bank.area).value(),
+        OptimizationTarget::Leakage => bank.leakage,
+    }
+}
+
 /// Runs the organization search **once** and returns the best design under
 /// each of `targets`, in order.
 ///
 /// This is the shared-DSE hot path: subarray and bank characterization do
 /// not depend on the optimization target (the target only selects among
 /// candidates), so an N-target sweep costs one enumeration pass instead of
-/// N. Selection scans the characterized candidates by index — no clones on
-/// the scan path; only each target's winner is materialized. Each returned
-/// design is identical to what a standalone [`optimize`] call with that
-/// target would produce.
+/// N. The scan scores lightweight [`Bank`] metrics in place — no
+/// per-candidate result packaging, no string clones — and materializes a
+/// full record only for each target's winner. Each returned design is
+/// identical to what a standalone [`optimize`] call with that target would
+/// produce.
+///
+/// With `cache` present, subarray physics are memoized across calls: every
+/// job of a multi-capacity study that needs the same `(cell, node,
+/// geometry, depth)` reuses one characterization. Cached and uncached runs
+/// are bit-identical.
 ///
 /// # Errors
 ///
 /// Same conditions as [`optimize`]; `config.target` is ignored in favor of
 /// the explicit `targets` list.
+pub fn optimize_targets_cached(
+    cell: &CellDefinition,
+    config: &ArrayConfig,
+    targets: &[OptimizationTarget],
+    cache: Option<&SubarrayCache>,
+) -> Result<Vec<ArrayCharacterization>, CharacterizationError> {
+    if targets.is_empty() {
+        return Ok(Vec::new());
+    }
+    if !cell.supports(config.bits_per_cell) {
+        return Err(CharacterizationError::UnsupportedBitsPerCell {
+            cell: cell.name.clone(),
+            requested: config.bits_per_cell,
+            supported: cell.max_bits_per_cell,
+        });
+    }
+    let orgs = enumerate_organizations_indexed(config);
+    if orgs.is_empty() {
+        return Err(CharacterizationError::NoValidOrganization {
+            cell: cell.name.clone(),
+            capacity: config.capacity,
+        });
+    }
+    let tech = lookup(config.node);
+    // One outer-map access per pass; candidate lookups inside the session
+    // are a pre-computed slot index plus an atomic load.
+    let mut session = cache.map(|cache| cache.session(cell, &tech, config.bits_per_cell));
+    let banks: Vec<Bank> = orgs
+        .into_iter()
+        .map(|(org, slot)| {
+            let sub = match &mut session {
+                Some(session) => session.lookup(Some(slot), org.rows, org.cols, org.mux),
+                None => Subarray::characterize(
+                    &tech,
+                    cell,
+                    org.rows,
+                    org.cols,
+                    org.mux,
+                    config.bits_per_cell,
+                ),
+            };
+            Bank::compose(&tech, sub, org, config.word_bits)
+        })
+        .collect();
+    targets
+        .iter()
+        .map(|&target| {
+            // First strictly-better scan order matches the per-target
+            // optimizer exactly, so ties resolve identically. Incumbent
+            // scores are cached — score() per candidate, not per compare.
+            let mut best: Option<(usize, f64)> = None;
+            let mut best_unconstrained: Option<(usize, f64)> = None;
+            for (index, bank) in banks.iter().enumerate() {
+                let score = bank_score(bank, target);
+                let improves = |incumbent: Option<(usize, f64)>| match incumbent {
+                    None => true,
+                    Some((_, incumbent_score)) => score < incumbent_score,
+                };
+                if Ratio::new(bank.area_efficiency).value() >= MIN_AREA_EFFICIENCY && improves(best)
+                {
+                    best = Some((index, score));
+                }
+                if improves(best_unconstrained) {
+                    best_unconstrained = Some((index, score));
+                }
+            }
+            let (index, _) = best.or(best_unconstrained).ok_or_else(|| {
+                CharacterizationError::NoValidOrganization {
+                    cell: cell.name.clone(),
+                    capacity: config.capacity,
+                }
+            })?;
+            Ok(package(cell, config, banks[index].clone(), target))
+        })
+        .collect()
+}
+
+/// [`optimize_targets_cached`] without memoization — every geometry is
+/// characterized from scratch.
+///
+/// # Errors
+///
+/// Same conditions as [`optimize`].
 pub fn optimize_targets(
+    cell: &CellDefinition,
+    config: &ArrayConfig,
+    targets: &[OptimizationTarget],
+) -> Result<Vec<ArrayCharacterization>, CharacterizationError> {
+    optimize_targets_cached(cell, config, targets, None)
+}
+
+/// The pre-cache scoring path: materializes a full [`ArrayCharacterization`]
+/// for **every** candidate (two string clones + full packaging each) and
+/// clones the winner out of the candidate vector. Kept only so benches and
+/// regression tests can measure and prove the zero-copy restructure against
+/// the previous engine. Not part of the supported API.
+///
+/// # Errors
+///
+/// Same conditions as [`optimize`].
+#[doc(hidden)]
+pub fn optimize_targets_materialized(
     cell: &CellDefinition,
     config: &ArrayConfig,
     targets: &[OptimizationTarget],
@@ -160,7 +311,7 @@ pub fn optimize_targets(
             supported: cell.max_bits_per_cell,
         });
     }
-    let orgs = enumerate_organizations(cell, config);
+    let orgs = enumerate_organizations(config);
     if orgs.is_empty() {
         return Err(CharacterizationError::NoValidOrganization {
             cell: cell.name.clone(),
@@ -175,9 +326,6 @@ pub fn optimize_targets(
     targets
         .iter()
         .map(|&target| {
-            // First strictly-better scan order matches the per-target
-            // optimizer exactly, so ties resolve identically. Incumbent
-            // scores are cached — score() per candidate, not per compare.
             let mut best: Option<(usize, f64)> = None;
             let mut best_unconstrained: Option<(usize, f64)> = None;
             for (index, candidate) in candidates.iter().enumerate() {
@@ -240,7 +388,7 @@ mod tests {
 
     #[test]
     fn enumeration_is_nonempty_and_valid() {
-        let orgs = enumerate_organizations(&stt(), &cfg(OptimizationTarget::ReadLatency));
+        let orgs = enumerate_organizations(&cfg(OptimizationTarget::ReadLatency));
         assert!(orgs.len() > 20, "{} orgs", orgs.len());
         for org in &orgs {
             assert!(org.active_subarrays <= org.total_subarrays);
@@ -271,6 +419,70 @@ mod tests {
             err,
             CharacterizationError::UnsupportedBitsPerCell { .. }
         ));
+    }
+
+    #[test]
+    fn zero_copy_scan_matches_the_materialized_scoring_path() {
+        // The PR-1 engine packaged every candidate before scoring; the
+        // zero-copy scan must select and package identically.
+        let cell = stt();
+        for target in OptimizationTarget::ALL {
+            let config = cfg(target);
+            let fast = optimize_targets(&cell, &config, &OptimizationTarget::ALL).unwrap();
+            let reference =
+                optimize_targets_materialized(&cell, &config, &OptimizationTarget::ALL).unwrap();
+            assert_eq!(fast, reference, "scoring paths diverged under {target}");
+        }
+    }
+
+    #[test]
+    fn cached_pass_is_bit_identical_and_hits_on_reuse() {
+        let cell = stt();
+        let config = cfg(OptimizationTarget::ReadEdp);
+        let cache = SubarrayCache::new();
+        let uncached = optimize_targets(&cell, &config, &OptimizationTarget::ALL).unwrap();
+        let cold = optimize_targets_cached(&cell, &config, &OptimizationTarget::ALL, Some(&cache))
+            .unwrap();
+        let warm = optimize_targets_cached(&cell, &config, &OptimizationTarget::ALL, Some(&cache))
+            .unwrap();
+        assert_eq!(uncached, cold);
+        assert_eq!(uncached, warm);
+        let stats = cache.stats();
+        assert_eq!(
+            stats.misses as usize,
+            cache.len(),
+            "every miss memoizes exactly one geometry"
+        );
+        assert_eq!(
+            stats.hits, stats.misses,
+            "second pass must be served entirely from the cache"
+        );
+    }
+
+    #[test]
+    fn bank_score_matches_packaged_score_for_every_target() {
+        let cell = stt();
+        let config = cfg(OptimizationTarget::ReadLatency);
+        let tech = lookup(config.node);
+        for org in enumerate_organizations(&config).into_iter().take(8) {
+            let sub = Subarray::characterize(
+                &tech,
+                &cell,
+                org.rows,
+                org.cols,
+                org.mux,
+                config.bits_per_cell,
+            );
+            let bank = Bank::compose(&tech, sub, org, config.word_bits);
+            let packaged = package(&cell, &config, bank.clone(), config.target);
+            for target in OptimizationTarget::ALL {
+                assert_eq!(
+                    bank_score(&bank, target).to_bits(),
+                    packaged.score(target).to_bits(),
+                    "score drift for {target} at {org}"
+                );
+            }
+        }
     }
 
     #[test]

@@ -36,6 +36,7 @@
 //! ```
 
 pub mod bank;
+pub mod cache;
 pub mod components;
 pub mod dse;
 pub mod gates;
@@ -45,6 +46,7 @@ pub mod technology;
 pub mod wire;
 
 pub use bank::Organization;
+pub use cache::{CacheStats, SubarrayCache};
 pub use result::{ArrayCharacterization, OptimizationTarget};
 
 use nvmx_celldb::CellDefinition;
@@ -184,6 +186,27 @@ pub fn characterize_targets(
     targets: &[OptimizationTarget],
 ) -> Result<Vec<ArrayCharacterization>, CharacterizationError> {
     dse::optimize_targets(cell, config, targets)
+}
+
+/// [`characterize_targets`] with subarray physics memoized in `cache`.
+///
+/// The geometry candidates a design-space pass characterizes depend only on
+/// the cell, node, and programming depth — not on capacity, word width, or
+/// target — so consecutive calls across a study's capacity axis re-derive
+/// mostly the same subarrays. Threading one [`SubarrayCache`] through every
+/// call computes each unique geometry once for the whole study. Results are
+/// bit-identical to [`characterize_targets`]; only the work is shared.
+///
+/// # Errors
+///
+/// Same conditions as [`characterize`].
+pub fn characterize_targets_cached(
+    cell: &CellDefinition,
+    config: &ArrayConfig,
+    targets: &[OptimizationTarget],
+    cache: &SubarrayCache,
+) -> Result<Vec<ArrayCharacterization>, CharacterizationError> {
+    dse::optimize_targets_cached(cell, config, targets, Some(cache))
 }
 
 /// Characterizes `cell` under every optimization target (paper Fig. 3 shows

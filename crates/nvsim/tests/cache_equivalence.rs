@@ -1,0 +1,109 @@
+//! Property proof for the subarray characterization cache: cached and
+//! uncached shared-DSE passes must return bit-identical winners for random
+//! tentpole cells, capacities, programming depths, and target subsets —
+//! cold cache, warm cache, and cache shared across capacities alike.
+
+use nvmx_celldb::{survey, tentpole};
+use nvmx_nvsim::{
+    characterize_targets, characterize_targets_cached, ArrayConfig, OptimizationTarget,
+    SubarrayCache,
+};
+use nvmx_units::{BitsPerCell, Capacity};
+use proptest::prelude::*;
+
+fn target_subset(mask: u32) -> Vec<OptimizationTarget> {
+    OptimizationTarget::ALL
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, target)| target)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn cached_winners_are_bit_identical_to_uncached(
+        cell_pick in 0usize..64,
+        cap_exp in 0u32..4,
+        depth_pick in 0usize..2,
+        target_mask in 1u32..256,
+    ) {
+        let cells = tentpole::tentpoles(survey::database());
+        let cell = &cells[cell_pick % cells.len()];
+        let depth = [BitsPerCell::Slc, BitsPerCell::Mlc2][depth_pick];
+        let targets = target_subset(target_mask);
+        let config = ArrayConfig::new(Capacity::from_mebibytes(1 << cap_exp))
+            .with_bits_per_cell(depth);
+
+        let cache = SubarrayCache::new();
+        let uncached = characterize_targets(cell, &config, &targets);
+        let cold = characterize_targets_cached(cell, &config, &targets, &cache);
+        let warm = characterize_targets_cached(cell, &config, &targets, &cache);
+
+        match (uncached, cold, warm) {
+            (Ok(reference), Ok(cold), Ok(warm)) => {
+                prop_assert_eq!(&reference, &cold, "cold cache diverged for {}", &cell.name);
+                prop_assert_eq!(&reference, &warm, "warm cache diverged for {}", &cell.name);
+            }
+            (Err(reference), Err(cold), Err(warm)) => {
+                prop_assert_eq!(&reference, &cold);
+                prop_assert_eq!(&reference, &warm);
+            }
+            _ => prop_assert!(
+                false,
+                "cache flipped success/failure for {} at {}",
+                &cell.name,
+                config.capacity
+            ),
+        }
+    }
+
+    #[test]
+    fn one_cache_shared_across_the_capacity_axis_stays_identical(
+        cell_pick in 0usize..64,
+        target_mask in 1u32..256,
+    ) {
+        let cells = tentpole::tentpoles(survey::database());
+        let cell = &cells[cell_pick % cells.len()];
+        let targets = target_subset(target_mask);
+        let cache = SubarrayCache::new();
+        for mib in [1u64, 2, 4, 8] {
+            let config = ArrayConfig::new(Capacity::from_mebibytes(mib));
+            let reference = characterize_targets(cell, &config, &targets).unwrap();
+            let cached = characterize_targets_cached(cell, &config, &targets, &cache).unwrap();
+            prop_assert_eq!(reference, cached, "divergence at {} MiB for {}", mib, &cell.name);
+        }
+    }
+}
+
+/// The ISSUE-level reuse claim: a tentpole-wide, 4-capacity, 2-depth study
+/// shares the large majority of its subarray characterizations through the
+/// cache (the geometry space barely depends on capacity).
+#[test]
+fn four_capacity_study_reuses_most_subarray_characterizations() {
+    let cells = tentpole::tentpoles(survey::database());
+    let cache = SubarrayCache::new();
+    for cell in &cells {
+        for depth in [BitsPerCell::Slc, BitsPerCell::Mlc2] {
+            if !cell.supports(depth) {
+                continue;
+            }
+            for mib in [1u64, 2, 4, 8] {
+                let config =
+                    ArrayConfig::new(Capacity::from_mebibytes(mib)).with_bits_per_cell(depth);
+                characterize_targets_cached(cell, &config, &OptimizationTarget::ALL, &cache)
+                    .unwrap();
+            }
+        }
+    }
+    let stats = cache.stats();
+    assert!(
+        stats.hit_rate() >= 0.70,
+        "expected ≥ 70% reuse across 4 capacities, got {:.1}% ({} hits / {} lookups)",
+        stats.hit_rate() * 100.0,
+        stats.hits,
+        stats.lookups()
+    );
+}
