@@ -32,6 +32,7 @@ fn study() -> StudyConfig {
             access_bytes: 8,
         },
         constraints: Default::default(),
+        output: Default::default(),
     }
 }
 

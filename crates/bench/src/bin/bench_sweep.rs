@@ -1,18 +1,23 @@
 //! Records the sweep-engine performance trajectory into `BENCH_sweep.json`.
 //!
-//! Two measurement groups:
+//! Three measurement groups:
 //!
 //! - **`three_target`** (the PR 1 comparison, kept as the trajectory
 //!   baseline): the 3-target default study under the pre-overhaul
 //!   per-target mutex-queue engine (`sweep::baseline`) and the current
 //!   engine. PR 1's recorded medians are embedded verbatim under
 //!   `trajectory.pr1_recorded` so the history survives re-measurement.
-//! - **`multi_capacity`** (this PR's target): a 4-capacity × 2-depth ×
+//! - **`multi_capacity`** (the PR 2 target): a 4-capacity × 2-depth ×
 //!   3-target study under three engine variants — `pr1` (shared DSE with
 //!   per-candidate materialized scoring, no cache: the engine PR 1
 //!   shipped), `uncached` (zero-copy bank scoring, no cache), and `cached`
 //!   (zero-copy scoring + the sweep-wide subarray characterization cache).
 //!   Cache hit-rate and entry counts are recorded alongside the medians.
+//! - **`multi_study`** (this PR's target): a 3-study capacity-sliced
+//!   campaign under the [`StudyScheduler`] sharing one warm
+//!   `SubarrayCache`, against the same three studies run sequentially with
+//!   per-study private caches (the pre-scheduler serving pattern).
+//!   Cross-study cache hit rates are recorded per study and in aggregate.
 //!
 //! Run from the workspace root so the JSON lands next to `Cargo.toml`:
 //!
@@ -25,6 +30,7 @@
 //! caring about noise.
 
 use nvmexplorer_core::config::{ArraySettings, CellSelection, StudyConfig, TrafficSpec};
+use nvmexplorer_core::scheduler::StudyScheduler;
 use nvmexplorer_core::sweep::{self, baseline};
 use nvmx_nvsim::{OptimizationTarget, SubarrayCache};
 use nvmx_units::BitsPerCell;
@@ -59,6 +65,7 @@ fn three_target_study() -> StudyConfig {
         },
         traffic: generic_traffic(),
         constraints: Default::default(),
+        output: Default::default(),
     }
 }
 
@@ -80,7 +87,37 @@ fn multi_capacity_study() -> StudyConfig {
         },
         traffic: generic_traffic(),
         constraints: Default::default(),
+        output: Default::default(),
     }
+}
+
+/// The queued-campaign shape the scheduler exists for: three studies over
+/// the same cells and traffic family, sliced along the capacity axis. A
+/// warm shared cache lets the later studies reuse most of the first one's
+/// subarray physics.
+fn campaign_queue() -> Vec<StudyConfig> {
+    let slice = |name: &str, capacities_mib: Vec<u64>| StudyConfig {
+        name: name.into(),
+        cells: CellSelection::default(),
+        array: ArraySettings {
+            capacities_mib,
+            bits_per_cell: vec![BitsPerCell::Slc, BitsPerCell::Mlc2],
+            targets: vec![
+                OptimizationTarget::ReadEdp,
+                OptimizationTarget::WriteEdp,
+                OptimizationTarget::Area,
+            ],
+            ..ArraySettings::default()
+        },
+        traffic: generic_traffic(),
+        constraints: Default::default(),
+        output: Default::default(),
+    };
+    vec![
+        slice("campaign-small", vec![1, 2]),
+        slice("campaign-medium", vec![2, 4]),
+        slice("campaign-large", vec![4, 8]),
+    ]
 }
 
 /// Median wall-clock milliseconds over `reps` runs of `f` (one warmup rep
@@ -133,6 +170,23 @@ fn main() {
         assert_eq!(shared.arrays, legacy.arrays, "3-target engines diverged");
         assert_eq!(shared.evaluations, legacy.evaluations);
     }
+    let queue = campaign_queue();
+    {
+        let shared_cache = SubarrayCache::new();
+        let report = StudyScheduler::with_workers(8)
+            .lanes(2)
+            .run_queue_silent(&queue, &shared_cache);
+        assert!(report.all_succeeded(), "scheduler queue must run");
+        for (study, outcome) in queue.iter().zip(&report.outcomes) {
+            let standalone = sweep::run_study_with_threads(study, 8).expect("standalone runs");
+            let scheduled = outcome.result.as_ref().expect("checked above");
+            assert_eq!(
+                scheduled.arrays, standalone.arrays,
+                "scheduled study diverged; refusing to record bench"
+            );
+            assert_eq!(scheduled.evaluations, standalone.evaluations);
+        }
+    }
 
     // --- Cache behavior on the multi-capacity study ----------------------
     let cache = SubarrayCache::new();
@@ -164,6 +218,34 @@ fn main() {
             drop(sweep::run_study_with_threads(&multi, threads).unwrap());
         });
         multi_rows.push((threads, pr1_ms, uncached_ms, cached_ms));
+    }
+
+    // --- multi_study group (this PR's target) -----------------------------
+    // Cross-study cache behavior, measured once (single-lane so the warm-up
+    // order is deterministic: later studies hit what earlier ones missed).
+    let campaign_cache = SubarrayCache::new();
+    let campaign_report = StudyScheduler::with_workers(8)
+        .lanes(1)
+        .run_queue_silent(&queue, &campaign_cache);
+    let campaign_stats = campaign_cache.stats();
+
+    let mut study_rows = Vec::new();
+    for workers in [1usize, 8] {
+        let sequential_ms = median_ms(reps, || {
+            // The pre-scheduler serving pattern: each study runs alone with
+            // a private cache.
+            for study in &queue {
+                drop(sweep::run_study_with_threads(study, workers).unwrap());
+            }
+        });
+        let scheduler_ms = median_ms(reps, || {
+            let cache = SubarrayCache::new();
+            let report = StudyScheduler::with_workers(workers)
+                .lanes(2)
+                .run_queue_silent(&queue, &cache);
+            assert!(report.all_succeeded());
+        });
+        study_rows.push((workers, sequential_ms, scheduler_ms));
     }
 
     let mut json = String::from("{\n");
@@ -245,6 +327,54 @@ fn main() {
             if i + 1 < multi_rows.len() { "," } else { "" }
         );
     }
+    json.push_str("    ]\n  },\n");
+
+    json.push_str("  \"multi_study\": {\n");
+    json.push_str(
+        "    \"queue\": \"3 capacity-sliced studies (14 cells each, 1+2 / 2+4 / 4+8 MiB, SLC+MLC2, ReadEDP+WriteEDP+Area, 4x4 generic traffic sweep)\",\n",
+    );
+    json.push_str("    \"engines\": {\n");
+    json.push_str(
+        "      \"sequential\": \"3x run_study_with_threads, one private SubarrayCache per study (pre-scheduler serving pattern)\",\n",
+    );
+    json.push_str(
+        "      \"scheduler\": \"StudyScheduler, 2 lanes sharing the worker budget and one warm SubarrayCache\"\n",
+    );
+    json.push_str("    },\n");
+    json.push_str("    \"cross_study_cache\": {\n");
+    let _ = writeln!(
+        json,
+        "      \"aggregate\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}}},",
+        campaign_stats.hits,
+        campaign_stats.misses,
+        campaign_stats.hit_rate()
+    );
+    json.push_str("      \"per_study\": [\n");
+    for (i, outcome) in campaign_report.outcomes.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "        {{\"study\": \"{}\", \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}}}{}",
+            outcome.name,
+            outcome.cache.hits,
+            outcome.cache.misses,
+            outcome.cache_hit_rate(),
+            if i + 1 < campaign_report.outcomes.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    json.push_str("      ]\n    },\n");
+    json.push_str("    \"results_ms_median\": [\n");
+    for (i, (workers, sequential_ms, scheduler_ms)) in study_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"workers\": {workers}, \"sequential_ms\": {sequential_ms:.2}, \"scheduler_ms\": {scheduler_ms:.2}, \"speedup\": {:.2}}}{}",
+            sequential_ms / scheduler_ms,
+            if i + 1 < study_rows.len() { "," } else { "" }
+        );
+    }
     json.push_str("    ]\n  }\n}\n");
 
     std::fs::write("BENCH_sweep.json", &json).expect("write BENCH_sweep.json");
@@ -254,5 +384,15 @@ fn main() {
         "multi-capacity speedup at 8 threads: {:.2}x vs PR 1 (target >= 1.5x), cache hit rate {:.1}%",
         eight.1 / eight.3,
         stats.hit_rate() * 100.0
+    );
+    let campaign_eight = study_rows.iter().find(|(w, ..)| *w == 8).unwrap();
+    eprintln!(
+        "multi-study scheduler at 8 workers: {:.2}x vs 3 sequential runs, cross-study hit rate {:.1}% (single-study baseline 74.9%)",
+        campaign_eight.1 / campaign_eight.2,
+        campaign_stats.hit_rate() * 100.0
+    );
+    assert!(
+        campaign_stats.hit_rate() >= 0.749,
+        "cross-study hit rate regressed below the single-study baseline"
     );
 }

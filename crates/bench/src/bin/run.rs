@@ -2,17 +2,21 @@
 //! mirroring the paper artifact's `python run.py config/<study>.json`.
 //!
 //! ```text
-//! cargo run -p nvmx-bench --release --bin run -- config/main_dnn_study.json
+//! cargo run -p nvmx_bench --release --bin run -- config/main_dnn_study.json
 //! ```
 //!
 //! Results land as `<out>/<study-name>_results.csv` (one row per
 //! array × traffic evaluation, constraint-filter column included), where
-//! `<out>` is `NVMX_OUT` or `output/`.
+//! `<out>` is `NVMX_OUT` or `output/`. If the config carries an `output`
+//! section, those sinks additionally stream while the study runs (CSV rows
+//! per evaluation, JSONL events, terminal summary) — malformed configs are
+//! rejected with the offending section named.
 
 use nvmexplorer_core::config::StudyConfig;
 use nvmexplorer_core::explore::ResultSet;
-use nvmexplorer_core::sweep::run_study;
+use nvmexplorer_core::stream::StudyExecutor;
 use nvmx_viz::csv::{num, Csv};
+use nvmx_viz::sink::SpecSinks;
 
 fn main() {
     let Some(path) = std::env::args().nth(1) else {
@@ -28,10 +32,16 @@ fn main() {
         std::process::exit(2);
     });
 
-    let result = run_study(&study).unwrap_or_else(|e| {
-        eprintln!("study failed: {e}");
+    let mut sinks = SpecSinks::new(&study.output).unwrap_or_else(|e| {
+        eprintln!("cannot open output sinks: {e}");
         std::process::exit(1);
     });
+    let result = StudyExecutor::new()
+        .run(&study, &mut sinks)
+        .unwrap_or_else(|e| {
+            eprintln!("study failed: {e}");
+            std::process::exit(1);
+        });
     for (cell, reason) in &result.skipped {
         eprintln!("skipped {cell}: {reason}");
     }

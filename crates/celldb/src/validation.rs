@@ -77,6 +77,22 @@ pub fn reference_arrays() -> Vec<ReferenceArray> {
             write_latency: Some(Seconds::from_nano(250.0)),
             area: None,
         },
+        // SOT-MRAM is the one surveyed class the paper leaves unvalidated
+        // (Sec. III-C: mostly micron-scale test structures). The VLSI'20
+        // dual-port field-free SOT macro under 55 nm CMOS is the closest
+        // thing to array-level data the survey carries, so it anchors the
+        // same bracketing exercise the validated classes get — see the
+        // `sot_*` property tests in `tests/properties.rs`.
+        ReferenceArray {
+            key: "natsui_vlsi20_sot".to_owned(),
+            technology: TechnologyClass::Sot,
+            capacity: Capacity::from_megabits(1),
+            node_nm: 55.0,
+            read_latency: Seconds::from_nano(11.0),
+            read_energy: None,
+            write_latency: Some(Seconds::from_nano(17.0)),
+            area: None,
+        },
     ]
 }
 

@@ -18,7 +18,12 @@ use nvmx_workloads::traffic::{log_sweep, TrafficPattern};
 use serde::{Deserialize, Serialize};
 
 /// A full study specification, loadable from JSON.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// Deliberately *not* `Deserialize`: [`StudyConfig::from_json`] is the one
+/// parse path, so every consumer gets the section validation (required
+/// sections, unknown-section rejection, per-section error context) — a
+/// derived impl would silently default its way past typos.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct StudyConfig {
     /// Study name (used in output file names).
     pub name: String,
@@ -33,21 +38,150 @@ pub struct StudyConfig {
     /// Result filters.
     #[serde(default)]
     pub constraints: Constraints,
+    /// Where this study's results stream while it runs.
+    #[serde(default)]
+    pub output: OutputSpec,
 }
+
+/// A parse failure for a study config, carrying the offending section so
+/// queue operators get an actionable reject instead of a bare serde error.
+#[derive(Debug)]
+pub struct ConfigError {
+    /// Top-level section (`"name"`, `"traffic"`, …) the error points at,
+    /// `None` for document-level problems (syntax errors, wrong root type).
+    section: Option<&'static str>,
+    source: serde_json::Error,
+}
+
+impl ConfigError {
+    fn at(section: &'static str, source: serde_json::Error) -> Self {
+        Self {
+            section: Some(section),
+            source,
+        }
+    }
+
+    fn document(source: serde_json::Error) -> Self {
+        Self {
+            section: None,
+            source,
+        }
+    }
+
+    /// The top-level config section the error points at, when known.
+    pub fn section(&self) -> Option<&'static str> {
+        self.section
+    }
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.section {
+            Some(section) => write!(f, "invalid study config at `{section}`: {}", self.source),
+            None => write!(f, "invalid study config: {}", self.source),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// The top-level sections of a study config, with whether each is required.
+///
+/// Must list every field of [`StudyConfig`]. Kept in sync by construction:
+/// `from_json` builds the struct from exactly these probes (a new field is
+/// a compile error here), and the `json_roundtrip` test fails if an entry
+/// is forgotten — `to_json` emits every field, and `from_json` rejects
+/// sections not listed below.
+const SECTIONS: [(&str, bool); 6] = [
+    ("name", true),
+    ("cells", false),
+    ("array", false),
+    ("traffic", true),
+    ("constraints", false),
+    ("output", false),
+];
 
 impl StudyConfig {
     /// Parses a study from its JSON representation.
     ///
     /// # Errors
     ///
-    /// Returns the underlying serde error on malformed JSON.
-    pub fn from_json(json: &str) -> Result<Self, serde_json::Error> {
-        serde_json::from_str(json)
+    /// Returns [`ConfigError`] naming the offending top-level section —
+    /// missing required fields, unknown sections, and per-section shape
+    /// mismatches all point at where to look.
+    pub fn from_json(json: &str) -> Result<Self, ConfigError> {
+        let value: serde::Value = serde_json::from_str(json).map_err(ConfigError::document)?;
+        if value.as_object().is_none() {
+            return Err(ConfigError::document(serde_json::Error::new(format!(
+                "top-level JSON must be an object with `name` and `traffic`, got {}",
+                value.kind()
+            ))));
+        }
+        for (key, _) in value.as_object().expect("checked above") {
+            if !SECTIONS.iter().any(|(known, _)| known == key) {
+                let known = SECTIONS.map(|(name, _)| name).join(", ");
+                return Err(ConfigError::document(serde_json::Error::new(format!(
+                    "unknown section `{key}` (expected one of: {known})"
+                ))));
+            }
+        }
+        for (section, required) in SECTIONS {
+            if required && value.get(section).is_none() {
+                return Err(ConfigError::at(
+                    section,
+                    serde_json::Error::new(format!("missing required section `{section}`")),
+                ));
+            }
+        }
+        let section = |name: &'static str| value.get(name);
+        Ok(Self {
+            name: parse_section(section("name"), "name")?.expect("required"),
+            cells: parse_section(section("cells"), "cells")?.unwrap_or_default(),
+            array: parse_section(section("array"), "array")?.unwrap_or_default(),
+            traffic: parse_section(section("traffic"), "traffic")?.expect("required"),
+            constraints: parse_section(section("constraints"), "constraints")?.unwrap_or_default(),
+            output: parse_section(section("output"), "output")?.unwrap_or_default(),
+        })
     }
 
     /// Serializes the study to pretty JSON (the artifact's config format).
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("StudyConfig is always serializable")
+    }
+}
+
+/// Deserializes one top-level section, wrapping failures with the section
+/// name. `Ok(None)` means the section was absent (callers apply defaults).
+fn parse_section<T: serde::Deserialize>(
+    value: Option<&serde::Value>,
+    section: &'static str,
+) -> Result<Option<T>, ConfigError> {
+    value
+        .map(|v| serde_json::from_value(v).map_err(|e| ConfigError::at(section, e)))
+        .transpose()
+}
+
+/// Where (and how) a study's results stream while it runs — consumed by the
+/// sink layer (`nvmx_viz::sink`) and the config-driven runner.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[serde(default)]
+pub struct OutputSpec {
+    /// Stream one CSV row per evaluation to this path.
+    pub csv: Option<String>,
+    /// Stream every study event as a JSON line to this path.
+    pub jsonl: Option<String>,
+    /// Print a per-target winner summary table when the study finishes.
+    pub summary: bool,
+}
+
+impl OutputSpec {
+    /// `true` when the spec requests no output at all.
+    pub fn is_empty(&self) -> bool {
+        self.csv.is_none() && self.jsonl.is_none() && !self.summary
     }
 }
 
@@ -384,10 +518,104 @@ mod tests {
                 max_power_w: Some(0.1),
                 ..Constraints::default()
             },
+            output: OutputSpec {
+                csv: Some("out/results.csv".into()),
+                jsonl: None,
+                summary: true,
+            },
         };
         let json = config.to_json();
         let parsed = StudyConfig::from_json(&json).unwrap();
         assert_eq!(parsed, config);
+    }
+
+    #[test]
+    fn parse_errors_name_the_offending_section() {
+        // Broken traffic section: unknown kind.
+        let err = StudyConfig::from_json(r#"{"name": "s", "traffic": {"kind": "quantum_tunnel"}}"#)
+            .unwrap_err();
+        assert_eq!(err.section(), Some("traffic"));
+        assert!(err.to_string().contains("traffic"), "{err}");
+        assert!(err.to_string().contains("quantum_tunnel"), "{err}");
+
+        // Wrong type inside the array section.
+        let err = StudyConfig::from_json(
+            r#"{"name": "s", "array": {"word_bits": "wide"},
+                "traffic": {"kind": "spec_llc", "lookups": 10, "seed": 1}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.section(), Some("array"));
+
+        // Missing required sections point at themselves.
+        let err = StudyConfig::from_json(r#"{"name": "s"}"#).unwrap_err();
+        assert_eq!(err.section(), Some("traffic"));
+        let err = StudyConfig::from_json("{}").unwrap_err();
+        assert_eq!(err.section(), Some("name"));
+
+        // Syntax errors and non-object roots are document-level.
+        let err = StudyConfig::from_json("{\"name\": }").unwrap_err();
+        assert_eq!(err.section(), None);
+        let err = StudyConfig::from_json("[1, 2]").unwrap_err();
+        assert!(err.to_string().contains("object"), "{err}");
+
+        // Typos in section names are caught instead of silently ignored.
+        let err = StudyConfig::from_json(
+            r#"{"name": "s", "trafic": {"kind": "spec_llc", "lookups": 1, "seed": 1}}"#,
+        )
+        .unwrap_err();
+        assert!(err.to_string().contains("trafic"), "{err}");
+    }
+
+    #[test]
+    fn output_spec_defaults_to_empty() {
+        let json = r#"{
+            "name": "s",
+            "traffic": {"kind": "spec_llc", "lookups": 10, "seed": 1}
+        }"#;
+        let study = StudyConfig::from_json(json).unwrap();
+        assert!(study.output.is_empty());
+        let with_output = StudyConfig::from_json(
+            r#"{
+            "name": "s",
+            "traffic": {"kind": "spec_llc", "lookups": 10, "seed": 1},
+            "output": {"jsonl": "events.jsonl"}
+        }"#,
+        )
+        .unwrap();
+        assert_eq!(with_output.output.jsonl.as_deref(), Some("events.jsonl"));
+        assert!(!with_output.output.is_empty());
+    }
+
+    #[test]
+    fn partial_sections_fill_gaps_from_the_containers_default() {
+        // A `cells` section that only narrows technologies must keep the
+        // container defaults for everything it omits — notably
+        // `tentpoles: true`, whose default differs from `bool::default()`
+        // (real serde container-default semantics).
+        let study = StudyConfig::from_json(
+            r#"{
+            "name": "s",
+            "cells": {"technologies": ["Stt"], "sram_baseline": false, "reference_rram": false},
+            "traffic": {"kind": "spec_llc", "lookups": 10, "seed": 1}
+        }"#,
+        )
+        .unwrap();
+        assert!(study.cells.tentpoles, "container default must survive");
+        assert!(!study.cells.sram_baseline);
+        let cells = study.cells.resolve();
+        assert_eq!(cells.len(), 2, "STT optimistic + pessimistic tentpoles");
+        // Same for a partial `array` section.
+        let study = StudyConfig::from_json(
+            r#"{
+            "name": "s",
+            "array": {"capacities_mib": [4]},
+            "traffic": {"kind": "spec_llc", "lookups": 10, "seed": 1}
+        }"#,
+        )
+        .unwrap();
+        assert_eq!(study.array.capacities_mib, vec![4]);
+        assert_eq!(study.array.word_bits, ArraySettings::default().word_bits);
+        assert_eq!(study.array.targets, ArraySettings::default().targets);
     }
 
     #[test]

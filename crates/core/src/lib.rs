@@ -8,11 +8,17 @@
 //! fault-injection engine ([`nvmx_fault`]), and the workload substrates
 //! ([`nvmx_workloads`]) behind one configuration-driven flow:
 //!
-//! 1. [`config::StudyConfig`] — JSON-loadable cross-stack study spec,
-//! 2. [`sweep::run_study`] — expand + characterize + evaluate,
-//! 3. [`explore::ResultSet`] — filter/rank the results like the paper's
+//! 1. [`config::StudyConfig`] — JSON-loadable cross-stack study spec (with
+//!    a per-study [`config::OutputSpec`] naming where results stream),
+//! 2. [`sweep::run_study`] — expand + characterize + evaluate (batch), or
+//!    [`stream::StudyExecutor`] — the same engine pushing a deterministic
+//!    [`stream::StudyEvent`] stream to [`stream::ResultSink`]s while it
+//!    runs,
+//! 3. [`scheduler::StudyScheduler`] — shard a queue of studies across
+//!    concurrent lanes over one warm subarray cache,
+//! 4. [`explore::ResultSet`] — filter/rank the results like the paper's
 //!    interactive dashboard,
-//! 4. [`intermittent`], [`write_buffer`], [`accuracy`] — the specialized
+//! 5. [`intermittent`], [`write_buffer`], [`accuracy`] — the specialized
 //!    models behind Figs. 6/7, 14, and 13.
 //!
 //! # Examples
@@ -37,6 +43,7 @@
 //!         fps: 60.0,
 //!     },
 //!     constraints: Default::default(),
+//!     output: Default::default(),
 //! };
 //! study.cells.technologies = Some(vec![nvmx_celldb::TechnologyClass::Stt]);
 //! let result = run_study(&study)?;
@@ -52,12 +59,18 @@ pub mod config;
 pub mod eval;
 pub mod explore;
 pub mod intermittent;
+pub mod scheduler;
+pub mod stream;
 pub mod sweep;
 pub mod write_buffer;
 
-pub use config::StudyConfig;
+pub use config::{OutputSpec, StudyConfig};
 pub use eval::{evaluate, evaluate_shared, Evaluation};
 pub use explore::{Objective, ResultSet};
+pub use scheduler::{SchedulerReport, StudyOutcome, StudyScheduler};
+pub use stream::{
+    MultiSink, NullSink, ResultSink, StudyEvent, StudyExecutor, StudyResultBuilder, StudyStats,
+};
 pub use sweep::{run_study, StudyResult};
 
 #[cfg(test)]
@@ -75,6 +88,7 @@ mod tests {
                 patterns: vec![nvmx_workloads::TrafficPattern::new("t", 1.0e9, 1.0e6, 64)],
             },
             constraints: Default::default(),
+            output: Default::default(),
         };
         study.cells.technologies = Some(vec![nvmx_celldb::TechnologyClass::Pcm]);
         study.cells.sram_baseline = false;

@@ -1,0 +1,310 @@
+//! The multi-study scheduler: shard a queue of [`StudyConfig`]s across a
+//! shared worker budget and one warm [`SubarrayCache`].
+//!
+//! A batched exploration campaign (many users posing "what-if" studies over
+//! the same cell families) should not pay for subarray physics once per
+//! study: characterization depends on `(cell, node, geometry, depth)` and
+//! nothing study-specific, so a single cache can serve the whole queue. The
+//! [`StudyScheduler`] runs studies from a queue on a fixed number of
+//! concurrent *lanes*, splits the worker-thread budget across the lanes,
+//! threads every study through the one shared cache, and reports the
+//! per-study cache delta so operators can watch the cross-study hit rate
+//! climb as the cache warms.
+//!
+//! Studies are popped in queue order (lock-free atomic index, like the
+//! sweep engine's job fan-out) and their outcomes are returned in queue
+//! order regardless of completion interleaving. Each study's own
+//! [`StudyResult`] is deterministic; only the *cache counter deltas* depend
+//! on scheduling, since concurrent lanes flush into the same counters.
+
+use crate::config::StudyConfig;
+use crate::stream::{NullSink, ResultSink, StudyExecutor};
+use crate::sweep::{StudyError, StudyResult};
+use nvmx_nvsim::{CacheStats, SubarrayCache};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// What happened to one queued study.
+#[derive(Debug)]
+pub struct StudyOutcome {
+    /// Position in the submitted queue.
+    pub index: usize,
+    /// Study name (kept even when the run failed).
+    pub name: String,
+    /// The study's result, or why it could not run.
+    pub result: Result<StudyResult, StudyError>,
+    /// Shared-cache counters accrued while this study ran. On a warm cache
+    /// this is the *cross-study* view: hits include reuse of physics
+    /// characterized by earlier (or concurrent) studies. Deltas from
+    /// concurrent lanes interleave, so treat this as observability data.
+    pub cache: CacheStats,
+}
+
+impl StudyOutcome {
+    /// Cache hit rate observed while this study ran.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+}
+
+/// Everything a [`StudyScheduler::run_queue`] call produced.
+#[derive(Debug)]
+pub struct SchedulerReport {
+    /// Per-study outcomes, in queue order.
+    pub outcomes: Vec<StudyOutcome>,
+    /// Cumulative counters of the shared cache after the whole queue ran
+    /// (cross-study totals).
+    pub cache: CacheStats,
+}
+
+impl SchedulerReport {
+    /// `true` when every queued study ran to completion.
+    pub fn all_succeeded(&self) -> bool {
+        self.outcomes.iter().all(|o| o.result.is_ok())
+    }
+
+    /// The successfully completed results, in queue order.
+    pub fn results(&self) -> impl Iterator<Item = &StudyResult> {
+        self.outcomes.iter().filter_map(|o| o.result.as_ref().ok())
+    }
+}
+
+/// Shards a queue of studies across concurrent lanes over one shared
+/// [`SubarrayCache`].
+///
+/// # Examples
+///
+/// ```
+/// use nvmexplorer_core::config::{StudyConfig, TrafficSpec};
+/// use nvmexplorer_core::scheduler::StudyScheduler;
+/// use nvmx_nvsim::SubarrayCache;
+///
+/// let make = |name: &str| {
+///     let mut study = StudyConfig {
+///         name: name.into(),
+///         cells: Default::default(),
+///         array: Default::default(),
+///         traffic: TrafficSpec::Explicit {
+///             patterns: vec![nvmx_workloads::TrafficPattern::new("t", 1.0e9, 1.0e7, 64)],
+///         },
+///         constraints: Default::default(),
+///         output: Default::default(),
+///     };
+///     study.cells.technologies = Some(vec![nvmx_celldb::TechnologyClass::Stt]);
+///     study
+/// };
+/// let cache = SubarrayCache::new();
+/// // One lane: `b` runs strictly after `a`, so it reuses `a`'s physics.
+/// let report = StudyScheduler::with_workers(2)
+///     .lanes(1)
+///     .run_queue_silent(&[make("a"), make("b")], &cache);
+/// assert!(report.all_succeeded());
+/// assert!(report.outcomes[1].cache_hit_rate() > 0.9);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct StudyScheduler {
+    workers: usize,
+    lanes: usize,
+}
+
+impl Default for StudyScheduler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StudyScheduler {
+    /// A scheduler with a worker per available CPU (capped at 16) and two
+    /// concurrent lanes.
+    pub fn new() -> Self {
+        Self::with_workers(crate::sweep::default_workers())
+    }
+
+    /// A scheduler with an explicit total worker budget (clamped to ≥ 1)
+    /// and two concurrent lanes.
+    pub fn with_workers(workers: usize) -> Self {
+        Self {
+            workers: workers.max(1),
+            lanes: 2,
+        }
+    }
+
+    /// Sets how many studies run concurrently (clamped to `1..=workers`).
+    /// Each lane gets an equal share of the worker budget.
+    #[must_use]
+    pub fn lanes(mut self, lanes: usize) -> Self {
+        self.lanes = lanes.clamp(1, self.workers);
+        self
+    }
+
+    /// The total worker budget.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Worker threads each lane's study executor receives.
+    pub fn threads_per_lane(&self) -> usize {
+        (self.workers / self.lanes).max(1)
+    }
+
+    /// Runs every queued study, building one sink per study with
+    /// `make_sink` (called on the lane thread, receiving the queue index
+    /// and the config — return a [`NullSink`] boxed if a study needs no
+    /// output).
+    ///
+    /// Outcomes come back in queue order. A failed study (bad config, sink
+    /// error) never blocks the rest of the queue.
+    pub fn run_queue_with<F>(
+        &self,
+        queue: &[StudyConfig],
+        cache: &SubarrayCache,
+        make_sink: F,
+    ) -> SchedulerReport
+    where
+        F: Fn(usize, &StudyConfig) -> Box<dyn ResultSink> + Sync,
+    {
+        let slots: Vec<OnceLock<StudyOutcome>> = queue.iter().map(|_| OnceLock::new()).collect();
+        let next = AtomicUsize::new(0);
+        let lanes = self.lanes.min(queue.len()).max(1);
+        let threads = (self.workers / lanes).max(1);
+        std::thread::scope(|scope| {
+            for _ in 0..lanes {
+                scope.spawn(|| loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(study) = queue.get(index) else { break };
+                    let before = cache.stats();
+                    let mut sink = make_sink(index, study);
+                    let result = StudyExecutor::with_threads(threads)
+                        .cache(cache)
+                        .run(study, sink.as_mut());
+                    let outcome = StudyOutcome {
+                        index,
+                        name: study.name.clone(),
+                        result,
+                        cache: cache.stats().since(before),
+                    };
+                    slots[index]
+                        .set(outcome)
+                        .expect("scheduler slot written twice");
+                });
+            }
+        });
+        SchedulerReport {
+            outcomes: slots
+                .into_iter()
+                .map(|slot| slot.into_inner().expect("all scheduler slots filled"))
+                .collect(),
+            cache: cache.stats(),
+        }
+    }
+
+    /// [`Self::run_queue_with`] discarding all events — batch semantics
+    /// over a shared cache.
+    pub fn run_queue_silent(
+        &self,
+        queue: &[StudyConfig],
+        cache: &SubarrayCache,
+    ) -> SchedulerReport {
+        self.run_queue_with(queue, cache, |_, _| Box::new(NullSink))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{ArraySettings, CellSelection, StudyConfig, TrafficSpec};
+    use crate::sweep::run_study_with_threads;
+    use nvmx_celldb::TechnologyClass;
+
+    fn study(name: &str, capacity_mib: u64) -> StudyConfig {
+        StudyConfig {
+            name: name.into(),
+            cells: CellSelection {
+                technologies: Some(vec![TechnologyClass::Stt, TechnologyClass::Rram]),
+                reference_rram: false,
+                sram_baseline: false,
+                ..CellSelection::default()
+            },
+            array: ArraySettings {
+                capacities_mib: vec![capacity_mib],
+                ..ArraySettings::default()
+            },
+            traffic: TrafficSpec::Explicit {
+                patterns: vec![nvmx_workloads::TrafficPattern::new("t", 1.0e9, 1.0e7, 64)],
+            },
+            constraints: Default::default(),
+            output: Default::default(),
+        }
+    }
+
+    #[test]
+    fn queue_results_match_standalone_runs_in_queue_order() {
+        let queue = vec![study("q0", 2), study("q1", 4), study("q2", 2)];
+        let cache = SubarrayCache::new();
+        let report = StudyScheduler::with_workers(4)
+            .lanes(2)
+            .run_queue_silent(&queue, &cache);
+        assert!(report.all_succeeded());
+        assert_eq!(report.outcomes.len(), 3);
+        for (i, outcome) in report.outcomes.iter().enumerate() {
+            assert_eq!(outcome.index, i);
+            assert_eq!(outcome.name, queue[i].name);
+            let standalone = run_study_with_threads(&queue[i], 2).unwrap();
+            let scheduled = outcome.result.as_ref().unwrap();
+            assert_eq!(scheduled.arrays, standalone.arrays);
+            assert_eq!(scheduled.evaluations, standalone.evaluations);
+            assert_eq!(scheduled.skipped, standalone.skipped);
+        }
+    }
+
+    #[test]
+    fn shared_cache_serves_identical_follow_up_studies_entirely_warm() {
+        let queue = vec![study("cold", 2), study("warm", 2)];
+        let cache = SubarrayCache::new();
+        // Single lane: deterministic queue order, so `warm` runs after
+        // `cold` and must hit on every grid geometry.
+        let report = StudyScheduler::with_workers(2)
+            .lanes(1)
+            .run_queue_silent(&queue, &cache);
+        assert!(report.all_succeeded());
+        assert!(report.outcomes[0].cache.misses > 0);
+        assert_eq!(
+            report.outcomes[1].cache.misses, 0,
+            "warm study re-characterized"
+        );
+        assert!(report.outcomes[1].cache_hit_rate() > 0.99);
+        assert!(report.cache.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn failed_studies_do_not_block_the_queue() {
+        let mut bad = study("bad", 2);
+        bad.cells = CellSelection {
+            technologies: Some(vec![]),
+            tentpoles: true,
+            reference_rram: false,
+            sram_baseline: false,
+            back_gated_fefet: false,
+            custom: vec![],
+        };
+        let queue = vec![bad, study("good", 2)];
+        let cache = SubarrayCache::new();
+        let report = StudyScheduler::with_workers(2).run_queue_silent(&queue, &cache);
+        assert!(!report.all_succeeded());
+        assert!(matches!(
+            report.outcomes[0].result,
+            Err(StudyError::NoCells)
+        ));
+        assert!(report.outcomes[1].result.is_ok());
+        assert_eq!(report.results().count(), 1);
+    }
+
+    #[test]
+    fn lane_and_thread_budgets_clamp_sanely() {
+        let sched = StudyScheduler::with_workers(8).lanes(3);
+        assert_eq!(sched.workers(), 8);
+        assert_eq!(sched.threads_per_lane(), 2);
+        let one = StudyScheduler::with_workers(1).lanes(5);
+        assert_eq!(one.threads_per_lane(), 1);
+    }
+}

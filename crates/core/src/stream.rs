@@ -1,0 +1,589 @@
+//! The event-driven study pipeline: a typed [`StudyEvent`] stream plus the
+//! [`ResultSink`] consumer trait, and the [`StudyExecutor`] that pushes
+//! events while the lock-free sweep engine runs.
+//!
+//! # Why streaming
+//!
+//! The batch entry points ([`run_study`](crate::sweep::run_study) and
+//! friends) materialize the full [`StudyResult`] before a caller can observe
+//! anything — fine for a 5-array quickstart, hopeless for a
+//! multi-gigabyte sweep served from a queue. This module inverts that:
+//! every characterization and evaluation is pushed to a sink *as its slot
+//! completes*, so results can stream to disk (CSV/JSONL), drive progress
+//! UIs, or feed downstream consumers with bounded memory. The batch API
+//! still exists — it is now a thin wrapper that runs the executor with a
+//! [`NullSink`].
+//!
+//! # Determinism
+//!
+//! Events are emitted in **slot order**, not completion order: the engine
+//! fans jobs out lock-free into pre-allocated slots, and a dedicated
+//! drainer walks the slots in index order, emitting each as soon as it is
+//! filled. Worker interleaving therefore never changes the event sequence —
+//! the stream for a given [`StudyConfig`](crate::config::StudyConfig) is
+//! identical at 1 thread and at 16 (proven by proptest in
+//! `tests/stream_equivalence.rs`), and the [`StudyResult`] assembled from
+//! the stream (see [`StudyResultBuilder`]) is byte-identical to the batch
+//! engine's return value.
+//!
+//! The one non-deterministic corner is the *cache counters* inside
+//! [`StudyStats`]: racing workers that miss the same cache slot may both
+//! count a miss (the cache stores one value but tallies two), so
+//! `stats.cache` is observability data, not an invariant — everything else
+//! in the stream is exact.
+
+use crate::eval::Evaluation;
+use crate::sweep::StudyResult;
+use nvmx_nvsim::{ArrayCharacterization, CacheStats, OptimizationTarget, SubarrayCache};
+use serde::{Serialize, Value};
+
+/// End-of-study summary carried by [`StudyEvent::StudyFinished`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StudyStats {
+    /// Shared-DSE characterization jobs expanded from the config.
+    pub jobs: usize,
+    /// Optimization targets swept.
+    pub targets: usize,
+    /// Traffic patterns the config resolved to.
+    pub traffic_patterns: usize,
+    /// Design points successfully characterized.
+    pub arrays: usize,
+    /// `(array, traffic)` evaluations produced.
+    pub evaluations: usize,
+    /// Design points skipped (one entry per target, like the batch API).
+    pub skipped: usize,
+    /// Subarray-cache counters accrued while this study ran (`None` for
+    /// uncached engine variants). Observational: when several concurrent
+    /// studies share one cache the deltas interleave, and racing double
+    /// misses may double-count — see the module docs.
+    pub cache: Option<CacheStats>,
+}
+
+/// One observation from a running study, borrowed from the engine's slots —
+/// sinks that need ownership clone what they keep.
+///
+/// Event order is deterministic (slot order, never completion order):
+/// `StudyStarted`, then every `ArrayCharacterized`/`DesignSkipped` in job
+/// order, then every `EvaluationProduced` in `arrays × traffic` order, then
+/// `TargetWinnerSelected` per target (in the study's sorted target order),
+/// then `StudyFinished`.
+#[derive(Debug, Clone, Copy)]
+pub enum StudyEvent<'a> {
+    /// The study resolved its cells/traffic and is about to characterize.
+    StudyStarted {
+        /// Study name.
+        name: &'a str,
+        /// Resolved cell count.
+        cells: usize,
+        /// Shared-DSE jobs expanded (cells × capacities × depths).
+        jobs: usize,
+        /// Optimization targets swept.
+        targets: usize,
+        /// Resolved traffic patterns.
+        traffic: usize,
+    },
+    /// One design point finished characterization.
+    ArrayCharacterized {
+        /// Slot index in the deterministic output order.
+        index: usize,
+        /// The characterized design point.
+        array: &'a ArrayCharacterization,
+    },
+    /// One design point could not be characterized (reported once per
+    /// target, for parity with the batch `skipped` list).
+    DesignSkipped {
+        /// Cell name of the failed design point.
+        cell: &'a str,
+        /// Target this skip is reported under.
+        target: OptimizationTarget,
+        /// Human-readable reason.
+        reason: &'a str,
+    },
+    /// One `(array, traffic)` evaluation was produced.
+    EvaluationProduced {
+        /// Slot index in the deterministic `arrays × traffic` order.
+        index: usize,
+        /// The evaluation.
+        evaluation: &'a Evaluation,
+    },
+    /// The study-wide winner under one optimization target: the feasible
+    /// evaluation with the lowest total power (first in stream order wins
+    /// ties). Not emitted for targets with no feasible evaluation.
+    TargetWinnerSelected {
+        /// The optimization target.
+        target: OptimizationTarget,
+        /// The winning evaluation.
+        winner: &'a Evaluation,
+    },
+    /// The study completed; final counters.
+    StudyFinished {
+        /// Study name.
+        name: &'a str,
+        /// Final stats.
+        stats: &'a StudyStats,
+    },
+}
+
+impl StudyEvent<'_> {
+    /// Wire tag of the event (the `"event"` field of its JSON form).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::StudyStarted { .. } => "study_started",
+            Self::ArrayCharacterized { .. } => "array_characterized",
+            Self::DesignSkipped { .. } => "design_skipped",
+            Self::EvaluationProduced { .. } => "evaluation_produced",
+            Self::TargetWinnerSelected { .. } => "target_winner_selected",
+            Self::StudyFinished { .. } => "study_finished",
+        }
+    }
+}
+
+fn field(name: &str, value: Value) -> (String, Value) {
+    (name.to_owned(), value)
+}
+
+fn uint(n: usize) -> Value {
+    Value::Uint(n as u64)
+}
+
+fn text(s: &str) -> Value {
+    Value::Str(s.to_owned())
+}
+
+// Hand-written (the derive stand-in does not handle lifetimes): every event
+// serializes as a flat object tagged by `"event"`, so a JSONL stream is
+// self-describing line by line.
+impl Serialize for StudyEvent<'_> {
+    fn to_value(&self) -> Value {
+        let mut fields = Vec::new();
+        fields.push(field("event", text(self.kind())));
+        match self {
+            Self::StudyStarted {
+                name,
+                cells,
+                jobs,
+                targets,
+                traffic,
+            } => {
+                fields.push(field("name", text(name)));
+                fields.push(field("cells", uint(*cells)));
+                fields.push(field("jobs", uint(*jobs)));
+                fields.push(field("targets", uint(*targets)));
+                fields.push(field("traffic", uint(*traffic)));
+            }
+            Self::ArrayCharacterized { index, array } => {
+                fields.push(field("index", uint(*index)));
+                fields.push(field("array", array.to_value()));
+            }
+            Self::DesignSkipped {
+                cell,
+                target,
+                reason,
+            } => {
+                fields.push(field("cell", text(cell)));
+                fields.push(field("target", text(target.label())));
+                fields.push(field("reason", text(reason)));
+            }
+            Self::EvaluationProduced { index, evaluation } => {
+                fields.push(field("index", uint(*index)));
+                fields.push(field("evaluation", evaluation.to_value()));
+            }
+            Self::TargetWinnerSelected { target, winner } => {
+                fields.push(field("target", text(target.label())));
+                fields.push(field("cell", text(&winner.array.cell_name)));
+                fields.push(field("traffic", text(&winner.traffic.name)));
+                fields.push(field(
+                    "total_power_w",
+                    Value::Float(winner.total_power().value()),
+                ));
+            }
+            Self::StudyFinished { name, stats } => {
+                fields.push(field("name", text(name)));
+                fields.push(field("jobs", uint(stats.jobs)));
+                fields.push(field("targets", uint(stats.targets)));
+                fields.push(field("traffic", uint(stats.traffic_patterns)));
+                fields.push(field("arrays", uint(stats.arrays)));
+                fields.push(field("evaluations", uint(stats.evaluations)));
+                fields.push(field("skipped", uint(stats.skipped)));
+                let cache = match stats.cache {
+                    Some(c) => Value::Object(vec![
+                        field("hits", Value::Uint(c.hits)),
+                        field("misses", Value::Uint(c.misses)),
+                        field("hit_rate", Value::Float(c.hit_rate())),
+                    ]),
+                    None => Value::Null,
+                };
+                fields.push(field("cache", cache));
+            }
+        }
+        Value::Object(fields)
+    }
+}
+
+/// A consumer of [`StudyEvent`]s.
+///
+/// Sinks are driven from the executor's drainer thread in deterministic
+/// slot order; an `Err` aborts the study with
+/// [`StudyError::Sink`](crate::sweep::StudyError::Sink) (the in-flight
+/// characterization work still completes, but no further events are
+/// delivered).
+pub trait ResultSink {
+    /// Handles one event.
+    ///
+    /// # Errors
+    ///
+    /// Propagate I/O failures; the executor aborts the study on the first
+    /// sink error.
+    fn on_event(&mut self, event: &StudyEvent<'_>) -> std::io::Result<()>;
+
+    /// `true` for sinks that do not need the per-slot events
+    /// ([`NullSink`], summary-only sinks, or an all-passive fan-out). The
+    /// engine skips the slot-order streaming drain for passive sinks —
+    /// the batch entry points keep exactly their pre-streaming execution
+    /// profile, with no drainer thread competing with workers for
+    /// timeslices. A passive sink is **still delivered** the bracketing
+    /// events (`study_started`, `target_winner_selected`,
+    /// `study_finished`) — only the per-slot
+    /// `array_characterized`/`design_skipped`/`evaluation_produced`
+    /// events are skipped.
+    fn is_passive(&self) -> bool {
+        false
+    }
+}
+
+/// A sink that discards every event — the batch API runs on this.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullSink;
+
+impl ResultSink for NullSink {
+    fn on_event(&mut self, _event: &StudyEvent<'_>) -> std::io::Result<()> {
+        Ok(())
+    }
+
+    fn is_passive(&self) -> bool {
+        true
+    }
+}
+
+/// Fans every event out to several sinks, in push order.
+#[derive(Default)]
+pub struct MultiSink<'a> {
+    sinks: Vec<&'a mut dyn ResultSink>,
+}
+
+impl<'a> MultiSink<'a> {
+    /// An empty fan-out.
+    pub fn new() -> Self {
+        Self { sinks: Vec::new() }
+    }
+
+    /// Adds a sink; events reach sinks in push order.
+    #[must_use]
+    pub fn with(mut self, sink: &'a mut dyn ResultSink) -> Self {
+        self.sinks.push(sink);
+        self
+    }
+}
+
+impl ResultSink for MultiSink<'_> {
+    fn on_event(&mut self, event: &StudyEvent<'_>) -> std::io::Result<()> {
+        for sink in &mut self.sinks {
+            sink.on_event(event)?;
+        }
+        Ok(())
+    }
+
+    fn is_passive(&self) -> bool {
+        self.sinks.iter().all(|sink| sink.is_passive())
+    }
+}
+
+/// Rebuilds a [`StudyResult`] from the event stream.
+///
+/// This is the proof object for the streaming refactor: feeding the events
+/// of a study into a builder yields a result byte-identical to what the
+/// batch engine returns for the same config (asserted in
+/// `tests/stream_equivalence.rs`).
+#[derive(Debug, Default)]
+pub struct StudyResultBuilder {
+    name: String,
+    arrays: Vec<ArrayCharacterization>,
+    evaluations: Vec<Evaluation>,
+    skipped: Vec<(String, String)>,
+    finished: bool,
+}
+
+impl StudyResultBuilder {
+    /// An empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The assembled result, or `None` when no `StudyFinished` event was
+    /// seen (the stream was aborted or is still running).
+    pub fn finish(self) -> Option<StudyResult> {
+        self.finished.then_some(StudyResult {
+            name: self.name,
+            arrays: self.arrays,
+            evaluations: self.evaluations,
+            skipped: self.skipped,
+        })
+    }
+}
+
+impl ResultSink for StudyResultBuilder {
+    fn on_event(&mut self, event: &StudyEvent<'_>) -> std::io::Result<()> {
+        match event {
+            StudyEvent::StudyStarted { name, .. } => {
+                self.name = (*name).to_owned();
+            }
+            StudyEvent::ArrayCharacterized { array, .. } => {
+                self.arrays.push((*array).clone());
+            }
+            StudyEvent::DesignSkipped { cell, reason, .. } => {
+                self.skipped
+                    .push(((*cell).to_owned(), (*reason).to_owned()));
+            }
+            StudyEvent::EvaluationProduced { evaluation, .. } => {
+                self.evaluations.push((*evaluation).clone());
+            }
+            StudyEvent::TargetWinnerSelected { .. } => {}
+            StudyEvent::StudyFinished { .. } => {
+                self.finished = true;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Runs studies through the streaming engine, pushing [`StudyEvent`]s to a
+/// sink while returning the same deterministic [`StudyResult`] as the batch
+/// API.
+///
+/// # Examples
+///
+/// ```
+/// use nvmexplorer_core::config::{StudyConfig, TrafficSpec};
+/// use nvmexplorer_core::stream::{StudyExecutor, StudyResultBuilder};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut study = StudyConfig {
+///     name: "stream-demo".into(),
+///     cells: Default::default(),
+///     array: Default::default(),
+///     traffic: TrafficSpec::Explicit {
+///         patterns: vec![nvmx_workloads::TrafficPattern::new("t", 1.0e9, 1.0e7, 64)],
+///     },
+///     constraints: Default::default(),
+///     output: Default::default(),
+/// };
+/// study.cells.technologies = Some(vec![nvmx_celldb::TechnologyClass::Stt]);
+/// let mut builder = StudyResultBuilder::new();
+/// let result = StudyExecutor::with_threads(2).run(&study, &mut builder)?;
+/// let rebuilt = builder.finish().expect("stream finished");
+/// assert_eq!(result.arrays, rebuilt.arrays);
+/// # Ok(())
+/// # }
+/// ```
+pub struct StudyExecutor<'c> {
+    threads: usize,
+    cache: Option<&'c SubarrayCache>,
+}
+
+impl Default for StudyExecutor<'_> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<'c> StudyExecutor<'c> {
+    /// An executor with a worker per available CPU (capped at 16), like
+    /// [`run_study`](crate::sweep::run_study).
+    pub fn new() -> Self {
+        Self::with_threads(crate::sweep::default_workers())
+    }
+
+    /// An executor with an explicit characterization/evaluation worker
+    /// count.
+    pub fn with_threads(threads: usize) -> Self {
+        Self {
+            threads,
+            cache: None,
+        }
+    }
+
+    /// Shares a caller-owned [`SubarrayCache`] across every study this
+    /// executor runs (otherwise each run gets a private cache).
+    #[must_use]
+    pub fn cache(mut self, cache: &'c SubarrayCache) -> Self {
+        self.cache = Some(cache);
+        self
+    }
+
+    /// The configured worker count.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs one study, streaming events to `sink` and returning the
+    /// assembled [`StudyResult`] (byte-identical to the batch API).
+    ///
+    /// # Errors
+    ///
+    /// [`StudyError`](crate::sweep::StudyError) on an unresolvable config,
+    /// or [`StudyError::Sink`](crate::sweep::StudyError::Sink) when the
+    /// sink fails.
+    pub fn run(
+        &self,
+        study: &crate::config::StudyConfig,
+        sink: &mut dyn ResultSink,
+    ) -> Result<StudyResult, crate::sweep::StudyError> {
+        match self.cache {
+            Some(cache) => crate::sweep::run_streaming_with_cache(study, self.threads, cache, sink),
+            None => {
+                let cache = SubarrayCache::new();
+                crate::sweep::run_streaming_with_cache(study, self.threads, &cache, sink)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A sink that records event kinds and fails on request.
+    struct Recorder {
+        kinds: Vec<&'static str>,
+        fail_at: Option<usize>,
+    }
+
+    impl ResultSink for Recorder {
+        fn on_event(&mut self, event: &StudyEvent<'_>) -> std::io::Result<()> {
+            if self.fail_at == Some(self.kinds.len()) {
+                return Err(std::io::Error::other("sink exploded"));
+            }
+            self.kinds.push(event.kind());
+            Ok(())
+        }
+    }
+
+    fn small_study() -> crate::config::StudyConfig {
+        use crate::config::{ArraySettings, CellSelection, StudyConfig, TrafficSpec};
+        let mut study = StudyConfig {
+            name: "stream-unit".into(),
+            cells: CellSelection {
+                technologies: Some(vec![nvmx_celldb::TechnologyClass::Stt]),
+                reference_rram: false,
+                sram_baseline: false,
+                ..CellSelection::default()
+            },
+            array: ArraySettings::default(),
+            traffic: TrafficSpec::Explicit {
+                patterns: vec![nvmx_workloads::TrafficPattern::new("t", 1.0e9, 1.0e7, 64)],
+            },
+            constraints: Default::default(),
+            output: Default::default(),
+        };
+        study.array.capacities_mib = vec![2];
+        study
+    }
+
+    #[test]
+    fn event_order_brackets_the_study() {
+        let mut recorder = Recorder {
+            kinds: Vec::new(),
+            fail_at: None,
+        };
+        let result = StudyExecutor::with_threads(2)
+            .run(&small_study(), &mut recorder)
+            .unwrap();
+        assert_eq!(recorder.kinds.first(), Some(&"study_started"));
+        assert_eq!(recorder.kinds.last(), Some(&"study_finished"));
+        let arrays = recorder
+            .kinds
+            .iter()
+            .filter(|k| **k == "array_characterized")
+            .count();
+        let evals = recorder
+            .kinds
+            .iter()
+            .filter(|k| **k == "evaluation_produced")
+            .count();
+        assert_eq!(arrays, result.arrays.len());
+        assert_eq!(evals, result.evaluations.len());
+        assert!(recorder.kinds.contains(&"target_winner_selected"));
+    }
+
+    #[test]
+    fn sink_error_aborts_the_study() {
+        let mut recorder = Recorder {
+            kinds: Vec::new(),
+            fail_at: Some(1),
+        };
+        let err = StudyExecutor::with_threads(2)
+            .run(&small_study(), &mut recorder)
+            .unwrap_err();
+        assert!(matches!(err, crate::sweep::StudyError::Sink(_)));
+        assert_eq!(recorder.kinds, vec!["study_started"]);
+    }
+
+    #[test]
+    fn builder_requires_a_finished_stream() {
+        let builder = StudyResultBuilder::new();
+        assert!(builder.finish().is_none());
+    }
+
+    #[test]
+    fn multi_sink_fans_out_in_order() {
+        let mut a = Recorder {
+            kinds: Vec::new(),
+            fail_at: None,
+        };
+        let mut b = Recorder {
+            kinds: Vec::new(),
+            fail_at: None,
+        };
+        {
+            let mut multi = MultiSink::new().with(&mut a).with(&mut b);
+            let stats = StudyStats {
+                jobs: 0,
+                targets: 0,
+                traffic_patterns: 0,
+                arrays: 0,
+                evaluations: 0,
+                skipped: 0,
+                cache: None,
+            };
+            multi
+                .on_event(&StudyEvent::StudyFinished {
+                    name: "x",
+                    stats: &stats,
+                })
+                .unwrap();
+        }
+        assert_eq!(a.kinds, vec!["study_finished"]);
+        assert_eq!(b.kinds, vec!["study_finished"]);
+    }
+
+    #[test]
+    fn events_serialize_with_their_kind_tag() {
+        let stats = StudyStats {
+            jobs: 1,
+            targets: 2,
+            traffic_patterns: 3,
+            arrays: 4,
+            evaluations: 5,
+            skipped: 0,
+            cache: Some(CacheStats { hits: 3, misses: 1 }),
+        };
+        let event = StudyEvent::StudyFinished {
+            name: "demo",
+            stats: &stats,
+        };
+        let json = serde_json::to_string(&event).unwrap();
+        assert!(json.contains("\"event\":\"study_finished\""));
+        assert!(json.contains("\"evaluations\":5"));
+        assert!(json.contains("\"hit_rate\":0.75"));
+    }
+}

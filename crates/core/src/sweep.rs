@@ -34,6 +34,14 @@
 //!    cheaper than a characterization); each [`Evaluation`] holds an
 //!    `Arc<ArrayCharacterization>`, so the fan-out clones pointers, not
 //!    records.
+//! 5. **Streaming by slot order.** While workers fill slots, the calling
+//!    thread walks them in index order and pushes each completed
+//!    characterization/evaluation to a
+//!    [`ResultSink`](crate::stream::ResultSink) — results can leave the
+//!    process while the sweep is still running, and the event order is
+//!    deterministic by the same argument as the result order. The batch
+//!    entry points below are the streaming engine with a
+//!    [`NullSink`](crate::stream::NullSink).
 //!
 //! Jobs and targets are expanded in the legacy report order (cell name,
 //! capacity, programming depth, then target label), so `arrays` and
@@ -45,12 +53,13 @@
 
 use crate::config::{StudyConfig, UnknownNameError};
 use crate::eval::{evaluate_shared, Evaluation};
+use crate::stream::{NullSink, ResultSink, StudyEvent, StudyStats};
 use nvmx_celldb::CellDefinition;
 use nvmx_nvsim::{
     characterize_targets, characterize_targets_cached, ArrayCharacterization, ArrayConfig,
     CharacterizationError, OptimizationTarget, SubarrayCache,
 };
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Outcome of a study run.
@@ -76,6 +85,9 @@ pub enum StudyError {
     NoCells,
     /// The traffic spec resolved to nothing.
     NoTraffic,
+    /// A [`ResultSink`] failed while consuming the event stream; the study
+    /// was aborted at that point.
+    Sink(std::io::Error),
 }
 
 impl std::fmt::Display for StudyError {
@@ -84,15 +96,29 @@ impl std::fmt::Display for StudyError {
             Self::UnknownName(e) => write!(f, "{e}"),
             Self::NoCells => write!(f, "cell selection resolved to no cells"),
             Self::NoTraffic => write!(f, "traffic specification resolved to no patterns"),
+            Self::Sink(e) => write!(f, "result sink failed: {e}"),
         }
     }
 }
 
-impl std::error::Error for StudyError {}
+impl std::error::Error for StudyError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Sink(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 impl From<UnknownNameError> for StudyError {
     fn from(e: UnknownNameError) -> Self {
         Self::UnknownName(e)
+    }
+}
+
+impl From<std::io::Error> for StudyError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Sink(e)
     }
 }
 
@@ -175,10 +201,50 @@ enum DsePath<'c> {
     Pr1Materialized,
 }
 
+/// Default worker count for every batch/streaming entry point that does
+/// not take an explicit thread budget: one per available CPU, capped
+/// at 16.
+pub(crate) fn default_workers() -> usize {
+    std::thread::available_parallelism().map_or(4, |n| n.get().min(16))
+}
+
+/// Arms a poison flag if the owning worker unwinds, so the streaming
+/// drainer never spins forever on a slot its (dead) worker will never
+/// fill. The panic itself still propagates: the drainer stops waiting,
+/// the scope joins its threads, and `std::thread::scope` re-raises the
+/// worker's panic — exactly the pre-streaming batch behavior.
+struct PanicFlag<'a>(&'a AtomicBool);
+
+impl Drop for PanicFlag<'_> {
+    fn drop(&mut self) {
+        if std::thread::panicking() {
+            self.0.store(true, Ordering::Release);
+        }
+    }
+}
+
+/// Blocks until `slot` is filled by a worker, yielding the timeslice while
+/// it waits; `None` when a worker died and the slot may never fill. The
+/// drainer walks slots in index order, and workers claim jobs in the same
+/// order, so the wait is almost always short — but correctness never
+/// depends on that.
+fn wait_filled<'s, T>(slot: &'s OnceLock<T>, poisoned: &AtomicBool) -> Option<&'s T> {
+    loop {
+        if let Some(value) = slot.get() {
+            return Some(value);
+        }
+        if poisoned.load(Ordering::Acquire) {
+            return None;
+        }
+        std::thread::yield_now();
+    }
+}
+
 fn run_study_impl(
     study: &StudyConfig,
     threads: usize,
     path: DsePath<'_>,
+    sink: &mut dyn ResultSink,
 ) -> Result<StudyResult, StudyError> {
     let cells = study.cells.resolve();
     if cells.is_empty() {
@@ -193,31 +259,98 @@ fn run_study_impl(
     targets.sort_by_key(|target| target.label());
 
     let jobs = expand_jobs(study, &cells, &targets);
+    sink.on_event(&StudyEvent::StudyStarted {
+        name: &study.name,
+        cells: cells.len(),
+        jobs: jobs.len(),
+        targets: targets.len(),
+        traffic: traffic.len(),
+    })?;
+    let cache_before = match path {
+        DsePath::Cached(cache) => Some((cache, cache.stats())),
+        _ => None,
+    };
+
     let slots: Vec<OnceLock<JobOutcome>> = jobs.iter().map(|_| OnceLock::new()).collect();
     let next_job = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
 
     let workers = clamp_workers(threads, jobs.len());
+    let mut sink_status: std::io::Result<()> = Ok(());
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let index = next_job.fetch_add(1, Ordering::Relaxed);
-                let Some(job) = jobs.get(index) else { break };
-                let outcome = match path {
-                    DsePath::Cached(cache) => {
-                        characterize_targets_cached(job.cell, &job.config, &targets, cache)
+            scope.spawn(|| {
+                let _flag = PanicFlag(&poisoned);
+                loop {
+                    let index = next_job.fetch_add(1, Ordering::Relaxed);
+                    let Some(job) = jobs.get(index) else { break };
+                    let outcome = match path {
+                        DsePath::Cached(cache) => {
+                            characterize_targets_cached(job.cell, &job.config, &targets, cache)
+                        }
+                        DsePath::Uncached => characterize_targets(job.cell, &job.config, &targets),
+                        DsePath::Pr1Materialized => nvmx_nvsim::dse::optimize_targets_materialized(
+                            job.cell,
+                            &job.config,
+                            &targets,
+                        ),
                     }
-                    DsePath::Uncached => characterize_targets(job.cell, &job.config, &targets),
-                    DsePath::Pr1Materialized => nvmx_nvsim::dse::optimize_targets_materialized(
-                        job.cell,
-                        &job.config,
-                        &targets,
-                    ),
+                    .map_err(|e| (job.cell.name.clone(), e));
+                    slots[index].set(outcome).expect("job slot written twice");
                 }
-                .map_err(|e| (job.cell.name.clone(), e));
-                slots[index].set(outcome).expect("job slot written twice");
             });
         }
+        // Stream the slots in index order as the workers fill them: event
+        // order is fixed by job order, never by worker interleaving.
+        // Passive sinks (the batch entry points) skip the drain entirely —
+        // the calling thread blocks in the scope join like the
+        // pre-streaming engine instead of spinning alongside the workers.
+        if sink.is_passive() {
+            return;
+        }
+        let mut emitted = 0usize;
+        'drain: for slot in &slots {
+            let Some(outcome) = wait_filled(slot, &poisoned) else {
+                // A worker died; stop draining so the scope can join and
+                // re-raise its panic.
+                break 'drain;
+            };
+            match outcome {
+                Ok(designs) => {
+                    for array in designs {
+                        sink_status = sink.on_event(&StudyEvent::ArrayCharacterized {
+                            index: emitted,
+                            array,
+                        });
+                        emitted += 1;
+                        if sink_status.is_err() {
+                            break 'drain;
+                        }
+                    }
+                }
+                Err((cell, error)) => {
+                    let reason = error.to_string();
+                    for &target in &targets {
+                        sink_status = sink.on_event(&StudyEvent::DesignSkipped {
+                            cell,
+                            target,
+                            reason: &reason,
+                        });
+                        if sink_status.is_err() {
+                            break 'drain;
+                        }
+                    }
+                }
+            }
+        }
+        if sink_status.is_err() {
+            // The study is aborting: park the claim counter past the end so
+            // workers stop picking up new jobs instead of computing results
+            // nobody will read.
+            next_job.store(jobs.len(), Ordering::Relaxed);
+        }
     });
+    sink_status?;
 
     let mut arrays = Vec::with_capacity(jobs.len() * targets.len());
     let mut skipped = Vec::new();
@@ -237,7 +370,43 @@ fn run_study_impl(
     // evaluation; reproduce that cost under the PR-1 path so benches
     // measure the engine as it shipped.
     let share_arrays = !matches!(path, DsePath::Pr1Materialized);
-    let evaluations = evaluate_all(&arrays, &traffic, threads, share_arrays);
+    let evaluations = evaluate_all(&arrays, &traffic, threads, share_arrays, sink)?;
+
+    // Study-wide winner per target: the feasible evaluation with the lowest
+    // total power, first-in-stream-order on ties.
+    for &target in &targets {
+        let mut winner: Option<&Evaluation> = None;
+        for eval in &evaluations {
+            if eval.array.target != target || !eval.is_feasible() {
+                continue;
+            }
+            let better = match winner {
+                None => true,
+                Some(best) => eval.total_power().value() < best.total_power().value(),
+            };
+            if better {
+                winner = Some(eval);
+            }
+        }
+        if let Some(winner) = winner {
+            sink.on_event(&StudyEvent::TargetWinnerSelected { target, winner })?;
+        }
+    }
+
+    let stats = StudyStats {
+        jobs: jobs.len(),
+        targets: targets.len(),
+        traffic_patterns: traffic.len(),
+        arrays: arrays.len(),
+        evaluations: evaluations.len(),
+        skipped: skipped.len(),
+        cache: cache_before.map(|(cache, before)| cache.stats().since(before)),
+    };
+    sink.on_event(&StudyEvent::StudyFinished {
+        name: &study.name,
+        stats: &stats,
+    })?;
+
     Ok(StudyResult {
         name: study.name.clone(),
         arrays,
@@ -266,7 +435,19 @@ pub fn run_study_with_threads(
     threads: usize,
 ) -> Result<StudyResult, StudyError> {
     let cache = SubarrayCache::new();
-    run_study_impl(study, threads, DsePath::Cached(&cache))
+    run_study_impl(study, threads, DsePath::Cached(&cache), &mut NullSink)
+}
+
+/// The streaming engine entry used by
+/// [`StudyExecutor`](crate::stream::StudyExecutor): identical to
+/// [`run_study_with_cache`] but pushing every event to `sink`.
+pub(crate) fn run_streaming_with_cache(
+    study: &StudyConfig,
+    threads: usize,
+    cache: &SubarrayCache,
+    sink: &mut dyn ResultSink,
+) -> Result<StudyResult, StudyError> {
+    run_study_impl(study, threads, DsePath::Cached(cache), sink)
 }
 
 /// [`run_study_with_threads`] with a caller-owned [`SubarrayCache`].
@@ -284,7 +465,7 @@ pub fn run_study_with_cache(
     threads: usize,
     cache: &SubarrayCache,
 ) -> Result<StudyResult, StudyError> {
-    run_study_impl(study, threads, DsePath::Cached(cache))
+    run_study_impl(study, threads, DsePath::Cached(cache), &mut NullSink)
 }
 
 /// [`run_study_with_threads`] with subarray memoization disabled — every
@@ -295,7 +476,7 @@ pub fn run_study_with_cache(
 ///
 /// Same conditions as [`run_study_with_threads`].
 pub fn run_study_uncached(study: &StudyConfig, threads: usize) -> Result<StudyResult, StudyError> {
-    run_study_impl(study, threads, DsePath::Uncached)
+    run_study_impl(study, threads, DsePath::Uncached, &mut NullSink)
 }
 
 /// The PR-1 engine: shared DSE and lock-free fan-out, but with the
@@ -308,11 +489,12 @@ pub fn run_study_uncached(study: &StudyConfig, threads: usize) -> Result<StudyRe
 /// Same conditions as [`run_study_with_threads`].
 #[doc(hidden)]
 pub fn run_study_pr1(study: &StudyConfig, threads: usize) -> Result<StudyResult, StudyError> {
-    run_study_impl(study, threads, DsePath::Pr1Materialized)
+    run_study_impl(study, threads, DsePath::Pr1Materialized, &mut NullSink)
 }
 
 /// Evaluates the full `arrays × traffic` product across the worker pool,
-/// preserving the serial double-loop order.
+/// preserving the serial double-loop order and streaming each evaluation to
+/// `sink` in that order as its slot completes.
 ///
 /// Each array is wrapped in an [`Arc`] once; the parallel stage then clones
 /// a pointer per evaluation instead of deep-copying the characterization
@@ -322,10 +504,11 @@ fn evaluate_all(
     traffic: &[nvmx_workloads::TrafficPattern],
     threads: usize,
     share_arrays: bool,
-) -> Vec<Evaluation> {
+    sink: &mut dyn ResultSink,
+) -> Result<Vec<Evaluation>, std::io::Error> {
     let pairs = arrays.len() * traffic.len();
     if pairs == 0 {
-        return Vec::new();
+        return Ok(Vec::new());
     }
     let shared: Vec<Arc<ArrayCharacterization>> = if share_arrays {
         arrays.iter().map(|array| Arc::new(array.clone())).collect()
@@ -334,32 +517,55 @@ fn evaluate_all(
     };
     let slots: Vec<OnceLock<Evaluation>> = (0..pairs).map(|_| OnceLock::new()).collect();
     let next_pair = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
     let workers = clamp_workers(threads, pairs.div_ceil(EVAL_CHUNK));
+    let mut sink_status: std::io::Result<()> = Ok(());
     std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|| loop {
-                let start = next_pair.fetch_add(EVAL_CHUNK, Ordering::Relaxed);
-                if start >= pairs {
-                    break;
-                }
-                for index in start..(start + EVAL_CHUNK).min(pairs) {
-                    let pattern = &traffic[index % traffic.len()];
-                    let evaluation = if share_arrays {
-                        evaluate_shared(&shared[index / traffic.len()], pattern)
-                    } else {
-                        crate::eval::evaluate(&arrays[index / traffic.len()], pattern)
-                    };
-                    slots[index]
-                        .set(evaluation)
-                        .expect("evaluation slot written twice");
+            scope.spawn(|| {
+                let _flag = PanicFlag(&poisoned);
+                loop {
+                    let start = next_pair.fetch_add(EVAL_CHUNK, Ordering::Relaxed);
+                    if start >= pairs {
+                        break;
+                    }
+                    for index in start..(start + EVAL_CHUNK).min(pairs) {
+                        let pattern = &traffic[index % traffic.len()];
+                        let evaluation = if share_arrays {
+                            evaluate_shared(&shared[index / traffic.len()], pattern)
+                        } else {
+                            crate::eval::evaluate(&arrays[index / traffic.len()], pattern)
+                        };
+                        slots[index]
+                            .set(evaluation)
+                            .expect("evaluation slot written twice");
+                    }
                 }
             });
         }
+        // Passive sinks skip the drain, as in the characterization stage.
+        if sink.is_passive() {
+            return;
+        }
+        for (index, slot) in slots.iter().enumerate() {
+            let Some(evaluation) = wait_filled(slot, &poisoned) else {
+                // A worker died; let the scope join and re-raise its panic.
+                break;
+            };
+            sink_status = sink.on_event(&StudyEvent::EvaluationProduced { index, evaluation });
+            if sink_status.is_err() {
+                // Park the claim counter past the end so workers stop
+                // evaluating pairs nobody will read.
+                next_pair.store(pairs, Ordering::Relaxed);
+                break;
+            }
+        }
     });
-    slots
+    sink_status?;
+    Ok(slots
         .into_iter()
         .map(|slot| slot.into_inner().expect("all evaluation slots filled"))
-        .collect()
+        .collect())
 }
 
 /// Runs a study with a worker per available CPU (capped at 16).
@@ -368,8 +574,7 @@ fn evaluate_all(
 ///
 /// See [`run_study_with_threads`].
 pub fn run_study(study: &StudyConfig) -> Result<StudyResult, StudyError> {
-    let threads = std::thread::available_parallelism().map_or(4, |n| n.get().min(16));
-    run_study_with_threads(study, threads)
+    run_study_with_threads(study, default_workers())
 }
 
 /// The pre-overhaul reference engine: one job per `(cell, capacity,
@@ -517,6 +722,7 @@ mod tests {
                 patterns: vec![nvmx_workloads::TrafficPattern::new("t", 1.0e9, 1.0e7, 64)],
             },
             constraints: Constraints::default(),
+            output: Default::default(),
         }
     }
 

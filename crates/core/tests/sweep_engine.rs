@@ -39,6 +39,7 @@ fn large_study() -> StudyConfig {
             access_bytes: 64,
         },
         constraints: Constraints::default(),
+        output: Default::default(),
     }
 }
 

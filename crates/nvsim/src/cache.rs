@@ -114,6 +114,17 @@ impl CacheStats {
             }
         }
     }
+
+    /// Counters accumulated since an `earlier` snapshot of the same cache —
+    /// the per-study view a scheduler slot reports when several studies
+    /// share one warm cache. Saturating, so a stale/foreign snapshot never
+    /// panics (it just clamps to zero).
+    pub fn since(&self, earlier: Self) -> Self {
+        Self {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
 }
 
 /// A sweep-wide, thread-safe memo of subarray characterizations.

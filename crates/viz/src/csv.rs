@@ -20,7 +20,7 @@ pub struct Csv {
 }
 
 /// Quotes a CSV field when it contains separators/quotes/newlines.
-fn escape(field: &str) -> String {
+pub fn escape(field: &str) -> String {
     if field.contains(',') || field.contains('"') || field.contains('\n') {
         format!("\"{}\"", field.replace('"', "\"\""))
     } else {

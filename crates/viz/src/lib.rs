@@ -1,7 +1,9 @@
 //! Reporting for NVMExplorer-RS studies: CSV files (the artifact's output
-//! format), aligned ASCII tables (terminal reports), and self-contained SVG
+//! format), aligned ASCII tables (terminal reports), self-contained SVG
 //! scatter plots (the static stand-in for the paper's interactive Tableau
-//! dashboard — see DESIGN.md for the substitution note).
+//! dashboard — see DESIGN.md for the substitution note), and streaming
+//! [`sink`]s (incremental CSV/JSONL/summary writers over the core study
+//! event stream, for sweeps too large to hold in memory).
 //!
 //! # Examples
 //!
@@ -24,9 +26,11 @@
 //! ```
 
 pub mod csv;
+pub mod sink;
 pub mod svg;
 pub mod table;
 
 pub use csv::Csv;
+pub use sink::{CsvSink, JsonlSink, SpecSinks, SummaryTableSink};
 pub use svg::{ScatterPlot, Series};
 pub use table::AsciiTable;

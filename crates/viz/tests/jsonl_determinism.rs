@@ -1,0 +1,97 @@
+//! Proof that a [`JsonlSink`] stream is a stable artifact: for random study
+//! configs, the JSONL emitted at 1 thread and at 16 threads is identical
+//! line for line (the final `study_finished` line is compared on its
+//! deterministic stats prefix — its cache counters are observational, see
+//! the core stream docs).
+
+use nvmexplorer_core::config::{ArraySettings, CellSelection, StudyConfig, TrafficSpec};
+use nvmexplorer_core::stream::StudyExecutor;
+use nvmx_celldb::TechnologyClass;
+use nvmx_nvsim::OptimizationTarget;
+use nvmx_units::BitsPerCell;
+use nvmx_viz::sink::JsonlSink;
+use nvmx_workloads::TrafficPattern;
+use proptest::prelude::*;
+
+fn jsonl_for(study: &StudyConfig, threads: usize) -> Vec<String> {
+    let mut sink = JsonlSink::new(Vec::new());
+    StudyExecutor::with_threads(threads)
+        .run(study, &mut sink)
+        .expect("study runs");
+    String::from_utf8(sink.into_inner())
+        .expect("utf-8 stream")
+        .lines()
+        .map(str::to_owned)
+        .collect()
+}
+
+fn arb_study() -> impl Strategy<Value = StudyConfig> {
+    ((1u8..8, 0u8..2), 0u8..2, 1u64..3).prop_map(|((tech_mask, sram), depths, patterns)| {
+        let pool = [
+            TechnologyClass::Stt,
+            TechnologyClass::Rram,
+            TechnologyClass::FeFet,
+        ];
+        let technologies: Vec<TechnologyClass> = pool
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| tech_mask & (1 << i) != 0)
+            .map(|(_, t)| *t)
+            .collect();
+        StudyConfig {
+            name: format!("jsonl-{tech_mask}-{sram}-{depths}-{patterns}"),
+            cells: CellSelection {
+                technologies: Some(technologies),
+                reference_rram: false,
+                sram_baseline: sram == 1,
+                ..CellSelection::default()
+            },
+            array: ArraySettings {
+                bits_per_cell: if depths == 0 {
+                    vec![BitsPerCell::Slc]
+                } else {
+                    vec![BitsPerCell::Slc, BitsPerCell::Mlc2]
+                },
+                targets: vec![OptimizationTarget::ReadEdp, OptimizationTarget::Area],
+                ..ArraySettings::default()
+            },
+            traffic: TrafficSpec::Explicit {
+                patterns: (0..patterns)
+                    .map(|i| {
+                        TrafficPattern::new(
+                            format!("p{i}"),
+                            2.0e9 / (i + 1) as f64,
+                            5.0e6 * (i + 1) as f64,
+                            64,
+                        )
+                    })
+                    .collect(),
+            },
+            constraints: Default::default(),
+            output: Default::default(),
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn jsonl_stream_is_identical_at_1_and_16_threads(study in arb_study()) {
+        let serial = jsonl_for(&study, 1);
+        let parallel = jsonl_for(&study, 16);
+        prop_assert_eq!(serial.len(), parallel.len());
+        let last = serial.len() - 1;
+        for (i, (a, b)) in serial.iter().zip(&parallel).enumerate() {
+            if i < last {
+                prop_assert_eq!(a, b, "line {} diverged", i);
+            } else {
+                // `study_finished`: everything before the cache counters is
+                // part of the determinism contract.
+                prop_assert!(a.contains("\"event\":\"study_finished\""));
+                let strip = |l: &str| l.split(",\"cache\":").next().unwrap().to_owned();
+                prop_assert_eq!(strip(a), strip(b), "finished stats diverged");
+            }
+        }
+    }
+}

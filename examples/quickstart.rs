@@ -1,12 +1,13 @@
 //! Quickstart: compare eNVM technologies as a 2 MB on-chip buffer under a
-//! simple traffic pattern, filter to feasible designs, and print the
-//! leaderboard.
+//! simple traffic pattern, stream the study through a result sink, filter
+//! to feasible designs, and print the leaderboard.
 //!
-//! Run with: `cargo run -p nvmx-bench --release --example quickstart`
+//! Run with: `cargo run -p nvmexplorer --release --example quickstart`
 
 use nvmexplorer_core::config::{StudyConfig, TrafficSpec};
 use nvmexplorer_core::explore::{Objective, ResultSet};
-use nvmexplorer_core::sweep::run_study;
+use nvmexplorer_core::stream::StudyExecutor;
+use nvmx_viz::sink::SummaryTableSink;
 use nvmx_viz::AsciiTable;
 use nvmx_workloads::TrafficPattern;
 
@@ -27,14 +28,19 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             )],
         },
         constraints: Default::default(),
+        output: Default::default(),
     };
 
     // The same study serializes to the JSON the paper's artifact uses.
     println!("study config as JSON:\n{}\n", study.to_json());
 
-    // 2. Run: characterize every (cell x capacity x target) and evaluate
-    //    against every traffic pattern.
-    let result = run_study(&study)?;
+    // 2. Run through the streaming executor: every characterization and
+    //    evaluation is pushed to the sink as its slot completes (here a
+    //    summary table straight to stdout — CsvSink/JsonlSink stream full
+    //    results to disk the same way), and the assembled StudyResult
+    //    comes back for in-process exploration.
+    let mut summary = SummaryTableSink::new(std::io::stdout());
+    let result = StudyExecutor::new().run(&study, &mut summary)?;
     println!(
         "characterized {} arrays ({} skipped), {} evaluations\n",
         result.arrays.len(),

@@ -2,7 +2,7 @@
 //! `run.py config/*.json` flow) round-trips and drives studies.
 
 use nvmexplorer_core::config::{
-    ArraySettings, CellSelection, Constraints, StudyConfig, TrafficSpec,
+    ArraySettings, CellSelection, Constraints, OutputSpec, StudyConfig, TrafficSpec,
 };
 use nvmexplorer_core::explore::ResultSet;
 use nvmexplorer_core::sweep::run_study;
@@ -34,6 +34,7 @@ fn main_dnn_study() -> StudyConfig {
             max_power_w: Some(0.05),
             ..Constraints::default()
         },
+        output: OutputSpec::default(),
     }
 }
 

@@ -22,6 +22,7 @@ fn dnn_study() -> StudyConfig {
             fps: 60.0,
         },
         constraints: Default::default(),
+        output: Default::default(),
     }
 }
 

@@ -311,6 +311,21 @@ impl<T: Serialize + ?Sized> Serialize for &T {
     }
 }
 
+// `Value` round-trips through itself, so callers can parse once and probe
+// sections individually (real serde_json offers the same via
+// `serde_json::Value`).
+impl Serialize for Value {
+    fn to_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_value(v: &Value) -> Result<Self, Error> {
+        Ok(v.clone())
+    }
+}
+
 // Shared pointers serialize as their contents and deserialize into a fresh
 // allocation, like real serde's `rc` feature: no cross-reference tracking.
 impl<T: Serialize + ?Sized> Serialize for std::sync::Arc<T> {

@@ -388,7 +388,14 @@ fn gen_serialize(c: &Container) -> String {
 }
 
 fn field_fallback(f: &Field, container_default: bool, container: &str) -> String {
-    if f.default || container_default {
+    if container_default {
+        // Container-level `#[serde(default)]` fills gaps from the
+        // *container's* `Default` value (real serde semantics), so structs
+        // whose defaults differ from their field types' defaults — e.g. a
+        // `bool` defaulting to `true` — deserialize correctly from partial
+        // objects.
+        format!("__container_default.{}", f.name)
+    } else if f.default {
         "::std::default::Default::default()".to_owned()
     } else if f.is_option {
         "::std::option::Option::None".to_owned()
@@ -433,11 +440,17 @@ fn gen_deserialize(c: &Container) -> String {
             fields[0].name
         ),
         Shape::Named(fields) => {
+            let container_default = if c.attrs.default {
+                format!("let __container_default: {name} = ::std::default::Default::default();\n")
+            } else {
+                String::new()
+            };
             format!(
                 "if ::serde::Value::as_object(__value).is_none() {{\n\
                  return ::std::result::Result::Err(::serde::Error::new(::std::format!(\n\
                  \"expected object for `{name}`, got {{}}\", ::serde::Value::kind(__value))));\n\
                  }}\n\
+                 {container_default}\
                  ::std::result::Result::Ok({name} {{\n{}\n}})",
                 named_fields_from(fields, "__value", c.attrs.default, name)
             )

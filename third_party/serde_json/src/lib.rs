@@ -2,7 +2,8 @@
 //! parser and a pretty printer over [`serde::Value`].
 
 pub use serde::Error;
-use serde::{Deserialize, Serialize, Value};
+pub use serde::Value;
+use serde::{Deserialize, Serialize};
 
 /// Parses a JSON string into any [`Deserialize`] type.
 ///
@@ -12,6 +13,17 @@ use serde::{Deserialize, Serialize, Value};
 pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
     let value = parse_value(s)?;
     T::from_value(&value)
+}
+
+/// Deserializes any [`Deserialize`] type from an already-parsed [`Value`]
+/// tree (API parity with real `serde_json::from_value`, modulo taking the
+/// tree by reference).
+///
+/// # Errors
+///
+/// Returns [`Error`] when the tree does not match `T`'s shape.
+pub fn from_value<T: Deserialize>(value: &Value) -> Result<T, Error> {
+    T::from_value(value)
 }
 
 /// Serializes `value` as compact JSON.
