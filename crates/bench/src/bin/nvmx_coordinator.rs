@@ -1,0 +1,609 @@
+//! `nvmx-coordinator` — distributed campaign runner over the JSONL wire
+//! protocol.
+//!
+//! `run` shards each study of a campaign across N local `nvmx-worker`
+//! processes (residue-class shards `0/N .. N-1/N` of the deterministic
+//! event-slot space), merges their wire streams back into strict slot
+//! order with `core::wire::SlotMerger`, and feeds the merged stream to the
+//! study's configured result sinks plus an optional capture file. Worker
+//! death is survivable: a dead shard is re-spawned (workers are
+//! deterministic, so the replacement re-emits its whole residue class) and
+//! duplicate slots are deduplicated by sequence number, so the rebuilt
+//! `StudyResult` is byte-identical to an in-process run — as is the
+//! merged stream, except possibly the *observational* cache counters on
+//! the final `study_finished` line (each worker has its own cache, and
+//! racing threads may double-count a miss; see the core stream docs).
+//! Studies in a multi-config campaign are distributed
+//! over supervisor lanes with the same lock-free queue discipline as
+//! `core::scheduler::StudyScheduler`.
+//!
+//! `replay` strictly re-reads a captured `.jsonl` (rejecting unknown
+//! versions, out-of-order or duplicate slots, and truncation) and rebuilds
+//! the byte-identical `StudyResult` via `StudyResultBuilder`, optionally
+//! writing the canonical results CSV for diffing against a live run.
+//!
+//! ```text
+//! nvmx-coordinator run --config config/quickstart.json --workers 2 --capture output/wire
+//! nvmx-coordinator replay --input output/wire/quickstart.jsonl \
+//!     --config config/quickstart.json --csv output/quickstart_replay.csv
+//! ```
+//!
+//! Exit codes: `0` success, `1` runtime failure, `2` usage/config error.
+
+use nvmexplorer_core::config::StudyConfig;
+use nvmexplorer_core::scheduler::run_on_lanes;
+use nvmexplorer_core::sweep::StudyResult;
+use nvmexplorer_core::wire::{EventReplayer, OwnedStudyEvent, SlotMerger, WireFrame};
+use nvmx_bench::campaign::{load_config, results_csv, summary_line};
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Command, Stdio};
+use std::sync::mpsc;
+
+const USAGE: &str = "usage:
+  nvmx-coordinator run --config <study.json> [--config <more.json> ...]
+      [--workers N] [--threads T] [--lanes L] [--capture DIR]
+      [--worker-bin PATH] [--inject-die SHARD:FRAMES] [--max-respawns K]
+  nvmx-coordinator replay --input <capture.jsonl>
+      [--config <study.json>] [--csv PATH]";
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let code = match args.next().as_deref() {
+        Some("run") => cmd_run(args.collect()),
+        Some("replay") => cmd_replay(args.collect()),
+        _ => {
+            eprintln!("{USAGE}");
+            2
+        }
+    };
+    std::process::exit(code);
+}
+
+// ------------------------------------------------------------------- run
+
+struct RunOptions {
+    configs: Vec<String>,
+    workers: u64,
+    threads: Option<usize>,
+    lanes: usize,
+    capture: Option<PathBuf>,
+    worker_bin: PathBuf,
+    inject_die: Option<(u64, u64)>,
+    max_respawns: u32,
+}
+
+fn parse_run_args(args: Vec<String>) -> Result<RunOptions, String> {
+    let mut configs = Vec::new();
+    let mut workers = 2;
+    let mut threads = None;
+    let mut lanes = 1;
+    let mut capture = None;
+    let mut worker_bin = None;
+    let mut inject_die = None;
+    let mut max_respawns = 3;
+    let mut args = args.into_iter();
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--config" => configs.push(value("--config")?),
+            "--workers" => {
+                workers = value("--workers")?
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or("--workers expects an integer >= 1")?;
+            }
+            "--threads" => {
+                threads = Some(
+                    value("--threads")?
+                        .parse::<usize>()
+                        .map_err(|_| "--threads expects an unsigned integer".to_owned())?,
+                );
+            }
+            "--lanes" => {
+                lanes = value("--lanes")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or("--lanes expects an integer >= 1")?;
+            }
+            "--capture" => capture = Some(PathBuf::from(value("--capture")?)),
+            "--worker-bin" => worker_bin = Some(PathBuf::from(value("--worker-bin")?)),
+            "--inject-die" => {
+                let spec = value("--inject-die")?;
+                let (shard, frames) = spec
+                    .split_once(':')
+                    .ok_or_else(|| format!("--inject-die `{spec}` is not SHARD:FRAMES"))?;
+                inject_die = Some((
+                    shard
+                        .parse::<u64>()
+                        .map_err(|_| "--inject-die shard must be an unsigned integer")?,
+                    frames
+                        .parse::<u64>()
+                        .map_err(|_| "--inject-die frames must be an unsigned integer")?,
+                ));
+            }
+            "--max-respawns" => {
+                max_respawns = value("--max-respawns")?
+                    .parse::<u32>()
+                    .map_err(|_| "--max-respawns expects an unsigned integer".to_owned())?;
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if configs.is_empty() {
+        return Err("at least one --config is required".to_owned());
+    }
+    if let Some((victim, _)) = inject_die {
+        if victim >= workers {
+            return Err(format!(
+                "--inject-die shard {victim} is out of range for --workers {workers} \
+                 (valid shards: 0..{workers})"
+            ));
+        }
+    }
+    Ok(RunOptions {
+        configs,
+        workers,
+        threads,
+        lanes,
+        capture,
+        worker_bin: worker_bin.unwrap_or_else(default_worker_bin),
+        inject_die,
+        max_respawns,
+    })
+}
+
+/// The worker binary ships next to the coordinator.
+fn default_worker_bin() -> PathBuf {
+    std::env::current_exe()
+        .ok()
+        .and_then(|exe| {
+            exe.parent()
+                .map(|dir| dir.join(format!("nvmx-worker{}", std::env::consts::EXE_SUFFIX)))
+        })
+        .unwrap_or_else(|| PathBuf::from("nvmx-worker"))
+}
+
+fn cmd_run(args: Vec<String>) -> i32 {
+    let options = match parse_run_args(args) {
+        Ok(options) => options,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            return 2;
+        }
+    };
+    // Load every config up front: a typo'd campaign fails before any
+    // worker spawns, with the offending file and section named.
+    let mut campaign = Vec::new();
+    for path in &options.configs {
+        match load_config(path) {
+            Ok(study) => campaign.push((path.clone(), study)),
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        }
+    }
+    // Study names key the capture files (`<dir>/<name>.jsonl`) and the
+    // summary lines; duplicates would silently clobber one capture with
+    // another (or interleave them under concurrent lanes).
+    for (i, (path, study)) in campaign.iter().enumerate() {
+        if let Some((other, _)) = campaign[..i]
+            .iter()
+            .find(|(_, earlier)| earlier.name == study.name)
+        {
+            eprintln!(
+                "duplicate study name `{}`: declared by both `{other}` and `{path}`",
+                study.name
+            );
+            return 2;
+        }
+    }
+    if let Some(dir) = &options.capture {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create capture directory `{}`: {e}", dir.display());
+            return 1;
+        }
+    }
+
+    // Studies are distributed over supervisor lanes exactly like the
+    // in-process scheduler distributes them over executor lanes.
+    let outcomes = run_on_lanes(&campaign, options.lanes, |_, (path, study)| {
+        run_distributed_study(path, study, &options)
+    });
+
+    let mut code = 0;
+    for ((path, study), outcome) in campaign.iter().zip(outcomes) {
+        match outcome {
+            Ok(run) => {
+                println!("{}", summary_line(study, &run.result));
+                eprintln!(
+                    "  [{}] {} workers, {} frames merged, {} duplicate slots deduped, {} respawns{}",
+                    study.name,
+                    options.workers,
+                    run.frames,
+                    run.duplicates,
+                    run.respawns,
+                    match &run.capture {
+                        Some(p) => format!(", capture -> {}", p.display()),
+                        None => String::new(),
+                    }
+                );
+            }
+            Err(e) => {
+                eprintln!("study `{}` ({path}) failed: {e}", study.name);
+                code = 1;
+            }
+        }
+    }
+    code
+}
+
+/// What one distributed study run produced.
+struct DistributedRun {
+    result: StudyResult,
+    frames: u64,
+    duplicates: u64,
+    respawns: u32,
+    capture: Option<PathBuf>,
+}
+
+/// Messages from a per-worker stdout reader thread to the merge loop.
+enum Msg {
+    /// A parsed frame plus the raw line it came from (written verbatim to
+    /// the capture — no re-serialization on the merge hot path).
+    Frame(Box<(WireFrame, String)>),
+    /// A line failed strict parsing (corrupt or wrong protocol version).
+    Bad(String),
+    /// The worker's stream ended.
+    Eof { ok: bool, detail: String },
+}
+
+/// How many frames one shard's channel may buffer before its reader
+/// thread blocks in `send`. A blocked reader stops draining the worker's
+/// stdout pipe, the pipe fills, and the worker itself blocks on `write` —
+/// OS backpressure end to end. The *transport* therefore holds at most
+/// `workers × CAP` frames in flight regardless of study size, even while
+/// a dead shard is re-run from scratch and the live shards race ahead.
+/// (The coordinator's total footprint is still O(study): like the
+/// in-process `run` binary, it assembles the full `StudyResult` for the
+/// summary and results CSV — the bounded part is the merge path, not the
+/// result assembly.)
+const SHARD_QUEUE_CAP: usize = 64;
+
+/// Spawns one worker process for `shard` and a reader thread pumping its
+/// stdout into `tx` (a bounded [`mpsc::sync_channel`]). The reader owns
+/// the child: it reaps it on clean EOF, and kills it when the worker
+/// breaks protocol or when the merge loop is gone — every exit path of
+/// [`run_distributed_study`] drops the receivers, which surfaces to the
+/// reader as a `send` error, so no error path can strand a live worker.
+fn spawn_shard(
+    path: &str,
+    shard: u64,
+    options: &RunOptions,
+    die_after: Option<u64>,
+    tx: mpsc::SyncSender<Msg>,
+) -> Result<(), String> {
+    let mut command = Command::new(&options.worker_bin);
+    command
+        .arg("--config")
+        .arg(path)
+        .arg("--shard")
+        .arg(format!("{shard}/{}", options.workers))
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped());
+    if let Some(threads) = options.threads {
+        command.arg("--threads").arg(threads.to_string());
+    }
+    if let Some(frames) = die_after {
+        command.arg("--die-after").arg(frames.to_string());
+    }
+    let mut child = command.spawn().map_err(|e| {
+        format!(
+            "cannot spawn worker `{}`: {e}",
+            options.worker_bin.display()
+        )
+    })?;
+    let stdout = child.stdout.take().expect("stdout was piped");
+    std::thread::spawn(move || {
+        let mut ok = true;
+        let mut detail = String::new();
+        let mut killed = false;
+        let mut lines = BufReader::new(stdout).lines();
+        while let Some(line) = lines.next() {
+            let line = match line {
+                Ok(line) => line,
+                Err(e) => {
+                    ok = false;
+                    detail = format!("read error: {e}");
+                    break;
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            match WireFrame::parse(&line) {
+                Ok(frame) => {
+                    if tx.send(Msg::Frame(Box::new((frame, line)))).is_err() {
+                        // Receiver gone: nobody wants the rest of this
+                        // stream, so stop the worker instead of letting it
+                        // burn CPU computing results that will be dropped.
+                        killed = true;
+                        break;
+                    }
+                }
+                Err(e) => {
+                    // An unparseable line is one of two very different
+                    // things. If the stream *continues* past it, the worker
+                    // is alive and speaking garbage — a protocol failure,
+                    // fatal to the study. If it is the last thing in the
+                    // pipe, it is the torn tail a SIGKILL/OOM-kill leaves
+                    // when the worker died mid-write — that is worker
+                    // *death*, and the respawn path must get its chance.
+                    if lines.next().is_some() {
+                        ok = false;
+                        detail = e.to_string();
+                        let _ = tx.send(Msg::Bad(e.to_string()));
+                        killed = true;
+                        break;
+                    }
+                    ok = false;
+                    detail = format!("stream ended in a torn line ({e})");
+                    break;
+                }
+            }
+        }
+        if killed {
+            child.kill().ok();
+        }
+        let status = child.wait();
+        if !killed {
+            let exited_ok = matches!(&status, Ok(s) if s.success());
+            if ok && !exited_ok {
+                ok = false;
+                detail = match status {
+                    Ok(s) => format!("worker exited with {s}"),
+                    Err(e) => format!("wait failed: {e}"),
+                };
+            }
+            let _ = tx.send(Msg::Eof { ok, detail });
+        }
+    });
+    Ok(())
+}
+
+fn run_distributed_study(
+    path: &str,
+    study: &StudyConfig,
+    options: &RunOptions,
+) -> Result<DistributedRun, String> {
+    let shards = options.workers;
+    let capture_path = options
+        .capture
+        .as_ref()
+        .map(|dir| dir.join(format!("{}.jsonl", study.name)));
+    let mut capture = match &capture_path {
+        Some(p) => Some(std::io::BufWriter::new(
+            std::fs::File::create(p)
+                .map_err(|e| format!("cannot create capture `{}`: {e}", p.display()))?,
+        )),
+        None => None,
+    };
+    let mut spec_sinks = nvmx_viz::sink::SpecSinks::new(&study.output)
+        .map_err(|e| format!("cannot open output sinks: {e}"))?;
+
+    // One bounded channel per shard. The receivers live in this function's
+    // scope, so *every* exit path — including a failed spawn below —
+    // drops them, which errors out the reader threads' sends and makes
+    // them kill + reap their workers. No error path strands a process.
+    let mut senders = Vec::with_capacity(usize::try_from(shards).expect("fits usize"));
+    let mut receivers = Vec::with_capacity(senders.capacity());
+    for _ in 0..shards {
+        let (tx, rx) = mpsc::sync_channel::<Msg>(SHARD_QUEUE_CAP);
+        senders.push(tx);
+        receivers.push(rx);
+    }
+    for shard in 0..shards {
+        let die_after = options
+            .inject_die
+            .filter(|&(victim, _)| victim == shard)
+            .map(|(_, frames)| frames);
+        let index = usize::try_from(shard).expect("shard fits usize");
+        spawn_shard(path, shard, options, die_after, senders[index].clone())?;
+    }
+
+    let mut merger: SlotMerger<(WireFrame, String)> = SlotMerger::new();
+    let mut replayer = EventReplayer::new();
+    let mut finished = false;
+    let mut frames = 0u64;
+    let mut respawns = 0u32;
+    let mut attempts = vec![0u32; usize::try_from(shards).expect("shard count fits usize")];
+
+    // Slot `seq` can only come from shard `seq % n`, so the merge loop
+    // receives exclusively from the shard that owns the next expected
+    // slot. Shards running ahead park in their own bounded channels (and,
+    // transitively, their stdout pipes) instead of accumulating in
+    // coordinator memory.
+    let mut merge = || -> Result<(), String> {
+        while !finished {
+            let owner = usize::try_from(merger.next_expected() % shards).expect("fits usize");
+            // We hold a sender per shard (for respawns), so the channel
+            // can never disconnect under us.
+            match receivers[owner].recv().expect("a sender is always held") {
+                Msg::Frame(boxed) => {
+                    let (frame, line) = *boxed;
+                    if frame.study != study.name {
+                        return Err(format!(
+                            "worker streamed study `{}`, expected `{}`",
+                            frame.study, study.name
+                        ));
+                    }
+                    let seq = frame.seq;
+                    // Deliver each slot exactly once, in slot order: the
+                    // raw worker line verbatim to the capture (parse →
+                    // encode is the identity, but why pay the re-encode),
+                    // the decoded event (winners re-linked) into the
+                    // study's configured sinks. A respawned worker's
+                    // replayed prefix arrives as duplicates and is dropped
+                    // by the merger.
+                    merger
+                        .offer(seq, (frame, line), &mut |_seq,
+                                                         (frame, line): (
+                            WireFrame,
+                            String,
+                        )| {
+                            if let Some(out) = capture.as_mut() {
+                                writeln!(out, "{line}")?;
+                            }
+                            if matches!(frame.event, OwnedStudyEvent::StudyFinished { .. }) {
+                                finished = true;
+                            }
+                            replayer.apply(&frame.event, &mut spec_sinks)?;
+                            frames += 1;
+                            Ok::<(), std::io::Error>(())
+                        })
+                        .map_err(|e| format!("sink failed at slot {seq}: {e}"))?;
+                }
+                Msg::Bad(detail) => {
+                    return Err(format!("shard {owner}/{shards}: {detail}"));
+                }
+                Msg::Eof { ok: true, .. } => {
+                    // A worker that exits 0 has emitted its whole residue
+                    // class, so its queue cannot run dry while it still
+                    // owns the next slot — unless the worker is broken.
+                    return Err(format!(
+                        "shard {owner}/{shards} ended cleanly before the stream completed"
+                    ));
+                }
+                Msg::Eof { ok: false, detail } => {
+                    if attempts[owner] >= options.max_respawns {
+                        return Err(format!(
+                            "shard {owner}/{shards} failed {} times (last: {detail})",
+                            attempts[owner] + 1
+                        ));
+                    }
+                    attempts[owner] += 1;
+                    respawns += 1;
+                    eprintln!(
+                        "  [{}] shard {owner}/{shards} died ({detail}); respawning (attempt {})",
+                        study.name, attempts[owner]
+                    );
+                    // Respawns never re-arm the crash injection; the fresh
+                    // worker re-emits its whole residue class and the
+                    // merger dedups the slots that already arrived.
+                    spawn_shard(path, owner as u64, options, None, senders[owner].clone())?;
+                }
+            }
+        }
+        Ok(())
+    };
+    let outcome = merge();
+    // Done (or failed): drop the channels. Blocked reader sends error out,
+    // and readers with workers still running kill and reap them instead of
+    // letting orphans burn CPU.
+    drop(senders);
+    drop(receivers);
+    outcome?;
+
+    if let Some(out) = capture.as_mut() {
+        out.flush()
+            .map_err(|e| format!("capture flush failed: {e}"))?;
+    }
+    let result = replayer
+        .finish()
+        .ok_or_else(|| "merged stream did not finish".to_owned())?;
+    Ok(DistributedRun {
+        result,
+        frames,
+        duplicates: merger.duplicates(),
+        respawns,
+        capture: capture_path,
+    })
+}
+
+// ---------------------------------------------------------------- replay
+
+fn cmd_replay(args: Vec<String>) -> i32 {
+    let mut input = None;
+    let mut config = None;
+    let mut csv = None;
+    let mut args = args.into_iter();
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+        let outcome = match flag.as_str() {
+            "--input" => value("--input").map(|v| input = Some(v)),
+            "--config" => value("--config").map(|v| config = Some(v)),
+            "--csv" => value("--csv").map(|v| csv = Some(v)),
+            other => Err(format!("unknown flag `{other}`")),
+        };
+        if let Err(e) = outcome {
+            eprintln!("{e}\n{USAGE}");
+            return 2;
+        }
+    }
+    let Some(input) = input else {
+        eprintln!("--input is required\n{USAGE}");
+        return 2;
+    };
+    if csv.is_some() && config.is_none() {
+        eprintln!("--csv needs --config (the constraint filter lives in the study config)");
+        return 2;
+    }
+    let study = match config.as_deref().map(load_config).transpose() {
+        Ok(study) => study,
+        Err(e) => {
+            eprintln!("{e}");
+            return 2;
+        }
+    };
+
+    let file = match std::fs::File::open(&input) {
+        Ok(file) => file,
+        Err(e) => {
+            eprintln!("cannot open `{input}`: {e}");
+            return 1;
+        }
+    };
+    let replay = match nvmexplorer_core::wire::replay(BufReader::new(file)) {
+        Ok(replay) => replay,
+        Err(e) => {
+            eprintln!("replay of `{input}` failed: {e}");
+            return 1;
+        }
+    };
+
+    match &study {
+        Some(study) => {
+            if study.name != replay.study {
+                eprintln!(
+                    "capture carries study `{}`, config names `{}`",
+                    replay.study, study.name
+                );
+                return 1;
+            }
+            println!("{}", summary_line(study, &replay.result));
+            if let Some(csv_path) = csv {
+                let csv_path = Path::new(&csv_path);
+                // `Csv::write_to` creates parent directories itself.
+                if let Err(e) = results_csv(study, &replay.result).write_to(csv_path) {
+                    eprintln!("cannot write `{}`: {e}", csv_path.display());
+                    return 1;
+                }
+                eprintln!("  [{}] results -> {}", replay.study, csv_path.display());
+            }
+        }
+        None => {
+            println!(
+                "study `{}`: {} arrays, {} evaluations, {} skipped ({} frames)",
+                replay.study,
+                replay.result.arrays.len(),
+                replay.result.evaluations.len(),
+                replay.result.skipped.len(),
+                replay.frames
+            );
+        }
+    }
+    0
+}

@@ -1,0 +1,144 @@
+//! `nvmx-worker` — one shard of a distributed study campaign.
+//!
+//! Runs a study from a JSON config and streams the versioned JSONL wire
+//! protocol (`core::wire`) to stdout (default) or a file/FIFO. A worker
+//! given shard `i/n` emits exactly the event slots with `seq % n == i`;
+//! n workers with shards `0/n .. n-1/n` partition the study's
+//! deterministic event stream, and `nvmx-coordinator` merges them back in
+//! slot order.
+//!
+//! Sharding partitions *emission*, not *computation*: every worker runs
+//! the full study, which is what makes a re-spawned replacement's output
+//! bit-identical with no coordination state. A single study at `--shard
+//! i/n` therefore costs n× total CPU — the compute-dividing axis is the
+//! coordinator's multi-study `--lanes` campaign, not the shard count.
+//!
+//! ```text
+//! nvmx-worker --config config/quickstart.json --shard 0/2 --threads 2
+//! ```
+//!
+//! Flags:
+//! - `--config <path>`   study config JSON (required)
+//! - `--shard I/N`       residue-class shard to emit (default `0/1`)
+//! - `--threads T`       characterization/evaluation workers (default: CPUs, capped at 16)
+//! - `--out <path>`      write the wire stream to a file/FIFO instead of stdout
+//! - `--die-after K`     crash-test hook: exit(137) after emitting K frames,
+//!   simulating a worker killed mid-run (the coordinator's resume path and
+//!   the CI distributed-smoke job drive this deterministically)
+//!
+//! Exit codes: `0` success, `1` study failed, `2` usage or config error
+//! (config parse failures print the offending section).
+
+use nvmexplorer_core::stream::{ResultSink, StudyEvent, StudyExecutor};
+use nvmexplorer_core::wire::{Shard, WireSink};
+use std::io::Write;
+
+const USAGE: &str =
+    "usage: nvmx-worker --config <study.json> [--shard I/N] [--threads T] [--out PATH] [--die-after K]";
+
+/// Wraps a [`WireSink`] and simulates a crash after `limit` written frames
+/// — the already-written lines are flushed (the sink flushes per line), so
+/// the coordinator sees a clean prefix of the shard's residue class.
+struct DieAfter<W: Write> {
+    inner: WireSink<W>,
+    limit: u64,
+}
+
+impl<W: Write> ResultSink for DieAfter<W> {
+    fn on_event(&mut self, event: &StudyEvent<'_>) -> std::io::Result<()> {
+        // Pre-check so `--die-after 0` really emits zero frames (the
+        // "died before producing anything" resume case).
+        if self.inner.frames_written() >= self.limit {
+            std::process::exit(137);
+        }
+        self.inner.on_event(event)?;
+        if self.inner.frames_written() >= self.limit {
+            // Simulated SIGKILL: no cleanup, no final events.
+            std::process::exit(137);
+        }
+        Ok(())
+    }
+}
+
+struct Options {
+    config: String,
+    shard: Shard,
+    threads: Option<usize>,
+    out: Option<String>,
+    die_after: Option<u64>,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut config = None;
+    let mut shard = Shard::WHOLE;
+    let mut threads = None;
+    let mut out = None;
+    let mut die_after = None;
+    while let Some(flag) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+        match flag.as_str() {
+            "--config" => config = Some(value("--config")?),
+            "--shard" => shard = Shard::parse(&value("--shard")?)?,
+            "--threads" => {
+                threads = Some(
+                    value("--threads")?
+                        .parse::<usize>()
+                        .map_err(|_| "--threads expects an unsigned integer".to_owned())?,
+                );
+            }
+            "--out" => out = Some(value("--out")?),
+            "--die-after" => {
+                die_after = Some(
+                    value("--die-after")?
+                        .parse::<u64>()
+                        .map_err(|_| "--die-after expects an unsigned integer".to_owned())?,
+                );
+            }
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    Ok(Options {
+        config: config.ok_or_else(|| "--config is required".to_owned())?,
+        shard,
+        threads,
+        out,
+        die_after,
+    })
+}
+
+fn main() {
+    let options = parse_args().unwrap_or_else(|e| {
+        eprintln!("{e}\n{USAGE}");
+        std::process::exit(2);
+    });
+    let study = nvmx_bench::campaign::load_config(&options.config).unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+
+    let out: Box<dyn Write> = match &options.out {
+        Some(path) => Box::new(std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create `{path}`: {e}");
+            std::process::exit(1);
+        })),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    let sink = WireSink::sharded(out, options.shard);
+    let executor = match options.threads {
+        Some(threads) => StudyExecutor::with_threads(threads),
+        None => StudyExecutor::new(),
+    };
+
+    let run = match options.die_after {
+        Some(limit) => executor.run(&study, &mut DieAfter { inner: sink, limit }),
+        None => {
+            let mut sink = sink;
+            executor.run(&study, &mut sink)
+        }
+    };
+    if let Err(e) = run {
+        eprintln!("study failed: {e}");
+        std::process::exit(1);
+    }
+}

@@ -9,13 +9,18 @@
 //! array × traffic evaluation, constraint-filter column included), where
 //! `<out>` is `NVMX_OUT` or `output/`. If the config carries an `output`
 //! section, those sinks additionally stream while the study runs (CSV rows
-//! per evaluation, JSONL events, terminal summary) — malformed configs are
-//! rejected with the offending section named.
+//! per evaluation, JSONL events, terminal summary).
+//!
+//! The CSV schema and the final summary line are shared with
+//! `nvmx-coordinator` (`nvmx_bench::campaign`), so a distributed run's
+//! replayed capture diffs clean against this binary's output.
+//!
+//! Exit codes: `0` success, `1` the study or its outputs failed, `2` usage
+//! or config error — malformed configs are rejected (never a panic) with
+//! the offending section named on stderr.
 
-use nvmexplorer_core::config::StudyConfig;
-use nvmexplorer_core::explore::ResultSet;
 use nvmexplorer_core::stream::StudyExecutor;
-use nvmx_viz::csv::{num, Csv};
+use nvmx_bench::campaign::{load_config, results_csv, summary_line};
 use nvmx_viz::sink::SpecSinks;
 
 fn main() {
@@ -23,12 +28,8 @@ fn main() {
         eprintln!("usage: run <config.json>");
         std::process::exit(2);
     };
-    let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
-        eprintln!("cannot read `{path}`: {e}");
-        std::process::exit(2);
-    });
-    let study = StudyConfig::from_json(&json).unwrap_or_else(|e| {
-        eprintln!("invalid study config `{path}`: {e}");
+    let study = load_config(&path).unwrap_or_else(|e| {
+        eprintln!("{e}");
         std::process::exit(2);
     });
 
@@ -46,72 +47,13 @@ fn main() {
         eprintln!("skipped {cell}: {reason}");
     }
 
-    let set = ResultSet::new(result.evaluations);
-    let constrained = set.constrained(&study.constraints);
-    let passes = |eval: &nvmexplorer_core::Evaluation| {
-        constrained.evaluations().iter().any(|c| {
-            c.array.cell_name == eval.array.cell_name
-                && c.traffic.name == eval.traffic.name
-                && c.array.target == eval.array.target
-                && c.array.capacity == eval.array.capacity
-        })
-    };
-
-    let mut csv = Csv::new([
-        "cell",
-        "technology",
-        "capacity_mib",
-        "bits_per_cell",
-        "target",
-        "traffic",
-        "read_latency_ns",
-        "write_latency_ns",
-        "read_energy_pj",
-        "write_energy_pj",
-        "leakage_mw",
-        "area_mm2",
-        "density_mbit_mm2",
-        "total_power_mw",
-        "aggregate_latency_ms_per_s",
-        "lifetime_years",
-        "feasible",
-        "meets_constraints",
-    ]);
-    for eval in set.evaluations() {
-        let a = &eval.array;
-        csv.row([
-            a.cell_name.clone(),
-            a.technology.label().to_owned(),
-            num(a.capacity.as_mebibytes()),
-            a.bits_per_cell.to_string(),
-            a.target.label().to_owned(),
-            eval.traffic.name.clone(),
-            num(a.read_latency.value() * 1e9),
-            num(a.write_latency.value() * 1e9),
-            num(a.read_energy.value() * 1e12),
-            num(a.write_energy.value() * 1e12),
-            num(a.leakage.value() * 1e3),
-            num(a.area.value()),
-            num(a.density_mbit_per_mm2()),
-            num(eval.total_power().value() * 1e3),
-            num(eval.aggregate_latency.value() * 1e3),
-            num(eval.lifetime_years()),
-            eval.is_feasible().to_string(),
-            passes(eval).to_string(),
-        ]);
-    }
-
     let out = nvmx_bench::output_dir().join(format!("{}_results.csv", study.name));
-    csv.write_to(&out).unwrap_or_else(|e| {
-        eprintln!("cannot write results: {e}");
-        std::process::exit(1);
-    });
-    println!(
-        "{}: {} arrays, {} evaluations ({} meet constraints) -> {}",
-        study.name,
-        result.arrays.len(),
-        set.len(),
-        constrained.len(),
-        out.display()
-    );
+    results_csv(&study, &result)
+        .write_to(&out)
+        .unwrap_or_else(|e| {
+            eprintln!("cannot write results: {e}");
+            std::process::exit(1);
+        });
+    println!("{}", summary_line(&study, &result));
+    eprintln!("  [{}] results -> {}", study.name, out.display());
 }

@@ -1,0 +1,161 @@
+//! Shared plumbing for the campaign binaries (`run`, `nvmx-worker`,
+//! `nvmx-coordinator`): the canonical results-CSV schema, the canonical
+//! study summary line, and config loading with artifact-style exit
+//! semantics.
+//!
+//! Everything here is deliberately a pure function of `(StudyConfig,
+//! StudyResult)`, so the in-process runner and a wire-replayed capture
+//! produce **byte-identical** artifacts — that identity is what the CI
+//! distributed-smoke job diffs.
+
+use nvmexplorer_core::config::StudyConfig;
+use nvmexplorer_core::sweep::StudyResult;
+use nvmx_viz::csv::{num, Csv};
+
+/// Loads and parses a study config file.
+///
+/// # Errors
+///
+/// A ready-to-print message: unreadable files and malformed configs both
+/// name the path, and parse failures carry the offending section (via
+/// [`ConfigError`](nvmexplorer_core::config::ConfigError)'s display form).
+pub fn load_config(path: &str) -> Result<StudyConfig, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    StudyConfig::from_json(&json).map_err(|e| format!("invalid study config `{path}`: {e}"))
+}
+
+/// The artifact-style results table: one row per `array × traffic`
+/// evaluation, with the study's constraint filter applied as a column
+/// (each row tested directly via
+/// [`Constraints::admits`](nvmexplorer_core::config::Constraints) — no
+/// cloned result set, no identity re-matching). Identical inputs produce
+/// identical bytes — the runner and the wire-replay path share this
+/// function for exactly that reason.
+pub fn results_csv(study: &StudyConfig, result: &StudyResult) -> Csv {
+    let mut csv = Csv::new([
+        "cell",
+        "technology",
+        "capacity_mib",
+        "bits_per_cell",
+        "target",
+        "traffic",
+        "read_latency_ns",
+        "write_latency_ns",
+        "read_energy_pj",
+        "write_energy_pj",
+        "leakage_mw",
+        "area_mm2",
+        "density_mbit_mm2",
+        "total_power_mw",
+        "aggregate_latency_ms_per_s",
+        "lifetime_years",
+        "feasible",
+        "meets_constraints",
+    ]);
+    for eval in &result.evaluations {
+        let a = &eval.array;
+        csv.row([
+            a.cell_name.clone(),
+            a.technology.label().to_owned(),
+            num(a.capacity.as_mebibytes()),
+            a.bits_per_cell.to_string(),
+            a.target.label().to_owned(),
+            eval.traffic.name.clone(),
+            num(a.read_latency.value() * 1e9),
+            num(a.write_latency.value() * 1e9),
+            num(a.read_energy.value() * 1e12),
+            num(a.write_energy.value() * 1e12),
+            num(a.leakage.value() * 1e3),
+            num(a.area.value()),
+            num(a.density_mbit_per_mm2()),
+            num(eval.total_power().value() * 1e3),
+            num(eval.aggregate_latency.value() * 1e3),
+            num(eval.lifetime_years()),
+            eval.is_feasible().to_string(),
+            study.constraints.admits(eval).to_string(),
+        ]);
+    }
+    csv
+}
+
+/// How many evaluations pass the study's constraint filter.
+pub fn constrained_count(study: &StudyConfig, result: &StudyResult) -> usize {
+    result
+        .evaluations
+        .iter()
+        .filter(|e| study.constraints.admits(e))
+        .count()
+}
+
+/// The canonical one-line study summary, printed identically by the `run`
+/// binary, `nvmx-coordinator run`, and `nvmx-coordinator replay` so CI can
+/// diff the three paths textually.
+pub fn summary_line(study: &StudyConfig, result: &StudyResult) -> String {
+    format!(
+        "study `{}`: {} arrays, {} evaluations, {} skipped, {} meet constraints",
+        result.name,
+        result.arrays.len(),
+        result.evaluations.len(),
+        result.skipped.len(),
+        constrained_count(study, result),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvmexplorer_core::config::{CellSelection, TrafficSpec};
+    use nvmexplorer_core::sweep::run_study_with_threads;
+
+    fn small_study() -> StudyConfig {
+        StudyConfig {
+            name: "campaign-unit".into(),
+            cells: CellSelection {
+                technologies: Some(vec![nvmx_celldb::TechnologyClass::Stt]),
+                reference_rram: false,
+                sram_baseline: false,
+                ..CellSelection::default()
+            },
+            array: Default::default(),
+            traffic: TrafficSpec::Explicit {
+                patterns: vec![nvmx_workloads::TrafficPattern::new("t", 1.0e9, 1.0e7, 64)],
+            },
+            constraints: Default::default(),
+            output: Default::default(),
+        }
+    }
+
+    #[test]
+    fn results_csv_is_a_pure_function_of_the_result() {
+        let study = small_study();
+        let result = run_study_with_threads(&study, 2).unwrap();
+        let a = results_csv(&study, &result).render();
+        let b = results_csv(&study, &result).render();
+        assert_eq!(a, b);
+        assert!(a.starts_with("cell,technology,"));
+        assert_eq!(a.lines().count(), 1 + result.evaluations.len());
+    }
+
+    #[test]
+    fn summary_line_counts_the_result() {
+        let study = small_study();
+        let result = run_study_with_threads(&study, 2).unwrap();
+        let line = summary_line(&study, &result);
+        assert!(line.contains("campaign-unit"));
+        assert!(line.contains(&format!("{} evaluations", result.evaluations.len())));
+    }
+
+    #[test]
+    fn load_config_errors_name_the_path_and_section() {
+        let err = load_config("/nonexistent/nope.json").unwrap_err();
+        assert!(err.contains("nope.json"));
+        let dir =
+            std::env::temp_dir().join(format!("nvmx_campaign_cfg_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let bad = dir.join("bad.json");
+        std::fs::write(&bad, r#"{"name": "x", "trafic": {}}"#).unwrap();
+        let err = load_config(bad.to_str().unwrap()).unwrap_err();
+        assert!(err.contains("trafic"), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -10,6 +10,7 @@
 //! Set `NVMX_FAST=1` to run reduced-size variants (fewer sweep points,
 //! fewer fault trials) — used by the test suite.
 
+pub mod campaign;
 pub mod experiments;
 
 use nvmx_viz::{Csv, ScatterPlot};

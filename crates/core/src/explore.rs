@@ -93,20 +93,7 @@ impl ResultSet {
     /// latency; accuracy constraints are enforced by the fault studies).
     #[must_use]
     pub fn constrained(&self, constraints: &Constraints) -> Self {
-        self.filter(|e| {
-            constraints
-                .max_power_w
-                .is_none_or(|max| e.total_power().value() <= max)
-                && constraints
-                    .max_area_mm2
-                    .is_none_or(|max| e.array.area.value() <= max)
-                && constraints
-                    .min_lifetime_years
-                    .is_none_or(|min| e.lifetime_years() >= min)
-                && constraints
-                    .max_read_latency_ns
-                    .is_none_or(|max| e.array.read_latency.value() * 1.0e9 <= max)
-        })
+        self.filter(|e| constraints.admits(e))
     }
 
     /// Keeps one technology class.
@@ -172,6 +159,26 @@ impl ResultSet {
 impl FromIterator<Evaluation> for ResultSet {
     fn from_iter<I: IntoIterator<Item = Evaluation>>(iter: I) -> Self {
         Self::new(iter.into_iter().collect())
+    }
+}
+
+impl Constraints {
+    /// Whether one evaluation satisfies this constraint block — the
+    /// per-row predicate behind [`ResultSet::constrained`], exposed so
+    /// streaming/reporting paths can test rows without materializing a
+    /// filtered set.
+    pub fn admits(&self, e: &Evaluation) -> bool {
+        self.max_power_w
+            .is_none_or(|max| e.total_power().value() <= max)
+            && self
+                .max_area_mm2
+                .is_none_or(|max| e.array.area.value() <= max)
+            && self
+                .min_lifetime_years
+                .is_none_or(|min| e.lifetime_years() >= min)
+            && self
+                .max_read_latency_ns
+                .is_none_or(|max| e.array.read_latency.value() * 1.0e9 <= max)
     }
 }
 

@@ -16,9 +16,14 @@
 //!    runs,
 //! 3. [`scheduler::StudyScheduler`] — shard a queue of studies across
 //!    concurrent lanes over one warm subarray cache,
-//! 4. [`explore::ResultSet`] — filter/rank the results like the paper's
+//! 4. [`wire`] — the versioned JSONL wire protocol carrying the event
+//!    stream across process/host boundaries ([`wire::WireSink`] shard
+//!    writers, [`wire::SlotMerger`] slot-order merging, [`wire::replay`]
+//!    deterministic capture replay) — what the `nvmx-worker` /
+//!    `nvmx-coordinator` binaries speak,
+//! 5. [`explore::ResultSet`] — filter/rank the results like the paper's
 //!    interactive dashboard,
-//! 5. [`intermittent`], [`write_buffer`], [`accuracy`] — the specialized
+//! 6. [`intermittent`], [`write_buffer`], [`accuracy`] — the specialized
 //!    models behind Figs. 6/7, 14, and 13.
 //!
 //! # Examples
@@ -62,6 +67,7 @@ pub mod intermittent;
 pub mod scheduler;
 pub mod stream;
 pub mod sweep;
+pub mod wire;
 pub mod write_buffer;
 
 pub use config::{OutputSpec, StudyConfig};
@@ -72,6 +78,7 @@ pub use stream::{
     MultiSink, NullSink, ResultSink, StudyEvent, StudyExecutor, StudyResultBuilder, StudyStats,
 };
 pub use sweep::{run_study, StudyResult};
+pub use wire::{OwnedStudyEvent, Shard, SlotMerger, WireError, WireFrame, WireSink, WIRE_VERSION};
 
 #[cfg(test)]
 mod tests {

@@ -24,6 +24,42 @@ use nvmx_nvsim::{CacheStats, SubarrayCache};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
+/// Runs `run(index, task)` for every task, popped lock-free (shared atomic
+/// index) across `lanes` scoped threads, returning the outcomes **in task
+/// order** regardless of completion interleaving.
+///
+/// This is the scheduler's lane engine, factored out so other multi-task
+/// drivers — notably the `nvmx-coordinator` binary, whose "tasks" are
+/// *studies each sharded across N worker processes* — shard work the exact
+/// same way the in-process scheduler does.
+///
+/// `lanes` is clamped to `1..=tasks.len()`. Panics in `run` propagate after
+/// all lanes join (scoped-thread semantics).
+pub fn run_on_lanes<T, R, F>(tasks: &[T], lanes: usize, run: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let slots: Vec<OnceLock<R>> = tasks.iter().map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let lanes = lanes.clamp(1, tasks.len().max(1));
+    std::thread::scope(|scope| {
+        for _ in 0..lanes {
+            scope.spawn(|| loop {
+                let index = next.fetch_add(1, Ordering::Relaxed);
+                let Some(task) = tasks.get(index) else { break };
+                let outcome = run(index, task);
+                assert!(slots[index].set(outcome).is_ok(), "lane slot written twice");
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("all lane slots filled"))
+        .collect()
+}
+
 /// What happened to one queued study.
 #[derive(Debug)]
 pub struct StudyOutcome {
@@ -142,9 +178,21 @@ impl StudyScheduler {
         self.workers
     }
 
-    /// Worker threads each lane's study executor receives.
+    /// The `(active lanes, worker threads per lane)` plan for a queue of
+    /// `studies` — the single source of truth [`Self::run_queue_with`]
+    /// executes: lanes never exceed the queue length, and the thread
+    /// budget is split across the lanes that actually run.
+    pub fn plan_for(&self, studies: usize) -> (usize, usize) {
+        let lanes = self.lanes.min(studies).max(1);
+        (lanes, (self.workers / lanes).max(1))
+    }
+
+    /// Worker threads each lane's study executor receives when every lane
+    /// is occupied (queues at least as long as the lane count). Shorter
+    /// queues concentrate the budget — use [`Self::plan_for`] for the
+    /// exact figure.
     pub fn threads_per_lane(&self) -> usize {
-        (self.workers / self.lanes).max(1)
+        self.plan_for(usize::MAX).1
     }
 
     /// Runs every queued study, building one sink per study with
@@ -163,37 +211,22 @@ impl StudyScheduler {
     where
         F: Fn(usize, &StudyConfig) -> Box<dyn ResultSink> + Sync,
     {
-        let slots: Vec<OnceLock<StudyOutcome>> = queue.iter().map(|_| OnceLock::new()).collect();
-        let next = AtomicUsize::new(0);
-        let lanes = self.lanes.min(queue.len()).max(1);
-        let threads = (self.workers / lanes).max(1);
-        std::thread::scope(|scope| {
-            for _ in 0..lanes {
-                scope.spawn(|| loop {
-                    let index = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(study) = queue.get(index) else { break };
-                    let before = cache.stats();
-                    let mut sink = make_sink(index, study);
-                    let result = StudyExecutor::with_threads(threads)
-                        .cache(cache)
-                        .run(study, sink.as_mut());
-                    let outcome = StudyOutcome {
-                        index,
-                        name: study.name.clone(),
-                        result,
-                        cache: cache.stats().since(before),
-                    };
-                    slots[index]
-                        .set(outcome)
-                        .expect("scheduler slot written twice");
-                });
+        let (lanes, threads) = self.plan_for(queue.len());
+        let outcomes = run_on_lanes(queue, lanes, |index, study| {
+            let before = cache.stats();
+            let mut sink = make_sink(index, study);
+            let result = StudyExecutor::with_threads(threads)
+                .cache(cache)
+                .run(study, sink.as_mut());
+            StudyOutcome {
+                index,
+                name: study.name.clone(),
+                result,
+                cache: cache.stats().since(before),
             }
         });
         SchedulerReport {
-            outcomes: slots
-                .into_iter()
-                .map(|slot| slot.into_inner().expect("all scheduler slots filled"))
-                .collect(),
+            outcomes,
             cache: cache.stats(),
         }
     }

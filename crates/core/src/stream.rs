@@ -251,6 +251,19 @@ pub trait ResultSink {
     }
 }
 
+// Boxed sinks forward transparently, so sink sets built at runtime (the
+// coordinator's per-study capture + output fan-outs) compose like any
+// other sink.
+impl ResultSink for Box<dyn ResultSink + '_> {
+    fn on_event(&mut self, event: &StudyEvent<'_>) -> std::io::Result<()> {
+        (**self).on_event(event)
+    }
+
+    fn is_passive(&self) -> bool {
+        (**self).is_passive()
+    }
+}
+
 /// A sink that discards every event — the batch API runs on this.
 #[derive(Debug, Clone, Copy, Default)]
 pub struct NullSink;
@@ -317,6 +330,14 @@ impl StudyResultBuilder {
     /// An empty builder.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// The evaluations collected so far, in stream order. The wire-replay
+    /// layer uses this to re-link `target_winner_selected` lines (which
+    /// carry the winner's identity, not its full record) back to the
+    /// evaluations that already streamed.
+    pub fn evaluations(&self) -> &[Evaluation] {
+        &self.evaluations
     }
 
     /// The assembled result, or `None` when no `StudyFinished` event was

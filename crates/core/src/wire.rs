@@ -1,0 +1,1093 @@
+//! The versioned JSONL wire protocol: [`StudyEvent`]s serialized across a
+//! process/host boundary, with strict parsing, slot-order merging, and
+//! deterministic replay.
+//!
+//! # Format
+//!
+//! A wire line is the [`JsonlSink`](../../nvmx_viz/sink/struct.JsonlSink.html)
+//! event object *extended* with a three-field header — not a second format:
+//!
+//! ```text
+//! {"v":1,"study":"quickstart","seq":7,"event":"evaluation_produced",...}
+//! ```
+//!
+//! - `v` — protocol version ([`WIRE_VERSION`]). Readers reject any other
+//!   value instead of guessing.
+//! - `study` — the study name, stamped on every line so interleaved or
+//!   concatenated captures stay attributable.
+//! - `seq` — the event's position in the engine's deterministic slot-order
+//!   stream, starting at 0 for `study_started`. Because the stream is
+//!   identical at any thread count, `seq` is a *global coordinate*: two
+//!   workers running the same study agree on which event is number 17.
+//!
+//! Everything after the header is byte-identical to what
+//! `serde_json::to_string(&event)` produces, so a bare JSONL file (no
+//! header) written by `JsonlSink` parses with the same event decoder
+//! ([`OwnedStudyEvent::from_value`]).
+//!
+//! # Sharding and resume
+//!
+//! [`WireSink`] stamps the header and can *shard*: a sink configured as
+//! shard `i/n` emits only the lines whose `seq % n == i`. N workers running
+//! the same study with shards `0/n .. n-1/n` therefore partition the stream
+//! exactly, and a coordinator merges them back with [`SlotMerger`], which
+//! buffers out-of-order arrivals and silently drops duplicate slots — so
+//! re-spawning a dead worker (which replays its whole residue class) is
+//! idempotent by construction.
+//!
+//! # Replay
+//!
+//! [`replay`] rebuilds a [`StudyResult`] from a captured stream via
+//! [`StudyResultBuilder`] — byte-identical to the in-process run, proven by
+//! proptest in `tests/wire_roundtrip.rs`. Replay is *strict*: unknown
+//! versions, malformed lines, out-of-order or duplicate slots, study-name
+//! changes mid-stream, and truncation (no `study_finished`) are all hard
+//! errors, because a campaign capture that silently tolerated any of those
+//! could not serve as an audit record.
+
+use crate::eval::Evaluation;
+use crate::stream::{ResultSink, StudyEvent, StudyResultBuilder, StudyStats};
+use crate::sweep::StudyResult;
+use nvmx_nvsim::{ArrayCharacterization, CacheStats, OptimizationTarget};
+use serde::{Serialize, Value};
+use std::collections::BTreeMap;
+use std::io::{BufRead, Write};
+
+/// The wire protocol version stamped on (and required of) every line.
+pub const WIRE_VERSION: u64 = 1;
+
+// --------------------------------------------------------------- errors
+
+/// Why a wire stream was rejected.
+#[derive(Debug)]
+pub enum WireError {
+    /// The underlying reader/writer failed.
+    Io(std::io::Error),
+    /// A line was not a valid wire frame (malformed JSON, missing fields,
+    /// unknown event tag, wrong field types).
+    Corrupt {
+        /// 1-based line number.
+        line: u64,
+        /// What was wrong.
+        reason: String,
+    },
+    /// The line declared a protocol version this reader does not speak.
+    Version {
+        /// 1-based line number.
+        line: u64,
+        /// The version the line declared.
+        found: u64,
+    },
+    /// A slot arrived more than once (strict readers only — [`SlotMerger`]
+    /// dedups silently, because resume *depends* on replayed duplicates).
+    DuplicateSlot {
+        /// 1-based line number.
+        line: u64,
+        /// The repeated slot.
+        seq: u64,
+    },
+    /// A slot arrived out of order (strict readers require `0, 1, 2, …`).
+    OutOfOrder {
+        /// 1-based line number.
+        line: u64,
+        /// The slot the reader expected next.
+        expected: u64,
+        /// The slot the line carried.
+        found: u64,
+    },
+    /// The study name changed mid-stream.
+    StudyMismatch {
+        /// 1-based line number.
+        line: u64,
+        /// The name the stream opened with.
+        expected: String,
+        /// The name this line carried.
+        found: String,
+    },
+    /// The stream ended without a `study_finished` event.
+    Truncated {
+        /// Frames successfully read before the end.
+        frames: u64,
+    },
+    /// A winner line referenced an evaluation the stream never carried.
+    UnknownWinner {
+        /// 1-based line number.
+        line: u64,
+        /// The winning cell the line named.
+        cell: String,
+    },
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "wire stream I/O error: {e}"),
+            Self::Corrupt { line, reason } => write!(f, "corrupt wire line {line}: {reason}"),
+            Self::Version { line, found } => write!(
+                f,
+                "wire line {line} declares protocol version {found}, this reader speaks {WIRE_VERSION}"
+            ),
+            Self::DuplicateSlot { line, seq } => {
+                write!(f, "wire line {line} repeats slot {seq}")
+            }
+            Self::OutOfOrder {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "wire line {line} is out of order: expected slot {expected}, got {found}"
+            ),
+            Self::StudyMismatch {
+                line,
+                expected,
+                found,
+            } => write!(
+                f,
+                "wire line {line} switches study from `{expected}` to `{found}`"
+            ),
+            Self::Truncated { frames } => write!(
+                f,
+                "wire stream truncated: {frames} frames but no study_finished"
+            ),
+            Self::UnknownWinner { line, cell } => write!(
+                f,
+                "wire line {line} declares winner `{cell}` but no such evaluation streamed"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+/// Why one line failed to parse (lifted into [`WireError`] with a line
+/// number by the readers).
+#[derive(Debug)]
+pub enum FrameError {
+    /// The line declared an unsupported protocol version.
+    Version {
+        /// The declared version.
+        found: u64,
+    },
+    /// The line was malformed.
+    Corrupt {
+        /// What was wrong.
+        reason: String,
+    },
+}
+
+impl FrameError {
+    fn corrupt(reason: impl Into<String>) -> Self {
+        Self::Corrupt {
+            reason: reason.into(),
+        }
+    }
+
+    fn at(self, line: u64) -> WireError {
+        match self {
+            Self::Version { found } => WireError::Version { line, found },
+            Self::Corrupt { reason } => WireError::Corrupt { line, reason },
+        }
+    }
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Version { found } => write!(
+                f,
+                "frame declares protocol version {found}, this reader speaks {WIRE_VERSION}"
+            ),
+            Self::Corrupt { reason } => write!(f, "corrupt frame: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+// ----------------------------------------------------------- owned events
+
+/// An owned [`StudyEvent`]: what a wire line decodes to.
+///
+/// The borrowed event type borrows from the engine's result slots, so it
+/// cannot cross a process boundary; this type owns its payloads and
+/// converts back with [`Self::as_event`] to feed any [`ResultSink`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum OwnedStudyEvent {
+    /// See [`StudyEvent::StudyStarted`].
+    StudyStarted {
+        /// Study name.
+        name: String,
+        /// Resolved cell count.
+        cells: usize,
+        /// Shared-DSE jobs expanded.
+        jobs: usize,
+        /// Optimization targets swept.
+        targets: usize,
+        /// Resolved traffic patterns.
+        traffic: usize,
+    },
+    /// See [`StudyEvent::ArrayCharacterized`].
+    ArrayCharacterized {
+        /// Slot index in the deterministic output order.
+        index: usize,
+        /// The characterized design point.
+        array: ArrayCharacterization,
+    },
+    /// See [`StudyEvent::DesignSkipped`].
+    DesignSkipped {
+        /// Cell name of the failed design point.
+        cell: String,
+        /// Target this skip is reported under.
+        target: OptimizationTarget,
+        /// Human-readable reason.
+        reason: String,
+    },
+    /// See [`StudyEvent::EvaluationProduced`].
+    EvaluationProduced {
+        /// Slot index in the deterministic order.
+        index: usize,
+        /// The evaluation.
+        evaluation: Evaluation,
+    },
+    /// See [`StudyEvent::TargetWinnerSelected`]. The wire carries the
+    /// winner's identity (cell, traffic, total power), not the full
+    /// evaluation — the evaluation itself already streamed as an earlier
+    /// `evaluation_produced` line, and [`EventReplayer`] re-links the two.
+    TargetWinnerSelected {
+        /// The optimization target.
+        target: OptimizationTarget,
+        /// Winning cell name.
+        cell: String,
+        /// Winning traffic pattern name.
+        traffic: String,
+        /// The winner's total power in watts (bit-exact on the wire).
+        total_power_w: f64,
+    },
+    /// See [`StudyEvent::StudyFinished`].
+    StudyFinished {
+        /// Study name.
+        name: String,
+        /// Final counters.
+        stats: StudyStats,
+    },
+}
+
+fn field<'v>(obj: &'v [(String, Value)], name: &str) -> Result<&'v Value, FrameError> {
+    obj.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| FrameError::corrupt(format!("missing field `{name}`")))
+}
+
+fn uint_field(obj: &[(String, Value)], name: &str) -> Result<u64, FrameError> {
+    field(obj, name)?
+        .as_u64()
+        .ok_or_else(|| FrameError::corrupt(format!("field `{name}` is not an unsigned integer")))
+}
+
+fn usize_field(obj: &[(String, Value)], name: &str) -> Result<usize, FrameError> {
+    usize::try_from(uint_field(obj, name)?)
+        .map_err(|_| FrameError::corrupt(format!("field `{name}` out of range")))
+}
+
+fn str_field<'v>(obj: &'v [(String, Value)], name: &str) -> Result<&'v str, FrameError> {
+    field(obj, name)?
+        .as_str()
+        .ok_or_else(|| FrameError::corrupt(format!("field `{name}` is not a string")))
+}
+
+fn float_field(obj: &[(String, Value)], name: &str) -> Result<f64, FrameError> {
+    field(obj, name)?
+        .as_f64()
+        .ok_or_else(|| FrameError::corrupt(format!("field `{name}` is not a number")))
+}
+
+fn target_field(obj: &[(String, Value)], name: &str) -> Result<OptimizationTarget, FrameError> {
+    let label = str_field(obj, name)?;
+    OptimizationTarget::ALL
+        .into_iter()
+        .find(|t| t.label() == label)
+        .ok_or_else(|| FrameError::corrupt(format!("unknown optimization target `{label}`")))
+}
+
+impl OwnedStudyEvent {
+    /// Decodes an event object — either a bare `JsonlSink` line or the
+    /// event portion of a wire frame (header fields are ignored here).
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Corrupt`] for a missing/unknown `event` tag or a
+    /// malformed payload.
+    pub fn from_value(value: &Value) -> Result<Self, FrameError> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| FrameError::corrupt("event line is not a JSON object"))?;
+        let kind = str_field(obj, "event")?;
+        match kind {
+            "study_started" => Ok(Self::StudyStarted {
+                name: str_field(obj, "name")?.to_owned(),
+                cells: usize_field(obj, "cells")?,
+                jobs: usize_field(obj, "jobs")?,
+                targets: usize_field(obj, "targets")?,
+                traffic: usize_field(obj, "traffic")?,
+            }),
+            "array_characterized" => Ok(Self::ArrayCharacterized {
+                index: usize_field(obj, "index")?,
+                array: serde_json::from_value(field(obj, "array")?)
+                    .map_err(|e| FrameError::corrupt(format!("bad array payload: {e}")))?,
+            }),
+            "design_skipped" => Ok(Self::DesignSkipped {
+                cell: str_field(obj, "cell")?.to_owned(),
+                target: target_field(obj, "target")?,
+                reason: str_field(obj, "reason")?.to_owned(),
+            }),
+            "evaluation_produced" => Ok(Self::EvaluationProduced {
+                index: usize_field(obj, "index")?,
+                evaluation: serde_json::from_value(field(obj, "evaluation")?)
+                    .map_err(|e| FrameError::corrupt(format!("bad evaluation payload: {e}")))?,
+            }),
+            "target_winner_selected" => Ok(Self::TargetWinnerSelected {
+                target: target_field(obj, "target")?,
+                cell: str_field(obj, "cell")?.to_owned(),
+                traffic: str_field(obj, "traffic")?.to_owned(),
+                total_power_w: float_field(obj, "total_power_w")?,
+            }),
+            "study_finished" => {
+                let cache = match field(obj, "cache")? {
+                    Value::Null => None,
+                    Value::Object(cache) => Some(CacheStats {
+                        hits: uint_field(cache, "hits")?,
+                        misses: uint_field(cache, "misses")?,
+                    }),
+                    other => {
+                        return Err(FrameError::corrupt(format!(
+                            "field `cache` is neither null nor an object, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                Ok(Self::StudyFinished {
+                    name: str_field(obj, "name")?.to_owned(),
+                    stats: StudyStats {
+                        jobs: usize_field(obj, "jobs")?,
+                        targets: usize_field(obj, "targets")?,
+                        traffic_patterns: usize_field(obj, "traffic")?,
+                        arrays: usize_field(obj, "arrays")?,
+                        evaluations: usize_field(obj, "evaluations")?,
+                        skipped: usize_field(obj, "skipped")?,
+                        cache,
+                    },
+                })
+            }
+            other => Err(FrameError::corrupt(format!("unknown event tag `{other}`"))),
+        }
+    }
+
+    /// The borrowed view of this event, or `None` for
+    /// `target_winner_selected` (whose full evaluation is not on the wire —
+    /// use [`EventReplayer`] to re-link it against the streamed
+    /// evaluations).
+    pub fn as_event(&self) -> Option<StudyEvent<'_>> {
+        match self {
+            Self::StudyStarted {
+                name,
+                cells,
+                jobs,
+                targets,
+                traffic,
+            } => Some(StudyEvent::StudyStarted {
+                name,
+                cells: *cells,
+                jobs: *jobs,
+                targets: *targets,
+                traffic: *traffic,
+            }),
+            Self::ArrayCharacterized { index, array } => Some(StudyEvent::ArrayCharacterized {
+                index: *index,
+                array,
+            }),
+            Self::DesignSkipped {
+                cell,
+                target,
+                reason,
+            } => Some(StudyEvent::DesignSkipped {
+                cell,
+                target: *target,
+                reason,
+            }),
+            Self::EvaluationProduced { index, evaluation } => {
+                Some(StudyEvent::EvaluationProduced {
+                    index: *index,
+                    evaluation,
+                })
+            }
+            Self::TargetWinnerSelected { .. } => None,
+            Self::StudyFinished { name, stats } => Some(StudyEvent::StudyFinished { name, stats }),
+        }
+    }
+
+    /// Wire tag of the event (the `"event"` field of its JSON form).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::StudyStarted { .. } => "study_started",
+            Self::ArrayCharacterized { .. } => "array_characterized",
+            Self::DesignSkipped { .. } => "design_skipped",
+            Self::EvaluationProduced { .. } => "evaluation_produced",
+            Self::TargetWinnerSelected { .. } => "target_winner_selected",
+            Self::StudyFinished { .. } => "study_finished",
+        }
+    }
+
+    /// The event's JSON object — byte-compatible with the borrowed
+    /// [`StudyEvent`]'s serialization (parse → re-serialize is the
+    /// identity on wire lines; asserted in `tests/wire_roundtrip.rs`).
+    pub fn to_value(&self) -> Value {
+        match self.as_event() {
+            Some(event) => event.to_value(),
+            None => {
+                let Self::TargetWinnerSelected {
+                    target,
+                    cell,
+                    traffic,
+                    total_power_w,
+                } = self
+                else {
+                    unreachable!("only winner events have no borrowed view")
+                };
+                // Mirrors the `TargetWinnerSelected` arm of the borrowed
+                // event's Serialize impl field-for-field.
+                Value::Object(vec![
+                    ("event".to_owned(), Value::Str(self.kind().to_owned())),
+                    ("target".to_owned(), Value::Str(target.label().to_owned())),
+                    ("cell".to_owned(), Value::Str(cell.clone())),
+                    ("traffic".to_owned(), Value::Str(traffic.clone())),
+                    ("total_power_w".to_owned(), Value::Float(*total_power_w)),
+                ])
+            }
+        }
+    }
+}
+
+// ----------------------------------------------------------------- frames
+
+/// One parsed wire line: the protocol header plus the event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireFrame {
+    /// Protocol version the line declared (always [`WIRE_VERSION`] after a
+    /// successful parse).
+    pub version: u64,
+    /// Study name from the header.
+    pub study: String,
+    /// Slot sequence number: the event's position in the deterministic
+    /// slot-order stream.
+    pub seq: u64,
+    /// The event payload.
+    pub event: OwnedStudyEvent,
+}
+
+impl WireFrame {
+    /// Parses one wire line.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Version`] when `v` is not [`WIRE_VERSION`];
+    /// [`FrameError::Corrupt`] for anything else wrong with the line.
+    pub fn parse(line: &str) -> Result<Self, FrameError> {
+        let value: Value = serde_json::from_str(line)
+            .map_err(|e| FrameError::corrupt(format!("not valid JSON: {e}")))?;
+        let obj = value
+            .as_object()
+            .ok_or_else(|| FrameError::corrupt("wire line is not a JSON object"))?;
+        let version = uint_field(obj, "v")?;
+        if version != WIRE_VERSION {
+            return Err(FrameError::Version { found: version });
+        }
+        Ok(Self {
+            version,
+            study: str_field(obj, "study")?.to_owned(),
+            seq: uint_field(obj, "seq")?,
+            event: OwnedStudyEvent::from_value(&value)?,
+        })
+    }
+
+    /// The frame as a JSON value: header fields, then the event object's
+    /// fields — exactly what [`WireSink`] writes.
+    pub fn to_value(&self) -> Value {
+        frame_value(&self.study, self.seq, self.event.to_value())
+    }
+
+    /// The frame as one JSONL line (no trailing newline). Parse → re-encode
+    /// is the identity on lines produced by [`WireSink`], so a coordinator
+    /// can re-emit merged frames into a capture file byte-faithfully.
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(&self.to_value()).expect("wire frames always serialize")
+    }
+}
+
+/// Prepends the wire header to an event body object.
+fn frame_value(study: &str, seq: u64, event_body: Value) -> Value {
+    let mut fields = vec![
+        ("v".to_owned(), Value::Uint(WIRE_VERSION)),
+        ("study".to_owned(), Value::Str(study.to_owned())),
+        ("seq".to_owned(), Value::Uint(seq)),
+    ];
+    match event_body {
+        Value::Object(body) => fields.extend(body),
+        other => fields.push(("event".to_owned(), other)),
+    }
+    Value::Object(fields)
+}
+
+// ----------------------------------------------------------------- shards
+
+/// A residue-class shard of the slot space: shard `i/n` owns every slot
+/// with `seq % n == i`. Round-robin (rather than contiguous ranges) means
+/// no worker needs to know the stream length in advance, and a merging
+/// coordinator always knows which shard its next slot must come from —
+/// `nvmx-coordinator` exploits that to read only the owning shard's
+/// (bounded) queue, so shards racing ahead park in their own stdout pipes
+/// instead of the coordinator's memory.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Shard {
+    /// Shard index, `< count`.
+    pub index: u64,
+    /// Total shard count, `>= 1`.
+    pub count: u64,
+}
+
+impl Default for Shard {
+    fn default() -> Self {
+        Self::WHOLE
+    }
+}
+
+impl Shard {
+    /// The unsharded stream: one shard owning every slot.
+    pub const WHOLE: Self = Self { index: 0, count: 1 };
+
+    /// Shard `index` of `count`.
+    ///
+    /// # Errors
+    ///
+    /// When `count` is zero or `index >= count`.
+    pub fn of(index: u64, count: u64) -> Result<Self, String> {
+        if count == 0 {
+            return Err("shard count must be >= 1".to_owned());
+        }
+        if index >= count {
+            return Err(format!("shard index {index} out of range for /{count}"));
+        }
+        Ok(Self { index, count })
+    }
+
+    /// Parses the CLI form `"I/N"` (e.g. `"0/2"`).
+    ///
+    /// # Errors
+    ///
+    /// A description of what was malformed.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let (index, count) = spec
+            .split_once('/')
+            .ok_or_else(|| format!("shard spec `{spec}` is not of the form I/N"))?;
+        let index: u64 = index
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard index `{index}` is not an unsigned integer"))?;
+        let count: u64 = count
+            .trim()
+            .parse()
+            .map_err(|_| format!("shard count `{count}` is not an unsigned integer"))?;
+        Self::of(index, count)
+    }
+
+    /// Whether this shard owns slot `seq`.
+    pub fn owns(&self, seq: u64) -> bool {
+        seq % self.count == self.index
+    }
+}
+
+impl std::fmt::Display for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}/{}", self.index, self.count)
+    }
+}
+
+// ------------------------------------------------------------------- sink
+
+/// A [`ResultSink`] that serializes every event as a versioned wire line.
+///
+/// The sink numbers *all* events (so `seq` is the global slot coordinate)
+/// but writes only the lines its [`Shard`] owns. Each written line is
+/// flushed immediately: a downstream coordinator sees events as they
+/// happen, and a killed worker leaves a clean prefix of its residue class
+/// rather than a torn line. The study name is captured from the
+/// `study_started` event, which the engine guarantees comes first.
+#[derive(Debug)]
+pub struct WireSink<W: Write> {
+    out: W,
+    shard: Shard,
+    study: String,
+    seq: u64,
+    written: u64,
+}
+
+impl<W: Write> WireSink<W> {
+    /// An unsharded sink: every event goes to `out`.
+    pub fn new(out: W) -> Self {
+        Self::sharded(out, Shard::WHOLE)
+    }
+
+    /// A sink emitting only the slots `shard` owns.
+    pub fn sharded(out: W, shard: Shard) -> Self {
+        Self {
+            out,
+            shard,
+            study: String::new(),
+            seq: 0,
+            written: 0,
+        }
+    }
+
+    /// Lines actually written (this shard's slots only).
+    pub fn frames_written(&self) -> u64 {
+        self.written
+    }
+
+    /// Events observed (all slots, whether or not this shard wrote them).
+    pub fn events_seen(&self) -> u64 {
+        self.seq
+    }
+
+    /// Consumes the sink, returning the writer.
+    pub fn into_inner(self) -> W {
+        self.out
+    }
+}
+
+impl<W: Write> ResultSink for WireSink<W> {
+    fn on_event(&mut self, event: &StudyEvent<'_>) -> std::io::Result<()> {
+        if let StudyEvent::StudyStarted { name, .. } = event {
+            self.study = (*name).to_owned();
+        }
+        let seq = self.seq;
+        self.seq += 1;
+        if !self.shard.owns(seq) {
+            return Ok(());
+        }
+        let line = serde_json::to_string(&frame_value(&self.study, seq, event.to_value()))
+            .map_err(std::io::Error::other)?;
+        writeln!(self.out, "{line}")?;
+        self.out.flush()?;
+        self.written += 1;
+        Ok(())
+    }
+}
+
+// ----------------------------------------------------------------- merger
+
+/// Merges out-of-order slot arrivals back into a strict `0, 1, 2, …`
+/// delivery order, deduplicating repeats.
+///
+/// Generic over the payload so the coordinator can carry `(WireFrame,
+/// raw line)` pairs and tests can merge plain integers. Duplicates are
+/// *dropped, not rejected*: a re-spawned worker replays its entire residue
+/// class, and the merger absorbing already-delivered slots is exactly what
+/// makes resume idempotent. (The strict single-stream readers — [`replay`]
+/// — do reject duplicates; a captured file has no business repeating
+/// itself.)
+#[derive(Debug)]
+pub struct SlotMerger<T> {
+    next: u64,
+    pending: BTreeMap<u64, T>,
+    duplicates: u64,
+}
+
+impl<T> Default for SlotMerger<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> SlotMerger<T> {
+    /// A merger expecting slot 0 first.
+    pub fn new() -> Self {
+        Self {
+            next: 0,
+            pending: BTreeMap::new(),
+            duplicates: 0,
+        }
+    }
+
+    /// Offers one arrival. Delivers it (and any now-contiguous buffered
+    /// successors) to `deliver` in slot order; buffers it if it is early;
+    /// drops it if it was already delivered or buffered.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first `deliver` error; the merger's cursor stays
+    /// consistent (the failing slot counts as delivered).
+    pub fn offer<E>(
+        &mut self,
+        seq: u64,
+        item: T,
+        deliver: &mut dyn FnMut(u64, T) -> Result<(), E>,
+    ) -> Result<(), E> {
+        if seq < self.next || self.pending.contains_key(&seq) {
+            self.duplicates += 1;
+            return Ok(());
+        }
+        if seq != self.next {
+            self.pending.insert(seq, item);
+            return Ok(());
+        }
+        self.next += 1;
+        deliver(seq, item)?;
+        while let Some(item) = self.pending.remove(&self.next) {
+            let seq = self.next;
+            self.next += 1;
+            deliver(seq, item)?;
+        }
+        Ok(())
+    }
+
+    /// The next slot the merger will deliver.
+    pub fn next_expected(&self) -> u64 {
+        self.next
+    }
+
+    /// Early arrivals currently buffered.
+    pub fn pending(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Duplicate arrivals dropped so far.
+    pub fn duplicates(&self) -> u64 {
+        self.duplicates
+    }
+}
+
+// ----------------------------------------------------------------- replay
+
+/// Marker payload inside the `io::Error` [`EventReplayer::apply`] returns
+/// when a winner line matches no streamed evaluation — a *typed* marker,
+/// so strict readers can distinguish it from any `InvalidData` error a
+/// caller's sink happens to raise while handling the same event.
+#[derive(Debug)]
+struct WinnerLookupFailed {
+    cell: String,
+}
+
+impl std::fmt::Display for WinnerLookupFailed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "winner `{}` matches no streamed evaluation", self.cell)
+    }
+}
+
+impl std::error::Error for WinnerLookupFailed {}
+
+/// Feeds decoded wire events into a [`ResultSink`] and a
+/// [`StudyResultBuilder`], re-linking `target_winner_selected` lines to the
+/// full evaluations that streamed earlier so downstream sinks observe the
+/// exact event sequence the original engine emitted.
+#[derive(Debug, Default)]
+pub struct EventReplayer {
+    builder: StudyResultBuilder,
+}
+
+impl EventReplayer {
+    /// A fresh replayer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Applies one decoded event: forwards the borrowed view to `sink` and
+    /// records it in the internal builder.
+    ///
+    /// # Errors
+    ///
+    /// Sink failures propagate unchanged; a winner that matches no
+    /// streamed evaluation is reported as an
+    /// [`std::io::ErrorKind::InvalidData`] error carrying a typed marker
+    /// (strict readers surface it as [`WireError::UnknownWinner`] without
+    /// ever confusing it with a sink's own `InvalidData`).
+    pub fn apply(
+        &mut self,
+        event: &OwnedStudyEvent,
+        sink: &mut dyn ResultSink,
+    ) -> std::io::Result<()> {
+        match event.as_event() {
+            Some(borrowed) => {
+                sink.on_event(&borrowed)?;
+                self.builder.on_event(&borrowed)
+            }
+            None => {
+                let OwnedStudyEvent::TargetWinnerSelected {
+                    target,
+                    cell,
+                    traffic,
+                    total_power_w,
+                } = event
+                else {
+                    unreachable!("only winner events have no borrowed view")
+                };
+                // The winner is, by the engine's selection rule, an earlier
+                // evaluation in stream order; find it and re-emit the full
+                // event. Power compares bit-exact because the wire encoding
+                // round-trips floats exactly.
+                let winner = self
+                    .builder
+                    .evaluations()
+                    .iter()
+                    .find(|e| {
+                        e.array.target == *target
+                            && e.array.cell_name == *cell
+                            && e.traffic.name == *traffic
+                            && e.total_power().value().to_bits() == total_power_w.to_bits()
+                    })
+                    .ok_or_else(|| {
+                        std::io::Error::new(
+                            std::io::ErrorKind::InvalidData,
+                            WinnerLookupFailed { cell: cell.clone() },
+                        )
+                    })?;
+                sink.on_event(&StudyEvent::TargetWinnerSelected {
+                    target: *target,
+                    winner,
+                })
+            }
+        }
+    }
+
+    /// The rebuilt result, or `None` when no `study_finished` was applied.
+    pub fn finish(self) -> Option<StudyResult> {
+        self.builder.finish()
+    }
+}
+
+/// A successfully replayed capture.
+#[derive(Debug)]
+pub struct Replay {
+    /// The study name the stream carried.
+    pub study: String,
+    /// Frames consumed.
+    pub frames: u64,
+    /// The rebuilt result — byte-identical to the in-process run that
+    /// produced the capture.
+    pub result: StudyResult,
+}
+
+/// Strictly replays a captured wire stream, rebuilding the
+/// [`StudyResult`] via [`StudyResultBuilder`].
+///
+/// # Errors
+///
+/// [`WireError`] on I/O failures, malformed lines, version mismatches,
+/// out-of-order/duplicate slots, mid-stream study changes, or truncation.
+pub fn replay<R: BufRead>(reader: R) -> Result<Replay, WireError> {
+    replay_into(reader, &mut crate::stream::NullSink)
+}
+
+/// [`replay`], additionally streaming every event (winners re-linked) into
+/// `sink` — so a capture can drive the same CSV/JSONL/summary sinks a live
+/// run does.
+///
+/// # Errors
+///
+/// Same conditions as [`replay`], plus sink failures (as
+/// [`WireError::Io`]).
+pub fn replay_into<R: BufRead>(reader: R, sink: &mut dyn ResultSink) -> Result<Replay, WireError> {
+    let mut replayer = EventReplayer::new();
+    let mut study: Option<String> = None;
+    let mut frames: u64 = 0;
+    let mut finished = false;
+    for (lineno, line) in reader.lines().enumerate() {
+        let lineno = lineno as u64 + 1;
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        if finished {
+            return Err(WireError::Corrupt {
+                line: lineno,
+                reason: "frames after study_finished".to_owned(),
+            });
+        }
+        let frame = WireFrame::parse(&line).map_err(|e| e.at(lineno))?;
+        match &study {
+            None => study = Some(frame.study.clone()),
+            Some(expected) if *expected != frame.study => {
+                return Err(WireError::StudyMismatch {
+                    line: lineno,
+                    expected: expected.clone(),
+                    found: frame.study,
+                })
+            }
+            Some(_) => {}
+        }
+        match frame.seq.cmp(&frames) {
+            std::cmp::Ordering::Less => {
+                return Err(WireError::DuplicateSlot {
+                    line: lineno,
+                    seq: frame.seq,
+                })
+            }
+            std::cmp::Ordering::Greater => {
+                return Err(WireError::OutOfOrder {
+                    line: lineno,
+                    expected: frames,
+                    found: frame.seq,
+                })
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+        if let OwnedStudyEvent::StudyFinished { .. } = &frame.event {
+            finished = true;
+        }
+        replayer.apply(&frame.event, sink).map_err(|e| {
+            match e
+                .get_ref()
+                .and_then(|inner| inner.downcast_ref::<WinnerLookupFailed>())
+            {
+                Some(lookup) => WireError::UnknownWinner {
+                    line: lineno,
+                    cell: lookup.cell.clone(),
+                },
+                None => WireError::Io(e),
+            }
+        })?;
+        frames += 1;
+    }
+    if !finished {
+        return Err(WireError::Truncated { frames });
+    }
+    let result = replayer.finish().expect("finished stream builds a result");
+    Ok(Replay {
+        study: study.expect("finished stream has frames"),
+        frames,
+        result,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_parsing_and_ownership() {
+        let shard = Shard::parse("1/3").unwrap();
+        assert_eq!(shard, Shard::of(1, 3).unwrap());
+        assert!(!shard.owns(0));
+        assert!(shard.owns(1));
+        assert!(shard.owns(4));
+        assert_eq!(shard.to_string(), "1/3");
+        assert!(Shard::parse("3/3").is_err());
+        assert!(Shard::parse("0/0").is_err());
+        assert!(Shard::parse("nope").is_err());
+        assert!(Shard::WHOLE.owns(17));
+    }
+
+    #[test]
+    fn merger_reorders_and_dedups() {
+        let mut merger = SlotMerger::new();
+        let mut seen = Vec::new();
+        let mut deliver = |seq: u64, item: &'static str| -> Result<(), std::io::Error> {
+            seen.push((seq, item));
+            Ok(())
+        };
+        merger.offer(2, "c", &mut deliver).unwrap();
+        merger.offer(0, "a", &mut deliver).unwrap();
+        merger.offer(2, "c-again", &mut deliver).unwrap();
+        merger.offer(1, "b", &mut deliver).unwrap();
+        merger.offer(0, "a-again", &mut deliver).unwrap();
+        assert_eq!(seen, vec![(0, "a"), (1, "b"), (2, "c")]);
+        assert_eq!(merger.next_expected(), 3);
+        assert_eq!(merger.pending(), 0);
+        assert_eq!(merger.duplicates(), 2);
+    }
+
+    #[test]
+    fn frame_version_is_enforced() {
+        let line = r#"{"v":2,"study":"s","seq":0,"event":"study_started","name":"s","cells":1,"jobs":1,"targets":1,"traffic":1}"#;
+        match WireFrame::parse(line) {
+            Err(FrameError::Version { found }) => assert_eq!(found, 2),
+            other => panic!("expected version error, got {other:?}"),
+        }
+        let missing = r#"{"study":"s","seq":0,"event":"study_started"}"#;
+        assert!(matches!(
+            WireFrame::parse(missing),
+            Err(FrameError::Corrupt { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_event_tags_are_rejected() {
+        let line = r#"{"v":1,"study":"s","seq":0,"event":"quantum_flux"}"#;
+        match WireFrame::parse(line) {
+            Err(FrameError::Corrupt { reason }) => assert!(reason.contains("quantum_flux")),
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn started_frame_roundtrips_through_text() {
+        let frame = WireFrame {
+            version: WIRE_VERSION,
+            study: "demo".into(),
+            seq: 0,
+            event: OwnedStudyEvent::StudyStarted {
+                name: "demo".into(),
+                cells: 2,
+                jobs: 4,
+                targets: 1,
+                traffic: 3,
+            },
+        };
+        let line = frame.to_line();
+        assert!(line.starts_with(r#"{"v":1,"study":"demo","seq":0,"event":"study_started""#));
+        let back = WireFrame::parse(&line).unwrap();
+        assert_eq!(back, frame);
+        assert_eq!(back.to_line(), line, "parse -> encode must be identity");
+    }
+
+    #[test]
+    fn winner_frame_roundtrips_through_text() {
+        let frame = WireFrame {
+            version: WIRE_VERSION,
+            study: "demo".into(),
+            seq: 9,
+            event: OwnedStudyEvent::TargetWinnerSelected {
+                target: OptimizationTarget::ReadEdp,
+                cell: "STT-opt".into(),
+                traffic: "t".into(),
+                total_power_w: 0.1 + 0.2, // deliberately non-representable
+            },
+        };
+        let line = frame.to_line();
+        let back = WireFrame::parse(&line).unwrap();
+        assert_eq!(back, frame);
+        assert_eq!(back.to_line(), line);
+    }
+
+    #[test]
+    fn replay_rejects_empty_and_truncated_streams() {
+        let err = replay(std::io::Cursor::new("")).unwrap_err();
+        assert!(matches!(err, WireError::Truncated { frames: 0 }));
+        let one_line = r#"{"v":1,"study":"s","seq":0,"event":"study_started","name":"s","cells":1,"jobs":1,"targets":1,"traffic":1}"#;
+        let err = replay(std::io::Cursor::new(format!("{one_line}\n"))).unwrap_err();
+        assert!(matches!(err, WireError::Truncated { frames: 1 }));
+    }
+}

@@ -1,0 +1,413 @@
+//! The wire protocol's proof obligations: for any study config, the
+//! in-process run, a sharded run merged coordinator-style from N workers,
+//! and a strict replay of the captured JSONL all yield **byte-identical**
+//! [`StudyResult`]s — and the strict parser rejects every malformed stream
+//! it claims to reject.
+
+use nvmexplorer_core::config::{
+    ArraySettings, CellSelection, Constraints, StudyConfig, TrafficSpec,
+};
+use nvmexplorer_core::stream::{ResultSink, StudyEvent, StudyExecutor};
+use nvmexplorer_core::sweep::{run_study_with_threads, StudyResult};
+use nvmexplorer_core::wire::{
+    replay, replay_into, EventReplayer, Shard, SlotMerger, WireError, WireFrame, WireSink,
+};
+use nvmx_celldb::TechnologyClass;
+use nvmx_nvsim::OptimizationTarget;
+use nvmx_units::BitsPerCell;
+use nvmx_workloads::TrafficPattern;
+use proptest::prelude::*;
+
+fn assert_identical(label: &str, a: &StudyResult, b: &StudyResult) {
+    assert_eq!(a.name, b.name, "{label}: names differ");
+    assert_eq!(a.arrays, b.arrays, "{label}: arrays differ");
+    assert_eq!(a.evaluations, b.evaluations, "{label}: evaluations differ");
+    assert_eq!(a.skipped, b.skipped, "{label}: skipped differ");
+}
+
+/// Runs the study at `threads`, capturing the full wire stream for `shard`.
+fn capture_shard(study: &StudyConfig, shard: Shard, threads: usize) -> Vec<String> {
+    let mut sink = WireSink::sharded(Vec::new(), shard);
+    StudyExecutor::with_threads(threads)
+        .run(study, &mut sink)
+        .expect("study runs");
+    String::from_utf8(sink.into_inner())
+        .expect("wire lines are UTF-8")
+        .lines()
+        .map(str::to_owned)
+        .collect()
+}
+
+/// The deterministic event stream modulo the one observational field: the
+/// cache counters on the final `study_finished` line (racing workers may
+/// double-count a miss, and different runs have different caches).
+fn strip_cache(line: &str) -> String {
+    line.split(",\"cache\":").next().unwrap().to_owned()
+}
+
+/// Merges shard captures the way the coordinator does — out-of-order
+/// offers buffered by [`SlotMerger`], duplicates dropped — returning the
+/// merged capture and the rebuilt result. `rotation` picks which shard the
+/// adversarial interleave drains first.
+fn merge_shards(shards: &[Vec<String>], rotation: usize) -> (Vec<String>, StudyResult) {
+    let mut queues: Vec<std::collections::VecDeque<WireFrame>> = shards
+        .iter()
+        .map(|lines| {
+            lines
+                .iter()
+                .map(|line| WireFrame::parse(line).expect("worker lines parse"))
+                .collect()
+        })
+        .collect();
+    let mut merger = SlotMerger::new();
+    let mut replayer = EventReplayer::new();
+    let mut capture = Vec::new();
+    let mut deliver = |_seq: u64, frame: WireFrame| {
+        capture.push(frame.to_line());
+        replayer.apply(&frame.event, &mut nvmexplorer_core::stream::NullSink)
+    };
+    // Round-robin starting from an arbitrary shard: early slots from the
+    // other shards must buffer until the rotation comes around.
+    let mut remaining = true;
+    let mut duplicates = Vec::new();
+    let count = queues.len();
+    while remaining {
+        remaining = false;
+        for i in 0..count {
+            let queue = &mut queues[(i + rotation) % count];
+            if let Some(frame) = queue.pop_front() {
+                remaining = remaining || !queue.is_empty();
+                // A "respawned worker" replays old slots: re-offer every
+                // fourth frame later and expect it to be deduplicated.
+                if frame.seq % 4 == 0 {
+                    duplicates.push(frame.clone());
+                }
+                merger.offer(frame.seq, frame, &mut deliver).unwrap();
+            }
+        }
+    }
+    for frame in duplicates {
+        merger.offer(frame.seq, frame, &mut deliver).unwrap();
+    }
+    assert_eq!(merger.pending(), 0, "merge left buffered slots");
+    assert!(merger.duplicates() > 0, "dedup path never exercised");
+    (capture, replayer.finish().expect("merged stream finished"))
+}
+
+/// Records serialized events, so replayed sink traffic can be compared
+/// against the original run's line-by-line.
+#[derive(Default)]
+struct Tape {
+    lines: Vec<String>,
+}
+
+impl ResultSink for Tape {
+    fn on_event(&mut self, event: &StudyEvent<'_>) -> std::io::Result<()> {
+        self.lines
+            .push(serde_json::to_string(event).map_err(std::io::Error::other)?);
+        Ok(())
+    }
+}
+
+fn small_study() -> StudyConfig {
+    StudyConfig {
+        name: "wire-unit".into(),
+        cells: CellSelection {
+            technologies: Some(vec![TechnologyClass::Stt]),
+            reference_rram: false,
+            sram_baseline: true, // infinite endurance exercises the 1e999 path
+            ..CellSelection::default()
+        },
+        array: ArraySettings {
+            capacities_mib: vec![2],
+            targets: vec![OptimizationTarget::ReadEdp],
+            ..ArraySettings::default()
+        },
+        traffic: TrafficSpec::Explicit {
+            patterns: vec![TrafficPattern::new("t", 1.0e9, 1.0e7, 64)],
+        },
+        constraints: Constraints::default(),
+        output: Default::default(),
+    }
+}
+
+fn capture_text(lines: &[String]) -> String {
+    let mut text = lines.join("\n");
+    text.push('\n');
+    text
+}
+
+// --------------------------------------------------------- deterministic
+
+#[test]
+fn every_wire_line_reencodes_byte_identically() {
+    let lines = capture_shard(&small_study(), Shard::WHOLE, 2);
+    assert!(lines.len() >= 4);
+    for line in &lines {
+        let frame = WireFrame::parse(line).expect("line parses");
+        assert_eq!(&frame.to_line(), line, "parse -> encode must be identity");
+    }
+}
+
+#[test]
+fn sram_infinite_endurance_survives_the_wire() {
+    let lines = capture_shard(&small_study(), Shard::WHOLE, 1);
+    let text = capture_text(&lines);
+    assert!(
+        text.contains("\"endurance_cycles\":1e999"),
+        "SRAM's unbounded endurance must be encoded losslessly"
+    );
+    let replayed = replay(std::io::Cursor::new(text)).unwrap();
+    let sram = replayed
+        .result
+        .arrays
+        .iter()
+        .find(|a| a.cell_name.contains("SRAM"))
+        .expect("SRAM array present");
+    assert_eq!(sram.endurance_cycles, f64::INFINITY);
+}
+
+#[test]
+fn replayed_sink_traffic_matches_the_original_run() {
+    let study = small_study();
+    let mut original = Tape::default();
+    StudyExecutor::with_threads(1)
+        .run(&study, &mut original)
+        .unwrap();
+    let lines = capture_shard(&study, Shard::WHOLE, 1);
+    let mut replayed = Tape::default();
+    let summary = replay_into(std::io::Cursor::new(capture_text(&lines)), &mut replayed).unwrap();
+    assert_eq!(summary.study, study.name);
+    assert_eq!(summary.frames as usize, original.lines.len());
+    assert_eq!(replayed.lines.len(), original.lines.len());
+    for (a, b) in replayed.lines.iter().zip(&original.lines) {
+        // Full fidelity including the re-linked winner events; only the
+        // observational cache counters on the final line may differ
+        // between the two runs that produced the streams.
+        assert_eq!(strip_cache(a), strip_cache(b));
+    }
+}
+
+#[test]
+fn strict_replay_rejects_malformed_streams() {
+    let lines = capture_shard(&small_study(), Shard::WHOLE, 2);
+    let parse = |text: String| replay(std::io::Cursor::new(text));
+
+    // Corrupt line.
+    let mut corrupt = lines.clone();
+    corrupt[1] = corrupt[1].replace("\"event\"", "\"evnt\"");
+    match parse(capture_text(&corrupt)) {
+        Err(WireError::Corrupt { line, .. }) => assert_eq!(line, 2),
+        other => panic!("expected Corrupt, got {other:?}"),
+    }
+
+    // Not JSON at all.
+    let mut garbage = lines.clone();
+    garbage[2] = "{not json".into();
+    assert!(matches!(
+        parse(capture_text(&garbage)),
+        Err(WireError::Corrupt { line: 3, .. })
+    ));
+
+    // Unknown protocol version.
+    let mut versioned = lines.clone();
+    versioned[0] = versioned[0].replacen("{\"v\":1,", "{\"v\":9,", 1);
+    match parse(capture_text(&versioned)) {
+        Err(WireError::Version { line, found }) => {
+            assert_eq!((line, found), (1, 9));
+        }
+        other => panic!("expected Version, got {other:?}"),
+    }
+
+    // Duplicate slot.
+    let mut duplicated = lines.clone();
+    duplicated.insert(2, duplicated[1].clone());
+    match parse(capture_text(&duplicated)) {
+        Err(WireError::DuplicateSlot { line, seq }) => assert_eq!((line, seq), (3, 1)),
+        other => panic!("expected DuplicateSlot, got {other:?}"),
+    }
+
+    // Out-of-order slot (a gap).
+    let mut gapped = lines.clone();
+    gapped.remove(1);
+    match parse(capture_text(&gapped)) {
+        Err(WireError::OutOfOrder {
+            line,
+            expected,
+            found,
+        }) => assert_eq!((line, expected, found), (2, 1, 2)),
+        other => panic!("expected OutOfOrder, got {other:?}"),
+    }
+
+    // Truncated: no study_finished.
+    let mut truncated = lines.clone();
+    truncated.pop();
+    match parse(capture_text(&truncated)) {
+        Err(WireError::Truncated { frames }) => assert_eq!(frames as usize, lines.len() - 1),
+        other => panic!("expected Truncated, got {other:?}"),
+    }
+
+    // Study renamed mid-stream.
+    let mut renamed = lines.clone();
+    renamed[1] = renamed[1].replacen("\"study\":\"wire-unit\"", "\"study\":\"imposter\"", 1);
+    match parse(capture_text(&renamed)) {
+        Err(WireError::StudyMismatch { line, found, .. }) => {
+            assert_eq!(line, 2);
+            assert_eq!(found, "imposter");
+        }
+        other => panic!("expected StudyMismatch, got {other:?}"),
+    }
+
+    // Frames after study_finished.
+    let mut overlong = lines.clone();
+    let mut extra = WireFrame::parse(lines.last().unwrap()).unwrap();
+    extra.seq += 1;
+    overlong.push(extra.to_line());
+    assert!(matches!(
+        parse(capture_text(&overlong)),
+        Err(WireError::Corrupt { .. })
+    ));
+
+    // The pristine capture still replays fine.
+    let replayed = parse(capture_text(&lines)).unwrap();
+    assert_eq!(replayed.frames as usize, lines.len());
+}
+
+#[test]
+fn winner_lines_referencing_unknown_evaluations_are_rejected() {
+    let lines = capture_shard(&small_study(), Shard::WHOLE, 2);
+    let tampered: Vec<String> = lines
+        .iter()
+        .map(|line| {
+            if line.contains("\"event\":\"target_winner_selected\"") {
+                line.replace("\"cell\":\"", "\"cell\":\"ghost-")
+            } else {
+                line.clone()
+            }
+        })
+        .collect();
+    match replay(std::io::Cursor::new(capture_text(&tampered))) {
+        Err(WireError::UnknownWinner { cell, .. }) => assert!(cell.starts_with("ghost-")),
+        other => panic!("expected UnknownWinner, got {other:?}"),
+    }
+}
+
+#[test]
+fn shard_partition_is_exact_and_disjoint() {
+    let study = small_study();
+    let whole = capture_shard(&study, Shard::WHOLE, 2);
+    for count in [2u64, 3] {
+        let shards: Vec<Vec<String>> = (0..count)
+            .map(|i| capture_shard(&study, Shard::of(i, count).unwrap(), 2))
+            .collect();
+        let total: usize = shards.iter().map(Vec::len).sum();
+        assert_eq!(total, whole.len(), "shards must partition the stream");
+        for (i, lines) in shards.iter().enumerate() {
+            for line in lines {
+                let frame = WireFrame::parse(line).unwrap();
+                assert_eq!(frame.seq % count, i as u64, "slot in wrong shard");
+            }
+        }
+    }
+}
+
+// --------------------------------------------------------------- fuzzing
+
+/// A randomized small study: technology subset, optional SRAM baseline
+/// (unbounded endurance), 1–2 capacities, SLC or SLC+MLC (MLC makes SRAM
+/// skip, exercising `design_skipped` on the wire), 1–2 targets.
+fn arb_study() -> impl Strategy<Value = StudyConfig> {
+    ((1u8..16, 0u8..2), (0u8..2, 0u8..2), 0u8..3, 1u64..3).prop_map(
+        |((tech_mask, sram), (caps, depths), targets, patterns)| {
+            let pool = [
+                TechnologyClass::Stt,
+                TechnologyClass::Rram,
+                TechnologyClass::Pcm,
+                TechnologyClass::FeFet,
+            ];
+            let technologies: Vec<TechnologyClass> = pool
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| tech_mask & (1 << i) != 0)
+                .map(|(_, t)| *t)
+                .collect();
+            StudyConfig {
+                name: format!("wire-fuzz-{tech_mask}-{sram}-{caps}-{depths}-{targets}"),
+                cells: CellSelection {
+                    technologies: Some(technologies),
+                    reference_rram: false,
+                    sram_baseline: sram == 1,
+                    ..CellSelection::default()
+                },
+                array: ArraySettings {
+                    capacities_mib: if caps == 0 { vec![2] } else { vec![1, 2] },
+                    bits_per_cell: if depths == 0 {
+                        vec![BitsPerCell::Slc]
+                    } else {
+                        vec![BitsPerCell::Slc, BitsPerCell::Mlc2]
+                    },
+                    targets: match targets {
+                        0 => vec![OptimizationTarget::ReadEdp],
+                        1 => vec![OptimizationTarget::ReadEdp, OptimizationTarget::Area],
+                        _ => vec![OptimizationTarget::WriteEnergy],
+                    },
+                    ..ArraySettings::default()
+                },
+                traffic: TrafficSpec::Explicit {
+                    patterns: (0..patterns)
+                        .map(|i| {
+                            TrafficPattern::new(
+                                format!("p{i}"),
+                                1.0e9 * (i + 1) as f64,
+                                1.0e7 * (i + 1) as f64,
+                                64,
+                            )
+                        })
+                        .collect(),
+                },
+                constraints: Constraints::default(),
+                output: Default::default(),
+            }
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The acceptance bar: in-process run ≡ coordinator-style
+    /// sharded merge ≡ replay of the capture, byte-identical, at 1 and N
+    /// workers — for any study config.
+    #[test]
+    fn in_process_sharded_and_replayed_results_are_byte_identical(study in arb_study()) {
+        let batch = run_study_with_threads(&study, 4).unwrap();
+
+        // 1 worker: a single unsharded capture.
+        let whole = capture_shard(&study, Shard::WHOLE, 1);
+        let replayed = replay(std::io::Cursor::new(capture_text(&whole))).unwrap();
+        assert_identical("replay(1 worker)", &replayed.result, &batch);
+        prop_assert_eq!(replayed.frames as usize, whole.len());
+
+        // N workers at mixed thread counts, merged out of order with
+        // injected duplicates, then replayed from the merged capture.
+        for count in [2u64, 3] {
+            let shards: Vec<Vec<String>> = (0..count)
+                .map(|i| {
+                    capture_shard(&study, Shard::of(i, count).unwrap(), 1 + i as usize)
+                })
+                .collect();
+            let (capture, merged) = merge_shards(&shards, 1);
+            assert_identical("merged", &merged, &batch);
+
+            // The merged capture is the unsharded capture, byte for byte
+            // (modulo the observational cache counters on the final line).
+            prop_assert_eq!(capture.len(), whole.len());
+            for (m, w) in capture.iter().zip(&whole) {
+                prop_assert_eq!(strip_cache(m), strip_cache(w));
+            }
+
+            let rereplayed = replay(std::io::Cursor::new(capture_text(&capture))).unwrap();
+            assert_identical("replay(merged)", &rereplayed.result, &batch);
+        }
+    }
+}

@@ -142,6 +142,14 @@ impl<W: Write> ResultSink for CsvSink<W> {
 /// diff-able record of a run — the same study produces the same stream at
 /// any thread count (modulo the observational cache counters on the final
 /// `study_finished` line).
+///
+/// This is also the body format of the distributed wire protocol: a
+/// `core::wire` frame is exactly this line with a `{"v", "study", "seq"}`
+/// header prepended, and
+/// [`OwnedStudyEvent::from_value`](nvmexplorer_core::wire::OwnedStudyEvent::from_value)
+/// decodes both forms with one parser — there is one serialization of a
+/// study event, not two (pinned by `jsonl_lines_parse_with_the_wire_event_decoder`
+/// in `tests/jsonl_determinism.rs`).
 #[derive(Debug)]
 pub struct JsonlSink<W: Write> {
     out: W,

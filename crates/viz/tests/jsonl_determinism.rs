@@ -73,6 +73,44 @@ fn arb_study() -> impl Strategy<Value = StudyConfig> {
     })
 }
 
+/// The format-sharing contract with the distributed wire protocol: a bare
+/// `JsonlSink` line is the body of a `core::wire` frame, so the wire
+/// event decoder must parse every line this sink emits — one
+/// serialization of a study event, not two.
+#[test]
+fn jsonl_lines_parse_with_the_wire_event_decoder() {
+    use nvmexplorer_core::wire::OwnedStudyEvent;
+
+    let study = StudyConfig {
+        name: "jsonl-wire-shared".into(),
+        cells: CellSelection {
+            technologies: Some(vec![TechnologyClass::Stt]),
+            reference_rram: false,
+            sram_baseline: true, // infinite endurance exercises 1e999
+            ..CellSelection::default()
+        },
+        array: ArraySettings::default(),
+        traffic: TrafficSpec::Explicit {
+            patterns: vec![TrafficPattern::new("t", 1.0e9, 1.0e7, 64)],
+        },
+        constraints: Default::default(),
+        output: Default::default(),
+    };
+    let lines = jsonl_for(&study, 2);
+    assert!(lines.len() >= 4);
+    for line in &lines {
+        let value: serde_json::Value = serde_json::from_str(line).expect("line is JSON");
+        let event = OwnedStudyEvent::from_value(&value)
+            .unwrap_or_else(|e| panic!("wire decoder rejected JsonlSink line `{line}`: {e}"));
+        // The decoded event re-serializes to the exact same line.
+        assert_eq!(
+            serde_json::to_string(&event.to_value()).unwrap(),
+            *line,
+            "decode -> encode must be the identity on JsonlSink lines"
+        );
+    }
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(8))]
 

@@ -122,8 +122,13 @@ fn write_seq<I: ExactSizeIterator>(
     out.push(close);
 }
 
-/// Floats print via Rust's shortest-roundtrip `Display`, with non-finite
-/// values mapped to `null` (JSON has no infinities), matching `serde_json`.
+/// Floats print via Rust's shortest-roundtrip `Display`. Infinities print
+/// as the syntactically-valid JSON numbers `1e999`/`-1e999`, which Rust's
+/// `f64` parser saturates back to the same infinity — the JSONL wire
+/// format (`core::wire`) depends on every float round-tripping through
+/// text bit-exactly (e.g. SRAM's unbounded `endurance_cycles`). NaN, which
+/// carries no information worth wiring, stays `null` like real
+/// `serde_json`.
 fn write_float(out: &mut String, f: f64) {
     if f.is_finite() {
         let text = f.to_string();
@@ -131,6 +136,10 @@ fn write_float(out: &mut String, f: f64) {
         if !text.contains('.') && !text.contains('e') && !text.contains("inf") {
             out.push_str(".0");
         }
+    } else if f == f64::INFINITY {
+        out.push_str("1e999");
+    } else if f == f64::NEG_INFINITY {
+        out.push_str("-1e999");
     } else {
         out.push_str("null");
     }
@@ -424,6 +433,27 @@ mod tests {
         assert_eq!(to_string(&60.0f64).unwrap(), "60.0");
         let back: f64 = from_str("60.0").unwrap();
         assert_eq!(back, 60.0);
+    }
+
+    #[test]
+    fn infinities_roundtrip_through_text() {
+        assert_eq!(to_string(&f64::INFINITY).unwrap(), "1e999");
+        assert_eq!(to_string(&f64::NEG_INFINITY).unwrap(), "-1e999");
+        let inf: f64 = from_str("1e999").unwrap();
+        assert_eq!(inf, f64::INFINITY);
+        let ninf: f64 = from_str("-1e999").unwrap();
+        assert_eq!(ninf, f64::NEG_INFINITY);
+        // NaN is not representable and still prints as null.
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+
+    #[test]
+    fn finite_floats_roundtrip_bit_exactly() {
+        for f in [0.1, -0.0, 1.0e-300, 1.0 / 3.0, f64::MIN_POSITIVE, f64::MAX] {
+            let text = to_string(&f).unwrap();
+            let back: f64 = from_str(&text).unwrap();
+            assert_eq!(back.to_bits(), f.to_bits(), "{f} -> {text}");
+        }
     }
 
     #[test]
