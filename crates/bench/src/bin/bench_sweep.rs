@@ -1,23 +1,31 @@
 //! Records the sweep-engine performance trajectory into `BENCH_sweep.json`.
 //!
-//! Three measurement groups:
+//! Four measurement groups:
 //!
 //! - **`three_target`** (the PR 1 comparison, kept as the trajectory
 //!   baseline): the 3-target default study under the pre-overhaul
 //!   per-target mutex-queue engine (`sweep::baseline`) and the current
 //!   engine. PR 1's recorded medians are embedded verbatim under
 //!   `trajectory.pr1_recorded` so the history survives re-measurement.
-//! - **`multi_capacity`** (the PR 2 target): a 4-capacity × 2-depth ×
-//!   3-target study under three engine variants — `pr1` (shared DSE with
-//!   per-candidate materialized scoring, no cache: the engine PR 1
-//!   shipped), `uncached` (zero-copy bank scoring, no cache), and `cached`
-//!   (zero-copy scoring + the sweep-wide subarray characterization cache).
-//!   Cache hit-rate and entry counts are recorded alongside the medians.
-//! - **`multi_study`** (this PR's target): a 3-study capacity-sliced
+//! - **`multi_capacity`** (the PR 2 comparison, extended by PR 5): a
+//!   4-capacity × 2-depth × 3-target study under four engine variants —
+//!   `pr1` (shared DSE with per-candidate materialized scoring, no cache),
+//!   `pr4` (the PR 2–4 engine: exhaustive cached scan materializing every
+//!   candidate bank, per-pair `evaluate_shared`), `uncached`
+//!   (branch-and-bound pruned scan without a cache, kernel evaluations),
+//!   and `current` (pruned scan + sweep-wide subarray cache + precomputed
+//!   evaluation kernels). Cache hit/miss/prune counters are recorded
+//!   alongside the medians, and the DSE prune rate is hard-gated.
+//! - **`multi_study`** (the PR 3 comparison): a 3-study capacity-sliced
 //!   campaign under the [`StudyScheduler`] sharing one warm
 //!   `SubarrayCache`, against the same three studies run sequentially with
-//!   per-study private caches (the pre-scheduler serving pattern).
-//!   Cross-study cache hit rates are recorded per study and in aggregate.
+//!   per-study private caches. Cross-study cache hit rates are recorded
+//!   per study and in aggregate.
+//! - **`large_campaign`** (this PR's target): a campaign-scale single
+//!   study — six capacities (1–32 MiB), SLC+MLC2, three targets, an 8×8
+//!   generic traffic grid, tens of thousands of evaluations — measured
+//!   under the PR 2–4 reference engine and the current pruned+kernel
+//!   engine, with prune rate and kernel reuse recorded and gated.
 //!
 //! Run from the workspace root so the JSON lands next to `Cargo.toml`:
 //!
@@ -28,10 +36,14 @@
 //! `--quick` drops to a single rep (no warmup) — the CI perf-floor mode.
 //! Wall-clock numbers from a quick run are noise, but the run still *hard
 //! gates* the machine-independent invariants: every engine variant must
-//! produce identical results, and the cross-study cache hit rate must stay
-//! at or above the 74.9 % single-study baseline. `--out PATH` redirects
-//! the JSON report (CI uploads it as a workflow artifact instead of
-//! overwriting the checked-in trajectory).
+//! produce identical results, the cross-study cache hit rate must stay at
+//! or above its recorded floor, and the DSE prune rates must stay at or
+//! above theirs. `--out PATH` redirects the JSON report (CI uploads it as
+//! a workflow artifact instead of overwriting the checked-in trajectory).
+//! The report is written via temp-file + atomic rename, so a killed run
+//! never leaves a torn artifact. `host.available_parallelism` and the rep
+//! counts are recorded in the report, so trajectory numbers are
+//! self-describing.
 
 use nvmexplorer_core::config::{ArraySettings, CellSelection, StudyConfig, TrafficSpec};
 use nvmexplorer_core::scheduler::StudyScheduler;
@@ -42,6 +54,15 @@ use std::fmt::Write as _;
 use std::time::Instant;
 
 const REPS: usize = 15;
+/// The large-campaign group runs multi-hundred-millisecond studies; a
+/// smaller rep count keeps full local runs pleasant while medians stay
+/// stable.
+const REPS_LARGE: usize = 7;
+
+/// Floor on the multi-capacity study's DSE prune rate (measured 0.80 on
+/// the 3-target × 4-capacity × 2-depth study; gated with margin). A
+/// regression here means the score bounds went loose.
+const PRUNE_RATE_FLOOR: f64 = 0.70;
 
 fn generic_traffic() -> TrafficSpec {
     TrafficSpec::GenericSweep {
@@ -90,6 +111,38 @@ fn multi_capacity_study() -> StudyConfig {
             ..ArraySettings::default()
         },
         traffic: generic_traffic(),
+        constraints: Default::default(),
+        output: Default::default(),
+    }
+}
+
+/// The campaign-scale study the ROADMAP targets: six capacities spanning
+/// 1–32 MiB, both programming depths, three targets, and a dense 8×8
+/// generic traffic grid — tens of thousands of `(array, traffic)`
+/// evaluations through one engine pass.
+fn large_campaign_study() -> StudyConfig {
+    StudyConfig {
+        name: "bench-large-campaign".into(),
+        cells: CellSelection::default(),
+        array: ArraySettings {
+            capacities_mib: vec![1, 2, 4, 8, 16, 32],
+            bits_per_cell: vec![BitsPerCell::Slc, BitsPerCell::Mlc2],
+            targets: vec![
+                OptimizationTarget::ReadEdp,
+                OptimizationTarget::WriteEdp,
+                OptimizationTarget::Area,
+            ],
+            ..ArraySettings::default()
+        },
+        traffic: TrafficSpec::GenericSweep {
+            read_min: 1.0e8,
+            read_max: 20.0e9,
+            read_steps: 8,
+            write_min: 1.0e5,
+            write_max: 1.0e9,
+            write_steps: 8,
+            access_bytes: 8,
+        },
         constraints: Default::default(),
         output: Default::default(),
     }
@@ -157,15 +210,22 @@ fn main() {
         })
         .unwrap_or_else(|| "BENCH_sweep.json".to_owned());
     let reps = if quick { 1 } else { REPS };
+    let reps_large = if quick { 1 } else { REPS_LARGE };
+    let parallelism = std::thread::available_parallelism().map_or(0, std::num::NonZeroUsize::get);
 
     // --- Sanity: every engine variant must agree before any timing -------
     let three = three_target_study();
     let multi = multi_capacity_study();
+    let large = large_campaign_study();
     let reference = sweep::run_study_with_threads(&multi, 8).expect("cached engine runs");
     for (name, result) in [
         (
             "uncached",
             sweep::run_study_uncached(&multi, 8).expect("uncached engine runs"),
+        ),
+        (
+            "pr4",
+            sweep::run_study_pr4(&multi, 8).expect("pr4 engine runs"),
         ),
         (
             "pr1",
@@ -187,6 +247,18 @@ fn main() {
         assert_eq!(shared.arrays, legacy.arrays, "3-target engines diverged");
         assert_eq!(shared.evaluations, legacy.evaluations);
     }
+    let large_reference = sweep::run_study_with_threads(&large, 8).expect("large study runs");
+    {
+        let pr4 = sweep::run_study_pr4(&large, 8).expect("pr4 large study runs");
+        assert_eq!(
+            large_reference.arrays, pr4.arrays,
+            "large-campaign arrays diverged; refusing to record bench"
+        );
+        assert_eq!(
+            large_reference.evaluations, pr4.evaluations,
+            "large-campaign evaluations diverged; refusing to record bench"
+        );
+    }
     let queue = campaign_queue();
     {
         let shared_cache = SubarrayCache::new();
@@ -205,7 +277,7 @@ fn main() {
         }
     }
 
-    // --- Cache behavior on the multi-capacity study ----------------------
+    // --- Cache + prune behavior on the multi-capacity study ---------------
     let cache = SubarrayCache::new();
     sweep::run_study_with_cache(&multi, 8, &cache).expect("cached run for stats");
     let stats = cache.stats();
@@ -222,22 +294,40 @@ fn main() {
         three_rows.push((threads, baseline_ms, current_ms));
     }
 
-    // --- multi_capacity group (this PR's target) --------------------------
+    // --- multi_capacity group (PR 2 + PR 5 targets) ------------------------
     let mut multi_rows = Vec::new();
     for threads in [1usize, 8] {
         let pr1_ms = median_ms(reps, || {
             drop(sweep::run_study_pr1(&multi, threads).unwrap());
         });
+        let pr4_ms = median_ms(reps, || {
+            drop(sweep::run_study_pr4(&multi, threads).unwrap());
+        });
         let uncached_ms = median_ms(reps, || {
             drop(sweep::run_study_uncached(&multi, threads).unwrap());
         });
-        let cached_ms = median_ms(reps, || {
+        let current_ms = median_ms(reps, || {
             drop(sweep::run_study_with_threads(&multi, threads).unwrap());
         });
-        multi_rows.push((threads, pr1_ms, uncached_ms, cached_ms));
+        multi_rows.push((threads, pr1_ms, pr4_ms, uncached_ms, current_ms));
     }
 
-    // --- multi_study group (this PR's target) -----------------------------
+    // --- large_campaign group (this PR's target) ---------------------------
+    let large_cache = SubarrayCache::new();
+    sweep::run_study_with_cache(&large, 8, &large_cache).expect("large run for stats");
+    let large_stats = large_cache.stats();
+    let mut large_rows = Vec::new();
+    for threads in [1usize, 8] {
+        let pr4_ms = median_ms(reps_large, || {
+            drop(sweep::run_study_pr4(&large, threads).unwrap());
+        });
+        let current_ms = median_ms(reps_large, || {
+            drop(sweep::run_study_with_threads(&large, threads).unwrap());
+        });
+        large_rows.push((threads, pr4_ms, current_ms));
+    }
+
+    // --- multi_study group (PR 3 target) -----------------------------------
     // Cross-study cache behavior, measured once (single-lane so the warm-up
     // order is deterministic: later studies hit what earlier ones missed).
     let campaign_cache = SubarrayCache::new();
@@ -268,6 +358,11 @@ fn main() {
     let mut json = String::from("{\n");
     json.push_str("  \"bench\": \"sweep_engine\",\n");
     let _ = writeln!(json, "  \"reps\": {reps},");
+    json.push_str("  \"host\": {\n");
+    let _ = writeln!(json, "    \"available_parallelism\": {parallelism},");
+    let _ = writeln!(json, "    \"reps\": {reps},");
+    let _ = writeln!(json, "    \"reps_large_campaign\": {reps_large}");
+    json.push_str("  },\n");
     json.push_str("  \"trajectory\": {\n");
     json.push_str("    \"pr1_recorded\": {\n");
     json.push_str(
@@ -291,7 +386,7 @@ fn main() {
         "      \"baseline\": \"per-target jobs, mutex queue + mutex result vec, completion-order sort, serial evaluation\",\n",
     );
     json.push_str(
-        "      \"current\": \"shared DSE, zero-copy bank scoring, subarray cache, lock-free fan-out, Arc-shared parallel evaluation\"\n",
+        "      \"current\": \"shared DSE, branch-and-bound pruning, subarray cache, lock-free fan-out, kernel-based parallel evaluation\"\n",
     );
     json.push_str("    },\n");
     json.push_str("    \"results_ms_median\": [\n");
@@ -317,31 +412,85 @@ fn main() {
     );
     json.push_str("    \"engines\": {\n");
     json.push_str(
-        "      \"pr1\": \"PR 1 shared-DSE engine: per-candidate materialized scoring, no subarray cache\",\n",
+        "      \"pr1\": \"PR 1 shared-DSE engine: per-candidate materialized scoring, no subarray cache, deep-copy evaluation\",\n",
     );
     json.push_str(
-        "      \"uncached\": \"zero-copy bank scoring, winners-only packaging, no subarray cache\",\n",
+        "      \"pr4\": \"PR 2-4 engine: exhaustive cached scan materializing every candidate bank, per-pair evaluate_shared\",\n",
     );
     json.push_str(
-        "      \"cached\": \"zero-copy bank scoring + sweep-wide subarray characterization cache\"\n",
+        "      \"uncached\": \"branch-and-bound pruned scan, no subarray cache, kernel evaluation\",\n",
+    );
+    json.push_str(
+        "      \"current\": \"branch-and-bound pruned scan + sweep-wide subarray cache + precomputed evaluation kernels\"\n",
     );
     json.push_str("    },\n");
     let _ = writeln!(
         json,
-        "    \"subarray_cache\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}}},",
+        "    \"subarray_cache\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}, \"pruned\": {}, \"hit_rate\": {:.3}, \"prune_rate\": {:.3}}},",
         cache.len(),
         stats.hits,
         stats.misses,
-        stats.hit_rate()
+        stats.pruned,
+        stats.hit_rate(),
+        stats.prune_rate()
     );
     json.push_str("    \"results_ms_median\": [\n");
-    for (i, (threads, pr1_ms, uncached_ms, cached_ms)) in multi_rows.iter().enumerate() {
+    for (i, (threads, pr1_ms, pr4_ms, uncached_ms, current_ms)) in multi_rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "      {{\"threads\": {threads}, \"pr1_ms\": {pr1_ms:.2}, \"uncached_ms\": {uncached_ms:.2}, \"cached_ms\": {cached_ms:.2}, \"speedup_vs_pr1\": {:.2}, \"speedup_vs_uncached\": {:.2}}}{}",
-            pr1_ms / cached_ms,
-            uncached_ms / cached_ms,
+            "      {{\"threads\": {threads}, \"pr1_ms\": {pr1_ms:.2}, \"pr4_ms\": {pr4_ms:.2}, \"uncached_ms\": {uncached_ms:.2}, \"current_ms\": {current_ms:.2}, \"speedup_vs_pr1\": {:.2}, \"speedup_vs_pr4\": {:.2}}}{}",
+            pr1_ms / current_ms,
+            pr4_ms / current_ms,
             if i + 1 < multi_rows.len() { "," } else { "" }
+        );
+    }
+    json.push_str("    ]\n  },\n");
+
+    json.push_str("  \"large_campaign\": {\n");
+    json.push_str(
+        "    \"study\": \"campaign-scale study (14 cells, 1/2/4/8/16/32 MiB, SLC+MLC2, ReadEDP+WriteEDP+Area, 8x8 generic traffic sweep)\",\n",
+    );
+    let _ = writeln!(json, "    \"arrays\": {},", large_reference.arrays.len());
+    let _ = writeln!(
+        json,
+        "    \"evaluations\": {},",
+        large_reference.evaluations.len()
+    );
+    let _ = writeln!(
+        json,
+        "    \"kernel_reuse\": {{\"kernels\": {}, \"applications_per_kernel\": {}}},",
+        large_reference.arrays.len(),
+        if large_reference.arrays.is_empty() {
+            0
+        } else {
+            large_reference.evaluations.len() / large_reference.arrays.len()
+        }
+    );
+    json.push_str("    \"engines\": {\n");
+    json.push_str(
+        "      \"pr4\": \"PR 2-4 engine: exhaustive cached scan materializing every candidate bank, per-pair evaluate_shared\",\n",
+    );
+    json.push_str(
+        "      \"current\": \"branch-and-bound pruned scan + sweep-wide subarray cache + precomputed evaluation kernels\"\n",
+    );
+    json.push_str("    },\n");
+    let _ = writeln!(
+        json,
+        "    \"subarray_cache\": {{\"entries\": {}, \"hits\": {}, \"misses\": {}, \"pruned\": {}, \"hit_rate\": {:.3}, \"prune_rate\": {:.3}}},",
+        large_cache.len(),
+        large_stats.hits,
+        large_stats.misses,
+        large_stats.pruned,
+        large_stats.hit_rate(),
+        large_stats.prune_rate()
+    );
+    json.push_str("    \"results_ms_median\": [\n");
+    for (i, (threads, pr4_ms, current_ms)) in large_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"threads\": {threads}, \"pr4_ms\": {pr4_ms:.2}, \"current_ms\": {current_ms:.2}, \"speedup_vs_pr4\": {:.2}}}{}",
+            pr4_ms / current_ms,
+            if i + 1 < large_rows.len() { "," } else { "" }
         );
     }
     json.push_str("    ]\n  },\n");
@@ -361,19 +510,22 @@ fn main() {
     json.push_str("    \"cross_study_cache\": {\n");
     let _ = writeln!(
         json,
-        "      \"aggregate\": {{\"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}}},",
+        "      \"aggregate\": {{\"hits\": {}, \"misses\": {}, \"pruned\": {}, \"hit_rate\": {:.3}, \"prune_rate\": {:.3}}},",
         campaign_stats.hits,
         campaign_stats.misses,
-        campaign_stats.hit_rate()
+        campaign_stats.pruned,
+        campaign_stats.hit_rate(),
+        campaign_stats.prune_rate()
     );
     json.push_str("      \"per_study\": [\n");
     for (i, outcome) in campaign_report.outcomes.iter().enumerate() {
         let _ = writeln!(
             json,
-            "        {{\"study\": \"{}\", \"hits\": {}, \"misses\": {}, \"hit_rate\": {:.3}}}{}",
+            "        {{\"study\": \"{}\", \"hits\": {}, \"misses\": {}, \"pruned\": {}, \"hit_rate\": {:.3}}}{}",
             outcome.name,
             outcome.cache.hits,
             outcome.cache.misses,
+            outcome.cache.pruned,
             outcome.cache_hit_rate(),
             if i + 1 < campaign_report.outcomes.len() {
                 ","
@@ -394,22 +546,48 @@ fn main() {
     }
     json.push_str("    ]\n  }\n}\n");
 
-    std::fs::write(&out_path, &json).unwrap_or_else(|e| panic!("write {out_path}: {e}"));
+    nvmx_bench::campaign::write_file_atomic(std::path::Path::new(&out_path), json.as_bytes())
+        .unwrap_or_else(|e| panic!("write {out_path}: {e}"));
     print!("{json}");
     let eight = multi_rows.iter().find(|(t, ..)| *t == 8).unwrap();
     eprintln!(
-        "multi-capacity speedup at 8 threads: {:.2}x vs PR 1 (target >= 1.5x), cache hit rate {:.1}%",
-        eight.1 / eight.3,
+        "multi-capacity speedup at 8 threads: {:.2}x vs PR 1, {:.2}x vs PR 4, prune rate {:.1}%, cache hit rate {:.1}%",
+        eight.1 / eight.4,
+        eight.2 / eight.4,
+        stats.prune_rate() * 100.0,
         stats.hit_rate() * 100.0
+    );
+    let large_eight = large_rows.iter().find(|(t, ..)| *t == 8).unwrap();
+    eprintln!(
+        "large-campaign ({} evaluations) speedup at 8 threads: {:.2}x vs PR 4, prune rate {:.1}%",
+        large_reference.evaluations.len(),
+        large_eight.1 / large_eight.2,
+        large_stats.prune_rate() * 100.0
     );
     let campaign_eight = study_rows.iter().find(|(w, ..)| *w == 8).unwrap();
     eprintln!(
-        "multi-study scheduler at 8 workers: {:.2}x vs 3 sequential runs, cross-study hit rate {:.1}% (single-study baseline 74.9%)",
+        "multi-study scheduler at 8 workers: {:.2}x vs 3 sequential runs, cross-study hit rate {:.1}% (pre-pruning single-study baseline was 74.9%; pruning removed most redundant lookups)",
         campaign_eight.1 / campaign_eight.2,
         campaign_stats.hit_rate() * 100.0
     );
+    // --- Hard gates (machine-independent; enforced even under --quick) ----
     assert!(
-        campaign_stats.hit_rate() >= 0.749,
-        "cross-study hit rate regressed below the single-study baseline"
+        stats.prune_rate() >= PRUNE_RATE_FLOOR,
+        "multi-capacity DSE prune rate {:.3} fell below the {PRUNE_RATE_FLOOR} floor — score bounds went loose",
+        stats.prune_rate()
+    );
+    assert!(
+        large_stats.prune_rate() >= PRUNE_RATE_FLOOR,
+        "large-campaign DSE prune rate {:.3} fell below the {PRUNE_RATE_FLOOR} floor — score bounds went loose",
+        large_stats.prune_rate()
+    );
+    // Pruning shrank the lookup stream (and skipped lookups were mostly
+    // repeat hits), so the cross-study hit-rate floor is re-based from the
+    // pre-pruning 0.749: the warm studies must still serve the majority of
+    // their surviving lookups from the shared cache.
+    assert!(
+        campaign_stats.hit_rate() >= 0.60,
+        "cross-study hit rate {:.3} regressed below the post-pruning floor",
+        campaign_stats.hit_rate()
     );
 }

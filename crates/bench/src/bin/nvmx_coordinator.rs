@@ -384,7 +384,14 @@ fn run_distributed_study(
         .capture
         .as_ref()
         .map(|dir| dir.join(format!("{}.jsonl", study.name)));
-    let mut capture = match &capture_path {
+    // The capture streams into a dot-prefixed sibling and is atomically
+    // renamed into place only after the merged stream completed and
+    // flushed — a killed coordinator can never leave a torn capture at
+    // the published path.
+    let capture_tmp = capture_path
+        .as_ref()
+        .map(|p| p.with_file_name(format!(".{}.jsonl.tmp", study.name)));
+    let mut capture = match &capture_tmp {
         Some(p) => Some(std::io::BufWriter::new(
             std::fs::File::create(p)
                 .map_err(|e| format!("cannot create capture `{}`: {e}", p.display()))?,
@@ -505,11 +512,29 @@ fn run_distributed_study(
     // letting orphans burn CPU.
     drop(senders);
     drop(receivers);
+    if outcome.is_err() {
+        // Abort: discard the partial capture so only complete captures
+        // ever appear (even dot-prefixed temp files are best-effort
+        // cleaned).
+        capture = None;
+        if let Some(tmp) = &capture_tmp {
+            let _ = std::fs::remove_file(tmp);
+        }
+    }
     outcome?;
 
-    if let Some(out) = capture.as_mut() {
-        out.flush()
+    if let Some(out) = capture.take() {
+        // Flush, close, and atomically publish the finished capture.
+        out.into_inner()
             .map_err(|e| format!("capture flush failed: {e}"))?;
+        let (tmp, path) = (
+            capture_tmp.as_ref().expect("tmp exists when capture does"),
+            capture_path
+                .as_ref()
+                .expect("path exists when capture does"),
+        );
+        std::fs::rename(tmp, path)
+            .map_err(|e| format!("cannot finalize capture `{}`: {e}", path.display()))?;
     }
     let result = replayer
         .finish()

@@ -9,25 +9,27 @@
 //! rate under ideal wear-leveling.
 
 use nvmx_nvsim::ArrayCharacterization;
-use nvmx_units::{Seconds, Watts};
+use nvmx_units::{Joules, Seconds, Watts};
 use nvmx_workloads::TrafficPattern;
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
 /// Evaluation of one `(array, traffic)` pairing — the atom of every study.
 ///
-/// The evaluated array is held behind an [`Arc`]: a study's `arrays ×
-/// traffic` product evaluates each array against many patterns, and sharing
-/// the characterization record costs one pointer clone per evaluation
-/// instead of a deep copy (two strings plus the full organization record).
-/// Field access is unchanged (`eval.array.read_latency` etc.), equality
-/// compares the pointed-to value, and serde serializes the record inline.
+/// The evaluated array and the applied traffic pattern are held behind
+/// [`Arc`]s: a study's `arrays × traffic` product pairs each array with
+/// many patterns (and vice versa), and sharing the records costs one
+/// pointer clone per evaluation instead of a deep copy (strings and the
+/// full organization record). Field access is unchanged
+/// (`eval.array.read_latency`, `eval.traffic.name` etc.), equality
+/// compares the pointed-to values, and serde serializes the records
+/// inline.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Evaluation {
     /// The array evaluated.
     pub array: Arc<ArrayCharacterization>,
     /// The traffic applied.
-    pub traffic: TrafficPattern,
+    pub traffic: Arc<TrafficPattern>,
     /// Array-level read accesses per second (traffic accesses split into
     /// array words).
     pub array_reads_per_sec: f64,
@@ -84,7 +86,9 @@ pub fn evaluate(array: &ArrayCharacterization, traffic: &TrafficPattern) -> Eval
 }
 
 /// Evaluates a shared `array` under `traffic`; the returned [`Evaluation`]
-/// holds a clone of the [`Arc`], not of the record.
+/// holds a clone of the array [`Arc`] and a freshly shared copy of the
+/// traffic pattern. Callers that already hold the pattern behind an
+/// [`Arc`] should use [`evaluate_shared_traffic`] and skip the copy.
 pub fn evaluate_shared(array: &Arc<ArrayCharacterization>, traffic: &TrafficPattern) -> Evaluation {
     let per_line = accesses_per_line(array, traffic.access_bytes);
     let reads = traffic.read_accesses_per_sec() * per_line;
@@ -106,7 +110,7 @@ pub fn evaluate_shared(array: &Arc<ArrayCharacterization>, traffic: &TrafficPatt
 
     Evaluation {
         array: Arc::clone(array),
-        traffic: traffic.clone(),
+        traffic: Arc::new(traffic.clone()),
         array_reads_per_sec: reads,
         array_writes_per_sec: writes,
         read_power,
@@ -115,6 +119,137 @@ pub fn evaluate_shared(array: &Arc<ArrayCharacterization>, traffic: &TrafficPatt
         utilization,
         aggregate_latency,
         lifetime,
+    }
+}
+
+/// [`evaluate_shared`] for a traffic pattern that is already shared: the
+/// per-array invariants are re-derived per call (unlike [`EvalKernel`]),
+/// but the returned [`Evaluation`] clones both [`Arc`]s instead of copying
+/// the pattern. This is the per-pair evaluation profile of the PR 2–4
+/// engine on today's data structures, kept for the
+/// [`run_study_pr4`](crate::sweep::run_study_pr4) reference path.
+pub fn evaluate_shared_traffic(
+    array: &Arc<ArrayCharacterization>,
+    traffic: &Arc<TrafficPattern>,
+) -> Evaluation {
+    let per_line = accesses_per_line(array, traffic.access_bytes);
+    let reads = traffic.read_accesses_per_sec() * per_line;
+    let writes = traffic.write_accesses_per_sec() * per_line;
+    let interleave = (array.organization.groups() as f64).min(4.0);
+    let utilization =
+        (reads * array.read_cycle.value() + writes * array.write_cycle.value()) / interleave;
+    let aggregate_latency = array.read_latency * reads + array.write_latency * writes;
+    let lifetime = memory_lifetime(array, traffic.write_bytes_per_sec);
+    Evaluation {
+        array: Arc::clone(array),
+        traffic: Arc::clone(traffic),
+        array_reads_per_sec: reads,
+        array_writes_per_sec: writes,
+        read_power: array.read_energy.at_rate(reads),
+        write_power: array.write_energy.at_rate(writes),
+        leakage_power: array.leakage,
+        utilization,
+        aggregate_latency,
+        lifetime,
+    }
+}
+
+/// A precomputed evaluation kernel for one array: every traffic-independent
+/// sub-expression of [`evaluate_shared`] hoisted out, so a study's
+/// `arrays × traffic` product pays the per-array derivations (interleave
+/// credit, endurance-capacity product, unit unwrapping) once per array
+/// instead of once per evaluation.
+///
+/// [`EvalKernel::apply`] preserves the floating-point expression order of
+/// [`evaluate_shared`] exactly — every hoisted value is the same
+/// bit-pattern the inline expression would produce, and the per-traffic
+/// arithmetic keeps the same association — so every field of the returned
+/// [`Evaluation`] is bit-identical (proptested in
+/// `tests/prune_kernel_equivalence.rs`).
+#[derive(Debug, Clone)]
+pub struct EvalKernel {
+    array: Arc<ArrayCharacterization>,
+    word_bits: u64,
+    read_energy: Joules,
+    write_energy: Joules,
+    read_cycle_s: f64,
+    write_cycle_s: f64,
+    read_latency: Seconds,
+    write_latency: Seconds,
+    leakage: Watts,
+    /// `min(groups, 4)` — the bank-interleave credit.
+    interleave: f64,
+    /// `endurance_cycles · capacity_bytes`, or `None` when endurance is
+    /// unbounded (no write rate can then bound the lifetime).
+    endurance_capacity: Option<f64>,
+}
+
+impl EvalKernel {
+    /// Builds the kernel for `array`. Cost: a handful of loads and two
+    /// multiplies — build it once per array of a sweep, then apply per
+    /// traffic point.
+    pub fn new(array: &Arc<ArrayCharacterization>) -> Self {
+        #[allow(clippy::cast_precision_loss)]
+        let capacity_bytes = array.capacity.bytes() as f64;
+        Self {
+            word_bits: array.word_bits,
+            read_energy: array.read_energy,
+            write_energy: array.write_energy,
+            read_cycle_s: array.read_cycle.value(),
+            write_cycle_s: array.write_cycle.value(),
+            read_latency: array.read_latency,
+            write_latency: array.write_latency,
+            leakage: array.leakage,
+            interleave: (array.organization.groups() as f64).min(4.0),
+            endurance_capacity: array
+                .endurance_cycles
+                .is_finite()
+                .then(|| array.endurance_cycles * capacity_bytes),
+            array: Arc::clone(array),
+        }
+    }
+
+    /// The array this kernel evaluates.
+    pub fn array(&self) -> &Arc<ArrayCharacterization> {
+        &self.array
+    }
+
+    /// Evaluates the kernel's array under a shared `traffic` pattern —
+    /// bit-identical to [`evaluate_shared`] on the same pair, with the
+    /// returned [`Evaluation`] holding clones of both [`Arc`]s (no string
+    /// copies on the hot path).
+    pub fn apply(&self, traffic: &Arc<TrafficPattern>) -> Evaluation {
+        let per_line = (traffic.access_bytes * 8).div_ceil(self.word_bits) as f64;
+        let reads = traffic.read_accesses_per_sec() * per_line;
+        let writes = traffic.write_accesses_per_sec() * per_line;
+
+        let utilization =
+            (reads * self.read_cycle_s + writes * self.write_cycle_s) / self.interleave;
+        let aggregate_latency = self.read_latency * reads + self.write_latency * writes;
+        // `ec / rate` associates exactly like the inline
+        // `endurance_cycles * capacity_bytes / write_bytes_per_sec`; the
+        // `<= 0.0` guard mirrors `memory_lifetime` verbatim (so even a NaN
+        // write rate behaves identically).
+        let lifetime = self.endurance_capacity.and_then(|ec| {
+            if traffic.write_bytes_per_sec <= 0.0 {
+                None
+            } else {
+                Some(Seconds::new(ec / traffic.write_bytes_per_sec))
+            }
+        });
+
+        Evaluation {
+            array: Arc::clone(&self.array),
+            traffic: Arc::clone(traffic),
+            array_reads_per_sec: reads,
+            array_writes_per_sec: writes,
+            read_power: self.read_energy.at_rate(reads),
+            write_power: self.write_energy.at_rate(writes),
+            leakage_power: self.leakage,
+            utilization,
+            aggregate_latency,
+            lifetime,
+        }
     }
 }
 

@@ -209,7 +209,9 @@ impl Serialize for StudyEvent<'_> {
                     Some(c) => Value::Object(vec![
                         field("hits", Value::Uint(c.hits)),
                         field("misses", Value::Uint(c.misses)),
+                        field("pruned", Value::Uint(c.pruned)),
                         field("hit_rate", Value::Float(c.hit_rate())),
+                        field("prune_rate", Value::Float(c.prune_rate())),
                     ]),
                     None => Value::Null,
                 };
@@ -596,7 +598,11 @@ mod tests {
             arrays: 4,
             evaluations: 5,
             skipped: 0,
-            cache: Some(CacheStats { hits: 3, misses: 1 }),
+            cache: Some(CacheStats {
+                hits: 3,
+                misses: 1,
+                pruned: 4,
+            }),
         };
         let event = StudyEvent::StudyFinished {
             name: "demo",
@@ -606,5 +612,7 @@ mod tests {
         assert!(json.contains("\"event\":\"study_finished\""));
         assert!(json.contains("\"evaluations\":5"));
         assert!(json.contains("\"hit_rate\":0.75"));
+        assert!(json.contains("\"pruned\":4"));
+        assert!(json.contains("\"prune_rate\":0.5"));
     }
 }

@@ -6,14 +6,17 @@
 //!
 //! The hot path is organized around four ideas:
 //!
-//! 1. **Shared DSE across targets.** One job per `(cell, capacity,
-//!    bits_per_cell)` — not per target. Each job runs a single shared
-//!    design-space pass which enumerates and characterizes the candidate
-//!    organizations once and selects the best design under *every*
-//!    optimization target by scoring lightweight bank metrics in place
-//!    (only winners are materialized into full records). An N-target study
-//!    therefore does ~1/N of the subarray work the naive per-target
-//!    expansion (kept in [`baseline`]) performs.
+//! 1. **Shared DSE across targets, with branch-and-bound pruning.** One
+//!    job per `(cell, capacity, bits_per_cell)` — not per target. Each job
+//!    runs a single shared design-space pass which walks the candidate
+//!    organizations once, in deterministic order, and keeps the best
+//!    design under *every* optimization target by scoring lightweight
+//!    bank metrics in place (only winners are materialized into full
+//!    records) — skipping characterization entirely for candidates whose
+//!    provably-sound score bounds (`nvmx_nvsim::bounds`) cannot beat any
+//!    incumbent. An N-target study therefore does ~1/N of the subarray
+//!    work the naive per-target expansion (kept in [`baseline`])
+//!    performs, and only a small fraction of that after pruning.
 //! 2. **Memoized subarray physics across jobs.** Subarray characterization
 //!    depends on `(cell, node, geometry, depth)` but **not** on capacity,
 //!    word width, or target, so a study-wide
@@ -28,12 +31,14 @@
 //!    interleaving — determinism by construction, with no post-hoc sort of
 //!    completion order. Jobs borrow the resolved [`CellDefinition`]s
 //!    instead of cloning them.
-//! 4. **Zero-copy parallel evaluation.** The `arrays × traffic` product is
-//!    flattened into one index space and fanned out over the same scoped
-//!    worker pool (chunked claiming, since a single evaluation is much
-//!    cheaper than a characterization); each [`Evaluation`] holds an
-//!    `Arc<ArrayCharacterization>`, so the fan-out clones pointers, not
-//!    records.
+//! 4. **Kernel-based zero-copy parallel evaluation.** The `arrays ×
+//!    traffic` product is flattened into one index space and fanned out
+//!    over the same scoped worker pool (adaptively chunked claiming,
+//!    since a single evaluation is much cheaper than a characterization);
+//!    each array is compiled once into an [`EvalKernel`] and each
+//!    [`Evaluation`] holds `Arc<ArrayCharacterization>` +
+//!    `Arc<TrafficPattern>`, so the fan-out applies kernels and clones
+//!    pointers, never records.
 //! 5. **Streaming by slot order.** While workers fill slots, the calling
 //!    thread walks them in index order and pushes each completed
 //!    characterization/evaluation to a
@@ -52,7 +57,7 @@
 //! completion order, which was never deterministic to begin with.
 
 use crate::config::{StudyConfig, UnknownNameError};
-use crate::eval::{evaluate_shared, Evaluation};
+use crate::eval::{evaluate_shared_traffic, EvalKernel, Evaluation};
 use crate::stream::{NullSink, ResultSink, StudyEvent, StudyStats};
 use nvmx_celldb::CellDefinition;
 use nvmx_nvsim::{
@@ -175,7 +180,17 @@ type JobOutcome = Result<Vec<ArrayCharacterization>, (String, CharacterizationEr
 /// Characterization jobs are coarse (one job is a full DSE pass), so
 /// workers claim them one at a time; evaluations are tiny, so workers
 /// claim them in chunks to keep the shared counter off the critical path.
-const EVAL_CHUNK: usize = 64;
+///
+/// The chunk scales with the product size: at campaign scale (tens of
+/// thousands of kernel applications, each tens of nanoseconds) a fixed
+/// small chunk would put the shared `fetch_add` back on the critical path,
+/// while a tiny study must not hand one worker the whole product. Aim for
+/// several chunks per worker, floored at 64 pairs and capped at 4096.
+/// Chunking only changes who computes a slot, never what lands in it, so
+/// results are identical for any chunk size.
+fn eval_chunk(pairs: usize, workers: usize) -> usize {
+    (pairs / (workers * 8).max(1)).clamp(64, 4096)
+}
 
 /// Caps the worker count at the request, the number of claimable items,
 /// and the machine's available parallelism — extra workers beyond any of
@@ -193,11 +208,19 @@ fn clamp_workers(threads: usize, items: usize) -> usize {
 /// benches) or replaced with the PR-1 materializing pass (benches only).
 #[derive(Clone, Copy)]
 enum DsePath<'c> {
-    /// Subarray physics memoized in a shared [`SubarrayCache`].
+    /// Branch-and-bound pruned scan with subarray physics memoized in a
+    /// shared [`SubarrayCache`]; evaluations run through precomputed
+    /// [`EvalKernel`]s. The production path.
     Cached(&'c SubarrayCache),
-    /// Every geometry characterized from scratch.
+    /// Pruned scan, every surviving geometry characterized from scratch;
+    /// kernel evaluations.
     Uncached,
-    /// The PR-1 reference pass: packages every candidate before scoring.
+    /// The PR 2–4 reference pass: exhaustive (unpruned) cached scan that
+    /// materializes every candidate bank, with per-pair `evaluate_shared`
+    /// evaluations. Benches measure this PR against it.
+    CachedUnpruned(&'c SubarrayCache),
+    /// The PR-1 reference pass: packages every candidate before scoring
+    /// and deep-copies the array record into every evaluation.
     Pr1Materialized,
 }
 
@@ -267,7 +290,7 @@ fn run_study_impl(
         traffic: traffic.len(),
     })?;
     let cache_before = match path {
-        DsePath::Cached(cache) => Some((cache, cache.stats())),
+        DsePath::Cached(cache) | DsePath::CachedUnpruned(cache) => Some((cache, cache.stats())),
         _ => None,
     };
 
@@ -289,6 +312,14 @@ fn run_study_impl(
                             characterize_targets_cached(job.cell, &job.config, &targets, cache)
                         }
                         DsePath::Uncached => characterize_targets(job.cell, &job.config, &targets),
+                        DsePath::CachedUnpruned(cache) => {
+                            nvmx_nvsim::dse::optimize_targets_unpruned(
+                                job.cell,
+                                &job.config,
+                                &targets,
+                                Some(cache),
+                            )
+                        }
                         DsePath::Pr1Materialized => nvmx_nvsim::dse::optimize_targets_materialized(
                             job.cell,
                             &job.config,
@@ -366,11 +397,16 @@ fn run_study_impl(
         }
     }
 
-    // The PR-1 engine deep-copied the characterization record into every
-    // evaluation; reproduce that cost under the PR-1 path so benches
-    // measure the engine as it shipped.
-    let share_arrays = !matches!(path, DsePath::Pr1Materialized);
-    let evaluations = evaluate_all(&arrays, &traffic, threads, share_arrays, sink)?;
+    // The production path applies precomputed kernels; the PR 2–4
+    // reference reproduces its per-pair `evaluate_shared` cost, and the
+    // PR-1 reference deep-copies the characterization record into every
+    // evaluation — so benches measure each engine as it shipped.
+    let eval_mode = match path {
+        DsePath::Cached(_) | DsePath::Uncached => EvalMode::Kernels,
+        DsePath::CachedUnpruned(_) => EvalMode::SharedPerPair,
+        DsePath::Pr1Materialized => EvalMode::DeepCopy,
+    };
+    let evaluations = evaluate_all(&arrays, &traffic, threads, eval_mode, sink)?;
 
     // Study-wide winner per target: the feasible evaluation with the lowest
     // total power, first-in-stream-order on ties.
@@ -492,49 +528,111 @@ pub fn run_study_pr1(study: &StudyConfig, threads: usize) -> Result<StudyResult,
     run_study_impl(study, threads, DsePath::Pr1Materialized, &mut NullSink)
 }
 
+/// The PR 2–4 engine: exhaustive (unpruned) cached scan materializing
+/// every candidate bank, with per-pair `evaluate_shared` evaluations —
+/// no branch-and-bound pruning, no precomputed kernels. Kept so tests can
+/// prove the pruned+kernel engine byte-identical and `bench_sweep` can
+/// measure this PR against the engine it replaced. Not part of the
+/// supported API.
+///
+/// # Errors
+///
+/// Same conditions as [`run_study_with_threads`].
+#[doc(hidden)]
+pub fn run_study_pr4(study: &StudyConfig, threads: usize) -> Result<StudyResult, StudyError> {
+    let cache = SubarrayCache::new();
+    run_study_impl(
+        study,
+        threads,
+        DsePath::CachedUnpruned(&cache),
+        &mut NullSink,
+    )
+}
+
+/// How the evaluation stage computes each `(array, traffic)` pair. All
+/// three modes produce bit-identical [`Evaluation`]s (proven in
+/// `tests/prune_kernel_equivalence.rs`); they differ only in how much
+/// per-pair work they repeat, so the reference engines keep their honest
+/// cost profiles in benches.
+#[derive(Clone, Copy)]
+enum EvalMode {
+    /// One [`EvalKernel`] per array, built once; per pair a thin
+    /// traffic-point application. The production path.
+    Kernels,
+    /// [`evaluate_shared_traffic`] per pair: re-derives the per-array
+    /// invariants every time (the PR 2–4 profile on today's shared-traffic
+    /// types — strictly no slower than the engine as it shipped, so
+    /// speedups measured against it are conservative).
+    SharedPerPair,
+    /// [`crate::eval::evaluate`] per pair: additionally deep-copies the
+    /// array record into every evaluation (the PR-1 profile).
+    DeepCopy,
+}
+
 /// Evaluates the full `arrays × traffic` product across the worker pool,
 /// preserving the serial double-loop order and streaming each evaluation to
 /// `sink` in that order as its slot completes.
 ///
-/// Each array is wrapped in an [`Arc`] once; the parallel stage then clones
-/// a pointer per evaluation instead of deep-copying the characterization
-/// record into every one of the `arrays × traffic` results.
+/// Each array is wrapped in an [`Arc`] once and (in the production mode)
+/// compiled into an [`EvalKernel`]; the parallel stage then clones a
+/// pointer and applies the kernel per evaluation instead of deep-copying
+/// the record or re-deriving its invariants.
 fn evaluate_all(
     arrays: &[ArrayCharacterization],
     traffic: &[nvmx_workloads::TrafficPattern],
     threads: usize,
-    share_arrays: bool,
+    mode: EvalMode,
     sink: &mut dyn ResultSink,
 ) -> Result<Vec<Evaluation>, std::io::Error> {
     let pairs = arrays.len() * traffic.len();
     if pairs == 0 {
         return Ok(Vec::new());
     }
-    let shared: Vec<Arc<ArrayCharacterization>> = if share_arrays {
-        arrays.iter().map(|array| Arc::new(array.clone())).collect()
-    } else {
-        Vec::new()
+    let shared: Vec<Arc<ArrayCharacterization>> = match mode {
+        EvalMode::Kernels | EvalMode::SharedPerPair => {
+            arrays.iter().map(|array| Arc::new(array.clone())).collect()
+        }
+        EvalMode::DeepCopy => Vec::new(),
+    };
+    let kernels: Vec<EvalKernel> = match mode {
+        EvalMode::Kernels => shared.iter().map(EvalKernel::new).collect(),
+        _ => Vec::new(),
+    };
+    // Both Arc-based modes share the traffic patterns — an evaluation then
+    // costs two Arc clones instead of a string-owning deep copy.
+    let shared_traffic: Vec<Arc<nvmx_workloads::TrafficPattern>> = match mode {
+        EvalMode::Kernels | EvalMode::SharedPerPair => {
+            traffic.iter().map(|t| Arc::new(t.clone())).collect()
+        }
+        EvalMode::DeepCopy => Vec::new(),
     };
     let slots: Vec<OnceLock<Evaluation>> = (0..pairs).map(|_| OnceLock::new()).collect();
     let next_pair = AtomicUsize::new(0);
     let poisoned = AtomicBool::new(false);
-    let workers = clamp_workers(threads, pairs.div_ceil(EVAL_CHUNK));
+    let chunk = eval_chunk(pairs, clamp_workers(threads, pairs));
+    let workers = clamp_workers(threads, pairs.div_ceil(chunk));
     let mut sink_status: std::io::Result<()> = Ok(());
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
                 let _flag = PanicFlag(&poisoned);
                 loop {
-                    let start = next_pair.fetch_add(EVAL_CHUNK, Ordering::Relaxed);
+                    let start = next_pair.fetch_add(chunk, Ordering::Relaxed);
                     if start >= pairs {
                         break;
                     }
-                    for index in start..(start + EVAL_CHUNK).min(pairs) {
-                        let pattern = &traffic[index % traffic.len()];
-                        let evaluation = if share_arrays {
-                            evaluate_shared(&shared[index / traffic.len()], pattern)
-                        } else {
-                            crate::eval::evaluate(&arrays[index / traffic.len()], pattern)
+                    for index in start..(start + chunk).min(pairs) {
+                        let evaluation = match mode {
+                            EvalMode::Kernels => kernels[index / traffic.len()]
+                                .apply(&shared_traffic[index % traffic.len()]),
+                            EvalMode::SharedPerPair => evaluate_shared_traffic(
+                                &shared[index / traffic.len()],
+                                &shared_traffic[index % traffic.len()],
+                            ),
+                            EvalMode::DeepCopy => crate::eval::evaluate(
+                                &arrays[index / traffic.len()],
+                                &traffic[index % traffic.len()],
+                            ),
                         };
                         slots[index]
                             .set(evaluation)

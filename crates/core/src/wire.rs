@@ -299,6 +299,19 @@ fn uint_field(obj: &[(String, Value)], name: &str) -> Result<u64, FrameError> {
         .ok_or_else(|| FrameError::corrupt(format!("field `{name}` is not an unsigned integer")))
 }
 
+/// Like [`uint_field`], but a *missing* field decodes as `default` (a
+/// present-but-malformed one is still corrupt). For counters added to the
+/// version-1 cache object after the fact — older captures simply never
+/// observed them.
+fn uint_field_or(obj: &[(String, Value)], name: &str, default: u64) -> Result<u64, FrameError> {
+    match obj.iter().find(|(k, _)| k == name) {
+        None => Ok(default),
+        Some((_, v)) => v.as_u64().ok_or_else(|| {
+            FrameError::corrupt(format!("field `{name}` is not an unsigned integer"))
+        }),
+    }
+}
+
 fn usize_field(obj: &[(String, Value)], name: &str) -> Result<usize, FrameError> {
     usize::try_from(uint_field(obj, name)?)
         .map_err(|_| FrameError::corrupt(format!("field `{name}` out of range")))
@@ -369,9 +382,13 @@ impl OwnedStudyEvent {
             "study_finished" => {
                 let cache = match field(obj, "cache")? {
                     Value::Null => None,
+                    // `pruned` joined the version-1 cache object in PR 5;
+                    // captures from older writers decode as zero prunes
+                    // instead of failing strict replay.
                     Value::Object(cache) => Some(CacheStats {
                         hits: uint_field(cache, "hits")?,
                         misses: uint_field(cache, "misses")?,
+                        pruned: uint_field_or(cache, "pruned", 0)?,
                     }),
                     other => {
                         return Err(FrameError::corrupt(format!(

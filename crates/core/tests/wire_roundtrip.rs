@@ -10,7 +10,8 @@ use nvmexplorer_core::config::{
 use nvmexplorer_core::stream::{ResultSink, StudyEvent, StudyExecutor};
 use nvmexplorer_core::sweep::{run_study_with_threads, StudyResult};
 use nvmexplorer_core::wire::{
-    replay, replay_into, EventReplayer, Shard, SlotMerger, WireError, WireFrame, WireSink,
+    replay, replay_into, EventReplayer, OwnedStudyEvent, Shard, SlotMerger, WireError, WireFrame,
+    WireSink,
 };
 use nvmx_celldb::TechnologyClass;
 use nvmx_nvsim::OptimizationTarget;
@@ -271,6 +272,41 @@ fn strict_replay_rejects_malformed_streams() {
     // The pristine capture still replays fine.
     let replayed = parse(capture_text(&lines)).unwrap();
     assert_eq!(replayed.frames as usize, lines.len());
+}
+
+/// Captures written before PR 5 carry a `study_finished` cache object
+/// without the `pruned` counter. They are still valid version-1 streams:
+/// strict replay must accept them (decoding zero prunes), not reject a
+/// file an older release of this very tool produced.
+#[test]
+fn pre_prune_counter_captures_still_replay() {
+    let lines = capture_shard(&small_study(), Shard::WHOLE, 2);
+    let legacy: Vec<String> = lines
+        .iter()
+        .map(|line| {
+            if !line.contains("\"event\":\"study_finished\"") {
+                return line.clone();
+            }
+            // Rewrite the cache object to its pre-PR5 shape.
+            let frame = WireFrame::parse(line).unwrap();
+            let (hits, misses) = match &frame.event {
+                OwnedStudyEvent::StudyFinished { stats, .. } => {
+                    let cache = stats.cache.expect("cached engine reports stats");
+                    (cache.hits, cache.misses)
+                }
+                other => panic!("study_finished expected, got {}", other.kind()),
+            };
+            let old_object =
+                format!("\"cache\":{{\"hits\":{hits},\"misses\":{misses},\"hit_rate\":0.0}}");
+            let start = line.find("\"cache\":").expect("cache object present");
+            // The cache object is the last field of the line.
+            let end = line.rfind('}').unwrap();
+            format!("{}{}{}", &line[..start], old_object, &line[end..])
+        })
+        .collect();
+    let replayed = replay(std::io::Cursor::new(capture_text(&legacy)))
+        .expect("legacy capture without `pruned` must still replay");
+    assert_eq!(replayed.frames as usize, legacy.len());
 }
 
 #[test]

@@ -86,7 +86,7 @@ impl Slab {
     }
 }
 
-/// Hit/miss counters of a [`SubarrayCache`], captured by
+/// Hit/miss/prune counters of a [`SubarrayCache`], captured by
 /// [`SubarrayCache::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
@@ -94,12 +94,22 @@ pub struct CacheStats {
     pub hits: u64,
     /// Lookups that ran a fresh characterization.
     pub misses: u64,
+    /// DSE candidates skipped by branch-and-bound pruning before reaching
+    /// the cache — a pruned candidate neither hits nor populates a slot.
+    /// Per design-space pass, `hits + misses + pruned` equals the number of
+    /// enumerated candidates.
+    pub pruned: u64,
 }
 
 impl CacheStats {
-    /// Total lookups.
+    /// Total lookups (pruned candidates never look up).
     pub fn lookups(&self) -> u64 {
         self.hits + self.misses
+    }
+
+    /// Total DSE candidates scanned: lookups plus pruned skips.
+    pub fn candidates(&self) -> u64 {
+        self.hits + self.misses + self.pruned
     }
 
     /// Fraction of lookups served from the cache (0 when never queried).
@@ -115,6 +125,20 @@ impl CacheStats {
         }
     }
 
+    /// Fraction of scanned candidates skipped by branch-and-bound pruning
+    /// (0 when nothing was scanned).
+    pub fn prune_rate(&self) -> f64 {
+        let candidates = self.candidates();
+        if candidates == 0 {
+            0.0
+        } else {
+            #[allow(clippy::cast_precision_loss)]
+            {
+                self.pruned as f64 / candidates as f64
+            }
+        }
+    }
+
     /// Counters accumulated since an `earlier` snapshot of the same cache —
     /// the per-study view a scheduler slot reports when several studies
     /// share one warm cache. Saturating, so a stale/foreign snapshot never
@@ -123,6 +147,7 @@ impl CacheStats {
         Self {
             hits: self.hits.saturating_sub(earlier.hits),
             misses: self.misses.saturating_sub(earlier.misses),
+            pruned: self.pruned.saturating_sub(earlier.pruned),
         }
     }
 }
@@ -138,6 +163,7 @@ pub struct SubarrayCache {
     slabs: RwLock<HashMap<SlabKey, Arc<Slab>>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    pruned: AtomicU64,
 }
 
 impl Default for SubarrayCache {
@@ -153,6 +179,7 @@ impl SubarrayCache {
             slabs: RwLock::new(HashMap::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            pruned: AtomicU64::new(0),
         }
     }
 
@@ -204,6 +231,7 @@ impl SubarrayCache {
             bits_per_cell,
             hits: 0,
             misses: 0,
+            pruned: 0,
         }
     }
 
@@ -216,6 +244,7 @@ impl SubarrayCache {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            pruned: self.pruned.load(Ordering::Relaxed),
         }
     }
 
@@ -269,9 +298,18 @@ pub struct SubarraySession<'c, 'a> {
     bits_per_cell: BitsPerCell,
     hits: u64,
     misses: u64,
+    pruned: u64,
 }
 
 impl SubarraySession<'_, '_> {
+    /// Records one branch-and-bound prune: a DSE candidate whose score
+    /// bound proved it cannot win, skipped before any cache lookup. Pruned
+    /// candidates neither hit nor populate the cache; they are tallied so
+    /// `hits + misses + pruned` accounts for every scanned candidate.
+    pub fn note_pruned(&mut self) {
+        self.pruned += 1;
+    }
+
     /// Returns the memoized characterization of the geometry, running (and
     /// recording) it on first sight. Geometries outside the DSE grid are
     /// characterized directly and not stored.
@@ -320,6 +358,9 @@ impl Drop for SubarraySession<'_, '_> {
         if self.misses > 0 {
             self.cache.misses.fetch_add(self.misses, Ordering::Relaxed);
         }
+        if self.pruned > 0 {
+            self.cache.pruned.fetch_add(self.pruned, Ordering::Relaxed);
+        }
     }
 }
 
@@ -346,7 +387,14 @@ mod tests {
         drop(session); // flush counters
         assert_eq!(direct, cold);
         assert_eq!(direct, warm);
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                pruned: 0
+            }
+        );
         assert_eq!(cache.len(), 1);
     }
 
@@ -363,7 +411,14 @@ mod tests {
         cache
             .session(&cell, &tech, BitsPerCell::Slc)
             .get_or_characterize(512, 1024, 4);
-        assert_eq!(cache.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 1,
+                misses: 1,
+                pruned: 0
+            }
+        );
     }
 
     #[test]

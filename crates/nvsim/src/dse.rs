@@ -1,8 +1,20 @@
 //! Internal-organization design-space exploration: enumerate candidate
 //! subarray geometries and bank compositions, filter invalid ones, and keep
 //! the best under each optimization target.
+//!
+//! The scan is a **branch-and-bound streaming pass**: candidates are
+//! visited in the deterministic enumeration order, and a candidate is fully
+//! characterized only when at least one target's provably-sound score
+//! lower bound ([`crate::bounds`]) says it could still beat that target's
+//! incumbent. Skipped candidates are proven non-winners, so winners — and
+//! everything derived from them — are byte-identical to the exhaustive
+//! scan (kept as [`optimize_targets_unpruned`] for proofs and benches).
+//! Nothing is materialized per candidate: incumbents hold lightweight
+//! [`Bank`] records, and only each target's winner is packaged into a full
+//! result.
 
 use crate::bank::{Bank, Organization};
+use crate::bounds::BoundContext;
 use crate::cache::SubarrayCache;
 use crate::result::{ArrayCharacterization, OptimizationTarget};
 use crate::subarray::Subarray;
@@ -174,22 +186,86 @@ fn bank_score(bank: &Bank, target: OptimizationTarget) -> f64 {
     }
 }
 
+/// Per-target incumbents of the streaming scan. Mirrors the two-chain
+/// selection rule of the exhaustive scan exactly: `best` tracks the first
+/// strictly-better candidate meeting [`MIN_AREA_EFFICIENCY`], and
+/// `best_unconstrained` tracks the overall first strictly-better candidate
+/// (the fallback when nothing qualifies). Incumbents own their [`Bank`]
+/// (plain data, no heap) because the scan no longer materializes a
+/// candidate vector to index into.
+struct TargetScan {
+    target: OptimizationTarget,
+    best: Option<(f64, Bank)>,
+    best_unconstrained: Option<(f64, Bank)>,
+}
+
+impl TargetScan {
+    fn new(target: OptimizationTarget) -> Self {
+        Self {
+            target,
+            best: None,
+            best_unconstrained: None,
+        }
+    }
+
+    /// Offers one characterized candidate, replicating the exhaustive
+    /// scan's first-strictly-better update rule (so ties resolve to the
+    /// earlier candidate, identically).
+    fn offer(&mut self, bank: &Bank) {
+        let score = bank_score(bank, self.target);
+        let improves = |incumbent: &Option<(f64, Bank)>| match incumbent {
+            None => true,
+            Some((incumbent_score, _)) => score < *incumbent_score,
+        };
+        if Ratio::new(bank.area_efficiency).value() >= MIN_AREA_EFFICIENCY && improves(&self.best) {
+            self.best = Some((score, bank.clone()));
+        }
+        if improves(&self.best_unconstrained) {
+            self.best_unconstrained = Some((score, bank.clone()));
+        }
+    }
+
+    /// `true` when `bound` (a sound lower bound on a candidate's score)
+    /// proves the candidate cannot change this target's final winner:
+    /// an incumbent qualifies under the area-efficiency constraint and the
+    /// candidate's score cannot be strictly below it. While no candidate
+    /// qualifies yet, nothing is skippable — the candidate might become the
+    /// first qualified incumbent regardless of score.
+    fn provably_loses(&self, bound: f64) -> bool {
+        match &self.best {
+            None => false,
+            Some((incumbent_score, _)) => bound >= *incumbent_score,
+        }
+    }
+
+    /// The winning bank: the best qualified candidate, else the best
+    /// overall — exactly `best.or(best_unconstrained)`.
+    fn into_winner(self) -> Option<Bank> {
+        self.best.or(self.best_unconstrained).map(|(_, bank)| bank)
+    }
+}
+
 /// Runs the organization search **once** and returns the best design under
 /// each of `targets`, in order.
 ///
 /// This is the shared-DSE hot path: subarray and bank characterization do
 /// not depend on the optimization target (the target only selects among
 /// candidates), so an N-target sweep costs one enumeration pass instead of
-/// N. The scan scores lightweight [`Bank`] metrics in place — no
-/// per-candidate result packaging, no string clones — and materializes a
-/// full record only for each target's winner. Each returned design is
-/// identical to what a standalone [`optimize`] call with that target would
-/// produce.
+/// N. The pass is a branch-and-bound streaming scan: candidates are visited
+/// in deterministic enumeration order, and one is characterized only when
+/// some target's score lower bound ([`crate::bounds`]) leaves it a chance
+/// of beating that target's incumbent. A skipped candidate is *proven*
+/// unable to change any winner, so results are byte-identical to the
+/// exhaustive scan ([`optimize_targets_unpruned`]) — and to what a
+/// standalone [`optimize`] call per target would produce.
 ///
 /// With `cache` present, subarray physics are memoized across calls: every
 /// job of a multi-capacity study that needs the same `(cell, node,
-/// geometry, depth)` reuses one characterization. Cached and uncached runs
-/// are bit-identical.
+/// geometry, depth)` reuses one characterization. Pruning composes with the
+/// cache — a pruned candidate neither hits nor populates it — and prune
+/// counts are recorded next to the hit/miss counters
+/// ([`CacheStats::pruned`](crate::cache::CacheStats)). Cached and uncached
+/// runs are bit-identical.
 ///
 /// # Errors
 ///
@@ -219,8 +295,90 @@ pub fn optimize_targets_cached(
         });
     }
     let tech = lookup(config.node);
+    let bounds = BoundContext::new(&tech, cell, config.bits_per_cell, config.word_bits);
     // One outer-map access per pass; candidate lookups inside the session
     // are a pre-computed slot index plus an atomic load.
+    let mut session = cache.map(|cache| cache.session(cell, &tech, config.bits_per_cell));
+    let mut scans: Vec<TargetScan> = targets.iter().map(|&t| TargetScan::new(t)).collect();
+    for (org, slot) in orgs {
+        // Branch and bound: skip full characterization when every target's
+        // bound proves the candidate a non-winner. The bound check runs in
+        // target order and stops at the first target that still needs the
+        // candidate.
+        let provably_loses = scans
+            .iter()
+            .all(|scan| scan.provably_loses(bounds.score_bound(&org, slot, scan.target)));
+        if provably_loses {
+            if let Some(session) = &mut session {
+                session.note_pruned();
+            }
+            continue;
+        }
+        let sub = match &mut session {
+            Some(session) => session.lookup(Some(slot), org.rows, org.cols, org.mux),
+            None => Subarray::characterize(
+                &tech,
+                cell,
+                org.rows,
+                org.cols,
+                org.mux,
+                config.bits_per_cell,
+            ),
+        };
+        let bank = Bank::compose(&tech, sub, org, config.word_bits);
+        for scan in &mut scans {
+            scan.offer(&bank);
+        }
+    }
+    scans
+        .into_iter()
+        .map(|scan| {
+            let target = scan.target;
+            let bank =
+                scan.into_winner()
+                    .ok_or_else(|| CharacterizationError::NoValidOrganization {
+                        cell: cell.name.clone(),
+                        capacity: config.capacity,
+                    })?;
+            Ok(package(cell, config, bank, target))
+        })
+        .collect()
+}
+
+/// The exhaustive (PR 2–4) scan: characterizes **every** candidate into a
+/// materialized bank vector, then selects per target. Observationally
+/// identical to [`optimize_targets_cached`]; kept so tests can prove the
+/// branch-and-bound scan byte-identical and benches can measure the win.
+/// Not part of the supported API.
+///
+/// # Errors
+///
+/// Same conditions as [`optimize`].
+#[doc(hidden)]
+pub fn optimize_targets_unpruned(
+    cell: &CellDefinition,
+    config: &ArrayConfig,
+    targets: &[OptimizationTarget],
+    cache: Option<&SubarrayCache>,
+) -> Result<Vec<ArrayCharacterization>, CharacterizationError> {
+    if targets.is_empty() {
+        return Ok(Vec::new());
+    }
+    if !cell.supports(config.bits_per_cell) {
+        return Err(CharacterizationError::UnsupportedBitsPerCell {
+            cell: cell.name.clone(),
+            requested: config.bits_per_cell,
+            supported: cell.max_bits_per_cell,
+        });
+    }
+    let orgs = enumerate_organizations_indexed(config);
+    if orgs.is_empty() {
+        return Err(CharacterizationError::NoValidOrganization {
+            cell: cell.name.clone(),
+            capacity: config.capacity,
+        });
+    }
+    let tech = lookup(config.node);
     let mut session = cache.map(|cache| cache.session(cell, &tech, config.bits_per_cell));
     let banks: Vec<Bank> = orgs
         .into_iter()

@@ -36,6 +36,7 @@
 //! ```
 
 pub mod bank;
+pub mod bounds;
 pub mod cache;
 pub mod components;
 pub mod dse;

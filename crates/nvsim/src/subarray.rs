@@ -48,6 +48,83 @@ pub struct Subarray {
     pub bits_per_access: u64,
 }
 
+/// Gate capacitance one cell presents to its wordline. Shared with
+/// [`crate::bounds`] so the pruning bounds mirror the exact model.
+pub(crate) fn access_gate_cap(tech: &TechnologyParams, cell: &CellDefinition) -> f64 {
+    match cell.access {
+        AccessDevice::CmosTransistor { width_f } => tech.gate_cap(width_f),
+        AccessDevice::SelfSelecting => tech.gate_cap(2.0),
+        AccessDevice::Selector => 0.02e-15,
+    }
+}
+
+/// Drain capacitance one cell presents to its bitline. Shared with
+/// [`crate::bounds`].
+pub(crate) fn access_drain_cap(tech: &TechnologyParams, cell: &CellDefinition) -> f64 {
+    match cell.access {
+        AccessDevice::CmosTransistor { width_f } => tech.drain_cap(width_f),
+        AccessDevice::SelfSelecting => tech.drain_cap(2.0),
+        AccessDevice::Selector => 0.05e-15,
+    }
+}
+
+/// Wordline read voltage: FET-sensed cells need the read bias on the gate;
+/// everything else drives the wordline at Vdd. Shared with
+/// [`crate::bounds`].
+pub(crate) fn wordline_read_voltage(tech: &TechnologyParams, cell: &CellDefinition) -> f64 {
+    match cell.read.scheme {
+        SenseScheme::FetSense => cell.read.voltage.value(),
+        _ => tech.vdd.value(),
+    }
+}
+
+/// Wordline write voltage: the programming voltage, floored at Vdd
+/// (pass-gate margin for transistor-accessed cells). Shared with
+/// [`crate::bounds`].
+pub(crate) fn wordline_write_voltage(tech: &TechnologyParams, cell: &CellDefinition) -> f64 {
+    cell.write.voltage.value().max(tech.vdd.value())
+}
+
+/// `(sense margin volts, bitline swing fraction)` the sensing scheme needs.
+/// Shared with [`crate::bounds`].
+pub(crate) fn sense_window(scheme: SenseScheme) -> (f64, f64) {
+    match scheme {
+        SenseScheme::VoltageDifferential => (0.10, 0.30),
+        SenseScheme::CurrentSense => (0.05, 0.08),
+        // Full-ish swing at the elevated read voltage: the expensive one.
+        SenseScheme::FetSense => (0.25, 0.45),
+        SenseScheme::ChargeSense => (0.10, 0.30),
+    }
+}
+
+/// Whether a read swings (and conducts through) *every* column on the row,
+/// or only the mux-selected ones — see the bitline-energy commentary in
+/// [`Subarray::characterize`]. Shared with [`crate::bounds`].
+pub(crate) fn all_columns_swing(scheme: SenseScheme) -> bool {
+    match scheme {
+        SenseScheme::VoltageDifferential | SenseScheme::ChargeSense | SenseScheme::FetSense => true,
+        SenseScheme::CurrentSense => false,
+    }
+}
+
+/// Bias current a non-latch sense amplifier burns during margin
+/// development. Shared with [`crate::bounds`].
+pub(crate) fn sa_bias_current(scheme: SenseScheme) -> f64 {
+    match scheme {
+        SenseScheme::VoltageDifferential => 0.0,
+        _ => 5.0e-6,
+    }
+}
+
+/// Physical `(width, height)` of one cell in meters. Shared with
+/// [`crate::bounds`].
+pub(crate) fn cell_pitch(tech: &TechnologyParams, cell: &CellDefinition) -> (f64, f64) {
+    let f = tech.feature_size.value();
+    let cell_w = (cell.area.value() * cell.aspect_ratio).sqrt() * f;
+    let cell_h = (cell.area.value() / cell.aspect_ratio).sqrt() * f;
+    (cell_w, cell_h)
+}
+
 impl Subarray {
     /// Characterizes a `rows × cols` subarray of `cell` with column-mux
     /// degree `mux`.
@@ -73,48 +150,30 @@ impl Subarray {
         let mlc = bits_per_cell.bits() > 1;
 
         // --- Geometry ---------------------------------------------------
-        let cell_w = (cell.area.value() * cell.aspect_ratio).sqrt() * f;
-        let cell_h = (cell.area.value() / cell.aspect_ratio).sqrt() * f;
+        let (cell_w, cell_h) = cell_pitch(tech, cell);
         let array_width = cols as f64 * cell_w;
         let array_height = rows as f64 * cell_h;
 
         // --- Wordline ----------------------------------------------------
-        let gate_per_cell = match cell.access {
-            AccessDevice::CmosTransistor { width_f } => tech.gate_cap(width_f),
-            AccessDevice::SelfSelecting => tech.gate_cap(2.0),
-            AccessDevice::Selector => 0.02e-15,
-        };
+        let gate_per_cell = access_gate_cap(tech, cell);
         let wl = Wire::local(tech, array_width).with_load(cols as f64 * gate_per_cell);
 
         // Wordline voltages: FET-sensed cells need the read bias on the
         // gate; programming needs the write voltage (plus pass-gate margin
         // for transistor-accessed cells).
-        let v_wl_read = match cell.read.scheme {
-            SenseScheme::FetSense => cell.read.voltage.value(),
-            _ => vdd,
-        };
-        let v_wl_write = cell.write.voltage.value().max(vdd);
+        let v_wl_read = wordline_read_voltage(tech, cell);
+        let v_wl_write = wordline_write_voltage(tech, cell);
 
         let wl_drive_read = drive_load(tech, wl.capacitance, wl.resistance, v_wl_read);
         let wl_drive_write = drive_load(tech, wl.capacitance, wl.resistance, v_wl_write);
 
         // --- Bitline -----------------------------------------------------
-        let drain_per_cell = match cell.access {
-            AccessDevice::CmosTransistor { width_f } => tech.drain_cap(width_f),
-            AccessDevice::SelfSelecting => tech.drain_cap(2.0),
-            AccessDevice::Selector => 0.05e-15,
-        };
+        let drain_per_cell = access_drain_cap(tech, cell);
         let bl = Wire::local(tech, array_height).with_load(rows as f64 * drain_per_cell);
 
         // Margin the sense amp needs on its input.
         let i_cell = cell.read.cell_current.value().max(1.0e-7);
-        let (sense_margin_v, swing_fraction) = match cell.read.scheme {
-            SenseScheme::VoltageDifferential => (0.10, 0.30),
-            SenseScheme::CurrentSense => (0.05, 0.08),
-            // Full-ish swing at the elevated read voltage: the expensive one.
-            SenseScheme::FetSense => (0.25, 0.45),
-            SenseScheme::ChargeSense => (0.10, 0.30),
-        };
+        let (sense_margin_v, swing_fraction) = sense_window(cell.read.scheme);
         // MLC sensing distinguishes `levels` states: smaller margins and
         // one SAR phase per stored bit.
         let margin_scale = if mlc { levels / 2.0 } else { 1.0 };
@@ -157,11 +216,10 @@ impl Subarray {
         // transistor on the row, so every bitline conducts at the elevated
         // read voltage. Only clamped current sensing confines the swing to
         // the selected columns.
-        let swinging_cols = match cell.read.scheme {
-            SenseScheme::VoltageDifferential | SenseScheme::ChargeSense | SenseScheme::FetSense => {
-                cols as f64
-            }
-            SenseScheme::CurrentSense => sensed_cols as f64,
+        let swinging_cols = if all_columns_swing(cell.read.scheme) {
+            cols as f64
+        } else {
+            sensed_cols as f64
         };
         let e_bitlines = swinging_cols * bl.capacitance * v_read * bl_swing_v * phases;
         // Conduction energy: every swinging column has a conducting cell for
@@ -172,10 +230,7 @@ impl Subarray {
         // Biased sense amplifiers (current/FET/charge mode) burn their bias
         // current for the whole margin-development window — slow sensing is
         // energy-expensive, not just latency-expensive.
-        let sa_bias_current = match cell.read.scheme {
-            SenseScheme::VoltageDifferential => 0.0,
-            _ => 5.0e-6,
-        };
+        let sa_bias_current = sa_bias_current(cell.read.scheme);
         let e_sense =
             sensed_cols as f64 * (sa.energy + sa_bias_current * vdd * t_bl_single) * phases;
         let e_restore = if cell.read.scheme.is_destructive() {

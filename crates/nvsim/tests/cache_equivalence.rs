@@ -76,11 +76,63 @@ proptest! {
             prop_assert_eq!(reference, cached, "divergence at {} MiB for {}", mib, &cell.name);
         }
     }
+
+    /// The counter invariant the pruned scan must uphold: every enumerated
+    /// candidate either hit the cache, missed it, or was pruned —
+    /// `hits + misses + pruned == candidates` — for any cell, capacity,
+    /// depth, and target subset, cold and warm alike.
+    #[test]
+    fn hit_miss_prune_counters_account_for_every_candidate(
+        cell_pick in 0usize..64,
+        cap_exp in 0u32..4,
+        depth_pick in 0usize..2,
+        target_mask in 1u32..256,
+    ) {
+        let cells = tentpole::tentpoles(survey::database());
+        let cell = &cells[cell_pick % cells.len()];
+        let depth = [BitsPerCell::Slc, BitsPerCell::Mlc2][depth_pick];
+        if cell.supports(depth) {
+            let targets = target_subset(target_mask);
+            let config = ArrayConfig::new(Capacity::from_mebibytes(1 << cap_exp))
+                .with_bits_per_cell(depth);
+            let candidates =
+                nvmx_nvsim::dse::enumerate_organizations(&config).len() as u64;
+            let cache = SubarrayCache::new();
+
+            characterize_targets_cached(cell, &config, &targets, &cache).unwrap();
+            let cold = cache.stats();
+            prop_assert_eq!(
+                cold.candidates(), candidates,
+                "cold pass dropped candidates for {}: {:?}", &cell.name, cold
+            );
+
+            characterize_targets_cached(cell, &config, &targets, &cache).unwrap();
+            let warm = cache.stats().since(cold);
+            prop_assert_eq!(
+                warm.candidates(), candidates,
+                "warm pass dropped candidates for {}: {:?}", &cell.name, warm
+            );
+            // Pruning decisions are deterministic, so the warm pass prunes
+            // the same set and serves every surviving lookup from the
+            // cache.
+            prop_assert_eq!(warm.pruned, cold.pruned, "prune set must be deterministic");
+            prop_assert_eq!(warm.misses, 0u64, "warm pass must not re-characterize");
+        }
+    }
 }
 
 /// The ISSUE-level reuse claim: a tentpole-wide, 4-capacity, 2-depth study
 /// shares the large majority of its subarray characterizations through the
 /// cache (the geometry space barely depends on capacity).
+///
+/// Branch-and-bound pruning (PR 5) re-based this gate from 0.70 to 0.60:
+/// pruning skips the cache entirely for provably-losing candidates, and
+/// the skipped lookups were disproportionately *hits* (a geometry that
+/// survives at one capacity is often pruned at the next, so the cheap
+/// repeat lookups vanish from the denominator). Measured after pruning:
+/// 67.3 % hit rate over ~4.1k lookups with 69 % of the 13.3k candidates
+/// pruned — i.e. far less total work, at a slightly lower *rate* on what
+/// remains.
 #[test]
 fn four_capacity_study_reuses_most_subarray_characterizations() {
     let cells = tentpole::tentpoles(survey::database());
@@ -100,10 +152,17 @@ fn four_capacity_study_reuses_most_subarray_characterizations() {
     }
     let stats = cache.stats();
     assert!(
-        stats.hit_rate() >= 0.70,
-        "expected ≥ 70% reuse across 4 capacities, got {:.1}% ({} hits / {} lookups)",
+        stats.hit_rate() >= 0.60,
+        "expected ≥ 60% reuse across 4 capacities, got {:.1}% ({} hits / {} lookups)",
         stats.hit_rate() * 100.0,
         stats.hits,
         stats.lookups()
+    );
+    assert!(
+        stats.prune_rate() >= 0.60,
+        "expected ≥ 60% pruning across 4 capacities, got {:.1}% ({} of {})",
+        stats.prune_rate() * 100.0,
+        stats.pruned,
+        stats.candidates()
     );
 }

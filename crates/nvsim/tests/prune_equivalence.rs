@@ -1,0 +1,145 @@
+//! Property proof for branch-and-bound DSE pruning: the pruned streaming
+//! scan must return bit-identical winners to the exhaustive (PR 2–4) scan
+//! for random tentpole cells, capacities, programming depths, and target
+//! subsets — with and without a subarray cache — and the score lower
+//! bounds driving the pruning must never exceed the true scores.
+
+use nvmx_celldb::{survey, tentpole};
+use nvmx_nvsim::bounds::BoundContext;
+use nvmx_nvsim::dse::{enumerate_organizations, optimize_targets_unpruned};
+use nvmx_nvsim::{
+    characterize_targets, characterize_targets_cached, ArrayConfig, OptimizationTarget,
+    SubarrayCache,
+};
+use nvmx_units::{BitsPerCell, Capacity};
+use proptest::prelude::*;
+
+fn target_subset(mask: u32) -> Vec<OptimizationTarget> {
+    OptimizationTarget::ALL
+        .into_iter()
+        .enumerate()
+        .filter(|(i, _)| mask & (1 << i) != 0)
+        .map(|(_, target)| target)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The tentpole guarantee: pruning never changes a winner, bit for bit,
+    /// whether the surviving candidates come from a cache or from scratch.
+    #[test]
+    fn pruned_winners_are_bit_identical_to_unpruned(
+        cell_pick in 0usize..64,
+        cap_exp in 0u32..4,
+        depth_pick in 0usize..2,
+        target_mask in 1u32..256,
+    ) {
+        let cells = tentpole::tentpoles(survey::database());
+        let cell = &cells[cell_pick % cells.len()];
+        let depth = [BitsPerCell::Slc, BitsPerCell::Mlc2][depth_pick];
+        let targets = target_subset(target_mask);
+        let config = ArrayConfig::new(Capacity::from_mebibytes(1 << cap_exp))
+            .with_bits_per_cell(depth);
+
+        let cache = SubarrayCache::new();
+        let unpruned = optimize_targets_unpruned(cell, &config, &targets, None);
+        let pruned = characterize_targets(cell, &config, &targets);
+        let pruned_cached = characterize_targets_cached(cell, &config, &targets, &cache);
+
+        match (unpruned, pruned, pruned_cached) {
+            (Ok(reference), Ok(pruned), Ok(cached)) => {
+                prop_assert_eq!(&reference, &pruned, "pruned scan diverged for {}", &cell.name);
+                prop_assert_eq!(
+                    &reference, &cached,
+                    "pruned+cached scan diverged for {}", &cell.name
+                );
+            }
+            (Err(reference), Err(pruned), Err(cached)) => {
+                prop_assert_eq!(&reference, &pruned);
+                prop_assert_eq!(&reference, &cached);
+            }
+            _ => prop_assert!(
+                false,
+                "pruning flipped success/failure for {} at {}",
+                &cell.name,
+                config.capacity
+            ),
+        }
+    }
+
+    /// Soundness of the bounds themselves, against full characterization:
+    /// pruning needs `bound ≤ score` for every target (with Area promised
+    /// bit-exact), for every enumerated candidate of a random design
+    /// point. A failure here means `bounds.rs` drifted from
+    /// `subarray.rs`/`bank.rs`/`wire.rs`.
+    #[test]
+    fn score_bounds_never_exceed_true_scores(
+        cell_pick in 0usize..64,
+        cap_exp in 0u32..4,
+        depth_pick in 0usize..2,
+    ) {
+        let cells = tentpole::tentpoles(survey::database());
+        let cell = &cells[cell_pick % cells.len()];
+        let depth = [BitsPerCell::Slc, BitsPerCell::Mlc2][depth_pick];
+        if cell.supports(depth) {
+            let config = ArrayConfig::new(Capacity::from_mebibytes(1 << cap_exp))
+                .with_bits_per_cell(depth);
+            let tech = nvmx_nvsim::technology::lookup(config.node);
+            let bounds = BoundContext::new(&tech, cell, depth, config.word_bits);
+            for org in enumerate_organizations(&config) {
+                // `characterize_organization` packages through the exact
+                // bank metrics the scan compares against, so `score` here
+                // is the scan's true score bit-for-bit.
+                let packaged = nvmx_nvsim::dse::characterize_organization(cell, &config, org);
+                for target in OptimizationTarget::ALL {
+                    let bound = bounds
+                        .score_bound_for(&org, target)
+                        .expect("enumerated orgs are on-grid");
+                    let truth = packaged.score(target);
+                    prop_assert!(
+                        bound <= truth,
+                        "{}: bound {:e} exceeds true score {:e} for {} at {}",
+                        &cell.name, bound, truth, target, org
+                    );
+                    if target == OptimizationTarget::Area {
+                        prop_assert!(
+                            bound.to_bits() == truth.to_bits(),
+                            "{}: Area bound must be exact at {}",
+                            &cell.name, org
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Pruning must actually fire on the bread-and-butter design point, not
+/// just be sound: a full 8-target pass over a 2 MiB STT array should skip
+/// a solid majority of its candidates.
+#[test]
+fn pruning_skips_most_candidates_on_the_default_design_point() {
+    let cell = tentpole::tentpole_cell(
+        nvmx_celldb::TechnologyClass::Stt,
+        nvmx_celldb::CellFlavor::Optimistic,
+    )
+    .unwrap();
+    let config = ArrayConfig::new(Capacity::from_mebibytes(2));
+    let cache = SubarrayCache::new();
+    characterize_targets_cached(&cell, &config, &OptimizationTarget::ALL, &cache).unwrap();
+    let stats = cache.stats();
+    let candidates = enumerate_organizations(&config).len() as u64;
+    assert_eq!(
+        stats.candidates(),
+        candidates,
+        "hits + misses + pruned must account for every candidate"
+    );
+    assert!(
+        stats.prune_rate() > 0.5,
+        "expected >50% pruning on the default design point, got {:.1}% ({} of {})",
+        stats.prune_rate() * 100.0,
+        stats.pruned,
+        candidates
+    );
+}

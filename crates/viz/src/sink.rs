@@ -239,9 +239,11 @@ impl<W: Write> ResultSink for SummaryTableSink<W> {
                 }
                 let cache = match stats.cache {
                     Some(c) => format!(
-                        ", cache hit rate {:.1}% ({} lookups)",
+                        ", cache hit rate {:.1}% ({} lookups), DSE prune rate {:.1}% ({} candidates)",
                         c.hit_rate() * 100.0,
-                        c.lookups()
+                        c.lookups(),
+                        c.prune_rate() * 100.0,
+                        c.candidates()
                     ),
                     None => String::new(),
                 };
