@@ -21,11 +21,24 @@
 //!   `SubarrayCache`, against the same three studies run sequentially with
 //!   per-study private caches. Cross-study cache hit rates are recorded
 //!   per study and in aggregate.
-//! - **`large_campaign`** (this PR's target): a campaign-scale single
-//!   study — six capacities (1–32 MiB), SLC+MLC2, three targets, an 8×8
-//!   generic traffic grid, tens of thousands of evaluations — measured
-//!   under the PR 2–4 reference engine and the current pruned+kernel
-//!   engine, with prune rate and kernel reuse recorded and gated.
+//! - **`large_campaign`** (the PR 5 + PR 6 target): a campaign-scale
+//!   single study — six capacities (1–32 MiB), SLC+MLC2, three targets, an
+//!   8×8 generic traffic grid, tens of thousands of evaluations — measured
+//!   under the PR 2–4 reference engine, the PR 5 scalar-kernel engine, and
+//!   the current batched (structure-of-arrays) engine, with prune rate,
+//!   kernel reuse, and evaluation throughput recorded and gated.
+//! - **`multi_study` seeded queue** (the PR 6 seeding target): the same
+//!   campaign queue run once more through one shared [`IncumbentStore`]
+//!   (single lane, so warmth is deterministic): studies whose design
+//!   points overlap an earlier study's start their branch-and-bound scans
+//!   from the recorded winners. Per-study seeded prune rates are recorded
+//!   next to the cold rates and hard-gated.
+//!
+//! Every timed row also records `evaluations_per_sec` (that group's
+//! evaluation count over the current engine's median wall-clock) and an
+//! `oversubscribed` flag marking rows whose thread request exceeds
+//! `host.available_parallelism` — throughput numbers from such rows
+//! measure scheduler churn, not the engine.
 //!
 //! Run from the workspace root so the JSON lands next to `Cargo.toml`:
 //!
@@ -48,7 +61,7 @@
 use nvmexplorer_core::config::{ArraySettings, CellSelection, StudyConfig, TrafficSpec};
 use nvmexplorer_core::scheduler::StudyScheduler;
 use nvmexplorer_core::sweep::{self, baseline};
-use nvmx_nvsim::{OptimizationTarget, SubarrayCache};
+use nvmx_nvsim::{IncumbentStore, OptimizationTarget, SubarrayCache};
 use nvmx_units::BitsPerCell;
 use std::fmt::Write as _;
 use std::time::Instant;
@@ -63,6 +76,20 @@ const REPS_LARGE: usize = 7;
 /// the 3-target × 4-capacity × 2-depth study; gated with margin). A
 /// regression here means the score bounds went loose.
 const PRUNE_RATE_FLOOR: f64 = 0.70;
+
+/// Floor on the seeded campaign queue's aggregate prune rate. The warm
+/// studies' scans start from recorded winners, so the queue as a whole
+/// must prune well past the cold floor; a regression means seeding
+/// stopped reaching the scans.
+const SEEDED_PRUNE_FLOOR: f64 = 0.60;
+
+/// Floor on the large campaign's batched evaluation throughput
+/// (evaluations per second through the current engine, best row). The
+/// full 1-thread run on the 1-core CI container measured ~6.2M
+/// evaluations/s in release mode; the floor leaves a wide margin for
+/// slower machines while still catching an order-of-magnitude regression
+/// (e.g. losing the batched path or re-deriving rates per pair).
+const EVALS_PER_SEC_FLOOR: f64 = 100_000.0;
 
 fn generic_traffic() -> TrafficSpec {
     TrafficSpec::GenericSweep {
@@ -179,6 +206,13 @@ fn campaign_queue() -> Vec<StudyConfig> {
 
 /// Median wall-clock milliseconds over `reps` runs of `f` (one warmup rep
 /// unless `reps == 1`).
+/// Evaluation throughput implied by a row's median wall-clock: the whole
+/// study (characterization included) over the evaluations it produced, so
+/// the figure is end-to-end, never a cherry-picked inner loop.
+fn evaluations_per_sec(evaluations: usize, ms: f64) -> f64 {
+    evaluations as f64 / (ms / 1.0e3)
+}
+
 fn median_ms(reps: usize, mut f: impl FnMut()) -> f64 {
     if reps > 1 {
         f();
@@ -231,6 +265,10 @@ fn main() {
             "pr1",
             sweep::run_study_pr1(&multi, 8).expect("pr1 engine runs"),
         ),
+        (
+            "pr5",
+            sweep::run_study_pr5(&multi, 8).expect("pr5 engine runs"),
+        ),
     ] {
         assert_eq!(
             reference.arrays, result.arrays,
@@ -241,31 +279,41 @@ fn main() {
             "{name} evaluations diverged; refusing to record bench"
         );
     }
-    {
+    let three_evaluations = {
         let shared = sweep::run_study_with_threads(&three, 8).expect("shared engine runs");
         let legacy = baseline::run_study_with_threads(&three, 1).expect("baseline engine runs");
         assert_eq!(shared.arrays, legacy.arrays, "3-target engines diverged");
         assert_eq!(shared.evaluations, legacy.evaluations);
-    }
+        shared.evaluations.len()
+    };
     let large_reference = sweep::run_study_with_threads(&large, 8).expect("large study runs");
-    {
-        let pr4 = sweep::run_study_pr4(&large, 8).expect("pr4 large study runs");
+    for (name, result) in [
+        (
+            "pr4",
+            sweep::run_study_pr4(&large, 8).expect("pr4 large study runs"),
+        ),
+        (
+            "pr5",
+            sweep::run_study_pr5(&large, 8).expect("pr5 large study runs"),
+        ),
+    ] {
         assert_eq!(
-            large_reference.arrays, pr4.arrays,
-            "large-campaign arrays diverged; refusing to record bench"
+            large_reference.arrays, result.arrays,
+            "large-campaign {name} arrays diverged; refusing to record bench"
         );
         assert_eq!(
-            large_reference.evaluations, pr4.evaluations,
-            "large-campaign evaluations diverged; refusing to record bench"
+            large_reference.evaluations, result.evaluations,
+            "large-campaign {name} evaluations diverged; refusing to record bench"
         );
     }
     let queue = campaign_queue();
-    {
+    let queue_evaluations = {
         let shared_cache = SubarrayCache::new();
         let report = StudyScheduler::with_workers(8)
             .lanes(2)
             .run_queue_silent(&queue, &shared_cache);
         assert!(report.all_succeeded(), "scheduler queue must run");
+        let mut total = 0usize;
         for (study, outcome) in queue.iter().zip(&report.outcomes) {
             let standalone = sweep::run_study_with_threads(study, 8).expect("standalone runs");
             let scheduled = outcome.result.as_ref().expect("checked above");
@@ -274,8 +322,10 @@ fn main() {
                 "scheduled study diverged; refusing to record bench"
             );
             assert_eq!(scheduled.evaluations, standalone.evaluations);
+            total += scheduled.evaluations.len();
         }
-    }
+        total
+    };
 
     // --- Cache + prune behavior on the multi-capacity study ---------------
     let cache = SubarrayCache::new();
@@ -312,7 +362,7 @@ fn main() {
         multi_rows.push((threads, pr1_ms, pr4_ms, uncached_ms, current_ms));
     }
 
-    // --- large_campaign group (this PR's target) ---------------------------
+    // --- large_campaign group (the PR 5 + PR 6 target) ---------------------
     let large_cache = SubarrayCache::new();
     sweep::run_study_with_cache(&large, 8, &large_cache).expect("large run for stats");
     let large_stats = large_cache.stats();
@@ -321,10 +371,13 @@ fn main() {
         let pr4_ms = median_ms(reps_large, || {
             drop(sweep::run_study_pr4(&large, threads).unwrap());
         });
+        let pr5_ms = median_ms(reps_large, || {
+            drop(sweep::run_study_pr5(&large, threads).unwrap());
+        });
         let current_ms = median_ms(reps_large, || {
             drop(sweep::run_study_with_threads(&large, threads).unwrap());
         });
-        large_rows.push((threads, pr4_ms, current_ms));
+        large_rows.push((threads, pr4_ms, pr5_ms, current_ms));
     }
 
     // --- multi_study group (PR 3 target) -----------------------------------
@@ -335,6 +388,35 @@ fn main() {
         .lanes(1)
         .run_queue_silent(&queue, &campaign_cache);
     let campaign_stats = campaign_cache.stats();
+
+    // The seeded queue (PR 6): same studies, same single-lane determinism,
+    // but sharing one IncumbentStore — capacity-overlapping design points
+    // in the later studies start their scans from the recorded winners.
+    // Results must stay byte-identical to the unseeded queue.
+    let seeded_cache = SubarrayCache::new();
+    let seed_store = IncumbentStore::new();
+    let seeded_report = StudyScheduler::with_workers(8).lanes(1).run_queue_seeded(
+        &queue,
+        &seeded_cache,
+        &seed_store,
+    );
+    assert!(seeded_report.all_succeeded(), "seeded queue must run");
+    for (cold, warm) in campaign_report.outcomes.iter().zip(&seeded_report.outcomes) {
+        let cold_result = cold.result.as_ref().expect("cold queue succeeded");
+        let warm_result = warm.result.as_ref().expect("checked above");
+        assert_eq!(
+            cold_result.arrays, warm_result.arrays,
+            "seeding changed {}'s arrays; refusing to record bench",
+            cold.name
+        );
+        assert_eq!(
+            cold_result.evaluations, warm_result.evaluations,
+            "seeding changed {}'s evaluations; refusing to record bench",
+            cold.name
+        );
+    }
+    let seeded_stats = seeded_cache.stats();
+    let seed_store_stats = seed_store.stats();
 
     let mut study_rows = Vec::new();
     for workers in [1usize, 8] {
@@ -393,8 +475,10 @@ fn main() {
     for (i, (threads, baseline_ms, current_ms)) in three_rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "      {{\"threads\": {threads}, \"baseline_ms\": {baseline_ms:.2}, \"current_ms\": {current_ms:.2}, \"speedup\": {:.2}}}{}",
+            "      {{\"threads\": {threads}, \"baseline_ms\": {baseline_ms:.2}, \"current_ms\": {current_ms:.2}, \"speedup\": {:.2}, \"evaluations_per_sec\": {:.0}, \"oversubscribed\": {}}}{}",
             baseline_ms / current_ms,
+            evaluations_per_sec(three_evaluations, *current_ms),
+            *threads > parallelism,
             if i + 1 < three_rows.len() { "," } else { "" }
         );
     }
@@ -438,9 +522,11 @@ fn main() {
     for (i, (threads, pr1_ms, pr4_ms, uncached_ms, current_ms)) in multi_rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "      {{\"threads\": {threads}, \"pr1_ms\": {pr1_ms:.2}, \"pr4_ms\": {pr4_ms:.2}, \"uncached_ms\": {uncached_ms:.2}, \"current_ms\": {current_ms:.2}, \"speedup_vs_pr1\": {:.2}, \"speedup_vs_pr4\": {:.2}}}{}",
+            "      {{\"threads\": {threads}, \"pr1_ms\": {pr1_ms:.2}, \"pr4_ms\": {pr4_ms:.2}, \"uncached_ms\": {uncached_ms:.2}, \"current_ms\": {current_ms:.2}, \"speedup_vs_pr1\": {:.2}, \"speedup_vs_pr4\": {:.2}, \"evaluations_per_sec\": {:.0}, \"oversubscribed\": {}}}{}",
             pr1_ms / current_ms,
             pr4_ms / current_ms,
+            evaluations_per_sec(reference.evaluations.len(), *current_ms),
+            *threads > parallelism,
             if i + 1 < multi_rows.len() { "," } else { "" }
         );
     }
@@ -471,7 +557,10 @@ fn main() {
         "      \"pr4\": \"PR 2-4 engine: exhaustive cached scan materializing every candidate bank, per-pair evaluate_shared\",\n",
     );
     json.push_str(
-        "      \"current\": \"branch-and-bound pruned scan + sweep-wide subarray cache + precomputed evaluation kernels\"\n",
+        "      \"pr5\": \"PR 5 engine: branch-and-bound pruned scan + subarray cache + per-pair scalar kernel applications\",\n",
+    );
+    json.push_str(
+        "      \"current\": \"pruned scan + subarray cache + batched structure-of-arrays kernel evaluation over TrafficGrid lanes\"\n",
     );
     json.push_str("    },\n");
     let _ = writeln!(
@@ -485,11 +574,14 @@ fn main() {
         large_stats.prune_rate()
     );
     json.push_str("    \"results_ms_median\": [\n");
-    for (i, (threads, pr4_ms, current_ms)) in large_rows.iter().enumerate() {
+    for (i, (threads, pr4_ms, pr5_ms, current_ms)) in large_rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "      {{\"threads\": {threads}, \"pr4_ms\": {pr4_ms:.2}, \"current_ms\": {current_ms:.2}, \"speedup_vs_pr4\": {:.2}}}{}",
+            "      {{\"threads\": {threads}, \"pr4_ms\": {pr4_ms:.2}, \"pr5_ms\": {pr5_ms:.2}, \"current_ms\": {current_ms:.2}, \"speedup_vs_pr4\": {:.2}, \"speedup_vs_pr5\": {:.2}, \"evaluations_per_sec\": {:.0}, \"oversubscribed\": {}}}{}",
             pr4_ms / current_ms,
+            pr5_ms / current_ms,
+            evaluations_per_sec(large_reference.evaluations.len(), *current_ms),
+            *threads > parallelism,
             if i + 1 < large_rows.len() { "," } else { "" }
         );
     }
@@ -535,12 +627,55 @@ fn main() {
         );
     }
     json.push_str("      ]\n    },\n");
+    json.push_str("    \"seeded_queue\": {\n");
+    json.push_str(
+        "      \"engine\": \"same queue, single lane, one shared IncumbentStore: capacity-overlapping design points seed their branch-and-bound scans from recorded winners (results byte-identical to the cold queue)\",\n",
+    );
+    let _ = writeln!(
+        json,
+        "      \"seed_store\": {{\"recorded\": {}, \"seeded_scans\": {}}},",
+        seed_store_stats.recorded, seed_store_stats.seeded_scans
+    );
+    let _ = writeln!(
+        json,
+        "      \"aggregate\": {{\"hits\": {}, \"misses\": {}, \"pruned\": {}, \"hit_rate\": {:.3}, \"seeded_prune_rate\": {:.3}, \"cold_prune_rate\": {:.3}}},",
+        seeded_stats.hits,
+        seeded_stats.misses,
+        seeded_stats.pruned,
+        seeded_stats.hit_rate(),
+        seeded_stats.prune_rate(),
+        campaign_stats.prune_rate()
+    );
+    json.push_str("      \"per_study\": [\n");
+    for (i, (cold, warm)) in campaign_report
+        .outcomes
+        .iter()
+        .zip(&seeded_report.outcomes)
+        .enumerate()
+    {
+        let _ = writeln!(
+            json,
+            "        {{\"study\": \"{}\", \"pruned\": {}, \"seeded_prune_rate\": {:.3}, \"cold_prune_rate\": {:.3}}}{}",
+            warm.name,
+            warm.cache.pruned,
+            warm.cache.prune_rate(),
+            cold.cache.prune_rate(),
+            if i + 1 < seeded_report.outcomes.len() {
+                ","
+            } else {
+                ""
+            }
+        );
+    }
+    json.push_str("      ]\n    },\n");
     json.push_str("    \"results_ms_median\": [\n");
     for (i, (workers, sequential_ms, scheduler_ms)) in study_rows.iter().enumerate() {
         let _ = writeln!(
             json,
-            "      {{\"workers\": {workers}, \"sequential_ms\": {sequential_ms:.2}, \"scheduler_ms\": {scheduler_ms:.2}, \"speedup\": {:.2}}}{}",
+            "      {{\"workers\": {workers}, \"sequential_ms\": {sequential_ms:.2}, \"scheduler_ms\": {scheduler_ms:.2}, \"speedup\": {:.2}, \"evaluations_per_sec\": {:.0}, \"oversubscribed\": {}}}{}",
             sequential_ms / scheduler_ms,
+            evaluations_per_sec(queue_evaluations, *scheduler_ms),
+            *workers > parallelism,
             if i + 1 < study_rows.len() { "," } else { "" }
         );
     }
@@ -557,11 +692,13 @@ fn main() {
         stats.prune_rate() * 100.0,
         stats.hit_rate() * 100.0
     );
-    let large_eight = large_rows.iter().find(|(t, ..)| *t == 8).unwrap();
+    let large_one = large_rows.iter().find(|(t, ..)| *t == 1).unwrap();
     eprintln!(
-        "large-campaign ({} evaluations) speedup at 8 threads: {:.2}x vs PR 4, prune rate {:.1}%",
+        "large-campaign ({} evaluations) at 1 thread: {:.2}x vs PR 4, {:.2}x vs PR 5 scalar kernels, {:.0} evaluations/s, prune rate {:.1}%",
         large_reference.evaluations.len(),
-        large_eight.1 / large_eight.2,
+        large_one.1 / large_one.3,
+        large_one.2 / large_one.3,
+        evaluations_per_sec(large_reference.evaluations.len(), large_one.3),
         large_stats.prune_rate() * 100.0
     );
     let campaign_eight = study_rows.iter().find(|(w, ..)| *w == 8).unwrap();
@@ -569,6 +706,13 @@ fn main() {
         "multi-study scheduler at 8 workers: {:.2}x vs 3 sequential runs, cross-study hit rate {:.1}% (pre-pruning single-study baseline was 74.9%; pruning removed most redundant lookups)",
         campaign_eight.1 / campaign_eight.2,
         campaign_stats.hit_rate() * 100.0
+    );
+    eprintln!(
+        "seeded campaign queue: aggregate prune rate {:.1}% (cold {:.1}%), {} scans seeded from {} recorded design points",
+        seeded_stats.prune_rate() * 100.0,
+        campaign_stats.prune_rate() * 100.0,
+        seed_store_stats.seeded_scans,
+        seed_store_stats.recorded
     );
     // --- Hard gates (machine-independent; enforced even under --quick) ----
     assert!(
@@ -589,5 +733,41 @@ fn main() {
         campaign_stats.hit_rate() >= 0.60,
         "cross-study hit rate {:.3} regressed below the post-pruning floor",
         campaign_stats.hit_rate()
+    );
+    // Seeding gates: the seeded queue as a whole must clear its floor, and
+    // every warm study (everything after the queue head) must prune
+    // strictly more than its cold twin — otherwise the seeds never reached
+    // the scans.
+    assert!(
+        seeded_stats.prune_rate() >= SEEDED_PRUNE_FLOOR,
+        "seeded queue prune rate {:.3} fell below the {SEEDED_PRUNE_FLOOR} floor",
+        seeded_stats.prune_rate()
+    );
+    for (cold, warm) in campaign_report
+        .outcomes
+        .iter()
+        .zip(&seeded_report.outcomes)
+        .skip(1)
+    {
+        assert!(
+            warm.cache.prune_rate() > cold.cache.prune_rate(),
+            "{}: seeded prune rate {:.3} did not exceed the cold rate {:.3}",
+            warm.name,
+            warm.cache.prune_rate(),
+            cold.cache.prune_rate()
+        );
+    }
+    // Throughput floor on the batched evaluation path (quick CI runs
+    // included — the floor is far enough below any sane machine's figure
+    // that only an engine regression can trip it).
+    let best_evals_per_sec = large_rows
+        .iter()
+        .map(|(_, _, _, current_ms)| {
+            evaluations_per_sec(large_reference.evaluations.len(), *current_ms)
+        })
+        .fold(0.0f64, f64::max);
+    assert!(
+        best_evals_per_sec >= EVALS_PER_SEC_FLOOR,
+        "large-campaign evaluation throughput {best_evals_per_sec:.0}/s fell below the {EVALS_PER_SEC_FLOOR:.0}/s floor"
     );
 }

@@ -10,7 +10,7 @@
 
 use nvmx_nvsim::ArrayCharacterization;
 use nvmx_units::{Joules, Seconds, Watts};
-use nvmx_workloads::TrafficPattern;
+use nvmx_workloads::{TrafficGrid, TrafficPattern};
 use serde::{Deserialize, Serialize};
 use std::sync::Arc;
 
@@ -75,6 +75,77 @@ fn accesses_per_line(array: &ArrayCharacterization, access_bytes: u64) -> f64 {
     (access_bytes * 8).div_ceil(array.word_bits) as f64
 }
 
+/// Every traffic-dependent field of an [`Evaluation`], computed in one
+/// place. This is *the* evaluation float expression: all scalar entry
+/// points ([`evaluate`], [`evaluate_shared`], [`evaluate_shared_traffic`])
+/// route through it, so the expression can no longer drift between copies,
+/// and the hoisted paths ([`EvalKernel::apply`],
+/// [`EvalKernel::apply_batch`]) reproduce it term for term (proptested in
+/// `tests/batch_eval_equivalence.rs`).
+struct EvalTerms {
+    reads: f64,
+    writes: f64,
+    read_power: Watts,
+    write_power: Watts,
+    utilization: f64,
+    aggregate_latency: Seconds,
+    lifetime: Option<Seconds>,
+}
+
+/// The shared evaluation expression. Re-derives the per-array invariants
+/// on every call — the hoisted [`EvalKernel`] exists precisely to avoid
+/// that on hot paths — but the expression order here is the bit-identity
+/// reference every other path must match.
+fn eval_terms(array: &ArrayCharacterization, traffic: &TrafficPattern) -> EvalTerms {
+    let per_line = accesses_per_line(array, traffic.access_bytes);
+    let reads = traffic.read_accesses_per_sec() * per_line;
+    let writes = traffic.write_accesses_per_sec() * per_line;
+
+    // Long-pole model: every traffic access occupies the array for a full
+    // read/write cycle (small accesses against wide slow words amplify),
+    // with limited bank-interleave credit.
+    let interleave = (array.organization.groups() as f64).min(4.0);
+    let utilization =
+        (reads * array.read_cycle.value() + writes * array.write_cycle.value()) / interleave;
+
+    let aggregate_latency = array.read_latency * reads + array.write_latency * writes;
+
+    let lifetime = memory_lifetime(array, traffic.write_bytes_per_sec);
+
+    EvalTerms {
+        reads,
+        writes,
+        read_power: array.read_energy.at_rate(reads),
+        write_power: array.write_energy.at_rate(writes),
+        utilization,
+        aggregate_latency,
+        lifetime,
+    }
+}
+
+impl EvalTerms {
+    /// Packages the terms with the shared records into an [`Evaluation`].
+    fn into_evaluation(
+        self,
+        array: Arc<ArrayCharacterization>,
+        traffic: Arc<TrafficPattern>,
+    ) -> Evaluation {
+        let leakage_power = array.leakage;
+        Evaluation {
+            array,
+            traffic,
+            array_reads_per_sec: self.reads,
+            array_writes_per_sec: self.writes,
+            read_power: self.read_power,
+            write_power: self.write_power,
+            leakage_power,
+            utilization: self.utilization,
+            aggregate_latency: self.aggregate_latency,
+            lifetime: self.lifetime,
+        }
+    }
+}
+
 /// Evaluates `array` under `traffic` with the analytical model.
 ///
 /// Convenience wrapper over [`evaluate_shared`] that deep-copies the array
@@ -90,36 +161,7 @@ pub fn evaluate(array: &ArrayCharacterization, traffic: &TrafficPattern) -> Eval
 /// traffic pattern. Callers that already hold the pattern behind an
 /// [`Arc`] should use [`evaluate_shared_traffic`] and skip the copy.
 pub fn evaluate_shared(array: &Arc<ArrayCharacterization>, traffic: &TrafficPattern) -> Evaluation {
-    let per_line = accesses_per_line(array, traffic.access_bytes);
-    let reads = traffic.read_accesses_per_sec() * per_line;
-    let writes = traffic.write_accesses_per_sec() * per_line;
-
-    let read_power = array.read_energy.at_rate(reads);
-    let write_power = array.write_energy.at_rate(writes);
-
-    // Long-pole model: every traffic access occupies the array for a full
-    // read/write cycle (small accesses against wide slow words amplify),
-    // with limited bank-interleave credit.
-    let interleave = (array.organization.groups() as f64).min(4.0);
-    let utilization =
-        (reads * array.read_cycle.value() + writes * array.write_cycle.value()) / interleave;
-
-    let aggregate_latency = array.read_latency * reads + array.write_latency * writes;
-
-    let lifetime = memory_lifetime(array, traffic.write_bytes_per_sec);
-
-    Evaluation {
-        array: Arc::clone(array),
-        traffic: Arc::new(traffic.clone()),
-        array_reads_per_sec: reads,
-        array_writes_per_sec: writes,
-        read_power,
-        write_power,
-        leakage_power: array.leakage,
-        utilization,
-        aggregate_latency,
-        lifetime,
-    }
+    eval_terms(array, traffic).into_evaluation(Arc::clone(array), Arc::new(traffic.clone()))
 }
 
 /// [`evaluate_shared`] for a traffic pattern that is already shared: the
@@ -132,26 +174,7 @@ pub fn evaluate_shared_traffic(
     array: &Arc<ArrayCharacterization>,
     traffic: &Arc<TrafficPattern>,
 ) -> Evaluation {
-    let per_line = accesses_per_line(array, traffic.access_bytes);
-    let reads = traffic.read_accesses_per_sec() * per_line;
-    let writes = traffic.write_accesses_per_sec() * per_line;
-    let interleave = (array.organization.groups() as f64).min(4.0);
-    let utilization =
-        (reads * array.read_cycle.value() + writes * array.write_cycle.value()) / interleave;
-    let aggregate_latency = array.read_latency * reads + array.write_latency * writes;
-    let lifetime = memory_lifetime(array, traffic.write_bytes_per_sec);
-    Evaluation {
-        array: Arc::clone(array),
-        traffic: Arc::clone(traffic),
-        array_reads_per_sec: reads,
-        array_writes_per_sec: writes,
-        read_power: array.read_energy.at_rate(reads),
-        write_power: array.write_energy.at_rate(writes),
-        leakage_power: array.leakage,
-        utilization,
-        aggregate_latency,
-        lifetime,
-    }
+    eval_terms(array, traffic).into_evaluation(Arc::clone(array), Arc::clone(traffic))
 }
 
 /// A precomputed evaluation kernel for one array: every traffic-independent
@@ -214,6 +237,12 @@ impl EvalKernel {
         &self.array
     }
 
+    /// The array's access width — the only array property the
+    /// traffic-rate lanes ([`RateLanes`]) depend on.
+    pub fn word_bits(&self) -> u64 {
+        self.word_bits
+    }
+
     /// Evaluates the kernel's array under a shared `traffic` pattern —
     /// bit-identical to [`evaluate_shared`] on the same pair, with the
     /// returned [`Evaluation`] holding clones of both [`Arc`]s (no string
@@ -250,6 +279,149 @@ impl EvalKernel {
             aggregate_latency,
             lifetime,
         }
+    }
+
+    /// Evaluates the kernel's array against **every** lane of `grid` in one
+    /// pass, returning the evaluations in lane order — bit-identical per
+    /// field to calling [`EvalKernel::apply`] on each pattern (proptested
+    /// in `tests/batch_eval_equivalence.rs`).
+    ///
+    /// The batch walks the grid's contiguous columnar lanes instead of
+    /// chasing one pattern record per application, and derives the access
+    /// rates once for the whole grid via [`RateLanes`]. Engines evaluating
+    /// many arrays that share a word width should build the lanes once and
+    /// call [`EvalKernel::apply_batch_with`].
+    pub fn apply_batch(&self, grid: &TrafficGrid) -> Vec<Evaluation> {
+        self.apply_batch_with(grid, &RateLanes::new(grid, self.word_bits))
+    }
+
+    /// [`EvalKernel::apply_batch`] with the access-rate lanes precomputed
+    /// by the caller (they depend on the array only through its word
+    /// width, so arrays sharing one width share one set of lanes).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rates` was built for a different word width — the
+    /// rates would silently belong to another array shape.
+    pub fn apply_batch_with(&self, grid: &TrafficGrid, rates: &RateLanes) -> Vec<Evaluation> {
+        let mut out = Vec::with_capacity(grid.len());
+        self.apply_batch_each(grid, rates, |_, evaluation| out.push(evaluation));
+        out
+    }
+
+    /// The zero-materialization core of the batch path: applies the kernel
+    /// to every lane in lane order, handing each `(lane, Evaluation)` to
+    /// `emit` as it is produced. Engines that place evaluations into
+    /// pre-allocated slots use this directly — no intermediate `Vec`, no
+    /// second move per evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `rates` was built for a different word width or a
+    /// different grid — the rates would silently belong to another array
+    /// shape or traffic set.
+    pub fn apply_batch_each(
+        &self,
+        grid: &TrafficGrid,
+        rates: &RateLanes,
+        mut emit: impl FnMut(usize, Evaluation),
+    ) {
+        assert_eq!(
+            rates.word_bits, self.word_bits,
+            "rate lanes built for word_bits={}, kernel has word_bits={}",
+            rates.word_bits, self.word_bits
+        );
+        assert_eq!(
+            rates.reads.len(),
+            grid.len(),
+            "rate lanes cover a different grid"
+        );
+        // Zipped columnar lanes: contiguous loads, bounds checks elided.
+        let lanes = rates
+            .reads
+            .iter()
+            .zip(&rates.writes)
+            .zip(grid.write_bytes_per_sec())
+            .zip(grid.patterns());
+        for (lane, (((&reads, &writes), &write_rate), pattern)) in lanes.enumerate() {
+            // Per-lane arithmetic is term-for-term the body of `apply`
+            // (which in turn mirrors `eval_terms`): same operands, same
+            // association, so every field is bit-identical.
+            let utilization =
+                (reads * self.read_cycle_s + writes * self.write_cycle_s) / self.interleave;
+            let aggregate_latency = self.read_latency * reads + self.write_latency * writes;
+            let lifetime = self.endurance_capacity.and_then(|ec| {
+                if write_rate <= 0.0 {
+                    None
+                } else {
+                    Some(Seconds::new(ec / write_rate))
+                }
+            });
+            emit(
+                lane,
+                Evaluation {
+                    array: Arc::clone(&self.array),
+                    traffic: Arc::clone(pattern),
+                    array_reads_per_sec: reads,
+                    array_writes_per_sec: writes,
+                    read_power: self.read_energy.at_rate(reads),
+                    write_power: self.write_energy.at_rate(writes),
+                    leakage_power: self.leakage,
+                    utilization,
+                    aggregate_latency,
+                    lifetime,
+                },
+            );
+        }
+    }
+}
+
+/// Per-word-width access-rate lanes over a [`TrafficGrid`]: the
+/// traffic-dependent but array-independent prefix of the evaluation
+/// expression (`per_line`, array reads/sec, array writes/sec).
+///
+/// Rates depend on the array only through its word width, so a campaign
+/// whose arrays share one access width computes these lanes **once for the
+/// whole evaluation product** instead of once per `(array, traffic)` pair
+/// — the integer `div_ceil` and two multiplies leave the per-pair hot
+/// path entirely.
+///
+/// Every lane holds the exact bit pattern the scalar expression produces:
+/// `per_line` is the same `div_ceil`-then-cast, and the rate products use
+/// the grid's precomputed accesses-per-second lanes (pure functions of
+/// the pattern).
+#[derive(Debug, Clone)]
+pub struct RateLanes {
+    word_bits: u64,
+    reads: Vec<f64>,
+    writes: Vec<f64>,
+}
+
+impl RateLanes {
+    /// Derives the access-rate lanes of `grid` for arrays of `word_bits`
+    /// access width.
+    pub fn new(grid: &TrafficGrid, word_bits: u64) -> Self {
+        let lanes = grid.len();
+        let access_bytes = grid.access_bytes();
+        let read_accesses = grid.read_accesses_per_sec();
+        let write_accesses = grid.write_accesses_per_sec();
+        let mut reads = Vec::with_capacity(lanes);
+        let mut writes = Vec::with_capacity(lanes);
+        for lane in 0..lanes {
+            let per_line = (access_bytes[lane] * 8).div_ceil(word_bits) as f64;
+            reads.push(read_accesses[lane] * per_line);
+            writes.push(write_accesses[lane] * per_line);
+        }
+        Self {
+            word_bits,
+            reads,
+            writes,
+        }
+    }
+
+    /// The access width these lanes were derived for.
+    pub fn word_bits(&self) -> u64 {
+        self.word_bits
     }
 }
 

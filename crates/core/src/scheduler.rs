@@ -20,7 +20,7 @@
 use crate::config::StudyConfig;
 use crate::stream::{NullSink, ResultSink, StudyExecutor};
 use crate::sweep::{StudyError, StudyResult};
-use nvmx_nvsim::{CacheStats, SubarrayCache};
+use nvmx_nvsim::{CacheStats, IncumbentStore, SubarrayCache};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
@@ -211,13 +211,53 @@ impl StudyScheduler {
     where
         F: Fn(usize, &StudyConfig) -> Box<dyn ResultSink> + Sync,
     {
+        self.run_queue_impl(queue, cache, None, make_sink)
+    }
+
+    /// [`Self::run_queue_with`] with cross-study incumbent seeding: every
+    /// lane shares `seeds`, so a study whose design points overlap an
+    /// earlier (or concurrently finished) study's starts its
+    /// branch-and-bound scans from the recorded winners. Results are
+    /// byte-identical to the unseeded queue — seeding only tightens score
+    /// bounds — but warm studies prune far more candidates; compare the
+    /// per-outcome [`StudyOutcome::cache`] prune counts.
+    ///
+    /// With more than one lane, *which* studies run warm depends on lane
+    /// interleaving (a study can finish before or after its twin starts).
+    /// The results never change; only the measured prune rate does. Use
+    /// one lane when the warm/cold split itself must be deterministic.
+    pub fn run_queue_with_seeds<F>(
+        &self,
+        queue: &[StudyConfig],
+        cache: &SubarrayCache,
+        seeds: &IncumbentStore,
+        make_sink: F,
+    ) -> SchedulerReport
+    where
+        F: Fn(usize, &StudyConfig) -> Box<dyn ResultSink> + Sync,
+    {
+        self.run_queue_impl(queue, cache, Some(seeds), make_sink)
+    }
+
+    fn run_queue_impl<F>(
+        &self,
+        queue: &[StudyConfig],
+        cache: &SubarrayCache,
+        seeds: Option<&IncumbentStore>,
+        make_sink: F,
+    ) -> SchedulerReport
+    where
+        F: Fn(usize, &StudyConfig) -> Box<dyn ResultSink> + Sync,
+    {
         let (lanes, threads) = self.plan_for(queue.len());
         let outcomes = run_on_lanes(queue, lanes, |index, study| {
             let before = cache.stats();
             let mut sink = make_sink(index, study);
-            let result = StudyExecutor::with_threads(threads)
-                .cache(cache)
-                .run(study, sink.as_mut());
+            let mut executor = StudyExecutor::with_threads(threads).cache(cache);
+            if let Some(seeds) = seeds {
+                executor = executor.seeds(seeds);
+            }
+            let result = executor.run(study, sink.as_mut());
             StudyOutcome {
                 index,
                 name: study.name.clone(),
@@ -239,6 +279,16 @@ impl StudyScheduler {
         cache: &SubarrayCache,
     ) -> SchedulerReport {
         self.run_queue_with(queue, cache, |_, _| Box::new(NullSink))
+    }
+
+    /// [`Self::run_queue_with_seeds`] discarding all events.
+    pub fn run_queue_seeded(
+        &self,
+        queue: &[StudyConfig],
+        cache: &SubarrayCache,
+        seeds: &IncumbentStore,
+    ) -> SchedulerReport {
+        self.run_queue_with_seeds(queue, cache, seeds, |_, _| Box::new(NullSink))
     }
 }
 

@@ -34,7 +34,9 @@
 
 use crate::eval::Evaluation;
 use crate::sweep::StudyResult;
-use nvmx_nvsim::{ArrayCharacterization, CacheStats, OptimizationTarget, SubarrayCache};
+use nvmx_nvsim::{
+    ArrayCharacterization, CacheStats, IncumbentStore, OptimizationTarget, SubarrayCache,
+};
 use serde::{Serialize, Value};
 
 /// End-of-study summary carried by [`StudyEvent::StudyFinished`].
@@ -411,6 +413,7 @@ impl ResultSink for StudyResultBuilder {
 pub struct StudyExecutor<'c> {
     threads: usize,
     cache: Option<&'c SubarrayCache>,
+    seeds: Option<&'c IncumbentStore>,
 }
 
 impl Default for StudyExecutor<'_> {
@@ -432,6 +435,7 @@ impl<'c> StudyExecutor<'c> {
         Self {
             threads,
             cache: None,
+            seeds: None,
         }
     }
 
@@ -440,6 +444,19 @@ impl<'c> StudyExecutor<'c> {
     #[must_use]
     pub fn cache(mut self, cache: &'c SubarrayCache) -> Self {
         self.cache = Some(cache);
+        self
+    }
+
+    /// Shares a caller-owned [`IncumbentStore`] across every study this
+    /// executor runs: each design point's branch-and-bound scan seeds its
+    /// incumbents from the winners a prior identical point recorded, and
+    /// records its own back. Results stay byte-identical to an unseeded
+    /// run — seeding only raises the prune rate. The stream's wire format
+    /// is unchanged; warm-study pruning shows up in the existing
+    /// `StudyFinished` cache counters.
+    #[must_use]
+    pub fn seeds(mut self, seeds: &'c IncumbentStore) -> Self {
+        self.seeds = Some(seeds);
         self
     }
 
@@ -461,12 +478,19 @@ impl<'c> StudyExecutor<'c> {
         study: &crate::config::StudyConfig,
         sink: &mut dyn ResultSink,
     ) -> Result<StudyResult, crate::sweep::StudyError> {
-        match self.cache {
-            Some(cache) => crate::sweep::run_streaming_with_cache(study, self.threads, cache, sink),
+        let private;
+        let cache = match self.cache {
+            Some(cache) => cache,
             None => {
-                let cache = SubarrayCache::new();
-                crate::sweep::run_streaming_with_cache(study, self.threads, &cache, sink)
+                private = SubarrayCache::new();
+                &private
             }
+        };
+        match self.seeds {
+            Some(seeds) => {
+                crate::sweep::run_streaming_seeded(study, self.threads, cache, seeds, sink)
+            }
+            None => crate::sweep::run_streaming_with_cache(study, self.threads, cache, sink),
         }
     }
 }

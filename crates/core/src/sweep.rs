@@ -31,14 +31,19 @@
 //!    interleaving — determinism by construction, with no post-hoc sort of
 //!    completion order. Jobs borrow the resolved [`CellDefinition`]s
 //!    instead of cloning them.
-//! 4. **Kernel-based zero-copy parallel evaluation.** The `arrays ×
-//!    traffic` product is flattened into one index space and fanned out
-//!    over the same scoped worker pool (adaptively chunked claiming,
-//!    since a single evaluation is much cheaper than a characterization);
-//!    each array is compiled once into an [`EvalKernel`] and each
-//!    [`Evaluation`] holds `Arc<ArrayCharacterization>` +
-//!    `Arc<TrafficPattern>`, so the fan-out applies kernels and clones
-//!    pointers, never records.
+//! 4. **Batched structure-of-arrays evaluation.** The resolved traffic
+//!    set is transposed once into a columnar
+//!    [`TrafficGrid`] and each array is compiled once into an
+//!    [`EvalKernel`]; workers then claim whole arrays and one
+//!    [`EvalKernel::apply_batch_with`] computes every traffic lane in a
+//!    single pass over contiguous lanes — with the per-word-width access
+//!    rates ([`RateLanes`]) derived once per study and shared across
+//!    kernels. A claim fills its `traffic.len()` consecutive slots of the
+//!    flattened `arrays × traffic` index space, so slot (and stream)
+//!    order is identical to the scalar per-pair path, which is kept as
+//!    the PR-5 reference ([`run_study_pr5`]). Each [`Evaluation`] holds
+//!    `Arc<ArrayCharacterization>` + `Arc<TrafficPattern>`, so the
+//!    fan-out applies kernels and clones pointers, never records.
 //! 5. **Streaming by slot order.** While workers fill slots, the calling
 //!    thread walks them in index order and pushes each completed
 //!    characterization/evaluation to a
@@ -57,13 +62,14 @@
 //! completion order, which was never deterministic to begin with.
 
 use crate::config::{StudyConfig, UnknownNameError};
-use crate::eval::{evaluate_shared_traffic, EvalKernel, Evaluation};
+use crate::eval::{evaluate_shared_traffic, EvalKernel, Evaluation, RateLanes};
 use crate::stream::{NullSink, ResultSink, StudyEvent, StudyStats};
 use nvmx_celldb::CellDefinition;
 use nvmx_nvsim::{
     characterize_targets, characterize_targets_cached, ArrayCharacterization, ArrayConfig,
-    CharacterizationError, OptimizationTarget, SubarrayCache,
+    CharacterizationError, IncumbentStore, OptimizationTarget, SubarrayCache,
 };
+use nvmx_workloads::TrafficGrid;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
@@ -209,12 +215,21 @@ fn clamp_workers(threads: usize, items: usize) -> usize {
 #[derive(Clone, Copy)]
 enum DsePath<'c> {
     /// Branch-and-bound pruned scan with subarray physics memoized in a
-    /// shared [`SubarrayCache`]; evaluations run through precomputed
-    /// [`EvalKernel`]s. The production path.
-    Cached(&'c SubarrayCache),
+    /// shared [`SubarrayCache`], optionally seeding each target's
+    /// incumbents from a prior study's recorded winners
+    /// ([`IncumbentStore`]); evaluations run batched over the
+    /// [`TrafficGrid`] lanes. The production path.
+    Cached {
+        cache: &'c SubarrayCache,
+        seeds: Option<&'c IncumbentStore>,
+    },
     /// Pruned scan, every surviving geometry characterized from scratch;
-    /// kernel evaluations.
+    /// batched evaluations.
     Uncached,
+    /// The PR-5 reference pass: identical cached pruned scan, but with
+    /// per-pair scalar kernel applications instead of batched lanes.
+    /// Benches measure this PR's evaluation stage against it.
+    CachedScalarEval(&'c SubarrayCache),
     /// The PR 2–4 reference pass: exhaustive (unpruned) cached scan that
     /// materializes every candidate bank, with per-pair `evaluate_shared`
     /// evaluations. Benches measure this PR against it.
@@ -290,7 +305,9 @@ fn run_study_impl(
         traffic: traffic.len(),
     })?;
     let cache_before = match path {
-        DsePath::Cached(cache) | DsePath::CachedUnpruned(cache) => Some((cache, cache.stats())),
+        DsePath::Cached { cache, .. }
+        | DsePath::CachedUnpruned(cache)
+        | DsePath::CachedScalarEval(cache) => Some((cache, cache.stats())),
         _ => None,
     };
 
@@ -308,7 +325,16 @@ fn run_study_impl(
                     let index = next_job.fetch_add(1, Ordering::Relaxed);
                     let Some(job) = jobs.get(index) else { break };
                     let outcome = match path {
-                        DsePath::Cached(cache) => {
+                        DsePath::Cached { cache, seeds } => {
+                            nvmx_nvsim::dse::optimize_targets_seeded(
+                                job.cell,
+                                &job.config,
+                                &targets,
+                                Some(cache),
+                                seeds,
+                            )
+                        }
+                        DsePath::CachedScalarEval(cache) => {
                             characterize_targets_cached(job.cell, &job.config, &targets, cache)
                         }
                         DsePath::Uncached => characterize_targets(job.cell, &job.config, &targets),
@@ -397,12 +423,14 @@ fn run_study_impl(
         }
     }
 
-    // The production path applies precomputed kernels; the PR 2–4
-    // reference reproduces its per-pair `evaluate_shared` cost, and the
-    // PR-1 reference deep-copies the characterization record into every
-    // evaluation — so benches measure each engine as it shipped.
+    // The production path applies precomputed kernels batched over the
+    // traffic-grid lanes; the PR-5 reference applies the same kernels per
+    // pair, the PR 2–4 reference reproduces the per-pair `evaluate_shared`
+    // cost, and the PR-1 reference deep-copies the characterization record
+    // into every evaluation — so benches measure each engine as it shipped.
     let eval_mode = match path {
-        DsePath::Cached(_) | DsePath::Uncached => EvalMode::Kernels,
+        DsePath::Cached { .. } | DsePath::Uncached => EvalMode::Batched,
+        DsePath::CachedScalarEval(_) => EvalMode::Kernels,
         DsePath::CachedUnpruned(_) => EvalMode::SharedPerPair,
         DsePath::Pr1Materialized => EvalMode::DeepCopy,
     };
@@ -471,7 +499,15 @@ pub fn run_study_with_threads(
     threads: usize,
 ) -> Result<StudyResult, StudyError> {
     let cache = SubarrayCache::new();
-    run_study_impl(study, threads, DsePath::Cached(&cache), &mut NullSink)
+    run_study_impl(
+        study,
+        threads,
+        DsePath::Cached {
+            cache: &cache,
+            seeds: None,
+        },
+        &mut NullSink,
+    )
 }
 
 /// The streaming engine entry used by
@@ -483,7 +519,29 @@ pub(crate) fn run_streaming_with_cache(
     cache: &SubarrayCache,
     sink: &mut dyn ResultSink,
 ) -> Result<StudyResult, StudyError> {
-    run_study_impl(study, threads, DsePath::Cached(cache), sink)
+    run_study_impl(study, threads, DsePath::Cached { cache, seeds: None }, sink)
+}
+
+/// [`run_streaming_with_cache`] with cross-study incumbent seeding: each
+/// job's branch-and-bound scan starts from the winners a prior identical
+/// design point recorded into `seeds`, and records its own back. Results
+/// are byte-identical to the unseeded engine; only the prune rate changes.
+pub(crate) fn run_streaming_seeded(
+    study: &StudyConfig,
+    threads: usize,
+    cache: &SubarrayCache,
+    seeds: &IncumbentStore,
+    sink: &mut dyn ResultSink,
+) -> Result<StudyResult, StudyError> {
+    run_study_impl(
+        study,
+        threads,
+        DsePath::Cached {
+            cache,
+            seeds: Some(seeds),
+        },
+        sink,
+    )
 }
 
 /// [`run_study_with_threads`] with a caller-owned [`SubarrayCache`].
@@ -501,7 +559,43 @@ pub fn run_study_with_cache(
     threads: usize,
     cache: &SubarrayCache,
 ) -> Result<StudyResult, StudyError> {
-    run_study_impl(study, threads, DsePath::Cached(cache), &mut NullSink)
+    run_study_impl(
+        study,
+        threads,
+        DsePath::Cached { cache, seeds: None },
+        &mut NullSink,
+    )
+}
+
+/// [`run_study_with_cache`] with cross-study incumbent seeding.
+///
+/// Each job's branch-and-bound scan starts from the final incumbents a
+/// prior *identical* design point (same cell, node, programming depth,
+/// capacity, and word width) recorded into `seeds`, and records its own
+/// winners back after a successful pass. Seeding only tightens the score
+/// bounds, so results are byte-identical to [`run_study_with_cache`] for
+/// any thread count (proven in `tests/prune_kernel_equivalence.rs`); warm
+/// studies simply prune more candidates — watch the delta with
+/// [`SubarrayCache::stats`] and [`IncumbentStore::stats`].
+///
+/// # Errors
+///
+/// Same conditions as [`run_study_with_threads`].
+pub fn run_study_seeded(
+    study: &StudyConfig,
+    threads: usize,
+    cache: &SubarrayCache,
+    seeds: &IncumbentStore,
+) -> Result<StudyResult, StudyError> {
+    run_study_impl(
+        study,
+        threads,
+        DsePath::Cached {
+            cache,
+            seeds: Some(seeds),
+        },
+        &mut NullSink,
+    )
 }
 
 /// [`run_study_with_threads`] with subarray memoization disabled — every
@@ -549,15 +643,43 @@ pub fn run_study_pr4(study: &StudyConfig, threads: usize) -> Result<StudyResult,
     )
 }
 
+/// The PR-5 engine: identical cached branch-and-bound scan, but with
+/// per-pair scalar kernel applications instead of the batched traffic-grid
+/// path. Kept so tests can prove the batched engine byte-identical and
+/// `bench_sweep` can measure this PR's evaluation stage against the engine
+/// it replaced. Not part of the supported API.
+///
+/// # Errors
+///
+/// Same conditions as [`run_study_with_threads`].
+#[doc(hidden)]
+pub fn run_study_pr5(study: &StudyConfig, threads: usize) -> Result<StudyResult, StudyError> {
+    let cache = SubarrayCache::new();
+    run_study_impl(
+        study,
+        threads,
+        DsePath::CachedScalarEval(&cache),
+        &mut NullSink,
+    )
+}
+
 /// How the evaluation stage computes each `(array, traffic)` pair. All
-/// three modes produce bit-identical [`Evaluation`]s (proven in
-/// `tests/prune_kernel_equivalence.rs`); they differ only in how much
+/// modes produce bit-identical [`Evaluation`]s (proven in
+/// `tests/prune_kernel_equivalence.rs` and
+/// `tests/batch_eval_equivalence.rs`); they differ only in how much
 /// per-pair work they repeat, so the reference engines keep their honest
 /// cost profiles in benches.
 #[derive(Clone, Copy)]
 enum EvalMode {
+    /// One [`EvalKernel`] per array plus one [`TrafficGrid`] per study;
+    /// workers claim whole arrays and each claim computes every traffic
+    /// lane in one [`EvalKernel::apply_batch_with`] streaming over the
+    /// columnar lanes, with the per-word-width access rates
+    /// ([`RateLanes`]) derived once and shared across kernels. The
+    /// production path.
+    Batched,
     /// One [`EvalKernel`] per array, built once; per pair a thin
-    /// traffic-point application. The production path.
+    /// traffic-point application (the PR-5 profile).
     Kernels,
     /// [`evaluate_shared_traffic`] per pair: re-derives the per-array
     /// invariants every time (the PR 2–4 profile on today's shared-traffic
@@ -589,54 +711,115 @@ fn evaluate_all(
         return Ok(Vec::new());
     }
     let shared: Vec<Arc<ArrayCharacterization>> = match mode {
-        EvalMode::Kernels | EvalMode::SharedPerPair => {
+        EvalMode::Batched | EvalMode::Kernels | EvalMode::SharedPerPair => {
             arrays.iter().map(|array| Arc::new(array.clone())).collect()
         }
         EvalMode::DeepCopy => Vec::new(),
     };
     let kernels: Vec<EvalKernel> = match mode {
-        EvalMode::Kernels => shared.iter().map(EvalKernel::new).collect(),
+        EvalMode::Batched | EvalMode::Kernels => shared.iter().map(EvalKernel::new).collect(),
         _ => Vec::new(),
     };
-    // Both Arc-based modes share the traffic patterns — an evaluation then
+    // The Arc-based modes share the traffic patterns — an evaluation then
     // costs two Arc clones instead of a string-owning deep copy.
     let shared_traffic: Vec<Arc<nvmx_workloads::TrafficPattern>> = match mode {
-        EvalMode::Kernels | EvalMode::SharedPerPair => {
+        EvalMode::Batched | EvalMode::Kernels | EvalMode::SharedPerPair => {
             traffic.iter().map(|t| Arc::new(t.clone())).collect()
         }
         EvalMode::DeepCopy => Vec::new(),
     };
-    let slots: Vec<OnceLock<Evaluation>> = (0..pairs).map(|_| OnceLock::new()).collect();
-    let next_pair = AtomicUsize::new(0);
+    // Batched mode transposes the traffic set into columnar lanes once per
+    // study, and derives each distinct word width's access-rate lanes once
+    // — shared by every kernel with that word width — instead of
+    // re-deriving the rates per (array, pattern) pair.
+    let grid = match mode {
+        EvalMode::Batched => Some(TrafficGrid::from_shared(shared_traffic.clone())),
+        _ => None,
+    };
+    let mut rate_sets: Vec<RateLanes> = Vec::new();
+    let mut kernel_rates: Vec<usize> = Vec::new();
+    if let Some(grid) = &grid {
+        for kernel in &kernels {
+            let slot = rate_sets
+                .iter()
+                .position(|rates| rates.word_bits() == kernel.word_bits())
+                .unwrap_or_else(|| {
+                    rate_sets.push(RateLanes::new(grid, kernel.word_bits()));
+                    rate_sets.len() - 1
+                });
+            kernel_rates.push(slot);
+        }
+    }
+    // Scalar modes fill one slot per (array, traffic) pair. Batched workers
+    // claim whole arrays and publish the array's `traffic.len()` evaluations
+    // as one batch — one synchronized store per array instead of one per
+    // pair — and the drain walks batches array-major with lanes in traffic
+    // order, so the evaluation (and therefore stream) order is identical to
+    // the scalar modes.
+    let slots: Vec<OnceLock<Evaluation>> = match mode {
+        EvalMode::Batched => Vec::new(),
+        _ => (0..pairs).map(|_| OnceLock::new()).collect(),
+    };
+    let batch_slots: Vec<OnceLock<Vec<Evaluation>>> = match mode {
+        EvalMode::Batched => (0..arrays.len()).map(|_| OnceLock::new()).collect(),
+        _ => Vec::new(),
+    };
+    let (claims, chunk) = match mode {
+        EvalMode::Batched => (arrays.len(), 1),
+        _ => {
+            let chunk = eval_chunk(pairs, clamp_workers(threads, pairs));
+            (pairs, chunk)
+        }
+    };
+    let next_claim = AtomicUsize::new(0);
     let poisoned = AtomicBool::new(false);
-    let chunk = eval_chunk(pairs, clamp_workers(threads, pairs));
-    let workers = clamp_workers(threads, pairs.div_ceil(chunk));
+    let workers = clamp_workers(threads, claims.div_ceil(chunk));
     let mut sink_status: std::io::Result<()> = Ok(());
     std::thread::scope(|scope| {
         for _ in 0..workers {
             scope.spawn(|| {
                 let _flag = PanicFlag(&poisoned);
                 loop {
-                    let start = next_pair.fetch_add(chunk, Ordering::Relaxed);
-                    if start >= pairs {
+                    let start = next_claim.fetch_add(chunk, Ordering::Relaxed);
+                    if start >= claims {
                         break;
                     }
-                    for index in start..(start + chunk).min(pairs) {
-                        let evaluation = match mode {
-                            EvalMode::Kernels => kernels[index / traffic.len()]
-                                .apply(&shared_traffic[index % traffic.len()]),
-                            EvalMode::SharedPerPair => evaluate_shared_traffic(
-                                &shared[index / traffic.len()],
-                                &shared_traffic[index % traffic.len()],
-                            ),
-                            EvalMode::DeepCopy => crate::eval::evaluate(
-                                &arrays[index / traffic.len()],
-                                &traffic[index % traffic.len()],
-                            ),
-                        };
-                        slots[index]
-                            .set(evaluation)
-                            .expect("evaluation slot written twice");
+                    for index in start..(start + chunk).min(claims) {
+                        match mode {
+                            EvalMode::Batched => {
+                                let grid = grid.as_ref().expect("batched mode builds a grid");
+                                let batch = kernels[index]
+                                    .apply_batch_with(grid, &rate_sets[kernel_rates[index]]);
+                                batch_slots[index]
+                                    .set(batch)
+                                    .expect("evaluation batch written twice");
+                            }
+                            EvalMode::Kernels => {
+                                let evaluation = kernels[index / traffic.len()]
+                                    .apply(&shared_traffic[index % traffic.len()]);
+                                slots[index]
+                                    .set(evaluation)
+                                    .expect("evaluation slot written twice");
+                            }
+                            EvalMode::SharedPerPair => {
+                                let evaluation = evaluate_shared_traffic(
+                                    &shared[index / traffic.len()],
+                                    &shared_traffic[index % traffic.len()],
+                                );
+                                slots[index]
+                                    .set(evaluation)
+                                    .expect("evaluation slot written twice");
+                            }
+                            EvalMode::DeepCopy => {
+                                let evaluation = crate::eval::evaluate(
+                                    &arrays[index / traffic.len()],
+                                    &traffic[index % traffic.len()],
+                                );
+                                slots[index]
+                                    .set(evaluation)
+                                    .expect("evaluation slot written twice");
+                            }
+                        }
                     }
                 }
             });
@@ -645,25 +828,59 @@ fn evaluate_all(
         if sink.is_passive() {
             return;
         }
-        for (index, slot) in slots.iter().enumerate() {
-            let Some(evaluation) = wait_filled(slot, &poisoned) else {
-                // A worker died; let the scope join and re-raise its panic.
-                break;
-            };
-            sink_status = sink.on_event(&StudyEvent::EvaluationProduced { index, evaluation });
-            if sink_status.is_err() {
-                // Park the claim counter past the end so workers stop
-                // evaluating pairs nobody will read.
-                next_pair.store(pairs, Ordering::Relaxed);
-                break;
+        match mode {
+            EvalMode::Batched => {
+                'drain: for (array_index, slot) in batch_slots.iter().enumerate() {
+                    let Some(batch) = wait_filled(slot, &poisoned) else {
+                        // A worker died; let the scope join and re-raise
+                        // its panic.
+                        break;
+                    };
+                    let base = array_index * traffic.len();
+                    for (lane, evaluation) in batch.iter().enumerate() {
+                        sink_status = sink.on_event(&StudyEvent::EvaluationProduced {
+                            index: base + lane,
+                            evaluation,
+                        });
+                        if sink_status.is_err() {
+                            // Park the claim counter past the end so workers
+                            // stop evaluating work nobody will read.
+                            next_claim.store(claims, Ordering::Relaxed);
+                            break 'drain;
+                        }
+                    }
+                }
+            }
+            _ => {
+                for (index, slot) in slots.iter().enumerate() {
+                    let Some(evaluation) = wait_filled(slot, &poisoned) else {
+                        // A worker died; let the scope join and re-raise
+                        // its panic.
+                        break;
+                    };
+                    sink_status =
+                        sink.on_event(&StudyEvent::EvaluationProduced { index, evaluation });
+                    if sink_status.is_err() {
+                        // Park the claim counter past the end so workers stop
+                        // evaluating work nobody will read.
+                        next_claim.store(claims, Ordering::Relaxed);
+                        break;
+                    }
+                }
             }
         }
     });
     sink_status?;
-    Ok(slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("all evaluation slots filled"))
-        .collect())
+    Ok(match mode {
+        EvalMode::Batched => batch_slots
+            .into_iter()
+            .flat_map(|slot| slot.into_inner().expect("all evaluation batches filled"))
+            .collect(),
+        _ => slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("all evaluation slots filled"))
+            .collect(),
+    })
 }
 
 /// Runs a study with a worker per available CPU (capped at 16).

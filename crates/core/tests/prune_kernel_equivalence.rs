@@ -9,9 +9,11 @@
 
 use nvmexplorer_core::config::{ArraySettings, CellSelection, StudyConfig, TrafficSpec};
 use nvmexplorer_core::eval::{evaluate_shared, EvalKernel};
-use nvmexplorer_core::sweep::{run_study_pr4, run_study_with_threads, StudyResult};
+use nvmexplorer_core::sweep::{
+    run_study_pr4, run_study_pr5, run_study_seeded, run_study_with_threads, StudyResult,
+};
 use nvmx_celldb::{survey, tentpole};
-use nvmx_nvsim::{characterize, ArrayConfig, OptimizationTarget};
+use nvmx_nvsim::{characterize, ArrayConfig, IncumbentStore, OptimizationTarget, SubarrayCache};
 use nvmx_units::{BitsPerCell, Capacity};
 use nvmx_workloads::TrafficPattern;
 use proptest::prelude::*;
@@ -114,4 +116,48 @@ fn pruned_kernel_engine_matches_pr4_reference_at_1_and_16_threads() {
         let pr4 = run_study_pr4(&study, threads).expect("reference engine runs");
         assert_identical(&pr4, &reference, &format!("pr4 at {threads} threads"));
     }
+}
+
+/// The batched-evaluation engine must match the PR-5 scalar-kernel engine
+/// byte-for-byte at single-threaded and fanned-out execution alike — the
+/// engine-level form of the `apply_batch` bit-identity proof.
+#[test]
+fn batched_engine_matches_pr5_scalar_engine_at_1_and_16_threads() {
+    let study = stress_study();
+    let reference = run_study_pr5(&study, 1).expect("pr5 engine runs");
+    for threads in [1usize, 16] {
+        let current = run_study_with_threads(&study, threads).expect("engine runs");
+        assert_identical(
+            &current,
+            &reference,
+            &format!("batched at {threads} threads"),
+        );
+    }
+}
+
+/// Incumbent seeding must be invisible in the results: cold, recording,
+/// and fully warm seeded runs all match the unseeded engine at 1 and 16
+/// threads. The first loop records the seeds; the second runs entirely
+/// warm against them.
+#[test]
+fn seeded_engine_matches_cold_engine_at_1_and_16_threads() {
+    let study = stress_study();
+    let reference = run_study_with_threads(&study, 1).expect("engine runs");
+    let cache = SubarrayCache::new();
+    let seeds = IncumbentStore::new();
+    for round in ["recording", "warm"] {
+        for threads in [1usize, 16] {
+            let seeded =
+                run_study_seeded(&study, threads, &cache, &seeds).expect("seeded engine runs");
+            assert_identical(
+                &seeded,
+                &reference,
+                &format!("{round} at {threads} threads"),
+            );
+        }
+    }
+    assert!(
+        !seeds.is_empty(),
+        "the study's design points must have recorded incumbents"
+    );
 }

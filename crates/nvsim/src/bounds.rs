@@ -63,7 +63,7 @@
 //! re-derivation, the bank composition (including its wire sizing), and
 //! the cache traffic for every pruned candidate.
 
-use crate::bank::Organization;
+use crate::bank::{Bank, Organization};
 use crate::components::{Precharger, SenseAmp, WriteDriver};
 use crate::dse::{COL_CHOICES, MUX_CHOICES, ROW_CHOICES};
 use crate::gates::{drive_load, Decoder};
@@ -605,6 +605,205 @@ impl BoundContext {
         let grid_w = nx as f64 * width;
         let grid_h = ny as f64 * height;
         SquareMillimeters::from_square_meters(grid_w * grid_h * 1.05).value()
+    }
+}
+
+/// Final incumbent chains of one target's completed design-space pass —
+/// what [`IncumbentStore`] records per `(design point, target)` and what a
+/// later identical pass seeds its scan with.
+///
+/// A seed is **not** a bare score: it carries the winning [`Bank`] of each
+/// chain, so a seeded scan behaves exactly as if it had already visited
+/// the winning candidate. Under the scan's first-strictly-better tie rule
+/// no later candidate can displace an equal-scoring seed, and no candidate
+/// scores strictly below the recorded minimum — so the seeded scan's
+/// winners are byte-identical to a cold scan's, while the pre-tightened
+/// incumbent lets the score bounds prune every candidate that cannot beat
+/// the *final* winner (instead of only the incumbent-so-far).
+#[derive(Debug, Clone)]
+pub(crate) struct TargetSeed {
+    /// Final qualified chain (candidates meeting the minimum area
+    /// efficiency), which alone drives pruning decisions.
+    pub(crate) best: Option<(f64, Bank)>,
+    /// Final unconstrained fallback chain. Only authoritative when `best`
+    /// is `None` — in that case the recording pass pruned nothing (an
+    /// unqualified target vetoes every skip), so the chain is the full
+    /// deterministic scan's. When `best` is `Some` the winner never reads
+    /// this chain.
+    pub(crate) best_unconstrained: Option<(f64, Bank)>,
+}
+
+/// Everything the design-space pass's candidate set and scoring depend on,
+/// as a hashable key: the cell (by fingerprint, verified against the
+/// stored cell on lookup), the technology node, the programming depth, the
+/// capacity, the word width, and the target. Two passes agreeing on all of
+/// these walk identical candidates to identical scores — the condition
+/// under which seeding preserves byte-identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct SeedKey {
+    cell: u64,
+    node_bits: u64,
+    bits_per_cell: BitsPerCell,
+    capacity_bytes: u64,
+    word_bits: u64,
+    target: OptimizationTarget,
+}
+
+impl SeedKey {
+    fn new(
+        cell: &CellDefinition,
+        tech: &TechnologyParams,
+        config: &crate::ArrayConfig,
+        target: OptimizationTarget,
+    ) -> Self {
+        Self {
+            cell: cell.fingerprint(),
+            node_bits: tech.feature_size.value().to_bits(),
+            bits_per_cell: config.bits_per_cell,
+            capacity_bytes: config.capacity.bytes(),
+            word_bits: config.word_bits,
+            target,
+        }
+    }
+}
+
+/// One recorded seed plus the owning cell, stored so lookups can prove the
+/// 64-bit fingerprint key really resolved to their cell (a collision
+/// degrades to an unseeded scan, never to another cell's incumbents).
+struct SeedEntry {
+    cell: CellDefinition,
+    seed: TargetSeed,
+}
+
+/// Counters of an [`IncumbentStore`], captured by [`IncumbentStore::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SeedStats {
+    /// `(design point, target)` winner chains recorded.
+    pub recorded: u64,
+    /// Target scans that started from a recorded seed instead of cold.
+    pub seeded_scans: u64,
+}
+
+impl SeedStats {
+    /// Counters accumulated since an `earlier` snapshot of the same store.
+    /// Saturating, like [`CacheStats::since`](crate::cache::CacheStats).
+    pub fn since(&self, earlier: Self) -> Self {
+        Self {
+            recorded: self.recorded.saturating_sub(earlier.recorded),
+            seeded_scans: self.seeded_scans.saturating_sub(earlier.seeded_scans),
+        }
+    }
+}
+
+/// Cross-study store of branch-and-bound winner incumbents.
+///
+/// A multi-study queue whose studies overlap in design points — same cell,
+/// technology node, programming depth, capacity, and word width — re-runs
+/// identical design-space passes from cold incumbents: each pass prunes
+/// only against the best candidate *seen so far*, even though an earlier
+/// study already proved the final winner. Threading one `IncumbentStore`
+/// through the passes (via
+/// [`characterize_targets_seeded`](crate::characterize_targets_seeded) or
+/// the core scheduler's seeded queue) records each completed pass's final
+/// incumbent chains and seeds later identical passes with them, so the
+/// bounds prune against the final winner from the very first candidate.
+///
+/// Seeding only ever *tightens* the incumbent a sound lower bound is
+/// compared against, and a seed carries the recorded winning bank itself,
+/// so seeded winners are byte-identical to cold winners (proptested in
+/// `tests/prune_equivalence.rs`) — the prune rate just climbs. Entries are
+/// write-once; recording is idempotent and concurrent recorders of an
+/// identical pass store identical chains.
+#[derive(Default)]
+pub struct IncumbentStore {
+    entries: RwLock<HashMap<SeedKey, Arc<SeedEntry>>>,
+    recorded: std::sync::atomic::AtomicU64,
+    seeded_scans: std::sync::atomic::AtomicU64,
+}
+
+impl IncumbentStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Recording/seeding counters so far.
+    pub fn stats(&self) -> SeedStats {
+        use std::sync::atomic::Ordering;
+        SeedStats {
+            recorded: self.recorded.load(Ordering::Relaxed),
+            seeded_scans: self.seeded_scans.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of `(design point, target)` seeds recorded.
+    pub fn len(&self) -> usize {
+        self.entries.read().expect("seed store poisoned").len()
+    }
+
+    /// `true` when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The recorded seed for an exactly-matching design point, or `None`
+    /// when no identical pass completed yet (or the fingerprint collided
+    /// with a different cell — verified, so a collision can only cost the
+    /// speedup, never correctness).
+    pub(crate) fn lookup(
+        &self,
+        cell: &CellDefinition,
+        tech: &TechnologyParams,
+        config: &crate::ArrayConfig,
+        target: OptimizationTarget,
+    ) -> Option<TargetSeed> {
+        let key = SeedKey::new(cell, tech, config, target);
+        let entry = self
+            .entries
+            .read()
+            .expect("seed store poisoned")
+            .get(&key)
+            .map(Arc::clone)?;
+        if entry.cell != *cell {
+            return None;
+        }
+        self.seeded_scans
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        Some(entry.seed.clone())
+    }
+
+    /// Records a completed pass's final chains for one target. First
+    /// writer wins; an existing entry is left untouched (identical passes
+    /// record identical chains, so which racer lands is unobservable).
+    pub(crate) fn record(
+        &self,
+        cell: &CellDefinition,
+        tech: &TechnologyParams,
+        config: &crate::ArrayConfig,
+        target: OptimizationTarget,
+        seed: TargetSeed,
+    ) {
+        let key = SeedKey::new(cell, tech, config, target);
+        let mut entries = self.entries.write().expect("seed store poisoned");
+        if let std::collections::hash_map::Entry::Vacant(vacant) = entries.entry(key) {
+            vacant.insert(Arc::new(SeedEntry {
+                cell: cell.clone(),
+                seed,
+            }));
+            self.recorded
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+    }
+}
+
+impl std::fmt::Debug for IncumbentStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("IncumbentStore")
+            .field("entries", &self.len())
+            .field("recorded", &stats.recorded)
+            .field("seeded_scans", &stats.seeded_scans)
+            .finish()
     }
 }
 

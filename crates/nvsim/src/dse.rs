@@ -14,7 +14,7 @@
 //! result.
 
 use crate::bank::{Bank, Organization};
-use crate::bounds::BoundContext;
+use crate::bounds::{BoundContext, IncumbentStore, TargetSeed};
 use crate::cache::SubarrayCache;
 use crate::result::{ArrayCharacterization, OptimizationTarget};
 use crate::subarray::Subarray;
@@ -208,6 +208,30 @@ impl TargetScan {
         }
     }
 
+    /// A scan whose incumbents start at a prior identical pass's **final**
+    /// chains ([`TargetSeed`]). The scan then behaves exactly as if it had
+    /// already visited the winning candidates: no later candidate scores
+    /// strictly below a recorded minimum, and equal scores never displace
+    /// an incumbent (first-strictly-better rule), so the final winner is
+    /// byte-identical to the cold scan's — while [`Self::provably_loses`]
+    /// prunes against the final winner from the first candidate on.
+    fn seeded(target: OptimizationTarget, seed: TargetSeed) -> Self {
+        Self {
+            target,
+            best: seed.best,
+            best_unconstrained: seed.best_unconstrained,
+        }
+    }
+
+    /// The scan's final chains, cloned for recording into an
+    /// [`IncumbentStore`].
+    fn to_seed(&self) -> TargetSeed {
+        TargetSeed {
+            best: self.best.clone(),
+            best_unconstrained: self.best_unconstrained.clone(),
+        }
+    }
+
     /// Offers one characterized candidate, replicating the exhaustive
     /// scan's first-strictly-better update rule (so ties resolve to the
     /// earlier candidate, identically).
@@ -277,6 +301,35 @@ pub fn optimize_targets_cached(
     targets: &[OptimizationTarget],
     cache: Option<&SubarrayCache>,
 ) -> Result<Vec<ArrayCharacterization>, CharacterizationError> {
+    optimize_targets_seeded(cell, config, targets, cache, None)
+}
+
+/// [`optimize_targets_cached`] with cross-pass incumbent seeding.
+///
+/// With `seeds` present, each target's scan starts from the **final**
+/// incumbent chains a prior *identical* pass recorded — same cell,
+/// technology node, programming depth, capacity, and word width
+/// ([`IncumbentStore`] keys on exactly those, so non-overlapping design
+/// points simply run cold). A seed carries the recorded winning bank, so
+/// the scan behaves as if it had already visited the winner: winners stay
+/// byte-identical to a cold scan (proptested in
+/// `tests/prune_equivalence.rs`), while the pre-tightened incumbents let
+/// the score bounds prune every candidate that cannot beat the final
+/// winner — on a fully warm pass that is every candidate whose bound
+/// reaches the winning score, pushing the prune rate well above the cold
+/// scan's. Completed passes record their chains back into the store
+/// (write-once), so a multi-study queue warms itself as it runs.
+///
+/// # Errors
+///
+/// Same conditions as [`optimize`]; a failed pass records nothing.
+pub fn optimize_targets_seeded(
+    cell: &CellDefinition,
+    config: &ArrayConfig,
+    targets: &[OptimizationTarget],
+    cache: Option<&SubarrayCache>,
+    seeds: Option<&IncumbentStore>,
+) -> Result<Vec<ArrayCharacterization>, CharacterizationError> {
     if targets.is_empty() {
         return Ok(Vec::new());
     }
@@ -299,7 +352,15 @@ pub fn optimize_targets_cached(
     // One outer-map access per pass; candidate lookups inside the session
     // are a pre-computed slot index plus an atomic load.
     let mut session = cache.map(|cache| cache.session(cell, &tech, config.bits_per_cell));
-    let mut scans: Vec<TargetScan> = targets.iter().map(|&t| TargetScan::new(t)).collect();
+    let mut scans: Vec<TargetScan> = targets
+        .iter()
+        .map(
+            |&t| match seeds.and_then(|store| store.lookup(cell, &tech, config, t)) {
+                Some(seed) => TargetScan::seeded(t, seed),
+                None => TargetScan::new(t),
+            },
+        )
+        .collect();
     for (org, slot) in orgs {
         // Branch and bound: skip full characterization when every target's
         // bound proves the candidate a non-winner. The bound check runs in
@@ -330,19 +391,28 @@ pub fn optimize_targets_cached(
             scan.offer(&bank);
         }
     }
-    scans
-        .into_iter()
-        .map(|scan| {
-            let target = scan.target;
-            let bank =
-                scan.into_winner()
-                    .ok_or_else(|| CharacterizationError::NoValidOrganization {
-                        cell: cell.name.clone(),
-                        capacity: config.capacity,
-                    })?;
-            Ok(package(cell, config, bank, target))
-        })
-        .collect()
+    let mut results = Vec::with_capacity(scans.len());
+    for scan in scans {
+        let target = scan.target;
+        // Record before consuming the scan; the write is deferred until
+        // every target resolved, so a failed pass records nothing.
+        let seed = seeds.map(|_| scan.to_seed());
+        let bank =
+            scan.into_winner()
+                .ok_or_else(|| CharacterizationError::NoValidOrganization {
+                    cell: cell.name.clone(),
+                    capacity: config.capacity,
+                })?;
+        results.push((target, seed, package(cell, config, bank, target)));
+    }
+    if let Some(store) = seeds {
+        for (target, seed, _) in &results {
+            if let Some(seed) = seed {
+                store.record(cell, &tech, config, *target, seed.clone());
+            }
+        }
+    }
+    Ok(results.into_iter().map(|(_, _, array)| array).collect())
 }
 
 /// The exhaustive (PR 2–4) scan: characterizes **every** candidate into a

@@ -47,6 +47,7 @@ pub mod technology;
 pub mod wire;
 
 pub use bank::Organization;
+pub use bounds::{IncumbentStore, SeedStats};
 pub use cache::{CacheStats, SubarrayCache};
 pub use result::{ArrayCharacterization, OptimizationTarget};
 
@@ -208,6 +209,30 @@ pub fn characterize_targets_cached(
     cache: &SubarrayCache,
 ) -> Result<Vec<ArrayCharacterization>, CharacterizationError> {
     dse::optimize_targets_cached(cell, config, targets, Some(cache))
+}
+
+/// [`characterize_targets_cached`] with cross-pass incumbent seeding.
+///
+/// Alongside the subarray-physics memoization, each target's
+/// branch-and-bound scan starts from the final incumbents a prior
+/// *identical* pass (same cell, node, programming depth, capacity, and word
+/// width) recorded into `seeds`. Seeding only tightens the score bounds, so
+/// winners stay byte-identical to a cold scan while a warm pass prunes
+/// every candidate the final winner dominates. Completed passes record
+/// their own incumbents back into the store, warming later studies that
+/// share design points.
+///
+/// # Errors
+///
+/// Same conditions as [`characterize`].
+pub fn characterize_targets_seeded(
+    cell: &CellDefinition,
+    config: &ArrayConfig,
+    targets: &[OptimizationTarget],
+    cache: &SubarrayCache,
+    seeds: &IncumbentStore,
+) -> Result<Vec<ArrayCharacterization>, CharacterizationError> {
+    dse::optimize_targets_seeded(cell, config, targets, Some(cache), Some(seeds))
 }
 
 /// Characterizes `cell` under every optimization target (paper Fig. 3 shows

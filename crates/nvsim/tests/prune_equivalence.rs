@@ -8,8 +8,8 @@ use nvmx_celldb::{survey, tentpole};
 use nvmx_nvsim::bounds::BoundContext;
 use nvmx_nvsim::dse::{enumerate_organizations, optimize_targets_unpruned};
 use nvmx_nvsim::{
-    characterize_targets, characterize_targets_cached, ArrayConfig, OptimizationTarget,
-    SubarrayCache,
+    characterize_targets, characterize_targets_cached, characterize_targets_seeded, ArrayConfig,
+    IncumbentStore, OptimizationTarget, SubarrayCache,
 };
 use nvmx_units::{BitsPerCell, Capacity};
 use proptest::prelude::*;
@@ -62,6 +62,56 @@ proptest! {
             _ => prop_assert!(
                 false,
                 "pruning flipped success/failure for {} at {}",
+                &cell.name,
+                config.capacity
+            ),
+        }
+    }
+
+    /// Cross-pass incumbent seeding must not move a bit either: a
+    /// recording pass (cold store) and a fully warm pass (seeded from the
+    /// recording pass's winners) both return exactly what the unseeded
+    /// scan returns, for random cells, capacities, depths, and target
+    /// subsets.
+    #[test]
+    fn seeded_winners_are_bit_identical_to_cold(
+        cell_pick in 0usize..64,
+        cap_exp in 0u32..4,
+        depth_pick in 0usize..2,
+        target_mask in 1u32..256,
+    ) {
+        let cells = tentpole::tentpoles(survey::database());
+        let cell = &cells[cell_pick % cells.len()];
+        let depth = [BitsPerCell::Slc, BitsPerCell::Mlc2][depth_pick];
+        let targets = target_subset(target_mask);
+        let config = ArrayConfig::new(Capacity::from_mebibytes(1 << cap_exp))
+            .with_bits_per_cell(depth);
+
+        let cold_cache = SubarrayCache::new();
+        let cold = characterize_targets_cached(cell, &config, &targets, &cold_cache);
+
+        let warm_cache = SubarrayCache::new();
+        let seeds = IncumbentStore::new();
+        let recording = characterize_targets_seeded(cell, &config, &targets, &warm_cache, &seeds);
+        let warm = characterize_targets_seeded(cell, &config, &targets, &warm_cache, &seeds);
+
+        match (cold, recording, warm) {
+            (Ok(reference), Ok(recording), Ok(warm)) => {
+                prop_assert_eq!(
+                    &reference, &recording,
+                    "recording pass diverged for {}", &cell.name
+                );
+                prop_assert_eq!(&reference, &warm, "warm pass diverged for {}", &cell.name);
+                prop_assert_eq!(seeds.len(), targets.len(), "one seed per target");
+            }
+            (Err(reference), Err(recording), Err(warm)) => {
+                prop_assert_eq!(&reference, &recording);
+                prop_assert_eq!(&reference, &warm);
+                prop_assert!(seeds.is_empty(), "failed passes must record nothing");
+            }
+            _ => prop_assert!(
+                false,
+                "seeding flipped success/failure for {} at {}",
                 &cell.name,
                 config.capacity
             ),
@@ -142,4 +192,85 @@ fn pruning_skips_most_candidates_on_the_default_design_point() {
         stats.pruned,
         candidates
     );
+}
+
+/// The warm-pass payoff: re-running the default design point seeded from
+/// its own recorded winners returns identical results while pruning
+/// strictly more candidates than the cold pass — the bound check now
+/// compares against the final winner from candidate one.
+#[test]
+fn warm_pass_prunes_strictly_more_with_identical_results() {
+    let cell = tentpole::tentpole_cell(
+        nvmx_celldb::TechnologyClass::Stt,
+        nvmx_celldb::CellFlavor::Optimistic,
+    )
+    .unwrap();
+    let config = ArrayConfig::new(Capacity::from_mebibytes(2));
+    let cache = SubarrayCache::new();
+    let seeds = IncumbentStore::new();
+
+    let cold =
+        characterize_targets_seeded(&cell, &config, &OptimizationTarget::ALL, &cache, &seeds)
+            .unwrap();
+    let cold_stats = cache.stats();
+    assert_eq!(seeds.len(), OptimizationTarget::ALL.len());
+    assert_eq!(seeds.stats().recorded, OptimizationTarget::ALL.len() as u64);
+
+    let warm =
+        characterize_targets_seeded(&cell, &config, &OptimizationTarget::ALL, &cache, &seeds)
+            .unwrap();
+    let warm_stats = cache.stats().since(cold_stats);
+    assert_eq!(cold, warm, "seeding must not change a single winner");
+    assert_eq!(
+        seeds.stats().seeded_scans,
+        OptimizationTarget::ALL.len() as u64,
+        "the warm pass seeds every target's scan"
+    );
+
+    let candidates = enumerate_organizations(&config).len() as u64;
+    assert_eq!(
+        warm_stats.candidates(),
+        candidates,
+        "hits + misses + pruned still account for every candidate"
+    );
+    assert!(
+        warm_stats.prune_rate() > cold_stats.prune_rate(),
+        "warm prune rate {:.3} must exceed cold {:.3}",
+        warm_stats.prune_rate(),
+        cold_stats.prune_rate()
+    );
+}
+
+/// Seeds key on the full design point: a different capacity shares no
+/// incumbents, runs exactly as cold, and records its own entries.
+#[test]
+fn different_capacity_never_seeds() {
+    let cell = tentpole::tentpole_cell(
+        nvmx_celldb::TechnologyClass::Rram,
+        nvmx_celldb::CellFlavor::Pessimistic,
+    )
+    .unwrap();
+    let seeds = IncumbentStore::new();
+    let cache = SubarrayCache::new();
+    let two = ArrayConfig::new(Capacity::from_mebibytes(2));
+    let four = ArrayConfig::new(Capacity::from_mebibytes(4));
+
+    characterize_targets_seeded(&cell, &two, &OptimizationTarget::ALL, &cache, &seeds).unwrap();
+    let recorded_after_first = seeds.stats().recorded;
+
+    let seeded =
+        characterize_targets_seeded(&cell, &four, &OptimizationTarget::ALL, &cache, &seeds)
+            .unwrap();
+    assert_eq!(
+        seeds.stats().seeded_scans,
+        0,
+        "a 4 MiB pass must not look warm from 2 MiB seeds"
+    );
+    assert_eq!(
+        seeds.stats().recorded,
+        recorded_after_first + OptimizationTarget::ALL.len() as u64,
+        "the new design point records its own seeds"
+    );
+    let cold = characterize_targets_cached(&cell, &four, &OptimizationTarget::ALL, &cache).unwrap();
+    assert_eq!(seeded, cold);
 }

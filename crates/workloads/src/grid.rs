@@ -1,0 +1,148 @@
+//! Structure-of-arrays view of a resolved traffic set.
+//!
+//! A study's evaluation product applies each array's evaluation kernel to
+//! every [`TrafficPattern`] of the resolved traffic set. In the
+//! array-of-structs form every application chases a pattern record (name
+//! string, three scalars) per traffic point, per array. A [`TrafficGrid`]
+//! transposes the set once — one contiguous `f64`/`u64` lane per field —
+//! so a batched kernel application streams over columnar lanes instead:
+//! contiguous loads, no string-bearing records on the hot path, and loop
+//! bodies the compiler can vectorize.
+//!
+//! The lanes hold exactly the values the scalar evaluation path reads —
+//! including the precomputed access rates, which are pure functions of the
+//! pattern ([`TrafficPattern::read_accesses_per_sec`]) and therefore the
+//! same bit patterns the scalar path derives per call. Batched and scalar
+//! evaluation stay bit-identical by construction.
+
+use crate::traffic::TrafficPattern;
+use std::sync::Arc;
+
+/// Columnar (structure-of-arrays) lanes over a traffic set, built once per
+/// study from the resolved `Vec<TrafficPattern>`.
+///
+/// Lane `i` of every column describes the same pattern as `patterns()[i]`;
+/// the shared [`Arc`] records are kept so evaluations can still hold the
+/// pattern behind a pointer clone.
+#[derive(Debug, Clone)]
+pub struct TrafficGrid {
+    patterns: Vec<Arc<TrafficPattern>>,
+    read_bytes_per_sec: Vec<f64>,
+    write_bytes_per_sec: Vec<f64>,
+    access_bytes: Vec<u64>,
+    read_accesses_per_sec: Vec<f64>,
+    write_accesses_per_sec: Vec<f64>,
+}
+
+impl TrafficGrid {
+    /// Builds the grid from already-shared patterns (the sweep engine's
+    /// form — each evaluation clones the `Arc`, never the record).
+    pub fn from_shared(patterns: Vec<Arc<TrafficPattern>>) -> Self {
+        let read_bytes_per_sec = patterns.iter().map(|p| p.read_bytes_per_sec).collect();
+        let write_bytes_per_sec = patterns.iter().map(|p| p.write_bytes_per_sec).collect();
+        let access_bytes = patterns.iter().map(|p| p.access_bytes).collect();
+        // Precomputed per lane: pure functions of the pattern, so these are
+        // the exact bit patterns the scalar path computes per application.
+        let read_accesses_per_sec = patterns.iter().map(|p| p.read_accesses_per_sec()).collect();
+        let write_accesses_per_sec = patterns
+            .iter()
+            .map(|p| p.write_accesses_per_sec())
+            .collect();
+        Self {
+            patterns,
+            read_bytes_per_sec,
+            write_bytes_per_sec,
+            access_bytes,
+            read_accesses_per_sec,
+            write_accesses_per_sec,
+        }
+    }
+
+    /// Builds the grid from plain patterns, sharing each behind an [`Arc`].
+    pub fn new(patterns: &[TrafficPattern]) -> Self {
+        Self::from_shared(patterns.iter().map(|p| Arc::new(p.clone())).collect())
+    }
+
+    /// Number of traffic lanes.
+    pub fn len(&self) -> usize {
+        self.patterns.len()
+    }
+
+    /// `true` when the grid has no lanes.
+    pub fn is_empty(&self) -> bool {
+        self.patterns.is_empty()
+    }
+
+    /// The shared pattern records, in lane order.
+    pub fn patterns(&self) -> &[Arc<TrafficPattern>] {
+        &self.patterns
+    }
+
+    /// Sustained read traffic per lane, bytes per second.
+    pub fn read_bytes_per_sec(&self) -> &[f64] {
+        &self.read_bytes_per_sec
+    }
+
+    /// Sustained write traffic per lane, bytes per second.
+    pub fn write_bytes_per_sec(&self) -> &[f64] {
+        &self.write_bytes_per_sec
+    }
+
+    /// Access granularity per lane, bytes per access.
+    pub fn access_bytes(&self) -> &[u64] {
+        &self.access_bytes
+    }
+
+    /// Read accesses per second per lane
+    /// (`read_bytes_per_sec / access_bytes`).
+    pub fn read_accesses_per_sec(&self) -> &[f64] {
+        &self.read_accesses_per_sec
+    }
+
+    /// Write accesses per second per lane
+    /// (`write_bytes_per_sec / access_bytes`).
+    pub fn write_accesses_per_sec(&self) -> &[f64] {
+        &self.write_accesses_per_sec
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::traffic::generic_graph_sweep;
+
+    #[test]
+    fn lanes_mirror_the_pattern_records_bit_for_bit() {
+        let patterns = generic_graph_sweep(5, 5);
+        let grid = TrafficGrid::new(&patterns);
+        assert_eq!(grid.len(), patterns.len());
+        for (i, p) in patterns.iter().enumerate() {
+            assert_eq!(grid.patterns()[i].as_ref(), p);
+            assert_eq!(
+                grid.read_bytes_per_sec()[i].to_bits(),
+                p.read_bytes_per_sec.to_bits()
+            );
+            assert_eq!(
+                grid.write_bytes_per_sec()[i].to_bits(),
+                p.write_bytes_per_sec.to_bits()
+            );
+            assert_eq!(grid.access_bytes()[i], p.access_bytes);
+            assert_eq!(
+                grid.read_accesses_per_sec()[i].to_bits(),
+                p.read_accesses_per_sec().to_bits()
+            );
+            assert_eq!(
+                grid.write_accesses_per_sec()[i].to_bits(),
+                p.write_accesses_per_sec().to_bits()
+            );
+        }
+    }
+
+    #[test]
+    fn empty_and_single_lane_grids() {
+        assert!(TrafficGrid::new(&[]).is_empty());
+        let one = TrafficGrid::new(&[TrafficPattern::new("t", 1.0e9, 0.0, 64)]);
+        assert_eq!(one.len(), 1);
+        assert_eq!(one.write_accesses_per_sec()[0], 0.0);
+    }
+}

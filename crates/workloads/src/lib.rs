@@ -12,7 +12,9 @@
 //! * [`cache`] — a trace-driven 16 MiB set-associative write-back LLC with
 //!   SPEC CPU2017-class synthetic benchmark profiles;
 //! * [`traffic`] — the common [`TrafficPattern`] currency plus the paper's
-//!   generic traffic sweeps.
+//!   generic traffic sweeps;
+//! * [`grid`] — the structure-of-arrays [`TrafficGrid`] the sweep engine
+//!   batches evaluations over.
 //!
 //! # Examples
 //!
@@ -29,8 +31,10 @@ pub mod cache;
 pub mod dataset;
 pub mod dnn;
 pub mod graph;
+pub mod grid;
 pub mod nn;
 pub mod tensor;
 pub mod traffic;
 
+pub use grid::TrafficGrid;
 pub use traffic::TrafficPattern;
