@@ -1,6 +1,6 @@
 //! Records the sweep-engine performance trajectory into `BENCH_sweep.json`.
 //!
-//! Four measurement groups:
+//! Measurement groups:
 //!
 //! - **`three_target`** (the PR 1 comparison, kept as the trajectory
 //!   baseline): the 3-target default study under the pre-overhaul
@@ -27,6 +27,12 @@
 //!   under the PR 2–4 reference engine, the PR 5 scalar-kernel engine, and
 //!   the current batched (structure-of-arrays) engine, with prune rate,
 //!   kernel reuse, and evaluation throughput recorded and gated.
+//! - **`fault_campaign`** (the PR 7 target): a fault-injection campaign
+//!   layered over the 3-target study — every default cell at both
+//!   programming depths and two operating temperatures plus a raw-BER
+//!   point, a few seeded trials each, through
+//!   `StudyExecutor::run_fault` — with determinism across thread counts
+//!   asserted and end-to-end trial throughput recorded and floor-gated.
 //! - **`multi_study` seeded queue** (the PR 6 seeding target): the same
 //!   campaign queue run once more through one shared [`IncumbentStore`]
 //!   (single lane, so warmth is deterministic): studies whose design
@@ -58,8 +64,11 @@
 //! counts are recorded in the report, so trajectory numbers are
 //! self-describing.
 
-use nvmexplorer_core::config::{ArraySettings, CellSelection, StudyConfig, TrafficSpec};
+use nvmexplorer_core::config::{
+    ArraySettings, CellSelection, FaultSpec, FaultStudyConfig, StudyConfig, TrafficSpec,
+};
 use nvmexplorer_core::scheduler::StudyScheduler;
+use nvmexplorer_core::stream::{NullSink, StudyExecutor};
 use nvmexplorer_core::sweep::{self, baseline};
 use nvmx_nvsim::{IncumbentStore, OptimizationTarget, SubarrayCache};
 use nvmx_units::BitsPerCell;
@@ -90,6 +99,13 @@ const SEEDED_PRUNE_FLOOR: f64 = 0.60;
 /// slower machines while still catching an order-of-magnitude regression
 /// (e.g. losing the batched path or re-deriving rates per pair).
 const EVALS_PER_SEC_FLOOR: f64 = 100_000.0;
+
+/// Floor on the fault campaign's end-to-end injection-trial throughput
+/// (trials per second through `run_fault`, best row — classifier
+/// corruption, reload, and re-evaluation included). Release-mode trials
+/// run three orders of magnitude above this; the floor only catches a
+/// gross regression such as rebuilding the classifier per trial.
+const FAULT_TRIALS_PER_SEC_FLOOR: f64 = 5.0;
 
 fn generic_traffic() -> TrafficSpec {
     TrafficSpec::GenericSweep {
@@ -172,6 +188,28 @@ fn large_campaign_study() -> StudyConfig {
         },
         constraints: Default::default(),
         output: Default::default(),
+    }
+}
+
+/// The reliability-campaign shape the fault engine exists for: the
+/// 3-target study with a fault section sweeping every default cell at
+/// both programming depths and two operating temperatures, plus one
+/// raw-BER point — 58 expanded models, a couple of seeded injection
+/// trials each, so the corrupt/reload/re-evaluate loop dominates the
+/// base study by a wide margin.
+fn fault_campaign() -> FaultStudyConfig {
+    let mut study = three_target_study();
+    study.name = "bench-fault-campaign".into();
+    FaultStudyConfig {
+        study,
+        fault: FaultSpec {
+            trials: 2,
+            seed: 2022,
+            bits_per_cell: vec![BitsPerCell::Slc, BitsPerCell::Mlc2],
+            temperatures_c: vec![25.0, 85.0],
+            raw_bers: vec![1.0e-3],
+            tolerance: 0.05,
+        },
     }
 }
 
@@ -327,6 +365,29 @@ fn main() {
         total
     };
 
+    // --- Fault campaign: warm the shared classifier, then check that the
+    // slot-seeded trial fan-out is thread-count invariant before timing.
+    // (`baseline_accuracy` forces the one-time classifier build so the
+    // quick mode's single unwarmed rep times the campaign, not training.)
+    let fault = fault_campaign();
+    let _ = nvmexplorer_core::accuracy::baseline_accuracy();
+    let fault_reference = StudyExecutor::with_threads(8)
+        .run_fault(&fault, &mut NullSink)
+        .expect("fault campaign runs");
+    let fault_single = StudyExecutor::with_threads(1)
+        .run_fault(&fault, &mut NullSink)
+        .expect("single-thread fault campaign runs");
+    assert_eq!(
+        fault_reference, fault_single,
+        "fault campaign diverged across thread counts; refusing to record bench"
+    );
+    let fault_base = sweep::run_study_with_threads(&fault.study, 8).expect("base study runs");
+    assert_eq!(
+        fault_reference.study.arrays, fault_base.arrays,
+        "fault campaign's base study diverged from a plain run; refusing to record bench"
+    );
+    assert_eq!(fault_reference.study.evaluations, fault_base.evaluations);
+
     // --- Cache + prune behavior on the multi-capacity study ---------------
     let cache = SubarrayCache::new();
     sweep::run_study_with_cache(&multi, 8, &cache).expect("cached run for stats");
@@ -435,6 +496,16 @@ fn main() {
             assert!(report.all_succeeded());
         });
         study_rows.push((workers, sequential_ms, scheduler_ms));
+    }
+
+    // --- fault_campaign group (the PR 7 target) ----------------------------
+    let mut fault_rows = Vec::new();
+    for threads in [1usize, 8] {
+        let executor = StudyExecutor::with_threads(threads);
+        let current_ms = median_ms(reps_large, || {
+            drop(executor.run_fault(&fault, &mut NullSink).unwrap());
+        });
+        fault_rows.push((threads, current_ms));
     }
 
     let mut json = String::from("{\n");
@@ -679,6 +750,40 @@ fn main() {
             if i + 1 < study_rows.len() { "," } else { "" }
         );
     }
+    json.push_str("    ]\n  },\n");
+
+    json.push_str("  \"fault_campaign\": {\n");
+    json.push_str(
+        "    \"campaign\": \"fault study over the 3-target default study (14 cells x SLC+MLC2 x 25/85 C cell-derived models + 1 raw-BER point, 2 seeded trials per model)\",\n",
+    );
+    json.push_str(
+        "    \"engine\": \"StudyExecutor::run_fault — slot-seeded injection trials fanned out on lanes; each trial corrupts, reloads, and re-evaluates the shared int8 classifier\",\n",
+    );
+    let _ = writeln!(
+        json,
+        "    \"models\": {},",
+        fault_reference.fault.stats.models
+    );
+    let _ = writeln!(
+        json,
+        "    \"trials\": {},",
+        fault_reference.fault.stats.trials
+    );
+    let _ = writeln!(
+        json,
+        "    \"degraded\": {},",
+        fault_reference.fault.stats.degraded
+    );
+    json.push_str("    \"results_ms_median\": [\n");
+    for (i, (threads, current_ms)) in fault_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"threads\": {threads}, \"current_ms\": {current_ms:.2}, \"trials_per_sec\": {:.1}, \"oversubscribed\": {}}}{}",
+            evaluations_per_sec(fault_reference.fault.trials.len(), *current_ms),
+            *threads > parallelism,
+            if i + 1 < fault_rows.len() { "," } else { "" }
+        );
+    }
     json.push_str("    ]\n  }\n}\n");
 
     nvmx_bench::campaign::write_file_atomic(std::path::Path::new(&out_path), json.as_bytes())
@@ -713,6 +818,17 @@ fn main() {
         campaign_stats.prune_rate() * 100.0,
         seed_store_stats.seeded_scans,
         seed_store_stats.recorded
+    );
+    let fault_best_trials_per_sec = fault_rows
+        .iter()
+        .map(|(_, ms)| evaluations_per_sec(fault_reference.fault.trials.len(), *ms))
+        .fold(0.0f64, f64::max);
+    eprintln!(
+        "fault campaign ({} models, {} trials, {} degraded): best {:.1} trials/s end-to-end",
+        fault_reference.fault.stats.models,
+        fault_reference.fault.stats.trials,
+        fault_reference.fault.stats.degraded,
+        fault_best_trials_per_sec
     );
     // --- Hard gates (machine-independent; enforced even under --quick) ----
     assert!(
@@ -769,5 +885,11 @@ fn main() {
     assert!(
         best_evals_per_sec >= EVALS_PER_SEC_FLOOR,
         "large-campaign evaluation throughput {best_evals_per_sec:.0}/s fell below the {EVALS_PER_SEC_FLOOR:.0}/s floor"
+    );
+    // Fault-campaign throughput floor: trips only if the trial loop regains
+    // per-trial setup cost (e.g. rebuilding the classifier per injection).
+    assert!(
+        fault_best_trials_per_sec >= FAULT_TRIALS_PER_SEC_FLOOR,
+        "fault-campaign trial throughput {fault_best_trials_per_sec:.1}/s fell below the {FAULT_TRIALS_PER_SEC_FLOOR:.1}/s floor"
     );
 }

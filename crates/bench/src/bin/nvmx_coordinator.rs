@@ -17,6 +17,20 @@
 //! over supervisor lanes with the same lock-free queue discipline as
 //! `core::scheduler::StudyScheduler`.
 //!
+//! Fault-injection campaigns (configs with a top-level `fault` section)
+//! are first-class: the fault stream shards, merges, resumes, and replays
+//! exactly like a plain study — per-trial injection seeds ride the wire,
+//! so a respawned worker's trials are bit-identical — and the summary and
+//! `--fault-csv` artifacts diff clean against the in-process `run` binary.
+//!
+//! Failure handling goes beyond death: a shard that owns the next
+//! expected slot but emits nothing for `--shard-stall-timeout` seconds is
+//! declared hung, killed, and respawned (with deterministic exponential
+//! `--respawn-backoff`); a shard that exhausts `--max-respawns` degrades
+//! gracefully — one final recovery worker with every injection hook
+//! disarmed re-covers its residue class, and the degradation is reported
+//! in the run summary.
+//!
 //! `replay` strictly re-reads a captured `.jsonl` (rejecting unknown
 //! versions, out-of-order or duplicate slots, and truncation) and rebuilds
 //! the byte-identical `StudyResult` via `StudyResultBuilder`, optionally
@@ -30,22 +44,30 @@
 //!
 //! Exit codes: `0` success, `1` runtime failure, `2` usage/config error.
 
-use nvmexplorer_core::config::StudyConfig;
+use nvmexplorer_core::config::CampaignConfig;
+use nvmexplorer_core::fault_study::FaultOutcome;
 use nvmexplorer_core::scheduler::run_on_lanes;
 use nvmexplorer_core::sweep::StudyResult;
 use nvmexplorer_core::wire::{EventReplayer, OwnedStudyEvent, SlotMerger, WireFrame};
-use nvmx_bench::campaign::{load_config, results_csv, summary_line};
+use nvmx_bench::campaign::{
+    fault_csv, fault_summary_line, load_campaign, results_csv, summary_line,
+};
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
-use std::process::{Command, Stdio};
-use std::sync::mpsc;
+use std::process::{Child, Command, Stdio};
+use std::sync::mpsc::{self, RecvTimeoutError};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 const USAGE: &str = "usage:
   nvmx-coordinator run --config <study.json> [--config <more.json> ...]
       [--workers N] [--threads T] [--lanes L] [--capture DIR]
-      [--worker-bin PATH] [--inject-die SHARD:FRAMES] [--max-respawns K]
+      [--worker-bin PATH] [--max-respawns K] [--respawn-backoff MS]
+      [--shard-stall-timeout SECS]
+      [--inject-die SHARD:FRAMES] [--inject-die-always]
+      [--inject-stall SHARD:FRAMES]
   nvmx-coordinator replay --input <capture.jsonl>
-      [--config <study.json>] [--csv PATH]";
+      [--config <study.json>] [--csv PATH] [--fault-csv PATH]";
 
 fn main() {
     let mut args = std::env::args().skip(1);
@@ -70,8 +92,23 @@ struct RunOptions {
     capture: Option<PathBuf>,
     worker_bin: PathBuf,
     inject_die: Option<(u64, u64)>,
+    /// Re-arm `--inject-die` on every respawn of the victim shard, so its
+    /// respawn budget deterministically exhausts — the graceful-degradation
+    /// test hook.
+    inject_die_always: bool,
+    inject_stall: Option<(u64, u64)>,
     max_respawns: u32,
+    /// Base of the deterministic exponential respawn backoff:
+    /// `base · 2^(attempt-1)` ms, capped at [`MAX_BACKOFF_MS`]. Zero (the
+    /// default) respawns immediately.
+    respawn_backoff_ms: u64,
+    /// A shard that owns the next expected slot but emits nothing for this
+    /// long is declared hung, killed, and respawned like a dead one.
+    stall_timeout: Duration,
 }
+
+/// Ceiling on one backoff sleep, however high the attempt count climbs.
+const MAX_BACKOFF_MS: u64 = 10_000;
 
 fn parse_run_args(args: Vec<String>) -> Result<RunOptions, String> {
     let mut configs = Vec::new();
@@ -81,7 +118,11 @@ fn parse_run_args(args: Vec<String>) -> Result<RunOptions, String> {
     let mut capture = None;
     let mut worker_bin = None;
     let mut inject_die = None;
+    let mut inject_die_always = false;
+    let mut inject_stall = None;
     let mut max_respawns = 3;
+    let mut respawn_backoff_ms = 0;
+    let mut stall_timeout = Duration::from_secs(300);
     let mut args = args.into_iter();
     while let Some(flag) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
@@ -111,23 +152,32 @@ fn parse_run_args(args: Vec<String>) -> Result<RunOptions, String> {
             "--capture" => capture = Some(PathBuf::from(value("--capture")?)),
             "--worker-bin" => worker_bin = Some(PathBuf::from(value("--worker-bin")?)),
             "--inject-die" => {
-                let spec = value("--inject-die")?;
-                let (shard, frames) = spec
-                    .split_once(':')
-                    .ok_or_else(|| format!("--inject-die `{spec}` is not SHARD:FRAMES"))?;
-                inject_die = Some((
-                    shard
-                        .parse::<u64>()
-                        .map_err(|_| "--inject-die shard must be an unsigned integer")?,
-                    frames
-                        .parse::<u64>()
-                        .map_err(|_| "--inject-die frames must be an unsigned integer")?,
-                ));
+                inject_die = Some(parse_injection("--inject-die", &value("--inject-die")?)?);
+            }
+            "--inject-die-always" => inject_die_always = true,
+            "--inject-stall" => {
+                inject_stall = Some(parse_injection(
+                    "--inject-stall",
+                    &value("--inject-stall")?,
+                )?);
             }
             "--max-respawns" => {
                 max_respawns = value("--max-respawns")?
                     .parse::<u32>()
                     .map_err(|_| "--max-respawns expects an unsigned integer".to_owned())?;
+            }
+            "--respawn-backoff" => {
+                respawn_backoff_ms = value("--respawn-backoff")?
+                    .parse::<u64>()
+                    .map_err(|_| "--respawn-backoff expects milliseconds".to_owned())?;
+            }
+            "--shard-stall-timeout" => {
+                let secs = value("--shard-stall-timeout")?
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|s| s.is_finite() && *s > 0.0)
+                    .ok_or("--shard-stall-timeout expects seconds > 0")?;
+                stall_timeout = Duration::from_secs_f64(secs);
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -135,13 +185,21 @@ fn parse_run_args(args: Vec<String>) -> Result<RunOptions, String> {
     if configs.is_empty() {
         return Err("at least one --config is required".to_owned());
     }
-    if let Some((victim, _)) = inject_die {
-        if victim >= workers {
-            return Err(format!(
-                "--inject-die shard {victim} is out of range for --workers {workers} \
-                 (valid shards: 0..{workers})"
-            ));
+    for (flag, spec) in [
+        ("--inject-die", inject_die),
+        ("--inject-stall", inject_stall),
+    ] {
+        if let Some((victim, _)) = spec {
+            if victim >= workers {
+                return Err(format!(
+                    "{flag} shard {victim} is out of range for --workers {workers} \
+                     (valid shards: 0..{workers})"
+                ));
+            }
         }
+    }
+    if inject_die_always && inject_die.is_none() {
+        return Err("--inject-die-always needs --inject-die".to_owned());
     }
     Ok(RunOptions {
         configs,
@@ -151,8 +209,27 @@ fn parse_run_args(args: Vec<String>) -> Result<RunOptions, String> {
         capture,
         worker_bin: worker_bin.unwrap_or_else(default_worker_bin),
         inject_die,
+        inject_die_always,
+        inject_stall,
         max_respawns,
+        respawn_backoff_ms,
+        stall_timeout,
     })
+}
+
+/// Parses a `SHARD:FRAMES` failure-injection spec.
+fn parse_injection(flag: &str, spec: &str) -> Result<(u64, u64), String> {
+    let (shard, frames) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("{flag} `{spec}` is not SHARD:FRAMES"))?;
+    Ok((
+        shard
+            .parse::<u64>()
+            .map_err(|_| format!("{flag} shard must be an unsigned integer"))?,
+        frames
+            .parse::<u64>()
+            .map_err(|_| format!("{flag} frames must be an unsigned integer"))?,
+    ))
 }
 
 /// The worker binary ships next to the coordinator.
@@ -178,8 +255,8 @@ fn cmd_run(args: Vec<String>) -> i32 {
     // worker spawns, with the offending file and section named.
     let mut campaign = Vec::new();
     for path in &options.configs {
-        match load_config(path) {
-            Ok(study) => campaign.push((path.clone(), study)),
+        match load_campaign(path) {
+            Ok(config) => campaign.push((path.clone(), config)),
             Err(e) => {
                 eprintln!("{e}");
                 return 2;
@@ -189,14 +266,14 @@ fn cmd_run(args: Vec<String>) -> i32 {
     // Study names key the capture files (`<dir>/<name>.jsonl`) and the
     // summary lines; duplicates would silently clobber one capture with
     // another (or interleave them under concurrent lanes).
-    for (i, (path, study)) in campaign.iter().enumerate() {
+    for (i, (path, config)) in campaign.iter().enumerate() {
         if let Some((other, _)) = campaign[..i]
             .iter()
-            .find(|(_, earlier)| earlier.name == study.name)
+            .find(|(_, earlier)| earlier.name() == config.name())
         {
             eprintln!(
                 "duplicate study name `{}`: declared by both `{other}` and `{path}`",
-                study.name
+                config.name()
             );
             return 2;
         }
@@ -210,22 +287,30 @@ fn cmd_run(args: Vec<String>) -> i32 {
 
     // Studies are distributed over supervisor lanes exactly like the
     // in-process scheduler distributes them over executor lanes.
-    let outcomes = run_on_lanes(&campaign, options.lanes, |_, (path, study)| {
-        run_distributed_study(path, study, &options)
+    let outcomes = run_on_lanes(&campaign, options.lanes, |_, (path, config)| {
+        run_distributed_study(path, config, &options)
     });
 
     let mut code = 0;
-    for ((path, study), outcome) in campaign.iter().zip(outcomes) {
+    for ((path, config), outcome) in campaign.iter().zip(outcomes) {
+        let study = config.study();
         match outcome {
             Ok(run) => {
-                println!("{}", summary_line(study, &run.result));
+                match &run.fault {
+                    Some(fault) => println!("{}", fault_summary_line(study, &run.result, fault)),
+                    None => println!("{}", summary_line(study, &run.result)),
+                }
                 eprintln!(
-                    "  [{}] {} workers, {} frames merged, {} duplicate slots deduped, {} respawns{}",
+                    "  [{}] {} workers, {} frames merged, {} duplicate slots deduped, {} respawns{}{}",
                     study.name,
                     options.workers,
                     run.frames,
                     run.duplicates,
                     run.respawns,
+                    match run.abandoned {
+                        0 => String::new(),
+                        n => format!(", {n} shards degraded to recovery workers"),
+                    },
                     match &run.capture {
                         Some(p) => format!(", capture -> {}", p.display()),
                         None => String::new(),
@@ -244,9 +329,13 @@ fn cmd_run(args: Vec<String>) -> i32 {
 /// What one distributed study run produced.
 struct DistributedRun {
     result: StudyResult,
+    fault: Option<FaultOutcome>,
     frames: u64,
     duplicates: u64,
     respawns: u32,
+    /// Shards that exhausted their respawn budget and were re-covered by
+    /// an unarmed recovery worker (graceful degradation).
+    abandoned: u32,
     capture: Option<PathBuf>,
 }
 
@@ -273,19 +362,29 @@ enum Msg {
 /// result assembly.)
 const SHARD_QUEUE_CAP: usize = 64;
 
+/// Locks a mutex, riding through poisoning (a reader thread that panicked
+/// while holding the child lock must not take the merge loop down with it
+/// — the child state is a plain handle, valid regardless).
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(|e| e.into_inner())
+}
+
 /// Spawns one worker process for `shard` and a reader thread pumping its
-/// stdout into `tx` (a bounded [`mpsc::sync_channel`]). The reader owns
-/// the child: it reaps it on clean EOF, and kills it when the worker
-/// breaks protocol or when the merge loop is gone — every exit path of
-/// [`run_distributed_study`] drops the receivers, which surfaces to the
-/// reader as a `send` error, so no error path can strand a live worker.
+/// stdout into `tx` (a bounded [`mpsc::sync_channel`]). The child is held
+/// behind a shared kill handle: the reader locks it to kill (protocol
+/// breakage, merge loop gone) and to reap on EOF, while the merge loop
+/// holds a clone so the stall detector can kill a hung worker that will
+/// never EOF on its own. Every exit path of [`run_distributed_study`]
+/// drops the receivers, which surfaces to the reader as a `send` error, so
+/// no error path can strand a live worker.
 fn spawn_shard(
     path: &str,
     shard: u64,
     options: &RunOptions,
     die_after: Option<u64>,
+    stall_after: Option<u64>,
     tx: mpsc::SyncSender<Msg>,
-) -> Result<(), String> {
+) -> Result<Arc<Mutex<Child>>, String> {
     let mut command = Command::new(&options.worker_bin);
     command
         .arg("--config")
@@ -300,6 +399,9 @@ fn spawn_shard(
     if let Some(frames) = die_after {
         command.arg("--die-after").arg(frames.to_string());
     }
+    if let Some(frames) = stall_after {
+        command.arg("--stall-after").arg(frames.to_string());
+    }
     let mut child = command.spawn().map_err(|e| {
         format!(
             "cannot spawn worker `{}`: {e}",
@@ -307,6 +409,8 @@ fn spawn_shard(
         )
     })?;
     let stdout = child.stdout.take().expect("stdout was piped");
+    let handle = Arc::new(Mutex::new(child));
+    let child = Arc::clone(&handle);
     std::thread::spawn(move || {
         let mut ok = true;
         let mut detail = String::new();
@@ -356,9 +460,9 @@ fn spawn_shard(
             }
         }
         if killed {
-            child.kill().ok();
+            lock(&child).kill().ok();
         }
-        let status = child.wait();
+        let status = lock(&child).wait();
         if !killed {
             let exited_ok = matches!(&status, Ok(s) if s.success());
             if ok && !exited_ok {
@@ -371,14 +475,15 @@ fn spawn_shard(
             let _ = tx.send(Msg::Eof { ok, detail });
         }
     });
-    Ok(())
+    Ok(handle)
 }
 
 fn run_distributed_study(
     path: &str,
-    study: &StudyConfig,
+    config: &CampaignConfig,
     options: &RunOptions,
 ) -> Result<DistributedRun, String> {
+    let study = config.study();
     let shards = options.workers;
     let capture_path = options
         .capture
@@ -412,13 +517,25 @@ fn run_distributed_study(
         senders.push(tx);
         receivers.push(rx);
     }
+    let mut handles = Vec::with_capacity(senders.capacity());
     for shard in 0..shards {
         let die_after = options
             .inject_die
             .filter(|&(victim, _)| victim == shard)
             .map(|(_, frames)| frames);
+        let stall_after = options
+            .inject_stall
+            .filter(|&(victim, _)| victim == shard)
+            .map(|(_, frames)| frames);
         let index = usize::try_from(shard).expect("shard fits usize");
-        spawn_shard(path, shard, options, die_after, senders[index].clone())?;
+        handles.push(spawn_shard(
+            path,
+            shard,
+            options,
+            die_after,
+            stall_after,
+            senders[index].clone(),
+        )?);
     }
 
     let mut merger: SlotMerger<(WireFrame, String)> = SlotMerger::new();
@@ -426,7 +543,11 @@ fn run_distributed_study(
     let mut finished = false;
     let mut frames = 0u64;
     let mut respawns = 0u32;
-    let mut attempts = vec![0u32; usize::try_from(shards).expect("shard count fits usize")];
+    let shard_count = usize::try_from(shards).expect("shard count fits usize");
+    let mut attempts = vec![0u32; shard_count];
+    // Shards that exhausted their respawn budget and are now covered by an
+    // unarmed recovery worker. A second failure after that is fatal.
+    let mut abandoned = vec![false; shard_count];
 
     // Slot `seq` can only come from shard `seq % n`, so the merge loop
     // receives exclusively from the shard that owns the next expected
@@ -437,8 +558,29 @@ fn run_distributed_study(
         while !finished {
             let owner = usize::try_from(merger.next_expected() % shards).expect("fits usize");
             // We hold a sender per shard (for respawns), so the channel
-            // can never disconnect under us.
-            match receivers[owner].recv().expect("a sender is always held") {
+            // can never disconnect under us. The timeout is the stall
+            // detector: the owner of the next expected slot emitting
+            // nothing for that long means it is hung (a worker that
+            // *died* EOFs immediately), so it is killed and takes the
+            // same respawn path as a dead one.
+            let msg = match receivers[owner].recv_timeout(options.stall_timeout) {
+                Ok(msg) => msg,
+                Err(RecvTimeoutError::Timeout) => {
+                    eprintln!(
+                        "  [{}] shard {owner}/{shards} stalled (no frame for {:.1}s); killing",
+                        study.name,
+                        options.stall_timeout.as_secs_f64()
+                    );
+                    lock(&handles[owner]).kill().ok();
+                    // The reader sees EOF and reports the death through
+                    // the normal channel; loop back around to handle it.
+                    continue;
+                }
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("a sender is always held")
+                }
+            };
+            match msg {
                 Msg::Frame(boxed) => {
                     let (frame, line) = *boxed;
                     if frame.study != study.name {
@@ -464,7 +606,11 @@ fn run_distributed_study(
                             if let Some(out) = capture.as_mut() {
                                 writeln!(out, "{line}")?;
                             }
-                            if matches!(frame.event, OwnedStudyEvent::StudyFinished { .. }) {
+                            if matches!(
+                                frame.event,
+                                OwnedStudyEvent::StudyFinished { .. }
+                                    | OwnedStudyEvent::FaultStudyFinished { .. }
+                            ) {
                                 finished = true;
                             }
                             replayer.apply(&frame.event, &mut spec_sinks)?;
@@ -486,10 +632,36 @@ fn run_distributed_study(
                 }
                 Msg::Eof { ok: false, detail } => {
                     if attempts[owner] >= options.max_respawns {
-                        return Err(format!(
-                            "shard {owner}/{shards} failed {} times (last: {detail})",
+                        if abandoned[owner] {
+                            return Err(format!(
+                                "shard {owner}/{shards} failed {} times and its recovery \
+                                 worker failed too (last: {detail})",
+                                attempts[owner] + 1
+                            ));
+                        }
+                        // Graceful degradation: the shard's respawn budget
+                        // is spent, but its residue class is recoverable —
+                        // sharding partitions *emission*, not computation,
+                        // so one final worker with every injection hook
+                        // disarmed re-covers the lost slots and the
+                        // campaign completes.
+                        abandoned[owner] = true;
+                        eprintln!(
+                            "  [{}] shard {owner}/{shards} exhausted its respawn budget \
+                             ({} attempts; last: {detail}); degrading to an unarmed \
+                             recovery worker",
+                            study.name,
                             attempts[owner] + 1
-                        ));
+                        );
+                        handles[owner] = spawn_shard(
+                            path,
+                            owner as u64,
+                            options,
+                            None,
+                            None,
+                            senders[owner].clone(),
+                        )?;
+                        continue;
                     }
                     attempts[owner] += 1;
                     respawns += 1;
@@ -497,10 +669,33 @@ fn run_distributed_study(
                         "  [{}] shard {owner}/{shards} died ({detail}); respawning (attempt {})",
                         study.name, attempts[owner]
                     );
-                    // Respawns never re-arm the crash injection; the fresh
-                    // worker re-emits its whole residue class and the
-                    // merger dedups the slots that already arrived.
-                    spawn_shard(path, owner as u64, options, None, senders[owner].clone())?;
+                    // Deterministic exponential backoff before the respawn:
+                    // base · 2^(attempt-1), capped. Zero base (the default)
+                    // respawns immediately.
+                    let backoff = options
+                        .respawn_backoff_ms
+                        .saturating_mul(1u64 << (attempts[owner] - 1).min(31))
+                        .min(MAX_BACKOFF_MS);
+                    if backoff > 0 {
+                        std::thread::sleep(Duration::from_millis(backoff));
+                    }
+                    // Respawns re-arm the crash injection only under
+                    // `--inject-die-always` (the degradation test hook);
+                    // otherwise the fresh worker runs clean, re-emits its
+                    // whole residue class, and the merger dedups the slots
+                    // that already arrived.
+                    let die_after = options
+                        .inject_die
+                        .filter(|&(victim, _)| options.inject_die_always && victim == owner as u64)
+                        .map(|(_, frames)| frames);
+                    handles[owner] = spawn_shard(
+                        path,
+                        owner as u64,
+                        options,
+                        die_after,
+                        None,
+                        senders[owner].clone(),
+                    )?;
                 }
             }
         }
@@ -536,14 +731,16 @@ fn run_distributed_study(
         std::fs::rename(tmp, path)
             .map_err(|e| format!("cannot finalize capture `{}`: {e}", path.display()))?;
     }
-    let result = replayer
-        .finish()
+    let (result, fault) = replayer
+        .finish_parts()
         .ok_or_else(|| "merged stream did not finish".to_owned())?;
     Ok(DistributedRun {
         result,
+        fault,
         frames,
         duplicates: merger.duplicates(),
         respawns,
+        abandoned: abandoned.iter().filter(|&&a| a).count() as u32,
         capture: capture_path,
     })
 }
@@ -554,6 +751,7 @@ fn cmd_replay(args: Vec<String>) -> i32 {
     let mut input = None;
     let mut config = None;
     let mut csv = None;
+    let mut fault_csv_path = None;
     let mut args = args.into_iter();
     while let Some(flag) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
@@ -561,6 +759,7 @@ fn cmd_replay(args: Vec<String>) -> i32 {
             "--input" => value("--input").map(|v| input = Some(v)),
             "--config" => value("--config").map(|v| config = Some(v)),
             "--csv" => value("--csv").map(|v| csv = Some(v)),
+            "--fault-csv" => value("--fault-csv").map(|v| fault_csv_path = Some(v)),
             other => Err(format!("unknown flag `{other}`")),
         };
         if let Err(e) = outcome {
@@ -576,13 +775,14 @@ fn cmd_replay(args: Vec<String>) -> i32 {
         eprintln!("--csv needs --config (the constraint filter lives in the study config)");
         return 2;
     }
-    let study = match config.as_deref().map(load_config).transpose() {
-        Ok(study) => study,
+    let campaign = match config.as_deref().map(load_campaign).transpose() {
+        Ok(campaign) => campaign,
         Err(e) => {
             eprintln!("{e}");
             return 2;
         }
     };
+    let study = campaign.as_ref().map(|c| c.study());
 
     let file = match std::fs::File::open(&input) {
         Ok(file) => file,
@@ -599,6 +799,10 @@ fn cmd_replay(args: Vec<String>) -> i32 {
         }
     };
 
+    if fault_csv_path.is_some() && replay.fault.is_none() {
+        eprintln!("--fault-csv given, but `{input}` is not a fault-campaign capture");
+        return 1;
+    }
     match &study {
         Some(study) => {
             if study.name != replay.study {
@@ -608,7 +812,10 @@ fn cmd_replay(args: Vec<String>) -> i32 {
                 );
                 return 1;
             }
-            println!("{}", summary_line(study, &replay.result));
+            match &replay.fault {
+                Some(fault) => println!("{}", fault_summary_line(study, &replay.result, fault)),
+                None => println!("{}", summary_line(study, &replay.result)),
+            }
             if let Some(csv_path) = csv {
                 let csv_path = Path::new(&csv_path);
                 // `Csv::write_to` creates parent directories itself.
@@ -629,6 +836,15 @@ fn cmd_replay(args: Vec<String>) -> i32 {
                 replay.frames
             );
         }
+    }
+    if let Some(path) = fault_csv_path {
+        let path = Path::new(&path);
+        let fault = replay.fault.as_ref().expect("checked above");
+        if let Err(e) = fault_csv(fault).write_to(path) {
+            eprintln!("cannot write `{}`: {e}", path.display());
+            return 1;
+        }
+        eprintln!("  [{}] fault trials -> {}", replay.study, path.display());
     }
     0
 }

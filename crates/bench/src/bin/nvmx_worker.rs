@@ -17,6 +17,12 @@
 //! nvmx-worker --config config/quickstart.json --shard 0/2 --threads 2
 //! ```
 //!
+//! A config carrying a top-level `fault` section runs as a fault-injection
+//! campaign: the same residue-class sharding applies to the fault stream
+//! (trial slots, verdicts, and the campaign's own terminal event), and the
+//! per-trial injection seeds ride the wire so a respawned replacement is
+//! still bit-identical.
+//!
 //! Flags:
 //! - `--config <path>`   study config JSON (required)
 //! - `--shard I/N`       residue-class shard to emit (default `0/1`)
@@ -25,37 +31,66 @@
 //! - `--die-after K`     crash-test hook: exit(137) after emitting K frames,
 //!   simulating a worker killed mid-run (the coordinator's resume path and
 //!   the CI distributed-smoke job drive this deterministically)
+//! - `--stall-after K`   hang-test hook: after emitting K frames, flush and
+//!   stop making progress (SIGSTOP on unix, a sleep-forever loop otherwise)
+//!   — simulating a live-but-hung worker for the coordinator's stall
+//!   detector
 //!
 //! Exit codes: `0` success, `1` study failed, `2` usage or config error
 //! (config parse failures print the offending section).
 
+use nvmexplorer_core::config::CampaignConfig;
 use nvmexplorer_core::stream::{ResultSink, StudyEvent, StudyExecutor};
 use nvmexplorer_core::wire::{Shard, WireSink};
 use std::io::Write;
 
-const USAGE: &str =
-    "usage: nvmx-worker --config <study.json> [--shard I/N] [--threads T] [--out PATH] [--die-after K]";
+const USAGE: &str = "usage: nvmx-worker --config <study.json> [--shard I/N] [--threads T] \
+                     [--out PATH] [--die-after K] [--stall-after K]";
 
-/// Wraps a [`WireSink`] and simulates a crash after `limit` written frames
-/// — the already-written lines are flushed (the sink flushes per line), so
-/// the coordinator sees a clean prefix of the shard's residue class.
-struct DieAfter<W: Write> {
-    inner: WireSink<W>,
-    limit: u64,
+/// Simulates a worker that stops making progress without dying: already
+/// written frames are flushed (the sink flushes per line), then the
+/// process freezes. SIGSTOP leaves the process alive-but-stopped exactly
+/// like a real hang; if signalling fails the sleep loop plays the part.
+fn stall_forever() -> ! {
+    let pid = std::process::id().to_string();
+    let _ = std::process::Command::new("kill")
+        .args(["-STOP", &pid])
+        .status();
+    loop {
+        std::thread::sleep(std::time::Duration::from_secs(3600));
+    }
 }
 
-impl<W: Write> ResultSink for DieAfter<W> {
+/// Wraps a [`WireSink`] with the deterministic failure-injection hooks:
+/// exit(137) after `die_after` written frames (simulated SIGKILL — no
+/// cleanup, no final events), or freeze after `stall_after` frames
+/// (simulated hang). Already-written lines are flushed per line, so the
+/// coordinator always sees a clean prefix of the shard's residue class.
+struct HazardSink<W: Write> {
+    inner: WireSink<W>,
+    die_after: Option<u64>,
+    stall_after: Option<u64>,
+}
+
+impl<W: Write> HazardSink<W> {
+    /// Pre- and post-checks so `--die-after 0` / `--stall-after 0` really
+    /// emit zero frames (the "failed before producing anything" case).
+    fn check(&self) {
+        let written = self.inner.frames_written();
+        if self.die_after.is_some_and(|limit| written >= limit) {
+            std::process::exit(137);
+        }
+        if self.stall_after.is_some_and(|limit| written >= limit) {
+            stall_forever();
+        }
+    }
+}
+
+impl<W: Write> ResultSink for HazardSink<W> {
     fn on_event(&mut self, event: &StudyEvent<'_>) -> std::io::Result<()> {
-        // Pre-check so `--die-after 0` really emits zero frames (the
-        // "died before producing anything" resume case).
-        if self.inner.frames_written() >= self.limit {
-            std::process::exit(137);
-        }
+        self.check();
         self.inner.on_event(event)?;
-        if self.inner.frames_written() >= self.limit {
-            // Simulated SIGKILL: no cleanup, no final events.
-            std::process::exit(137);
-        }
+        self.check();
         Ok(())
     }
 }
@@ -66,6 +101,7 @@ struct Options {
     threads: Option<usize>,
     out: Option<String>,
     die_after: Option<u64>,
+    stall_after: Option<u64>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -75,6 +111,7 @@ fn parse_args() -> Result<Options, String> {
     let mut threads = None;
     let mut out = None;
     let mut die_after = None;
+    let mut stall_after = None;
     while let Some(flag) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
         match flag.as_str() {
@@ -95,6 +132,13 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|_| "--die-after expects an unsigned integer".to_owned())?,
                 );
             }
+            "--stall-after" => {
+                stall_after = Some(
+                    value("--stall-after")?
+                        .parse::<u64>()
+                        .map_err(|_| "--stall-after expects an unsigned integer".to_owned())?,
+                );
+            }
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -104,6 +148,7 @@ fn parse_args() -> Result<Options, String> {
         threads,
         out,
         die_after,
+        stall_after,
     })
 }
 
@@ -112,7 +157,7 @@ fn main() {
         eprintln!("{e}\n{USAGE}");
         std::process::exit(2);
     });
-    let study = nvmx_bench::campaign::load_config(&options.config).unwrap_or_else(|e| {
+    let campaign = nvmx_bench::campaign::load_campaign(&options.config).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
@@ -124,18 +169,19 @@ fn main() {
         })),
         None => Box::new(std::io::stdout().lock()),
     };
-    let sink = WireSink::sharded(out, options.shard);
+    let mut sink = HazardSink {
+        inner: WireSink::sharded(out, options.shard),
+        die_after: options.die_after,
+        stall_after: options.stall_after,
+    };
     let executor = match options.threads {
         Some(threads) => StudyExecutor::with_threads(threads),
         None => StudyExecutor::new(),
     };
 
-    let run = match options.die_after {
-        Some(limit) => executor.run(&study, &mut DieAfter { inner: sink, limit }),
-        None => {
-            let mut sink = sink;
-            executor.run(&study, &mut sink)
-        }
+    let run = match &campaign {
+        CampaignConfig::Study(study) => executor.run(study, &mut sink).map(|_| ()),
+        CampaignConfig::Fault(fault) => executor.run_fault(fault, &mut sink).map(|_| ()),
     };
     if let Err(e) = run {
         eprintln!("study failed: {e}");

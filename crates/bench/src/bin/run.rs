@@ -15,12 +15,20 @@
 //! `nvmx-coordinator` (`nvmx_bench::campaign`), so a distributed run's
 //! replayed capture diffs clean against this binary's output.
 //!
+//! A config carrying a top-level `fault` section runs as a fault-injection
+//! campaign: the base study's results CSV is written as usual, plus
+//! `<out>/<study-name>_fault.csv` with one row per injection trial (seed
+//! included), and the summary line carries the campaign counters.
+//!
 //! Exit codes: `0` success, `1` the study or its outputs failed, `2` usage
 //! or config error — malformed configs are rejected (never a panic) with
 //! the offending section named on stderr.
 
+use nvmexplorer_core::config::CampaignConfig;
 use nvmexplorer_core::stream::StudyExecutor;
-use nvmx_bench::campaign::{load_config, results_csv, summary_line};
+use nvmx_bench::campaign::{
+    fault_csv, fault_summary_line, load_campaign, results_csv, summary_line,
+};
 use nvmx_viz::sink::SpecSinks;
 
 fn main() {
@@ -28,32 +36,60 @@ fn main() {
         eprintln!("usage: run <config.json>");
         std::process::exit(2);
     };
-    let study = load_config(&path).unwrap_or_else(|e| {
+    let campaign = load_campaign(&path).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
     });
+    let study = campaign.study();
 
     let mut sinks = SpecSinks::new(&study.output).unwrap_or_else(|e| {
         eprintln!("cannot open output sinks: {e}");
         std::process::exit(1);
     });
-    let result = StudyExecutor::new()
-        .run(&study, &mut sinks)
-        .unwrap_or_else(|e| {
-            eprintln!("study failed: {e}");
-            std::process::exit(1);
-        });
+    let executor = StudyExecutor::new();
+    let (result, fault) = match &campaign {
+        CampaignConfig::Study(study) => {
+            let result = executor.run(study, &mut sinks).unwrap_or_else(|e| {
+                eprintln!("study failed: {e}");
+                std::process::exit(1);
+            });
+            (result, None)
+        }
+        CampaignConfig::Fault(campaign) => {
+            let result = executor
+                .run_fault(campaign, &mut sinks)
+                .unwrap_or_else(|e| {
+                    eprintln!("study failed: {e}");
+                    std::process::exit(1);
+                });
+            (result.study, Some(result.fault))
+        }
+    };
     for (cell, reason) in &result.skipped {
         eprintln!("skipped {cell}: {reason}");
     }
 
     let out = nvmx_bench::output_dir().join(format!("{}_results.csv", study.name));
-    results_csv(&study, &result)
+    results_csv(study, &result)
         .write_to(&out)
         .unwrap_or_else(|e| {
             eprintln!("cannot write results: {e}");
             std::process::exit(1);
         });
-    println!("{}", summary_line(&study, &result));
-    eprintln!("  [{}] results -> {}", study.name, out.display());
+    match &fault {
+        Some(fault) => {
+            let fault_out = nvmx_bench::output_dir().join(format!("{}_fault.csv", study.name));
+            fault_csv(fault).write_to(&fault_out).unwrap_or_else(|e| {
+                eprintln!("cannot write fault results: {e}");
+                std::process::exit(1);
+            });
+            println!("{}", fault_summary_line(study, &result, fault));
+            eprintln!("  [{}] results -> {}", study.name, out.display());
+            eprintln!("  [{}] fault trials -> {}", study.name, fault_out.display());
+        }
+        None => {
+            println!("{}", summary_line(study, &result));
+            eprintln!("  [{}] results -> {}", study.name, out.display());
+        }
+    }
 }

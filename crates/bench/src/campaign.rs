@@ -8,7 +8,8 @@
 //! produce **byte-identical** artifacts — that identity is what the CI
 //! distributed-smoke job diffs.
 
-use nvmexplorer_core::config::StudyConfig;
+use nvmexplorer_core::config::{CampaignConfig, StudyConfig};
+use nvmexplorer_core::fault_study::FaultOutcome;
 use nvmexplorer_core::sweep::StudyResult;
 use nvmx_viz::csv::{num, Csv};
 use std::path::Path;
@@ -53,6 +54,18 @@ pub fn write_file_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
 pub fn load_config(path: &str) -> Result<StudyConfig, String> {
     let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
     StudyConfig::from_json(&json).map_err(|e| format!("invalid study config `{path}`: {e}"))
+}
+
+/// Loads a campaign config file: a plain study, or — when the JSON carries
+/// a top-level `fault` section — a fault-injection campaign layered over
+/// it. Same exit semantics as [`load_config`].
+///
+/// # Errors
+///
+/// A ready-to-print message naming the path and the offending section.
+pub fn load_campaign(path: &str) -> Result<CampaignConfig, String> {
+    let json = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    CampaignConfig::from_json(&json).map_err(|e| format!("invalid study config `{path}`: {e}"))
 }
 
 /// The artifact-style results table: one row per `array × traffic`
@@ -107,6 +120,60 @@ pub fn results_csv(study: &StudyConfig, result: &StudyResult) -> Csv {
         ]);
     }
     csv
+}
+
+/// The fault-campaign trial table: one row per injection trial, in the
+/// campaign's deterministic slot order (`model_index × trials + trial`),
+/// with the wire-carried injection seed included so any row can be
+/// reproduced in isolation. Like [`results_csv`], this is a pure function
+/// of its input — the in-process runner, the coordinator, and a replayed
+/// capture all produce identical bytes.
+pub fn fault_csv(fault: &FaultOutcome) -> Csv {
+    let mut csv = Csv::new([
+        "model_index",
+        "trial",
+        "cell",
+        "bits_per_cell",
+        "temperature_c",
+        "bit_error_rate",
+        "injection_seed",
+        "bits_total",
+        "bits_flipped",
+        "accuracy",
+    ]);
+    for trial in &fault.trials {
+        csv.row([
+            trial.model_index.to_string(),
+            trial.trial.to_string(),
+            trial.cell.clone(),
+            trial.bits_per_cell.to_string(),
+            num(trial.temperature_c),
+            num(trial.bit_error_rate),
+            trial.injection_seed.to_string(),
+            trial.bits_total.to_string(),
+            trial.bits_flipped.to_string(),
+            num(trial.accuracy),
+        ]);
+    }
+    csv
+}
+
+/// The canonical one-line fault-campaign summary: the base study's
+/// [`summary_line`] extended with the campaign counters. Printed
+/// identically by the `run` binary, `nvmx-coordinator run`, and
+/// `nvmx-coordinator replay`, so CI can diff the three paths textually.
+pub fn fault_summary_line(
+    study: &StudyConfig,
+    result: &StudyResult,
+    fault: &FaultOutcome,
+) -> String {
+    format!(
+        "{}; fault campaign: {} models, {} trials, {} degraded",
+        summary_line(study, result),
+        fault.stats.models,
+        fault.stats.trials,
+        fault.stats.degraded,
+    )
 }
 
 /// How many evaluations pass the study's constraint filter.
@@ -174,6 +241,72 @@ mod tests {
         let line = summary_line(&study, &result);
         assert!(line.contains("campaign-unit"));
         assert!(line.contains(&format!("{} evaluations", result.evaluations.len())));
+    }
+
+    #[test]
+    fn fault_csv_and_summary_are_pure_functions_of_the_outcome() {
+        use nvmexplorer_core::config::{FaultSpec, FaultStudyConfig};
+        use nvmexplorer_core::stream::{NullSink, StudyExecutor};
+        let campaign = FaultStudyConfig {
+            study: small_study(),
+            fault: FaultSpec {
+                trials: 2,
+                seed: 5,
+                bits_per_cell: vec![nvmx_units::BitsPerCell::Slc],
+                temperatures_c: vec![25.0],
+                raw_bers: vec![1.0e-3],
+                tolerance: 0.05,
+            },
+        };
+        let result = StudyExecutor::with_threads(2)
+            .run_fault(&campaign, &mut NullSink)
+            .unwrap();
+        let a = fault_csv(&result.fault).render();
+        let b = fault_csv(&result.fault).render();
+        assert_eq!(a, b);
+        assert!(a.starts_with("model_index,trial,cell,"));
+        assert_eq!(a.lines().count(), 1 + result.fault.trials.len());
+        let line = fault_summary_line(&campaign.study, &result.study, &result.fault);
+        assert!(line.contains("fault campaign:"), "{line}");
+        assert!(
+            line.contains(&format!("{} trials", result.fault.stats.trials)),
+            "{line}"
+        );
+    }
+
+    #[test]
+    fn load_campaign_dispatches_on_the_fault_section() {
+        let dir =
+            std::env::temp_dir().join(format!("nvmx_campaign_fault_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let plain = dir.join("plain.json");
+        std::fs::write(
+            &plain,
+            r#"{"name": "p", "traffic": {"kind": "explicit", "patterns":
+                [{"name": "t", "read_bytes_per_sec": 1e9,
+                  "write_bytes_per_sec": 1e7, "access_bytes": 64}]}}"#,
+        )
+        .unwrap();
+        assert!(matches!(
+            load_campaign(plain.to_str().unwrap()).unwrap(),
+            nvmexplorer_core::config::CampaignConfig::Study(_)
+        ));
+        let fault = dir.join("fault.json");
+        std::fs::write(
+            &fault,
+            r#"{"name": "f", "traffic": {"kind": "explicit", "patterns":
+                [{"name": "t", "read_bytes_per_sec": 1e9,
+                  "write_bytes_per_sec": 1e7, "access_bytes": 64}]},
+                "fault": {"trials": 2}}"#,
+        )
+        .unwrap();
+        match load_campaign(fault.to_str().unwrap()).unwrap() {
+            nvmexplorer_core::config::CampaignConfig::Fault(campaign) => {
+                assert_eq!(campaign.fault.trials, 2);
+            }
+            other => panic!("expected a fault campaign, got {other:?}"),
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

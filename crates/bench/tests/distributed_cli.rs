@@ -33,6 +33,35 @@ const CONFIG: &str = r#"{
   "constraints": {"max_power_w": 0.05}
 }"#;
 
+/// The same study with a fault campaign riding on it: cell-derived models
+/// at two temperatures plus a raw-BER sweep, small enough for CI but
+/// crossing every new wire event (trials, verdicts, the fault terminal).
+const FAULT_CONFIG: &str = r#"{
+  "name": "dist-fault",
+  "cells": {
+    "technologies": ["Stt", "Rram"],
+    "tentpoles": true,
+    "reference_rram": false,
+    "sram_baseline": true
+  },
+  "array": {"capacities_mib": [2], "targets": ["ReadEdp"]},
+  "traffic": {
+    "kind": "explicit",
+    "patterns": [
+      {"name": "t", "read_bytes_per_sec": 1e9, "write_bytes_per_sec": 1e7, "access_bytes": 64}
+    ]
+  },
+  "constraints": {"max_power_w": 0.05},
+  "fault": {
+    "trials": 2,
+    "seed": 7,
+    "bits_per_cell": ["Slc"],
+    "temperatures_c": [25.0, 85.0],
+    "raw_bers": [1e-3],
+    "tolerance": 0.05
+  }
+}"#;
+
 struct TempDir(PathBuf);
 
 impl TempDir {
@@ -133,6 +162,21 @@ fn replay_csv(dir: &Path, config: &Path, capture: &Path, label: &str) -> (String
         .unwrap();
     run_ok(&output, "nvmx-coordinator replay");
     (stdout_line(&output), std::fs::read(&csv_path).unwrap())
+}
+
+/// Runs the in-process `run` binary on a fault campaign, returning
+/// (summary line, results CSV bytes, fault-trial CSV bytes).
+fn fault_baseline(dir: &Path, config: &Path) -> (String, Vec<u8>, Vec<u8>) {
+    let out_dir = dir.join("in_process");
+    let output = Command::new(RUN)
+        .arg(config)
+        .env("NVMX_OUT", &out_dir)
+        .output()
+        .unwrap();
+    run_ok(&output, "run binary (fault campaign)");
+    let csv = std::fs::read(out_dir.join("dist-fault_results.csv")).unwrap();
+    let fault_csv = std::fs::read(out_dir.join("dist-fault_fault.csv")).unwrap();
+    (stdout_line(&output), csv, fault_csv)
 }
 
 #[test]
@@ -250,6 +294,138 @@ fn torn_final_line_is_worker_death_not_protocol_failure() {
     );
     assert_eq!(replay_summary, summary);
     assert_eq!(replay_bytes, csv, "torn-kill resume diverged");
+}
+
+/// The tentpole acceptance scenario: a distributed fault campaign at 2
+/// shards with one worker killed mid-stream and the other stalled past
+/// the deadline still converges — summary, results CSV, and fault-trial
+/// CSV all byte-identical to the in-process run, via both the live merge
+/// and a strict replay of the capture.
+#[test]
+fn fault_campaign_survives_a_killed_and_a_stalled_shard() {
+    let dir = TempDir::new("fault");
+    let config = dir.path().join("fault.json");
+    std::fs::write(&config, FAULT_CONFIG).unwrap();
+    let (summary, csv, fault) = fault_baseline(dir.path(), &config);
+    assert!(summary.contains("fault campaign:"), "{summary}");
+
+    // Clean equivalence at 1 worker first (no injected failures).
+    let capture_dir = dir.path().join("clean");
+    let output = Command::new(COORDINATOR)
+        .arg("run")
+        .args(["--config".as_ref(), config.as_os_str()])
+        .args(["--workers", "1"])
+        .args(["--capture".as_ref(), capture_dir.as_os_str()])
+        .args(["--worker-bin", WORKER])
+        .output()
+        .unwrap();
+    run_ok(&output, "coordinator run (fault, clean)");
+    assert_eq!(stdout_line(&output), summary);
+
+    // Then the hostile run: shard 0 dies after 3 frames, shard 1 hangs
+    // after 5; the stall detector kills the hung worker and both shards
+    // respawn with deterministic backoff. The deadline must sit above the
+    // worker's worst-case legitimate inter-frame compute gap (the
+    // classifier build before the fault phase, ~4 s in debug builds) or
+    // healthy respawned workers get spuriously stall-killed.
+    let capture_dir = dir.path().join("hostile");
+    let output = Command::new(COORDINATOR)
+        .arg("run")
+        .args(["--config".as_ref(), config.as_os_str()])
+        .args(["--workers", "2"])
+        .args(["--capture".as_ref(), capture_dir.as_os_str()])
+        .args(["--worker-bin", WORKER])
+        .args(["--inject-die", "0:3"])
+        .args(["--inject-stall", "1:5"])
+        .args(["--shard-stall-timeout", "8"])
+        .args(["--respawn-backoff", "10"])
+        .output()
+        .unwrap();
+    run_ok(&output, "coordinator run (fault, killed + stalled shards)");
+    assert_eq!(stdout_line(&output), summary, "hostile merge diverged");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("respawning"),
+        "no respawn observed:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("stalled"),
+        "stall never detected:\n{stderr}"
+    );
+
+    // Strict replay of the hostile capture rebuilds both artifacts.
+    let csv_path = dir.path().join("replay.csv");
+    let fault_path = dir.path().join("replay_fault.csv");
+    let output = Command::new(COORDINATOR)
+        .arg("replay")
+        .args([
+            "--input".as_ref(),
+            capture_dir.join("dist-fault.jsonl").as_os_str(),
+        ])
+        .args(["--config".as_ref(), config.as_os_str()])
+        .args(["--csv".as_ref(), csv_path.as_os_str()])
+        .args(["--fault-csv".as_ref(), fault_path.as_os_str()])
+        .output()
+        .unwrap();
+    run_ok(&output, "coordinator replay (fault)");
+    assert_eq!(stdout_line(&output), summary);
+    assert_eq!(
+        std::fs::read(&csv_path).unwrap(),
+        csv,
+        "results CSV diverged"
+    );
+    assert_eq!(
+        std::fs::read(&fault_path).unwrap(),
+        fault,
+        "fault-trial CSV diverged"
+    );
+}
+
+/// A shard whose respawn budget is exhausted (its crash injection re-arms
+/// on every respawn) must degrade gracefully: the campaign completes via
+/// an unarmed recovery worker and still matches the in-process run.
+#[test]
+fn exhausted_respawn_budget_degrades_to_a_recovery_worker() {
+    let dir = TempDir::new("degrade");
+    let config = write_config(dir.path(), CONFIG);
+    let (summary, csv) = in_process_baseline(dir.path(), &config);
+
+    let capture_dir = dir.path().join("capture");
+    let output = Command::new(COORDINATOR)
+        .arg("run")
+        .args(["--config".as_ref(), config.as_os_str()])
+        .args(["--workers", "2"])
+        .args(["--capture".as_ref(), capture_dir.as_os_str()])
+        .args(["--worker-bin", WORKER])
+        .args(["--inject-die", "0:2"])
+        .args(["--inject-die-always"])
+        .args(["--max-respawns", "1"])
+        .args(["--respawn-backoff", "10"])
+        .output()
+        .unwrap();
+    run_ok(&output, "coordinator run (degraded shard)");
+    assert_eq!(stdout_line(&output), summary);
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("exhausted its respawn budget"),
+        "budget exhaustion not reported:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("shards degraded"),
+        "degradation missing from the run summary:\n{stderr}"
+    );
+
+    let (replay_summary, replay_bytes) = replay_csv(
+        dir.path(),
+        &config,
+        &capture_dir.join("dist-smoke.jsonl"),
+        "degrade",
+    );
+    assert_eq!(replay_summary, summary);
+    assert_eq!(
+        replay_bytes, csv,
+        "degraded run diverged from in-process run"
+    );
 }
 
 #[test]

@@ -51,6 +51,31 @@ impl AccuracyReport {
     }
 }
 
+/// Fault-free accuracy of the process-wide shared classifier — the
+/// baseline every fault trial is compared against.
+pub fn baseline_accuracy() -> f64 {
+    let (clean, test) = classifier();
+    clean.accuracy(test)
+}
+
+/// Runs one fault trial on the shared classifier with an explicit
+/// injection seed: corrupt the weight image under `model`, reload, and
+/// re-evaluate. Returns the injection report and the degraded accuracy.
+///
+/// This is the streamed-campaign building block: the fault-study engine
+/// derives each trial's seed from (study seed, slot coordinate) and
+/// carries it on the wire, so a distributed campaign replays the exact
+/// trial this function ran. Pure function of `(model, seed)` — safe to
+/// fan out across threads.
+pub fn fault_trial(model: &FaultModel, seed: u64) -> (nvmx_fault::InjectionReport, f64) {
+    let (clean, test) = classifier();
+    let mut corrupted = clean.weight_bytes();
+    let report = model.inject_seeded(&mut corrupted, seed);
+    let mut faulty = clean.clone();
+    faulty.load_weight_bytes(&corrupted);
+    (report, faulty.accuracy(test))
+}
+
 /// Measures classifier accuracy with weights stored in `cell` at
 /// `bits_per_cell`, averaged over `trials` seeded injections.
 pub fn accuracy_under_storage(
@@ -148,5 +173,20 @@ mod tests {
         let report = accuracy_under_model(&model, 2);
         assert!(report.mean < report.baseline - 0.3);
         assert!(report.worst <= report.mean);
+    }
+
+    #[test]
+    fn fault_trial_is_deterministic_and_matches_the_legacy_loop() {
+        let model = FaultModel::from_ber(5.0e-3, BitsPerCell::Mlc2);
+        let (report_a, acc_a) = fault_trial(&model, 0x5EED_0000);
+        let (report_b, acc_b) = fault_trial(&model, 0x5EED_0000);
+        assert_eq!(report_a, report_b);
+        assert_eq!(acc_a, acc_b);
+        // Seed 0x5EED_0000 is exactly `accuracy_under_model`'s trial 0, so
+        // a 1-trial legacy report must agree on mean and worst.
+        let legacy = accuracy_under_model(&model, 1);
+        assert_eq!(acc_a, legacy.mean);
+        assert_eq!(acc_a, legacy.worst);
+        assert_eq!(baseline_accuracy(), legacy.baseline);
     }
 }

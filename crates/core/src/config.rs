@@ -115,6 +115,14 @@ impl StudyConfig {
     /// mismatches all point at where to look.
     pub fn from_json(json: &str) -> Result<Self, ConfigError> {
         let value: serde::Value = serde_json::from_str(json).map_err(ConfigError::document)?;
+        Self::from_value(&value)
+    }
+
+    /// Parses a study from an already-parsed JSON document. The campaign
+    /// loader ([`CampaignConfig::from_json`]) strips the `fault` section
+    /// and reuses this path, so both config kinds share exactly the same
+    /// section validation.
+    fn from_value(value: &serde::Value) -> Result<Self, ConfigError> {
         if value.as_object().is_none() {
             return Err(ConfigError::document(serde_json::Error::new(format!(
                 "top-level JSON must be an object with `name` and `traffic`, got {}",
@@ -151,6 +159,120 @@ impl StudyConfig {
     /// Serializes the study to pretty JSON (the artifact's config format).
     pub fn to_json(&self) -> String {
         serde_json::to_string_pretty(self).expect("StudyConfig is always serializable")
+    }
+}
+
+/// Fault-campaign settings: which fault models to sweep and how hard to
+/// stress each one. Present as a top-level `fault` section in a campaign
+/// config (see [`CampaignConfig`]); every field has a default, so
+/// `"fault": {}` is the smallest valid campaign.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[serde(default)]
+pub struct FaultSpec {
+    /// Injection trials per fault model (at least 1).
+    pub trials: u32,
+    /// Campaign seed; each trial's injection seed is derived from
+    /// `(seed, trial slot)` ([`crate::fault_study::injection_seed`]).
+    pub seed: u64,
+    /// Programming depths to derive fault models for.
+    pub bits_per_cell: Vec<BitsPerCell>,
+    /// Operating temperatures (°C) to derive cell fault models at —
+    /// retention-vs-temperature scaling per the Arrhenius law.
+    pub temperatures_c: Vec<f64>,
+    /// Raw bit error rates to sweep in addition to the cell-derived
+    /// models (the paper also accepts "an expected error rate" directly).
+    /// Each is expanded across `bits_per_cell` at the 25 °C reference.
+    pub raw_bers: Vec<f64>,
+    /// Maximum tolerated mean-accuracy degradation (baseline − mean).
+    pub tolerance: f64,
+}
+
+impl Default for FaultSpec {
+    fn default() -> Self {
+        Self {
+            trials: 3,
+            seed: 0,
+            bits_per_cell: vec![BitsPerCell::Slc, BitsPerCell::Mlc2],
+            temperatures_c: vec![25.0],
+            raw_bers: Vec::new(),
+            tolerance: 0.05,
+        }
+    }
+}
+
+/// A fault campaign: a base study plus the fault sweep riding on it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultStudyConfig {
+    /// The base sweep study (runs unchanged, streaming the same events).
+    pub study: StudyConfig,
+    /// The fault sweep.
+    pub fault: FaultSpec,
+}
+
+impl FaultStudyConfig {
+    /// Serializes the campaign to pretty JSON: the study's sections plus
+    /// the `fault` section, exactly what [`CampaignConfig::from_json`]
+    /// parses back.
+    pub fn to_json(&self) -> String {
+        let serde::Value::Object(mut fields) = self.study.to_value() else {
+            unreachable!("StudyConfig serializes to an object")
+        };
+        fields.push(("fault".to_owned(), self.fault.to_value()));
+        serde_json::to_string_pretty(&serde::Value::Object(fields))
+            .expect("FaultStudyConfig is always serializable")
+    }
+}
+
+/// Either kind of campaign the runner binaries accept: a plain sweep
+/// study, or a fault campaign (a study with a top-level `fault` section).
+///
+/// [`StudyConfig::from_json`] keeps rejecting `fault` as an unknown
+/// section — callers that can only run plain studies fail loudly instead
+/// of silently dropping the fault sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CampaignConfig {
+    /// A plain sweep study (no `fault` section).
+    Study(StudyConfig),
+    /// A fault campaign.
+    Fault(FaultStudyConfig),
+}
+
+impl CampaignConfig {
+    /// Parses either campaign kind, dispatching on the presence of a
+    /// top-level `fault` section.
+    ///
+    /// # Errors
+    ///
+    /// [`ConfigError`] naming the offending section, exactly like
+    /// [`StudyConfig::from_json`] (with `fault` as one more section).
+    pub fn from_json(json: &str) -> Result<Self, ConfigError> {
+        let value: serde::Value = serde_json::from_str(json).map_err(ConfigError::document)?;
+        let Some(obj) = value.as_object() else {
+            // Not an object: reuse the study path's document-level error.
+            return StudyConfig::from_value(&value).map(Self::Study);
+        };
+        let Some((_, fault_value)) = obj.iter().find(|(k, _)| k == "fault") else {
+            return StudyConfig::from_value(&value).map(Self::Study);
+        };
+        let fault: FaultSpec =
+            serde_json::from_value(fault_value).map_err(|e| ConfigError::at("fault", e))?;
+        let rest =
+            serde::Value::Object(obj.iter().filter(|(k, _)| k != "fault").cloned().collect());
+        let study = StudyConfig::from_value(&rest)?;
+        Ok(Self::Fault(FaultStudyConfig { study, fault }))
+    }
+
+    /// The base study of either campaign kind.
+    pub fn study(&self) -> &StudyConfig {
+        match self {
+            Self::Study(study) => study,
+            Self::Fault(campaign) => &campaign.study,
+        }
+    }
+
+    /// The campaign name (the base study's name).
+    pub fn name(&self) -> &str {
+        &self.study().name
     }
 }
 
@@ -564,6 +686,80 @@ mod tests {
         )
         .unwrap_err();
         assert!(err.to_string().contains("trafic"), "{err}");
+    }
+
+    #[test]
+    fn campaign_configs_dispatch_on_the_fault_section() {
+        let plain = r#"{"name": "s", "traffic": {"kind": "spec_llc", "lookups": 10, "seed": 1}}"#;
+        assert!(matches!(
+            CampaignConfig::from_json(plain).unwrap(),
+            CampaignConfig::Study(_)
+        ));
+        // A plain-study parser must keep rejecting the fault section.
+        let with_fault = r#"{
+            "name": "s",
+            "traffic": {"kind": "spec_llc", "lookups": 10, "seed": 1},
+            "fault": {"trials": 2, "seed": 9, "raw_bers": [1e-3]}
+        }"#;
+        assert!(StudyConfig::from_json(with_fault).is_err());
+        let CampaignConfig::Fault(campaign) = CampaignConfig::from_json(with_fault).unwrap() else {
+            panic!("fault section must select the fault campaign kind")
+        };
+        assert_eq!(campaign.study.name, "s");
+        assert_eq!(campaign.fault.trials, 2);
+        assert_eq!(campaign.fault.seed, 9);
+        assert_eq!(campaign.fault.raw_bers, vec![1.0e-3]);
+        // Defaults fill the omitted fields.
+        assert_eq!(campaign.fault.tolerance, 0.05);
+        assert_eq!(
+            campaign.fault.bits_per_cell,
+            vec![BitsPerCell::Slc, BitsPerCell::Mlc2]
+        );
+        // `"fault": {}` is the smallest valid campaign.
+        let minimal = r#"{
+            "name": "s",
+            "traffic": {"kind": "spec_llc", "lookups": 10, "seed": 1},
+            "fault": {}
+        }"#;
+        let CampaignConfig::Fault(minimal) = CampaignConfig::from_json(minimal).unwrap() else {
+            panic!("empty fault section still selects the fault kind")
+        };
+        assert_eq!(minimal.fault, FaultSpec::default());
+    }
+
+    #[test]
+    fn campaign_errors_name_the_offending_section() {
+        let err = CampaignConfig::from_json(
+            r#"{"name": "s", "traffic": {"kind": "spec_llc", "lookups": 1, "seed": 1},
+                "fault": {"trials": "many"}}"#,
+        )
+        .unwrap_err();
+        assert_eq!(err.section(), Some("fault"));
+        // Study-section errors surface unchanged through the campaign path.
+        let err = CampaignConfig::from_json(r#"{"name": "s", "fault": {}}"#).unwrap_err();
+        assert_eq!(err.section(), Some("traffic"));
+        let err = CampaignConfig::from_json("[1]").unwrap_err();
+        assert!(err.to_string().contains("object"), "{err}");
+    }
+
+    #[test]
+    fn fault_campaign_json_roundtrip() {
+        let campaign = FaultStudyConfig {
+            study: StudyConfig::from_json(
+                r#"{"name": "rt", "traffic": {"kind": "spec_llc", "lookups": 5, "seed": 3}}"#,
+            )
+            .unwrap(),
+            fault: FaultSpec {
+                trials: 4,
+                seed: 0xDEAD,
+                bits_per_cell: vec![BitsPerCell::Mlc2],
+                temperatures_c: vec![25.0, 85.0],
+                raw_bers: vec![1.0e-4, 1.0e-2],
+                tolerance: 0.1,
+            },
+        };
+        let parsed = CampaignConfig::from_json(&campaign.to_json()).unwrap();
+        assert_eq!(parsed, CampaignConfig::Fault(campaign));
     }
 
     #[test]

@@ -92,6 +92,27 @@ pub fn scrub_energy_per_day(array: &ArrayCharacterization) -> Joules {
     array.write_energy * (writes_per_scrub * scrubs_per_day)
 }
 
+/// [`scrub_energy_per_day`] at an operating temperature: retention shrinks
+/// by the Arrhenius acceleration factor
+/// ([`nvmx_fault::retention_acceleration`]), so a hot deployment scrubs
+/// proportionally more often — and an array whose retention comfortably
+/// exceeds a day at 25 °C may start paying scrub energy at 85 °C. This is
+/// the retention-vs-temperature axis the fault-study campaigns sweep.
+pub fn scrub_energy_per_day_at(array: &ArrayCharacterization, celsius: f64) -> Joules {
+    const DAY: f64 = 24.0 * 3600.0;
+    let retention = array.retention.value();
+    if !array.nonvolatile || !retention.is_finite() {
+        return Joules::ZERO;
+    }
+    let effective = retention / nvmx_fault::retention_acceleration(celsius);
+    if effective >= DAY {
+        return Joules::ZERO;
+    }
+    let scrubs_per_day = DAY / effective.max(1.0);
+    let writes_per_scrub = array.capacity.bits() as f64 / array.word_bits as f64;
+    array.write_energy * (writes_per_scrub * scrubs_per_day)
+}
+
 /// Evaluates one day of intermittent operation of `array` under `scenario`
 /// at `events_per_day` wake-ups.
 pub fn daily_energy(
@@ -269,6 +290,30 @@ mod tests {
         )
         .unwrap();
         assert_eq!(scrub_energy_per_day(&sram).value(), 0.0);
+    }
+
+    #[test]
+    fn hot_operation_raises_scrub_energy() {
+        let cell = tentpole::tentpole_cell(TechnologyClass::Rram, CellFlavor::Pessimistic).unwrap();
+        let rram = characterize(&cell, &ArrayConfig::new(Capacity::from_mebibytes(2))).unwrap();
+        let reference = scrub_energy_per_day_at(&rram, 25.0);
+        assert!(
+            (reference.value() - scrub_energy_per_day(&rram).value()).abs()
+                < reference.value() * 1e-6,
+            "25 °C must match the untemperatured model"
+        );
+        let hot = scrub_energy_per_day_at(&rram, 85.0);
+        assert!(
+            hot.value() > reference.value(),
+            "hot cells scrub more often"
+        );
+        // Volatile arrays never scrub at any temperature.
+        let sram = characterize(
+            &custom::sram_16nm(),
+            &ArrayConfig::new(Capacity::from_mebibytes(2)).with_node(Meters::from_nano(16.0)),
+        )
+        .unwrap();
+        assert_eq!(scrub_energy_per_day_at(&sram, 125.0).value(), 0.0);
     }
 
     #[test]

@@ -63,6 +63,7 @@ pub mod accuracy;
 pub mod config;
 pub mod eval;
 pub mod explore;
+pub mod fault_study;
 pub mod intermittent;
 pub mod scheduler;
 pub mod stream;
@@ -70,15 +71,21 @@ pub mod sweep;
 pub mod wire;
 pub mod write_buffer;
 
-pub use config::{OutputSpec, StudyConfig};
+pub use config::{CampaignConfig, FaultSpec, FaultStudyConfig, OutputSpec, StudyConfig};
 pub use eval::{evaluate, evaluate_shared, Evaluation};
 pub use explore::{Objective, ResultSet};
+pub use fault_study::{
+    injection_seed, FaultModelReport, FaultOutcome, FaultStudyResult, FaultStudyStats, FaultTrial,
+};
 pub use scheduler::{SchedulerReport, StudyOutcome, StudyScheduler};
 pub use stream::{
     MultiSink, NullSink, ResultSink, StudyEvent, StudyExecutor, StudyResultBuilder, StudyStats,
 };
 pub use sweep::{run_study, StudyResult};
-pub use wire::{OwnedStudyEvent, Shard, SlotMerger, WireError, WireFrame, WireSink, WIRE_VERSION};
+pub use wire::{
+    OwnedStudyEvent, Shard, SlotMerger, WireError, WireFrame, WireSink, WIRE_MIN_VERSION,
+    WIRE_VERSION,
+};
 
 #[cfg(test)]
 mod tests {

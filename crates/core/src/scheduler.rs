@@ -21,7 +21,7 @@ use crate::config::StudyConfig;
 use crate::stream::{NullSink, ResultSink, StudyExecutor};
 use crate::sweep::{StudyError, StudyResult};
 use nvmx_nvsim::{CacheStats, IncumbentStore, SubarrayCache};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::OnceLock;
 
 /// Runs `run(index, task)` for every task, popped lock-free (shared atomic
@@ -58,6 +58,68 @@ where
         .into_iter()
         .map(|slot| slot.into_inner().expect("all lane slots filled"))
         .collect()
+}
+
+/// Like [`run_on_lanes`], but additionally delivers each outcome to
+/// `drain` **in task order while later tasks are still running** — the
+/// same slot-order streaming pattern the sweep engine uses for its event
+/// emission, factored here for other slot-ordered producers (the
+/// fault-study trial fan-out).
+///
+/// `drain` runs on the calling thread. An `Err` from `drain` stops
+/// delivery (in-flight tasks still complete) and is returned; the
+/// completed outcomes are returned otherwise, in task order.
+///
+/// # Errors
+///
+/// The first `drain` error, verbatim.
+pub fn run_on_lanes_streaming<T, R, F>(
+    tasks: &[T],
+    lanes: usize,
+    run: F,
+    mut drain: impl FnMut(usize, &R) -> std::io::Result<()>,
+) -> std::io::Result<Vec<R>>
+where
+    T: Sync,
+    R: Send + Sync,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let slots: Vec<OnceLock<R>> = tasks.iter().map(|_| OnceLock::new()).collect();
+    let next = AtomicUsize::new(0);
+    let poisoned = AtomicBool::new(false);
+    let lanes = lanes.clamp(1, tasks.len().max(1));
+    let mut drain_err = None;
+    std::thread::scope(|scope| {
+        for _ in 0..lanes {
+            scope.spawn(|| {
+                let _flag = crate::sweep::PanicFlag(&poisoned);
+                loop {
+                    let index = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(task) = tasks.get(index) else { break };
+                    let outcome = run(index, task);
+                    assert!(slots[index].set(outcome).is_ok(), "lane slot written twice");
+                }
+            });
+        }
+        for (index, slot) in slots.iter().enumerate() {
+            // `None` means a lane died; stop draining and let the scope
+            // re-raise its panic at join.
+            let Some(outcome) = crate::sweep::wait_filled(slot, &poisoned) else {
+                return;
+            };
+            if let Err(e) = drain(index, outcome) {
+                drain_err = Some(e);
+                return;
+            }
+        }
+    });
+    match drain_err {
+        Some(e) => Err(e),
+        None => Ok(slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("all lane slots filled"))
+            .collect()),
+    }
 }
 
 /// What happened to one queued study.

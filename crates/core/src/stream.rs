@@ -124,6 +124,33 @@ pub enum StudyEvent<'a> {
         /// Final stats.
         stats: &'a StudyStats,
     },
+    /// One fault-injection trial completed (fault campaigns only; see
+    /// [`crate::fault_study`]). Emitted in trial slot order after the base
+    /// study's events.
+    FaultTrialProduced {
+        /// Trial slot index in the deterministic `models × trials` order.
+        index: usize,
+        /// The trial record (injection seed included, so the wire carries
+        /// everything a replay needs).
+        trial: &'a crate::fault_study::FaultTrial,
+    },
+    /// Accuracy verdict for one fault model (fault campaigns only).
+    /// Delivered to passive sinks too, like `TargetWinnerSelected`.
+    AccuracyDegraded {
+        /// Model index in the deterministic model-expansion order.
+        index: usize,
+        /// The per-model accuracy report.
+        report: &'a crate::fault_study::FaultModelReport,
+    },
+    /// A fault campaign completed — the terminal event of fault streams,
+    /// which never emit `StudyFinished` (the base study's counters ride
+    /// inside [`crate::fault_study::FaultStudyStats`]).
+    FaultStudyFinished {
+        /// Study name.
+        name: &'a str,
+        /// Final counters (base study + fault phase).
+        stats: &'a crate::fault_study::FaultStudyStats,
+    },
 }
 
 impl StudyEvent<'_> {
@@ -136,6 +163,9 @@ impl StudyEvent<'_> {
             Self::EvaluationProduced { .. } => "evaluation_produced",
             Self::TargetWinnerSelected { .. } => "target_winner_selected",
             Self::StudyFinished { .. } => "study_finished",
+            Self::FaultTrialProduced { .. } => "fault_trial_produced",
+            Self::AccuracyDegraded { .. } => "accuracy_degraded",
+            Self::FaultStudyFinished { .. } => "fault_study_finished",
         }
     }
 }
@@ -150,6 +180,29 @@ fn uint(n: usize) -> Value {
 
 fn text(s: &str) -> Value {
     Value::Str(s.to_owned())
+}
+
+/// The flat field block shared by `study_finished` and
+/// `fault_study_finished` (which extends it with fault counters).
+fn push_finished_fields(fields: &mut Vec<(String, Value)>, name: &str, stats: &StudyStats) {
+    fields.push(field("name", text(name)));
+    fields.push(field("jobs", uint(stats.jobs)));
+    fields.push(field("targets", uint(stats.targets)));
+    fields.push(field("traffic", uint(stats.traffic_patterns)));
+    fields.push(field("arrays", uint(stats.arrays)));
+    fields.push(field("evaluations", uint(stats.evaluations)));
+    fields.push(field("skipped", uint(stats.skipped)));
+    let cache = match stats.cache {
+        Some(c) => Value::Object(vec![
+            field("hits", Value::Uint(c.hits)),
+            field("misses", Value::Uint(c.misses)),
+            field("pruned", Value::Uint(c.pruned)),
+            field("hit_rate", Value::Float(c.hit_rate())),
+            field("prune_rate", Value::Float(c.prune_rate())),
+        ]),
+        None => Value::Null,
+    };
+    fields.push(field("cache", cache));
 }
 
 // Hand-written (the derive stand-in does not handle lifetimes): every event
@@ -200,24 +253,45 @@ impl Serialize for StudyEvent<'_> {
                 ));
             }
             Self::StudyFinished { name, stats } => {
-                fields.push(field("name", text(name)));
-                fields.push(field("jobs", uint(stats.jobs)));
-                fields.push(field("targets", uint(stats.targets)));
-                fields.push(field("traffic", uint(stats.traffic_patterns)));
-                fields.push(field("arrays", uint(stats.arrays)));
-                fields.push(field("evaluations", uint(stats.evaluations)));
-                fields.push(field("skipped", uint(stats.skipped)));
-                let cache = match stats.cache {
-                    Some(c) => Value::Object(vec![
-                        field("hits", Value::Uint(c.hits)),
-                        field("misses", Value::Uint(c.misses)),
-                        field("pruned", Value::Uint(c.pruned)),
-                        field("hit_rate", Value::Float(c.hit_rate())),
-                        field("prune_rate", Value::Float(c.prune_rate())),
-                    ]),
-                    None => Value::Null,
-                };
-                fields.push(field("cache", cache));
+                push_finished_fields(&mut fields, name, stats);
+            }
+            Self::FaultTrialProduced { index, trial } => {
+                fields.push(field("index", uint(*index)));
+                fields.push(field("model_index", uint(trial.model_index)));
+                fields.push(field("trial", Value::Uint(u64::from(trial.trial))));
+                fields.push(field("cell", text(&trial.cell)));
+                fields.push(field("bits_per_cell", trial.bits_per_cell.to_value()));
+                fields.push(field("temperature_c", Value::Float(trial.temperature_c)));
+                fields.push(field("bit_error_rate", Value::Float(trial.bit_error_rate)));
+                fields.push(field("injection_seed", Value::Uint(trial.injection_seed)));
+                fields.push(field("bits_total", Value::Uint(trial.bits_total)));
+                fields.push(field("bits_flipped", Value::Uint(trial.bits_flipped)));
+                fields.push(field("accuracy", Value::Float(trial.accuracy)));
+            }
+            Self::AccuracyDegraded { index, report } => {
+                fields.push(field("index", uint(*index)));
+                fields.push(field("model_index", uint(report.model_index)));
+                fields.push(field("cell", text(&report.cell)));
+                fields.push(field("bits_per_cell", report.bits_per_cell.to_value()));
+                fields.push(field("temperature_c", Value::Float(report.temperature_c)));
+                fields.push(field("baseline", Value::Float(report.report.baseline)));
+                fields.push(field("mean", Value::Float(report.report.mean)));
+                fields.push(field("worst", Value::Float(report.report.worst)));
+                fields.push(field(
+                    "bit_error_rate",
+                    Value::Float(report.report.bit_error_rate),
+                ));
+                fields.push(field(
+                    "trials",
+                    Value::Uint(u64::from(report.report.trials)),
+                ));
+                fields.push(field("acceptable", Value::Bool(report.acceptable)));
+            }
+            Self::FaultStudyFinished { name, stats } => {
+                push_finished_fields(&mut fields, name, &stats.base);
+                fields.push(field("models", uint(stats.models)));
+                fields.push(field("trials", uint(stats.trials)));
+                fields.push(field("degraded", uint(stats.degraded)));
             }
         }
         Value::Object(fields)
@@ -327,6 +401,9 @@ pub struct StudyResultBuilder {
     arrays: Vec<ArrayCharacterization>,
     evaluations: Vec<Evaluation>,
     skipped: Vec<(String, String)>,
+    fault_trials: Vec<crate::fault_study::FaultTrial>,
+    fault_reports: Vec<crate::fault_study::FaultModelReport>,
+    fault_stats: Option<crate::fault_study::FaultStudyStats>,
     finished: bool,
 }
 
@@ -344,15 +421,35 @@ impl StudyResultBuilder {
         &self.evaluations
     }
 
-    /// The assembled result, or `None` when no `StudyFinished` event was
-    /// seen (the stream was aborted or is still running).
+    /// The assembled result, or `None` when no terminal event
+    /// (`StudyFinished` or `FaultStudyFinished`) was seen (the stream was
+    /// aborted or is still running).
     pub fn finish(self) -> Option<StudyResult> {
-        self.finished.then_some(StudyResult {
+        self.finish_parts().map(|(result, _)| result)
+    }
+
+    /// Like [`Self::finish`], additionally returning the fault-campaign
+    /// outcome when the stream was a fault campaign (terminal event
+    /// `fault_study_finished`); `None` in the second slot for plain
+    /// studies.
+    pub fn finish_parts(self) -> Option<(StudyResult, Option<crate::fault_study::FaultOutcome>)> {
+        if !self.finished {
+            return None;
+        }
+        let result = StudyResult {
             name: self.name,
             arrays: self.arrays,
             evaluations: self.evaluations,
             skipped: self.skipped,
-        })
+        };
+        let fault = self
+            .fault_stats
+            .map(|stats| crate::fault_study::FaultOutcome {
+                trials: self.fault_trials,
+                reports: self.fault_reports,
+                stats,
+            });
+        Some((result, fault))
     }
 }
 
@@ -374,6 +471,17 @@ impl ResultSink for StudyResultBuilder {
             }
             StudyEvent::TargetWinnerSelected { .. } => {}
             StudyEvent::StudyFinished { .. } => {
+                self.finished = true;
+            }
+            StudyEvent::FaultTrialProduced { trial, .. } => {
+                self.fault_trials.push((*trial).clone());
+            }
+            StudyEvent::AccuracyDegraded { report, .. } => {
+                self.fault_reports.push((*report).clone());
+            }
+            StudyEvent::FaultStudyFinished { name, stats } => {
+                self.name = (*name).to_owned();
+                self.fault_stats = Some(**stats);
                 self.finished = true;
             }
         }

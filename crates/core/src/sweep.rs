@@ -74,7 +74,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, OnceLock};
 
 /// Outcome of a study run.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StudyResult {
     /// Study name (from the config).
     pub name: String,
@@ -251,7 +251,7 @@ pub(crate) fn default_workers() -> usize {
 /// fill. The panic itself still propagates: the drainer stops waiting,
 /// the scope joins its threads, and `std::thread::scope` re-raises the
 /// worker's panic — exactly the pre-streaming batch behavior.
-struct PanicFlag<'a>(&'a AtomicBool);
+pub(crate) struct PanicFlag<'a>(pub(crate) &'a AtomicBool);
 
 impl Drop for PanicFlag<'_> {
     fn drop(&mut self) {
@@ -266,7 +266,7 @@ impl Drop for PanicFlag<'_> {
 /// drainer walks slots in index order, and workers claim jobs in the same
 /// order, so the wait is almost always short — but correctness never
 /// depends on that.
-fn wait_filled<'s, T>(slot: &'s OnceLock<T>, poisoned: &AtomicBool) -> Option<&'s T> {
+pub(crate) fn wait_filled<'s, T>(slot: &'s OnceLock<T>, poisoned: &AtomicBool) -> Option<&'s T> {
     loop {
         if let Some(value) = slot.get() {
             return Some(value);

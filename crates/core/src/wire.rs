@@ -8,11 +8,12 @@
 //! event object *extended* with a three-field header — not a second format:
 //!
 //! ```text
-//! {"v":1,"study":"quickstart","seq":7,"event":"evaluation_produced",...}
+//! {"v":2,"study":"quickstart","seq":7,"event":"evaluation_produced",...}
 //! ```
 //!
-//! - `v` — protocol version ([`WIRE_VERSION`]). Readers reject any other
-//!   value instead of guessing.
+//! - `v` — protocol version ([`WIRE_VERSION`]; readers also accept
+//!   [`WIRE_MIN_VERSION`] for pre-fault captures). Any other value is
+//!   rejected instead of guessed at.
 //! - `study` — the study name, stamped on every line so interleaved or
 //!   concatenated captures stay attributable.
 //! - `seq` — the event's position in the engine's deterministic slot-order
@@ -41,11 +42,16 @@
 //! [`StudyResultBuilder`] — byte-identical to the in-process run, proven by
 //! proptest in `tests/wire_roundtrip.rs`. Replay is *strict*: unknown
 //! versions, malformed lines, out-of-order or duplicate slots, study-name
-//! changes mid-stream, and truncation (no `study_finished`) are all hard
-//! errors, because a campaign capture that silently tolerated any of those
-//! could not serve as an audit record.
+//! changes mid-stream, and truncation (no terminal `study_finished` /
+//! `fault_study_finished`) are all hard errors, because a campaign capture
+//! that silently tolerated any of those could not serve as an audit
+//! record. Fault-campaign captures additionally rebuild the
+//! [`FaultOutcome`] (trials, per-model verdicts, final counters) from the
+//! version-2 fault events.
 
+use crate::accuracy::AccuracyReport;
 use crate::eval::Evaluation;
+use crate::fault_study::{FaultModelReport, FaultOutcome, FaultStudyStats, FaultTrial};
 use crate::stream::{ResultSink, StudyEvent, StudyResultBuilder, StudyStats};
 use crate::sweep::StudyResult;
 use nvmx_nvsim::{ArrayCharacterization, CacheStats, OptimizationTarget};
@@ -53,8 +59,17 @@ use serde::{Serialize, Value};
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 
-/// The wire protocol version stamped on (and required of) every line.
-pub const WIRE_VERSION: u64 = 1;
+/// The wire protocol version stamped on every written line.
+///
+/// Version 2 (this release) adds the fault-campaign events
+/// (`fault_trial_produced`, `accuracy_degraded`, `fault_study_finished`).
+/// Readers also accept version-1 lines — pre-fault captures replay
+/// unchanged; every other version is rejected instead of guessed at.
+/// Re-encoding a parsed frame always stamps the current version.
+pub const WIRE_VERSION: u64 = 2;
+
+/// The oldest protocol version readers still decode.
+pub const WIRE_MIN_VERSION: u64 = 1;
 
 // --------------------------------------------------------------- errors
 
@@ -104,7 +119,8 @@ pub enum WireError {
         /// The name this line carried.
         found: String,
     },
-    /// The stream ended without a `study_finished` event.
+    /// The stream ended without a terminal event (`study_finished`, or
+    /// `fault_study_finished` for fault campaigns).
     Truncated {
         /// Frames successfully read before the end.
         frames: u64,
@@ -125,7 +141,7 @@ impl std::fmt::Display for WireError {
             Self::Corrupt { line, reason } => write!(f, "corrupt wire line {line}: {reason}"),
             Self::Version { line, found } => write!(
                 f,
-                "wire line {line} declares protocol version {found}, this reader speaks {WIRE_VERSION}"
+                "wire line {line} declares protocol version {found}, this reader speaks {WIRE_MIN_VERSION}..={WIRE_VERSION}"
             ),
             Self::DuplicateSlot { line, seq } => {
                 write!(f, "wire line {line} repeats slot {seq}")
@@ -209,7 +225,7 @@ impl std::fmt::Display for FrameError {
         match self {
             Self::Version { found } => write!(
                 f,
-                "frame declares protocol version {found}, this reader speaks {WIRE_VERSION}"
+                "frame declares protocol version {found}, this reader speaks {WIRE_MIN_VERSION}..={WIRE_VERSION}"
             ),
             Self::Corrupt { reason } => write!(f, "corrupt frame: {reason}"),
         }
@@ -284,6 +300,28 @@ pub enum OwnedStudyEvent {
         /// Final counters.
         stats: StudyStats,
     },
+    /// See [`StudyEvent::FaultTrialProduced`] (protocol version 2).
+    FaultTrialProduced {
+        /// Trial slot index.
+        index: usize,
+        /// The trial record, injection seed included.
+        trial: FaultTrial,
+    },
+    /// See [`StudyEvent::AccuracyDegraded`] (protocol version 2).
+    AccuracyDegraded {
+        /// Model index in the campaign's expansion order.
+        index: usize,
+        /// The per-model accuracy verdict.
+        report: FaultModelReport,
+    },
+    /// See [`StudyEvent::FaultStudyFinished`] (protocol version 2) — the
+    /// terminal event of fault-campaign streams.
+    FaultStudyFinished {
+        /// Study name.
+        name: String,
+        /// Final counters (base study + fault phase).
+        stats: FaultStudyStats,
+    },
 }
 
 fn field<'v>(obj: &'v [(String, Value)], name: &str) -> Result<&'v Value, FrameError> {
@@ -329,12 +367,54 @@ fn float_field(obj: &[(String, Value)], name: &str) -> Result<f64, FrameError> {
         .ok_or_else(|| FrameError::corrupt(format!("field `{name}` is not a number")))
 }
 
+fn bool_field(obj: &[(String, Value)], name: &str) -> Result<bool, FrameError> {
+    field(obj, name)?
+        .as_bool()
+        .ok_or_else(|| FrameError::corrupt(format!("field `{name}` is not a boolean")))
+}
+
+fn u32_field(obj: &[(String, Value)], name: &str) -> Result<u32, FrameError> {
+    u32::try_from(uint_field(obj, name)?)
+        .map_err(|_| FrameError::corrupt(format!("field `{name}` out of range")))
+}
+
 fn target_field(obj: &[(String, Value)], name: &str) -> Result<OptimizationTarget, FrameError> {
     let label = str_field(obj, name)?;
     OptimizationTarget::ALL
         .into_iter()
         .find(|t| t.label() == label)
         .ok_or_else(|| FrameError::corrupt(format!("unknown optimization target `{label}`")))
+}
+
+/// Decodes the flat field block shared by `study_finished` and
+/// `fault_study_finished`.
+fn finished_stats(obj: &[(String, Value)]) -> Result<StudyStats, FrameError> {
+    let cache = match field(obj, "cache")? {
+        Value::Null => None,
+        // `pruned` joined the version-1 cache object in PR 5; captures
+        // from older writers decode as zero prunes instead of failing
+        // strict replay.
+        Value::Object(cache) => Some(CacheStats {
+            hits: uint_field(cache, "hits")?,
+            misses: uint_field(cache, "misses")?,
+            pruned: uint_field_or(cache, "pruned", 0)?,
+        }),
+        other => {
+            return Err(FrameError::corrupt(format!(
+                "field `cache` is neither null nor an object, got {}",
+                other.kind()
+            )))
+        }
+    };
+    Ok(StudyStats {
+        jobs: usize_field(obj, "jobs")?,
+        targets: usize_field(obj, "targets")?,
+        traffic_patterns: usize_field(obj, "traffic")?,
+        arrays: usize_field(obj, "arrays")?,
+        evaluations: usize_field(obj, "evaluations")?,
+        skipped: usize_field(obj, "skipped")?,
+        cache,
+    })
 }
 
 impl OwnedStudyEvent {
@@ -379,37 +459,53 @@ impl OwnedStudyEvent {
                 traffic: str_field(obj, "traffic")?.to_owned(),
                 total_power_w: float_field(obj, "total_power_w")?,
             }),
-            "study_finished" => {
-                let cache = match field(obj, "cache")? {
-                    Value::Null => None,
-                    // `pruned` joined the version-1 cache object in PR 5;
-                    // captures from older writers decode as zero prunes
-                    // instead of failing strict replay.
-                    Value::Object(cache) => Some(CacheStats {
-                        hits: uint_field(cache, "hits")?,
-                        misses: uint_field(cache, "misses")?,
-                        pruned: uint_field_or(cache, "pruned", 0)?,
-                    }),
-                    other => {
-                        return Err(FrameError::corrupt(format!(
-                            "field `cache` is neither null nor an object, got {}",
-                            other.kind()
-                        )))
-                    }
-                };
-                Ok(Self::StudyFinished {
-                    name: str_field(obj, "name")?.to_owned(),
-                    stats: StudyStats {
-                        jobs: usize_field(obj, "jobs")?,
-                        targets: usize_field(obj, "targets")?,
-                        traffic_patterns: usize_field(obj, "traffic")?,
-                        arrays: usize_field(obj, "arrays")?,
-                        evaluations: usize_field(obj, "evaluations")?,
-                        skipped: usize_field(obj, "skipped")?,
-                        cache,
+            "study_finished" => Ok(Self::StudyFinished {
+                name: str_field(obj, "name")?.to_owned(),
+                stats: finished_stats(obj)?,
+            }),
+            "fault_trial_produced" => Ok(Self::FaultTrialProduced {
+                index: usize_field(obj, "index")?,
+                trial: FaultTrial {
+                    model_index: usize_field(obj, "model_index")?,
+                    trial: u32_field(obj, "trial")?,
+                    cell: str_field(obj, "cell")?.to_owned(),
+                    bits_per_cell: serde_json::from_value(field(obj, "bits_per_cell")?)
+                        .map_err(|e| FrameError::corrupt(format!("bad bits_per_cell: {e}")))?,
+                    temperature_c: float_field(obj, "temperature_c")?,
+                    bit_error_rate: float_field(obj, "bit_error_rate")?,
+                    injection_seed: uint_field(obj, "injection_seed")?,
+                    bits_total: uint_field(obj, "bits_total")?,
+                    bits_flipped: uint_field(obj, "bits_flipped")?,
+                    accuracy: float_field(obj, "accuracy")?,
+                },
+            }),
+            "accuracy_degraded" => Ok(Self::AccuracyDegraded {
+                index: usize_field(obj, "index")?,
+                report: FaultModelReport {
+                    model_index: usize_field(obj, "model_index")?,
+                    cell: str_field(obj, "cell")?.to_owned(),
+                    bits_per_cell: serde_json::from_value(field(obj, "bits_per_cell")?)
+                        .map_err(|e| FrameError::corrupt(format!("bad bits_per_cell: {e}")))?,
+                    temperature_c: float_field(obj, "temperature_c")?,
+                    report: AccuracyReport {
+                        baseline: float_field(obj, "baseline")?,
+                        mean: float_field(obj, "mean")?,
+                        worst: float_field(obj, "worst")?,
+                        bit_error_rate: float_field(obj, "bit_error_rate")?,
+                        trials: u32_field(obj, "trials")?,
                     },
-                })
-            }
+                    acceptable: bool_field(obj, "acceptable")?,
+                },
+            }),
+            "fault_study_finished" => Ok(Self::FaultStudyFinished {
+                name: str_field(obj, "name")?.to_owned(),
+                stats: FaultStudyStats {
+                    base: finished_stats(obj)?,
+                    models: usize_field(obj, "models")?,
+                    trials: usize_field(obj, "trials")?,
+                    degraded: usize_field(obj, "degraded")?,
+                },
+            }),
             other => Err(FrameError::corrupt(format!("unknown event tag `{other}`"))),
         }
     }
@@ -454,6 +550,17 @@ impl OwnedStudyEvent {
             }
             Self::TargetWinnerSelected { .. } => None,
             Self::StudyFinished { name, stats } => Some(StudyEvent::StudyFinished { name, stats }),
+            Self::FaultTrialProduced { index, trial } => Some(StudyEvent::FaultTrialProduced {
+                index: *index,
+                trial,
+            }),
+            Self::AccuracyDegraded { index, report } => Some(StudyEvent::AccuracyDegraded {
+                index: *index,
+                report,
+            }),
+            Self::FaultStudyFinished { name, stats } => {
+                Some(StudyEvent::FaultStudyFinished { name, stats })
+            }
         }
     }
 
@@ -466,6 +573,9 @@ impl OwnedStudyEvent {
             Self::EvaluationProduced { .. } => "evaluation_produced",
             Self::TargetWinnerSelected { .. } => "target_winner_selected",
             Self::StudyFinished { .. } => "study_finished",
+            Self::FaultTrialProduced { .. } => "fault_trial_produced",
+            Self::AccuracyDegraded { .. } => "accuracy_degraded",
+            Self::FaultStudyFinished { .. } => "fault_study_finished",
         }
     }
 
@@ -504,8 +614,9 @@ impl OwnedStudyEvent {
 /// One parsed wire line: the protocol header plus the event.
 #[derive(Debug, Clone, PartialEq)]
 pub struct WireFrame {
-    /// Protocol version the line declared (always [`WIRE_VERSION`] after a
-    /// successful parse).
+    /// Protocol version the line declared (within
+    /// [`WIRE_MIN_VERSION`]`..=`[`WIRE_VERSION`] after a successful
+    /// parse; re-encoding always stamps the current [`WIRE_VERSION`]).
     pub version: u64,
     /// Study name from the header.
     pub study: String,
@@ -521,7 +632,8 @@ impl WireFrame {
     ///
     /// # Errors
     ///
-    /// [`FrameError::Version`] when `v` is not [`WIRE_VERSION`];
+    /// [`FrameError::Version`] when `v` is outside
+    /// [`WIRE_MIN_VERSION`]`..=`[`WIRE_VERSION`];
     /// [`FrameError::Corrupt`] for anything else wrong with the line.
     pub fn parse(line: &str) -> Result<Self, FrameError> {
         let value: Value = serde_json::from_str(line)
@@ -530,7 +642,7 @@ impl WireFrame {
             .as_object()
             .ok_or_else(|| FrameError::corrupt("wire line is not a JSON object"))?;
         let version = uint_field(obj, "v")?;
-        if version != WIRE_VERSION {
+        if !(WIRE_MIN_VERSION..=WIRE_VERSION).contains(&version) {
             return Err(FrameError::Version { found: version });
         }
         Ok(Self {
@@ -550,6 +662,8 @@ impl WireFrame {
     /// The frame as one JSONL line (no trailing newline). Parse → re-encode
     /// is the identity on lines produced by [`WireSink`], so a coordinator
     /// can re-emit merged frames into a capture file byte-faithfully.
+    /// (Version-1 lines re-encode stamped with the current version — the
+    /// payload bytes are unchanged, only the header advances.)
     pub fn to_line(&self) -> String {
         serde_json::to_string(&self.to_value()).expect("wire frames always serialize")
     }
@@ -889,9 +1003,16 @@ impl EventReplayer {
         }
     }
 
-    /// The rebuilt result, or `None` when no `study_finished` was applied.
+    /// The rebuilt result, or `None` when no terminal event was applied.
     pub fn finish(self) -> Option<StudyResult> {
         self.builder.finish()
+    }
+
+    /// The rebuilt result plus the fault-campaign outcome (for streams
+    /// terminated by `fault_study_finished`), or `None` when no terminal
+    /// event was applied.
+    pub fn finish_parts(self) -> Option<(StudyResult, Option<FaultOutcome>)> {
+        self.builder.finish_parts()
     }
 }
 
@@ -905,6 +1026,9 @@ pub struct Replay {
     /// The rebuilt result — byte-identical to the in-process run that
     /// produced the capture.
     pub result: StudyResult,
+    /// The fault-campaign outcome, for captures terminated by
+    /// `fault_study_finished`; `None` for plain studies.
+    pub fault: Option<FaultOutcome>,
 }
 
 /// Strictly replays a captured wire stream, rebuilding the
@@ -971,7 +1095,10 @@ pub fn replay_into<R: BufRead>(reader: R, sink: &mut dyn ResultSink) -> Result<R
             }
             std::cmp::Ordering::Equal => {}
         }
-        if let OwnedStudyEvent::StudyFinished { .. } = &frame.event {
+        if matches!(
+            &frame.event,
+            OwnedStudyEvent::StudyFinished { .. } | OwnedStudyEvent::FaultStudyFinished { .. }
+        ) {
             finished = true;
         }
         replayer.apply(&frame.event, sink).map_err(|e| {
@@ -991,11 +1118,14 @@ pub fn replay_into<R: BufRead>(reader: R, sink: &mut dyn ResultSink) -> Result<R
     if !finished {
         return Err(WireError::Truncated { frames });
     }
-    let result = replayer.finish().expect("finished stream builds a result");
+    let (result, fault) = replayer
+        .finish_parts()
+        .expect("finished stream builds a result");
     Ok(Replay {
         study: study.expect("finished stream has frames"),
         frames,
         result,
+        fault,
     })
 }
 
@@ -1038,11 +1168,20 @@ mod tests {
 
     #[test]
     fn frame_version_is_enforced() {
-        let line = r#"{"v":2,"study":"s","seq":0,"event":"study_started","name":"s","cells":1,"jobs":1,"targets":1,"traffic":1}"#;
+        let line = r#"{"v":3,"study":"s","seq":0,"event":"study_started","name":"s","cells":1,"jobs":1,"targets":1,"traffic":1}"#;
         match WireFrame::parse(line) {
-            Err(FrameError::Version { found }) => assert_eq!(found, 2),
+            Err(FrameError::Version { found }) => assert_eq!(found, 3),
             other => panic!("expected version error, got {other:?}"),
         }
+        let zero = r#"{"v":0,"study":"s","seq":0,"event":"study_started","name":"s","cells":1,"jobs":1,"targets":1,"traffic":1}"#;
+        assert!(matches!(
+            WireFrame::parse(zero),
+            Err(FrameError::Version { found: 0 })
+        ));
+        // Version-1 lines (pre-fault captures) still decode.
+        let v1 = r#"{"v":1,"study":"s","seq":0,"event":"study_started","name":"s","cells":1,"jobs":1,"targets":1,"traffic":1}"#;
+        let frame = WireFrame::parse(v1).unwrap();
+        assert_eq!(frame.version, 1);
         let missing = r#"{"study":"s","seq":0,"event":"study_started"}"#;
         assert!(matches!(
             WireFrame::parse(missing),
@@ -1074,10 +1213,97 @@ mod tests {
             },
         };
         let line = frame.to_line();
-        assert!(line.starts_with(r#"{"v":1,"study":"demo","seq":0,"event":"study_started""#));
+        assert!(line.starts_with(r#"{"v":2,"study":"demo","seq":0,"event":"study_started""#));
         let back = WireFrame::parse(&line).unwrap();
         assert_eq!(back, frame);
         assert_eq!(back.to_line(), line, "parse -> encode must be identity");
+    }
+
+    #[test]
+    fn fault_frames_roundtrip_through_text() {
+        use nvmx_units::BitsPerCell;
+        let trial = WireFrame {
+            version: WIRE_VERSION,
+            study: "faults".into(),
+            seq: 11,
+            event: OwnedStudyEvent::FaultTrialProduced {
+                index: 5,
+                trial: FaultTrial {
+                    model_index: 2,
+                    trial: 1,
+                    cell: "RRAM-opt".into(),
+                    bits_per_cell: BitsPerCell::Mlc2,
+                    temperature_c: 85.0,
+                    bit_error_rate: 1.25e-3,
+                    injection_seed: 0xDEAD_BEEF_0BAD_F00D,
+                    bits_total: 65536,
+                    bits_flipped: 82,
+                    accuracy: 0.1 + 0.2, // deliberately non-representable
+                },
+            },
+        };
+        let line = trial.to_line();
+        assert!(line.contains(r#""event":"fault_trial_produced""#));
+        let seed_field = format!(r#""injection_seed":{}"#, 0xDEAD_BEEF_0BAD_F00D_u64);
+        assert!(line.contains(&seed_field));
+        let back = WireFrame::parse(&line).unwrap();
+        assert_eq!(back, trial);
+        assert_eq!(back.to_line(), line);
+
+        let verdict = WireFrame {
+            version: WIRE_VERSION,
+            study: "faults".into(),
+            seq: 12,
+            event: OwnedStudyEvent::AccuracyDegraded {
+                index: 2,
+                report: FaultModelReport {
+                    model_index: 2,
+                    cell: "RRAM-opt".into(),
+                    bits_per_cell: BitsPerCell::Mlc2,
+                    temperature_c: 85.0,
+                    report: AccuracyReport {
+                        baseline: 0.93,
+                        mean: 0.88,
+                        worst: 0.84,
+                        bit_error_rate: 1.25e-3,
+                        trials: 3,
+                    },
+                    acceptable: false,
+                },
+            },
+        };
+        let line = verdict.to_line();
+        let back = WireFrame::parse(&line).unwrap();
+        assert_eq!(back, verdict);
+        assert_eq!(back.to_line(), line);
+
+        let finished = WireFrame {
+            version: WIRE_VERSION,
+            study: "faults".into(),
+            seq: 13,
+            event: OwnedStudyEvent::FaultStudyFinished {
+                name: "faults".into(),
+                stats: FaultStudyStats {
+                    base: StudyStats {
+                        jobs: 4,
+                        targets: 1,
+                        traffic_patterns: 1,
+                        arrays: 4,
+                        evaluations: 4,
+                        skipped: 0,
+                        cache: None,
+                    },
+                    models: 6,
+                    trials: 18,
+                    degraded: 2,
+                },
+            },
+        };
+        let line = finished.to_line();
+        assert!(line.contains(r#""event":"fault_study_finished""#));
+        let back = WireFrame::parse(&line).unwrap();
+        assert_eq!(back, finished);
+        assert_eq!(back.to_line(), line);
     }
 
     #[test]

@@ -5,8 +5,10 @@
 //! it claims to reject.
 
 use nvmexplorer_core::config::{
-    ArraySettings, CellSelection, Constraints, StudyConfig, TrafficSpec,
+    ArraySettings, CellSelection, Constraints, FaultSpec, FaultStudyConfig, StudyConfig,
+    TrafficSpec,
 };
+use nvmexplorer_core::fault_study::FaultStudyResult;
 use nvmexplorer_core::stream::{ResultSink, StudyEvent, StudyExecutor};
 use nvmexplorer_core::sweep::{run_study_with_threads, StudyResult};
 use nvmexplorer_core::wire::{
@@ -212,7 +214,7 @@ fn strict_replay_rejects_malformed_streams() {
 
     // Unknown protocol version.
     let mut versioned = lines.clone();
-    versioned[0] = versioned[0].replacen("{\"v\":1,", "{\"v\":9,", 1);
+    versioned[0] = versioned[0].replacen("{\"v\":2,", "{\"v\":9,", 1);
     match parse(capture_text(&versioned)) {
         Err(WireError::Version { line, found }) => {
             assert_eq!((line, found), (1, 9));
@@ -307,6 +309,115 @@ fn pre_prune_counter_captures_still_replay() {
     let replayed = replay(std::io::Cursor::new(capture_text(&legacy)))
         .expect("legacy capture without `pruned` must still replay");
     assert_eq!(replayed.frames as usize, legacy.len());
+}
+
+/// Version-1 captures (written before the fault-campaign events landed)
+/// must still replay, and re-encoding a v1 frame stamps the current
+/// protocol version with the payload bytes untouched.
+#[test]
+fn version1_captures_still_replay_and_reencode_as_current() {
+    let lines = capture_shard(&small_study(), Shard::WHOLE, 2);
+    let legacy: Vec<String> = lines
+        .iter()
+        .map(|line| line.replacen("{\"v\":2,", "{\"v\":1,", 1))
+        .collect();
+    assert_ne!(legacy, lines, "downgrade must have rewritten the stamps");
+    let replayed =
+        replay(std::io::Cursor::new(capture_text(&legacy))).expect("v1 capture must still replay");
+    assert_eq!(replayed.frames as usize, legacy.len());
+    for (old, current) in legacy.iter().zip(&lines) {
+        let frame = WireFrame::parse(old).unwrap();
+        assert_eq!(frame.version, 1, "parse preserves the version it read");
+        assert_eq!(
+            &frame.to_line(),
+            current,
+            "re-encode stamps the current version"
+        );
+    }
+}
+
+// --------------------------------------------------------- fault campaigns
+
+fn small_fault_campaign() -> FaultStudyConfig {
+    let mut study = small_study();
+    study.name = "wire-fault".into();
+    FaultStudyConfig {
+        study,
+        fault: FaultSpec {
+            trials: 2,
+            seed: 9,
+            bits_per_cell: vec![BitsPerCell::Slc],
+            temperatures_c: vec![25.0, 85.0],
+            raw_bers: vec![1.0e-3],
+            tolerance: 0.05,
+        },
+    }
+}
+
+/// Runs the fault campaign at `threads`, capturing the wire stream for
+/// `shard` alongside the in-process result.
+fn capture_fault_shard(
+    campaign: &FaultStudyConfig,
+    shard: Shard,
+    threads: usize,
+) -> (Vec<String>, FaultStudyResult) {
+    let mut sink = WireSink::sharded(Vec::new(), shard);
+    let result = StudyExecutor::with_threads(threads)
+        .run_fault(campaign, &mut sink)
+        .expect("fault campaign runs");
+    let lines = String::from_utf8(sink.into_inner())
+        .expect("wire lines are UTF-8")
+        .lines()
+        .map(str::to_owned)
+        .collect();
+    (lines, result)
+}
+
+/// The fault-campaign acceptance bar: the wire carries the injection
+/// seeds, the sharded merge reproduces the unsharded capture byte for
+/// byte, and strict replay rebuilds both the base study result and the
+/// full [`FaultOutcome`].
+#[test]
+fn fault_campaign_survives_sharding_merge_and_replay() {
+    let campaign = small_fault_campaign();
+    let (whole, direct) = capture_fault_shard(&campaign, Shard::WHOLE, 2);
+
+    let has = |tag: &str| whole.iter().any(|l| l.contains(tag));
+    assert!(has("\"event\":\"fault_trial_produced\""));
+    assert!(has("\"event\":\"accuracy_degraded\""));
+    assert!(has("\"injection_seed\":"), "seeds must ride the wire");
+    assert!(
+        !has("\"event\":\"study_finished\""),
+        "fault streams end in their own terminal event"
+    );
+    let last = whole.last().unwrap();
+    assert!(last.contains("\"event\":\"fault_study_finished\""));
+
+    // Strict replay reconstructs both halves of the result.
+    let replayed = replay(std::io::Cursor::new(capture_text(&whole))).unwrap();
+    assert_identical("replay(fault)", &replayed.result, &direct.study);
+    let fault = replayed.fault.expect("fault outcome reconstructed");
+    assert_eq!(fault, direct.fault);
+
+    // Sharded captures at mixed thread counts merge back to the same
+    // bytes, and the merged capture replays to the same outcome.
+    for count in [2u64, 3] {
+        let shards: Vec<Vec<String>> = (0..count)
+            .map(|i| capture_fault_shard(&campaign, Shard::of(i, count).unwrap(), 1 + i as usize).0)
+            .collect();
+        let (capture, merged) = merge_shards(&shards, 1);
+        assert_identical("merged(fault)", &merged, &direct.study);
+        assert_eq!(
+            capture.len(),
+            whole.len(),
+            "shards must partition the stream"
+        );
+        for (m, w) in capture.iter().zip(&whole) {
+            assert_eq!(strip_cache(m), strip_cache(w));
+        }
+        let rereplayed = replay(std::io::Cursor::new(capture_text(&capture))).unwrap();
+        assert_eq!(rereplayed.fault.expect("fault outcome"), direct.fault);
+    }
 }
 
 #[test]

@@ -33,7 +33,7 @@ pub mod tech;
 
 pub use inject::{inject_into_bytes, InjectionReport};
 pub use model::{erfc, LevelModel};
-pub use tech::FaultParams;
+pub use tech::{retention_acceleration, FaultParams};
 
 use nvmx_celldb::CellDefinition;
 use nvmx_units::BitsPerCell;
@@ -57,6 +57,23 @@ impl FaultModel {
     /// using the per-technology parameters of [`tech::FaultParams`].
     pub fn for_cell(cell: &CellDefinition, bits_per_cell: BitsPerCell) -> Self {
         let params = FaultParams::for_technology(cell.technology, cell.area.value());
+        Self {
+            cell_name: cell.name.clone(),
+            bits_per_cell,
+            levels: LevelModel::new(bits_per_cell.levels(), params.sigma),
+        }
+    }
+
+    /// Builds the fault model for `cell` programmed at `bits_per_cell`
+    /// while operating at `celsius`: retention-vs-temperature scaling via
+    /// [`tech::FaultParams::for_technology_at`]. At 25 °C this is exactly
+    /// [`Self::for_cell`].
+    pub fn for_cell_at_temperature(
+        cell: &CellDefinition,
+        bits_per_cell: BitsPerCell,
+        celsius: f64,
+    ) -> Self {
+        let params = FaultParams::for_technology_at(cell.technology, cell.area.value(), celsius);
         Self {
             cell_name: cell.name.clone(),
             bits_per_cell,
@@ -141,6 +158,19 @@ mod tests {
         let cell = nvmx_celldb::custom::sram_16nm();
         let ber = FaultModel::for_cell(&cell, BitsPerCell::Slc).bit_error_rate();
         assert_eq!(ber, 0.0);
+    }
+
+    #[test]
+    fn temperature_raises_ber_relative_to_reference() {
+        let cell = tentpole::tentpole_cell(TechnologyClass::Rram, CellFlavor::Optimistic).unwrap();
+        let reference = FaultModel::for_cell(&cell, BitsPerCell::Mlc2);
+        let at_25 = FaultModel::for_cell_at_temperature(&cell, BitsPerCell::Mlc2, 25.0);
+        let at_85 = FaultModel::for_cell_at_temperature(&cell, BitsPerCell::Mlc2, 85.0);
+        assert_eq!(
+            reference, at_25,
+            "25 °C must be exactly the reference model"
+        );
+        assert!(at_85.bit_error_rate() > at_25.bit_error_rate());
     }
 
     #[test]

@@ -7,8 +7,14 @@ use serde::{Deserialize, Serialize};
 ///
 /// Abramowitz & Stegun approximation 7.1.26 reflected for negative inputs;
 /// absolute error below `1.5e-7`, which is far tighter than any device
-/// parameter feeding it.
+/// parameter feeding it. The result is clamped to the mathematical range
+/// `[0, 2]`, and a NaN input (the one float that could otherwise leak
+/// through the polynomial) saturates to `1.0` — rates derived from this
+/// function are always finite, which the JSONL wire format depends on.
 pub fn erfc(x: f64) -> f64 {
+    if x.is_nan() {
+        return 1.0;
+    }
     if x < 0.0 {
         return 2.0 - erfc(-x);
     }
@@ -16,16 +22,17 @@ pub fn erfc(x: f64) -> f64 {
     let poly = t
         * (0.254829592
             + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
-    poly * (-x * x).exp()
+    (poly * (-x * x).exp()).clamp(0.0, 1.0)
 }
 
 /// Probability that a `N(0, sigma)` deviation exceeds `margin`
-/// (single-sided tail).
+/// (single-sided tail). Clamped to `[0, 0.5]`: extreme sigmas (including
+/// infinity) saturate instead of producing out-of-range probabilities.
 fn tail_probability(margin: f64, sigma: f64) -> f64 {
     if sigma <= 0.0 {
         return 0.0;
     }
-    0.5 * erfc(margin / (sigma * std::f64::consts::SQRT_2))
+    (0.5 * erfc(margin / (sigma * std::f64::consts::SQRT_2))).clamp(0.0, 0.5)
 }
 
 /// Analog storage-level model.
@@ -65,7 +72,8 @@ impl LevelModel {
     }
 
     /// Probability that a read of one cell returns the wrong *level*
-    /// (symbol error rate).
+    /// (symbol error rate). Always finite, in `[0, 1]`, for every
+    /// non-negative sigma including `f64::INFINITY`.
     pub fn symbol_error_rate(&self) -> f64 {
         if self.sigma == 0.0 {
             return 0.0;
@@ -74,16 +82,17 @@ impl LevelModel {
         // Edge levels have one neighboring threshold, inner levels two.
         let l = self.levels as f64;
         let avg_thresholds = (2.0 * (l - 2.0) + 2.0) / l;
-        (single_tail * avg_thresholds).min(1.0)
+        (single_tail * avg_thresholds).clamp(0.0, 1.0)
     }
 
     /// Probability that a stored logical *bit* reads back flipped.
     ///
     /// Gray coding makes adjacent-level errors single-bit errors, so the
     /// per-bit rate is the symbol rate divided by the bits per cell.
+    /// Always finite, in `[0, 0.5]`.
     pub fn bit_error_rate(&self) -> f64 {
         let bits = (self.levels as f64).log2();
-        (self.symbol_error_rate() / bits).min(0.5)
+        (self.symbol_error_rate() / bits).clamp(0.0, 0.5)
     }
 
     /// Builds the model that produces a given bit error rate at `levels`
@@ -186,6 +195,28 @@ mod tests {
     #[test]
     fn ber_saturates_at_half() {
         assert!(LevelModel::new(4, 5.0).bit_error_rate() <= 0.5);
+    }
+
+    #[test]
+    fn extreme_sigmas_never_produce_nan_rates() {
+        for sigma in [1.0e-300, 1.0e-12, 1.0e12, 1.0e300, f64::INFINITY] {
+            for levels in [2u32, 4, 8] {
+                let model = LevelModel::new(levels, sigma);
+                let ser = model.symbol_error_rate();
+                let ber = model.bit_error_rate();
+                assert!(
+                    ser.is_finite() && (0.0..=1.0).contains(&ser),
+                    "SER {ser} at sigma {sigma}"
+                );
+                assert!(
+                    ber.is_finite() && (0.0..=0.5).contains(&ber),
+                    "BER {ber} at sigma {sigma}"
+                );
+            }
+        }
+        assert!(erfc(f64::NAN).is_finite());
+        assert!(erfc(f64::INFINITY) >= 0.0);
+        assert!(erfc(f64::NEG_INFINITY) <= 2.0);
     }
 
     #[test]

@@ -27,6 +27,38 @@ pub struct FaultParams {
 /// device-to-device variation (paper ref. \[120]).
 pub const FEFET_REFERENCE_AREA_F2: f64 = 64.0;
 
+/// Thermal activation energy for retention loss (eV). 0.5 eV is the
+/// conservative end of reported eNVM retention barriers; the paper's
+/// retention discussion (Sec. II-B) and the TU Dortmund NVM tutorial both
+/// use Arrhenius scaling from a room-temperature reference.
+pub const RETENTION_ACTIVATION_ENERGY_EV: f64 = 0.5;
+
+/// Boltzmann constant in eV/K.
+const BOLTZMANN_EV_PER_K: f64 = 8.617_333_262e-5;
+
+/// Reference temperature (25 °C) in kelvin.
+const REFERENCE_KELVIN: f64 = 298.15;
+
+/// Arrhenius acceleration factor for retention loss at `celsius` relative
+/// to the 25 °C reference: `exp(Ea/kB · (1/T0 − 1/T))`. Greater than 1
+/// above 25 °C, less than 1 below; exactly 1 at the reference. Inputs are
+/// clamped to physically meaningful temperatures (above absolute zero), so
+/// the factor is always finite and positive.
+pub fn retention_acceleration(celsius: f64) -> f64 {
+    let kelvin = (celsius + 273.15).max(1.0);
+    let exponent = (RETENTION_ACTIVATION_ENERGY_EV / BOLTZMANN_EV_PER_K)
+        * (1.0 / REFERENCE_KELVIN - 1.0 / kelvin);
+    // Cap the exponent so pathological inputs saturate instead of
+    // overflowing to infinity (the wire format carries these factors).
+    exponent.clamp(-700.0, 700.0).exp()
+}
+
+/// Empirical smearing exponent mapping retention acceleration to level
+/// deviation growth: level distributions broaden far slower than raw
+/// retention time shrinks (drift is partially self-limiting), so sigma
+/// scales with the fourth root of the acceleration factor.
+const THERMAL_SMEAR_EXPONENT: f64 = 0.25;
+
 impl FaultParams {
     /// Fault parameters for `technology` at a given cell footprint.
     ///
@@ -52,6 +84,25 @@ impl FaultParams {
             TechnologyClass::FeRam => 0.035,
         };
         Self { technology, sigma }
+    }
+
+    /// Fault parameters for `technology` at `cell_area_f2`, operating at
+    /// `celsius` instead of the 25 °C reference.
+    ///
+    /// Retention loss accelerates with temperature per the Arrhenius law
+    /// ([`retention_acceleration`]); the programmed-level deviation grows
+    /// with the fourth root of that acceleration (drift smearing is
+    /// sub-linear in retention time). SRAM's digital read keeps sigma at
+    /// zero regardless of temperature.
+    pub fn for_technology_at(technology: TechnologyClass, cell_area_f2: f64, celsius: f64) -> Self {
+        let base = Self::for_technology(technology, cell_area_f2);
+        if base.sigma == 0.0 {
+            return base;
+        }
+        Self {
+            technology,
+            sigma: base.sigma * retention_acceleration(celsius).powf(THERMAL_SMEAR_EXPONENT),
+        }
     }
 }
 
@@ -87,5 +138,27 @@ mod tests {
     fn degenerate_area_is_clamped() {
         let p = FaultParams::for_technology(TechnologyClass::FeFet, 0.0);
         assert!(p.sigma.is_finite());
+    }
+
+    #[test]
+    fn retention_acceleration_is_unity_at_reference() {
+        assert!((retention_acceleration(25.0) - 1.0).abs() < 1e-9);
+        assert!(retention_acceleration(85.0) > retention_acceleration(25.0));
+        assert!(retention_acceleration(-40.0) < 1.0);
+        for t in [-273.15, -1000.0, 0.0, 25.0, 85.0, 125.0, 1.0e6] {
+            let a = retention_acceleration(t);
+            assert!(a.is_finite() && a > 0.0, "acceleration at {t} °C is {a}");
+        }
+    }
+
+    #[test]
+    fn hot_cells_have_wider_distributions() {
+        let cold = FaultParams::for_technology_at(TechnologyClass::Rram, 30.0, 25.0);
+        let hot = FaultParams::for_technology_at(TechnologyClass::Rram, 30.0, 85.0);
+        assert!(hot.sigma > cold.sigma);
+        assert!((cold.sigma - 0.045).abs() < 1e-12, "25 °C is the reference");
+        // SRAM stays digital at any temperature.
+        let sram = FaultParams::for_technology_at(TechnologyClass::Sram, 30.0, 125.0);
+        assert_eq!(sram.sigma, 0.0);
     }
 }

@@ -40,6 +40,39 @@ proptest! {
     }
 
     #[test]
+    fn inversion_recovers_sigma(sigma in 1.0e-3..0.3f64, levels_exp in 1u32..4) {
+        // The round-trip drift check: a model's BER, fed back through the
+        // numeric inverse, must land on the sigma it came from. Skip the
+        // saturated regime (BER pinned at 0.5 loses sigma information).
+        let levels = 1 << levels_exp;
+        let model = LevelModel::new(levels, sigma);
+        let ber = model.bit_error_rate();
+        prop_assume!(ber > 0.0 && ber < 0.499);
+        let recovered = LevelModel::from_bit_error_rate(levels, ber);
+        let drift = (recovered.sigma - sigma).abs() / sigma;
+        prop_assert!(drift < 0.01, "sigma {sigma}, recovered {}", recovered.sigma);
+    }
+
+    #[test]
+    fn symbol_error_rate_is_monotone_in_sigma(a in 1.0e-4..2.0f64, b in 1.0e-4..2.0f64, levels_exp in 1u32..4) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let levels = 1 << levels_exp;
+        let ser_lo = LevelModel::new(levels, lo).symbol_error_rate();
+        let ser_hi = LevelModel::new(levels, hi).symbol_error_rate();
+        prop_assert!(ser_lo <= ser_hi + 1e-15, "SER must not decrease with sigma");
+        prop_assert!(ser_lo.is_finite() && ser_hi.is_finite());
+    }
+
+    #[test]
+    fn extreme_sigmas_keep_rates_finite(sigma_exp in -300.0..300.0f64, levels_exp in 1u32..4) {
+        let model = LevelModel::new(1 << levels_exp, 10f64.powf(sigma_exp));
+        let ser = model.symbol_error_rate();
+        let ber = model.bit_error_rate();
+        prop_assert!(ser.is_finite() && (0.0..=1.0).contains(&ser));
+        prop_assert!(ber.is_finite() && (0.0..=0.5).contains(&ber));
+    }
+
+    #[test]
     fn injection_never_exceeds_buffer_and_matches_report(
         len_kib in 1usize..64,
         ber_exp in -4.0..-1.5f64,
@@ -62,6 +95,32 @@ proptest! {
         model.inject_seeded(&mut a, seed);
         model.inject_seeded(&mut b, seed);
         prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn injection_is_identical_from_any_thread_count(seed in 0u64..200, threads in 1usize..5) {
+        // `inject_seeded` is a pure function of (data, seed): running it
+        // concurrently from N threads on private copies must yield N
+        // identical buffers and reports — the property the fault-study
+        // engine's parallel trial fan-out depends on.
+        let model = FaultModel::from_ber(3.0e-3, BitsPerCell::Mlc2);
+        let outcomes: Vec<(Vec<u8>, _)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| {
+                    let model = &model;
+                    scope.spawn(move || {
+                        let mut data = vec![0x3Cu8; 16384];
+                        let report = model.inject_seeded(&mut data, seed);
+                        (data, report)
+                    })
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        for (data, report) in &outcomes[1..] {
+            prop_assert_eq!(data, &outcomes[0].0);
+            prop_assert_eq!(report, &outcomes[0].1);
+        }
     }
 
     #[test]

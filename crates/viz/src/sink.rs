@@ -128,7 +128,13 @@ impl<W: Write> ResultSink for CsvSink<W> {
                 writeln!(self.out, "{}", cells.join(","))?;
                 self.rows += 1;
             }
-            StudyEvent::StudyFinished { .. } => self.out.flush()?,
+            // Fault campaigns end in their own terminal event (the base
+            // study's `study_finished` is absorbed by the campaign); flush
+            // on either terminal. Per-trial fault events carry no
+            // evaluation, so they add no rows.
+            StudyEvent::StudyFinished { .. } | StudyEvent::FaultStudyFinished { .. } => {
+                self.out.flush()?;
+            }
             _ => {}
         }
         Ok(())
@@ -178,7 +184,10 @@ impl<W: Write> ResultSink for JsonlSink<W> {
         let line = serde_json::to_string(event).map_err(std::io::Error::other)?;
         writeln!(self.out, "{line}")?;
         self.events += 1;
-        if matches!(event, StudyEvent::StudyFinished { .. }) {
+        if matches!(
+            event,
+            StudyEvent::StudyFinished { .. } | StudyEvent::FaultStudyFinished { .. }
+        ) {
             self.out.flush()?;
         }
         Ok(())
@@ -192,6 +201,7 @@ pub struct SummaryTableSink<W: Write> {
     out: W,
     study: String,
     winners: Vec<[String; 4]>,
+    verdicts: Vec<[String; 6]>,
     last: Option<String>,
 }
 
@@ -202,6 +212,7 @@ impl<W: Write> SummaryTableSink<W> {
             out,
             study: String::new(),
             winners: Vec::new(),
+            verdicts: Vec::new(),
             last: None,
         }
     }
@@ -218,6 +229,7 @@ impl<W: Write> ResultSink for SummaryTableSink<W> {
             StudyEvent::StudyStarted { name, .. } => {
                 self.study = (*name).to_owned();
                 self.winners.clear();
+                self.verdicts.clear();
             }
             StudyEvent::TargetWinnerSelected { target, winner } => {
                 self.winners.push([
@@ -258,6 +270,46 @@ impl<W: Write> ResultSink for SummaryTableSink<W> {
                 self.out.flush()?;
                 self.last = Some(summary);
             }
+            StudyEvent::AccuracyDegraded { report, .. } => {
+                self.verdicts.push([
+                    report.cell.clone(),
+                    report.bits_per_cell.to_string(),
+                    format!("{:.1}", report.temperature_c),
+                    format!("{:.2e}", report.report.bit_error_rate),
+                    format!("{:.4} / {:.4}", report.report.mean, report.report.worst),
+                    if report.acceptable {
+                        "ok".to_owned()
+                    } else {
+                        "degraded".to_owned()
+                    },
+                ]);
+            }
+            StudyEvent::FaultStudyFinished { name, stats } => {
+                let mut table = AsciiTable::new(vec![
+                    "cell".into(),
+                    "bits/cell".into(),
+                    "temp C".into(),
+                    "BER".into(),
+                    "accuracy mean / worst".into(),
+                    "verdict".into(),
+                ]);
+                for verdict in &self.verdicts {
+                    table.row(verdict.to_vec());
+                }
+                let summary = format!(
+                    "fault study `{name}`: {} arrays, {} evaluations, {} fault models, \
+                     {} trials, {} degraded\n{}",
+                    stats.base.arrays,
+                    stats.base.evaluations,
+                    stats.models,
+                    stats.trials,
+                    stats.degraded,
+                    table.render()
+                );
+                writeln!(self.out, "{summary}")?;
+                self.out.flush()?;
+                self.last = Some(summary);
+            }
             _ => {}
         }
         Ok(())
@@ -265,9 +317,11 @@ impl<W: Write> ResultSink for SummaryTableSink<W> {
 
     fn is_passive(&self) -> bool {
         // Everything this sink renders comes from the bracketing events
-        // (study_started / target_winner_selected / study_finished), which
-        // passive sinks are still delivered — so a summary-only run keeps
-        // the batch engine's drain-free execution profile.
+        // (study_started / target_winner_selected / study_finished, plus
+        // the per-model accuracy_degraded verdicts and the fault
+        // campaign's own terminal event), which passive sinks are still
+        // delivered — so a summary-only run keeps the batch engine's
+        // drain-free execution profile.
         true
     }
 }
@@ -425,6 +479,49 @@ mod tests {
         }
         assert!(csv.rows() > 0);
         assert!(jsonl.events() > csv.rows());
+    }
+
+    #[test]
+    fn fault_campaign_streams_through_every_sink() {
+        use nvmexplorer_core::config::{FaultSpec, FaultStudyConfig};
+        let campaign = FaultStudyConfig {
+            study: small_study(),
+            fault: FaultSpec {
+                trials: 2,
+                seed: 3,
+                bits_per_cell: vec![nvmx_units::BitsPerCell::Slc],
+                temperatures_c: vec![25.0],
+                raw_bers: vec![1.0e-2],
+                tolerance: 0.05,
+            },
+        };
+        let mut csv = CsvSink::new(Vec::new());
+        let mut jsonl = JsonlSink::new(Vec::new());
+        let mut summary = SummaryTableSink::new(Vec::new());
+        let result = {
+            let mut multi = MultiSink::new()
+                .with(&mut csv)
+                .with(&mut jsonl)
+                .with(&mut summary);
+            StudyExecutor::with_threads(2)
+                .run_fault(&campaign, &mut multi)
+                .unwrap()
+        };
+        // Trials add no CSV rows; the base study's evaluations do.
+        assert_eq!(csv.rows(), result.study.evaluations.len());
+        let text = String::from_utf8(jsonl.into_inner()).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert!(lines
+            .iter()
+            .any(|l| l.contains("\"event\":\"fault_trial_produced\"")));
+        assert!(lines
+            .last()
+            .unwrap()
+            .contains("\"event\":\"fault_study_finished\""));
+        assert!(!text.contains("\"event\":\"study_finished\""));
+        let rendered = summary.last_summary().expect("campaign finished");
+        assert!(rendered.contains("fault study `sink-test`"));
+        assert!(rendered.contains("fault models"));
     }
 
     #[test]
