@@ -33,6 +33,7 @@ fn study() -> StudyConfig {
         },
         constraints: Default::default(),
         output: Default::default(),
+        store: Default::default(),
     }
 }
 

@@ -39,6 +39,14 @@
 //!   points overlap an earlier study's start their branch-and-bound scans
 //!   from the recorded winners. Per-study seeded prune rates are recorded
 //!   next to the cold rates and hard-gated.
+//! - **`store_campaign`** (the PR 8 target): the multi-capacity study run
+//!   by simulated cold *processes* — a fresh `SubarrayCache` (empty
+//!   in-memory L1) per rep — against one persistent on-disk
+//!   characterization store (`nvmx_nvsim::store`). Cold reps start from an
+//!   empty store dir and publish; warm reps attach a fresh cache to the
+//!   published store and load slabs instead of recomputing. Results must
+//!   stay byte-identical to the storeless reference, and the warm-store L2
+//!   hit rate is hard-gated.
 //!
 //! Every timed row also records `evaluations_per_sec` (that group's
 //! evaluation count over the current engine's median wall-clock) and an
@@ -107,6 +115,14 @@ const EVALS_PER_SEC_FLOOR: f64 = 100_000.0;
 /// gross regression such as rebuilding the classifier per trial.
 const FAULT_TRIALS_PER_SEC_FLOOR: f64 = 5.0;
 
+/// Floor on the warm-store L2 hit rate: a fresh cache (a cold process's
+/// empty L1) over a fully published store must serve essentially every
+/// slab miss from disk. The study is deterministic, so the expected rate
+/// is 1.0; the floor leaves margin only for counter double-counting under
+/// concurrent same-key misses. A regression means the store key or the
+/// slab codec stopped round-tripping.
+const WARM_STORE_L2_HIT_FLOOR: f64 = 0.90;
+
 fn generic_traffic() -> TrafficSpec {
     TrafficSpec::GenericSweep {
         read_min: 1.0e9,
@@ -134,6 +150,7 @@ fn three_target_study() -> StudyConfig {
         traffic: generic_traffic(),
         constraints: Default::default(),
         output: Default::default(),
+        store: Default::default(),
     }
 }
 
@@ -156,6 +173,7 @@ fn multi_capacity_study() -> StudyConfig {
         traffic: generic_traffic(),
         constraints: Default::default(),
         output: Default::default(),
+        store: Default::default(),
     }
 }
 
@@ -188,6 +206,7 @@ fn large_campaign_study() -> StudyConfig {
         },
         constraints: Default::default(),
         output: Default::default(),
+        store: Default::default(),
     }
 }
 
@@ -234,6 +253,7 @@ fn campaign_queue() -> Vec<StudyConfig> {
         traffic: generic_traffic(),
         constraints: Default::default(),
         output: Default::default(),
+        store: Default::default(),
     };
     vec![
         slice("campaign-small", vec![1, 2]),
@@ -506,6 +526,63 @@ fn main() {
             drop(executor.run_fault(&fault, &mut NullSink).unwrap());
         });
         fault_rows.push((threads, current_ms));
+    }
+
+    // --- store_campaign group (the PR 8 target) -----------------------------
+    // A fresh SubarrayCache over a persistent store models a cold *process*:
+    // the in-memory L1 starts empty, so every slab miss consults the
+    // on-disk L2. Cold = empty store dir (characterize, then publish);
+    // warm = fresh cache attached to the published store.
+    let store_dir = std::env::temp_dir().join(format!("nvmx_bench_store_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&store_dir);
+    let cold_store_cache = SubarrayCache::with_store(&store_dir).expect("store dir opens");
+    let cold_store_result =
+        sweep::run_study_with_cache(&multi, 8, &cold_store_cache).expect("cold-store run");
+    assert_eq!(
+        reference.arrays, cold_store_result.arrays,
+        "cold-store arrays diverged; refusing to record bench"
+    );
+    assert_eq!(reference.evaluations, cold_store_result.evaluations);
+    let cold_store_stats = cold_store_cache.stats();
+    let slabs_published = std::fs::read_dir(&store_dir)
+        .map(|entries| {
+            entries
+                .filter_map(Result::ok)
+                .filter(|e| e.path().extension().is_some_and(|ext| ext == "slab"))
+                .count()
+        })
+        .unwrap_or(0);
+    let warm_store_cache = SubarrayCache::with_store(&store_dir).expect("store dir reopens");
+    let warm_store_result =
+        sweep::run_study_with_cache(&multi, 8, &warm_store_cache).expect("warm-store run");
+    assert_eq!(
+        reference.arrays, warm_store_result.arrays,
+        "warm-store arrays diverged; refusing to record bench"
+    );
+    assert_eq!(reference.evaluations, warm_store_result.evaluations);
+    let warm_store_stats = warm_store_cache.stats();
+    let warm_l2_lookups =
+        warm_store_stats.l2_hits + warm_store_stats.l2_misses + warm_store_stats.l2_rejects;
+    let warm_l2_hit_rate = if warm_l2_lookups == 0 {
+        0.0
+    } else {
+        warm_store_stats.l2_hits as f64 / warm_l2_lookups as f64
+    };
+
+    let mut store_rows = Vec::new();
+    for threads in [1usize, 8] {
+        let cold_ms = median_ms(reps, || {
+            let _ = std::fs::remove_dir_all(&store_dir);
+            let cache = SubarrayCache::with_store(&store_dir).expect("store dir opens");
+            drop(sweep::run_study_with_cache(&multi, threads, &cache).unwrap());
+        });
+        // The cold reps leave the store fully published; each warm rep
+        // attaches a fresh cache, modelling a new process joining it.
+        let warm_ms = median_ms(reps, || {
+            let cache = SubarrayCache::with_store(&store_dir).expect("store dir reopens");
+            drop(sweep::run_study_with_cache(&multi, threads, &cache).unwrap());
+        });
+        store_rows.push((threads, cold_ms, warm_ms));
     }
 
     let mut json = String::from("{\n");
@@ -784,6 +861,46 @@ fn main() {
             if i + 1 < fault_rows.len() { "," } else { "" }
         );
     }
+    json.push_str("    ]\n  },\n");
+
+    json.push_str("  \"store_campaign\": {\n");
+    json.push_str(
+        "    \"study\": \"the multi_capacity study run by simulated cold processes (fresh SubarrayCache per rep) against one persistent on-disk characterization store\",\n",
+    );
+    json.push_str("    \"engines\": {\n");
+    json.push_str(
+        "      \"cold_store\": \"fresh cache over an empty store dir: every slab characterized from scratch, then published via atomic temp+rename\",\n",
+    );
+    json.push_str(
+        "      \"warm_store\": \"fresh cache (a new process's empty L1) over the published store: slab misses load from the on-disk L2 instead of recomputing\"\n",
+    );
+    json.push_str("    },\n");
+    let _ = writeln!(
+        json,
+        "    \"cold_store_l2\": {{\"l2_hits\": {}, \"l2_misses\": {}, \"l2_rejects\": {}, \"slabs_published\": {}}},",
+        cold_store_stats.l2_hits,
+        cold_store_stats.l2_misses,
+        cold_store_stats.l2_rejects,
+        slabs_published
+    );
+    let _ = writeln!(
+        json,
+        "    \"warm_store_l2\": {{\"l2_hits\": {}, \"l2_misses\": {}, \"l2_rejects\": {}, \"l2_hit_rate\": {:.3}}},",
+        warm_store_stats.l2_hits,
+        warm_store_stats.l2_misses,
+        warm_store_stats.l2_rejects,
+        warm_l2_hit_rate
+    );
+    json.push_str("    \"results_ms_median\": [\n");
+    for (i, (threads, cold_ms, warm_ms)) in store_rows.iter().enumerate() {
+        let _ = writeln!(
+            json,
+            "      {{\"threads\": {threads}, \"cold_store_ms\": {cold_ms:.2}, \"warm_store_ms\": {warm_ms:.2}, \"speedup\": {:.2}, \"oversubscribed\": {}}}{}",
+            cold_ms / warm_ms,
+            *threads > parallelism,
+            if i + 1 < store_rows.len() { "," } else { "" }
+        );
+    }
     json.push_str("    ]\n  }\n}\n");
 
     nvmx_bench::campaign::write_file_atomic(std::path::Path::new(&out_path), json.as_bytes())
@@ -829,6 +946,15 @@ fn main() {
         fault_reference.fault.stats.trials,
         fault_reference.fault.stats.degraded,
         fault_best_trials_per_sec
+    );
+    let store_one = store_rows.iter().find(|(t, ..)| *t == 1).unwrap();
+    eprintln!(
+        "store campaign: warm-store L2 hit rate {:.1}% ({} slabs published), cold {:.2} ms vs warm {:.2} ms at 1 thread ({:.2}x)",
+        warm_l2_hit_rate * 100.0,
+        slabs_published,
+        store_one.1,
+        store_one.2,
+        store_one.1 / store_one.2
     );
     // --- Hard gates (machine-independent; enforced even under --quick) ----
     assert!(
@@ -892,4 +1018,16 @@ fn main() {
         fault_best_trials_per_sec >= FAULT_TRIALS_PER_SEC_FLOOR,
         "fault-campaign trial throughput {fault_best_trials_per_sec:.1}/s fell below the {FAULT_TRIALS_PER_SEC_FLOOR:.1}/s floor"
     );
+    // Store gates: a cold process attached to a warm store must actually
+    // load slabs from disk (the PR 8 acceptance invariant), and must serve
+    // essentially all of its slab misses from the L2.
+    assert!(
+        warm_store_stats.l2_hits > 0,
+        "a cold process against the warm store loaded no slabs from the on-disk L2"
+    );
+    assert!(
+        warm_l2_hit_rate >= WARM_STORE_L2_HIT_FLOOR,
+        "warm-store L2 hit rate {warm_l2_hit_rate:.3} fell below the {WARM_STORE_L2_HIT_FLOOR} floor — the store key or the slab codec stopped round-tripping"
+    );
+    let _ = std::fs::remove_dir_all(&store_dir);
 }

@@ -46,6 +46,7 @@
 
 use nvmexplorer_core::config::CampaignConfig;
 use nvmexplorer_core::fault_study::FaultOutcome;
+use nvmexplorer_core::fsutil::AtomicFileWriter;
 use nvmexplorer_core::scheduler::run_on_lanes;
 use nvmexplorer_core::sweep::StudyResult;
 use nvmexplorer_core::wire::{EventReplayer, OwnedStudyEvent, SlotMerger, WireFrame};
@@ -61,7 +62,7 @@ use std::time::Duration;
 
 const USAGE: &str = "usage:
   nvmx-coordinator run --config <study.json> [--config <more.json> ...]
-      [--workers N] [--threads T] [--lanes L] [--capture DIR]
+      [--workers N] [--threads T] [--lanes L] [--capture DIR] [--store DIR]
       [--worker-bin PATH] [--max-respawns K] [--respawn-backoff MS]
       [--shard-stall-timeout SECS]
       [--inject-die SHARD:FRAMES] [--inject-die-always]
@@ -90,6 +91,10 @@ struct RunOptions {
     threads: Option<usize>,
     lanes: usize,
     capture: Option<PathBuf>,
+    /// Persistent characterization store directory, forwarded to every
+    /// worker shard (`--store`), so all shards on this host share warm
+    /// physics. Overrides the configs' `store` sections.
+    store: Option<String>,
     worker_bin: PathBuf,
     inject_die: Option<(u64, u64)>,
     /// Re-arm `--inject-die` on every respawn of the victim shard, so its
@@ -116,6 +121,7 @@ fn parse_run_args(args: Vec<String>) -> Result<RunOptions, String> {
     let mut threads = None;
     let mut lanes = 1;
     let mut capture = None;
+    let mut store = None;
     let mut worker_bin = None;
     let mut inject_die = None;
     let mut inject_die_always = false;
@@ -150,6 +156,7 @@ fn parse_run_args(args: Vec<String>) -> Result<RunOptions, String> {
                     .ok_or("--lanes expects an integer >= 1")?;
             }
             "--capture" => capture = Some(PathBuf::from(value("--capture")?)),
+            "--store" => store = Some(value("--store")?),
             "--worker-bin" => worker_bin = Some(PathBuf::from(value("--worker-bin")?)),
             "--inject-die" => {
                 inject_die = Some(parse_injection("--inject-die", &value("--inject-die")?)?);
@@ -207,6 +214,7 @@ fn parse_run_args(args: Vec<String>) -> Result<RunOptions, String> {
         threads,
         lanes,
         capture,
+        store,
         worker_bin: worker_bin.unwrap_or_else(default_worker_bin),
         inject_die,
         inject_die_always,
@@ -396,6 +404,9 @@ fn spawn_shard(
     if let Some(threads) = options.threads {
         command.arg("--threads").arg(threads.to_string());
     }
+    if let Some(store) = &options.store {
+        command.arg("--store").arg(store);
+    }
     if let Some(frames) = die_after {
         command.arg("--die-after").arg(frames.to_string());
     }
@@ -489,16 +500,13 @@ fn run_distributed_study(
         .capture
         .as_ref()
         .map(|dir| dir.join(format!("{}.jsonl", study.name)));
-    // The capture streams into a dot-prefixed sibling and is atomically
-    // renamed into place only after the merged stream completed and
-    // flushed — a killed coordinator can never leave a torn capture at
-    // the published path.
-    let capture_tmp = capture_path
-        .as_ref()
-        .map(|p| p.with_file_name(format!(".{}.jsonl.tmp", study.name)));
-    let mut capture = match &capture_tmp {
+    // The capture streams through the shared atomic writer — a hidden
+    // sibling temp file renamed into place only after the merged stream
+    // completed and flushed — so a killed coordinator can never leave a
+    // torn capture at the published path.
+    let mut capture = match &capture_path {
         Some(p) => Some(std::io::BufWriter::new(
-            std::fs::File::create(p)
+            AtomicFileWriter::create(p)
                 .map_err(|e| format!("cannot create capture `{}`: {e}", p.display()))?,
         )),
         None => None,
@@ -709,11 +717,12 @@ fn run_distributed_study(
     drop(receivers);
     if outcome.is_err() {
         // Abort: discard the partial capture so only complete captures
-        // ever appear (even dot-prefixed temp files are best-effort
-        // cleaned).
-        capture = None;
-        if let Some(tmp) = &capture_tmp {
-            let _ = std::fs::remove_file(tmp);
+        // ever appear — dropping the uncommitted writer removes its temp
+        // file and leaves any previously published capture untouched.
+        if let Some(out) = capture.take() {
+            if let Ok(writer) = out.into_inner() {
+                writer.discard();
+            }
         }
     }
     outcome?;
@@ -721,15 +730,9 @@ fn run_distributed_study(
     if let Some(out) = capture.take() {
         // Flush, close, and atomically publish the finished capture.
         out.into_inner()
-            .map_err(|e| format!("capture flush failed: {e}"))?;
-        let (tmp, path) = (
-            capture_tmp.as_ref().expect("tmp exists when capture does"),
-            capture_path
-                .as_ref()
-                .expect("path exists when capture does"),
-        );
-        std::fs::rename(tmp, path)
-            .map_err(|e| format!("cannot finalize capture `{}`: {e}", path.display()))?;
+            .map_err(|e| format!("capture flush failed: {e}"))?
+            .commit()
+            .map_err(|e| format!("cannot finalize capture: {e}"))?;
     }
     let (result, fault) = replayer
         .finish_parts()

@@ -35,6 +35,11 @@
 //!   stop making progress (SIGSTOP on unix, a sleep-forever loop otherwise)
 //!   — simulating a live-but-hung worker for the coordinator's stall
 //!   detector
+//! - `--store DIR`       back the run with the persistent characterization
+//!   store (overrides the config's `store` section): published slabs are
+//!   loaded instead of recomputed, new slabs are published back, and the
+//!   L2 counters are reported on stderr. The wire stream is byte-identical
+//!   either way, so every worker in a campaign may share one store.
 //!
 //! Exit codes: `0` success, `1` study failed, `2` usage or config error
 //! (config parse failures print the offending section).
@@ -42,10 +47,12 @@
 use nvmexplorer_core::config::CampaignConfig;
 use nvmexplorer_core::stream::{ResultSink, StudyEvent, StudyExecutor};
 use nvmexplorer_core::wire::{Shard, WireSink};
+use nvmx_nvsim::SubarrayCache;
 use std::io::Write;
+use std::path::PathBuf;
 
 const USAGE: &str = "usage: nvmx-worker --config <study.json> [--shard I/N] [--threads T] \
-                     [--out PATH] [--die-after K] [--stall-after K]";
+                     [--out PATH] [--die-after K] [--stall-after K] [--store DIR]";
 
 /// Simulates a worker that stops making progress without dying: already
 /// written frames are flushed (the sink flushes per line), then the
@@ -102,6 +109,7 @@ struct Options {
     out: Option<String>,
     die_after: Option<u64>,
     stall_after: Option<u64>,
+    store: Option<String>,
 }
 
 fn parse_args() -> Result<Options, String> {
@@ -112,6 +120,7 @@ fn parse_args() -> Result<Options, String> {
     let mut out = None;
     let mut die_after = None;
     let mut stall_after = None;
+    let mut store = None;
     while let Some(flag) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
         match flag.as_str() {
@@ -139,6 +148,7 @@ fn parse_args() -> Result<Options, String> {
                         .map_err(|_| "--stall-after expects an unsigned integer".to_owned())?,
                 );
             }
+            "--store" => store = Some(value("--store")?),
             other => return Err(format!("unknown flag `{other}`")),
         }
     }
@@ -149,6 +159,7 @@ fn parse_args() -> Result<Options, String> {
         out,
         die_after,
         stall_after,
+        store,
     })
 }
 
@@ -174,10 +185,29 @@ fn main() {
         die_after: options.die_after,
         stall_after: options.stall_after,
     };
-    let executor = match options.threads {
+    // The flag overrides the config's `store` section; the cache is owned
+    // here so the L2 counters can be reported after the run.
+    let store_dir: Option<PathBuf> = options
+        .store
+        .clone()
+        .or_else(|| campaign.study().store.dir.clone())
+        .map(PathBuf::from);
+    let cache = store_dir.as_ref().map(|dir| {
+        SubarrayCache::with_store(dir).unwrap_or_else(|e| {
+            eprintln!(
+                "cannot open characterization store `{}`: {e}",
+                dir.display()
+            );
+            std::process::exit(1);
+        })
+    });
+    let mut executor = match options.threads {
         Some(threads) => StudyExecutor::with_threads(threads),
         None => StudyExecutor::new(),
     };
+    if let Some(cache) = &cache {
+        executor = executor.cache(cache);
+    }
 
     let run = match &campaign {
         CampaignConfig::Study(study) => executor.run(study, &mut sink).map(|_| ()),
@@ -186,5 +216,16 @@ fn main() {
     if let Err(e) = run {
         eprintln!("study failed: {e}");
         std::process::exit(1);
+    }
+    // Telemetry only — the wire stream on stdout/`--out` is unaffected.
+    if let (Some(dir), Some(cache)) = (&store_dir, &cache) {
+        let stats = cache.stats();
+        eprintln!(
+            "store {}: l2_hits={} l2_misses={} l2_rejects={}",
+            dir.display(),
+            stats.l2_hits,
+            stats.l2_misses,
+            stats.l2_rejects,
+        );
     }
 }

@@ -20,6 +20,13 @@
 //! `<out>/<study-name>_fault.csv` with one row per injection trial (seed
 //! included), and the summary line carries the campaign counters.
 //!
+//! `--store DIR` (or a config `store` section; the flag wins) backs the
+//! run with the persistent characterization store: subarray slabs already
+//! published there are loaded instead of recomputed, and new slabs are
+//! published back. Results are byte-identical either way; the L2 counters
+//! are reported on stderr as `store <dir>: l2_hits=... l2_misses=...
+//! l2_rejects=...`.
+//!
 //! Exit codes: `0` success, `1` the study or its outputs failed, `2` usage
 //! or config error — malformed configs are rejected (never a panic) with
 //! the offending section named on stderr.
@@ -29,13 +36,40 @@ use nvmexplorer_core::stream::StudyExecutor;
 use nvmx_bench::campaign::{
     fault_csv, fault_summary_line, load_campaign, results_csv, summary_line,
 };
+use nvmx_nvsim::SubarrayCache;
 use nvmx_viz::sink::SpecSinks;
+use std::path::PathBuf;
+
+const USAGE: &str = "usage: run <config.json> [--store DIR]";
+
+fn parse_args() -> Result<(String, Option<String>), String> {
+    let mut args = std::env::args().skip(1);
+    let mut config = None;
+    let mut store = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--store" => {
+                store = Some(
+                    args.next()
+                        .ok_or_else(|| "--store expects a value".to_owned())?,
+                );
+            }
+            flag if flag.starts_with("--") => return Err(format!("unknown flag `{flag}`")),
+            path if config.is_none() => config = Some(path.to_owned()),
+            extra => return Err(format!("unexpected argument `{extra}`")),
+        }
+    }
+    Ok((
+        config.ok_or_else(|| "a config path is required".to_owned())?,
+        store,
+    ))
+}
 
 fn main() {
-    let Some(path) = std::env::args().nth(1) else {
-        eprintln!("usage: run <config.json>");
+    let (path, store_flag) = parse_args().unwrap_or_else(|e| {
+        eprintln!("{e}\n{USAGE}");
         std::process::exit(2);
-    };
+    });
     let campaign = load_campaign(&path).unwrap_or_else(|e| {
         eprintln!("{e}");
         std::process::exit(2);
@@ -46,7 +80,24 @@ fn main() {
         eprintln!("cannot open output sinks: {e}");
         std::process::exit(1);
     });
-    let executor = StudyExecutor::new();
+    // The flag overrides the config's `store` section; either way the cache
+    // is owned here so the L2 counters can be reported after the run.
+    let store_dir: Option<PathBuf> = store_flag
+        .or_else(|| study.store.dir.clone())
+        .map(PathBuf::from);
+    let cache = store_dir.as_ref().map(|dir| {
+        SubarrayCache::with_store(dir).unwrap_or_else(|e| {
+            eprintln!(
+                "cannot open characterization store `{}`: {e}",
+                dir.display()
+            );
+            std::process::exit(1);
+        })
+    });
+    let mut executor = StudyExecutor::new();
+    if let Some(cache) = &cache {
+        executor = executor.cache(cache);
+    }
     let (result, fault) = match &campaign {
         CampaignConfig::Study(study) => {
             let result = executor.run(study, &mut sinks).unwrap_or_else(|e| {
@@ -91,5 +142,17 @@ fn main() {
             println!("{}", summary_line(study, &result));
             eprintln!("  [{}] results -> {}", study.name, out.display());
         }
+    }
+    // Store telemetry goes to stderr only: stdout (summary line) and the
+    // results CSV must stay byte-identical with and without a warm store.
+    if let (Some(dir), Some(cache)) = (&store_dir, &cache) {
+        let stats = cache.stats();
+        eprintln!(
+            "store {}: l2_hits={} l2_misses={} l2_rejects={}",
+            dir.display(),
+            stats.l2_hits,
+            stats.l2_misses,
+            stats.l2_rejects,
+        );
     }
 }

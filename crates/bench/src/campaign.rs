@@ -12,37 +12,11 @@ use nvmexplorer_core::config::{CampaignConfig, StudyConfig};
 use nvmexplorer_core::fault_study::FaultOutcome;
 use nvmexplorer_core::sweep::StudyResult;
 use nvmx_viz::csv::{num, Csv};
-use std::path::Path;
 
-/// Writes `contents` to `path` via a sibling temp file plus an atomic
-/// rename, so a killed process (CI cancellation, OOM-kill) can never leave
-/// a torn artifact at `path` — readers see either the previous complete
-/// file or the new complete file, nothing in between. The temp file lives
-/// in the same directory (rename is only atomic within a filesystem) and
-/// is named after the target, so concurrent writers of *different*
-/// artifacts never collide.
-///
-/// # Errors
-///
-/// Any I/O failure from the write or the rename; on failure the temp file
-/// is removed on a best-effort basis and `path` is untouched.
-pub fn write_file_atomic(path: &Path, contents: &[u8]) -> std::io::Result<()> {
-    let file_name = path
-        .file_name()
-        .ok_or_else(|| std::io::Error::other(format!("`{}` has no file name", path.display())))?;
-    let mut tmp_name = std::ffi::OsString::from(".");
-    tmp_name.push(file_name);
-    tmp_name.push(".tmp");
-    let tmp = path.with_file_name(tmp_name);
-    let write_then_rename = (|| {
-        std::fs::write(&tmp, contents)?;
-        std::fs::rename(&tmp, path)
-    })();
-    if write_then_rename.is_err() {
-        let _ = std::fs::remove_file(&tmp);
-    }
-    write_then_rename
-}
+/// Atomic artifact publication — the shared temp+rename writer
+/// ([`nvmexplorer_core::fsutil`]), re-exported under its historical home so
+/// the campaign binaries and bench keep one import path.
+pub use nvmexplorer_core::fsutil::write_file_atomic;
 
 /// Loads and parses a study config file.
 ///
@@ -220,6 +194,7 @@ mod tests {
             },
             constraints: Default::default(),
             output: Default::default(),
+            store: Default::default(),
         }
     }
 

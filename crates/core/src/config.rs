@@ -41,6 +41,9 @@ pub struct StudyConfig {
     /// Where this study's results stream while it runs.
     #[serde(default)]
     pub output: OutputSpec,
+    /// Persistent characterization store shared across processes.
+    #[serde(default)]
+    pub store: StoreSpec,
 }
 
 /// A parse failure for a study config, carrying the offending section so
@@ -96,13 +99,14 @@ impl std::error::Error for ConfigError {
 /// a compile error here), and the `json_roundtrip` test fails if an entry
 /// is forgotten — `to_json` emits every field, and `from_json` rejects
 /// sections not listed below.
-const SECTIONS: [(&str, bool); 6] = [
+const SECTIONS: [(&str, bool); 7] = [
     ("name", true),
     ("cells", false),
     ("array", false),
     ("traffic", true),
     ("constraints", false),
     ("output", false),
+    ("store", false),
 ];
 
 impl StudyConfig {
@@ -153,6 +157,7 @@ impl StudyConfig {
             traffic: parse_section(section("traffic"), "traffic")?.expect("required"),
             constraints: parse_section(section("constraints"), "constraints")?.unwrap_or_default(),
             output: parse_section(section("output"), "output")?.unwrap_or_default(),
+            store: parse_section(section("store"), "store")?.unwrap_or_default(),
         })
     }
 
@@ -304,6 +309,24 @@ impl OutputSpec {
     /// `true` when the spec requests no output at all.
     pub fn is_empty(&self) -> bool {
         self.csv.is_none() && self.jsonl.is_none() && !self.summary
+    }
+}
+
+/// The persistent characterization store a study's subarray cache is
+/// backed by (`nvmx_nvsim::store`) — the on-disk L2 that lets cold
+/// processes, worker shards, and replays share warm physics. A `--store
+/// DIR` flag on the runner binaries overrides this section.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+#[serde(default)]
+pub struct StoreSpec {
+    /// Store directory (created if absent). `None` disables the L2.
+    pub dir: Option<String>,
+}
+
+impl StoreSpec {
+    /// `true` when no store is configured.
+    pub fn is_empty(&self) -> bool {
+        self.dir.is_none()
     }
 }
 
@@ -645,6 +668,9 @@ mod tests {
                 jsonl: None,
                 summary: true,
             },
+            store: StoreSpec {
+                dir: Some("stores/shared".into()),
+            },
         };
         let json = config.to_json();
         let parsed = StudyConfig::from_json(&json).unwrap();
@@ -760,6 +786,25 @@ mod tests {
         };
         let parsed = CampaignConfig::from_json(&campaign.to_json()).unwrap();
         assert_eq!(parsed, CampaignConfig::Fault(campaign));
+    }
+
+    #[test]
+    fn store_spec_defaults_to_disabled() {
+        let study = StudyConfig::from_json(
+            r#"{"name": "s", "traffic": {"kind": "spec_llc", "lookups": 10, "seed": 1}}"#,
+        )
+        .unwrap();
+        assert!(study.store.is_empty());
+        let with_store = StudyConfig::from_json(
+            r#"{
+            "name": "s",
+            "traffic": {"kind": "spec_llc", "lookups": 10, "seed": 1},
+            "store": {"dir": "stores/warm"}
+        }"#,
+        )
+        .unwrap();
+        assert_eq!(with_store.store.dir.as_deref(), Some("stores/warm"));
+        assert!(!with_store.store.is_empty());
     }
 
     #[test]

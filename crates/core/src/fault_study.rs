@@ -348,6 +348,7 @@ mod tests {
             },
             constraints: Constraints::default(),
             output: Default::default(),
+            store: Default::default(),
         };
         study.array.capacities_mib = vec![2];
         FaultStudyConfig {

@@ -1,0 +1,9 @@
+//! Atomic file publication, re-exported for the engine's consumers.
+//!
+//! The implementation lives in [`nvmx_nvsim::fsutil`] (the lowest crate
+//! that needs it — the characterization store publishes slabs through it);
+//! this module re-exports it so artifact writers above `core` (campaign
+//! CSVs, bench reports, coordinator wire captures) share the exact same
+//! temp+rename protocol instead of hand-rolling dot-tmp siblings.
+
+pub use nvmx_nvsim::fsutil::{write_file_atomic, AtomicFileWriter};

@@ -49,6 +49,7 @@
 //!     },
 //!     constraints: Default::default(),
 //!     output: Default::default(),
+//!     store: Default::default(),
 //! };
 //! study.cells.technologies = Some(vec![nvmx_celldb::TechnologyClass::Stt]);
 //! let result = run_study(&study)?;
@@ -64,6 +65,7 @@ pub mod config;
 pub mod eval;
 pub mod explore;
 pub mod fault_study;
+pub mod fsutil;
 pub mod intermittent;
 pub mod scheduler;
 pub mod stream;
@@ -71,7 +73,7 @@ pub mod sweep;
 pub mod wire;
 pub mod write_buffer;
 
-pub use config::{CampaignConfig, FaultSpec, FaultStudyConfig, OutputSpec, StudyConfig};
+pub use config::{CampaignConfig, FaultSpec, FaultStudyConfig, OutputSpec, StoreSpec, StudyConfig};
 pub use eval::{evaluate, evaluate_shared, Evaluation};
 pub use explore::{Objective, ResultSet};
 pub use fault_study::{
@@ -103,6 +105,7 @@ mod tests {
             },
             constraints: Default::default(),
             output: Default::default(),
+            store: Default::default(),
         };
         study.cells.technologies = Some(vec![nvmx_celldb::TechnologyClass::Pcm]);
         study.cells.sram_baseline = false;

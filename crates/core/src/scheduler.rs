@@ -187,6 +187,7 @@ impl SchedulerReport {
 ///         },
 ///         constraints: Default::default(),
 ///         output: Default::default(),
+///         store: Default::default(),
 ///     };
 ///     study.cells.technologies = Some(vec![nvmx_celldb::TechnologyClass::Stt]);
 ///     study
@@ -333,6 +334,30 @@ impl StudyScheduler {
         }
     }
 
+    /// [`Self::run_queue_with`] over a queue-owned cache backed by the
+    /// persistent characterization store at `store_dir`
+    /// (`nvmx_nvsim::store`): every lane shares one store-backed cache, so
+    /// the queue pays characterization cost at most once per fingerprint —
+    /// and any later run over the same directory (this process or another)
+    /// starts warm. Results are byte-identical to a storeless queue; the
+    /// L2 traffic shows up in the report's `l2_*` cache counters.
+    ///
+    /// # Errors
+    ///
+    /// When the store directory cannot be created.
+    pub fn run_queue_with_store<F>(
+        &self,
+        queue: &[StudyConfig],
+        store_dir: impl Into<std::path::PathBuf>,
+        make_sink: F,
+    ) -> std::io::Result<SchedulerReport>
+    where
+        F: Fn(usize, &StudyConfig) -> Box<dyn ResultSink> + Sync,
+    {
+        let cache = SubarrayCache::with_store(store_dir)?;
+        Ok(self.run_queue_impl(queue, &cache, None, make_sink))
+    }
+
     /// [`Self::run_queue_with`] discarding all events — batch semantics
     /// over a shared cache.
     pub fn run_queue_silent(
@@ -379,6 +404,7 @@ mod tests {
             },
             constraints: Default::default(),
             output: Default::default(),
+            store: Default::default(),
         }
     }
 
@@ -419,6 +445,39 @@ mod tests {
         );
         assert!(report.outcomes[1].cache_hit_rate() > 0.99);
         assert!(report.cache.hit_rate() > 0.0);
+    }
+
+    #[test]
+    fn a_store_backed_queue_starts_warm_on_the_second_pass() {
+        let dir = std::env::temp_dir().join(format!("nvmx_sched_store_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let queue = vec![study("s0", 2), study("s1", 4)];
+        let sched = StudyScheduler::with_workers(2).lanes(1);
+
+        let cold = sched
+            .run_queue_with_store(&queue, &dir, |_, _| Box::new(crate::stream::NullSink))
+            .unwrap();
+        assert!(cold.all_succeeded());
+        assert!(cold.cache.l2_misses > 0, "cold queue found slabs on disk");
+        assert_eq!(cold.cache.l2_hits, 0);
+
+        // A second scheduler over the same directory models a later
+        // process: every slab loads from the store, and the results stay
+        // byte-identical to standalone storeless runs.
+        let warm = sched
+            .run_queue_with_store(&queue, &dir, |_, _| Box::new(crate::stream::NullSink))
+            .unwrap();
+        assert!(warm.all_succeeded());
+        assert!(warm.cache.l2_hits > 0, "warm queue re-characterized");
+        assert_eq!(warm.cache.l2_misses, 0);
+        assert_eq!(warm.cache.l2_rejects, 0);
+        for (outcome, config) in warm.outcomes.iter().zip(&queue) {
+            let standalone = run_study_with_threads(config, 2).unwrap();
+            let scheduled = outcome.result.as_ref().unwrap();
+            assert_eq!(scheduled.arrays, standalone.arrays);
+            assert_eq!(scheduled.evaluations, standalone.evaluations);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

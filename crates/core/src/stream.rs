@@ -197,6 +197,9 @@ fn push_finished_fields(fields: &mut Vec<(String, Value)>, name: &str, stats: &S
             field("hits", Value::Uint(c.hits)),
             field("misses", Value::Uint(c.misses)),
             field("pruned", Value::Uint(c.pruned)),
+            field("l2_hits", Value::Uint(c.l2_hits)),
+            field("l2_misses", Value::Uint(c.l2_misses)),
+            field("l2_rejects", Value::Uint(c.l2_rejects)),
             field("hit_rate", Value::Float(c.hit_rate())),
             field("prune_rate", Value::Float(c.prune_rate())),
         ]),
@@ -509,6 +512,7 @@ impl ResultSink for StudyResultBuilder {
 ///     },
 ///     constraints: Default::default(),
 ///     output: Default::default(),
+///     store: Default::default(),
 /// };
 /// study.cells.technologies = Some(vec![nvmx_celldb::TechnologyClass::Stt]);
 /// let mut builder = StudyResultBuilder::new();
@@ -521,6 +525,9 @@ impl ResultSink for StudyResultBuilder {
 pub struct StudyExecutor<'c> {
     threads: usize,
     cache: Option<&'c SubarrayCache>,
+    /// Executor-owned store-backed cache ([`Self::store`]); used when no
+    /// caller cache is shared via [`Self::cache`].
+    owned: Option<SubarrayCache>,
     seeds: Option<&'c IncumbentStore>,
 }
 
@@ -543,6 +550,7 @@ impl<'c> StudyExecutor<'c> {
         Self {
             threads,
             cache: None,
+            owned: None,
             seeds: None,
         }
     }
@@ -553,6 +561,21 @@ impl<'c> StudyExecutor<'c> {
     pub fn cache(mut self, cache: &'c SubarrayCache) -> Self {
         self.cache = Some(cache);
         self
+    }
+
+    /// Backs this executor's cache with the persistent characterization
+    /// store at `dir` (`nvmx_nvsim::store`): slab misses consult the
+    /// on-disk L2 before characterizing, and finished studies publish new
+    /// slabs back. The executor owns the store-backed cache and shares it
+    /// across every study it runs; a cache shared via [`Self::cache`]
+    /// takes precedence. Results stay byte-identical to storeless runs.
+    ///
+    /// # Errors
+    ///
+    /// When the store directory cannot be created.
+    pub fn store(mut self, dir: impl Into<std::path::PathBuf>) -> std::io::Result<Self> {
+        self.owned = Some(SubarrayCache::with_store(dir)?);
+        Ok(self)
     }
 
     /// Shares a caller-owned [`IncumbentStore`] across every study this
@@ -587,9 +610,10 @@ impl<'c> StudyExecutor<'c> {
         sink: &mut dyn ResultSink,
     ) -> Result<StudyResult, crate::sweep::StudyError> {
         let private;
-        let cache = match self.cache {
-            Some(cache) => cache,
-            None => {
+        let cache = match (self.cache, &self.owned) {
+            (Some(cache), _) => cache,
+            (None, Some(owned)) => owned,
+            (None, None) => {
                 private = SubarrayCache::new();
                 &private
             }
@@ -639,6 +663,7 @@ mod tests {
             },
             constraints: Default::default(),
             output: Default::default(),
+            store: Default::default(),
         };
         study.array.capacities_mib = vec![2];
         study
@@ -734,6 +759,9 @@ mod tests {
                 hits: 3,
                 misses: 1,
                 pruned: 4,
+                l2_hits: 2,
+                l2_misses: 1,
+                l2_rejects: 1,
             }),
         };
         let event = StudyEvent::StudyFinished {
@@ -746,5 +774,8 @@ mod tests {
         assert!(json.contains("\"hit_rate\":0.75"));
         assert!(json.contains("\"pruned\":4"));
         assert!(json.contains("\"prune_rate\":0.5"));
+        assert!(json.contains("\"l2_hits\":2"));
+        assert!(json.contains("\"l2_misses\":1"));
+        assert!(json.contains("\"l2_rejects\":1"));
     }
 }

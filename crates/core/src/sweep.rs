@@ -99,6 +99,11 @@ pub enum StudyError {
     /// A [`ResultSink`] failed while consuming the event stream; the study
     /// was aborted at that point.
     Sink(std::io::Error),
+    /// The persistent characterization store could not be opened. Load and
+    /// publish failures never surface here — they degrade to recompute —
+    /// but an unopenable store directory is a config error worth failing
+    /// loudly on.
+    Store(std::io::Error),
 }
 
 impl std::fmt::Display for StudyError {
@@ -108,6 +113,7 @@ impl std::fmt::Display for StudyError {
             Self::NoCells => write!(f, "cell selection resolved to no cells"),
             Self::NoTraffic => write!(f, "traffic specification resolved to no patterns"),
             Self::Sink(e) => write!(f, "result sink failed: {e}"),
+            Self::Store(e) => write!(f, "characterization store failed to open: {e}"),
         }
     }
 }
@@ -115,7 +121,7 @@ impl std::fmt::Display for StudyError {
 impl std::error::Error for StudyError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
-            Self::Sink(e) => Some(e),
+            Self::Sink(e) | Self::Store(e) => Some(e),
             _ => None,
         }
     }
@@ -457,6 +463,14 @@ fn run_study_impl(
         }
     }
 
+    // Publish newly characterized slabs back to the persistent store (a
+    // no-op without one). Best effort: the store only shapes future runs'
+    // work, never this run's results, so publish failures are not study
+    // failures.
+    if let Some((cache, _)) = cache_before {
+        let _ = cache.flush_store();
+    }
+
     let stats = StudyStats {
         jobs: jobs.len(),
         targets: targets.len(),
@@ -565,6 +579,27 @@ pub fn run_study_with_cache(
         DsePath::Cached { cache, seeds: None },
         &mut NullSink,
     )
+}
+
+/// [`run_study_with_cache`] with the cache backed by the persistent
+/// characterization store at `store_dir` (`nvmx_nvsim::store`): L1 slab
+/// misses consult the on-disk L2 before characterizing, and newly
+/// characterized slabs are published back when the study finishes. Results
+/// are byte-identical to every other engine path — a corrupt, version-
+/// skewed, or colliding store degrades to recomputation, never to wrong
+/// data.
+///
+/// # Errors
+///
+/// [`StudyError::Store`] when the store directory cannot be created, plus
+/// the same conditions as [`run_study_with_threads`].
+pub fn run_study_with_store(
+    study: &StudyConfig,
+    threads: usize,
+    store_dir: impl Into<std::path::PathBuf>,
+) -> Result<StudyResult, StudyError> {
+    let cache = SubarrayCache::with_store(store_dir).map_err(StudyError::Store)?;
+    run_study_with_cache(study, threads, &cache)
 }
 
 /// [`run_study_with_cache`] with cross-study incumbent seeding.
@@ -1038,6 +1073,7 @@ mod tests {
             },
             constraints: Constraints::default(),
             output: Default::default(),
+            store: Default::default(),
         }
     }
 

@@ -391,13 +391,16 @@ fn target_field(obj: &[(String, Value)], name: &str) -> Result<OptimizationTarge
 fn finished_stats(obj: &[(String, Value)]) -> Result<StudyStats, FrameError> {
     let cache = match field(obj, "cache")? {
         Value::Null => None,
-        // `pruned` joined the version-1 cache object in PR 5; captures
-        // from older writers decode as zero prunes instead of failing
-        // strict replay.
+        // `pruned` joined the version-1 cache object in PR 5, the `l2_*`
+        // store counters in PR 8; captures from older writers decode as
+        // zeros instead of failing strict replay.
         Value::Object(cache) => Some(CacheStats {
             hits: uint_field(cache, "hits")?,
             misses: uint_field(cache, "misses")?,
             pruned: uint_field_or(cache, "pruned", 0)?,
+            l2_hits: uint_field_or(cache, "l2_hits", 0)?,
+            l2_misses: uint_field_or(cache, "l2_misses", 0)?,
+            l2_rejects: uint_field_or(cache, "l2_rejects", 0)?,
         }),
         other => {
             return Err(FrameError::corrupt(format!(

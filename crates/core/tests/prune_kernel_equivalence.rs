@@ -98,6 +98,7 @@ fn stress_study() -> StudyConfig {
         },
         constraints: Default::default(),
         output: Default::default(),
+        store: Default::default(),
     }
 }
 

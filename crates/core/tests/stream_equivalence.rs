@@ -86,6 +86,7 @@ fn stress_study() -> StudyConfig {
         },
         constraints: Constraints::default(),
         output: Default::default(),
+        store: Default::default(),
     }
 }
 
@@ -193,6 +194,7 @@ fn arb_study() -> impl Strategy<Value = StudyConfig> {
                 },
                 constraints: Constraints::default(),
                 output: Default::default(),
+                store: Default::default(),
             }
         },
     )

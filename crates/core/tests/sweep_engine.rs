@@ -40,6 +40,7 @@ fn large_study() -> StudyConfig {
         },
         constraints: Constraints::default(),
         output: Default::default(),
+        store: Default::default(),
     }
 }
 

@@ -131,6 +131,7 @@ fn small_study() -> StudyConfig {
         },
         constraints: Constraints::default(),
         output: Default::default(),
+        store: Default::default(),
     }
 }
 
@@ -514,6 +515,7 @@ fn arb_study() -> impl Strategy<Value = StudyConfig> {
                 },
                 constraints: Constraints::default(),
                 output: Default::default(),
+                store: Default::default(),
             }
         },
     )

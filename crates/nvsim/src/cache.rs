@@ -29,16 +29,19 @@
 //! correctness does not require the grid, it is purely a fast path.
 
 use crate::dse::{COL_CHOICES, MUX_CHOICES, ROW_CHOICES};
+use crate::store::CharacterizationStore;
 use crate::subarray::Subarray;
 use crate::technology::TechnologyParams;
 use nvmx_celldb::CellDefinition;
 use nvmx_units::BitsPerCell;
 use std::collections::HashMap;
+use std::io;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, OnceLock, RwLock};
 
 /// Slots in one geometry slab: the full DSE grid.
-const SLOTS: usize = ROW_CHOICES.len() * COL_CHOICES.len() * MUX_CHOICES.len();
+pub(crate) const SLOTS: usize = ROW_CHOICES.len() * COL_CHOICES.len() * MUX_CHOICES.len();
 
 /// Slab slot of a geometry given its *indices* into the DSE choice arrays.
 /// The enumeration pass computes this for free; [`slot_index`] recovers it
@@ -48,7 +51,7 @@ pub(crate) fn grid_slot(row_idx: usize, col_idx: usize, mux_idx: usize) -> usize
 }
 
 /// Slab slot for a grid geometry, or `None` for off-grid requests.
-fn slot_index(rows: usize, cols: usize, mux: usize) -> Option<usize> {
+pub(crate) fn slot_index(rows: usize, cols: usize, mux: usize) -> Option<usize> {
     let r = ROW_CHOICES.iter().position(|&x| x == rows)?;
     let c = COL_CHOICES.iter().position(|&x| x == cols)?;
     let m = MUX_CHOICES.iter().position(|&x| x == mux)?;
@@ -99,6 +102,15 @@ pub struct CacheStats {
     /// Per design-space pass, `hits + misses + pruned` equals the number of
     /// enumerated candidates.
     pub pruned: u64,
+    /// Slab misses served by the on-disk L2 store (one per slab, not per
+    /// geometry — a single L2 hit warms up to a full DSE grid of slots).
+    pub l2_hits: u64,
+    /// Slab misses the L2 store could not serve (no slab published yet).
+    pub l2_misses: u64,
+    /// L2 loads rejected by the strict codec — version skew, corruption,
+    /// truncation, fingerprint collision, or I/O failure — all degraded to
+    /// recomputation.
+    pub l2_rejects: u64,
 }
 
 impl CacheStats {
@@ -148,6 +160,9 @@ impl CacheStats {
             hits: self.hits.saturating_sub(earlier.hits),
             misses: self.misses.saturating_sub(earlier.misses),
             pruned: self.pruned.saturating_sub(earlier.pruned),
+            l2_hits: self.l2_hits.saturating_sub(earlier.l2_hits),
+            l2_misses: self.l2_misses.saturating_sub(earlier.l2_misses),
+            l2_rejects: self.l2_rejects.saturating_sub(earlier.l2_rejects),
         }
     }
 }
@@ -161,9 +176,15 @@ impl CacheStats {
 /// shared, never approximated.
 pub struct SubarrayCache {
     slabs: RwLock<HashMap<SlabKey, Arc<Slab>>>,
+    /// Optional on-disk L2: consulted on slab misses, published back by
+    /// [`Self::flush_store`].
+    store: Option<CharacterizationStore>,
     hits: AtomicU64,
     misses: AtomicU64,
     pruned: AtomicU64,
+    l2_hits: AtomicU64,
+    l2_misses: AtomicU64,
+    l2_rejects: AtomicU64,
 }
 
 impl Default for SubarrayCache {
@@ -177,10 +198,102 @@ impl SubarrayCache {
     pub fn new() -> Self {
         Self {
             slabs: RwLock::new(HashMap::new()),
+            store: None,
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             pruned: AtomicU64::new(0),
+            l2_hits: AtomicU64::new(0),
+            l2_misses: AtomicU64::new(0),
+            l2_rejects: AtomicU64::new(0),
         }
+    }
+
+    /// Creates an empty cache backed by the persistent characterization
+    /// store at `dir` (created if absent). Slab misses consult the store
+    /// before characterizing, and [`Self::flush_store`] publishes newly
+    /// characterized slabs back — so a cold process against a warm store
+    /// skips characterization entirely for every fingerprint it has seen
+    /// before. Every store pathology (corruption, version skew, fingerprint
+    /// collisions, I/O failure) degrades to recomputation; store-backed and
+    /// storeless runs produce bit-identical results.
+    ///
+    /// # Errors
+    ///
+    /// When the store directory cannot be created.
+    pub fn with_store(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let mut cache = Self::new();
+        cache.store = Some(CharacterizationStore::open(dir)?);
+        Ok(cache)
+    }
+
+    /// The backing persistent store, when one was attached.
+    pub fn store(&self) -> Option<&CharacterizationStore> {
+        self.store.as_ref()
+    }
+
+    /// Consults the L2 store for a slab missing from L1. Counter races
+    /// (two threads loading the same slab) can double-count; totals are
+    /// observability, not invariants — same contract as the L1 counters.
+    fn store_lookup(&self, key: &SlabKey, cell: &CellDefinition) -> Option<Vec<(usize, Subarray)>> {
+        let store = self.store.as_ref()?;
+        match store.load(key.cell, key.node_bits, key.bits_per_cell, cell) {
+            Ok(Some(slots)) => {
+                self.l2_hits.fetch_add(1, Ordering::Relaxed);
+                Some(slots)
+            }
+            Ok(None) => {
+                self.l2_misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+            Err(_) => {
+                self.l2_rejects.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Publishes every slab holding at least one characterized geometry to
+    /// the backing store (write-once: slabs already on disk are skipped).
+    /// Returns the number of slabs newly published; a no-op `Ok(0)` without
+    /// a store. Best-effort callers can ignore the result — the store is
+    /// never left with a torn slab.
+    ///
+    /// # Errors
+    ///
+    /// The first I/O failure encountered while publishing.
+    pub fn flush_store(&self) -> io::Result<usize> {
+        let Some(store) = self.store.as_ref() else {
+            return Ok(0);
+        };
+        let slabs: Vec<(SlabKey, Arc<Slab>)> = self
+            .slabs
+            .read()
+            .expect("cache poisoned")
+            .iter()
+            .map(|(key, slab)| (*key, Arc::clone(slab)))
+            .collect();
+        let mut published = 0;
+        for (key, slab) in slabs {
+            let slots: Vec<(usize, Subarray)> = slab
+                .slots
+                .iter()
+                .enumerate()
+                .filter_map(|(index, slot)| slot.get().map(|sub| (index, sub.clone())))
+                .collect();
+            if slots.is_empty() {
+                continue;
+            }
+            if store.publish(
+                key.cell,
+                key.node_bits,
+                key.bits_per_cell,
+                &slab.cell,
+                &slots,
+            )? {
+                published += 1;
+            }
+        }
+        Ok(published)
     }
 
     /// Opens the slab for `(cell, node, depth)` — the one outer-map access
@@ -210,13 +323,28 @@ impl SubarrayCache {
             .map(Arc::clone);
         let slab = match probed {
             Some(slab) => slab,
-            None => Arc::clone(
-                self.slabs
-                    .write()
-                    .expect("cache poisoned")
-                    .entry(key)
-                    .or_insert_with(|| Arc::new(Slab::new(cell.clone()))),
-            ),
+            None => {
+                // L1 slab miss: consult the on-disk L2 *before* taking the
+                // write lock (disk reads must not serialize other threads).
+                // If a racing thread inserts first, the loaded slots are
+                // discarded — the entry it made is equivalent.
+                let loaded = self.store_lookup(&key, cell);
+                Arc::clone(
+                    self.slabs
+                        .write()
+                        .expect("cache poisoned")
+                        .entry(key)
+                        .or_insert_with(|| {
+                            let slab = Slab::new(cell.clone());
+                            for (index, subarray) in loaded.into_iter().flatten() {
+                                // Indices were validated (< SLOTS) by the
+                                // store codec.
+                                let _ = slab.slots[index].set(subarray);
+                            }
+                            Arc::new(slab)
+                        }),
+                )
+            }
         };
         // Fingerprints are 64-bit hashes: prove the slab belongs to this
         // cell. A collision (or a racing insert by a colliding cell)
@@ -245,6 +373,9 @@ impl SubarrayCache {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
             pruned: self.pruned.load(Ordering::Relaxed),
+            l2_hits: self.l2_hits.load(Ordering::Relaxed),
+            l2_misses: self.l2_misses.load(Ordering::Relaxed),
+            l2_rejects: self.l2_rejects.load(Ordering::Relaxed),
         }
     }
 
@@ -392,7 +523,7 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 1,
-                pruned: 0
+                ..CacheStats::default()
             }
         );
         assert_eq!(cache.len(), 1);
@@ -416,7 +547,7 @@ mod tests {
             CacheStats {
                 hits: 1,
                 misses: 1,
-                pruned: 0
+                ..CacheStats::default()
             }
         );
     }
@@ -504,6 +635,51 @@ mod tests {
         let expected = Subarray::characterize(&tech, &stt, 512, 1024, 4, BitsPerCell::Slc);
         assert_eq!(got, expected, "collision must never serve foreign physics");
         assert_eq!(cache.stats().hits, 0, "collided session cannot hit");
+    }
+
+    #[test]
+    fn cold_process_against_warm_store_skips_characterization() {
+        let dir = std::env::temp_dir().join(format!("nvmx_cache_l2_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let tech = lookup(Meters::from_nano(22.0));
+        let cell = stt();
+
+        // "Process" one: cold cache, cold store — characterizes and flushes.
+        let first = SubarrayCache::with_store(&dir).unwrap();
+        let a = first
+            .session(&cell, &tech, BitsPerCell::Slc)
+            .get_or_characterize(512, 1024, 4);
+        assert_eq!(first.stats().l2_misses, 1, "cold store is a miss");
+        assert_eq!(first.flush_store().unwrap(), 1);
+        assert_eq!(first.flush_store().unwrap(), 0, "publication is write-once");
+
+        // "Process" two: cold cache, warm store — loads instead of
+        // characterizing, bit-identically.
+        let second = SubarrayCache::with_store(&dir).unwrap();
+        let mut session = second.session(&cell, &tech, BitsPerCell::Slc);
+        let b = session.get_or_characterize(512, 1024, 4);
+        drop(session);
+        assert_eq!(a, b, "L2-loaded physics must be bit-identical");
+        let stats = second.stats();
+        assert_eq!(stats.l2_hits, 1);
+        assert_eq!(stats.hits, 1, "the warmed slot serves as an L1 hit");
+        assert_eq!(stats.misses, 0, "nothing re-characterized");
+
+        // A corrupted store degrades to recompute with identical results.
+        for entry in std::fs::read_dir(&dir).unwrap() {
+            let path = entry.unwrap().path();
+            let mut bytes = std::fs::read(&path).unwrap();
+            let mid = bytes.len() / 2;
+            bytes[mid] ^= 0xff;
+            std::fs::write(&path, bytes).unwrap();
+        }
+        let third = SubarrayCache::with_store(&dir).unwrap();
+        let c = third
+            .session(&cell, &tech, BitsPerCell::Slc)
+            .get_or_characterize(512, 1024, 4);
+        assert_eq!(a, c, "corruption must degrade to recompute, not wrong data");
+        assert_eq!(third.stats().l2_rejects, 1);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

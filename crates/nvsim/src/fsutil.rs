@@ -1,0 +1,231 @@
+//! Atomic file publication: sibling temp file + rename.
+//!
+//! Several artifact writers in the workspace (bench reports, campaign
+//! CSVs, coordinator wire captures, and the on-disk characterization
+//! store in [`crate::store`]) share one requirement: a killed process —
+//! CI cancellation, OOM-kill, SIGKILL mid-write — must never leave a torn
+//! file at the published path. Readers see either the previous complete
+//! file or the new complete file, nothing in between.
+//!
+//! Both entry points implement the same protocol:
+//!
+//! 1. write everything into a hidden sibling temp file (same directory,
+//!    because `rename` is only atomic within one filesystem),
+//! 2. `rename` it over the target in one atomic step,
+//! 3. on any failure, remove the temp file (best effort) and leave the
+//!    target untouched.
+//!
+//! Temp names embed the process id **and** a per-process sequence number,
+//! so concurrent writers — other processes racing to publish the *same*
+//! target, or threads within one process — never tear each other's temp
+//! files. When two writers race the same target, each publishes a complete
+//! file and the last rename wins; callers that need write-once semantics
+//! (the characterization store) simply skip publishing when the target
+//! already exists.
+
+use std::ffi::OsString;
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes concurrent writers within one process; the process id
+/// distinguishes writers across processes.
+static WRITER_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Writes `contents` to `path` via a sibling temp file plus an atomic
+/// rename. The one-shot form of [`AtomicFileWriter`] for callers that
+/// already hold the full artifact in memory.
+///
+/// # Errors
+///
+/// Any I/O failure from the write or the rename; on failure the temp file
+/// is removed on a best-effort basis and `path` is untouched.
+pub fn write_file_atomic(path: &Path, contents: &[u8]) -> io::Result<()> {
+    let mut writer = AtomicFileWriter::create(path)?;
+    writer.write_all(contents)?;
+    writer.commit()
+}
+
+/// A streaming writer that publishes atomically on [`Self::commit`].
+///
+/// Bytes go to a hidden sibling temp file; `commit` renames it over the
+/// target in one atomic step. Dropping the writer without committing (or
+/// calling [`Self::discard`]) removes the temp file and leaves the target
+/// untouched — exactly the abort semantics a coordinator needs when a
+/// capture stream dies mid-study.
+#[derive(Debug)]
+pub struct AtomicFileWriter {
+    /// `None` once committed or discarded.
+    file: Option<File>,
+    tmp: PathBuf,
+    target: PathBuf,
+}
+
+impl AtomicFileWriter {
+    /// Opens a temp sibling of `path` for writing.
+    ///
+    /// # Errors
+    ///
+    /// When `path` has no file name, or the temp file cannot be created.
+    pub fn create(path: &Path) -> io::Result<Self> {
+        let file_name = path
+            .file_name()
+            .ok_or_else(|| io::Error::other(format!("`{}` has no file name", path.display())))?;
+        let mut tmp_name = OsString::from(".");
+        tmp_name.push(file_name);
+        tmp_name.push(format!(
+            ".{}.{}.tmp",
+            std::process::id(),
+            WRITER_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let tmp = path.with_file_name(tmp_name);
+        let file = File::create(&tmp)?;
+        Ok(Self {
+            file: Some(file),
+            tmp,
+            target: path.to_path_buf(),
+        })
+    }
+
+    /// The target path this writer will publish to.
+    pub fn target(&self) -> &Path {
+        &self.target
+    }
+
+    /// Flushes and atomically publishes the temp file over the target.
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure from the flush or the rename; on failure the temp
+    /// file is removed on a best-effort basis and the target is untouched.
+    pub fn commit(mut self) -> io::Result<()> {
+        let mut file = self.file.take().expect("commit consumes the writer");
+        let published = (|| {
+            file.flush()?;
+            drop(file);
+            fs::rename(&self.tmp, &self.target)
+        })();
+        if published.is_err() {
+            let _ = fs::remove_file(&self.tmp);
+        }
+        published
+    }
+
+    /// Abandons the write: removes the temp file, leaves the target
+    /// untouched.
+    pub fn discard(mut self) {
+        if self.file.take().is_some() {
+            let _ = fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+impl Write for AtomicFileWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.file.as_mut().expect("writer still open").write(buf)
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        self.file.as_mut().expect("writer still open").flush()
+    }
+}
+
+impl Drop for AtomicFileWriter {
+    fn drop(&mut self) {
+        // Neither committed nor discarded: treat as an abort.
+        if self.file.take().is_some() {
+            let _ = fs::remove_file(&self.tmp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("nvmx_fsutil_{tag}_{}", std::process::id()));
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn one_shot_write_publishes_and_leaves_no_temp() {
+        let dir = scratch_dir("oneshot");
+        let target = dir.join("artifact.txt");
+        write_file_atomic(&target, b"hello").unwrap();
+        assert_eq!(fs::read(&target).unwrap(), b"hello");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn streaming_writer_publishes_on_commit_only() {
+        let dir = scratch_dir("stream");
+        let target = dir.join("capture.jsonl");
+        let mut writer = AtomicFileWriter::create(&target).unwrap();
+        writer.write_all(b"line 1\n").unwrap();
+        assert!(!target.exists(), "target must not exist before commit");
+        writer.write_all(b"line 2\n").unwrap();
+        writer.commit().unwrap();
+        assert_eq!(fs::read(&target).unwrap(), b"line 1\nline 2\n");
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn discard_and_drop_leave_the_target_untouched() {
+        let dir = scratch_dir("discard");
+        let target = dir.join("kept.txt");
+        fs::write(&target, b"previous").unwrap();
+        let mut writer = AtomicFileWriter::create(&target).unwrap();
+        writer.write_all(b"half-written").unwrap();
+        writer.discard();
+        assert_eq!(fs::read(&target).unwrap(), b"previous");
+        let mut dropped = AtomicFileWriter::create(&target).unwrap();
+        dropped.write_all(b"also half-written").unwrap();
+        drop(dropped);
+        assert_eq!(fs::read(&target).unwrap(), b"previous");
+        let leftovers: Vec<_> = fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name())
+            .filter(|n| n.to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(
+            leftovers.is_empty(),
+            "temp files left behind: {leftovers:?}"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn racing_writers_never_tear_each_other() {
+        let dir = scratch_dir("race");
+        let target = dir.join("contended.bin");
+        std::thread::scope(|scope| {
+            for i in 0u8..8 {
+                let target = &target;
+                scope.spawn(move || {
+                    // Each writer publishes a self-consistent payload: 4 KiB
+                    // of one repeated byte.
+                    write_file_atomic(target, &[i; 4096]).unwrap();
+                });
+            }
+        });
+        let bytes = fs::read(&target).unwrap();
+        assert_eq!(bytes.len(), 4096);
+        assert!(
+            bytes.iter().all(|b| *b == bytes[0]),
+            "published file mixes writers"
+        );
+        fs::remove_dir_all(&dir).ok();
+    }
+}

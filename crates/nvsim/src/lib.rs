@@ -40,8 +40,10 @@ pub mod bounds;
 pub mod cache;
 pub mod components;
 pub mod dse;
+pub mod fsutil;
 pub mod gates;
 pub mod result;
+pub mod store;
 pub mod subarray;
 pub mod technology;
 pub mod wire;
@@ -50,6 +52,7 @@ pub use bank::Organization;
 pub use bounds::{IncumbentStore, SeedStats};
 pub use cache::{CacheStats, SubarrayCache};
 pub use result::{ArrayCharacterization, OptimizationTarget};
+pub use store::{CharacterizationStore, StoreError, STORE_VERSION};
 
 use nvmx_celldb::CellDefinition;
 use nvmx_units::{BitsPerCell, Capacity, Meters};

@@ -1,0 +1,636 @@
+//! The persistent, content-addressed characterization store: an on-disk L2
+//! under the in-memory [`SubarrayCache`](crate::cache::SubarrayCache).
+//!
+//! # Why
+//!
+//! Subarray characterization is a pure function of `(cell, node,
+//! programming depth, geometry)` — nothing about it is per-process — yet
+//! every process cold-starts its [`SubarrayCache`] and re-derives the same
+//! geometries. This module persists each cache *slab* (the full DSE-grid
+//! worth of characterized geometries for one `(cell, node, depth)` key) as
+//! one content-addressed file, so campaign restarts, worker shards on the
+//! same host, and replayed studies pay characterization cost once per
+//! fingerprint ever, not once per process.
+//!
+//! # Keys
+//!
+//! A slab file is addressed by exactly the in-memory cache key: the FNV-1a
+//! [`CellDefinition::fingerprint`], the technology node's feature-size bit
+//! pattern, and the programming depth —
+//! `{fingerprint:016x}-{node_bits:016x}-{depth}.slab` under the store
+//! directory. Fingerprints are 64-bit hashes, so the full
+//! [`CellDefinition`] rides inside the segment (as its canonical JSON) and
+//! is verified on load; a collision is a typed [`StoreError::Collision`]
+//! that degrades to recompute, never to another cell's physics.
+//!
+//! # Codec
+//!
+//! The encoding follows `core::wire`'s strictness discipline: a magic +
+//! [`STORE_VERSION`] header (plus the expected slot-segment count, so
+//! truncation at a segment boundary is still detected), then
+//! length-prefixed segments each closed by an FNV-1a checksum of its
+//! payload. Unknown versions, bad magic, short reads, checksum mismatches,
+//! geometry/slot disagreements, and cell collisions are all **typed
+//! errors** ([`StoreError`]) — a hostile or half-synced store directory
+//! degrades to recomputation, never to wrong data. Subarray floats are
+//! stored as raw `f64` bit patterns, so a loaded geometry is bit-identical
+//! to the characterization that produced it.
+//!
+//! # Atomicity
+//!
+//! Slabs are published via [`crate::fsutil::write_file_atomic`] (sibling
+//! temp file + rename, temp names unique per process *and* writer), and
+//! publication is write-once: an existing slab file is never rewritten.
+//! Two processes racing to publish the same fingerprint each write a
+//! complete, identical file and the last rename wins; a killed process
+//! leaves at most an orphaned temp file, never a torn slab.
+
+use crate::cache::SLOTS;
+use crate::fsutil::write_file_atomic;
+use crate::subarray::Subarray;
+use nvmx_celldb::CellDefinition;
+use nvmx_units::BitsPerCell;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// First bytes of every slab file.
+pub const STORE_MAGIC: [u8; 8] = *b"NVMXSTOR";
+
+/// The store codec version stamped after the magic. Decoders reject any
+/// other value ([`StoreError::Version`]) instead of guessing — a version
+/// skew degrades to recompute.
+pub const STORE_VERSION: u32 = 1;
+
+/// Segment tag for the cell-identity segment (exactly one per slab,
+/// first).
+const TAG_CELL: u8 = 1;
+/// Segment tag for one characterized geometry slot.
+const TAG_SLOT: u8 = 2;
+
+/// Encoded size of one [`Subarray`]: rows/cols/mux (u64 each), the depth
+/// byte, eleven `f64` bit patterns, and `bits_per_access`.
+const SUBARRAY_BYTES: usize = 3 * 8 + 1 + 11 * 8 + 8;
+
+/// Why a slab failed to load. Every variant degrades to recomputation in
+/// the cache layer; none can ever surface wrong physics.
+#[derive(Debug)]
+pub enum StoreError {
+    /// The underlying filesystem failed (other than a missing slab, which
+    /// is a plain miss, not an error).
+    Io(io::Error),
+    /// The slab declared a codec version this reader does not speak.
+    Version {
+        /// The version the header declared.
+        found: u32,
+    },
+    /// The slab ended mid-structure (short header, short segment, or fewer
+    /// slot segments than the header promised).
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// The slab bytes are structurally invalid: bad magic, checksum
+    /// mismatch, unknown tag, malformed payload, or a geometry that
+    /// disagrees with its slot index.
+    Corrupt {
+        /// What was wrong.
+        reason: String,
+    },
+    /// The slab's stored cell is not the requesting cell: a 64-bit
+    /// fingerprint collision (or a foreign file planted at the key's
+    /// path). The requester recomputes rather than load foreign physics.
+    Collision,
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Io(e) => write!(f, "store I/O error: {e}"),
+            Self::Version { found } => write!(
+                f,
+                "slab declares store version {found}, this reader speaks {STORE_VERSION}"
+            ),
+            Self::Truncated { context } => write!(f, "slab truncated while reading {context}"),
+            Self::Corrupt { reason } => write!(f, "corrupt slab: {reason}"),
+            Self::Collision => write!(f, "slab cell does not match the requesting cell"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StoreError {
+    fn from(e: io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+fn corrupt(reason: impl Into<String>) -> StoreError {
+    StoreError::Corrupt {
+        reason: reason.into(),
+    }
+}
+
+/// FNV-1a over a byte slice — the same hash family as
+/// [`CellDefinition::fingerprint`], applied here per segment payload.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in bytes {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn depth_byte(bits_per_cell: BitsPerCell) -> u8 {
+    match bits_per_cell {
+        BitsPerCell::Slc => 0,
+        BitsPerCell::Mlc2 => 1,
+        BitsPerCell::Mlc3 => 2,
+    }
+}
+
+fn depth_from_byte(byte: u8) -> Result<BitsPerCell, StoreError> {
+    match byte {
+        0 => Ok(BitsPerCell::Slc),
+        1 => Ok(BitsPerCell::Mlc2),
+        2 => Ok(BitsPerCell::Mlc3),
+        other => Err(corrupt(format!("unknown programming-depth byte {other}"))),
+    }
+}
+
+/// The canonical byte form of a cell for storage and verification: its
+/// JSON serialization. Two [`CellDefinition`]s serialize identically iff
+/// they are equal (the encoding is lossless, infinities included), so
+/// comparing canonical bytes on load is exactly the in-memory cache's
+/// `slab.cell == *cell` collision check — without trusting the stored
+/// bytes enough to deserialize them.
+pub fn canonical_cell_json(cell: &CellDefinition) -> String {
+    serde_json::to_string(cell).expect("cell definitions always serialize")
+}
+
+// --------------------------------------------------------------- encoding
+
+fn push_segment(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
+    out.push(tag);
+    out.extend(
+        u32::try_from(payload.len())
+            .expect("segment payloads are small")
+            .to_le_bytes(),
+    );
+    out.extend(payload);
+    out.extend(fnv1a(payload).to_le_bytes());
+}
+
+fn encode_subarray(payload: &mut Vec<u8>, subarray: &Subarray) {
+    payload.extend((subarray.rows as u64).to_le_bytes());
+    payload.extend((subarray.cols as u64).to_le_bytes());
+    payload.extend((subarray.mux as u64).to_le_bytes());
+    payload.push(depth_byte(subarray.bits_per_cell));
+    for float in [
+        subarray.array_width,
+        subarray.array_height,
+        subarray.width,
+        subarray.height,
+        subarray.read_latency,
+        subarray.write_latency,
+        subarray.read_cycle,
+        subarray.write_cycle,
+        subarray.read_energy,
+        subarray.write_energy,
+        subarray.leakage,
+    ] {
+        payload.extend(float.to_bits().to_le_bytes());
+    }
+    payload.extend(subarray.bits_per_access.to_le_bytes());
+}
+
+/// Encodes one slab: the cell-identity segment followed by one segment per
+/// characterized slot. `slots` pairs each DSE-grid slot index with its
+/// characterization.
+pub fn encode_slab(
+    cell_json: &str,
+    node_bits: u64,
+    bits_per_cell: BitsPerCell,
+    slots: &[(usize, Subarray)],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(
+        STORE_MAGIC.len() + 8 + cell_json.len() + 32 + slots.len() * (SUBARRAY_BYTES + 17),
+    );
+    out.extend(STORE_MAGIC);
+    out.extend(STORE_VERSION.to_le_bytes());
+    out.extend(
+        u32::try_from(slots.len())
+            .expect("slot counts fit the DSE grid")
+            .to_le_bytes(),
+    );
+    let mut cell_payload = Vec::with_capacity(9 + cell_json.len());
+    cell_payload.extend(node_bits.to_le_bytes());
+    cell_payload.push(depth_byte(bits_per_cell));
+    cell_payload.extend(cell_json.as_bytes());
+    push_segment(&mut out, TAG_CELL, &cell_payload);
+    for (slot, subarray) in slots {
+        let mut payload = Vec::with_capacity(4 + SUBARRAY_BYTES);
+        payload.extend(
+            u32::try_from(*slot)
+                .expect("slot indices fit the DSE grid")
+                .to_le_bytes(),
+        );
+        encode_subarray(&mut payload, subarray);
+        push_segment(&mut out, TAG_SLOT, &payload);
+    }
+    out
+}
+
+// --------------------------------------------------------------- decoding
+
+/// A strict little-endian cursor over slab bytes; every short read is a
+/// typed [`StoreError::Truncated`].
+struct Cursor<'b> {
+    bytes: &'b [u8],
+}
+
+impl<'b> Cursor<'b> {
+    fn take(&mut self, n: usize, context: &'static str) -> Result<&'b [u8], StoreError> {
+        if self.bytes.len() < n {
+            return Err(StoreError::Truncated { context });
+        }
+        let (head, tail) = self.bytes.split_at(n);
+        self.bytes = tail;
+        Ok(head)
+    }
+
+    fn u8(&mut self, context: &'static str) -> Result<u8, StoreError> {
+        Ok(self.take(1, context)?[0])
+    }
+
+    fn u32(&mut self, context: &'static str) -> Result<u32, StoreError> {
+        Ok(u32::from_le_bytes(
+            self.take(4, context)?.try_into().expect("4 bytes"),
+        ))
+    }
+
+    fn u64(&mut self, context: &'static str) -> Result<u64, StoreError> {
+        Ok(u64::from_le_bytes(
+            self.take(8, context)?.try_into().expect("8 bytes"),
+        ))
+    }
+
+    fn f64(&mut self, context: &'static str) -> Result<f64, StoreError> {
+        Ok(f64::from_bits(self.u64(context)?))
+    }
+
+    fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// Reads one checksummed segment, verifying the trailing FNV-1a.
+fn read_segment<'b>(cursor: &mut Cursor<'b>) -> Result<(u8, &'b [u8]), StoreError> {
+    let tag = cursor.u8("segment tag")?;
+    let len = cursor.u32("segment length")? as usize;
+    let payload = cursor.take(len, "segment payload")?;
+    let checksum = cursor.u64("segment checksum")?;
+    if checksum != fnv1a(payload) {
+        return Err(corrupt(format!("segment checksum mismatch (tag {tag})")));
+    }
+    Ok((tag, payload))
+}
+
+fn decode_subarray(cursor: &mut Cursor<'_>) -> Result<Subarray, StoreError> {
+    let rows = cursor.u64("subarray rows")? as usize;
+    let cols = cursor.u64("subarray cols")? as usize;
+    let mux = cursor.u64("subarray mux")? as usize;
+    let bits_per_cell = depth_from_byte(cursor.u8("subarray depth")?)?;
+    Ok(Subarray {
+        rows,
+        cols,
+        mux,
+        bits_per_cell,
+        array_width: cursor.f64("array_width")?,
+        array_height: cursor.f64("array_height")?,
+        width: cursor.f64("width")?,
+        height: cursor.f64("height")?,
+        read_latency: cursor.f64("read_latency")?,
+        write_latency: cursor.f64("write_latency")?,
+        read_cycle: cursor.f64("read_cycle")?,
+        write_cycle: cursor.f64("write_cycle")?,
+        read_energy: cursor.f64("read_energy")?,
+        write_energy: cursor.f64("write_energy")?,
+        leakage: cursor.f64("leakage")?,
+        bits_per_access: cursor.u64("bits_per_access")?,
+    })
+}
+
+/// Decodes a slab, verifying magic, version, checksums, the promised slot
+/// count, and — against the *requesting* key — the node bits, programming
+/// depth, and canonical cell bytes.
+///
+/// # Errors
+///
+/// [`StoreError::Version`] on a version skew, [`StoreError::Truncated`] on
+/// short data, [`StoreError::Corrupt`] on structural damage, and
+/// [`StoreError::Collision`] when the stored cell is not `cell_json`.
+pub fn decode_slab(
+    bytes: &[u8],
+    node_bits: u64,
+    bits_per_cell: BitsPerCell,
+    cell_json: &str,
+) -> Result<Vec<(usize, Subarray)>, StoreError> {
+    let mut cursor = Cursor { bytes };
+    let magic = cursor.take(STORE_MAGIC.len(), "magic")?;
+    if magic != STORE_MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let version = cursor.u32("version")?;
+    if version != STORE_VERSION {
+        return Err(StoreError::Version { found: version });
+    }
+    let promised = cursor.u32("slot count")? as usize;
+    if promised > SLOTS {
+        return Err(corrupt(format!(
+            "slab promises {promised} slots, the DSE grid has {SLOTS}"
+        )));
+    }
+
+    // Cell-identity segment: always first, exactly once.
+    let (tag, payload) = read_segment(&mut cursor)?;
+    if tag != TAG_CELL {
+        return Err(corrupt(format!(
+            "expected cell segment first, got tag {tag}"
+        )));
+    }
+    let mut cell_cursor = Cursor { bytes: payload };
+    let stored_node = cell_cursor.u64("cell segment node")?;
+    let stored_depth = depth_from_byte(cell_cursor.u8("cell segment depth")?)?;
+    let stored_cell = cell_cursor.bytes;
+    if stored_node != node_bits
+        || stored_depth != bits_per_cell
+        || stored_cell != cell_json.as_bytes()
+    {
+        return Err(StoreError::Collision);
+    }
+
+    let mut slots = Vec::with_capacity(promised);
+    let mut seen = [false; SLOTS];
+    while !cursor.is_empty() {
+        let (tag, payload) = read_segment(&mut cursor)?;
+        if tag != TAG_SLOT {
+            return Err(corrupt(format!("unexpected segment tag {tag}")));
+        }
+        let mut slot_cursor = Cursor { bytes: payload };
+        let slot = slot_cursor.u32("slot index")? as usize;
+        if slot >= SLOTS {
+            return Err(corrupt(format!("slot index {slot} outside the DSE grid")));
+        }
+        if seen[slot] {
+            return Err(corrupt(format!("slot {slot} stored twice")));
+        }
+        let subarray = decode_subarray(&mut slot_cursor)?;
+        if !slot_cursor.is_empty() {
+            return Err(corrupt("trailing bytes in slot segment"));
+        }
+        // The geometry must agree with the slot it claims, and with the
+        // slab's depth — otherwise a warm hit would serve the wrong
+        // geometry's physics.
+        if crate::cache::slot_index(subarray.rows, subarray.cols, subarray.mux) != Some(slot) {
+            return Err(corrupt(format!(
+                "slot {slot} holds geometry {}x{}/{} which maps elsewhere",
+                subarray.rows, subarray.cols, subarray.mux
+            )));
+        }
+        if subarray.bits_per_cell != bits_per_cell {
+            return Err(corrupt("slot depth disagrees with the slab depth"));
+        }
+        seen[slot] = true;
+        slots.push((slot, subarray));
+    }
+    if slots.len() != promised {
+        return Err(StoreError::Truncated {
+            context: "slot segments (fewer than the header promised)",
+        });
+    }
+    Ok(slots)
+}
+
+// ----------------------------------------------------------------- store
+
+/// A directory of content-addressed characterization slabs — the on-disk
+/// L2 layer opened by
+/// [`SubarrayCache::with_store`](crate::cache::SubarrayCache::with_store).
+///
+/// Safe to share between concurrent processes: loads are plain reads of
+/// immutable (write-once) files, and publishes go through atomic
+/// temp+rename with process-unique temp names.
+#[derive(Debug)]
+pub struct CharacterizationStore {
+    dir: PathBuf,
+}
+
+impl CharacterizationStore {
+    /// Opens (creating if needed) the store directory.
+    ///
+    /// # Errors
+    ///
+    /// When the directory cannot be created.
+    pub fn open(dir: impl Into<PathBuf>) -> io::Result<Self> {
+        let dir = dir.into();
+        std::fs::create_dir_all(&dir)?;
+        Ok(Self { dir })
+    }
+
+    /// The store directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The content-addressed path of one slab.
+    pub fn slab_path(
+        &self,
+        fingerprint: u64,
+        node_bits: u64,
+        bits_per_cell: BitsPerCell,
+    ) -> PathBuf {
+        self.dir.join(format!(
+            "{fingerprint:016x}-{node_bits:016x}-{}.slab",
+            depth_byte(bits_per_cell)
+        ))
+    }
+
+    /// Loads the slab for a cache key, verifying it against the requesting
+    /// `cell`. `Ok(None)` is a plain miss (no slab published yet).
+    ///
+    /// # Errors
+    ///
+    /// Any [`StoreError`]; callers degrade every variant to recomputation.
+    pub fn load(
+        &self,
+        fingerprint: u64,
+        node_bits: u64,
+        bits_per_cell: BitsPerCell,
+        cell: &CellDefinition,
+    ) -> Result<Option<Vec<(usize, Subarray)>>, StoreError> {
+        let path = self.slab_path(fingerprint, node_bits, bits_per_cell);
+        let bytes = match std::fs::read(&path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            other => other?,
+        };
+        decode_slab(&bytes, node_bits, bits_per_cell, &canonical_cell_json(cell)).map(Some)
+    }
+
+    /// Publishes one slab, write-once: returns `false` without touching
+    /// the store when a slab already exists at the key (characterization
+    /// is deterministic, so whatever is there is as good as what we would
+    /// write; a hostile file there will be rejected at load time instead).
+    ///
+    /// # Errors
+    ///
+    /// Any I/O failure from the atomic write; the store is left without a
+    /// torn slab in every case.
+    pub fn publish(
+        &self,
+        fingerprint: u64,
+        node_bits: u64,
+        bits_per_cell: BitsPerCell,
+        cell: &CellDefinition,
+        slots: &[(usize, Subarray)],
+    ) -> io::Result<bool> {
+        let path = self.slab_path(fingerprint, node_bits, bits_per_cell);
+        if path.exists() {
+            return Ok(false);
+        }
+        let bytes = encode_slab(&canonical_cell_json(cell), node_bits, bits_per_cell, slots);
+        write_file_atomic(&path, &bytes)?;
+        Ok(true)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::technology::lookup;
+    use nvmx_celldb::{tentpole, CellFlavor, TechnologyClass};
+    use nvmx_units::Meters;
+    use proptest::prelude::*;
+
+    fn stt() -> CellDefinition {
+        tentpole::tentpole_cell(TechnologyClass::Stt, CellFlavor::Optimistic).unwrap()
+    }
+
+    fn sample_slots(cell: &CellDefinition) -> Vec<(usize, Subarray)> {
+        let tech = lookup(Meters::from_nano(22.0));
+        [(512usize, 1024usize, 4usize), (1024, 2048, 8)]
+            .into_iter()
+            .map(|(rows, cols, mux)| {
+                let slot = crate::cache::slot_index(rows, cols, mux).unwrap();
+                let sub = Subarray::characterize(&tech, cell, rows, cols, mux, BitsPerCell::Slc);
+                (slot, sub)
+            })
+            .collect()
+    }
+
+    #[test]
+    fn encode_decode_is_bit_identical() {
+        let cell = stt();
+        let json = canonical_cell_json(&cell);
+        let slots = sample_slots(&cell);
+        let bytes = encode_slab(&json, 42, BitsPerCell::Slc, &slots);
+        let back = decode_slab(&bytes, 42, BitsPerCell::Slc, &json).unwrap();
+        assert_eq!(back, slots);
+    }
+
+    #[test]
+    fn version_skew_is_a_typed_error() {
+        let cell = stt();
+        let json = canonical_cell_json(&cell);
+        let mut bytes = encode_slab(&json, 42, BitsPerCell::Slc, &sample_slots(&cell));
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            decode_slab(&bytes, 42, BitsPerCell::Slc, &json),
+            Err(StoreError::Version { found: 99 })
+        ));
+    }
+
+    #[test]
+    fn foreign_cell_is_a_collision() {
+        let stt = stt();
+        let rram = tentpole::tentpole_cell(TechnologyClass::Rram, CellFlavor::Optimistic).unwrap();
+        let bytes = encode_slab(
+            &canonical_cell_json(&rram),
+            42,
+            BitsPerCell::Slc,
+            &sample_slots(&rram),
+        );
+        assert!(matches!(
+            decode_slab(&bytes, 42, BitsPerCell::Slc, &canonical_cell_json(&stt)),
+            Err(StoreError::Collision)
+        ));
+    }
+
+    #[test]
+    fn store_roundtrips_through_real_files() {
+        let dir = std::env::temp_dir().join(format!("nvmx_store_unit_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let store = CharacterizationStore::open(&dir).unwrap();
+        let cell = stt();
+        let fp = cell.fingerprint();
+        let slots = sample_slots(&cell);
+        assert_eq!(store.load(fp, 42, BitsPerCell::Slc, &cell).unwrap(), None);
+        assert!(store
+            .publish(fp, 42, BitsPerCell::Slc, &cell, &slots)
+            .unwrap());
+        assert!(
+            !store
+                .publish(fp, 42, BitsPerCell::Slc, &cell, &slots)
+                .unwrap(),
+            "publication is write-once"
+        );
+        assert_eq!(
+            store.load(fp, 42, BitsPerCell::Slc, &cell).unwrap(),
+            Some(slots)
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    proptest! {
+        /// Any single flipped byte anywhere in a slab is detected: decode
+        /// returns an error (or, for a byte in an f64 payload that the
+        /// checksum catches, never a silently different value).
+        #[test]
+        fn any_flipped_byte_is_rejected(index in 0usize..4096, flip in 1u8..=255) {
+            let cell = stt();
+            let json = canonical_cell_json(&cell);
+            let slots = sample_slots(&cell);
+            let mut bytes = encode_slab(&json, 42, BitsPerCell::Slc, &slots);
+            let index = index % bytes.len();
+            bytes[index] ^= flip;
+            match decode_slab(&bytes, 42, BitsPerCell::Slc, &json) {
+                Err(_) => {}
+                Ok(decoded) => {
+                    // The only accepted mutations are ones that decode back
+                    // to the exact original content (impossible for a real
+                    // flip, but proptest demands we state the invariant).
+                    prop_assert_eq!(decoded, slots);
+                }
+            }
+        }
+
+        /// Truncation at any length is a typed error, never partial data.
+        #[test]
+        fn any_truncation_is_rejected(cut in 0usize..4096) {
+            let cell = stt();
+            let json = canonical_cell_json(&cell);
+            let slots = sample_slots(&cell);
+            let bytes = encode_slab(&json, 42, BitsPerCell::Slc, &slots);
+            let cut = cut % bytes.len();
+            prop_assert!(decode_slab(&bytes[..cut], 42, BitsPerCell::Slc, &json).is_err());
+        }
+    }
+}

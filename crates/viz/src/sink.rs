@@ -250,13 +250,26 @@ impl<W: Write> ResultSink for SummaryTableSink<W> {
                     table.row(winner.to_vec());
                 }
                 let cache = match stats.cache {
-                    Some(c) => format!(
-                        ", cache hit rate {:.1}% ({} lookups), DSE prune rate {:.1}% ({} candidates)",
-                        c.hit_rate() * 100.0,
-                        c.lookups(),
-                        c.prune_rate() * 100.0,
-                        c.candidates()
-                    ),
+                    Some(c) => {
+                        // The store clause only appears when the run (or the
+                        // capture being replayed) actually consulted an L2,
+                        // so storeless captures replay byte-identically.
+                        let store = if c.l2_hits + c.l2_misses + c.l2_rejects > 0 {
+                            format!(
+                                ", store L2: {} hits, {} misses, {} rejects",
+                                c.l2_hits, c.l2_misses, c.l2_rejects
+                            )
+                        } else {
+                            String::new()
+                        };
+                        format!(
+                            ", cache hit rate {:.1}% ({} lookups), DSE prune rate {:.1}% ({} candidates){store}",
+                            c.hit_rate() * 100.0,
+                            c.lookups(),
+                            c.prune_rate() * 100.0,
+                            c.candidates()
+                        )
+                    }
                     None => String::new(),
                 };
                 let summary = format!(
@@ -418,6 +431,7 @@ mod tests {
             },
             constraints: Default::default(),
             output: Default::default(),
+            store: Default::default(),
         }
     }
 

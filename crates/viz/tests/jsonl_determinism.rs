@@ -69,6 +69,7 @@ fn arb_study() -> impl Strategy<Value = StudyConfig> {
             },
             constraints: Default::default(),
             output: Default::default(),
+            store: Default::default(),
         }
     })
 }
@@ -95,6 +96,7 @@ fn jsonl_lines_parse_with_the_wire_event_decoder() {
         },
         constraints: Default::default(),
         output: Default::default(),
+        store: Default::default(),
     };
     let lines = jsonl_for(&study, 2);
     assert!(lines.len() >= 4);

@@ -47,6 +47,7 @@ fn campaign() -> FaultStudyConfig {
                 jsonl: Some(format!("{out}/fault_campaign_events.jsonl")),
                 summary: true,
             },
+            store: Default::default(),
         },
         fault: FaultSpec {
             trials: 3,

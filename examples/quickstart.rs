@@ -29,6 +29,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         },
         constraints: Default::default(),
         output: Default::default(),
+        store: Default::default(),
     };
 
     // The same study serializes to the JSON the paper's artifact uses.

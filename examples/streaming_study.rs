@@ -46,6 +46,7 @@ fn campaign_study(name: &str, capacities_mib: Vec<u64>) -> StudyConfig {
             jsonl: Some(format!("{out}/{name}_events.jsonl")),
             summary: false,
         },
+        store: Default::default(),
     }
 }
 

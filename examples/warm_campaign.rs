@@ -37,6 +37,7 @@ fn phase(name: &str, read_max: f64, write_max: f64) -> StudyConfig {
         },
         constraints: Default::default(),
         output: Default::default(),
+        store: Default::default(),
     }
 }
 

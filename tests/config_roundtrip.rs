@@ -35,6 +35,7 @@ fn main_dnn_study() -> StudyConfig {
             ..Constraints::default()
         },
         output: OutputSpec::default(),
+        store: Default::default(),
     }
 }
 

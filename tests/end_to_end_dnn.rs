@@ -23,6 +23,7 @@ fn dnn_study() -> StudyConfig {
         },
         constraints: Default::default(),
         output: Default::default(),
+        store: Default::default(),
     }
 }
 
