@@ -1,0 +1,300 @@
+//! `nvmx-serve` — the persistent multi-tenant campaign daemon.
+//!
+//! Lifts the one-shot campaign flow into a resident service: clients
+//! submit study/fault-campaign configs over a Unix or TCP socket, an
+//! admission-controlled priority queue feeds a fixed pool of lanes, and
+//! every session runs against **one shared warm subarray cache**
+//! (optionally backed by the persistent characterization store), so each
+//! tenant's request after the first hits warm state. Each session's
+//! slot-ordered wire frames are retained server-side; any number of
+//! clients can attach, detach, and re-attach without perturbing the run.
+//!
+//! ```text
+//! nvmx-serve --listen unix:/tmp/nvmx.sock [--workers N] [--lanes N]
+//!            [--capacity N] [--store DIR]
+//! ```
+//!
+//! - `--listen ADDR` — `unix:PATH` or `tcp:HOST:PORT` (port `0` binds an
+//!   ephemeral port; the resolved address is printed on stdout).
+//! - `--workers N` — characterization/evaluation threads per running
+//!   session (default: one per CPU, capped at 16).
+//! - `--lanes N` — sessions that run concurrently (default 1).
+//! - `--capacity N` — admission-queue bound (default 64).
+//! - `--store DIR` — back the shared cache with the persistent
+//!   characterization store, shared across every tenant.
+//!
+//! On startup the daemon prints exactly one line to stdout:
+//! `nvmx-serve listening <spec>` — scripts parse this for the resolved
+//! endpoint. Everything else (per-session telemetry, store counters)
+//! goes to stderr, one line per terminal session:
+//! `session <id> (<study>): <outcome> cache hits=.. misses=.. pruned=..
+//! l2_hits=.. l2_misses=.. l2_rejects=..`.
+//!
+//! The protocol is the service layer of the versioned JSONL wire
+//! protocol (`docs/PROTOCOL.md` is the normative spec). A `shutdown`
+//! request drains gracefully: admission closes, queued and running
+//! sessions complete, the store is flushed, and the process exits `0`.
+//!
+//! Determinism: a session's event stream — and the artifacts a client
+//! rebuilds from it — is byte-identical to a cold local `run` of the
+//! same config, except the terminal frame's observational cache
+//! counters, which reflect the warm shared cache (see `docs/PROTOCOL.md`
+//! § Determinism contract). CI's `serve-smoke` job diffs exactly this.
+//!
+//! Exit codes: `0` clean drain, `1` runtime failure, `2` usage error.
+
+use nvmexplorer_core::service::{CampaignService, ServiceConfig};
+use nvmexplorer_core::wire::{RequestFrame, ResponseFrame};
+use nvmx_bench::service_net::{Endpoint, Listener, Stream};
+use std::io::{BufRead, BufReader, Write};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+
+const USAGE: &str = "usage: nvmx-serve --listen ADDR [--workers N] [--lanes N] [--capacity N] [--store DIR]\n       ADDR is unix:PATH or tcp:HOST:PORT";
+
+struct Args {
+    listen: Endpoint,
+    config: ServiceConfig,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let mut listen = None;
+    // Default workers: what a local `run` would use (one per CPU, capped
+    // at 16) — submitted sessions then match local-run wall-clock.
+    let mut config = ServiceConfig {
+        workers: nvmexplorer_core::stream::StudyExecutor::new().threads(),
+        lanes: 1,
+        capacity: 64,
+        store: None,
+    };
+    while let Some(arg) = args.next() {
+        let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
+        match arg.as_str() {
+            "--listen" => listen = Some(Endpoint::parse(&value("--listen")?)?),
+            "--workers" => {
+                config.workers = value("--workers")?
+                    .parse()
+                    .map_err(|e| format!("--workers: {e}"))?;
+            }
+            "--lanes" => {
+                config.lanes = value("--lanes")?
+                    .parse()
+                    .map_err(|e| format!("--lanes: {e}"))?;
+            }
+            "--capacity" => {
+                config.capacity = value("--capacity")?
+                    .parse()
+                    .map_err(|e| format!("--capacity: {e}"))?;
+            }
+            "--store" => config.store = Some(value("--store")?.into()),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    Ok(Args {
+        listen: listen.ok_or_else(|| "--listen is required".to_owned())?,
+        config,
+    })
+}
+
+/// Writes one response line; an `Err` means the client is gone.
+fn respond(stream: &mut Stream, response: &ResponseFrame) -> std::io::Result<()> {
+    stream.write_all(response.to_line().as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+/// Streams a session's event channel to the client: every retained frame
+/// from the start, then live until terminal, then the `done` response.
+/// Returns `Err` only when the client is gone — the session itself is
+/// untouched either way (it writes to the server-side log, never to this
+/// socket).
+fn stream_session(
+    service: &CampaignService,
+    session: u64,
+    stream: &mut Stream,
+) -> std::io::Result<()> {
+    let mut cursor = service
+        .events(session)
+        .expect("caller verified the session exists");
+    while let Some(line) = cursor.next_line() {
+        stream.write_all(line.as_bytes())?;
+        stream.write_all(b"\n")?;
+    }
+    stream.flush()?;
+    let snapshot = cursor.snapshot();
+    eprintln!(
+        "session {} ({}): {} cache hits={} misses={} pruned={} l2_hits={} l2_misses={} l2_rejects={}",
+        snapshot.session,
+        snapshot.study,
+        snapshot.phase.as_str(),
+        snapshot.cache.map_or(0, |c| c.hits),
+        snapshot.cache.map_or(0, |c| c.misses),
+        snapshot.cache.map_or(0, |c| c.pruned),
+        snapshot.cache.map_or(0, |c| c.l2_hits),
+        snapshot.cache.map_or(0, |c| c.l2_misses),
+        snapshot.cache.map_or(0, |c| c.l2_rejects),
+    );
+    respond(
+        stream,
+        &ResponseFrame::Done {
+            session: snapshot.session,
+            outcome: snapshot.phase.as_str().to_owned(),
+            error: snapshot.error,
+            cache: snapshot.cache,
+        },
+    )
+}
+
+/// Serves one connection until the client closes it, a write fails, or a
+/// shutdown request arrives.
+fn handle(service: &CampaignService, stream: Stream, drain: &AtomicBool, listen: &Endpoint) {
+    let mut writer = match stream.try_clone() {
+        Ok(writer) => writer,
+        Err(_) => return,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { return };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let request = match RequestFrame::parse(&line) {
+            Ok(request) => request,
+            Err(e) => {
+                let reason = format!("bad request: {e}");
+                if respond(&mut writer, &ResponseFrame::Error { reason }).is_err() {
+                    return;
+                }
+                continue;
+            }
+        };
+        let ok = match request {
+            RequestFrame::Submit { priority, config } => {
+                let json = serde_json::to_string(&config).expect("values serialize");
+                match service.submit(&json, priority) {
+                    Ok(admitted) => {
+                        let submitted = ResponseFrame::Submitted {
+                            session: admitted.session,
+                            study: admitted.study,
+                            queue_depth: admitted.queue_depth,
+                        };
+                        respond(&mut writer, &submitted).is_ok()
+                            && stream_session(service, admitted.session, &mut writer).is_ok()
+                    }
+                    Err(e) => respond(
+                        &mut writer,
+                        &ResponseFrame::Error {
+                            reason: e.to_string(),
+                        },
+                    )
+                    .is_ok(),
+                }
+            }
+            RequestFrame::Status => {
+                let status = service.status();
+                respond(
+                    &mut writer,
+                    &ResponseFrame::Status {
+                        draining: status.draining,
+                        queue_depth: status.queue_depth,
+                        capacity: status.capacity,
+                        sessions: status.sessions.iter().map(|s| s.brief()).collect(),
+                        cache: status.cache,
+                    },
+                )
+                .is_ok()
+            }
+            RequestFrame::Cancel { session } => match service.cancel(session) {
+                Some(active) => {
+                    respond(&mut writer, &ResponseFrame::Cancelled { session, active }).is_ok()
+                }
+                None => respond(
+                    &mut writer,
+                    &ResponseFrame::Error {
+                        reason: format!("unknown session {session}"),
+                    },
+                )
+                .is_ok(),
+            },
+            RequestFrame::Events { session } => {
+                if service.session(session).is_some() {
+                    stream_session(service, session, &mut writer).is_ok()
+                } else {
+                    respond(
+                        &mut writer,
+                        &ResponseFrame::Error {
+                            reason: format!("unknown session {session}"),
+                        },
+                    )
+                    .is_ok()
+                }
+            }
+            RequestFrame::Shutdown => {
+                let _ = respond(&mut writer, &ResponseFrame::Draining);
+                service.shutdown();
+                drain.store(true, Ordering::Release);
+                // Unblock the acceptor so the main thread notices.
+                let _ = Stream::connect(listen);
+                return;
+            }
+        };
+        if !ok {
+            return;
+        }
+    }
+}
+
+fn main() {
+    let args = parse_args().unwrap_or_else(|e| {
+        eprintln!("{e}\n{USAGE}");
+        std::process::exit(2);
+    });
+    let service = Arc::new(CampaignService::start(args.config).unwrap_or_else(|e| {
+        eprintln!("cannot start service: {e}");
+        std::process::exit(1);
+    }));
+    let listener = Listener::bind(&args.listen).unwrap_or_else(|e| {
+        eprintln!("cannot bind {}: {e}", args.listen);
+        std::process::exit(1);
+    });
+    let bound =
+        Endpoint::parse(&listener.local_spec()).expect("a bound listener reports a valid spec");
+    println!("nvmx-serve listening {bound}");
+    std::io::stdout().flush().ok();
+
+    let draining = Arc::new(AtomicBool::new(false));
+    let mut handlers = Vec::new();
+    while !draining.load(Ordering::Acquire) {
+        let stream = match listener.accept() {
+            Ok(stream) => stream,
+            Err(e) => {
+                eprintln!("accept failed: {e}");
+                continue;
+            }
+        };
+        if draining.load(Ordering::Acquire) {
+            break;
+        }
+        let service = Arc::clone(&service);
+        let draining = Arc::clone(&draining);
+        let bound = bound.clone();
+        handlers.push(std::thread::spawn(move || {
+            handle(&service, stream, &draining, &bound);
+        }));
+    }
+    // Graceful drain: every queued and running session completes, then
+    // the store is flushed. Connection handlers streaming those sessions
+    // finish with them.
+    let stats = service.drain().unwrap_or_else(|e| {
+        eprintln!("store flush failed during drain: {e}");
+        std::process::exit(1);
+    });
+    for handler in handlers {
+        let _ = handler.join();
+    }
+    eprintln!(
+        "nvmx-serve drained: cache hits={} misses={} pruned={} l2_hits={} l2_misses={} l2_rejects={}",
+        stats.hits, stats.misses, stats.pruned, stats.l2_hits, stats.l2_misses, stats.l2_rejects,
+    );
+}

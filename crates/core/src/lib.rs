@@ -60,6 +60,11 @@
 //! # }
 //! ```
 
+// Every public item must explain itself: this crate *is* the reproduced
+// methodology, and the rustdoc is the map from code to paper sections.
+// CI builds the docs with `-D warnings`, so broken intra-doc links fail too.
+#![deny(missing_docs)]
+
 pub mod accuracy;
 pub mod config;
 pub mod eval;
@@ -68,6 +73,7 @@ pub mod fault_study;
 pub mod fsutil;
 pub mod intermittent;
 pub mod scheduler;
+pub mod service;
 pub mod stream;
 pub mod sweep;
 pub mod wire;
@@ -80,13 +86,17 @@ pub use fault_study::{
     injection_seed, FaultModelReport, FaultOutcome, FaultStudyResult, FaultStudyStats, FaultTrial,
 };
 pub use scheduler::{SchedulerReport, StudyOutcome, StudyScheduler};
+pub use service::{
+    Admission, AdmitError, CampaignService, EventCursor, ServiceConfig, ServiceStatus,
+    SessionPhase, SessionSnapshot,
+};
 pub use stream::{
     MultiSink, NullSink, ResultSink, StudyEvent, StudyExecutor, StudyResultBuilder, StudyStats,
 };
 pub use sweep::{run_study, StudyResult};
 pub use wire::{
-    OwnedStudyEvent, Shard, SlotMerger, WireError, WireFrame, WireSink, WIRE_MIN_VERSION,
-    WIRE_VERSION,
+    OwnedStudyEvent, RequestFrame, ResponseFrame, SessionBrief, Shard, SlotMerger, StreamReplayer,
+    WireError, WireFrame, WireSink, WIRE_MIN_VERSION, WIRE_SERVICE_MIN_VERSION, WIRE_VERSION,
 };
 
 #[cfg(test)]

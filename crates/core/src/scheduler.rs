@@ -145,7 +145,7 @@ impl StudyOutcome {
     }
 }
 
-/// Everything a [`StudyScheduler::run_queue`] call produced.
+/// Everything a [`StudyScheduler::run_queue_with`] call produced.
 #[derive(Debug)]
 pub struct SchedulerReport {
     /// Per-study outcomes, in queue order.

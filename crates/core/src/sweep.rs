@@ -47,11 +47,11 @@
 //! 5. **Streaming by slot order.** While workers fill slots, the calling
 //!    thread walks them in index order and pushes each completed
 //!    characterization/evaluation to a
-//!    [`ResultSink`](crate::stream::ResultSink) — results can leave the
+//!    [`ResultSink`] — results can leave the
 //!    process while the sweep is still running, and the event order is
 //!    deterministic by the same argument as the result order. The batch
 //!    entry points below are the streaming engine with a
-//!    [`NullSink`](crate::stream::NullSink).
+//!    [`NullSink`] in place of live output.
 //!
 //! Jobs and targets are expanded in the legacy report order (cell name,
 //! capacity, programming depth, then target label), so `arrays` and

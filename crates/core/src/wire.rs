@@ -1,6 +1,13 @@
 //! The versioned JSONL wire protocol: [`StudyEvent`]s serialized across a
 //! process/host boundary, with strict parsing, slot-order merging, and
-//! deterministic replay.
+//! deterministic replay — plus the service request/response frames the
+//! `nvmx-serve` daemon speaks (protocol version 3).
+//!
+//! **The normative specification of this protocol — every version, every
+//! frame type, field tables, version-skew and replay rules — lives in
+//! [`docs/PROTOCOL.md`](https://github.com/nvmexplorer/nvmexplorer-rs/blob/main/docs/PROTOCOL.md)
+//! at the repository root. That document is the source of truth; this
+//! module implements it, and CI greps the two against each other.**
 //!
 //! # Format
 //!
@@ -8,12 +15,13 @@
 //! event object *extended* with a three-field header — not a second format:
 //!
 //! ```text
-//! {"v":2,"study":"quickstart","seq":7,"event":"evaluation_produced",...}
+//! {"v":3,"study":"quickstart","seq":7,"event":"evaluation_produced",...}
 //! ```
 //!
-//! - `v` — protocol version ([`WIRE_VERSION`]; readers also accept
-//!   [`WIRE_MIN_VERSION`] for pre-fault captures). Any other value is
-//!   rejected instead of guessed at.
+//! - `v` — protocol version ([`WIRE_VERSION`]; readers accept the whole
+//!   [`WIRE_MIN_VERSION`]`..=`[`WIRE_VERSION`] range, so v1 pre-fault and
+//!   v2 pre-service captures still replay). Any other value is rejected
+//!   instead of guessed at.
 //! - `study` — the study name, stamped on every line so interleaved or
 //!   concatenated captures stay attributable.
 //! - `seq` — the event's position in the engine's deterministic slot-order
@@ -61,15 +69,25 @@ use std::io::{BufRead, Write};
 
 /// The wire protocol version stamped on every written line.
 ///
-/// Version 2 (this release) adds the fault-campaign events
-/// (`fault_trial_produced`, `accuracy_degraded`, `fault_study_finished`).
-/// Readers also accept version-1 lines — pre-fault captures replay
-/// unchanged; every other version is rejected instead of guessed at.
-/// Re-encoding a parsed frame always stamps the current version.
-pub const WIRE_VERSION: u64 = 2;
+/// Version 3 (this release) adds the service request/response frames
+/// ([`RequestFrame`], [`ResponseFrame`]) that `nvmx-serve` clients speak;
+/// the event-frame format is unchanged from version 2 (which added the
+/// fault-campaign events `fault_trial_produced`, `accuracy_degraded`,
+/// `fault_study_finished` on top of version 1). Readers accept every
+/// version down to [`WIRE_MIN_VERSION`] — pre-fault and pre-service
+/// captures replay unchanged; every other version is rejected instead of
+/// guessed at. Re-encoding a parsed frame always stamps the current
+/// version.
+pub const WIRE_VERSION: u64 = 3;
 
 /// The oldest protocol version readers still decode.
 pub const WIRE_MIN_VERSION: u64 = 1;
+
+/// The oldest protocol version that carries service request/response
+/// frames. Event streams exist since version 1; `submit`/`status`/
+/// `cancel`/`events`/`shutdown` requests (and their responses) only since
+/// version 3 — a request line declaring an older version is rejected.
+pub const WIRE_SERVICE_MIN_VERSION: u64 = 3;
 
 // --------------------------------------------------------------- errors
 
@@ -686,6 +704,423 @@ fn frame_value(study: &str, seq: u64, event_body: Value) -> Value {
     Value::Object(fields)
 }
 
+// --------------------------------------------------------- service frames
+
+/// Encodes a [`CacheStats`] counter block as the wire's cache object (the
+/// same six counters the `study_finished` event carries; the derived
+/// `hit_rate`/`prune_rate` fields are not re-encoded here — they are a
+/// display convenience of the event stream, not protocol state).
+fn cache_value(stats: &CacheStats) -> Value {
+    Value::Object(vec![
+        ("hits".to_owned(), Value::Uint(stats.hits)),
+        ("misses".to_owned(), Value::Uint(stats.misses)),
+        ("pruned".to_owned(), Value::Uint(stats.pruned)),
+        ("l2_hits".to_owned(), Value::Uint(stats.l2_hits)),
+        ("l2_misses".to_owned(), Value::Uint(stats.l2_misses)),
+        ("l2_rejects".to_owned(), Value::Uint(stats.l2_rejects)),
+    ])
+}
+
+/// Decodes a wire cache object (missing counters default to zero, exactly
+/// like the `study_finished` decoder — older writers never observed them).
+fn cache_from(value: &Value) -> Result<CacheStats, FrameError> {
+    let obj = value
+        .as_object()
+        .ok_or_else(|| FrameError::corrupt("cache block is not a JSON object"))?;
+    Ok(CacheStats {
+        hits: uint_field_or(obj, "hits", 0)?,
+        misses: uint_field_or(obj, "misses", 0)?,
+        pruned: uint_field_or(obj, "pruned", 0)?,
+        l2_hits: uint_field_or(obj, "l2_hits", 0)?,
+        l2_misses: uint_field_or(obj, "l2_misses", 0)?,
+        l2_rejects: uint_field_or(obj, "l2_rejects", 0)?,
+    })
+}
+
+/// Checks the `v` header of a service frame: requests/responses exist only
+/// since [`WIRE_SERVICE_MIN_VERSION`].
+fn service_version(obj: &[(String, Value)]) -> Result<u64, FrameError> {
+    let version = uint_field(obj, "v")?;
+    if !(WIRE_SERVICE_MIN_VERSION..=WIRE_VERSION).contains(&version) {
+        return Err(FrameError::Version { found: version });
+    }
+    Ok(version)
+}
+
+/// A client → server request line of the campaign-service protocol
+/// (protocol version 3; see `docs/PROTOCOL.md` § Service frames).
+///
+/// Requests are distinguished from event frames by the `"request"` field:
+/// `{"v":3,"request":"submit","priority":0,"config":{…}}`. One request per
+/// line; the server answers every request with at least one
+/// [`ResponseFrame`] line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RequestFrame {
+    /// Submit a campaign config for execution. The server admits it into
+    /// the priority queue (higher `priority` runs first; ties in
+    /// submission order) and then streams the session's event frames on
+    /// the same connection, terminated by [`ResponseFrame::Done`].
+    Submit {
+        /// Scheduling priority, `0..=255`; higher is sooner.
+        priority: u8,
+        /// The campaign config as a raw JSON object — exactly what a
+        /// config file contains. The server runs it through the one
+        /// validated parse path
+        /// ([`CampaignConfig::from_json`](crate::config::CampaignConfig::from_json)),
+        /// so a malformed config is rejected with
+        /// [`ResponseFrame::Error`] naming the offending section.
+        config: Value,
+    },
+    /// Ask for the service's session table and cumulative cache counters.
+    Status,
+    /// Cancel a queued or running session.
+    Cancel {
+        /// The session to cancel.
+        session: u64,
+    },
+    /// Attach to a session's event channel: the server replays every frame
+    /// the session has emitted so far, then follows live until the
+    /// session's terminal [`ResponseFrame::Done`].
+    Events {
+        /// The session to attach to.
+        session: u64,
+    },
+    /// Gracefully drain the service: stop admitting, finish every queued
+    /// and running session, flush the store, then exit.
+    Shutdown,
+}
+
+impl RequestFrame {
+    /// Wire tag of the request (its `"request"` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Submit { .. } => "submit",
+            Self::Status => "status",
+            Self::Cancel { .. } => "cancel",
+            Self::Events { .. } => "events",
+            Self::Shutdown => "shutdown",
+        }
+    }
+
+    /// Parses one request line.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Version`] when `v` is outside
+    /// [`WIRE_SERVICE_MIN_VERSION`]`..=`[`WIRE_VERSION`];
+    /// [`FrameError::Corrupt`] for anything else wrong with the line.
+    pub fn parse(line: &str) -> Result<Self, FrameError> {
+        let value: Value = serde_json::from_str(line)
+            .map_err(|e| FrameError::corrupt(format!("not valid JSON: {e}")))?;
+        let obj = value
+            .as_object()
+            .ok_or_else(|| FrameError::corrupt("request line is not a JSON object"))?;
+        service_version(obj)?;
+        match str_field(obj, "request")? {
+            "submit" => Ok(Self::Submit {
+                priority: u8::try_from(uint_field_or(obj, "priority", 0)?)
+                    .map_err(|_| FrameError::corrupt("field `priority` out of range (0..=255)"))?,
+                config: field(obj, "config")?.clone(),
+            }),
+            "status" => Ok(Self::Status),
+            "cancel" => Ok(Self::Cancel {
+                session: uint_field(obj, "session")?,
+            }),
+            "events" => Ok(Self::Events {
+                session: uint_field(obj, "session")?,
+            }),
+            "shutdown" => Ok(Self::Shutdown),
+            other => Err(FrameError::corrupt(format!(
+                "unknown request tag `{other}`"
+            ))),
+        }
+    }
+
+    /// The request as one JSONL line (no trailing newline); parse →
+    /// re-encode is the identity.
+    pub fn to_line(&self) -> String {
+        let mut fields = vec![
+            ("v".to_owned(), Value::Uint(WIRE_VERSION)),
+            ("request".to_owned(), Value::Str(self.kind().to_owned())),
+        ];
+        match self {
+            Self::Submit { priority, config } => {
+                fields.push(("priority".to_owned(), Value::Uint(u64::from(*priority))));
+                fields.push(("config".to_owned(), config.clone()));
+            }
+            Self::Cancel { session } | Self::Events { session } => {
+                fields.push(("session".to_owned(), Value::Uint(*session)));
+            }
+            Self::Status | Self::Shutdown => {}
+        }
+        serde_json::to_string(&Value::Object(fields)).expect("request frames always serialize")
+    }
+}
+
+/// One session row of a [`ResponseFrame::Status`] table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SessionBrief {
+    /// Session id.
+    pub session: u64,
+    /// Study (or campaign) name the session runs.
+    pub study: String,
+    /// Lifecycle state: `queued`, `running`, `finished`, `failed`, or
+    /// `cancelled`.
+    pub state: String,
+    /// Admission priority the session was submitted with.
+    pub priority: u8,
+    /// Event frames the session has emitted so far.
+    pub events: u64,
+}
+
+impl SessionBrief {
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("session".to_owned(), Value::Uint(self.session)),
+            ("study".to_owned(), Value::Str(self.study.clone())),
+            ("state".to_owned(), Value::Str(self.state.clone())),
+            ("priority".to_owned(), Value::Uint(u64::from(self.priority))),
+            ("events".to_owned(), Value::Uint(self.events)),
+        ])
+    }
+
+    fn from_value(value: &Value) -> Result<Self, FrameError> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| FrameError::corrupt("session row is not a JSON object"))?;
+        Ok(Self {
+            session: uint_field(obj, "session")?,
+            study: str_field(obj, "study")?.to_owned(),
+            state: str_field(obj, "state")?.to_owned(),
+            priority: u8::try_from(uint_field(obj, "priority")?)
+                .map_err(|_| FrameError::corrupt("field `priority` out of range (0..=255)"))?,
+            events: uint_field(obj, "events")?,
+        })
+    }
+}
+
+/// A server → client response line of the campaign-service protocol
+/// (protocol version 3; see `docs/PROTOCOL.md` § Service frames).
+///
+/// Responses are distinguished from event frames by the `"response"`
+/// field. On a `submit` or `events` connection the response lines bracket
+/// the raw event frames: `submitted`, then the session's wire frames
+/// verbatim, then `done`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ResponseFrame {
+    /// A `submit` was admitted; the session's event frames follow on this
+    /// connection.
+    Submitted {
+        /// The session id assigned.
+        session: u64,
+        /// The campaign name the config resolved to.
+        study: String,
+        /// Sessions queued ahead of this one at admission time.
+        queue_depth: u64,
+    },
+    /// Answer to a `status` request.
+    Status {
+        /// `true` once a shutdown was requested (no further admissions).
+        draining: bool,
+        /// Sessions currently queued (admitted, not yet running).
+        queue_depth: u64,
+        /// Admission-queue capacity (`queue_depth == capacity` rejects).
+        capacity: u64,
+        /// Every session the service still remembers, in submission order.
+        sessions: Vec<SessionBrief>,
+        /// Cumulative shared-cache counters since the service started.
+        cache: CacheStats,
+    },
+    /// Answer to a `cancel` request.
+    Cancelled {
+        /// The cancelled session.
+        session: u64,
+        /// `true` when the session was still queued or running (the cancel
+        /// did something); `false` when it had already reached a terminal
+        /// state.
+        active: bool,
+    },
+    /// Terminal line of a session's event channel.
+    Done {
+        /// The session that ended.
+        session: u64,
+        /// `finished`, `failed`, or `cancelled`.
+        outcome: String,
+        /// The failure message, for `failed` outcomes.
+        error: Option<String>,
+        /// The shared-cache counter delta accrued while this session ran —
+        /// the tenant's own view of the warm cache (observational, like
+        /// every cache counter on the wire).
+        cache: Option<CacheStats>,
+    },
+    /// A `shutdown` was accepted; the service drains and exits.
+    Draining,
+    /// The request could not be served (malformed config, unknown session,
+    /// queue full, draining service, …).
+    Error {
+        /// Human-readable reason, safe to print verbatim.
+        reason: String,
+    },
+}
+
+impl ResponseFrame {
+    /// Wire tag of the response (its `"response"` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Submitted { .. } => "submitted",
+            Self::Status { .. } => "status",
+            Self::Cancelled { .. } => "cancelled",
+            Self::Done { .. } => "done",
+            Self::Draining => "draining",
+            Self::Error { .. } => "error",
+        }
+    }
+
+    /// `true` when `line` looks like a service response (a JSON object
+    /// carrying a `"response"` field) rather than an event frame — the
+    /// cheap pre-test a client uses to split a session channel into event
+    /// frames and bracketing responses without parsing twice.
+    pub fn is_response_line(line: &str) -> bool {
+        matches!(
+            serde_json::from_str::<Value>(line),
+            Ok(Value::Object(obj)) if obj.iter().any(|(k, _)| k == "response")
+        )
+    }
+
+    /// Parses one response line.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Version`] when `v` is outside
+    /// [`WIRE_SERVICE_MIN_VERSION`]`..=`[`WIRE_VERSION`];
+    /// [`FrameError::Corrupt`] for anything else wrong with the line.
+    pub fn parse(line: &str) -> Result<Self, FrameError> {
+        let value: Value = serde_json::from_str(line)
+            .map_err(|e| FrameError::corrupt(format!("not valid JSON: {e}")))?;
+        let obj = value
+            .as_object()
+            .ok_or_else(|| FrameError::corrupt("response line is not a JSON object"))?;
+        service_version(obj)?;
+        match str_field(obj, "response")? {
+            "submitted" => Ok(Self::Submitted {
+                session: uint_field(obj, "session")?,
+                study: str_field(obj, "study")?.to_owned(),
+                queue_depth: uint_field(obj, "queue_depth")?,
+            }),
+            "status" => {
+                let rows = match field(obj, "sessions")? {
+                    Value::Array(rows) => rows,
+                    other => {
+                        return Err(FrameError::corrupt(format!(
+                            "field `sessions` is not an array, got {}",
+                            other.kind()
+                        )))
+                    }
+                };
+                Ok(Self::Status {
+                    draining: bool_field(obj, "draining")?,
+                    queue_depth: uint_field(obj, "queue_depth")?,
+                    capacity: uint_field(obj, "capacity")?,
+                    sessions: rows
+                        .iter()
+                        .map(SessionBrief::from_value)
+                        .collect::<Result<_, _>>()?,
+                    cache: cache_from(field(obj, "cache")?)?,
+                })
+            }
+            "cancelled" => Ok(Self::Cancelled {
+                session: uint_field(obj, "session")?,
+                active: bool_field(obj, "active")?,
+            }),
+            "done" => Ok(Self::Done {
+                session: uint_field(obj, "session")?,
+                outcome: str_field(obj, "outcome")?.to_owned(),
+                error: match obj.iter().find(|(k, _)| k == "error") {
+                    None | Some((_, Value::Null)) => None,
+                    Some((_, Value::Str(s))) => Some(s.clone()),
+                    Some((_, other)) => {
+                        return Err(FrameError::corrupt(format!(
+                            "field `error` is neither null nor a string, got {}",
+                            other.kind()
+                        )))
+                    }
+                },
+                cache: match obj.iter().find(|(k, _)| k == "cache") {
+                    None | Some((_, Value::Null)) => None,
+                    Some((_, value)) => Some(cache_from(value)?),
+                },
+            }),
+            "draining" => Ok(Self::Draining),
+            "error" => Ok(Self::Error {
+                reason: str_field(obj, "reason")?.to_owned(),
+            }),
+            other => Err(FrameError::corrupt(format!(
+                "unknown response tag `{other}`"
+            ))),
+        }
+    }
+
+    /// The response as one JSONL line (no trailing newline); parse →
+    /// re-encode is the identity.
+    pub fn to_line(&self) -> String {
+        let mut fields = vec![
+            ("v".to_owned(), Value::Uint(WIRE_VERSION)),
+            ("response".to_owned(), Value::Str(self.kind().to_owned())),
+        ];
+        match self {
+            Self::Submitted {
+                session,
+                study,
+                queue_depth,
+            } => {
+                fields.push(("session".to_owned(), Value::Uint(*session)));
+                fields.push(("study".to_owned(), Value::Str(study.clone())));
+                fields.push(("queue_depth".to_owned(), Value::Uint(*queue_depth)));
+            }
+            Self::Status {
+                draining,
+                queue_depth,
+                capacity,
+                sessions,
+                cache,
+            } => {
+                fields.push(("draining".to_owned(), Value::Bool(*draining)));
+                fields.push(("queue_depth".to_owned(), Value::Uint(*queue_depth)));
+                fields.push(("capacity".to_owned(), Value::Uint(*capacity)));
+                fields.push((
+                    "sessions".to_owned(),
+                    Value::Array(sessions.iter().map(SessionBrief::to_value).collect()),
+                ));
+                fields.push(("cache".to_owned(), cache_value(cache)));
+            }
+            Self::Cancelled { session, active } => {
+                fields.push(("session".to_owned(), Value::Uint(*session)));
+                fields.push(("active".to_owned(), Value::Bool(*active)));
+            }
+            Self::Done {
+                session,
+                outcome,
+                error,
+                cache,
+            } => {
+                fields.push(("session".to_owned(), Value::Uint(*session)));
+                fields.push(("outcome".to_owned(), Value::Str(outcome.clone())));
+                if let Some(error) = error {
+                    fields.push(("error".to_owned(), Value::Str(error.clone())));
+                }
+                if let Some(cache) = cache {
+                    fields.push(("cache".to_owned(), cache_value(cache)));
+                }
+            }
+            Self::Draining => {}
+            Self::Error { reason } => {
+                fields.push(("reason".to_owned(), Value::Str(reason.clone())));
+            }
+        }
+        serde_json::to_string(&Value::Object(fields)).expect("response frames always serialize")
+    }
+}
+
 // ----------------------------------------------------------------- shards
 
 /// A residue-class shard of the slot space: shard `i/n` owns every slot
@@ -1034,6 +1469,149 @@ pub struct Replay {
     pub fault: Option<FaultOutcome>,
 }
 
+/// An incremental strict replayer: the line-at-a-time core of
+/// [`replay_into`], shared with clients that receive frames over a socket
+/// rather than from a finished capture file.
+///
+/// Feed every line through [`push_line`](Self::push_line) (blank lines are
+/// ignored; the return value reports whether the stream just terminated),
+/// then call [`finish`](Self::finish). The same strictness rules apply as
+/// for captures: one study per stream, contiguous slot order from zero,
+/// supported versions only, nothing after the terminal frame.
+pub struct StreamReplayer {
+    replayer: EventReplayer,
+    study: Option<String>,
+    frames: u64,
+    lineno: u64,
+    finished: bool,
+}
+
+impl Default for StreamReplayer {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl StreamReplayer {
+    /// A replayer that has consumed nothing.
+    pub fn new() -> Self {
+        Self {
+            replayer: EventReplayer::new(),
+            study: None,
+            frames: 0,
+            lineno: 0,
+            finished: false,
+        }
+    }
+
+    /// Frames applied so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// `true` once the terminal (`study_finished` /
+    /// `fault_study_finished`) frame has been applied.
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Applies one stream line, forwarding the decoded event (winners
+    /// re-linked) into `sink`. Returns `Ok(true)` when this line was the
+    /// stream's terminal frame.
+    ///
+    /// # Errors
+    ///
+    /// [`WireError`] on malformed lines, version mismatches,
+    /// out-of-order/duplicate slots, mid-stream study changes, frames
+    /// after the terminal event, or sink failures (as [`WireError::Io`]).
+    pub fn push_line(&mut self, line: &str, sink: &mut dyn ResultSink) -> Result<bool, WireError> {
+        self.lineno += 1;
+        let lineno = self.lineno;
+        if line.trim().is_empty() {
+            return Ok(false);
+        }
+        if self.finished() {
+            return Err(WireError::Corrupt {
+                line: lineno,
+                reason: "frames after study_finished".to_owned(),
+            });
+        }
+        let frame = WireFrame::parse(line).map_err(|e| e.at(lineno))?;
+        match &self.study {
+            None => self.study = Some(frame.study.clone()),
+            Some(expected) if *expected != frame.study => {
+                return Err(WireError::StudyMismatch {
+                    line: lineno,
+                    expected: expected.clone(),
+                    found: frame.study,
+                })
+            }
+            Some(_) => {}
+        }
+        match frame.seq.cmp(&self.frames) {
+            std::cmp::Ordering::Less => {
+                return Err(WireError::DuplicateSlot {
+                    line: lineno,
+                    seq: frame.seq,
+                })
+            }
+            std::cmp::Ordering::Greater => {
+                return Err(WireError::OutOfOrder {
+                    line: lineno,
+                    expected: self.frames,
+                    found: frame.seq,
+                })
+            }
+            std::cmp::Ordering::Equal => {}
+        }
+        let terminal = matches!(
+            &frame.event,
+            OwnedStudyEvent::StudyFinished { .. } | OwnedStudyEvent::FaultStudyFinished { .. }
+        );
+        self.replayer.apply(&frame.event, sink).map_err(|e| {
+            match e
+                .get_ref()
+                .and_then(|inner| inner.downcast_ref::<WinnerLookupFailed>())
+            {
+                Some(lookup) => WireError::UnknownWinner {
+                    line: lineno,
+                    cell: lookup.cell.clone(),
+                },
+                None => WireError::Io(e),
+            }
+        })?;
+        self.frames += 1;
+        if terminal {
+            self.finished = true;
+        }
+        Ok(terminal)
+    }
+
+    /// The completed [`Replay`].
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::Truncated`] when the stream ended before its terminal
+    /// frame.
+    pub fn finish(self) -> Result<Replay, WireError> {
+        if !self.finished() {
+            return Err(WireError::Truncated {
+                frames: self.frames,
+            });
+        }
+        let (result, fault) = self
+            .replayer
+            .finish_parts()
+            .expect("finished stream builds a result");
+        Ok(Replay {
+            study: self.study.expect("finished stream has frames"),
+            frames: self.frames,
+            result,
+            fault,
+        })
+    }
+}
+
 /// Strictly replays a captured wire stream, rebuilding the
 /// [`StudyResult`] via [`StudyResultBuilder`].
 ///
@@ -1054,82 +1632,11 @@ pub fn replay<R: BufRead>(reader: R) -> Result<Replay, WireError> {
 /// Same conditions as [`replay`], plus sink failures (as
 /// [`WireError::Io`]).
 pub fn replay_into<R: BufRead>(reader: R, sink: &mut dyn ResultSink) -> Result<Replay, WireError> {
-    let mut replayer = EventReplayer::new();
-    let mut study: Option<String> = None;
-    let mut frames: u64 = 0;
-    let mut finished = false;
-    for (lineno, line) in reader.lines().enumerate() {
-        let lineno = lineno as u64 + 1;
-        let line = line?;
-        if line.trim().is_empty() {
-            continue;
-        }
-        if finished {
-            return Err(WireError::Corrupt {
-                line: lineno,
-                reason: "frames after study_finished".to_owned(),
-            });
-        }
-        let frame = WireFrame::parse(&line).map_err(|e| e.at(lineno))?;
-        match &study {
-            None => study = Some(frame.study.clone()),
-            Some(expected) if *expected != frame.study => {
-                return Err(WireError::StudyMismatch {
-                    line: lineno,
-                    expected: expected.clone(),
-                    found: frame.study,
-                })
-            }
-            Some(_) => {}
-        }
-        match frame.seq.cmp(&frames) {
-            std::cmp::Ordering::Less => {
-                return Err(WireError::DuplicateSlot {
-                    line: lineno,
-                    seq: frame.seq,
-                })
-            }
-            std::cmp::Ordering::Greater => {
-                return Err(WireError::OutOfOrder {
-                    line: lineno,
-                    expected: frames,
-                    found: frame.seq,
-                })
-            }
-            std::cmp::Ordering::Equal => {}
-        }
-        if matches!(
-            &frame.event,
-            OwnedStudyEvent::StudyFinished { .. } | OwnedStudyEvent::FaultStudyFinished { .. }
-        ) {
-            finished = true;
-        }
-        replayer.apply(&frame.event, sink).map_err(|e| {
-            match e
-                .get_ref()
-                .and_then(|inner| inner.downcast_ref::<WinnerLookupFailed>())
-            {
-                Some(lookup) => WireError::UnknownWinner {
-                    line: lineno,
-                    cell: lookup.cell.clone(),
-                },
-                None => WireError::Io(e),
-            }
-        })?;
-        frames += 1;
+    let mut replayer = StreamReplayer::new();
+    for line in reader.lines() {
+        replayer.push_line(&line?, sink)?;
     }
-    if !finished {
-        return Err(WireError::Truncated { frames });
-    }
-    let (result, fault) = replayer
-        .finish_parts()
-        .expect("finished stream builds a result");
-    Ok(Replay {
-        study: study.expect("finished stream has frames"),
-        frames,
-        result,
-        fault,
-    })
+    replayer.finish()
 }
 
 #[cfg(test)]
@@ -1171,9 +1678,9 @@ mod tests {
 
     #[test]
     fn frame_version_is_enforced() {
-        let line = r#"{"v":3,"study":"s","seq":0,"event":"study_started","name":"s","cells":1,"jobs":1,"targets":1,"traffic":1}"#;
+        let line = r#"{"v":4,"study":"s","seq":0,"event":"study_started","name":"s","cells":1,"jobs":1,"targets":1,"traffic":1}"#;
         match WireFrame::parse(line) {
-            Err(FrameError::Version { found }) => assert_eq!(found, 3),
+            Err(FrameError::Version { found }) => assert_eq!(found, 4),
             other => panic!("expected version error, got {other:?}"),
         }
         let zero = r#"{"v":0,"study":"s","seq":0,"event":"study_started","name":"s","cells":1,"jobs":1,"targets":1,"traffic":1}"#;
@@ -1216,7 +1723,7 @@ mod tests {
             },
         };
         let line = frame.to_line();
-        assert!(line.starts_with(r#"{"v":2,"study":"demo","seq":0,"event":"study_started""#));
+        assert!(line.starts_with(r#"{"v":3,"study":"demo","seq":0,"event":"study_started""#));
         let back = WireFrame::parse(&line).unwrap();
         assert_eq!(back, frame);
         assert_eq!(back.to_line(), line, "parse -> encode must be identity");
@@ -1335,5 +1842,131 @@ mod tests {
         let one_line = r#"{"v":1,"study":"s","seq":0,"event":"study_started","name":"s","cells":1,"jobs":1,"targets":1,"traffic":1}"#;
         let err = replay(std::io::Cursor::new(format!("{one_line}\n"))).unwrap_err();
         assert!(matches!(err, WireError::Truncated { frames: 1 }));
+    }
+
+    // ------------------------------------------------------ service frames
+
+    #[test]
+    fn request_frames_roundtrip_through_text() {
+        let requests = vec![
+            RequestFrame::Submit {
+                priority: 7,
+                config: Value::Object(vec![(
+                    "name".to_owned(),
+                    Value::Str("quickstart".to_owned()),
+                )]),
+            },
+            RequestFrame::Status,
+            RequestFrame::Cancel { session: 12 },
+            RequestFrame::Events { session: 3 },
+            RequestFrame::Shutdown,
+        ];
+        for request in requests {
+            let line = request.to_line();
+            assert!(line.starts_with(&format!(
+                r#"{{"v":{WIRE_VERSION},"request":"{}""#,
+                request.kind()
+            )));
+            let back = RequestFrame::parse(&line).unwrap();
+            assert_eq!(back, request);
+            assert_eq!(back.to_line(), line, "parse -> encode must be identity");
+        }
+    }
+
+    #[test]
+    fn response_frames_roundtrip_through_text() {
+        let cache = CacheStats {
+            hits: 10,
+            misses: 2,
+            pruned: 5,
+            l2_hits: 1,
+            l2_misses: 1,
+            l2_rejects: 0,
+        };
+        let responses = vec![
+            ResponseFrame::Submitted {
+                session: 4,
+                study: "quickstart".to_owned(),
+                queue_depth: 2,
+            },
+            ResponseFrame::Status {
+                draining: false,
+                queue_depth: 1,
+                capacity: 64,
+                sessions: vec![SessionBrief {
+                    session: 4,
+                    study: "quickstart".to_owned(),
+                    state: "running".to_owned(),
+                    priority: 9,
+                    events: 17,
+                }],
+                cache,
+            },
+            ResponseFrame::Cancelled {
+                session: 4,
+                active: true,
+            },
+            ResponseFrame::Done {
+                session: 4,
+                outcome: "finished".to_owned(),
+                error: None,
+                cache: Some(cache),
+            },
+            ResponseFrame::Done {
+                session: 5,
+                outcome: "failed".to_owned(),
+                error: Some("config: unknown cell".to_owned()),
+                cache: None,
+            },
+            ResponseFrame::Draining,
+            ResponseFrame::Error {
+                reason: "queue full".to_owned(),
+            },
+        ];
+        for response in responses {
+            let line = response.to_line();
+            assert!(ResponseFrame::is_response_line(&line));
+            let back = ResponseFrame::parse(&line).unwrap();
+            assert_eq!(back, response);
+            assert_eq!(back.to_line(), line, "parse -> encode must be identity");
+        }
+    }
+
+    #[test]
+    fn service_frames_reject_version_skew_and_corruption() {
+        // Requests/responses exist only since v3: a v2 stamp is rejected
+        // even though v2 is a valid *event* version.
+        let stale = RequestFrame::Status.to_line().replacen(
+            &format!("{{\"v\":{WIRE_VERSION},"),
+            "{\"v\":2,",
+            1,
+        );
+        assert!(matches!(
+            RequestFrame::parse(&stale),
+            Err(FrameError::Version { found: 2 })
+        ));
+        let stale = ResponseFrame::Draining.to_line().replacen(
+            &format!("{{\"v\":{WIRE_VERSION},"),
+            "{\"v\":2,",
+            1,
+        );
+        assert!(matches!(
+            ResponseFrame::parse(&stale),
+            Err(FrameError::Version { found: 2 })
+        ));
+        // Unknown tags are corruption, not silently ignored.
+        let line = format!(r#"{{"v":{WIRE_VERSION},"request":"teleport"}}"#);
+        match RequestFrame::parse(&line) {
+            Err(FrameError::Corrupt { reason }) => assert!(reason.contains("teleport")),
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+        let line = format!(r#"{{"v":{WIRE_VERSION},"response":"teleport"}}"#);
+        match ResponseFrame::parse(&line) {
+            Err(FrameError::Corrupt { reason }) => assert!(reason.contains("teleport")),
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+        // An event frame is not a response line.
+        let event = r#"{"v":3,"study":"s","seq":0,"event":"study_started","name":"s","cells":1,"jobs":1,"targets":1,"traffic":1}"#;
+        assert!(!ResponseFrame::is_response_line(event));
     }
 }

@@ -12,8 +12,8 @@ use nvmexplorer_core::fault_study::FaultStudyResult;
 use nvmexplorer_core::stream::{ResultSink, StudyEvent, StudyExecutor};
 use nvmexplorer_core::sweep::{run_study_with_threads, StudyResult};
 use nvmexplorer_core::wire::{
-    replay, replay_into, EventReplayer, OwnedStudyEvent, Shard, SlotMerger, WireError, WireFrame,
-    WireSink,
+    replay, replay_into, EventReplayer, OwnedStudyEvent, Shard, SlotMerger, StreamReplayer,
+    WireError, WireFrame, WireSink,
 };
 use nvmx_celldb::TechnologyClass;
 use nvmx_nvsim::OptimizationTarget;
@@ -215,7 +215,7 @@ fn strict_replay_rejects_malformed_streams() {
 
     // Unknown protocol version.
     let mut versioned = lines.clone();
-    versioned[0] = versioned[0].replacen("{\"v\":2,", "{\"v\":9,", 1);
+    versioned[0] = versioned[0].replacen("{\"v\":3,", "{\"v\":9,", 1);
     match parse(capture_text(&versioned)) {
         Err(WireError::Version { line, found }) => {
             assert_eq!((line, found), (1, 9));
@@ -320,7 +320,7 @@ fn version1_captures_still_replay_and_reencode_as_current() {
     let lines = capture_shard(&small_study(), Shard::WHOLE, 2);
     let legacy: Vec<String> = lines
         .iter()
-        .map(|line| line.replacen("{\"v\":2,", "{\"v\":1,", 1))
+        .map(|line| line.replacen("{\"v\":3,", "{\"v\":1,", 1))
         .collect();
     assert_ne!(legacy, lines, "downgrade must have rewritten the stamps");
     let replayed =
@@ -329,6 +329,56 @@ fn version1_captures_still_replay_and_reencode_as_current() {
     for (old, current) in legacy.iter().zip(&lines) {
         let frame = WireFrame::parse(old).unwrap();
         assert_eq!(frame.version, 1, "parse preserves the version it read");
+        assert_eq!(
+            &frame.to_line(),
+            current,
+            "re-encode stamps the current version"
+        );
+    }
+}
+
+/// The incremental [`StreamReplayer`] (the socket client's replay core)
+/// must agree with the batch [`replay`] path line for line, including
+/// where it reports the terminal frame.
+#[test]
+fn stream_replayer_matches_batch_replay_line_by_line() {
+    let lines = capture_shard(&small_study(), Shard::WHOLE, 2);
+    let mut incremental = StreamReplayer::new();
+    for (i, line) in lines.iter().enumerate() {
+        let terminal = incremental
+            .push_line(line, &mut nvmexplorer_core::stream::NullSink)
+            .expect("well-formed capture");
+        assert_eq!(
+            terminal,
+            i + 1 == lines.len(),
+            "terminal flag must fire exactly on the last frame"
+        );
+    }
+    assert!(incremental.finished());
+    let a = incremental.finish().expect("finished stream");
+    let b = replay(std::io::Cursor::new(lines.join("\n"))).expect("batch replay");
+    assert_eq!(a.study, b.study);
+    assert_eq!(a.frames, b.frames);
+    assert_identical("incremental vs batch", &a.result, &b.result);
+}
+
+/// Version-2 captures (written before the service frames landed) must
+/// still replay, and re-encode as the current version — the v3 bump added
+/// request/response frames only, never touching the event encoding.
+#[test]
+fn version2_captures_still_replay_and_reencode_as_current() {
+    let lines = capture_shard(&small_study(), Shard::WHOLE, 2);
+    let legacy: Vec<String> = lines
+        .iter()
+        .map(|line| line.replacen("{\"v\":3,", "{\"v\":2,", 1))
+        .collect();
+    assert_ne!(legacy, lines, "downgrade must have rewritten the stamps");
+    let replayed =
+        replay(std::io::Cursor::new(capture_text(&legacy))).expect("v2 capture must still replay");
+    assert_eq!(replayed.frames as usize, legacy.len());
+    for (old, current) in legacy.iter().zip(&lines) {
+        let frame = WireFrame::parse(old).unwrap();
+        assert_eq!(frame.version, 2, "parse preserves the version it read");
         assert_eq!(
             &frame.to_line(),
             current,

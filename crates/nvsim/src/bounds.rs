@@ -26,7 +26,7 @@
 //!    route length couples all three geometry axes plus the subarray
 //!    count), and sizing it exactly per candidate would cost as much as
 //!    the `Bank::compose` call pruning is meant to skip. Instead,
-//!    [`HtreeStair`] precomputes, once per technology node, the
+//!    `HtreeStair` (private to this module) precomputes, once per technology node, the
 //!    repeated-wire characterization at the *minimum length of each
 //!    segment-count class* (plus a log-spaced anchor subdivision of the
 //!    single-segment class). Within a class the wire load grows with

@@ -11,8 +11,8 @@
 //! # Layout
 //!
 //! The cache is two-level, exploiting the fact that the DSE geometry space
-//! is a small fixed grid ([`crate::dse::ROW_CHOICES`] ×
-//! [`crate::dse::COL_CHOICES`] × [`crate::dse::MUX_CHOICES`]):
+//! is a small fixed grid (the `dse` module's `ROW_CHOICES` ×
+//! `COL_CHOICES` × `MUX_CHOICES`):
 //!
 //! 1. an outer read-mostly map `(cell fingerprint, node, depth) →` slab,
 //!    consulted **once per design-space pass** (via [`SubarrayCache::

@@ -35,6 +35,11 @@
 //! # }
 //! ```
 
+// Every public item must explain itself — the circuit models only earn
+// trust if each knob and output names its NVSim/CACTI lineage. CI builds
+// the docs with `-D warnings`, so broken intra-doc links fail too.
+#![deny(missing_docs)]
+
 pub mod bank;
 pub mod bounds;
 pub mod cache;

@@ -1,11 +1,17 @@
 //! The persistent, content-addressed characterization store: an on-disk L2
 //! under the in-memory [`SubarrayCache`](crate::cache::SubarrayCache).
 //!
+//! **The normative specification of the slab codec — header and segment
+//! layout, checksum and rejection semantics, [`STORE_VERSION`] history —
+//! is `docs/PROTOCOL.md` § Store slab codec at the repository root. That
+//! document is the source of truth; this module implements it, and CI
+//! greps the two against each other.**
+//!
 //! # Why
 //!
 //! Subarray characterization is a pure function of `(cell, node,
 //! programming depth, geometry)` — nothing about it is per-process — yet
-//! every process cold-starts its [`SubarrayCache`] and re-derives the same
+//! every process cold-starts its [`SubarrayCache`](crate::cache::SubarrayCache) and re-derives the same
 //! geometries. This module persists each cache *slab* (the full DSE-grid
 //! worth of characterized geometries for one `(cell, node, depth)` key) as
 //! one content-addressed file, so campaign restarts, worker shards on the

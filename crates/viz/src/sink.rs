@@ -2,7 +2,7 @@
 //! core [`StudyEvent`] stream.
 //!
 //! The batch reporters in this crate ([`Csv`](crate::Csv),
-//! [`AsciiTable`](crate::AsciiTable)) hold the whole document in memory —
+//! [`AsciiTable`]) hold the whole document in memory —
 //! fine for a figure, hopeless for a multi-gigabyte sweep. The sinks here
 //! implement [`ResultSink`] and write **as events arrive**, so a study's
 //! results land on disk while the sweep is still running and memory stays
@@ -375,8 +375,9 @@ pub fn from_spec(
 }
 
 /// A boxed fan-out over the sinks of [`from_spec`] — one owned sink per
-/// study, as [`StudyScheduler::run_queue_with`]
-/// (nvmexplorer_core::scheduler::StudyScheduler::run_queue_with) expects.
+/// study, as [`StudyScheduler::run_queue_with`] expects.
+///
+/// [`StudyScheduler::run_queue_with`]: nvmexplorer_core::scheduler::StudyScheduler::run_queue_with
 #[derive(Default)]
 pub struct SpecSinks {
     sinks: Vec<Box<dyn ResultSink>>,
