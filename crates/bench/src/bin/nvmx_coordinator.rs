@@ -31,6 +31,20 @@
 //! disarmed re-covers its residue class, and the degradation is reported
 //! in the run summary.
 //!
+//! `--transport pipe|tcp|unix` switches the campaign from fixed residue
+//! classes to the version-4 *lease* protocol (`core::reshard`): workers
+//! say `hello` over a framed connection (child pipes, a TCP listener, or
+//! a Unix socket — the socket families are how shards on other hosts
+//! join), heartbeat from a dedicated thread, and emit only the slot
+//! ranges the coordinator leases to them. The supervisor measures
+//! per-worker throughput with an EWMA, kills workers that miss their
+//! heartbeat deadline, re-leases a dead or stalled worker's undrained
+//! ranges to healthy ones (capped exponential respawn backoff; past
+//! `--max-respawns` the worker is abandoned and its leases simply flow to
+//! the survivors), and lets idle fast workers steal the undelivered tail
+//! from slow ones. Merged output stays slot-ordered and byte-identical
+//! to a local run; every re-leased range is reported in the summary.
+//!
 //! `replay` strictly re-reads a captured `.jsonl` (rejecting unknown
 //! versions, out-of-order or duplicate slots, and truncation) and rebuilds
 //! the byte-identical `StudyResult` via `StudyResultBuilder`, optionally
@@ -47,26 +61,32 @@
 use nvmexplorer_core::config::CampaignConfig;
 use nvmexplorer_core::fault_study::FaultOutcome;
 use nvmexplorer_core::fsutil::AtomicFileWriter;
+use nvmexplorer_core::reshard::{Action, ReshardConfig, Resharder};
 use nvmexplorer_core::scheduler::run_on_lanes;
 use nvmexplorer_core::sweep::StudyResult;
-use nvmexplorer_core::wire::{EventReplayer, OwnedStudyEvent, SlotMerger, WireFrame};
+use nvmexplorer_core::transport::{Endpoint, Listener, TransportKind};
+use nvmexplorer_core::wire::{
+    EventReplayer, LeaseFrame, OwnedStudyEvent, SlotMerger, WireFrame, WorkerFrame,
+};
 use nvmx_bench::campaign::{
     fault_csv, fault_summary_line, load_campaign, results_csv, summary_line,
 };
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{self, RecvTimeoutError};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const USAGE: &str = "usage:
   nvmx-coordinator run --config <study.json> [--config <more.json> ...]
       [--workers N] [--threads T] [--lanes L] [--capture DIR] [--store DIR]
       [--worker-bin PATH] [--max-respawns K] [--respawn-backoff MS]
-      [--shard-stall-timeout SECS]
+      [--shard-stall-timeout SECS] [--transport pipe|tcp|unix] [--lease-size SLOTS]
       [--inject-die SHARD:FRAMES] [--inject-die-always]
-      [--inject-stall SHARD:FRAMES]
+      [--inject-stall SHARD:FRAMES] [--inject-throttle SHARD:MS]
   nvmx-coordinator replay --input <capture.jsonl>
       [--config <study.json>] [--csv PATH] [--fault-csv PATH]";
 
@@ -102,18 +122,35 @@ struct RunOptions {
     /// test hook.
     inject_die_always: bool,
     inject_stall: Option<(u64, u64)>,
+    /// Slow-worker injection for leased mode: the victim sleeps this many
+    /// milliseconds per emitted frame, so its leases drain slowly and the
+    /// resharder's steal policy has something to migrate.
+    inject_throttle: Option<(u64, u64)>,
     max_respawns: u32,
     /// Base of the deterministic exponential respawn backoff:
     /// `base · 2^(attempt-1)` ms, capped at [`MAX_BACKOFF_MS`]. Zero (the
     /// default) respawns immediately.
     respawn_backoff_ms: u64,
     /// A shard that owns the next expected slot but emits nothing for this
-    /// long is declared hung, killed, and respawned like a dead one.
-    stall_timeout: Duration,
+    /// long is declared hung, killed, and respawned like a dead one. In
+    /// leased mode this is the heartbeat deadline instead (default 3 s —
+    /// heartbeats flow regardless of compute progress, so the deadline can
+    /// be much tighter than the residue-mode stall timeout's 300 s).
+    stall_timeout: Option<Duration>,
+    /// `--transport` switches from residue-class shards to the lease
+    /// protocol over the given connection family.
+    transport: Option<TransportKind>,
+    /// Fixed lease size in slots (leased mode). Overrides the adaptive
+    /// EWMA sizing — mainly a test/CI hook to force leases to spread over
+    /// every worker on small streams.
+    lease_size: Option<u64>,
 }
 
 /// Ceiling on one backoff sleep, however high the attempt count climbs.
 const MAX_BACKOFF_MS: u64 = 10_000;
+
+/// Residue-mode default for `--shard-stall-timeout`.
+const DEFAULT_STALL_TIMEOUT: Duration = Duration::from_secs(300);
 
 fn parse_run_args(args: Vec<String>) -> Result<RunOptions, String> {
     let mut configs = Vec::new();
@@ -126,9 +163,12 @@ fn parse_run_args(args: Vec<String>) -> Result<RunOptions, String> {
     let mut inject_die = None;
     let mut inject_die_always = false;
     let mut inject_stall = None;
+    let mut inject_throttle = None;
     let mut max_respawns = 3;
     let mut respawn_backoff_ms = 0;
-    let mut stall_timeout = Duration::from_secs(300);
+    let mut stall_timeout = None;
+    let mut transport = None;
+    let mut lease_size = None;
     let mut args = args.into_iter();
     while let Some(flag) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
@@ -168,6 +208,22 @@ fn parse_run_args(args: Vec<String>) -> Result<RunOptions, String> {
                     &value("--inject-stall")?,
                 )?);
             }
+            "--inject-throttle" => {
+                inject_throttle = Some(parse_injection(
+                    "--inject-throttle",
+                    &value("--inject-throttle")?,
+                )?);
+            }
+            "--transport" => transport = Some(TransportKind::parse(&value("--transport")?)?),
+            "--lease-size" => {
+                lease_size = Some(
+                    value("--lease-size")?
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n >= 1)
+                        .ok_or("--lease-size expects an integer >= 1")?,
+                );
+            }
             "--max-respawns" => {
                 max_respawns = value("--max-respawns")?
                     .parse::<u32>()
@@ -184,7 +240,7 @@ fn parse_run_args(args: Vec<String>) -> Result<RunOptions, String> {
                     .ok()
                     .filter(|s| s.is_finite() && *s > 0.0)
                     .ok_or("--shard-stall-timeout expects seconds > 0")?;
-                stall_timeout = Duration::from_secs_f64(secs);
+                stall_timeout = Some(Duration::from_secs_f64(secs));
             }
             other => return Err(format!("unknown flag `{other}`")),
         }
@@ -195,6 +251,7 @@ fn parse_run_args(args: Vec<String>) -> Result<RunOptions, String> {
     for (flag, spec) in [
         ("--inject-die", inject_die),
         ("--inject-stall", inject_stall),
+        ("--inject-throttle", inject_throttle),
     ] {
         if let Some((victim, _)) = spec {
             if victim >= workers {
@@ -208,6 +265,12 @@ fn parse_run_args(args: Vec<String>) -> Result<RunOptions, String> {
     if inject_die_always && inject_die.is_none() {
         return Err("--inject-die-always needs --inject-die".to_owned());
     }
+    if inject_throttle.is_some() && transport.is_none() {
+        return Err("--inject-throttle needs --transport (leased mode only)".to_owned());
+    }
+    if lease_size.is_some() && transport.is_none() {
+        return Err("--lease-size needs --transport (leased mode only)".to_owned());
+    }
     Ok(RunOptions {
         configs,
         workers,
@@ -219,9 +282,12 @@ fn parse_run_args(args: Vec<String>) -> Result<RunOptions, String> {
         inject_die,
         inject_die_always,
         inject_stall,
+        inject_throttle,
         max_respawns,
         respawn_backoff_ms,
         stall_timeout,
+        transport,
+        lease_size,
     })
 }
 
@@ -295,8 +361,11 @@ fn cmd_run(args: Vec<String>) -> i32 {
 
     // Studies are distributed over supervisor lanes exactly like the
     // in-process scheduler distributes them over executor lanes.
-    let outcomes = run_on_lanes(&campaign, options.lanes, |_, (path, config)| {
-        run_distributed_study(path, config, &options)
+    let outcomes = run_on_lanes(&campaign, options.lanes, |_, (path, config)| match options
+        .transport
+    {
+        Some(kind) => run_leased_study(path, config, &options, kind),
+        None => run_distributed_study(path, config, &options),
     });
 
     let mut code = 0;
@@ -309,15 +378,22 @@ fn cmd_run(args: Vec<String>) -> i32 {
                     None => println!("{}", summary_line(study, &run.result)),
                 }
                 eprintln!(
-                    "  [{}] {} workers, {} frames merged, {} duplicate slots deduped, {} respawns{}{}",
+                    "  [{}] {} workers, {} frames merged, {} duplicate slots deduped, {} respawns{}{}{}",
                     study.name,
                     options.workers,
                     run.frames,
                     run.duplicates,
                     run.respawns,
+                    match run.migrations {
+                        0 => String::new(),
+                        n => format!(", {n} slot ranges re-leased"),
+                    },
                     match run.abandoned {
                         0 => String::new(),
-                        n => format!(", {n} shards degraded to recovery workers"),
+                        n => match options.transport {
+                            Some(_) => format!(", {n} workers abandoned"),
+                            None => format!(", {n} shards degraded to recovery workers"),
+                        },
                     },
                     match &run.capture {
                         Some(p) => format!(", capture -> {}", p.display()),
@@ -341,8 +417,12 @@ struct DistributedRun {
     frames: u64,
     duplicates: u64,
     respawns: u32,
-    /// Shards that exhausted their respawn budget and were re-covered by
-    /// an unarmed recovery worker (graceful degradation).
+    /// Slot ranges that moved between workers (leased mode; always zero
+    /// under residue-class sharding).
+    migrations: u64,
+    /// Shards that exhausted their respawn budget: re-covered by an
+    /// unarmed recovery worker in residue mode, abandoned (leases flow to
+    /// the survivors) in leased mode.
     abandoned: u32,
     capture: Option<PathBuf>,
 }
@@ -546,6 +626,7 @@ fn run_distributed_study(
         )?);
     }
 
+    let stall_timeout = options.stall_timeout.unwrap_or(DEFAULT_STALL_TIMEOUT);
     let mut merger: SlotMerger<(WireFrame, String)> = SlotMerger::new();
     let mut replayer = EventReplayer::new();
     let mut finished = false;
@@ -571,13 +652,13 @@ fn run_distributed_study(
             // nothing for that long means it is hung (a worker that
             // *died* EOFs immediately), so it is killed and takes the
             // same respawn path as a dead one.
-            let msg = match receivers[owner].recv_timeout(options.stall_timeout) {
+            let msg = match receivers[owner].recv_timeout(stall_timeout) {
                 Ok(msg) => msg,
                 Err(RecvTimeoutError::Timeout) => {
                     eprintln!(
                         "  [{}] shard {owner}/{shards} stalled (no frame for {:.1}s); killing",
                         study.name,
-                        options.stall_timeout.as_secs_f64()
+                        stall_timeout.as_secs_f64()
                     );
                     lock(&handles[owner]).kill().ok();
                     // The reader sees EOF and reports the death through
@@ -743,7 +824,619 @@ fn run_distributed_study(
         frames,
         duplicates: merger.duplicates(),
         respawns,
+        migrations: 0,
         abandoned: abandoned.iter().filter(|&&a| a).count() as u32,
+        capture: capture_path,
+    })
+}
+
+// --------------------------------------------------- leased transport run
+
+/// Messages from connection readers and child waiters to the leased merge
+/// loop.
+enum NetEv {
+    /// A worker said `hello`; its write half rides along so the merge
+    /// loop can send it lease frames.
+    Connected {
+        name: String,
+        study: String,
+        writer: Box<dyn Write + Send>,
+    },
+    /// A worker control frame (heartbeat / drained / done).
+    Control { name: String, frame: WorkerFrame },
+    /// An event frame (the raw line rides along for the capture).
+    Frame {
+        name: String,
+        boxed: Box<(WireFrame, String)>,
+    },
+    /// A connection produced an unparseable line — protocol garbage from
+    /// a live worker, or the torn tail a SIGKILL leaves mid-write. Both
+    /// take the death-and-re-lease path.
+    Bad {
+        name: Option<String>,
+        detail: String,
+    },
+    /// A connection ended. `None` when it died before saying `hello`.
+    Gone { name: Option<String> },
+    /// A spawned child exited — attributes deaths even when the worker
+    /// never connected. `generation` guards against a stale waiter
+    /// reporting the previous incarnation of a respawned name.
+    Exited { name: String, generation: u64 },
+}
+
+/// Reads one worker connection, splitting the stream into control frames
+/// and event frames. `preset` names the worker ahead of its `hello`
+/// (known a priori for pipe children).
+fn pump_worker_lines<R: BufRead>(
+    reader: R,
+    writer: Box<dyn Write + Send>,
+    preset: Option<String>,
+    tx: &mpsc::SyncSender<NetEv>,
+) {
+    let mut writer = Some(writer);
+    let mut name = preset;
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if WorkerFrame::is_worker_line(&line) {
+            match WorkerFrame::parse(&line) {
+                Ok(WorkerFrame::Hello {
+                    name: hello_name,
+                    study,
+                    ..
+                }) => {
+                    name = Some(hello_name.clone());
+                    if let Some(writer) = writer.take() {
+                        if tx
+                            .send(NetEv::Connected {
+                                name: hello_name,
+                                study,
+                                writer,
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                }
+                Ok(frame) => {
+                    if let Some(name) = &name {
+                        if tx
+                            .send(NetEv::Control {
+                                name: name.clone(),
+                                frame,
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                }
+                Err(e) => {
+                    let _ = tx.send(NetEv::Bad {
+                        name: name.clone(),
+                        detail: e.to_string(),
+                    });
+                    return;
+                }
+            }
+        } else {
+            match WireFrame::parse(&line) {
+                Ok(frame) => {
+                    if let Some(name) = &name {
+                        if tx
+                            .send(NetEv::Frame {
+                                name: name.clone(),
+                                boxed: Box::new((frame, line)),
+                            })
+                            .is_err()
+                        {
+                            return;
+                        }
+                    }
+                }
+                Err(e) => {
+                    let _ = tx.send(NetEv::Bad {
+                        name: name.clone(),
+                        detail: e.to_string(),
+                    });
+                    return;
+                }
+            }
+        }
+    }
+    let _ = tx.send(NetEv::Gone { name });
+}
+
+/// Leased-mode worker names are `w0..wN-1`; recovers the index for
+/// injection-flag matching.
+fn worker_index(name: &str) -> Option<u64> {
+    name.strip_prefix('w')?.parse().ok()
+}
+
+/// One leased worker process plus the spawn generation its death-waiter
+/// thread reports under.
+struct LeasedChild {
+    generation: u64,
+    handle: Arc<Mutex<Child>>,
+}
+
+/// Mutable side-state of the leased merge loop: connections, processes,
+/// and the failure counters for the run summary.
+struct LeasedState {
+    writers: HashMap<String, Box<dyn Write + Send>>,
+    children: HashMap<String, LeasedChild>,
+    respawns: u32,
+    abandoned: u32,
+}
+
+impl LeasedState {
+    /// Best-effort lease-frame send; a broken writer surfaces as `Gone`
+    /// from the connection reader, which drives recovery.
+    fn send(&mut self, worker: &str, frame: &LeaseFrame) {
+        if let Some(writer) = self.writers.get_mut(worker) {
+            let _ = writer
+                .write_all(frame.to_line().as_bytes())
+                .and_then(|()| writer.write_all(b"\n"))
+                .and_then(|()| writer.flush());
+        }
+    }
+}
+
+/// Spawns one leased worker (`--connect`) plus a waiter thread that
+/// reports the process's death into the merge loop. Pipe children get a
+/// reader thread pumping their stdout; socket children connect back to
+/// the listener on their own.
+#[allow(clippy::too_many_arguments)]
+fn spawn_leased_worker(
+    path: &str,
+    name: &str,
+    spec: &str,
+    options: &RunOptions,
+    die_after: Option<u64>,
+    stall_after: Option<u64>,
+    throttle: Option<u64>,
+    generation: u64,
+    tx: &mpsc::SyncSender<NetEv>,
+) -> Result<Arc<Mutex<Child>>, String> {
+    let mut command = Command::new(&options.worker_bin);
+    command
+        .arg("--config")
+        .arg(path)
+        .arg("--connect")
+        .arg(spec)
+        .arg("--name")
+        .arg(name);
+    if let Some(threads) = options.threads {
+        command.arg("--threads").arg(threads.to_string());
+    }
+    if let Some(store) = &options.store {
+        command.arg("--store").arg(store);
+    }
+    if let Some(frames) = die_after {
+        command.arg("--die-after").arg(frames.to_string());
+    }
+    if let Some(frames) = stall_after {
+        command.arg("--stall-after").arg(frames.to_string());
+    }
+    if let Some(ms) = throttle {
+        command.arg("--throttle").arg(ms.to_string());
+    }
+    let pipe = spec == "pipe";
+    if pipe {
+        command.stdin(Stdio::piped()).stdout(Stdio::piped());
+    } else {
+        command.stdin(Stdio::null()).stdout(Stdio::null());
+    }
+    let mut child = command.spawn().map_err(|e| {
+        format!(
+            "cannot spawn worker `{}`: {e}",
+            options.worker_bin.display()
+        )
+    })?;
+    if pipe {
+        let stdout = child.stdout.take().expect("stdout was piped");
+        let stdin = child.stdin.take().expect("stdin was piped");
+        let pump_tx = tx.clone();
+        let preset = name.to_owned();
+        std::thread::spawn(move || {
+            pump_worker_lines(
+                BufReader::new(stdout),
+                Box::new(stdin),
+                Some(preset),
+                &pump_tx,
+            );
+        });
+    }
+    let handle = Arc::new(Mutex::new(child));
+    let waiter = Arc::clone(&handle);
+    let exit_tx = tx.clone();
+    let exit_name = name.to_owned();
+    std::thread::spawn(move || loop {
+        match lock(&waiter).try_wait() {
+            Ok(Some(_)) => {
+                let _ = exit_tx.send(NetEv::Exited {
+                    name: exit_name,
+                    generation,
+                });
+                return;
+            }
+            Ok(None) => {}
+            Err(_) => return,
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    });
+    Ok(handle)
+}
+
+/// Carries out the effects the [`Resharder`] decided on: lease frames to
+/// writers, kills and respawns to processes, abandonments to the log.
+fn apply_actions(
+    actions: Vec<Action>,
+    state: &mut LeasedState,
+    study_name: &str,
+    path: &str,
+    spec: &str,
+    options: &RunOptions,
+    tx: &mpsc::SyncSender<NetEv>,
+) -> Result<(), String> {
+    for action in actions {
+        match action {
+            Action::Grant {
+                worker,
+                lease,
+                start,
+                end,
+            } => state.send(
+                &worker,
+                &LeaseFrame::Grant {
+                    id: lease,
+                    start,
+                    end,
+                },
+            ),
+            Action::Revoke { worker, lease } => {
+                state.send(&worker, &LeaseFrame::Revoke { id: lease });
+            }
+            Action::Kill { worker } => {
+                eprintln!(
+                    "  [{study_name}] worker {worker} missed its heartbeat deadline; killing"
+                );
+                if let Some(child) = state.children.get(&worker) {
+                    lock(&child.handle).kill().ok();
+                }
+                state.writers.remove(&worker);
+            }
+            Action::Respawn { worker } => {
+                state.respawns += 1;
+                eprintln!("  [{study_name}] respawning worker {worker}");
+                // Never two processes under one name: the previous
+                // incarnation is dead or wedged either way.
+                if let Some(old) = state.children.get(&worker) {
+                    lock(&old.handle).kill().ok();
+                }
+                let generation = state.children.get(&worker).map_or(0, |c| c.generation + 1);
+                // Respawns run clean unless the degradation hook re-arms
+                // the crash injection.
+                let die_after = options
+                    .inject_die
+                    .filter(|&(victim, _)| {
+                        options.inject_die_always && worker_index(&worker) == Some(victim)
+                    })
+                    .map(|(_, frames)| frames);
+                let handle = spawn_leased_worker(
+                    path, &worker, spec, options, die_after, None, None, generation, tx,
+                )?;
+                state
+                    .children
+                    .insert(worker, LeasedChild { generation, handle });
+            }
+            Action::Abandon { worker } => {
+                state.abandoned += 1;
+                eprintln!(
+                    "  [{study_name}] worker {worker} exhausted its respawn budget; abandoned \
+                     (its leases flow to the surviving workers)"
+                );
+                state.writers.remove(&worker);
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Runs one study under the lease protocol over `kind` transport. Every
+/// worker computes the full deterministic stream; the [`Resharder`]
+/// decides which slot ranges each one emits, re-leasing on death, stall,
+/// or slowness, and the merged capture stays byte-identical to a local
+/// run.
+fn run_leased_study(
+    path: &str,
+    config: &CampaignConfig,
+    options: &RunOptions,
+    kind: TransportKind,
+) -> Result<DistributedRun, String> {
+    let study = config.study();
+    let shards = options.workers;
+    let capture_path = options
+        .capture
+        .as_ref()
+        .map(|dir| dir.join(format!("{}.jsonl", study.name)));
+    let mut capture = match &capture_path {
+        Some(p) => Some(std::io::BufWriter::new(
+            AtomicFileWriter::create(p)
+                .map_err(|e| format!("cannot create capture `{}`: {e}", p.display()))?,
+        )),
+        None => None,
+    };
+    let mut spec_sinks = nvmx_viz::sink::SpecSinks::new(&study.output)
+        .map_err(|e| format!("cannot open output sinks: {e}"))?;
+
+    let (tx, rx) = mpsc::sync_channel::<NetEv>(1024);
+    let stop_accepting = Arc::new(AtomicBool::new(false));
+
+    // Socket transports bind before any worker spawns, so the connect
+    // spec (with the resolved ephemeral TCP port) is known up front. The
+    // accept loop polls non-blocking so it can wind down with the study.
+    let spec = match kind {
+        TransportKind::Pipe => "pipe".to_owned(),
+        TransportKind::Tcp | TransportKind::Unix => {
+            let endpoint = match kind {
+                TransportKind::Tcp => Endpoint::parse("tcp:127.0.0.1:0")?,
+                _ => {
+                    let socket = std::env::temp_dir().join(format!(
+                        "nvmx-lease-{}-{}.sock",
+                        std::process::id(),
+                        study.name
+                    ));
+                    Endpoint::parse(&format!("unix:{}", socket.display()))?
+                }
+            };
+            let listener =
+                Listener::bind(&endpoint).map_err(|e| format!("cannot bind `{endpoint}`: {e}"))?;
+            let spec = listener.local_spec();
+            listener
+                .set_nonblocking(true)
+                .map_err(|e| format!("cannot poll `{endpoint}`: {e}"))?;
+            let stop = Arc::clone(&stop_accepting);
+            let accept_tx = tx.clone();
+            std::thread::spawn(move || loop {
+                if stop.load(Ordering::Relaxed) {
+                    return; // drops the listener (and any unix socket path)
+                }
+                match listener.accept() {
+                    Ok(stream) => {
+                        let _ = stream.set_nonblocking(false);
+                        let writer: Box<dyn Write + Send> = match stream.try_clone() {
+                            Ok(clone) => Box::new(clone),
+                            Err(_) => continue,
+                        };
+                        let conn_tx = accept_tx.clone();
+                        std::thread::spawn(move || {
+                            pump_worker_lines(BufReader::new(stream), writer, None, &conn_tx);
+                        });
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(25));
+                    }
+                    Err(_) => std::thread::sleep(Duration::from_millis(25)),
+                }
+            });
+            spec
+        }
+    };
+
+    let epoch = Instant::now();
+    let defaults = ReshardConfig::default();
+    let mut resharder = Resharder::new(ReshardConfig {
+        heartbeat_timeout_ms: options
+            .stall_timeout
+            .map_or(3_000, |d| u64::try_from(d.as_millis()).unwrap_or(u64::MAX)),
+        respawn_backoff_ms: options.respawn_backoff_ms,
+        max_backoff_ms: MAX_BACKOFF_MS,
+        max_respawns: options.max_respawns,
+        // A fixed --lease-size pins all three sizing knobs so the EWMA
+        // sizing can neither grow nor shrink leases.
+        initial_lease: options.lease_size.unwrap_or(defaults.initial_lease),
+        min_lease: options.lease_size.unwrap_or(defaults.min_lease),
+        max_lease: options.lease_size.unwrap_or(defaults.max_lease),
+        ..defaults
+    });
+    let mut state = LeasedState {
+        writers: HashMap::new(),
+        children: HashMap::new(),
+        respawns: 0,
+        abandoned: 0,
+    };
+    for index in 0..shards {
+        let name = format!("w{index}");
+        resharder.expect_worker(
+            &name,
+            u64::try_from(epoch.elapsed().as_millis()).unwrap_or(0),
+        );
+        let pick =
+            |spec: Option<(u64, u64)>| spec.filter(|&(victim, _)| victim == index).map(|(_, v)| v);
+        let handle = spawn_leased_worker(
+            path,
+            &name,
+            &spec,
+            options,
+            pick(options.inject_die),
+            pick(options.inject_stall),
+            pick(options.inject_throttle),
+            0,
+            &tx,
+        )?;
+        state.children.insert(
+            name,
+            LeasedChild {
+                generation: 0,
+                handle,
+            },
+        );
+    }
+
+    let mut merger: SlotMerger<(WireFrame, String)> = SlotMerger::new();
+    let mut replayer = EventReplayer::new();
+    let mut finished = false;
+    let mut frames = 0u64;
+    let mut reported_migrations = 0usize;
+
+    let mut merge = || -> Result<(), String> {
+        while !finished {
+            let now = u64::try_from(epoch.elapsed().as_millis()).unwrap_or(u64::MAX);
+            match rx.recv_timeout(Duration::from_millis(100)) {
+                Ok(NetEv::Connected {
+                    name,
+                    study: hello_study,
+                    writer,
+                }) => {
+                    if hello_study != study.name {
+                        return Err(format!(
+                            "worker `{name}` is running study `{hello_study}`, expected `{}`",
+                            study.name
+                        ));
+                    }
+                    state.writers.insert(name.clone(), writer);
+                    resharder.worker_connected(&name, now);
+                }
+                Ok(NetEv::Control { name, frame }) => match frame {
+                    WorkerFrame::Heartbeat { .. } => resharder.note_heard(&name, now),
+                    WorkerFrame::Drained { lease } => resharder.lease_drained(&name, lease, now),
+                    WorkerFrame::Done { seen, .. } => resharder.worker_done(&name, seen, now),
+                    WorkerFrame::Hello { .. } => {} // consumed by the pump
+                },
+                Ok(NetEv::Frame { name, boxed }) => {
+                    resharder.frame_arrived(&name, now);
+                    let (frame, line) = *boxed;
+                    if frame.study != study.name {
+                        return Err(format!(
+                            "worker streamed study `{}`, expected `{}`",
+                            frame.study, study.name
+                        ));
+                    }
+                    let seq = frame.seq;
+                    merger
+                        .offer(seq, (frame, line), &mut |_seq,
+                                                         (frame, line): (
+                            WireFrame,
+                            String,
+                        )| {
+                            if let Some(out) = capture.as_mut() {
+                                writeln!(out, "{line}")?;
+                            }
+                            if matches!(
+                                frame.event,
+                                OwnedStudyEvent::StudyFinished { .. }
+                                    | OwnedStudyEvent::FaultStudyFinished { .. }
+                            ) {
+                                finished = true;
+                            }
+                            replayer.apply(&frame.event, &mut spec_sinks)?;
+                            frames += 1;
+                            Ok::<(), std::io::Error>(())
+                        })
+                        .map_err(|e| format!("sink failed at slot {seq}: {e}"))?;
+                    resharder.delivered(merger.next_expected());
+                }
+                Ok(NetEv::Bad { name, detail }) => match name {
+                    Some(name) => {
+                        eprintln!(
+                            "  [{}] worker {name} broke protocol ({detail}); dropping it",
+                            study.name
+                        );
+                        if let Some(child) = state.children.get(&name) {
+                            lock(&child.handle).kill().ok();
+                        }
+                        state.writers.remove(&name);
+                        let actions = resharder.worker_dead(&name, now);
+                        apply_actions(actions, &mut state, &study.name, path, &spec, options, &tx)?;
+                    }
+                    None => eprintln!(
+                        "  [{}] dropping an anonymous connection: {detail}",
+                        study.name
+                    ),
+                },
+                Ok(NetEv::Gone { name }) => {
+                    if let Some(name) = name {
+                        state.writers.remove(&name);
+                        let actions = resharder.worker_dead(&name, now);
+                        if !actions.is_empty() {
+                            eprintln!("  [{}] worker {name} died", study.name);
+                        }
+                        apply_actions(actions, &mut state, &study.name, path, &spec, options, &tx)?;
+                    }
+                }
+                Ok(NetEv::Exited { name, generation }) => {
+                    // Only the current incarnation's waiter counts; a
+                    // stale one must not kill a respawned worker's state.
+                    if state.children.get(&name).map(|c| c.generation) == Some(generation) {
+                        let actions = resharder.worker_dead(&name, now);
+                        apply_actions(actions, &mut state, &study.name, path, &spec, options, &tx)?;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {}
+                Err(RecvTimeoutError::Disconnected) => {
+                    unreachable!("a sender is always held")
+                }
+            }
+            let now = u64::try_from(epoch.elapsed().as_millis()).unwrap_or(u64::MAX);
+            let actions = resharder.tick(now);
+            apply_actions(actions, &mut state, &study.name, path, &spec, options, &tx)?;
+            for migration in &resharder.migrations()[reported_migrations..] {
+                eprintln!("  [{}] re-lease: {migration}", study.name);
+            }
+            reported_migrations = resharder.migrations().len();
+            if resharder.live_workers() == 0 {
+                return Err(format!(
+                    "all {shards} workers are dead or abandoned; the stream cannot complete"
+                ));
+            }
+        }
+        Ok(())
+    };
+    let outcome = merge();
+
+    // Wind down: stop accepting, ask live workers to exit, then make sure
+    // no child outlives the run (a SIGSTOPped stall victim never would).
+    stop_accepting.store(true, Ordering::Relaxed);
+    for name in state.writers.keys().cloned().collect::<Vec<_>>() {
+        state.send(&name, &LeaseFrame::Shutdown);
+    }
+    std::thread::sleep(Duration::from_millis(50));
+    for child in state.children.values() {
+        let mut child = lock(&child.handle);
+        child.kill().ok();
+        child.wait().ok();
+    }
+
+    if outcome.is_err() {
+        if let Some(out) = capture.take() {
+            if let Ok(writer) = out.into_inner() {
+                writer.discard();
+            }
+        }
+    }
+    outcome?;
+
+    if let Some(out) = capture.take() {
+        out.into_inner()
+            .map_err(|e| format!("capture flush failed: {e}"))?
+            .commit()
+            .map_err(|e| format!("cannot finalize capture: {e}"))?;
+    }
+    let (result, fault) = replayer
+        .finish_parts()
+        .ok_or_else(|| "merged stream did not finish".to_owned())?;
+    Ok(DistributedRun {
+        result,
+        fault,
+        frames,
+        duplicates: merger.duplicates(),
+        respawns: state.respawns,
+        migrations: u64::try_from(resharder.migrations().len()).unwrap_or(u64::MAX),
+        abandoned: state.abandoned,
         capture: capture_path,
     })
 }

@@ -11,7 +11,7 @@
 //!
 //! ```text
 //! nvmx-serve --listen unix:/tmp/nvmx.sock [--workers N] [--lanes N]
-//!            [--capacity N] [--store DIR]
+//!            [--capacity N] [--store DIR] [--session-ttl SECS]
 //! ```
 //!
 //! - `--listen ADDR` — `unix:PATH` or `tcp:HOST:PORT` (port `0` binds an
@@ -22,6 +22,12 @@
 //! - `--capacity N` — admission-queue bound (default 64).
 //! - `--store DIR` — back the shared cache with the persistent
 //!   characterization store, shared across every tenant.
+//! - `--session-ttl SECS` — garbage-collect a finished session's
+//!   retained event log this many seconds after it reaches a terminal
+//!   state. Reaped sessions stay listed in `status` with state
+//!   `reaped` and their final event count, but can no longer be
+//!   replayed. Without the flag logs are retained for the life of the
+//!   daemon.
 //!
 //! On startup the daemon prints exactly one line to stdout:
 //! `nvmx-serve listening <spec>` — scripts parse this for the resolved
@@ -50,7 +56,7 @@ use std::io::{BufRead, BufReader, Write};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 
-const USAGE: &str = "usage: nvmx-serve --listen ADDR [--workers N] [--lanes N] [--capacity N] [--store DIR]\n       ADDR is unix:PATH or tcp:HOST:PORT";
+const USAGE: &str = "usage: nvmx-serve --listen ADDR [--workers N] [--lanes N] [--capacity N] [--store DIR] [--session-ttl SECS]\n       ADDR is unix:PATH or tcp:HOST:PORT";
 
 struct Args {
     listen: Endpoint,
@@ -64,9 +70,7 @@ fn parse_args() -> Result<Args, String> {
     // at 16) — submitted sessions then match local-run wall-clock.
     let mut config = ServiceConfig {
         workers: nvmexplorer_core::stream::StudyExecutor::new().threads(),
-        lanes: 1,
-        capacity: 64,
-        store: None,
+        ..ServiceConfig::default()
     };
     while let Some(arg) = args.next() {
         let mut value = |name: &str| args.next().ok_or_else(|| format!("{name} expects a value"));
@@ -88,6 +92,12 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--capacity: {e}"))?;
             }
             "--store" => config.store = Some(value("--store")?.into()),
+            "--session-ttl" => {
+                let secs: u64 = value("--session-ttl")?
+                    .parse()
+                    .map_err(|e| format!("--session-ttl: {e}"))?;
+                config.session_ttl = Some(std::time::Duration::from_secs(secs));
+            }
             other => return Err(format!("unknown argument `{other}`")),
         }
     }

@@ -23,11 +23,30 @@
 //! per-trial injection seeds ride the wire so a respawned replacement is
 //! still bit-identical.
 //!
+//! # Leased mode (`--connect`)
+//!
+//! With `--connect`, the worker stops owning a fixed residue class and
+//! instead speaks the version-4 lease protocol to a supervising
+//! coordinator (`core::reshard`): it says `hello`, heartbeats from a
+//! dedicated timer thread, computes the **full** study into an in-memory
+//! line buffer, and emits exactly the slot ranges the coordinator leases
+//! to it — so a slow or dead worker's ranges can drain to healthy ones.
+//! `--connect pipe` frames the worker's own stdin/stdout (the coordinator
+//! holds the pipe pair); `--connect unix:…`/`tcp:…` dials out, which is
+//! how shards on *other hosts* join a campaign, and reconnects with
+//! `resume` on a dropped socket (the merger's dedup absorbs re-sent
+//! slots).
+//!
 //! Flags:
 //! - `--config <path>`   study config JSON (required)
 //! - `--shard I/N`       residue-class shard to emit (default `0/1`)
 //! - `--threads T`       characterization/evaluation workers (default: CPUs, capped at 16)
 //! - `--out <path>`      write the wire stream to a file/FIFO instead of stdout
+//! - `--connect SPEC`    leased mode: `pipe`, `unix:PATH`, or `tcp:HOST:PORT`
+//! - `--name NAME`       worker name for the lease protocol (default `worker-<pid>`)
+//! - `--throttle MS`     slow-worker hook: sleep MS per emitted frame (leased
+//!   mode only) — drives the coordinator's throughput-aware resharding in
+//!   tests and CI
 //! - `--die-after K`     crash-test hook: exit(137) after emitting K frames,
 //!   simulating a worker killed mid-run (the coordinator's resume path and
 //!   the CI distributed-smoke job drive this deterministically)
@@ -46,13 +65,19 @@
 
 use nvmexplorer_core::config::CampaignConfig;
 use nvmexplorer_core::stream::{ResultSink, StudyEvent, StudyExecutor};
-use nvmexplorer_core::wire::{Shard, WireSink};
+use nvmexplorer_core::transport::{Connection, Endpoint};
+use nvmexplorer_core::wire::{LeaseFrame, Shard, WireSink, WorkerFrame};
 use nvmx_nvsim::SubarrayCache;
+use std::collections::{HashSet, VecDeque};
 use std::io::Write;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
 
 const USAGE: &str = "usage: nvmx-worker --config <study.json> [--shard I/N] [--threads T] \
-                     [--out PATH] [--die-after K] [--stall-after K] [--store DIR]";
+                     [--out PATH] [--connect pipe|unix:PATH|tcp:HOST:PORT] [--name NAME] \
+                     [--throttle MS] [--die-after K] [--stall-after K] [--store DIR]";
 
 /// Simulates a worker that stops making progress without dying: already
 /// written frames are flushed (the sink flushes per line), then the
@@ -107,6 +132,9 @@ struct Options {
     shard: Shard,
     threads: Option<usize>,
     out: Option<String>,
+    connect: Option<String>,
+    name: Option<String>,
+    throttle_ms: Option<u64>,
     die_after: Option<u64>,
     stall_after: Option<u64>,
     store: Option<String>,
@@ -118,6 +146,9 @@ fn parse_args() -> Result<Options, String> {
     let mut shard = Shard::WHOLE;
     let mut threads = None;
     let mut out = None;
+    let mut connect = None;
+    let mut name = None;
+    let mut throttle_ms = None;
     let mut die_after = None;
     let mut stall_after = None;
     let mut store = None;
@@ -134,6 +165,15 @@ fn parse_args() -> Result<Options, String> {
                 );
             }
             "--out" => out = Some(value("--out")?),
+            "--connect" => connect = Some(value("--connect")?),
+            "--name" => name = Some(value("--name")?),
+            "--throttle" => {
+                throttle_ms = Some(
+                    value("--throttle")?
+                        .parse::<u64>()
+                        .map_err(|_| "--throttle expects milliseconds".to_owned())?,
+                );
+            }
             "--die-after" => {
                 die_after = Some(
                     value("--die-after")?
@@ -157,10 +197,365 @@ fn parse_args() -> Result<Options, String> {
         shard,
         threads,
         out,
+        connect,
+        name,
+        throttle_ms,
         die_after,
         stall_after,
         store,
     })
+}
+
+// ------------------------------------------------------------ leased mode
+
+/// The full deterministic event stream, accumulating as the compute
+/// thread runs. `lines[seq]` is the serialized wire line for slot `seq`.
+struct Buffered {
+    lines: Vec<String>,
+    done: bool,
+    failed: Option<String>,
+}
+
+/// Lease-protocol state shared between the reader (main thread), the
+/// emitter, the heartbeat timer, and the compute thread.
+struct NetShared {
+    buffered: Mutex<Buffered>,
+    /// Pending grants (FIFO) + revocations + shutdown flag.
+    control: Mutex<NetControl>,
+    /// Signals a new buffered line (pairs with `buffered`).
+    buffer_wake: Condvar,
+    /// Signals new grants/revocations/shutdown (pairs with `control`).
+    control_wake: Condvar,
+    /// Frames actually emitted under leases (hazard hooks + telemetry).
+    sent: AtomicU64,
+}
+
+struct NetControl {
+    grants: VecDeque<(u64, u64, u64)>, // (id, start, end)
+    revoked: HashSet<u64>,
+    shutdown: bool,
+}
+
+/// The socket/pipe write half, shared by every sending thread. Replaced
+/// wholesale on a reconnect; send failures are tolerated (the reader
+/// thread notices the broken connection and drives recovery).
+struct Link {
+    writer: Mutex<Box<dyn Write + Send>>,
+}
+
+impl Link {
+    fn send(&self, line: &str) -> std::io::Result<()> {
+        let mut writer = self.writer.lock().unwrap_or_else(|e| e.into_inner());
+        writer.write_all(line.as_bytes())?;
+        writer.write_all(b"\n")?;
+        writer.flush()
+    }
+
+    fn replace(&self, writer: Box<dyn Write + Send>) {
+        *self.writer.lock().unwrap_or_else(|e| e.into_inner()) = writer;
+    }
+}
+
+/// A `Write` that turns the byte stream of an unsharded [`WireSink`] back
+/// into whole lines and appends them to the shared buffer — the compute
+/// thread's sink in leased mode.
+struct LineBuffer {
+    shared: Arc<NetShared>,
+    partial: Vec<u8>,
+}
+
+impl Write for LineBuffer {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        for &byte in buf {
+            if byte == b'\n' {
+                let line = String::from_utf8(std::mem::take(&mut self.partial))
+                    .expect("wire lines are UTF-8");
+                let mut buffered = self.shared.buffered.lock().unwrap();
+                buffered.lines.push(line);
+                drop(buffered);
+                self.shared.buffer_wake.notify_all();
+            } else {
+                self.partial.push(byte);
+            }
+        }
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Runs the campaign in leased mode: compute everything, emit what the
+/// coordinator leases. Returns the process exit code.
+fn run_leased(
+    options: &Options,
+    campaign: &CampaignConfig,
+    executor: &StudyExecutor<'_>,
+    spec: &str,
+) -> i32 {
+    let name = options
+        .name
+        .clone()
+        .unwrap_or_else(|| format!("worker-{}", std::process::id()));
+    let study_name = campaign.study().name.clone();
+    let shared = Arc::new(NetShared {
+        buffered: Mutex::new(Buffered {
+            lines: Vec::new(),
+            done: false,
+            failed: None,
+        }),
+        control: Mutex::new(NetControl {
+            grants: VecDeque::new(),
+            revoked: HashSet::new(),
+            shutdown: false,
+        }),
+        buffer_wake: Condvar::new(),
+        control_wake: Condvar::new(),
+        sent: AtomicU64::new(0),
+    });
+
+    // First connection. `pipe` frames stdin/stdout; sockets dial out with
+    // a short retry loop (the coordinator may still be binding).
+    let pipe = spec == "pipe";
+    let endpoint = if pipe {
+        None
+    } else {
+        match Endpoint::parse(spec) {
+            Ok(endpoint) => Some(endpoint),
+            Err(e) => {
+                eprintln!("{e}");
+                return 2;
+            }
+        }
+    };
+    let connect = |resume: bool| -> Option<Connection> {
+        let endpoint = endpoint.as_ref()?;
+        let attempts = if resume { 25 } else { 50 };
+        for attempt in 0..attempts {
+            match Connection::connect(endpoint) {
+                Ok(conn) => return Some(conn),
+                Err(_) if attempt + 1 < attempts => {
+                    std::thread::sleep(Duration::from_millis(100));
+                }
+                Err(e) => {
+                    eprintln!("cannot connect to `{endpoint}`: {e}");
+                    return None;
+                }
+            }
+        }
+        None
+    };
+    let conn = if pipe {
+        Connection::pipe()
+    } else {
+        match connect(false) {
+            Some(conn) => conn,
+            None => return 1,
+        }
+    };
+    let (mut reader, writer) = conn.into_split();
+    let link = Arc::new(Link {
+        writer: Mutex::new(writer),
+    });
+    let hello = WorkerFrame::Hello {
+        name: name.clone(),
+        study: study_name.clone(),
+        resume: false,
+    };
+    if link.send(&hello.to_line()).is_err() && pipe {
+        return 1;
+    }
+
+    // Compute thread: the full study into the line buffer, then `done`.
+    // Panics and study errors both surface as `failed`.
+    std::thread::scope(|scope| {
+        let compute_shared = Arc::clone(&shared);
+        let compute_link = Arc::clone(&link);
+        scope.spawn(move || {
+            let mut sink = WireSink::new(LineBuffer {
+                shared: Arc::clone(&compute_shared),
+                partial: Vec::new(),
+            });
+            let run = match campaign {
+                CampaignConfig::Study(study) => executor.run(study, &mut sink).map(|_| ()),
+                CampaignConfig::Fault(fault) => executor.run_fault(fault, &mut sink).map(|_| ()),
+            };
+            let seen = sink.events_seen();
+            let mut buffered = compute_shared.buffered.lock().unwrap();
+            match run {
+                Ok(()) => buffered.done = true,
+                Err(e) => buffered.failed = Some(e.to_string()),
+            }
+            drop(buffered);
+            compute_shared.buffer_wake.notify_all();
+            if run_failed(&compute_shared) {
+                return;
+            }
+            let done = WorkerFrame::Done {
+                seen,
+                sent: compute_shared.sent.load(Ordering::Relaxed),
+            };
+            let _ = compute_link.send(&done.to_line());
+        });
+
+        // Heartbeat thread: liveness decoupled from compute progress, so a
+        // long characterization never reads as a stall while SIGSTOP
+        // freezes the beacon immediately.
+        let beat_shared = Arc::clone(&shared);
+        let beat_link = Arc::clone(&link);
+        scope.spawn(move || loop {
+            std::thread::sleep(Duration::from_millis(250));
+            let control = beat_shared.control.lock().unwrap();
+            if control.shutdown {
+                return;
+            }
+            drop(control);
+            let seen = beat_shared.buffered.lock().unwrap().lines.len() as u64;
+            let beat = WorkerFrame::Heartbeat {
+                seen,
+                sent: beat_shared.sent.load(Ordering::Relaxed),
+            };
+            let _ = beat_link.send(&beat.to_line());
+        });
+
+        // Emitter thread: walk granted leases in FIFO order, sending each
+        // slot's buffered line as the compute thread produces it.
+        let emit_shared = Arc::clone(&shared);
+        let emit_link = Arc::clone(&link);
+        let throttle = options.throttle_ms;
+        let die_after = options.die_after;
+        let stall_after = options.stall_after;
+        scope.spawn(move || loop {
+            // Take the next grant (or stop on shutdown).
+            let (id, start, end) = {
+                let mut control = emit_shared.control.lock().unwrap();
+                loop {
+                    if control.shutdown {
+                        return;
+                    }
+                    if let Some(grant) = control.grants.pop_front() {
+                        break grant;
+                    }
+                    control = emit_shared.control_wake.wait(control).unwrap();
+                }
+            };
+            let mut revoked = false;
+            for seq in start..end {
+                if emit_shared.control.lock().unwrap().revoked.contains(&id) {
+                    revoked = true;
+                    break;
+                }
+                // Wait for the compute thread to reach this slot.
+                let line = {
+                    let mut buffered = emit_shared.buffered.lock().unwrap();
+                    loop {
+                        if buffered.failed.is_some() {
+                            return;
+                        }
+                        if (seq as usize) < buffered.lines.len() {
+                            break Some(buffered.lines[seq as usize].clone());
+                        }
+                        if buffered.done {
+                            break None; // lease reaches past the stream end
+                        }
+                        buffered = emit_shared.buffer_wake.wait(buffered).unwrap();
+                    }
+                };
+                let Some(line) = line else { break };
+                let sent = emit_shared.sent.load(Ordering::Relaxed);
+                if die_after.is_some_and(|limit| sent >= limit) {
+                    std::process::exit(137);
+                }
+                if stall_after.is_some_and(|limit| sent >= limit) {
+                    stall_forever();
+                }
+                if let Some(ms) = throttle {
+                    std::thread::sleep(Duration::from_millis(ms));
+                }
+                let _ = emit_link.send(&line);
+                emit_shared.sent.fetch_add(1, Ordering::Relaxed);
+            }
+            if !revoked {
+                let drained = WorkerFrame::Drained { lease: id };
+                let _ = emit_link.send(&drained.to_line());
+            }
+        });
+
+        // Reader (this thread): lease frames in, reconnect on a dropped
+        // socket, stop on shutdown.
+        loop {
+            let mut line = String::new();
+            let n = std::io::BufRead::read_line(&mut reader, &mut line).unwrap_or(0);
+            if n == 0 {
+                // Connection gone. Pipe workers die with their
+                // coordinator; socket workers try to rejoin.
+                if pipe || run_failed(&shared) {
+                    shutdown(&shared);
+                    std::process::exit(if run_failed(&shared) { 1 } else { 0 });
+                }
+                let Some(conn) = connect(true) else {
+                    shutdown(&shared);
+                    std::process::exit(1);
+                };
+                let (new_reader, new_writer) = conn.into_split();
+                reader = new_reader;
+                link.replace(new_writer);
+                // Stale grants died with the old connection; the
+                // coordinator re-grants after the resume hello.
+                {
+                    let mut control = shared.control.lock().unwrap();
+                    control.grants.clear();
+                }
+                let hello = WorkerFrame::Hello {
+                    name: name.clone(),
+                    study: study_name.clone(),
+                    resume: true,
+                };
+                let _ = link.send(&hello.to_line());
+                continue;
+            }
+            let trimmed = line.trim_end();
+            if trimmed.is_empty() {
+                continue;
+            }
+            match LeaseFrame::parse(trimmed) {
+                Ok(LeaseFrame::Grant { id, start, end }) => {
+                    let mut control = shared.control.lock().unwrap();
+                    control.grants.push_back((id, start, end));
+                    drop(control);
+                    shared.control_wake.notify_all();
+                }
+                Ok(LeaseFrame::Revoke { id }) => {
+                    let mut control = shared.control.lock().unwrap();
+                    control.revoked.insert(id);
+                    drop(control);
+                    shared.control_wake.notify_all();
+                }
+                Ok(LeaseFrame::Shutdown) => {
+                    shutdown(&shared);
+                    std::process::exit(if run_failed(&shared) { 1 } else { 0 });
+                }
+                Err(e) => {
+                    eprintln!("bad lease line from coordinator: {e}");
+                    shutdown(&shared);
+                    std::process::exit(1);
+                }
+            }
+        }
+    })
+}
+
+fn run_failed(shared: &NetShared) -> bool {
+    shared.buffered.lock().unwrap().failed.is_some()
+}
+
+fn shutdown(shared: &NetShared) {
+    let mut control = shared.control.lock().unwrap();
+    control.shutdown = true;
+    drop(control);
+    shared.control_wake.notify_all();
+    shared.buffer_wake.notify_all();
 }
 
 fn main() {
@@ -173,18 +568,6 @@ fn main() {
         std::process::exit(2);
     });
 
-    let out: Box<dyn Write> = match &options.out {
-        Some(path) => Box::new(std::fs::File::create(path).unwrap_or_else(|e| {
-            eprintln!("cannot create `{path}`: {e}");
-            std::process::exit(1);
-        })),
-        None => Box::new(std::io::stdout().lock()),
-    };
-    let mut sink = HazardSink {
-        inner: WireSink::sharded(out, options.shard),
-        die_after: options.die_after,
-        stall_after: options.stall_after,
-    };
     // The flag overrides the config's `store` section; the cache is owned
     // here so the L2 counters can be reported after the run.
     let store_dir: Option<PathBuf> = options
@@ -208,6 +591,23 @@ fn main() {
     if let Some(cache) = &cache {
         executor = executor.cache(cache);
     }
+
+    if let Some(spec) = &options.connect {
+        std::process::exit(run_leased(&options, &campaign, &executor, spec));
+    }
+
+    let out: Box<dyn Write> = match &options.out {
+        Some(path) => Box::new(std::fs::File::create(path).unwrap_or_else(|e| {
+            eprintln!("cannot create `{path}`: {e}");
+            std::process::exit(1);
+        })),
+        None => Box::new(std::io::stdout().lock()),
+    };
+    let mut sink = HazardSink {
+        inner: WireSink::sharded(out, options.shard),
+        die_after: options.die_after,
+        stall_after: options.stall_after,
+    };
 
     let run = match &campaign {
         CampaignConfig::Study(study) => executor.run(study, &mut sink).map(|_| ()),

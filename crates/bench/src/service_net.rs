@@ -1,204 +1,18 @@
-//! The socket transport shared by `nvmx-serve`, `nvmx-client`, and
-//! `run --connect`: endpoint specs, listener/stream wrappers that make
-//! Unix and TCP sockets interchangeable, and the line-at-a-time client
-//! call helpers for the service protocol of `nvmexplorer_core::wire`
-//! (normative spec: `docs/PROTOCOL.md`).
+//! The socket layer shared by `nvmx-serve`, `nvmx-client`, and
+//! `run --connect`: re-exports of the transport primitives that moved to
+//! [`nvmexplorer_core::transport`] (endpoint specs, listener/stream
+//! wrappers making Unix and TCP sockets interchangeable), plus the
+//! line-at-a-time [`Client`] call helper for the service protocol of
+//! `nvmexplorer_core::wire` (normative spec: `docs/PROTOCOL.md`).
 //!
-//! An endpoint spec is a string:
-//!
-//! - `unix:/path/to.sock` — a Unix-domain socket at that path,
-//! - `tcp:HOST:PORT` — a TCP socket (use port `0` to bind ephemerally;
-//!   [`Listener::local_spec`] reports the resolved address).
-//!
-//! Everything here is synchronous std networking — the protocol is
-//! line-oriented JSONL, one logical call per request, and the daemon
-//! spawns a thread per connection; no async runtime is needed (or
-//! available offline).
+//! The primitives moved into core so the campaign runner
+//! (`nvmx-coordinator` / `nvmx-worker --connect`) and the persistent
+//! service can share one transport; existing `service_net::{Endpoint,
+//! Listener, Stream}` call sites keep compiling unchanged.
 
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
-use std::os::unix::net::{UnixListener, UnixStream};
-use std::path::PathBuf;
 
-/// A parsed endpoint spec.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub enum Endpoint {
-    /// A Unix-domain socket path (`unix:/path`).
-    Unix(PathBuf),
-    /// A TCP address (`tcp:HOST:PORT`).
-    Tcp(String),
-}
-
-impl Endpoint {
-    /// Parses an endpoint spec.
-    ///
-    /// # Errors
-    ///
-    /// A usage message when the spec has neither a `unix:` nor a `tcp:`
-    /// scheme, or the address part is empty.
-    pub fn parse(spec: &str) -> Result<Self, String> {
-        if let Some(path) = spec.strip_prefix("unix:") {
-            if path.is_empty() {
-                return Err("unix: endpoint needs a socket path".to_owned());
-            }
-            return Ok(Self::Unix(PathBuf::from(path)));
-        }
-        if let Some(addr) = spec.strip_prefix("tcp:") {
-            if addr.is_empty() {
-                return Err("tcp: endpoint needs HOST:PORT".to_owned());
-            }
-            return Ok(Self::Tcp(addr.to_owned()));
-        }
-        Err(format!(
-            "endpoint `{spec}` must be `unix:PATH` or `tcp:HOST:PORT`"
-        ))
-    }
-}
-
-impl std::fmt::Display for Endpoint {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        match self {
-            Self::Unix(path) => write!(f, "unix:{}", path.display()),
-            Self::Tcp(addr) => write!(f, "tcp:{addr}"),
-        }
-    }
-}
-
-/// A bound service listener over either socket family.
-pub enum Listener {
-    /// Bound Unix-domain socket.
-    Unix(UnixListener, PathBuf),
-    /// Bound TCP socket.
-    Tcp(TcpListener),
-}
-
-impl Listener {
-    /// Binds the endpoint. A pre-existing Unix socket path is removed
-    /// first (the daemon owns its path, and a stale socket from a killed
-    /// process would otherwise block every restart).
-    ///
-    /// # Errors
-    ///
-    /// Propagates bind failures.
-    pub fn bind(endpoint: &Endpoint) -> io::Result<Self> {
-        match endpoint {
-            Endpoint::Unix(path) => {
-                if path.exists() {
-                    std::fs::remove_file(path)?;
-                }
-                Ok(Self::Unix(UnixListener::bind(path)?, path.clone()))
-            }
-            Endpoint::Tcp(addr) => Ok(Self::Tcp(TcpListener::bind(addr.as_str())?)),
-        }
-    }
-
-    /// The bound address as a connectable spec — for TCP this is the
-    /// *resolved* address, so binding `tcp:127.0.0.1:0` reports the
-    /// ephemeral port the OS picked.
-    pub fn local_spec(&self) -> String {
-        match self {
-            Self::Unix(_, path) => format!("unix:{}", path.display()),
-            Self::Tcp(listener) => match listener.local_addr() {
-                Ok(addr) => format!("tcp:{addr}"),
-                Err(_) => "tcp:?".to_owned(),
-            },
-        }
-    }
-
-    /// Accepts one connection.
-    ///
-    /// # Errors
-    ///
-    /// Propagates accept failures.
-    pub fn accept(&self) -> io::Result<Stream> {
-        match self {
-            Self::Unix(listener, _) => listener.accept().map(|(s, _)| Stream::Unix(s)),
-            Self::Tcp(listener) => listener.accept().map(|(s, _)| Stream::Tcp(s)),
-        }
-    }
-}
-
-impl Drop for Listener {
-    fn drop(&mut self) {
-        if let Self::Unix(_, path) = self {
-            let _ = std::fs::remove_file(path);
-        }
-    }
-}
-
-/// One connection over either socket family.
-pub enum Stream {
-    /// A Unix-domain connection.
-    Unix(UnixStream),
-    /// A TCP connection.
-    Tcp(TcpStream),
-}
-
-impl Stream {
-    /// Connects to an endpoint.
-    ///
-    /// # Errors
-    ///
-    /// Propagates connect failures.
-    pub fn connect(endpoint: &Endpoint) -> io::Result<Self> {
-        match endpoint {
-            Endpoint::Unix(path) => UnixStream::connect(path).map(Self::Unix),
-            Endpoint::Tcp(addr) => TcpStream::connect(addr.as_str()).map(Self::Tcp),
-        }
-    }
-
-    /// An independent handle to the same connection (separate read and
-    /// write positions are not duplicated — this is the OS-level dup the
-    /// std socket types provide).
-    ///
-    /// # Errors
-    ///
-    /// Propagates `try_clone` failures.
-    pub fn try_clone(&self) -> io::Result<Self> {
-        match self {
-            Self::Unix(s) => s.try_clone().map(Self::Unix),
-            Self::Tcp(s) => s.try_clone().map(Self::Tcp),
-        }
-    }
-
-    /// Shuts down the write half, signalling end-of-requests to the peer
-    /// while the read half keeps draining responses.
-    ///
-    /// # Errors
-    ///
-    /// Propagates shutdown failures.
-    pub fn shutdown_write(&self) -> io::Result<()> {
-        match self {
-            Self::Unix(s) => s.shutdown(std::net::Shutdown::Write),
-            Self::Tcp(s) => s.shutdown(std::net::Shutdown::Write),
-        }
-    }
-}
-
-impl io::Read for Stream {
-    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
-        match self {
-            Self::Unix(s) => s.read(buf),
-            Self::Tcp(s) => s.read(buf),
-        }
-    }
-}
-
-impl io::Write for Stream {
-    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
-        match self {
-            Self::Unix(s) => s.write(buf),
-            Self::Tcp(s) => s.write(buf),
-        }
-    }
-
-    fn flush(&mut self) -> io::Result<()> {
-        match self {
-            Self::Unix(s) => s.flush(),
-            Self::Tcp(s) => s.flush(),
-        }
-    }
-}
+pub use nvmexplorer_core::transport::{Connection, Endpoint, Listener, Stream};
 
 /// A connected protocol client: writes request lines, reads response and
 /// event lines.

@@ -1,0 +1,219 @@
+//! Process-level proof for the lease-based socket transport: `nvmx-coordinator
+//! --transport pipe|tcp|unix` driving real `nvmx-worker --connect` shards must
+//! produce output byte-identical to the in-process `run` binary — including
+//! under the acceptance fault mix of one killed, one emission-stalled, and one
+//! throttled worker, with the summary showing slot ranges re-leased between
+//! workers.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+const RUN: &str = env!("CARGO_BIN_EXE_run");
+const WORKER: &str = env!("CARGO_BIN_EXE_nvmx-worker");
+const COORDINATOR: &str = env!("CARGO_BIN_EXE_nvmx-coordinator");
+
+/// Three traffic patterns over five arrays so the stream is long enough
+/// (~20 slots) for small leases to spread across four workers and for
+/// every injected fault to land mid-lease.
+const CONFIG: &str = r#"{
+  "name": "lease-smoke",
+  "cells": {
+    "technologies": ["Stt", "Rram"],
+    "tentpoles": true,
+    "reference_rram": false,
+    "sram_baseline": true
+  },
+  "array": {"capacities_mib": [2], "targets": ["ReadEdp"]},
+  "traffic": {
+    "kind": "explicit",
+    "patterns": [
+      {"name": "ro", "read_bytes_per_sec": 1e9, "write_bytes_per_sec": 1e7, "access_bytes": 64},
+      {"name": "rw", "read_bytes_per_sec": 5e8, "write_bytes_per_sec": 5e8, "access_bytes": 64},
+      {"name": "wo", "read_bytes_per_sec": 1e7, "write_bytes_per_sec": 1e9, "access_bytes": 64}
+    ]
+  },
+  "constraints": {"max_power_w": 0.05}
+}"#;
+
+struct TempDir(PathBuf);
+
+impl TempDir {
+    fn new(label: &str) -> Self {
+        let dir = std::env::temp_dir().join(format!("nvmx_leased_{label}_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::create_dir_all(&dir).unwrap();
+        Self(dir)
+    }
+
+    fn path(&self) -> &Path {
+        &self.0
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        std::fs::remove_dir_all(&self.0).ok();
+    }
+}
+
+fn run_ok(output: &Output, what: &str) {
+    assert!(
+        output.status.success(),
+        "{what} failed ({}):\n--- stdout ---\n{}\n--- stderr ---\n{}",
+        output.status,
+        String::from_utf8_lossy(&output.stdout),
+        String::from_utf8_lossy(&output.stderr)
+    );
+}
+
+fn stdout_line(output: &Output) -> String {
+    String::from_utf8_lossy(&output.stdout)
+        .lines()
+        .next()
+        .unwrap_or_default()
+        .to_owned()
+}
+
+fn baseline(dir: &Path, config: &Path) -> (String, Vec<u8>) {
+    let out_dir = dir.join("in_process");
+    let output = Command::new(RUN)
+        .arg(config)
+        .env("NVMX_OUT", &out_dir)
+        .output()
+        .unwrap();
+    run_ok(&output, "run binary");
+    let csv = std::fs::read(out_dir.join("lease-smoke_results.csv")).unwrap();
+    (stdout_line(&output), csv)
+}
+
+/// Runs a leased-transport campaign; `extra` carries the fault flags.
+fn leased_run(
+    dir: &Path,
+    config: &Path,
+    transport: &str,
+    workers: u64,
+    extra: &[&str],
+    label: &str,
+) -> (Output, PathBuf) {
+    let capture_dir = dir.join(label);
+    let mut command = Command::new(COORDINATOR);
+    command
+        .arg("run")
+        .args(["--config".as_ref(), config.as_os_str()])
+        .args(["--workers", &workers.to_string()])
+        .args(["--capture".as_ref(), capture_dir.as_os_str()])
+        .args(["--worker-bin", WORKER])
+        .args(["--transport", transport])
+        .args(["--lease-size", "2"]);
+    for arg in extra {
+        command.arg(arg);
+    }
+    let output = command.output().unwrap();
+    run_ok(
+        &output,
+        &format!("nvmx-coordinator run --transport {transport}"),
+    );
+    (output, capture_dir.join("lease-smoke.jsonl"))
+}
+
+fn replay_csv(dir: &Path, config: &Path, capture: &Path, label: &str) -> (String, Vec<u8>) {
+    let csv_path = dir.join(format!("{label}.csv"));
+    let output = Command::new(COORDINATOR)
+        .arg("replay")
+        .args(["--input".as_ref(), capture.as_os_str()])
+        .args(["--config".as_ref(), config.as_os_str()])
+        .args(["--csv".as_ref(), csv_path.as_os_str()])
+        .output()
+        .unwrap();
+    run_ok(&output, "nvmx-coordinator replay");
+    (stdout_line(&output), std::fs::read(&csv_path).unwrap())
+}
+
+/// Clean 3-worker campaigns over the pipe and unix transports produce the
+/// same bytes as each other and as the in-process run.
+#[test]
+fn pipe_and_unix_leased_runs_match_the_local_run() {
+    let dir = TempDir::new("clean");
+    let config = dir.path().join("study.json");
+    std::fs::write(&config, CONFIG).unwrap();
+    let (summary, csv) = baseline(dir.path(), &config);
+    assert!(summary.starts_with("study `lease-smoke`:"), "{summary}");
+
+    let (pipe_out, pipe_capture) = leased_run(dir.path(), &config, "pipe", 3, &[], "pipe");
+    assert_eq!(stdout_line(&pipe_out), summary, "pipe summary diverged");
+
+    let (unix_out, unix_capture) = leased_run(dir.path(), &config, "unix", 3, &[], "unix");
+    assert_eq!(stdout_line(&unix_out), summary, "unix summary diverged");
+
+    assert_eq!(
+        std::fs::read(&pipe_capture).unwrap(),
+        std::fs::read(&unix_capture).unwrap(),
+        "pipe and unix captures must be byte-identical"
+    );
+
+    let (replay_summary, replay_bytes) = replay_csv(dir.path(), &config, &unix_capture, "unix");
+    assert_eq!(replay_summary, summary);
+    assert_eq!(replay_bytes, csv, "leased run diverged from in-process run");
+}
+
+/// The acceptance scenario: a TCP campaign at 4 workers where one worker
+/// is killed mid-lease, one wedges its emitter mid-lease (heartbeats
+/// continue — the frame-silence steal must reclaim its tail), and one is
+/// throttled per frame. The merged output must stay byte-identical to a
+/// local run, and the summary must show slot ranges re-leased between
+/// workers.
+#[test]
+fn tcp_campaign_survives_killed_stalled_and_throttled_workers() {
+    let dir = TempDir::new("hostile");
+    let config = dir.path().join("study.json");
+    std::fs::write(&config, CONFIG).unwrap();
+    let (summary, csv) = baseline(dir.path(), &config);
+
+    // A clean leased run pins the reference capture bytes.
+    let (_, clean_capture) = leased_run(dir.path(), &config, "tcp", 2, &[], "tcp_clean");
+
+    // Die/stall thresholds of 3 with 2-slot leases guarantee the fault
+    // lands mid-lease (an undrained lease → a re-lease migration).
+    let (output, capture) = leased_run(
+        dir.path(),
+        &config,
+        "tcp",
+        4,
+        &[
+            "--inject-die",
+            "1:3",
+            "--inject-stall",
+            "2:3",
+            "--inject-throttle",
+            "3:150",
+            "--shard-stall-timeout",
+            "2",
+            "--respawn-backoff",
+            "50",
+        ],
+        "tcp_hostile",
+    );
+    assert_eq!(stdout_line(&output), summary, "hostile merge diverged");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("re-lease:"),
+        "no re-lease migrations reported:\n{stderr}"
+    );
+    assert!(
+        stderr.contains("slot ranges re-leased"),
+        "run summary must count re-leased ranges:\n{stderr}"
+    );
+
+    assert_eq!(
+        std::fs::read(&capture).unwrap(),
+        std::fs::read(&clean_capture).unwrap(),
+        "hostile capture must be byte-identical to the clean capture"
+    );
+
+    let (replay_summary, replay_bytes) = replay_csv(dir.path(), &config, &capture, "hostile");
+    assert_eq!(replay_summary, summary);
+    assert_eq!(
+        replay_bytes, csv,
+        "hostile leased run diverged from the in-process run"
+    );
+}

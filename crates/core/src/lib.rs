@@ -72,10 +72,12 @@ pub mod explore;
 pub mod fault_study;
 pub mod fsutil;
 pub mod intermittent;
+pub mod reshard;
 pub mod scheduler;
 pub mod service;
 pub mod stream;
 pub mod sweep;
+pub mod transport;
 pub mod wire;
 pub mod write_buffer;
 
@@ -95,8 +97,9 @@ pub use stream::{
 };
 pub use sweep::{run_study, StudyResult};
 pub use wire::{
-    OwnedStudyEvent, RequestFrame, ResponseFrame, SessionBrief, Shard, SlotMerger, StreamReplayer,
-    WireError, WireFrame, WireSink, WIRE_MIN_VERSION, WIRE_SERVICE_MIN_VERSION, WIRE_VERSION,
+    LeaseFrame, OwnedStudyEvent, RequestFrame, ResponseFrame, SessionBrief, Shard, SlotMerger,
+    StreamReplayer, WireError, WireFrame, WireSink, WorkerFrame, WIRE_MIN_VERSION,
+    WIRE_SERVICE_MIN_VERSION, WIRE_VERSION, WIRE_WORKER_MIN_VERSION,
 };
 
 #[cfg(test)]

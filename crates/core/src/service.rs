@@ -34,6 +34,13 @@
 //!   [`CacheStats`] delta accrued while it ran, so tenants see their own
 //!   hit rates ([`SessionSnapshot::cache`], and the `done` response frame
 //!   on the wire).
+//! - **Expiry** — with [`ServiceConfig::session_ttl`] set, a terminal
+//!   session's retained log is garbage-collected once it has sat
+//!   unreplayed past the TTL: the session row survives (phase
+//!   [`SessionPhase::Reaped`], final event count preserved) but the
+//!   lines are freed, bounding the daemon's memory over long campaigns.
+//!   The sweep is lazy — every service entry point runs it, so no
+//!   background timer thread exists.
 //! - **Drain** — [`CampaignService::shutdown`] stops admission, lets the
 //!   queue empty, joins the lanes, and flushes the store; nothing is
 //!   aborted mid-run unless explicitly [`cancel`](CampaignService::cancel)led.
@@ -52,6 +59,7 @@ use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 /// How a [`CampaignService`] is provisioned.
 #[derive(Debug, Clone)]
@@ -67,6 +75,12 @@ pub struct ServiceConfig {
     /// Back the shared cache with the persistent characterization store
     /// at this directory (`nvmx_nvsim::store`), shared across tenants.
     pub store: Option<PathBuf>,
+    /// Reap a session's retained event log this long after it reaches a
+    /// terminal state. Reaped sessions stay listed (phase
+    /// [`SessionPhase::Reaped`], event count preserved) but their lines
+    /// are freed and can no longer be replayed. `None` retains logs for
+    /// the life of the service.
+    pub session_ttl: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -76,6 +90,7 @@ impl Default for ServiceConfig {
             lanes: 1,
             capacity: 64,
             store: None,
+            session_ttl: None,
         }
     }
 }
@@ -121,6 +136,11 @@ pub enum SessionPhase {
     Failed,
     /// Cancelled before or during the run.
     Cancelled,
+    /// Terminal state whose event log outlived
+    /// [`ServiceConfig::session_ttl`] and was garbage-collected. The
+    /// session stays listed (id, study, final event count), but its
+    /// lines are gone: a new cursor yields nothing.
+    Reaped,
 }
 
 impl SessionPhase {
@@ -133,12 +153,16 @@ impl SessionPhase {
             Self::Finished => "finished",
             Self::Failed => "failed",
             Self::Cancelled => "cancelled",
+            Self::Reaped => "reaped",
         }
     }
 
-    /// `true` for the three states a session can never leave.
+    /// `true` for the states a session can never leave.
     pub fn is_terminal(self) -> bool {
-        matches!(self, Self::Finished | Self::Failed | Self::Cancelled)
+        matches!(
+            self,
+            Self::Finished | Self::Failed | Self::Cancelled | Self::Reaped
+        )
     }
 }
 
@@ -186,8 +210,13 @@ pub struct ServiceStatus {
     pub queue_depth: u64,
     /// The admission queue's capacity.
     pub capacity: u64,
-    /// Every session the service remembers, in submission order.
+    /// Every session the service remembers, in submission order —
+    /// including reaped ones, whose rows report phase
+    /// [`SessionPhase::Reaped`] with the final event count preserved.
     pub sessions: Vec<SessionSnapshot>,
+    /// How many of [`sessions`](Self::sessions) have had their event log
+    /// reaped under [`ServiceConfig::session_ttl`].
+    pub reaped: u64,
     /// Cumulative shared-cache counters since the service started.
     pub cache: CacheStats,
 }
@@ -211,11 +240,18 @@ pub struct Admission {
 struct SessionState {
     phase: SessionPhase,
     /// Every complete wire line the session has emitted, in slot order.
+    /// Emptied when the session is reaped.
     lines: Vec<Arc<str>>,
     /// The campaign, parked here until a lane claims it.
     campaign: Option<CampaignConfig>,
     error: Option<String>,
     cache: Option<CacheStats>,
+    /// When the session first reached a terminal phase — the baseline the
+    /// TTL reaper measures from.
+    terminal_at: Option<Instant>,
+    /// The line count the log held when it was reaped; snapshots report
+    /// this instead of `lines.len()` once the phase is `Reaped`.
+    reaped_events: u64,
 }
 
 struct Session {
@@ -238,7 +274,10 @@ impl Session {
             study: self.study.clone(),
             priority: self.priority,
             phase: state.phase,
-            events: state.lines.len() as u64,
+            events: match state.phase {
+                SessionPhase::Reaped => state.reaped_events,
+                _ => state.lines.len() as u64,
+            },
             error: state.error.clone(),
             cache: state.cache,
         }
@@ -250,6 +289,7 @@ impl Session {
         state.phase = phase;
         state.error = error;
         state.cache = cache;
+        state.terminal_at = Some(Instant::now());
         drop(state);
         self.wake.notify_all();
     }
@@ -308,6 +348,34 @@ impl ServiceInner {
             .max_by_key(|&(_, key)| key)?;
         let id = state.queue.swap_remove(index);
         Some(Arc::clone(&state.sessions[&id]))
+    }
+
+    /// Reaps terminal sessions whose logs have outlived
+    /// [`ServiceConfig::session_ttl`]: frees the retained lines, records
+    /// the final count, and moves the phase to
+    /// [`SessionPhase::Reaped`]. Invoked lazily from every service entry
+    /// point, so expiry needs no background thread. A no-op without a
+    /// TTL. Cursors parked on a session it reaps wake and terminate
+    /// (their remaining lines are gone — the phase is terminal).
+    fn reap_expired(&self, state: &ServiceState) {
+        let Some(ttl) = self.config.session_ttl else {
+            return;
+        };
+        let now = Instant::now();
+        for session in state.sessions.values() {
+            let mut s = session.state.lock().expect("session lock");
+            let expired = s.phase.is_terminal()
+                && s.phase != SessionPhase::Reaped
+                && s.terminal_at
+                    .is_some_and(|at| now.duration_since(at) >= ttl);
+            if expired {
+                s.reaped_events = s.lines.len() as u64;
+                s.lines = Vec::new();
+                s.phase = SessionPhase::Reaped;
+                drop(s);
+                session.wake.notify_all();
+            }
+        }
     }
 
     /// One lane: claim → run → publish terminal state, forever.
@@ -546,6 +614,7 @@ impl CampaignService {
         let campaign = CampaignConfig::from_json(config_json).map_err(AdmitError::Config)?;
         let study = campaign.name().to_owned();
         let mut state = self.inner.state.lock().expect("service lock");
+        self.inner.reap_expired(&state);
         if state.draining {
             return Err(AdmitError::Draining);
         }
@@ -570,6 +639,8 @@ impl CampaignService {
                 campaign: Some(campaign),
                 error: None,
                 cache: None,
+                terminal_at: None,
+                reaped_events: 0,
             }),
             wake: Condvar::new(),
         });
@@ -589,6 +660,7 @@ impl CampaignService {
     /// `None` for an unknown session id.
     pub fn events(&self, session: u64) -> Option<EventCursor> {
         let state = self.inner.state.lock().expect("service lock");
+        self.inner.reap_expired(&state);
         let session = Arc::clone(state.sessions.get(&session)?);
         Some(EventCursor { session, next: 0 })
     }
@@ -600,6 +672,7 @@ impl CampaignService {
     pub fn cancel(&self, session: u64) -> Option<bool> {
         let session = {
             let state = self.inner.state.lock().expect("service lock");
+            self.inner.reap_expired(&state);
             Arc::clone(state.sessions.get(&session)?)
         };
         session.cancelled.store(true, Ordering::Release);
@@ -626,17 +699,26 @@ impl CampaignService {
     /// A snapshot of one session, or `None` for an unknown id.
     pub fn session(&self, session: u64) -> Option<SessionSnapshot> {
         let state = self.inner.state.lock().expect("service lock");
+        self.inner.reap_expired(&state);
         state.sessions.get(&session).map(|s| s.snapshot())
     }
 
     /// A snapshot of the whole service.
     pub fn status(&self) -> ServiceStatus {
         let state = self.inner.state.lock().expect("service lock");
+        self.inner.reap_expired(&state);
+        let sessions: Vec<SessionSnapshot> =
+            state.sessions.values().map(|s| s.snapshot()).collect();
+        let reaped = sessions
+            .iter()
+            .filter(|s| s.phase == SessionPhase::Reaped)
+            .count() as u64;
         ServiceStatus {
             draining: state.draining,
             queue_depth: state.queue.len() as u64,
             capacity: self.inner.config.capacity as u64,
-            sessions: state.sessions.values().map(|s| s.snapshot()).collect(),
+            sessions,
+            reaped,
             cache: self.inner.cache.stats(),
         }
     }
@@ -799,6 +881,8 @@ mod tests {
                         campaign: None,
                         error: None,
                         cache: None,
+                        terminal_at: None,
+                        reaped_events: 0,
                     }),
                     wake: Condvar::new(),
                 }),
@@ -842,6 +926,54 @@ mod tests {
             "terminal sessions report the cancel as a no-op"
         );
         assert_eq!(service.cancel(999), None);
+        service.join().expect("drains clean");
+    }
+
+    #[test]
+    fn session_ttl_reaps_terminal_logs_but_keeps_the_row() {
+        let service = CampaignService::start(ServiceConfig {
+            session_ttl: Some(Duration::ZERO),
+            ..ServiceConfig::default()
+        })
+        .unwrap();
+        let admitted = service.submit(CONFIG, 0).expect("admits");
+        let mut cursor = service.events(admitted.session).expect("known");
+        let lines = drain_lines(&mut cursor);
+        assert!(lines.len() > 2, "the session ran");
+
+        // Any entry point sweeps; with a zero TTL the first touch after
+        // the terminal transition reaps the log.
+        let status = service.status();
+        assert_eq!(status.reaped, 1);
+        let row = &status.sessions[0];
+        assert_eq!(row.phase, SessionPhase::Reaped);
+        assert!(row.phase.is_terminal());
+        assert_eq!(row.brief().state, "reaped");
+        assert_eq!(
+            row.events,
+            lines.len() as u64,
+            "the final event count survives the reap"
+        );
+
+        // The lines themselves are gone: a fresh cursor terminates dry.
+        let mut late = service.events(admitted.session).expect("still listed");
+        assert_eq!(drain_lines(&mut late), Vec::<Arc<str>>::new());
+        // Cancelling a reaped session is a terminal no-op.
+        assert!(matches!(service.cancel(admitted.session), Some(false)));
+        service.join().expect("drains clean");
+    }
+
+    #[test]
+    fn without_a_ttl_nothing_is_ever_reaped() {
+        let service = CampaignService::start(ServiceConfig::default()).unwrap();
+        let admitted = service.submit(CONFIG, 0).expect("admits");
+        let mut cursor = service.events(admitted.session).expect("known");
+        let lines = drain_lines(&mut cursor);
+        let status = service.status();
+        assert_eq!(status.reaped, 0);
+        assert_eq!(status.sessions[0].phase, SessionPhase::Finished);
+        let mut again = service.events(admitted.session).expect("known");
+        assert_eq!(drain_lines(&mut again).len(), lines.len());
         service.join().expect("drains clean");
     }
 

@@ -193,16 +193,33 @@ fn push_finished_fields(fields: &mut Vec<(String, Value)>, name: &str, stats: &S
     fields.push(field("evaluations", uint(stats.evaluations)));
     fields.push(field("skipped", uint(stats.skipped)));
     let cache = match stats.cache {
-        Some(c) => Value::Object(vec![
-            field("hits", Value::Uint(c.hits)),
-            field("misses", Value::Uint(c.misses)),
-            field("pruned", Value::Uint(c.pruned)),
-            field("l2_hits", Value::Uint(c.l2_hits)),
-            field("l2_misses", Value::Uint(c.l2_misses)),
-            field("l2_rejects", Value::Uint(c.l2_rejects)),
-            field("hit_rate", Value::Float(c.hit_rate())),
-            field("prune_rate", Value::Float(c.prune_rate())),
-        ]),
+        Some(c) => {
+            let mut cache_fields = vec![
+                field("hits", Value::Uint(c.hits)),
+                field("misses", Value::Uint(c.misses)),
+                field("pruned", Value::Uint(c.pruned)),
+                field("l2_hits", Value::Uint(c.l2_hits)),
+                field("l2_misses", Value::Uint(c.l2_misses)),
+                field("l2_rejects", Value::Uint(c.l2_rejects)),
+            ];
+            // The per-class reject breakdown rides only when observed, so
+            // a clean run's cache object is byte-identical to a pre-v4
+            // writer's and old captures re-encode unchanged.
+            for (name, count) in [
+                ("l2_reject_io", c.l2_reject_classes.io),
+                ("l2_reject_version", c.l2_reject_classes.version),
+                ("l2_reject_truncated", c.l2_reject_classes.truncated),
+                ("l2_reject_corrupt", c.l2_reject_classes.corrupt),
+                ("l2_reject_collision", c.l2_reject_classes.collision),
+            ] {
+                if count != 0 {
+                    cache_fields.push(field(name, Value::Uint(count)));
+                }
+            }
+            cache_fields.push(field("hit_rate", Value::Float(c.hit_rate())));
+            cache_fields.push(field("prune_rate", Value::Float(c.prune_rate())));
+            Value::Object(cache_fields)
+        }
         None => Value::Null,
     };
     fields.push(field("cache", cache));
@@ -762,6 +779,10 @@ mod tests {
                 l2_hits: 2,
                 l2_misses: 1,
                 l2_rejects: 1,
+                l2_reject_classes: nvmx_nvsim::L2RejectClasses {
+                    version: 1,
+                    ..Default::default()
+                },
             }),
         };
         let event = StudyEvent::StudyFinished {
@@ -777,5 +798,10 @@ mod tests {
         assert!(json.contains("\"l2_hits\":2"));
         assert!(json.contains("\"l2_misses\":1"));
         assert!(json.contains("\"l2_rejects\":1"));
+        assert!(json.contains("\"l2_reject_version\":1"));
+        assert!(
+            !json.contains("\"l2_reject_io\""),
+            "zero classes stay off the wire"
+        );
     }
 }

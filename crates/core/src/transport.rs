@@ -1,0 +1,423 @@
+//! Framed transport for the wire protocol: endpoint specs, listeners and
+//! streams that make Unix-domain and TCP sockets interchangeable, and a
+//! line-framed duplex [`Connection`] that works over sockets *and* over a
+//! child process's stdin/stdout pipe — so every campaign binary speaks the
+//! same strict JSONL frames (`crate::wire`) whatever carries the bytes.
+//!
+//! An endpoint spec is a string:
+//!
+//! - `unix:/path/to.sock` — a Unix-domain socket at that path,
+//! - `tcp:HOST:PORT` — a TCP socket (use port `0` to bind ephemerally;
+//!   [`Listener::local_spec`] reports the resolved address).
+//!
+//! The third transport is not an endpoint at all: [`Connection::pipe`]
+//! frames a worker's own stdin/stdout, which a supervising coordinator
+//! holds as the child's pipe pair. A worker started with `--connect pipe`
+//! and one started with `--connect tcp:…` run the identical protocol loop;
+//! only the byte carrier differs.
+//!
+//! Everything here is synchronous std networking — the protocol is
+//! line-oriented JSONL and the peers are thread-per-connection; no async
+//! runtime is needed (or available offline).
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+
+/// A parsed endpoint spec.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Endpoint {
+    /// A Unix-domain socket path (`unix:/path`).
+    Unix(PathBuf),
+    /// A TCP address (`tcp:HOST:PORT`).
+    Tcp(String),
+}
+
+impl Endpoint {
+    /// Parses an endpoint spec.
+    ///
+    /// # Errors
+    ///
+    /// A usage message when the spec has neither a `unix:` nor a `tcp:`
+    /// scheme, or the address part is empty.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        if let Some(path) = spec.strip_prefix("unix:") {
+            if path.is_empty() {
+                return Err("unix: endpoint needs a socket path".to_owned());
+            }
+            return Ok(Self::Unix(PathBuf::from(path)));
+        }
+        if let Some(addr) = spec.strip_prefix("tcp:") {
+            if addr.is_empty() {
+                return Err("tcp: endpoint needs HOST:PORT".to_owned());
+            }
+            return Ok(Self::Tcp(addr.to_owned()));
+        }
+        Err(format!(
+            "endpoint `{spec}` must be `unix:PATH` or `tcp:HOST:PORT`"
+        ))
+    }
+}
+
+impl std::fmt::Display for Endpoint {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Unix(path) => write!(f, "unix:{}", path.display()),
+            Self::Tcp(addr) => write!(f, "tcp:{addr}"),
+        }
+    }
+}
+
+/// A bound service listener over either socket family.
+pub enum Listener {
+    /// Bound Unix-domain socket.
+    Unix(UnixListener, PathBuf),
+    /// Bound TCP socket.
+    Tcp(TcpListener),
+}
+
+impl Listener {
+    /// Binds the endpoint. A pre-existing Unix socket path is removed
+    /// first (the daemon owns its path, and a stale socket from a killed
+    /// process would otherwise block every restart).
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures.
+    pub fn bind(endpoint: &Endpoint) -> io::Result<Self> {
+        match endpoint {
+            Endpoint::Unix(path) => {
+                if path.exists() {
+                    std::fs::remove_file(path)?;
+                }
+                Ok(Self::Unix(UnixListener::bind(path)?, path.clone()))
+            }
+            Endpoint::Tcp(addr) => Ok(Self::Tcp(TcpListener::bind(addr.as_str())?)),
+        }
+    }
+
+    /// The bound address as a connectable spec — for TCP this is the
+    /// *resolved* address, so binding `tcp:127.0.0.1:0` reports the
+    /// ephemeral port the OS picked.
+    pub fn local_spec(&self) -> String {
+        match self {
+            Self::Unix(_, path) => format!("unix:{}", path.display()),
+            Self::Tcp(listener) => match listener.local_addr() {
+                Ok(addr) => format!("tcp:{addr}"),
+                Err(_) => "tcp:?".to_owned(),
+            },
+        }
+    }
+
+    /// Accepts one connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates accept failures.
+    pub fn accept(&self) -> io::Result<Stream> {
+        match self {
+            Self::Unix(listener, _) => listener.accept().map(|(s, _)| Stream::Unix(s)),
+            Self::Tcp(listener) => listener.accept().map(|(s, _)| Stream::Tcp(s)),
+        }
+    }
+
+    /// Switches blocking mode for `accept` — a supervisor's accept loop
+    /// polls non-blocking so it can notice a stop flag instead of parking
+    /// in `accept` forever.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `set_nonblocking` failure.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Self::Unix(listener, _) => listener.set_nonblocking(nonblocking),
+            Self::Tcp(listener) => listener.set_nonblocking(nonblocking),
+        }
+    }
+}
+
+impl Drop for Listener {
+    fn drop(&mut self) {
+        if let Self::Unix(_, path) = self {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+/// One connection over either socket family.
+pub enum Stream {
+    /// A Unix-domain connection.
+    Unix(UnixStream),
+    /// A TCP connection.
+    Tcp(TcpStream),
+}
+
+impl Stream {
+    /// Connects to an endpoint.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Self> {
+        match endpoint {
+            Endpoint::Unix(path) => UnixStream::connect(path).map(Self::Unix),
+            Endpoint::Tcp(addr) => TcpStream::connect(addr.as_str()).map(Self::Tcp),
+        }
+    }
+
+    /// An independent handle to the same connection (separate read and
+    /// write positions are not duplicated — this is the OS-level dup the
+    /// std socket types provide).
+    ///
+    /// # Errors
+    ///
+    /// Propagates `try_clone` failures.
+    pub fn try_clone(&self) -> io::Result<Self> {
+        match self {
+            Self::Unix(s) => s.try_clone().map(Self::Unix),
+            Self::Tcp(s) => s.try_clone().map(Self::Tcp),
+        }
+    }
+
+    /// Shuts down the write half, signalling end-of-requests to the peer
+    /// while the read half keeps draining responses.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shutdown failures.
+    pub fn shutdown_write(&self) -> io::Result<()> {
+        match self {
+            Self::Unix(s) => s.shutdown(std::net::Shutdown::Write),
+            Self::Tcp(s) => s.shutdown(std::net::Shutdown::Write),
+        }
+    }
+
+    /// Switches blocking mode for reads and writes. Streams accepted from
+    /// a non-blocking [`Listener`] should be put back into blocking mode
+    /// before line-framed use.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying `set_nonblocking` failure.
+    pub fn set_nonblocking(&self, nonblocking: bool) -> io::Result<()> {
+        match self {
+            Self::Unix(s) => s.set_nonblocking(nonblocking),
+            Self::Tcp(s) => s.set_nonblocking(nonblocking),
+        }
+    }
+}
+
+impl io::Read for Stream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            Self::Unix(s) => s.read(buf),
+            Self::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl io::Write for Stream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            Self::Unix(s) => s.write(buf),
+            Self::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            Self::Unix(s) => s.flush(),
+            Self::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// How a campaign's workers reach their coordinator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TransportKind {
+    /// Child-process stdin/stdout pipes (single-host, no sockets).
+    Pipe,
+    /// A TCP listener (workers may live on other hosts).
+    Tcp,
+    /// A Unix-domain socket (single host, filesystem-addressed).
+    Unix,
+}
+
+impl TransportKind {
+    /// Parses the CLI form: `pipe`, `tcp`, or `unix`.
+    ///
+    /// # Errors
+    ///
+    /// A usage message naming the valid forms.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        match spec {
+            "pipe" => Ok(Self::Pipe),
+            "tcp" => Ok(Self::Tcp),
+            "unix" => Ok(Self::Unix),
+            other => Err(format!(
+                "transport `{other}` must be `pipe`, `tcp`, or `unix`"
+            )),
+        }
+    }
+
+    /// The CLI spelling.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Self::Pipe => "pipe",
+            Self::Tcp => "tcp",
+            Self::Unix => "unix",
+        }
+    }
+}
+
+impl std::fmt::Display for TransportKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A line-framed duplex connection: reads and writes whole `\n`-terminated
+/// JSONL frames, flushing per line so the peer sees frames as they happen.
+///
+/// The read and write halves are independent objects (a socket dup, or the
+/// two ends of a pipe pair), so one thread can block in
+/// [`recv_line`](Self::recv_line) while another
+/// [`send_line`](Self::send_line)s — the shape both the worker (reader
+/// thread for leases, emitter thread for frames) and the coordinator
+/// (reader thread per worker, supervisor granting leases) rely on.
+pub struct Connection {
+    reader: BufReader<Box<dyn Read + Send>>,
+    writer: Box<dyn Write + Send>,
+}
+
+impl Connection {
+    /// Frames an accepted or dialed socket.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the dup of the write half.
+    pub fn from_stream(stream: Stream) -> io::Result<Self> {
+        let writer = stream.try_clone()?;
+        Ok(Self {
+            reader: BufReader::new(Box::new(stream)),
+            writer: Box::new(writer),
+        })
+    }
+
+    /// Dials an endpoint and frames the connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Self> {
+        Self::from_stream(Stream::connect(endpoint)?)
+    }
+
+    /// Frames this process's own stdin/stdout — the pipe transport of a
+    /// worker whose coordinator holds the other ends as the child's pipes.
+    /// Anything else the process wants to say must go to stderr.
+    pub fn pipe() -> Self {
+        Self::from_parts(Box::new(io::stdin()), Box::new(io::stdout()))
+    }
+
+    /// Frames an arbitrary read/write pair (a child's stdout/stdin from
+    /// the parent side, or an in-memory pair in tests).
+    pub fn from_parts(reader: Box<dyn Read + Send>, writer: Box<dyn Write + Send>) -> Self {
+        Self {
+            reader: BufReader::new(reader),
+            writer,
+        }
+    }
+
+    /// Writes one frame line (the newline is appended here) and flushes.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures — on a socket, the usual sign the peer is
+    /// gone.
+    pub fn send_line(&mut self, line: &str) -> io::Result<()> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()
+    }
+
+    /// Reads the next frame line, without its newline. `Ok(None)` is a
+    /// clean end-of-stream — the peer closed the connection.
+    ///
+    /// # Errors
+    ///
+    /// Propagates read failures.
+    pub fn recv_line(&mut self) -> io::Result<Option<String>> {
+        let mut line = String::new();
+        let n = self.reader.read_line(&mut line)?;
+        if n == 0 {
+            return Ok(None);
+        }
+        while line.ends_with('\n') || line.ends_with('\r') {
+            line.pop();
+        }
+        Ok(Some(line))
+    }
+
+    /// Splits the connection into its buffered read half and write half,
+    /// for peers that put the two on different threads.
+    pub fn into_split(self) -> (BufReader<Box<dyn Read + Send>>, Box<dyn Write + Send>) {
+        (self.reader, self.writer)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn endpoint_specs_parse_and_display() {
+        assert_eq!(
+            Endpoint::parse("unix:/tmp/x.sock").unwrap().to_string(),
+            "unix:/tmp/x.sock"
+        );
+        assert_eq!(
+            Endpoint::parse("tcp:127.0.0.1:0").unwrap().to_string(),
+            "tcp:127.0.0.1:0"
+        );
+        assert!(Endpoint::parse("udp:1.2.3.4:5").is_err());
+        assert!(Endpoint::parse("unix:").is_err());
+        assert!(Endpoint::parse("tcp:").is_err());
+    }
+
+    #[test]
+    fn transport_kinds_parse() {
+        assert_eq!(TransportKind::parse("pipe").unwrap(), TransportKind::Pipe);
+        assert_eq!(TransportKind::parse("tcp").unwrap(), TransportKind::Tcp);
+        assert_eq!(TransportKind::parse("unix").unwrap(), TransportKind::Unix);
+        assert!(TransportKind::parse("carrier-pigeon").is_err());
+        assert_eq!(TransportKind::Unix.to_string(), "unix");
+    }
+
+    #[test]
+    fn connections_frame_lines_over_both_socket_families() {
+        for spec in ["unix:TMP", "tcp:127.0.0.1:0"] {
+            let endpoint = if spec == "unix:TMP" {
+                let path = std::env::temp_dir()
+                    .join(format!("nvmx_transport_test_{}.sock", std::process::id()));
+                Endpoint::Unix(path)
+            } else {
+                Endpoint::parse(spec).unwrap()
+            };
+            let listener = Listener::bind(&endpoint).unwrap();
+            let connect_to = Endpoint::parse(&listener.local_spec()).unwrap();
+            let server = std::thread::spawn(move || {
+                let mut conn = Connection::from_stream(listener.accept().unwrap()).unwrap();
+                let got = conn.recv_line().unwrap().unwrap();
+                conn.send_line(&format!("echo {got}")).unwrap();
+                assert!(conn.recv_line().unwrap().is_none(), "client closed");
+            });
+            let mut client = Connection::connect(&connect_to).unwrap();
+            client.send_line("hello").unwrap();
+            assert_eq!(client.recv_line().unwrap().unwrap(), "echo hello");
+            drop(client);
+            server.join().unwrap();
+        }
+    }
+}

@@ -62,23 +62,25 @@ use crate::eval::Evaluation;
 use crate::fault_study::{FaultModelReport, FaultOutcome, FaultStudyStats, FaultTrial};
 use crate::stream::{ResultSink, StudyEvent, StudyResultBuilder, StudyStats};
 use crate::sweep::StudyResult;
-use nvmx_nvsim::{ArrayCharacterization, CacheStats, OptimizationTarget};
+use nvmx_nvsim::{ArrayCharacterization, CacheStats, L2RejectClasses, OptimizationTarget};
 use serde::{Serialize, Value};
 use std::collections::BTreeMap;
 use std::io::{BufRead, Write};
 
 /// The wire protocol version stamped on every written line.
 ///
-/// Version 3 (this release) adds the service request/response frames
-/// ([`RequestFrame`], [`ResponseFrame`]) that `nvmx-serve` clients speak;
-/// the event-frame format is unchanged from version 2 (which added the
-/// fault-campaign events `fault_trial_produced`, `accuracy_degraded`,
-/// `fault_study_finished` on top of version 1). Readers accept every
-/// version down to [`WIRE_MIN_VERSION`] — pre-fault and pre-service
-/// captures replay unchanged; every other version is rejected instead of
-/// guessed at. Re-encoding a parsed frame always stamps the current
-/// version.
-pub const WIRE_VERSION: u64 = 3;
+/// Version 4 (this release) adds the worker-supervision control frames
+/// ([`WorkerFrame`], [`LeaseFrame`]) that socket-connected `nvmx-worker`
+/// shards and the lease-granting coordinator speak, plus the optional
+/// per-class `l2_reject_*` store counters on the `study_finished` cache
+/// object. The event-frame format is otherwise unchanged from version 3
+/// (which added the service request/response frames [`RequestFrame`] /
+/// [`ResponseFrame`]), version 2 (fault-campaign events), and version 1.
+/// Readers accept every version down to [`WIRE_MIN_VERSION`] — pre-fault,
+/// pre-service, and pre-lease captures replay unchanged; every other
+/// version is rejected instead of guessed at. Re-encoding a parsed frame
+/// always stamps the current version.
+pub const WIRE_VERSION: u64 = 4;
 
 /// The oldest protocol version readers still decode.
 pub const WIRE_MIN_VERSION: u64 = 1;
@@ -88,6 +90,13 @@ pub const WIRE_MIN_VERSION: u64 = 1;
 /// `cancel`/`events`/`shutdown` requests (and their responses) only since
 /// version 3 — a request line declaring an older version is rejected.
 pub const WIRE_SERVICE_MIN_VERSION: u64 = 3;
+
+/// The oldest protocol version that carries worker-supervision control
+/// frames. `hello`/`heartbeat`/`drained`/`done` worker lines and
+/// `grant`/`revoke`/`shutdown` lease lines exist only since version 4 —
+/// a control line declaring an older version is rejected, because no
+/// older writer ever produced one.
+pub const WIRE_WORKER_MIN_VERSION: u64 = 4;
 
 // --------------------------------------------------------------- errors
 
@@ -404,14 +413,45 @@ fn target_field(obj: &[(String, Value)], name: &str) -> Result<OptimizationTarge
         .ok_or_else(|| FrameError::corrupt(format!("unknown optimization target `{label}`")))
 }
 
+/// Decodes the per-class `l2_reject_*` counters of a wire cache object.
+/// The writer emits each class only when nonzero (a clean run's cache
+/// object is byte-identical to a v3 writer's), so every class decodes
+/// with a zero default.
+fn reject_classes_from(cache: &[(String, Value)]) -> Result<L2RejectClasses, FrameError> {
+    Ok(L2RejectClasses {
+        io: uint_field_or(cache, "l2_reject_io", 0)?,
+        version: uint_field_or(cache, "l2_reject_version", 0)?,
+        truncated: uint_field_or(cache, "l2_reject_truncated", 0)?,
+        corrupt: uint_field_or(cache, "l2_reject_corrupt", 0)?,
+        collision: uint_field_or(cache, "l2_reject_collision", 0)?,
+    })
+}
+
+/// Appends the nonzero per-class `l2_reject_*` counters to a cache object
+/// under construction — the encoding mirror of [`reject_classes_from`].
+fn push_reject_classes(fields: &mut Vec<(String, Value)>, classes: &L2RejectClasses) {
+    for (name, count) in [
+        ("l2_reject_io", classes.io),
+        ("l2_reject_version", classes.version),
+        ("l2_reject_truncated", classes.truncated),
+        ("l2_reject_corrupt", classes.corrupt),
+        ("l2_reject_collision", classes.collision),
+    ] {
+        if count != 0 {
+            fields.push((name.to_owned(), Value::Uint(count)));
+        }
+    }
+}
+
 /// Decodes the flat field block shared by `study_finished` and
 /// `fault_study_finished`.
 fn finished_stats(obj: &[(String, Value)]) -> Result<StudyStats, FrameError> {
     let cache = match field(obj, "cache")? {
         Value::Null => None,
         // `pruned` joined the version-1 cache object in PR 5, the `l2_*`
-        // store counters in PR 8; captures from older writers decode as
-        // zeros instead of failing strict replay.
+        // store counters in PR 8, the per-class `l2_reject_*` breakdown in
+        // v4; captures from older writers decode as zeros instead of
+        // failing strict replay.
         Value::Object(cache) => Some(CacheStats {
             hits: uint_field(cache, "hits")?,
             misses: uint_field(cache, "misses")?,
@@ -419,6 +459,7 @@ fn finished_stats(obj: &[(String, Value)]) -> Result<StudyStats, FrameError> {
             l2_hits: uint_field_or(cache, "l2_hits", 0)?,
             l2_misses: uint_field_or(cache, "l2_misses", 0)?,
             l2_rejects: uint_field_or(cache, "l2_rejects", 0)?,
+            l2_reject_classes: reject_classes_from(cache)?,
         }),
         other => {
             return Err(FrameError::corrupt(format!(
@@ -707,18 +748,21 @@ fn frame_value(study: &str, seq: u64, event_body: Value) -> Value {
 // --------------------------------------------------------- service frames
 
 /// Encodes a [`CacheStats`] counter block as the wire's cache object (the
-/// same six counters the `study_finished` event carries; the derived
-/// `hit_rate`/`prune_rate` fields are not re-encoded here — they are a
-/// display convenience of the event stream, not protocol state).
+/// same six counters the `study_finished` event carries, plus the nonzero
+/// per-class `l2_reject_*` breakdown; the derived `hit_rate`/`prune_rate`
+/// fields are not re-encoded here — they are a display convenience of the
+/// event stream, not protocol state).
 fn cache_value(stats: &CacheStats) -> Value {
-    Value::Object(vec![
+    let mut fields = vec![
         ("hits".to_owned(), Value::Uint(stats.hits)),
         ("misses".to_owned(), Value::Uint(stats.misses)),
         ("pruned".to_owned(), Value::Uint(stats.pruned)),
         ("l2_hits".to_owned(), Value::Uint(stats.l2_hits)),
         ("l2_misses".to_owned(), Value::Uint(stats.l2_misses)),
         ("l2_rejects".to_owned(), Value::Uint(stats.l2_rejects)),
-    ])
+    ];
+    push_reject_classes(&mut fields, &stats.l2_reject_classes);
+    Value::Object(fields)
 }
 
 /// Decodes a wire cache object (missing counters default to zero, exactly
@@ -734,6 +778,7 @@ fn cache_from(value: &Value) -> Result<CacheStats, FrameError> {
         l2_hits: uint_field_or(obj, "l2_hits", 0)?,
         l2_misses: uint_field_or(obj, "l2_misses", 0)?,
         l2_rejects: uint_field_or(obj, "l2_rejects", 0)?,
+        l2_reject_classes: reject_classes_from(obj)?,
     })
 }
 
@@ -1118,6 +1163,268 @@ impl ResponseFrame {
             }
         }
         serde_json::to_string(&Value::Object(fields)).expect("response frames always serialize")
+    }
+}
+
+// --------------------------------------------------------- control frames
+
+/// Checks the `v` header of a worker-supervision control frame: worker and
+/// lease lines exist only since [`WIRE_WORKER_MIN_VERSION`].
+fn worker_version(obj: &[(String, Value)]) -> Result<u64, FrameError> {
+    let version = uint_field(obj, "v")?;
+    if !(WIRE_WORKER_MIN_VERSION..=WIRE_VERSION).contains(&version) {
+        return Err(FrameError::Version { found: version });
+    }
+    Ok(version)
+}
+
+/// `true` when `line` looks like a frame of the given control family (a
+/// JSON object whose `key` field is a *string tag*) — the cheap pre-test
+/// a reader uses to split a mixed channel without parsing twice. The
+/// string-value requirement matters: a `{"worker":"drained","lease":3}`
+/// line carries a numeric `lease` field without being a lease frame.
+fn has_tag(line: &str, key: &str) -> bool {
+    matches!(
+        serde_json::from_str::<Value>(line),
+        Ok(Value::Object(obj)) if obj.iter().any(|(k, v)| k == key && matches!(v, Value::Str(_)))
+    )
+}
+
+/// A worker → coordinator control line of the lease protocol (protocol
+/// version 4; see `docs/PROTOCOL.md` § Worker frames).
+///
+/// Worker lines are distinguished from event frames by the `"worker"`
+/// field: `{"v":4,"worker":"heartbeat","seen":120,"sent":41}`. A
+/// socket-connected worker interleaves them with the event frames of its
+/// active leases on the same connection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WorkerFrame {
+    /// First line of every connection: the worker introduces itself and
+    /// names the study it is computing, so the coordinator can bind the
+    /// connection to a supervision slot before any lease is granted.
+    Hello {
+        /// Worker name (stable across reconnects of the same worker).
+        name: String,
+        /// Study the worker's config resolved to.
+        study: String,
+        /// `true` when this connection replaces an earlier one from the
+        /// same worker (a reconnect after a dropped socket). The
+        /// coordinator's merger absorbs any slots the worker re-sends.
+        resume: bool,
+    },
+    /// Periodic liveness beacon, sent from a dedicated timer thread so a
+    /// long-running characterization never reads as a stall — only a
+    /// stopped *process* does.
+    Heartbeat {
+        /// Events the worker's engine has produced so far (the worker's
+        /// own slot cursor; drives the coordinator's throughput EWMA).
+        seen: u64,
+        /// Event frames actually emitted under leases so far.
+        sent: u64,
+    },
+    /// Every slot of the named lease that this worker owns has been
+    /// emitted on this connection.
+    Drained {
+        /// The lease id from the coordinator's [`LeaseFrame::Grant`].
+        lease: u64,
+    },
+    /// The worker's engine has finished the whole study: `seen` is the
+    /// total stream length, after which no lease can ever block.
+    Done {
+        /// Total events in the study's deterministic stream.
+        seen: u64,
+        /// Event frames emitted under leases over the connection lifetime.
+        sent: u64,
+    },
+}
+
+impl WorkerFrame {
+    /// Wire tag of the frame (its `"worker"` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Hello { .. } => "hello",
+            Self::Heartbeat { .. } => "heartbeat",
+            Self::Drained { .. } => "drained",
+            Self::Done { .. } => "done",
+        }
+    }
+
+    /// `true` when `line` looks like a worker control line (a JSON object
+    /// carrying a `"worker"` field) rather than an event frame.
+    pub fn is_worker_line(line: &str) -> bool {
+        has_tag(line, "worker")
+    }
+
+    /// Parses one worker control line.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Version`] when `v` is outside
+    /// [`WIRE_WORKER_MIN_VERSION`]`..=`[`WIRE_VERSION`];
+    /// [`FrameError::Corrupt`] for anything else wrong with the line.
+    pub fn parse(line: &str) -> Result<Self, FrameError> {
+        let value: Value = serde_json::from_str(line)
+            .map_err(|e| FrameError::corrupt(format!("not valid JSON: {e}")))?;
+        let obj = value
+            .as_object()
+            .ok_or_else(|| FrameError::corrupt("worker line is not a JSON object"))?;
+        worker_version(obj)?;
+        match str_field(obj, "worker")? {
+            "hello" => Ok(Self::Hello {
+                name: str_field(obj, "name")?.to_owned(),
+                study: str_field(obj, "study")?.to_owned(),
+                resume: bool_field(obj, "resume")?,
+            }),
+            "heartbeat" => Ok(Self::Heartbeat {
+                seen: uint_field(obj, "seen")?,
+                sent: uint_field(obj, "sent")?,
+            }),
+            "drained" => Ok(Self::Drained {
+                lease: uint_field(obj, "lease")?,
+            }),
+            "done" => Ok(Self::Done {
+                seen: uint_field(obj, "seen")?,
+                sent: uint_field(obj, "sent")?,
+            }),
+            other => Err(FrameError::corrupt(format!("unknown worker tag `{other}`"))),
+        }
+    }
+
+    /// The frame as one JSONL line (no trailing newline); parse →
+    /// re-encode is the identity.
+    pub fn to_line(&self) -> String {
+        let mut fields = vec![
+            ("v".to_owned(), Value::Uint(WIRE_VERSION)),
+            ("worker".to_owned(), Value::Str(self.kind().to_owned())),
+        ];
+        match self {
+            Self::Hello {
+                name,
+                study,
+                resume,
+            } => {
+                fields.push(("name".to_owned(), Value::Str(name.clone())));
+                fields.push(("study".to_owned(), Value::Str(study.clone())));
+                fields.push(("resume".to_owned(), Value::Bool(*resume)));
+            }
+            Self::Heartbeat { seen, sent } | Self::Done { seen, sent } => {
+                fields.push(("seen".to_owned(), Value::Uint(*seen)));
+                fields.push(("sent".to_owned(), Value::Uint(*sent)));
+            }
+            Self::Drained { lease } => {
+                fields.push(("lease".to_owned(), Value::Uint(*lease)));
+            }
+        }
+        serde_json::to_string(&Value::Object(fields)).expect("worker frames always serialize")
+    }
+}
+
+/// A coordinator → worker control line of the lease protocol (protocol
+/// version 4; see `docs/PROTOCOL.md` § Lease frames).
+///
+/// Lease lines are distinguished by the `"lease"` field:
+/// `{"v":4,"lease":"grant","id":3,"start":64,"end":96}`. They are the only
+/// frames a coordinator sends to a worker; the worker emits each granted
+/// range's events in slot order and answers with
+/// [`WorkerFrame::Drained`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LeaseFrame {
+    /// Grant the half-open slot range `start..end` to this worker. Ranges
+    /// may overlap ranges granted to other workers (re-leases after a
+    /// stall do, deliberately); the coordinator's merger dedups.
+    Grant {
+        /// Lease id, unique per campaign run.
+        id: u64,
+        /// First slot of the range.
+        start: u64,
+        /// One past the last slot of the range.
+        end: u64,
+    },
+    /// Withdraw a previously granted lease: the worker stops emitting its
+    /// slots as soon as it observes the line. Slots already in flight are
+    /// harmless (the merger dedups them against the re-lease).
+    Revoke {
+        /// The lease to withdraw.
+        id: u64,
+    },
+    /// The campaign is complete (or this worker is dismissed): finish any
+    /// in-flight line and close the connection.
+    Shutdown,
+}
+
+impl LeaseFrame {
+    /// Wire tag of the frame (its `"lease"` field).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Grant { .. } => "grant",
+            Self::Revoke { .. } => "revoke",
+            Self::Shutdown => "shutdown",
+        }
+    }
+
+    /// `true` when `line` looks like a lease control line (a JSON object
+    /// carrying a `"lease"` field).
+    pub fn is_lease_line(line: &str) -> bool {
+        has_tag(line, "lease")
+    }
+
+    /// Parses one lease control line.
+    ///
+    /// # Errors
+    ///
+    /// [`FrameError::Version`] when `v` is outside
+    /// [`WIRE_WORKER_MIN_VERSION`]`..=`[`WIRE_VERSION`];
+    /// [`FrameError::Corrupt`] for anything else wrong with the line
+    /// (including a `grant` whose range is empty or inverted).
+    pub fn parse(line: &str) -> Result<Self, FrameError> {
+        let value: Value = serde_json::from_str(line)
+            .map_err(|e| FrameError::corrupt(format!("not valid JSON: {e}")))?;
+        let obj = value
+            .as_object()
+            .ok_or_else(|| FrameError::corrupt("lease line is not a JSON object"))?;
+        worker_version(obj)?;
+        match str_field(obj, "lease")? {
+            "grant" => {
+                let start = uint_field(obj, "start")?;
+                let end = uint_field(obj, "end")?;
+                if end <= start {
+                    return Err(FrameError::corrupt(format!(
+                        "lease grant range {start}..{end} is empty"
+                    )));
+                }
+                Ok(Self::Grant {
+                    id: uint_field(obj, "id")?,
+                    start,
+                    end,
+                })
+            }
+            "revoke" => Ok(Self::Revoke {
+                id: uint_field(obj, "id")?,
+            }),
+            "shutdown" => Ok(Self::Shutdown),
+            other => Err(FrameError::corrupt(format!("unknown lease tag `{other}`"))),
+        }
+    }
+
+    /// The frame as one JSONL line (no trailing newline); parse →
+    /// re-encode is the identity.
+    pub fn to_line(&self) -> String {
+        let mut fields = vec![
+            ("v".to_owned(), Value::Uint(WIRE_VERSION)),
+            ("lease".to_owned(), Value::Str(self.kind().to_owned())),
+        ];
+        match self {
+            Self::Grant { id, start, end } => {
+                fields.push(("id".to_owned(), Value::Uint(*id)));
+                fields.push(("start".to_owned(), Value::Uint(*start)));
+                fields.push(("end".to_owned(), Value::Uint(*end)));
+            }
+            Self::Revoke { id } => {
+                fields.push(("id".to_owned(), Value::Uint(*id)));
+            }
+            Self::Shutdown => {}
+        }
+        serde_json::to_string(&Value::Object(fields)).expect("lease frames always serialize")
     }
 }
 
@@ -1678,9 +1985,9 @@ mod tests {
 
     #[test]
     fn frame_version_is_enforced() {
-        let line = r#"{"v":4,"study":"s","seq":0,"event":"study_started","name":"s","cells":1,"jobs":1,"targets":1,"traffic":1}"#;
+        let line = r#"{"v":5,"study":"s","seq":0,"event":"study_started","name":"s","cells":1,"jobs":1,"targets":1,"traffic":1}"#;
         match WireFrame::parse(line) {
-            Err(FrameError::Version { found }) => assert_eq!(found, 4),
+            Err(FrameError::Version { found }) => assert_eq!(found, 5),
             other => panic!("expected version error, got {other:?}"),
         }
         let zero = r#"{"v":0,"study":"s","seq":0,"event":"study_started","name":"s","cells":1,"jobs":1,"targets":1,"traffic":1}"#;
@@ -1723,7 +2030,7 @@ mod tests {
             },
         };
         let line = frame.to_line();
-        assert!(line.starts_with(r#"{"v":3,"study":"demo","seq":0,"event":"study_started""#));
+        assert!(line.starts_with(r#"{"v":4,"study":"demo","seq":0,"event":"study_started""#));
         let back = WireFrame::parse(&line).unwrap();
         assert_eq!(back, frame);
         assert_eq!(back.to_line(), line, "parse -> encode must be identity");
@@ -1882,6 +2189,7 @@ mod tests {
             l2_hits: 1,
             l2_misses: 1,
             l2_rejects: 0,
+            l2_reject_classes: L2RejectClasses::default(),
         };
         let responses = vec![
             ResponseFrame::Submitted {
@@ -1968,5 +2276,131 @@ mod tests {
         // An event frame is not a response line.
         let event = r#"{"v":3,"study":"s","seq":0,"event":"study_started","name":"s","cells":1,"jobs":1,"targets":1,"traffic":1}"#;
         assert!(!ResponseFrame::is_response_line(event));
+    }
+
+    // ------------------------------------------------------ control frames
+
+    #[test]
+    fn worker_frames_roundtrip_through_text() {
+        let frames = vec![
+            WorkerFrame::Hello {
+                name: "w0".to_owned(),
+                study: "quickstart".to_owned(),
+                resume: false,
+            },
+            WorkerFrame::Hello {
+                name: "w1".to_owned(),
+                study: "quickstart".to_owned(),
+                resume: true,
+            },
+            WorkerFrame::Heartbeat {
+                seen: 120,
+                sent: 41,
+            },
+            WorkerFrame::Drained { lease: 3 },
+            WorkerFrame::Done {
+                seen: 257,
+                sent: 90,
+            },
+        ];
+        for frame in frames {
+            let line = frame.to_line();
+            assert!(WorkerFrame::is_worker_line(&line));
+            assert!(!LeaseFrame::is_lease_line(&line));
+            assert!(line.starts_with(&format!(
+                r#"{{"v":{WIRE_VERSION},"worker":"{}""#,
+                frame.kind()
+            )));
+            let back = WorkerFrame::parse(&line).unwrap();
+            assert_eq!(back, frame);
+            assert_eq!(back.to_line(), line, "parse -> encode must be identity");
+        }
+    }
+
+    #[test]
+    fn lease_frames_roundtrip_through_text() {
+        let frames = vec![
+            LeaseFrame::Grant {
+                id: 0,
+                start: 0,
+                end: 32,
+            },
+            LeaseFrame::Revoke { id: 0 },
+            LeaseFrame::Shutdown,
+        ];
+        for frame in frames {
+            let line = frame.to_line();
+            assert!(LeaseFrame::is_lease_line(&line));
+            assert!(!WorkerFrame::is_worker_line(&line));
+            let back = LeaseFrame::parse(&line).unwrap();
+            assert_eq!(back, frame);
+            assert_eq!(back.to_line(), line, "parse -> encode must be identity");
+        }
+    }
+
+    #[test]
+    fn control_frames_reject_version_skew_and_corruption() {
+        // Control frames exist only since v4: a v3 stamp is rejected even
+        // though v3 is a valid event/service version.
+        let stale = WorkerFrame::Drained { lease: 1 }.to_line().replacen(
+            &format!("{{\"v\":{WIRE_VERSION},"),
+            "{\"v\":3,",
+            1,
+        );
+        assert!(matches!(
+            WorkerFrame::parse(&stale),
+            Err(FrameError::Version { found: 3 })
+        ));
+        let stale = LeaseFrame::Shutdown.to_line().replacen(
+            &format!("{{\"v\":{WIRE_VERSION},"),
+            "{\"v\":3,",
+            1,
+        );
+        assert!(matches!(
+            LeaseFrame::parse(&stale),
+            Err(FrameError::Version { found: 3 })
+        ));
+        // Unknown tags are corruption.
+        let line = format!(r#"{{"v":{WIRE_VERSION},"worker":"teleport"}}"#);
+        match WorkerFrame::parse(&line) {
+            Err(FrameError::Corrupt { reason }) => assert!(reason.contains("teleport")),
+            other => panic!("expected corrupt, got {other:?}"),
+        }
+        // Empty or inverted grant ranges are corruption, not no-ops.
+        let line = format!(r#"{{"v":{WIRE_VERSION},"lease":"grant","id":1,"start":8,"end":8}}"#);
+        assert!(matches!(
+            LeaseFrame::parse(&line),
+            Err(FrameError::Corrupt { .. })
+        ));
+        // An event frame is neither a worker nor a lease line.
+        let event = r#"{"v":4,"study":"s","seq":0,"event":"study_started","name":"s","cells":1,"jobs":1,"targets":1,"traffic":1}"#;
+        assert!(!WorkerFrame::is_worker_line(event));
+        assert!(!LeaseFrame::is_lease_line(event));
+    }
+
+    #[test]
+    fn reject_classes_ride_the_cache_object_only_when_nonzero() {
+        let mut stats = CacheStats {
+            hits: 4,
+            misses: 1,
+            pruned: 0,
+            l2_hits: 0,
+            l2_misses: 1,
+            l2_rejects: 0,
+            l2_reject_classes: L2RejectClasses::default(),
+        };
+        // Clean run: the cache object is byte-identical to a v3 writer's.
+        let clean = serde_json::to_string(&cache_value(&stats)).unwrap();
+        assert!(!clean.contains("l2_reject_io"));
+        assert_eq!(cache_from(&cache_value(&stats)).unwrap(), stats);
+        // Version-skewed run: only the observed classes appear.
+        stats.l2_rejects = 3;
+        stats.l2_reject_classes.version = 2;
+        stats.l2_reject_classes.corrupt = 1;
+        let skewed = serde_json::to_string(&cache_value(&stats)).unwrap();
+        assert!(skewed.contains(r#""l2_reject_version":2"#));
+        assert!(skewed.contains(r#""l2_reject_corrupt":1"#));
+        assert!(!skewed.contains("l2_reject_io"));
+        assert_eq!(cache_from(&cache_value(&stats)).unwrap(), stats);
     }
 }

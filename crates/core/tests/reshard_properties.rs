@@ -1,0 +1,372 @@
+//! Property tests for the lease/heartbeat supervision state machine
+//! (`nvmexplorer_core::reshard`) composed with the slot merger.
+//!
+//! The harness simulates a coordinator driving protocol-compliant
+//! workers through arbitrary connect / progress / stall / die /
+//! reconnect schedules drawn by proptest, then heals the fleet and runs
+//! the campaign to completion. The invariant under test is the
+//! exactly-once delivery contract behind the byte-identity guarantee:
+//! **no slot is lost and no slot is committed twice**, no matter how
+//! leases migrate between workers — the committed sequence is exactly
+//! `0..total`, in order. (Workers emit overlapping ranges freely after a
+//! re-lease; [`SlotMerger`] absorbs the duplicates. What the supervisor
+//! must guarantee is that every slot stays covered by *some* live or
+//! re-grantable lease until delivered.)
+//!
+//! Time is simulated — the state machine takes `now_ms` arguments and
+//! returns effects as [`Action`] values, so the whole protocol runs
+//! here without sockets, processes, or sleeps.
+
+use nvmexplorer_core::reshard::{Action, MigrationReason, ReshardConfig, Resharder};
+use nvmexplorer_core::wire::SlotMerger;
+use proptest::prelude::*;
+use std::collections::{BTreeMap, VecDeque};
+use std::convert::Infallible;
+
+/// One step of the generated schedule.
+#[derive(Debug, Clone, Copy)]
+enum Op {
+    /// The worker's emitter makes progress: up to `k` slots served from
+    /// its granted leases (first grant first, like the real FIFO
+    /// emitter). The first progress of a worker's process also reports
+    /// its engine `done` — compute is independent of leases.
+    Progress(usize, u8),
+    /// The worker's heartbeat thread gets a beat out.
+    Heartbeat(usize),
+    /// The worker's process crashes (connection death).
+    Die(usize),
+    /// SIGSTOP analog: the worker stops emitting and heartbeating but
+    /// its process and connection stay up.
+    Stall(usize),
+    /// SIGCONT analog: a stalled worker resumes before the deadline.
+    Resume(usize),
+    /// A down worker's replacement process (re)connects on its own —
+    /// the remote-shard reconnect path.
+    Connect(usize),
+    /// Wall-clock advances with no worker activity.
+    Advance(u16),
+}
+
+/// The sim's model of one worker process.
+#[derive(Debug, Default)]
+struct SimWorker {
+    /// Process alive and `hello` exchanged (mirrors the supervisor's
+    /// Active phase).
+    connected: bool,
+    /// SIGSTOPped: no emission, no heartbeats, connection still open.
+    stopped: bool,
+    /// Permanently out (the supervisor abandoned it).
+    gone: bool,
+    /// This incarnation already reported `done`.
+    done: bool,
+    /// Live grants, FIFO: `(lease id, next slot to emit, end)`.
+    grants: Vec<(u64, u64, u64)>,
+}
+
+struct Sim {
+    resharder: Resharder,
+    merger: SlotMerger<u64>,
+    workers: BTreeMap<String, SimWorker>,
+    committed: Vec<u64>,
+    now: u64,
+    total: u64,
+}
+
+impl Sim {
+    fn new(n_workers: usize, total: u64) -> Self {
+        let mut resharder = Resharder::new(ReshardConfig {
+            heartbeat_timeout_ms: 1_000,
+            initial_lease: 8,
+            min_lease: 4,
+            max_lease: 64,
+            target_lease_ms: 500,
+            ewma_alpha: 0.4,
+            respawn_backoff_ms: 100,
+            max_backoff_ms: 800,
+            max_respawns: 3,
+            steal_ratio: 1.5,
+        });
+        let mut workers = BTreeMap::new();
+        for i in 0..n_workers {
+            let name = format!("w{i}");
+            resharder.expect_worker(&name, 0);
+            workers.insert(name, SimWorker::default());
+        }
+        Self {
+            resharder,
+            merger: SlotMerger::new(),
+            workers,
+            committed: Vec::new(),
+            now: 0,
+            total,
+        }
+    }
+
+    fn name(&self, index: usize) -> String {
+        let names: Vec<&String> = self.workers.keys().collect();
+        names[index % names.len()].clone()
+    }
+
+    /// Serves up to `k` slots from the worker's grant queue, reporting
+    /// frames, drains, and `done` to the supervisor like the real
+    /// emitter thread does.
+    fn progress(&mut self, name: &str, k: u8) {
+        let state = self.workers.get_mut(name).expect("known worker");
+        if !state.connected || state.stopped {
+            return;
+        }
+        if !state.done {
+            state.done = true;
+            self.resharder.worker_done(name, self.total, self.now);
+        }
+        for _ in 0..k {
+            let state = self.workers.get_mut(name).expect("known worker");
+            let Some(&(lease, cursor, end)) = state.grants.first() else {
+                break;
+            };
+            if cursor < self.total && cursor < end {
+                self.resharder.frame_arrived(name, self.now);
+                let committed = &mut self.committed;
+                self.merger
+                    .offer(cursor, cursor, &mut |slot, _| {
+                        committed.push(slot);
+                        Ok::<(), Infallible>(())
+                    })
+                    .unwrap();
+            }
+            let state = self.workers.get_mut(name).expect("known worker");
+            state.grants[0].1 = cursor + 1;
+            if cursor + 1 >= end {
+                // Every owned slot served (slots past the stream end
+                // drain harmlessly — the engine has no lines for them).
+                state.grants.remove(0);
+                self.resharder.lease_drained(name, lease, self.now);
+            }
+        }
+    }
+
+    /// Applies a batch of supervisor effects, feeding any follow-on
+    /// effects (a kill's death notice can trigger an abandonment) back
+    /// through the queue.
+    fn apply(&mut self, actions: Vec<Action>) {
+        let mut queue: VecDeque<Action> = actions.into();
+        while let Some(action) = queue.pop_front() {
+            match action {
+                Action::Grant {
+                    worker,
+                    lease,
+                    start,
+                    end,
+                } => {
+                    let state = self.workers.get_mut(&worker).expect("known worker");
+                    prop_assert!(
+                        state.connected && !state.gone,
+                        "grant of {start}..{end} to a disconnected worker {worker}"
+                    );
+                    state.grants.push((lease, start, end));
+                }
+                Action::Revoke { worker, lease } => {
+                    let state = self.workers.get_mut(&worker).expect("known worker");
+                    state.grants.retain(|g| g.0 != lease);
+                }
+                Action::Kill { worker } => {
+                    let state = self.workers.get_mut(&worker).expect("known worker");
+                    state.connected = false;
+                    state.stopped = false;
+                    state.grants.clear();
+                    queue.extend(self.resharder.worker_dead(&worker, self.now));
+                }
+                Action::Respawn { worker } => {
+                    let state = self.workers.get_mut(&worker).expect("known worker");
+                    if !state.gone {
+                        state.connected = true;
+                        state.stopped = false;
+                        state.done = false;
+                        state.grants.clear();
+                        self.resharder.worker_connected(&worker, self.now);
+                    }
+                }
+                Action::Abandon { worker } => {
+                    let state = self.workers.get_mut(&worker).expect("known worker");
+                    state.gone = true;
+                    state.connected = false;
+                    state.grants.clear();
+                }
+            }
+        }
+    }
+
+    /// One supervisor round: publish the merge watermark, tick, apply.
+    fn round(&mut self) {
+        self.resharder.delivered(self.merger.next_expected());
+        let actions = self.resharder.tick(self.now);
+        self.apply(actions);
+    }
+
+    fn step(&mut self, op: Op) {
+        self.now += 10;
+        match op {
+            Op::Progress(i, k) => {
+                let name = self.name(i);
+                self.progress(&name, k);
+            }
+            Op::Heartbeat(i) => {
+                let name = self.name(i);
+                let state = &self.workers[&name];
+                if state.connected && !state.stopped {
+                    self.resharder.note_heard(&name, self.now);
+                }
+            }
+            Op::Die(i) => {
+                let name = self.name(i);
+                let state = self.workers.get_mut(&name).expect("known worker");
+                if state.connected {
+                    state.connected = false;
+                    state.stopped = false;
+                    state.grants.clear();
+                    let actions = self.resharder.worker_dead(&name, self.now);
+                    self.apply(actions);
+                }
+            }
+            Op::Stall(i) => {
+                let name = self.name(i);
+                let state = self.workers.get_mut(&name).expect("known worker");
+                if state.connected {
+                    state.stopped = true;
+                }
+            }
+            Op::Resume(i) => {
+                let name = self.name(i);
+                let state = self.workers.get_mut(&name).expect("known worker");
+                if state.connected && state.stopped {
+                    state.stopped = false;
+                    self.resharder.note_heard(&name, self.now);
+                }
+            }
+            Op::Connect(i) => {
+                let name = self.name(i);
+                let state = self.workers.get_mut(&name).expect("known worker");
+                if !state.connected && !state.gone {
+                    state.connected = true;
+                    state.stopped = false;
+                    state.done = false;
+                    state.grants.clear();
+                    self.resharder.worker_connected(&name, self.now);
+                }
+            }
+            Op::Advance(ms) => {
+                self.now += u64::from(ms);
+            }
+        }
+        self.round();
+    }
+
+    /// Drives the surviving fleet until every slot is delivered. Returns
+    /// `false` when the supervisor abandoned every worker — the real
+    /// coordinator aborts the campaign there, so no delivery is owed.
+    fn heal(&mut self) -> bool {
+        let mut guard = 0u32;
+        while self.merger.next_expected() < self.total {
+            guard += 1;
+            prop_assert!(
+                guard < 20_000,
+                "heal did not converge: delivered {} of {} (pending {})",
+                self.merger.next_expected(),
+                self.total,
+                self.merger.pending()
+            );
+            if self.resharder.live_workers() == 0 {
+                return false;
+            }
+            self.now += 50;
+            let names: Vec<String> = self.workers.keys().cloned().collect();
+            for name in names {
+                let state = &self.workers[&name];
+                if state.connected && !state.stopped {
+                    self.resharder.note_heard(&name, self.now);
+                    self.progress(&name, 4);
+                }
+            }
+            self.round();
+        }
+        true
+    }
+}
+
+/// Weighted op choice, built from plain tuple + map (the offline
+/// proptest shim has no `prop_oneof!`).
+fn ops(n_workers: usize) -> impl Strategy<Value = Vec<Op>> {
+    let op =
+        (0usize..12, 0..n_workers, 1u8..12, (50u16..1_500)).prop_map(
+            |(kind, i, k, ms)| match kind {
+                0..=3 => Op::Progress(i, k),
+                4 | 5 => Op::Heartbeat(i),
+                6 => Op::Die(i),
+                7 => Op::Stall(i),
+                8 => Op::Resume(i),
+                9 => Op::Connect(i),
+                _ => Op::Advance(ms),
+            },
+        );
+    proptest::collection::vec(op, 0..80)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Arbitrary fault schedules never lose or double-commit a slot:
+    /// once the fleet heals, the committed sequence is exactly
+    /// `0..total` in order, regardless of how leases migrated.
+    #[test]
+    fn every_slot_is_delivered_exactly_once(
+        (n_workers, schedule) in (2usize..=4)
+            .prop_flat_map(|n| (Just(n), ops(n))),
+        total in 1u64..150,
+    ) {
+        let mut sim = Sim::new(n_workers, total);
+        // The coordinator's initial spawn wave: everyone connects.
+        for i in 0..n_workers {
+            sim.step(Op::Connect(i));
+        }
+        for op in schedule {
+            sim.step(op);
+        }
+        if sim.heal() {
+            prop_assert_eq!(&sim.committed, &(0..total).collect::<Vec<_>>());
+            prop_assert_eq!(sim.merger.pending(), 0);
+        } else {
+            // Full abandonment aborts the campaign; what was committed
+            // must still be a clean ordered prefix.
+            let delivered = sim.merger.next_expected();
+            prop_assert_eq!(&sim.committed, &(0..delivered).collect::<Vec<_>>());
+        }
+        for migration in sim.resharder.migrations() {
+            prop_assert!(migration.start < migration.end);
+            // A death/stall orphan may be re-granted to the same name's
+            // respawned incarnation; only a steal guarantees two
+            // distinct workers.
+            if migration.reason == MigrationReason::Steal {
+                prop_assert!(migration.from != migration.to);
+            }
+        }
+    }
+
+    /// A fault-free fleet also converges (the degenerate schedule), and
+    /// deaths or stalls are impossible there — any migration the audit
+    /// log records can only be a steal racing the last range.
+    #[test]
+    fn a_healthy_fleet_delivers_without_supervision_actions(
+        n_workers in 1usize..=4,
+        total in 1u64..150,
+    ) {
+        let mut sim = Sim::new(n_workers, total);
+        for i in 0..n_workers {
+            sim.step(Op::Connect(i));
+        }
+        prop_assert!(sim.heal(), "nobody dies in a fault-free run");
+        prop_assert_eq!(&sim.committed, &(0..total).collect::<Vec<_>>());
+        for migration in sim.resharder.migrations() {
+            prop_assert_eq!(migration.reason, MigrationReason::Steal);
+        }
+    }
+}

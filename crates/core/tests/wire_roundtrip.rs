@@ -13,7 +13,7 @@ use nvmexplorer_core::stream::{ResultSink, StudyEvent, StudyExecutor};
 use nvmexplorer_core::sweep::{run_study_with_threads, StudyResult};
 use nvmexplorer_core::wire::{
     replay, replay_into, EventReplayer, OwnedStudyEvent, Shard, SlotMerger, StreamReplayer,
-    WireError, WireFrame, WireSink,
+    WireError, WireFrame, WireSink, WIRE_VERSION,
 };
 use nvmx_celldb::TechnologyClass;
 use nvmx_nvsim::OptimizationTarget;
@@ -215,7 +215,7 @@ fn strict_replay_rejects_malformed_streams() {
 
     // Unknown protocol version.
     let mut versioned = lines.clone();
-    versioned[0] = versioned[0].replacen("{\"v\":3,", "{\"v\":9,", 1);
+    versioned[0] = versioned[0].replacen(&format!("{{\"v\":{WIRE_VERSION},"), "{\"v\":9,", 1);
     match parse(capture_text(&versioned)) {
         Err(WireError::Version { line, found }) => {
             assert_eq!((line, found), (1, 9));
@@ -320,7 +320,7 @@ fn version1_captures_still_replay_and_reencode_as_current() {
     let lines = capture_shard(&small_study(), Shard::WHOLE, 2);
     let legacy: Vec<String> = lines
         .iter()
-        .map(|line| line.replacen("{\"v\":3,", "{\"v\":1,", 1))
+        .map(|line| line.replacen(&format!("{{\"v\":{WIRE_VERSION},"), "{\"v\":1,", 1))
         .collect();
     assert_ne!(legacy, lines, "downgrade must have rewritten the stamps");
     let replayed =
@@ -370,7 +370,7 @@ fn version2_captures_still_replay_and_reencode_as_current() {
     let lines = capture_shard(&small_study(), Shard::WHOLE, 2);
     let legacy: Vec<String> = lines
         .iter()
-        .map(|line| line.replacen("{\"v\":3,", "{\"v\":2,", 1))
+        .map(|line| line.replacen(&format!("{{\"v\":{WIRE_VERSION},"), "{\"v\":2,", 1))
         .collect();
     assert_ne!(legacy, lines, "downgrade must have rewritten the stamps");
     let replayed =

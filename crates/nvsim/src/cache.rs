@@ -89,6 +89,49 @@ impl Slab {
     }
 }
 
+/// The [`CacheStats::l2_rejects`] total broken out by
+/// [`StoreError`](crate::store::StoreError) class — one counter per reason
+/// the strict store codec refused a slab. Version skew dominating the
+/// breakdown means a mixed-version fleet shares one store directory;
+/// corruption/truncation point at the disk; collisions are the expected
+/// (rare) 64-bit fingerprint accidents.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct L2RejectClasses {
+    /// Rejections by filesystem failure (other than a missing slab, which
+    /// is a plain `l2_miss`).
+    pub io: u64,
+    /// Rejections by codec version skew (a slab written by a different
+    /// `STORE_VERSION`).
+    pub version: u64,
+    /// Rejections by truncated slab files.
+    pub truncated: u64,
+    /// Rejections by failed checksums / malformed payloads.
+    pub corrupt: u64,
+    /// Rejections by fingerprint collision (the slab belongs to a
+    /// different cell than the one requesting it).
+    pub collision: u64,
+}
+
+impl L2RejectClasses {
+    /// Sum of all classes — equals [`CacheStats::l2_rejects`] up to the
+    /// usual observational counter races.
+    pub fn total(&self) -> u64 {
+        self.io + self.version + self.truncated + self.corrupt + self.collision
+    }
+
+    /// Per-class counters accumulated since an `earlier` snapshot
+    /// (saturating, like [`CacheStats::since`]).
+    pub fn since(&self, earlier: Self) -> Self {
+        Self {
+            io: self.io.saturating_sub(earlier.io),
+            version: self.version.saturating_sub(earlier.version),
+            truncated: self.truncated.saturating_sub(earlier.truncated),
+            corrupt: self.corrupt.saturating_sub(earlier.corrupt),
+            collision: self.collision.saturating_sub(earlier.collision),
+        }
+    }
+}
+
 /// Hit/miss/prune counters of a [`SubarrayCache`], captured by
 /// [`SubarrayCache::stats`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -111,6 +154,9 @@ pub struct CacheStats {
     /// truncation, fingerprint collision, or I/O failure — all degraded to
     /// recomputation.
     pub l2_rejects: u64,
+    /// The [`Self::l2_rejects`] total broken out by
+    /// [`StoreError`](crate::store::StoreError) class.
+    pub l2_reject_classes: L2RejectClasses,
 }
 
 impl CacheStats {
@@ -163,6 +209,7 @@ impl CacheStats {
             l2_hits: self.l2_hits.saturating_sub(earlier.l2_hits),
             l2_misses: self.l2_misses.saturating_sub(earlier.l2_misses),
             l2_rejects: self.l2_rejects.saturating_sub(earlier.l2_rejects),
+            l2_reject_classes: self.l2_reject_classes.since(earlier.l2_reject_classes),
         }
     }
 }
@@ -185,6 +232,9 @@ pub struct SubarrayCache {
     l2_hits: AtomicU64,
     l2_misses: AtomicU64,
     l2_rejects: AtomicU64,
+    /// Per-class reject tallies, indexed like the rows of
+    /// [`L2RejectClasses`]: io, version, truncated, corrupt, collision.
+    l2_reject_by_class: [AtomicU64; 5],
 }
 
 impl Default for SubarrayCache {
@@ -205,6 +255,7 @@ impl SubarrayCache {
             l2_hits: AtomicU64::new(0),
             l2_misses: AtomicU64::new(0),
             l2_rejects: AtomicU64::new(0),
+            l2_reject_by_class: std::array::from_fn(|_| AtomicU64::new(0)),
         }
     }
 
@@ -245,8 +296,16 @@ impl SubarrayCache {
                 self.l2_misses.fetch_add(1, Ordering::Relaxed);
                 None
             }
-            Err(_) => {
+            Err(err) => {
                 self.l2_rejects.fetch_add(1, Ordering::Relaxed);
+                let class = match err {
+                    crate::store::StoreError::Io(_) => 0,
+                    crate::store::StoreError::Version { .. } => 1,
+                    crate::store::StoreError::Truncated { .. } => 2,
+                    crate::store::StoreError::Corrupt { .. } => 3,
+                    crate::store::StoreError::Collision => 4,
+                };
+                self.l2_reject_by_class[class].fetch_add(1, Ordering::Relaxed);
                 None
             }
         }
@@ -376,6 +435,13 @@ impl SubarrayCache {
             l2_hits: self.l2_hits.load(Ordering::Relaxed),
             l2_misses: self.l2_misses.load(Ordering::Relaxed),
             l2_rejects: self.l2_rejects.load(Ordering::Relaxed),
+            l2_reject_classes: L2RejectClasses {
+                io: self.l2_reject_by_class[0].load(Ordering::Relaxed),
+                version: self.l2_reject_by_class[1].load(Ordering::Relaxed),
+                truncated: self.l2_reject_by_class[2].load(Ordering::Relaxed),
+                corrupt: self.l2_reject_by_class[3].load(Ordering::Relaxed),
+                collision: self.l2_reject_by_class[4].load(Ordering::Relaxed),
+            },
         }
     }
 
@@ -679,6 +745,17 @@ mod tests {
             .get_or_characterize(512, 1024, 4);
         assert_eq!(a, c, "corruption must degrade to recompute, not wrong data");
         assert_eq!(third.stats().l2_rejects, 1);
+        let classes = third.stats().l2_reject_classes;
+        assert_eq!(
+            classes.total(),
+            1,
+            "every reject lands in exactly one class"
+        );
+        assert_eq!(
+            classes.corrupt + classes.truncated,
+            1,
+            "a flipped byte is corruption"
+        );
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -55,7 +55,7 @@ pub mod wire;
 
 pub use bank::Organization;
 pub use bounds::{IncumbentStore, SeedStats};
-pub use cache::{CacheStats, SubarrayCache};
+pub use cache::{CacheStats, L2RejectClasses, SubarrayCache};
 pub use result::{ArrayCharacterization, OptimizationTarget};
 pub use store::{CharacterizationStore, StoreError, STORE_VERSION};
 

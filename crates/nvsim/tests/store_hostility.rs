@@ -110,11 +110,19 @@ fn every_file_pathology_degrades_to_recompute() {
     };
     let empty: Mutation = |path| std::fs::write(path, []).unwrap();
 
-    for (tag, mutate) in [
-        ("truncated", truncate),
-        ("flipped", flip),
-        ("version", version_skew),
-        ("empty", empty),
+    // Each pathology must land in its own reject class: the per-class
+    // counters are what an operator triages with, so a truncation that
+    // counted as `corrupt` (or vice versa) would misdirect the diagnosis.
+    type Class = fn(&nvmx_nvsim::L2RejectClasses) -> u64;
+    let truncated_class: Class = |c| c.truncated;
+    let corrupt_class: Class = |c| c.corrupt;
+    let version_class: Class = |c| c.version;
+
+    for (tag, mutate, class) in [
+        ("truncated", truncate, truncated_class),
+        ("flipped", flip, corrupt_class),
+        ("version", version_skew, version_class),
+        ("empty", empty, truncated_class),
     ] {
         let dir = temp_dir(tag);
         let _ = cold_process(&dir, cell);
@@ -132,6 +140,11 @@ fn every_file_pathology_degrades_to_recompute() {
         assert!(
             stats.l2_rejects > 0,
             "{tag}: corruption was not detected: {stats:?}"
+        );
+        assert!(
+            class(&stats.l2_reject_classes) > 0,
+            "{tag}: reject landed in the wrong class: {:?}",
+            stats.l2_reject_classes
         );
         let _ = std::fs::remove_dir_all(&dir);
     }
@@ -162,6 +175,11 @@ fn a_fingerprint_collision_is_rejected_not_trusted() {
     assert!(
         stats.l2_rejects > 0,
         "collision was not detected: {stats:?}"
+    );
+    assert!(
+        stats.l2_reject_classes.collision > 0,
+        "collision reject landed in the wrong class: {:?}",
+        stats.l2_reject_classes
     );
     let _ = std::fs::remove_dir_all(&dir_a);
     let _ = std::fs::remove_dir_all(&dir_b);
